@@ -1,0 +1,18 @@
+"""Regenerates Figure 1(d): scheduling-policy overview across B1-B6.
+
+Shape to match (paper): naive > CSP > COORD > Oracle executed CDQs, with
+the oracle eliminating 25-41% of CSP's queries.
+"""
+
+from repro.analysis.experiments import fig01_overview
+
+
+def test_fig01_overview(benchmark, ctx, save_result):
+    table = benchmark.pedantic(fig01_overview, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig01_overview", table)
+    # Invariant: for every suite, oracle <= coord <= csp <= naive (= 1.0).
+    for row in table.rows:
+        naive, csp, coord, oracle = (float(c) for c in row[2:6])
+        assert oracle <= coord + 1e-9
+        assert coord <= csp + 1e-9
+        assert csp <= naive + 1e-9

@@ -1,0 +1,35 @@
+"""Regenerates Figure 6: the oracle-prediction limit study per stage.
+
+Shape to match (paper): the exploration stage S1 checks mostly colliding
+motions and the oracle removes a large fraction of its CDQs; the
+refinement stage S2 is mostly collision-free and gains almost nothing.
+"""
+
+from repro.analysis.experiments import fig06_limit_study
+
+
+def test_fig06_limit_study(benchmark, ctx, save_result):
+    table = benchmark.pedantic(fig06_limit_study, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig06_limit_study", table)
+    by_stage = {}
+    for row in table.rows:
+        suite, stage = row[0], row[1]
+        motions = int(row[2])
+        colliding = float(row[3].rstrip("%")) / 100.0
+        reduction = float(row[7].rstrip("%")) / 100.0
+        by_stage.setdefault(suite, {})[stage] = (motions, colliding, reduction)
+    for suite, stages in by_stage.items():
+        if "S1" not in stages or "S2" not in stages:
+            continue
+        s1_motions, s1_coll, s1_red = stages["S1"]
+        s2_motions, s2_coll, s2_red = stages["S2"]
+        # Oracle prediction never loses to CSP.
+        assert s1_red >= -0.01 and s2_red >= -0.01, suite
+        # The mechanism under test: the stage with more colliding motions
+        # gains more from oracle prediction. Only meaningful when both
+        # stage populations are large enough to average out single-motion
+        # noise (scaled-down workloads emit few S2 checks per query).
+        if min(s1_motions, s2_motions) < 20:
+            continue
+        if s1_coll > s2_coll + 0.05:
+            assert s1_red >= s2_red - 0.02, suite

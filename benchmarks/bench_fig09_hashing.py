@@ -1,0 +1,23 @@
+"""Regenerates Figure 9: precision/recall of the hash-function family.
+
+Shape to match (paper): COORD dominates every C-space hash; POSE has
+high precision but very low recall (sparse table); folding trades
+precision for recall; the learned latent hashes (ENPOSE/ENCOORD) do not
+preserve physical locality and trail COORD.
+"""
+
+from repro.analysis.experiments import fig09_hash_functions
+
+
+def test_fig09_hashing(benchmark, ctx, save_result):
+    table = benchmark.pedantic(fig09_hash_functions, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig09_hashing", table)
+    rows = {(r[0], r[1]): (float(r[2]), float(r[3])) for r in table.rows}
+    for clutter in ("low", "high"):
+        coord_p, coord_r = rows[("COORD (4b/axis, 12b)", clutter)]
+        pose_p, pose_r = rows[("POSE (3b/dof, 21b)", clutter)]
+        # COORD's recall beats POSE's by a wide margin.
+        assert coord_r >= pose_r
+    # In high clutter COORD reaches the paper's precision band.
+    hp, hr = rows[("COORD (4b/axis, 12b)", "high")]
+    assert hp >= 0.5 and hr >= 0.35

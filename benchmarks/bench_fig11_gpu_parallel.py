@@ -1,0 +1,20 @@
+"""Regenerates Figure 11: GPU thread sweep with/without prediction.
+
+Shape to match (paper): baseline executed CDQs grow with thread count
+(wave redundancy); prediction cuts CDQs but becomes slower than the
+baseline at very high thread counts (divergence + CHT contention).
+"""
+
+from repro.analysis.experiments import fig11_gpu_parallelism
+
+
+def test_fig11_gpu_parallel(benchmark, ctx, save_result):
+    table = benchmark.pedantic(fig11_gpu_parallelism, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig11_gpu_parallel", table)
+    rows = {int(r[0]): [float(c) for c in r[1:]] for r in table.rows}
+    # Redundant work grows with parallelism for the baseline.
+    assert rows[4096][0] >= rows[64][0]
+    # Prediction executes no more CDQs than the baseline at high counts.
+    assert rows[2048][1] <= rows[2048][0] + 1e-9
+    # Prediction costs runtime at 4096 threads.
+    assert rows[4096][3] >= rows[4096][2]

@@ -1,0 +1,27 @@
+"""Regenerates Figure 13: the prediction-strategy (S) sweep.
+
+Shape to match (paper): lower S -> higher recall, lower precision; the
+best computation reduction uses aggressive S in low clutter and
+conservative S in high clutter, and reduction is less sensitive to S
+than precision/recall are.
+"""
+
+from repro.analysis.experiments import fig13_strategies
+
+
+def test_fig13_strategies(benchmark, ctx, save_result):
+    table = benchmark.pedantic(fig13_strategies, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig13_strategies", table)
+    by_density = {}
+    for row in table.rows:
+        by_density.setdefault(row[0], []).append(
+            (float(row[1]), float(row[2]), float(row[3]))
+        )
+    for density, entries in by_density.items():
+        entries.sort()
+        precisions = [p for _, p, _ in entries]
+        recalls = [r for _, _, r in entries]
+        # Higher S -> precision non-decreasing, recall non-increasing
+        # (allow small noise).
+        assert precisions[-1] >= precisions[0] - 0.05, density
+        assert recalls[0] >= recalls[-1] - 0.05, density

@@ -1,0 +1,17 @@
+"""Regenerates Figure 17: QNONCOLL queue-size sensitivity.
+
+Shape to match (paper): very small queues lose most of the benefit;
+the gain saturates for large queues.
+"""
+
+from repro.analysis.experiments import fig17_queue_size
+
+
+def test_fig17_queue_size(benchmark, ctx, save_result):
+    table = benchmark.pedantic(fig17_queue_size, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig17_queue_size", table)
+    reductions = [float(r[2].rstrip("%")) / 100.0 for r in table.rows]
+    # Large queues do at least as well as the smallest.
+    assert max(reductions[2:]) >= reductions[0] - 0.02
+    # Saturation: the last two sizes are within a few points.
+    assert abs(reductions[-1] - reductions[-2]) < 0.08

@@ -1,0 +1,18 @@
+"""Regenerates Figure 18: hardware S and U sensitivity.
+
+Shape to match (paper): the CDQ reduction is not very sensitive to
+either parameter; S = 0 stays within a few percent of the best choice,
+which is why the 1-bit CHT is viable.
+"""
+
+from repro.analysis.experiments import fig18_sensitivity
+
+
+def test_fig18_sensitivity(benchmark, ctx, save_result):
+    tables = benchmark.pedantic(fig18_sensitivity, args=(ctx,), rounds=1, iterations=1)
+    save_result("fig18_sensitivity", tables)
+    s_table, u_table = tables
+    s_reductions = [float(r[2].rstrip("%")) / 100.0 for r in s_table.rows]
+    assert max(s_reductions) - s_reductions[0] < 0.10  # S=0 near the best
+    u_reductions = [float(r[2].rstrip("%")) / 100.0 for r in u_table.rows]
+    assert max(u_reductions) - min(u_reductions) < 0.12

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the computational kernels (real timing).
+
+Unlike the figure benches (which run once and print tables), these use
+pytest-benchmark's statistical timing to track the library's hot paths:
+the scalar SAT test (the CDQ primitive), the vectorized batch kernel,
+forward kinematics, COORD hashing, and CHT operations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CollisionHistoryTable, CoordHash
+from repro.geometry import OBB, ObstacleSet, obb_overlap, obb_overlap_batch
+from repro.geometry import transforms as tf
+from repro.kinematics import jaco2
+
+
+@pytest.fixture(scope="module")
+def boxes():
+    rng = np.random.default_rng(0)
+    out = []
+    for _ in range(64):
+        rot = tf.rotation_about_axis(rng.normal(size=3), rng.uniform(0, np.pi))[:3, :3]
+        out.append(OBB(rng.uniform(-1, 1, 3), rng.uniform(0.05, 0.3, 3), rot))
+    return out
+
+
+def test_scalar_sat(benchmark, boxes):
+    query = boxes[0]
+    others = boxes[1:]
+
+    def run():
+        return sum(obb_overlap(query, b) for b in others)
+
+    benchmark(run)
+
+
+def test_batch_sat(benchmark, boxes):
+    query = boxes[0]
+    obstacles = ObstacleSet(boxes[1:])
+
+    def run():
+        return int(obb_overlap_batch(query, obstacles).sum())
+
+    benchmark(run)
+
+
+def test_batch_matches_scalar(boxes):
+    query = boxes[0]
+    obstacles = ObstacleSet(boxes[1:])
+    assert int(obb_overlap_batch(query, obstacles).sum()) == sum(
+        obb_overlap(query, b) for b in boxes[1:]
+    )
+
+
+def test_forward_kinematics(benchmark):
+    robot = jaco2()
+    rng = np.random.default_rng(1)
+    poses = [robot.random_configuration(rng) for _ in range(32)]
+
+    def run():
+        return sum(len(robot.pose_obbs(q)) for q in poses)
+
+    benchmark(run)
+
+
+def test_coord_hash(benchmark):
+    hash_function = CoordHash(4)
+    rng = np.random.default_rng(2)
+    centers = rng.uniform(-1.4, 1.4, size=(256, 3))
+
+    def run():
+        return sum(hash_function(c) for c in centers)
+
+    benchmark(run)
+
+
+def test_cht_operations(benchmark):
+    table = CollisionHistoryTable(size=4096, s=0.0, u=0.0)
+    rng = np.random.default_rng(3)
+    codes = rng.integers(0, 4096, size=512)
+    outcomes = rng.random(512) < 0.2
+
+    def run():
+        hits = 0
+        for code, outcome in zip(codes, outcomes):
+            hits += table.predict(int(code))
+            table.update(int(code), bool(outcome))
+        return hits
+
+    benchmark(run)

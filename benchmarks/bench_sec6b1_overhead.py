@@ -1,0 +1,20 @@
+"""Regenerates Sec. VI-B1: CHT/queue area & energy overheads vs MPAccel.
+
+Shape to match (paper): CHT 4096x8 ~2%/1% area/energy overhead;
+CHT 4096x1 ~0.55%/0.28%; the queues ~2.6%/1.4%.
+"""
+
+from repro.analysis.experiments import sec6b1_overheads
+
+
+def test_sec6b1_overhead(benchmark, ctx, save_result):
+    table = benchmark.pedantic(sec6b1_overheads, args=(ctx,), rounds=1, iterations=1)
+    save_result("sec6b1_overhead", table)
+    rows = {r[0]: r for r in table.rows}
+    cht8 = float(rows["CHT 4096x8b"][2].rstrip("%")) / 100.0
+    cht1 = float(rows["CHT 4096x1b"][2].rstrip("%")) / 100.0
+    queues = float(rows["QCOLL+QNONCOLL (4 groups)"][2].rstrip("%")) / 100.0
+    assert 0.01 <= cht8 <= 0.03
+    assert 0.003 <= cht1 <= 0.01
+    assert 0.015 <= queues <= 0.06
+    assert cht1 < cht8

@@ -1,0 +1,16 @@
+"""Regenerates Sec. VII-2: voxel-hashing prediction on the Dadu-P flow.
+
+Shape to match (paper): for colliding motions, CSP removes most of the
+naive CDQs, CSP+COPU removes more, and the oracle limit reaches ~99%.
+"""
+
+from repro.analysis.experiments import sec7_dadu_p
+
+
+def test_sec7_dadup(benchmark, ctx, save_result):
+    table = benchmark.pedantic(sec7_dadu_p, args=(ctx,), rounds=1, iterations=1)
+    save_result("sec7_dadup", table)
+    rows = {r[0]: float(r[3].rstrip("%")) / 100.0 for r in table.rows}
+    assert rows["oracle"] >= rows["csp+copu"] - 1e-9
+    assert rows["csp+copu"] >= rows["csp"] - 0.02
+    assert rows["oracle"] > 0.9

@@ -1,0 +1,14 @@
+"""Regenerates Sec. VII-1: prediction for a sphere-based CDU (Jaco2).
+
+Shape to match (paper): ~23% CDQ reduction with per-link prediction keys.
+"""
+
+from repro.analysis.experiments import sec7_sphere_cdu
+
+
+def test_sec7_sphere(benchmark, ctx, save_result):
+    table = benchmark.pedantic(sec7_sphere_cdu, args=(ctx,), rounds=1, iterations=1)
+    save_result("sec7_sphere", table)
+    for row in table.rows:
+        reduction = float(row[5].rstrip("%")) / 100.0
+        assert reduction >= 0.0

@@ -1,0 +1,46 @@
+"""Shared fixtures for the figure/table regeneration benches.
+
+The heavyweight inputs (planner workloads, exhaustive CDQ traces, labelled
+pose streams) are generated once per session and shared by every bench.
+Set ``REPRO_BENCH_SCALE`` to raise or lower workload sizes (default 0.5,
+which regenerates every figure in a few minutes; 1.0 doubles the planning
+queries per suite).
+
+Each bench writes its regenerated table(s) to ``benchmarks/results/`` and
+prints them, so ``pytest benchmarks/ --benchmark-only -s`` shows the rows
+the paper reports next to pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import build_suites
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """The shared experiment context (cached workloads/traces/streams)."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+    return build_suites(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer that persists a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, tables) -> None:
+        if not isinstance(tables, list):
+            tables = [tables]
+        text = "\n\n".join(t.render() for t in tables)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,89 @@
+"""Accelerator design-space exploration with the cycle-level simulator.
+
+Sweeps the number of CDUs, the CHT size, and the QNONCOLL queue depth for
+a fixed MPNet-Baxter-style workload, reporting latency, energy, perf/watt
+and perf/mm2 for the baseline and COPU builds — the Fig. 16/17 analysis as
+a reusable tool.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    AcceleratorSimulator,
+    CollisionDetector,
+    Motion,
+    baseline_config,
+    baxter_arm,
+    copu_config,
+    tabletop_scene,
+    trace_motions,
+)
+from repro.analysis import Table, format_ratio
+
+
+def build_traces():
+    rng = np.random.default_rng(3)
+    robot = baxter_arm()
+    scene = tabletop_scene(rng, num_objects=8)
+    detector = CollisionDetector(scene, robot)
+    motions = [
+        Motion(robot.random_configuration(rng), robot.random_configuration(rng), 12)
+        for _ in range(60)
+    ]
+    return trace_motions(detector, motions)
+
+
+def main() -> None:
+    traces = build_traces()
+    colliding = sum(t.collides for t in traces)
+    print(f"Workload: {len(traces)} motion checks, {colliding} colliding\n")
+
+    table = Table(
+        "CDU-count sweep (CHT 4096x1b, QCOLL=8, QNONCOLL=56)",
+        ["config", "exec CDQs", "mean latency", "energy (nJ)", "perf/watt vs base"],
+    )
+    for cdus in (1, 2, 4, 6, 8):
+        base = AcceleratorSimulator(baseline_config(cdus), rng=np.random.default_rng(0)).run(traces)
+        pred = AcceleratorSimulator(copu_config(cdus), rng=np.random.default_rng(0)).run(traces)
+        table.add_row(
+            f"copu.{cdus}",
+            f"{pred.cdqs_executed} (base {base.cdqs_executed})",
+            f"{pred.mean_latency:.0f} (base {base.mean_latency:.0f})",
+            f"{pred.energy.total / 1e3:.0f}",
+            format_ratio(pred.perf_per_watt / base.perf_per_watt),
+        )
+    table.show()
+
+    table = Table(
+        "QNONCOLL depth sweep (6 CDUs)",
+        ["qnoncoll", "exec CDQs", "mean latency"],
+    )
+    for depth in (4, 8, 16, 32, 56, 96):
+        config = copu_config(6).with_queue_sizes(qcoll=8, qnoncoll=depth)
+        report = AcceleratorSimulator(config, rng=np.random.default_rng(0)).run(traces)
+        table.add_row(depth, report.cdqs_executed, f"{report.mean_latency:.0f}")
+    table.show()
+
+    table = Table(
+        "CHT size sweep (6 CDUs, S=0/U=0)",
+        ["entries", "exec CDQs", "CHT area share"],
+    )
+    for entries in (256, 1024, 4096, 16384):
+        config = dataclasses.replace(copu_config(6), cht_size=entries)
+        report = AcceleratorSimulator(config, rng=np.random.default_rng(0)).run(traces)
+        table.add_row(
+            entries,
+            report.cdqs_executed,
+            f"{report.area.cht / report.area.total:.1%}",
+        )
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

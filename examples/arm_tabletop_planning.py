@@ -1,0 +1,85 @@
+"""Neural motion planning for a 7-DOF arm over a cluttered work table.
+
+Reproduces the paper's primary use case end to end:
+
+1. build a table-top scene (the MPNet/GNN benchmark style of Sec. V),
+2. imitation-train the MPNet-style neural sampler on RRT-Connect demos,
+3. plan a pick-style query with the neural planner, and
+4. compare the CDQ bill with and without COORD collision prediction.
+
+Run:  python examples/arm_tabletop_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CHTPredictor,
+    CheckContext,
+    CoarseStepScheduler,
+    CollisionDetector,
+    CoordHash,
+    MPNetPlanner,
+    PlanningProblem,
+    baxter_arm,
+    tabletop_scene,
+)
+from repro.planners import path_length, train_sampler
+
+
+def find_free_pose(detector, robot, rng):
+    """Rejection-sample a collision-free configuration."""
+    while True:
+        q = robot.random_configuration(rng)
+        if not detector.check_pose(q).collided:
+            return q
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    robot = baxter_arm()
+    scene = tabletop_scene(rng, num_objects=7)
+    detector = CollisionDetector(scene, robot)
+    print(f"Scene: work table + {scene.num_obstacles - 1} objects; robot: {robot.name}")
+
+    # Imitation-train the sampler on demonstration scenes (substitutes the
+    # paper's offline-trained MPNet network; see DESIGN.md).
+    training_scenes = [tabletop_scene(np.random.default_rng(100 + i), 5) for i in range(2)]
+    print("Training the neural sampler on RRT-Connect demonstrations ...")
+    sampler = train_sampler(robot, training_scenes, rng, demos_per_scene=4, epochs=15)
+    print("  sampler ready:", "trained MLP" if sampler.model else "goal-biased fallback")
+
+    start = find_free_pose(detector, robot, rng)
+    goal = find_free_pose(detector, robot, rng)
+    problem = PlanningProblem(robot=robot, scene=scene, start=start, goal=goal)
+
+    for label, predictor in (
+        ("without prediction", None),
+        ("with COORD prediction", CHTPredictor.create(CoordHash(4), 4096, s=0.0, u=0.0)),
+    ):
+        planner = MPNetPlanner(
+            sampler,
+            np.random.default_rng(42),
+            max_steps=80,
+            max_replans=3,
+            connect_threshold=1.5,
+        )
+        context = CheckContext(
+            detector, scheduler=CoarseStepScheduler(4), predictor=predictor, num_poses=12
+        )
+        result = planner.plan(problem, context)
+        stats = result.total_stats
+        print(f"\n{label}:")
+        print(f"  success: {result.success}")
+        if result.success:
+            print(f"  waypoints: {len(result.path)}, C-space length: {path_length(result.path):.2f}")
+        print(f"  motions checked: {stats.motions_checked} ({stats.motions_colliding} colliding)")
+        print(f"  executed CDQs: {stats.cdqs_executed} (skipped by early exit: {stats.cdqs_skipped})")
+        for stage, s in sorted(result.stage_stats.items()):
+            frac = s.motions_colliding / max(s.motions_checked, 1)
+            print(f"    stage {stage}: {s.cdqs_executed} CDQs over {s.motions_checked} motions ({frac:.0%} colliding)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Continuous vs. discrete motion checking — the paper's scope boundary.
+
+Section VII argues collision prediction needs (1) independent CDQs and
+(2) early-exit semantics; continuous (conservative-advancement) checkers
+violate (1) because each pose's evaluation depends on the previous pose's
+clearance. This example measures both checkers on the same motions and
+shows where prediction can and cannot help:
+
+* discrete checking: prediction reorders CDQs across the whole motion and
+  cuts executed queries;
+* continuous checking: prediction can only reorder within a pose — pose
+  evaluations are unchanged.
+
+Run:  python examples/continuous_vs_discrete.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CHTPredictor,
+    CoarseStepScheduler,
+    CollisionDetector,
+    CoordHash,
+    calibrated_clutter_scene,
+    jaco2,
+)
+from repro.analysis import Table
+from repro.collision import ContinuousMotionChecker
+
+
+def main() -> None:
+    robot = jaco2()
+    scene = calibrated_clutter_scene(np.random.default_rng(5), robot, "high", probe_poses=100)
+    detector = CollisionDetector(scene, robot)
+    continuous = ContinuousMotionChecker(scene, robot)
+
+    rng = np.random.default_rng(0)
+    motions = [
+        (robot.random_configuration(rng), robot.random_configuration(rng))
+        for _ in range(40)
+    ]
+
+    # Discrete checking, with and without prediction.
+    rows = {}
+    for label, predictor in (
+        ("discrete", None),
+        ("discrete + COORD", CHTPredictor.create(CoordHash(4), 4096, s=0.0, u=0.0)),
+    ):
+        executed = 0
+        colliding = 0
+        for start, goal in motions:
+            result = detector.check_motion(start, goal, 12, CoarseStepScheduler(4), predictor)
+            executed += result.stats.cdqs_executed
+            colliding += result.collided
+        rows[label] = (executed, colliding, "-")
+
+    # Continuous checking, with and without prediction.
+    for label, predictor in (
+        ("continuous", None),
+        ("continuous + COORD", CHTPredictor.create(CoordHash(4), 4096, s=0.0, u=0.0)),
+    ):
+        executed = 0
+        colliding = 0
+        poses = 0
+        for start, goal in motions:
+            result = continuous.check_motion(start, goal, predictor)
+            executed += result.stats.cdqs_executed
+            colliding += result.collided
+            poses += result.poses_evaluated
+        rows[label] = (executed, colliding, poses)
+
+    table = Table(
+        "Discrete vs continuous checking over 40 random Jaco2 motions",
+        ["checker", "executed CDQs", "colliding motions", "poses evaluated"],
+    )
+    for label, (executed, colliding, poses) in rows.items():
+        table.add_row(label, executed, colliding, poses)
+    table.show()
+
+    disc = rows["discrete"][0]
+    disc_pred = rows["discrete + COORD"][0]
+    cont_poses = rows["continuous"][2]
+    cont_pred_poses = rows["continuous + COORD"][2]
+    print(f"Discrete: prediction removes {1 - disc_pred / disc:+.1%} of CDQs.")
+    print(
+        f"Continuous: pose evaluations unchanged ({cont_poses} vs {cont_pred_poses}) - "
+        "the serial dependence the paper describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so the package
+can be installed in environments lacking the `wheel` package (offline
+CI images), where PEP 660 editable installs are unavailable:
+``python setup.py develop`` works with bare setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,161 @@
+"""repro — reproduction of *Collision Prediction for Robotics Accelerators*
+(Shah & Aamodt, ISCA 2024).
+
+The package implements the paper's contribution — **COORD** collision
+prediction via link-center hashing into a Collision History Table, and the
+**COPU** hardware prediction unit — together with every substrate the
+evaluation depends on: OBB/sphere geometry, DH forward kinematics for the
+evaluated robots, obstacle environments, discrete collision detection with
+CSP scheduling, sampling-based motion planners (MPNet-style, GNN-style,
+BIT*, RRT, PRM), a cycle-level accelerator simulator with an area/energy
+model, and the Dadu-P voxel-accelerator variant.
+
+Quick start::
+
+    import numpy as np
+    from repro import (
+        jaco2, calibrated_clutter_scene, CollisionDetector, Motion,
+        check_motion_batch, CoarseStepScheduler, CHTPredictor, CoordHash,
+    )
+
+    rng = np.random.default_rng(0)
+    robot = jaco2()
+    scene = calibrated_clutter_scene(rng, robot, "medium")
+    detector = CollisionDetector(scene, robot)
+    motions = [
+        Motion(robot.random_configuration(rng), robot.random_configuration(rng))
+        for _ in range(50)
+    ]
+    csp = check_motion_batch(detector, motions, CoarseStepScheduler(4), None)
+    predictor = CHTPredictor.create(CoordHash(bits_per_axis=4), table_size=4096)
+    coord = check_motion_batch(detector, motions, CoarseStepScheduler(4), predictor)
+    print("CDQ reduction:", coord.reduction_vs(csp))
+"""
+
+from .collision import (
+    CDQ,
+    BisectionScheduler,
+    CoarseStepScheduler,
+    CollisionDetector,
+    Motion,
+    MotionCheckResult,
+    NaiveScheduler,
+    ParallelCostModel,
+    QueryStats,
+    check_motion_batch,
+    compare_schedulers,
+    run_parallel_batch,
+)
+from .core import (
+    CHTPredictor,
+    CollisionHistoryTable,
+    ConfusionCounts,
+    CoordHash,
+    NeverPredictor,
+    OraclePredictor,
+    PoseFoldHash,
+    PoseHash,
+    PosePartHash,
+    PredictionEvaluator,
+    RandomPredictor,
+    estimate_reduction,
+)
+from .env import (
+    Scene,
+    calibrated_clutter_scene,
+    narrow_gap_arm_scene,
+    narrow_passage_2d_scene,
+    random_2d_scene,
+    tabletop_scene,
+)
+from .hardware import (
+    AcceleratorSimulator,
+    DaduSimulator,
+    EnergyModel,
+    baseline_config,
+    copu_config,
+)
+from .kinematics import (
+    ArmRobot,
+    PlanarRobot,
+    RobotModel,
+    baxter_arm,
+    franka_panda,
+    jaco2,
+    kuka_iiwa,
+    planar_2d,
+    ur5,
+)
+from .planners import (
+    BITStarPlanner,
+    CheckContext,
+    GNNPlanner,
+    MPNetPlanner,
+    PlanningProblem,
+    PRMPlanner,
+    RRTConnectPlanner,
+    RRTPlanner,
+)
+from .workloads import group_by_difficulty, make_benchmark, trace_motion, trace_motions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDQ",
+    "BisectionScheduler",
+    "CoarseStepScheduler",
+    "CollisionDetector",
+    "Motion",
+    "MotionCheckResult",
+    "NaiveScheduler",
+    "ParallelCostModel",
+    "QueryStats",
+    "check_motion_batch",
+    "compare_schedulers",
+    "run_parallel_batch",
+    "CHTPredictor",
+    "CollisionHistoryTable",
+    "ConfusionCounts",
+    "CoordHash",
+    "NeverPredictor",
+    "OraclePredictor",
+    "PoseFoldHash",
+    "PoseHash",
+    "PosePartHash",
+    "PredictionEvaluator",
+    "RandomPredictor",
+    "estimate_reduction",
+    "Scene",
+    "calibrated_clutter_scene",
+    "narrow_gap_arm_scene",
+    "narrow_passage_2d_scene",
+    "random_2d_scene",
+    "tabletop_scene",
+    "AcceleratorSimulator",
+    "DaduSimulator",
+    "EnergyModel",
+    "baseline_config",
+    "copu_config",
+    "ArmRobot",
+    "PlanarRobot",
+    "RobotModel",
+    "baxter_arm",
+    "franka_panda",
+    "ur5",
+    "jaco2",
+    "kuka_iiwa",
+    "planar_2d",
+    "BITStarPlanner",
+    "CheckContext",
+    "GNNPlanner",
+    "MPNetPlanner",
+    "PlanningProblem",
+    "PRMPlanner",
+    "RRTConnectPlanner",
+    "RRTPlanner",
+    "group_by_difficulty",
+    "make_benchmark",
+    "trace_motion",
+    "trace_motions",
+    "__version__",
+]

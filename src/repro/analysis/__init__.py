@@ -1,0 +1,12 @@
+"""Result reporting, experiment drivers, and visualization."""
+
+from .report import Table, format_percent, format_ratio
+from .viz import render_cht_heatmap, render_scene_2d
+
+__all__ = [
+    "Table",
+    "format_percent",
+    "format_ratio",
+    "render_cht_heatmap",
+    "render_scene_2d",
+]

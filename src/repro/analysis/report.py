@@ -1,0 +1,61 @@
+"""Result-table formatting shared by the benchmark harness.
+
+Every figure/table bench prints its series through these helpers so the
+regenerated output has one consistent, diffable format (and EXPERIMENTS.md
+embeds the same text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_ratio", "format_percent"]
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """Format a fraction as a percentage string."""
+    sign = "+" if signed else ""
+    return f"{value:{sign}.1%}"
+
+
+def format_ratio(value: float) -> str:
+    """Format a speedup/efficiency ratio like the paper (1.23x)."""
+    return f"{value:.2f}x"
+
+
+@dataclass
+class Table:
+    """A fixed-column text table with a title and aligned rendering."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are stringified."""
+        cells = [str(c) for c in cells]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, ""]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table, framed by blank lines."""
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,71 @@
+"""Regenerate every figure/table and write the results to disk.
+
+Usage::
+
+    python -m repro.analysis.run_all [--scale 0.5] [--out benchmarks/results]
+
+Runs the same experiment functions the pytest benches wrap, prints each
+table, and writes one text file per experiment. (EXPERIMENTS.md embeds the
+same tables with paper-vs-measured commentary.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from . import ablations, experiments
+
+#: (result-file stem, experiment function) in paper order.
+EXPERIMENTS = [
+    ("fig01_overview", experiments.fig01_overview),
+    ("fig06_limit_study", experiments.fig06_limit_study),
+    ("fig07_difficulty", experiments.fig07_difficulty_oracle),
+    ("fig09_hashing", experiments.fig09_hash_functions),
+    ("fig11_gpu_parallel", experiments.fig11_gpu_parallelism),
+    ("fig13_strategies", experiments.fig13_strategies),
+    ("fig14_update_freq", experiments.fig14_update_frequency),
+    ("fig15_copu_reduction", experiments.fig15_copu_reduction),
+    ("fig16_performance", experiments.fig16_performance),
+    ("fig17_queue_size", experiments.fig17_queue_size),
+    ("fig18_sensitivity", experiments.fig18_sensitivity),
+    ("sec3e_cpu", experiments.sec3e_cpu_prediction),
+    ("sec6b1_overhead", experiments.sec6b1_overheads),
+    ("sec7_sphere", experiments.sec7_sphere_cdu),
+    ("sec7_dadup", experiments.sec7_dadu_p),
+    ("ablation_hash_bits", ablations.ablation_hash_bits),
+    ("ablation_cht_size", ablations.ablation_cht_size),
+    ("ablation_csp_step", ablations.ablation_csp_step),
+    ("ablation_link_granularity", ablations.ablation_link_granularity),
+    ("ablation_adaptive_s", ablations.ablation_adaptive_s),
+    ("ablation_dynamic_history", ablations.ablation_dynamic_history),
+]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5, help="workload scale factor")
+    parser.add_argument("--out", type=Path, default=Path("benchmarks/results"))
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="run only the named experiments"
+    )
+    args = parser.parse_args(argv)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    ctx = experiments.build_suites(scale=args.scale)
+    for name, fn in EXPERIMENTS:
+        if args.only and name not in args.only:
+            continue
+        start = time.time()
+        tables = fn(ctx)
+        if not isinstance(tables, list):
+            tables = [tables]
+        text = "\n\n".join(t.render() for t in tables)
+        (args.out / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""ASCII rendering of 2D scenes, paths and prediction state.
+
+The offline environment has no plotting stack, so the examples and
+debugging sessions use text rendering: obstacles as ``#``, free space as
+``.``, path waypoints as ``o`` (start ``S``, goal ``G``), and optionally
+the Collision History Table's hot bins as ``+``. Only meaningful for the
+2D path-planning workloads; arm scenes have no faithful 2D projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cht import CollisionHistoryTable
+from ..core.hashing import CoordHash
+from ..env.scene import Scene
+
+__all__ = ["render_scene_2d", "render_cht_heatmap"]
+
+
+def render_scene_2d(
+    scene: Scene,
+    path: list | None = None,
+    workspace: tuple[float, float] = (-1.0, 1.0),
+    width: int = 48,
+    height: int = 24,
+) -> str:
+    """Render a 2D scene (and optional waypoint path) as an ASCII grid.
+
+    The grid samples obstacle occupancy at cell centers; the path is
+    drawn over it with straight-line interpolation between waypoints.
+    """
+    lo, hi = workspace
+    grid = [["." for _ in range(width)] for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - lo) / (hi - lo) * (width - 1))
+        row = int((hi - y) / (hi - lo) * (height - 1))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+    for row in range(height):
+        for col in range(width):
+            x = lo + (col + 0.5) / width * (hi - lo)
+            y = hi - (row + 0.5) / height * (hi - lo)
+            if scene.point_collides([x, y, 0.0]):
+                grid[row][col] = "#"
+
+    if path:
+        waypoints = [np.asarray(p, dtype=float)[:2] for p in path]
+        for a, b in zip(waypoints[:-1], waypoints[1:]):
+            steps = max(2, int(np.linalg.norm(b - a) / (hi - lo) * width * 2))
+            for frac in np.linspace(0.0, 1.0, steps):
+                p = a + frac * (b - a)
+                row, col = to_cell(p[0], p[1])
+                if grid[row][col] == ".":
+                    grid[row][col] = "o"
+        row, col = to_cell(*waypoints[0])
+        grid[row][col] = "S"
+        row, col = to_cell(*waypoints[-1])
+        grid[row][col] = "G"
+
+    return "\n".join("".join(line) for line in grid)
+
+
+def render_cht_heatmap(
+    table: CollisionHistoryTable,
+    hash_function: CoordHash,
+    workspace: tuple[float, float] = (-1.0, 1.0),
+    width: int = 48,
+    height: int = 24,
+    z: float = 0.0,
+) -> str:
+    """Render which workspace cells the CHT currently predicts colliding.
+
+    Samples a plane at height ``z``: cells whose hash entry predicts a
+    collision print ``+``, cells with any recorded history print ``-``,
+    untouched cells print ``.``. Makes the predictor's learned geography
+    visible at a glance.
+    """
+    lo, hi = workspace
+    lines = []
+    for row in range(height):
+        line = []
+        for col in range(width):
+            x = lo + (col + 0.5) / width * (hi - lo)
+            y = hi - (row + 0.5) / height * (hi - lo)
+            code = hash_function(np.array([x, y, z]))
+            coll, noncoll = table.entry(code)
+            if coll > table.s * noncoll and coll > 0:
+                line.append("+")
+            elif coll + noncoll > 0:
+                line.append("-")
+            else:
+                line.append(".")
+        lines.append("".join(line))
+    return "\n".join(lines)

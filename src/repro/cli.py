@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Print the package version, available robots, benchmark names, and
+    experiment ids.
+``experiments [--scale S] [--only NAME ...]``
+    Regenerate figures/tables (delegates to :mod:`repro.analysis.run_all`).
+``generate --benchmark NAME --out FILE [--queries N]``
+    Generate a planner workload suite and save it as JSON lines.
+``simulate --workloads FILE [--cdus N] [--no-copu]``
+    Replay a saved workload suite through the accelerator simulator and
+    print the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .analysis.report import Table
+from .collision.detector import CollisionDetector
+from .hardware.accelerator import AcceleratorSimulator
+from .hardware.config import baseline_config, copu_config
+from .workloads.benchmarks import BENCHMARK_NAMES, make_benchmark
+from .workloads.io import load_workloads, save_workloads
+from .workloads.traces import trace_motion
+
+__all__ = ["main"]
+
+_ROBOT_NAMES = ("jaco2", "kuka_iiwa", "baxter", "ur5", "panda", "planar2d")
+
+
+def _cmd_info(_args) -> int:
+    print(f"repro {__version__} - Collision Prediction for Robotics Accelerators (ISCA 2024)")
+    print(f"robots:      {', '.join(_ROBOT_NAMES)}")
+    print(f"benchmarks:  {', '.join(BENCHMARK_NAMES)}")
+    from .analysis.run_all import EXPERIMENTS
+
+    print(f"experiments: {', '.join(name for name, _ in EXPERIMENTS)}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .analysis.run_all import main as run_all_main
+
+    argv = ["--scale", str(args.scale)]
+    if args.only:
+        argv += ["--only", *args.only]
+    run_all_main(argv)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    workloads = make_benchmark(
+        args.benchmark, rng, num_queries=args.queries, hard_fraction=args.hard_fraction
+    )
+    save_workloads(workloads, args.out)
+    motions = sum(w.num_motions for w in workloads)
+    print(f"wrote {len(workloads)} planning queries ({motions} motion checks) to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workloads = load_workloads(args.workloads)
+    config = baseline_config(args.cdus) if args.no_copu else copu_config(args.cdus)
+    table = Table(
+        f"Accelerator simulation - {config.name}",
+        ["query", "motions", "colliding", "cdqs", "cycles", "utilization"],
+    )
+    total_cdqs = 0
+    total_cycles = 0
+    for workload in workloads:
+        detector = CollisionDetector(workload.scene, workload.robot)
+        traces = [
+            trace_motion(detector, m.as_motion(), i, m.stage)
+            for i, m in enumerate(workload.motions)
+        ]
+        sim = AcceleratorSimulator(config, rng=np.random.default_rng(args.seed))
+        report = sim.run(traces)
+        total_cdqs += report.cdqs_executed
+        total_cycles += report.total_cycles
+        table.add_row(
+            workload.name,
+            len(traces),
+            sum(t.collides for t in traces),
+            report.cdqs_executed,
+            report.total_cycles,
+            f"{report.cdu_utilization(config.num_cdus):.0%}",
+        )
+    table.add_row("TOTAL", "-", "-", total_cdqs, total_cycles, "-")
+    table.show()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and experiment inventory").set_defaults(fn=_cmd_info)
+
+    experiments = sub.add_parser("experiments", help="regenerate figures/tables")
+    experiments.add_argument("--scale", type=float, default=0.5)
+    experiments.add_argument("--only", nargs="*", default=None)
+    experiments.set_defaults(fn=_cmd_experiments)
+
+    generate = sub.add_parser("generate", help="generate a planner workload suite")
+    generate.add_argument("--benchmark", choices=BENCHMARK_NAMES, required=True)
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--queries", type=int, default=8)
+    generate.add_argument("--hard-fraction", type=float, default=0.5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(fn=_cmd_generate)
+
+    simulate = sub.add_parser("simulate", help="replay workloads through the accelerator")
+    simulate.add_argument("--workloads", required=True)
+    simulate.add_argument("--cdus", type=int, default=6)
+    simulate.add_argument("--no-copu", action="store_true")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(fn=_cmd_simulate)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

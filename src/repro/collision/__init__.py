@@ -1,0 +1,30 @@
+"""Collision detection: CDQs, schedulers, Algorithm 1, parallel models."""
+
+from .continuous import ContinuousCheckResult, ContinuousMotionChecker
+from .detector import CollisionDetector, coord_key, pose_key
+from .parallel import ParallelCostModel, ParallelRunResult, run_parallel_batch
+from .pipeline import BatchResult, Motion, check_motion_batch, compare_schedulers
+from .queries import CDQ, MotionCheckResult, QueryStats
+from .scheduling import BisectionScheduler, CoarseStepScheduler, NaiveScheduler, PoseScheduler
+
+__all__ = [
+    "ContinuousCheckResult",
+    "ContinuousMotionChecker",
+    "CollisionDetector",
+    "coord_key",
+    "pose_key",
+    "ParallelCostModel",
+    "ParallelRunResult",
+    "run_parallel_batch",
+    "BatchResult",
+    "Motion",
+    "check_motion_batch",
+    "compare_schedulers",
+    "CDQ",
+    "MotionCheckResult",
+    "QueryStats",
+    "BisectionScheduler",
+    "CoarseStepScheduler",
+    "NaiveScheduler",
+    "PoseScheduler",
+]

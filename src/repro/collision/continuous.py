@@ -1,0 +1,134 @@
+"""Continuous (conservative-advancement) motion collision checking.
+
+Section II-B contrasts the discrete approach the paper accelerates with
+continuous checkers [8], [47], and Sec. VII explains why prediction helps
+them less: "the next discrete pose to be checked for collision depends
+upon the collision outcome of the current pose", so pose-environment
+queries are *serially dependent* and only the CDQs within one pose can be
+reordered.
+
+This module implements that algorithm — conservative advancement with
+per-pose clearance bounds — both as a substrate in its own right and as
+the demonstration of the paper's scope claim: prediction may reorder the
+CDQs of a single pose, but cannot skip ahead along the motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.predictor import Predictor
+from ..env.scene import Scene
+from ..geometry.distance import point_obb_distance
+from ..kinematics.robots import RobotModel
+from .queries import QueryStats
+
+__all__ = ["ContinuousCheckResult", "ContinuousMotionChecker"]
+
+
+@dataclass
+class ContinuousCheckResult:
+    """Outcome of a conservative-advancement motion check."""
+
+    collided: bool
+    poses_evaluated: int
+    stats: QueryStats
+
+
+class ContinuousMotionChecker:
+    """Conservative advancement over a straight C-space motion.
+
+    At each evaluated pose the checker computes, per link, the clearance
+    to the nearest obstacle (one distance CDQ per link). The minimum
+    clearance bounds how far the motion parameter may advance before any
+    link could reach an obstacle; advancement repeats until a collision is
+    found or the goal parameter is passed.
+
+    The workspace velocity bound uses the conservative per-link motion
+    bound ``|dq| * reach`` — links cannot move faster than the joint-space
+    step times the arm's reach.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        robot: RobotModel,
+        min_step: float = 1e-3,
+        collision_tolerance: float = 1e-3,
+    ):
+        self.scene = scene
+        self.robot = robot
+        self.min_step = float(min_step)
+        self.collision_tolerance = float(collision_tolerance)
+
+    def _pose_clearance(self, q, predictor: Predictor | None, stats: QueryStats) -> float:
+        """Minimum obstacle clearance over the pose's link volumes.
+
+        With a predictor, links predicted to collide are evaluated first —
+        the only freedom the paper notes continuous checking leaves for
+        prediction. Early exit on a touching link.
+        """
+        boxes = self.robot.pose_obbs(q)
+        order = range(len(boxes))
+        if predictor is not None:
+            flagged = []
+            rest = []
+            for i, box in enumerate(boxes):
+                stats.predictions_made += 1
+                if predictor.predict(box.center):
+                    stats.predicted_colliding += 1
+                    flagged.append(i)
+                else:
+                    rest.append(i)
+            order = flagged + rest
+        clearance = float("inf")
+        for i in order:
+            box = boxes[i]
+            stats.cdqs_executed += 1
+            gap = min(
+                (
+                    max(0.0, point_obb_distance(box.center, obstacle) - float(np.linalg.norm(box.half_extents)))
+                    for obstacle in self.scene.obstacles
+                ),
+                default=float("inf"),
+            )
+            hit = gap <= self.collision_tolerance
+            if predictor is not None:
+                predictor.observe(box.center, hit)
+            if hit:
+                return 0.0
+            clearance = min(clearance, gap)
+        return clearance
+
+    def check_motion(self, start, end, predictor: Predictor | None = None) -> ContinuousCheckResult:
+        """Conservative advancement from ``start`` to ``end``."""
+        start = self.robot.validate_configuration(start)
+        end = self.robot.validate_configuration(end)
+        stats = QueryStats(motions_checked=1)
+        length = float(np.linalg.norm(end - start))
+        if length < 1e-12:
+            clearance = self._pose_clearance(start, predictor, stats)
+            return ContinuousCheckResult(clearance <= 0.0, 1, stats)
+
+        # Conservative workspace-speed bound for a unit joint-space step.
+        reach = getattr(self.robot, "reach", lambda: 1.0)()
+        speed_bound = max(reach, 1e-6)
+
+        t = 0.0
+        poses = 0
+        while t <= 1.0:
+            q = start + t * (end - start)
+            poses += 1
+            stats.poses_checked += 1
+            clearance = self._pose_clearance(q, predictor, stats)
+            if clearance <= 0.0:
+                stats.motions_colliding += 1
+                return ContinuousCheckResult(True, poses, stats)
+            if t >= 1.0:
+                break
+            # Advance by the largest provably-safe parameter step.
+            step = max(clearance / (speed_bound * length), self.min_step / max(length, 1e-9))
+            t = min(1.0, t + step)
+        return ContinuousCheckResult(False, poses, stats)

@@ -1,0 +1,138 @@
+"""Execution-cost model for CPU- and GPU-parallel collision detection.
+
+Section III-E runs Algorithm 1 on a 4-core CPU (64 software threads over
+*motions*) and a Titan V GPU (512-4096 threads over the *poses within* a
+motion) and profiles two effects our model reproduces:
+
+1. **Redundant work grows with parallelism.** When CDQs of a motion execute
+   in SIMT waves, every CDQ in the wave that finds the first collision has
+   already been issued — the early exit cannot reclaim it. Executed CDQs
+   round up to wave boundaries.
+2. **Software prediction costs runtime at high thread counts.** Shared-CHT
+   accesses serialize (cache contention / memory stalls) and the skipped
+   computation produces warp divergence, so although prediction removes
+   CDQs, beyond ~1k threads the predicted configuration runs 30-70% slower
+   (Fig. 11b) while still executing far fewer CDQs (Fig. 11a).
+
+The model is parameterised by :class:`ParallelCostModel`; the defaults are
+calibrated so the normalized curves match the paper's Fig. 11 shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from ..core.predictor import Predictor
+from .detector import CollisionDetector
+from .pipeline import Motion
+from .queries import QueryStats
+from .scheduling import PoseScheduler
+
+__all__ = ["ParallelCostModel", "ParallelRunResult", "run_parallel_batch"]
+
+
+@dataclass(frozen=True)
+class ParallelCostModel:
+    """Cost coefficients of the parallel execution model.
+
+    All times are in arbitrary units (one serial CDQ = 1.0); every reported
+    quantity is a ratio, so units cancel.
+    """
+
+    cdq_cost: float = 1.0
+    #: Per-prediction CHT lookup cost on the critical path (cache traffic).
+    cht_access_cost: float = 0.08
+    #: Extra serialization per CHT access per 1024 threads sharing the table.
+    cht_contention_per_1k_threads: float = 0.35
+    #: Divergence multiplier per doubling of threads beyond the knee.
+    divergence_per_doubling: float = 0.17
+    #: Thread count beyond which divergence penalties kick in.
+    divergence_knee_threads: int = 512
+    #: Threads that cooperate on one motion ("lanes") per 64 total threads.
+    lanes_per_64_threads: int = 1
+
+
+@dataclass
+class ParallelRunResult:
+    """Executed-CDQ and runtime totals of one parallel configuration."""
+
+    threads: int
+    predicted: bool
+    cdqs_executed: int
+    runtime: float
+    stats: QueryStats
+
+
+def _wave_executed(serial_hit_position: int | None, total: int, lanes: int) -> int:
+    """Executed CDQs when scanning in waves of ``lanes`` with early exit.
+
+    ``serial_hit_position`` is the 1-based index of the first colliding CDQ
+    in the scan order (None if the motion is collision-free).
+    """
+    if serial_hit_position is None:
+        return total
+    waves = math.ceil(serial_hit_position / lanes)
+    return min(waves * lanes, total)
+
+
+def run_parallel_batch(
+    detector: CollisionDetector,
+    motions: list[Motion],
+    threads: int,
+    scheduler: PoseScheduler | None = None,
+    predictor: Predictor | None = None,
+    model: ParallelCostModel | None = None,
+) -> ParallelRunResult:
+    """Model a parallel run of the motion batch at a given thread count.
+
+    The serial Algorithm 1 execution provides the ground-truth CDQ order
+    and first-hit position per motion; the cost model lifts those onto
+    wave-granular parallel execution.
+    """
+    if threads < 1:
+        raise ValueError("threads must be positive")
+    model = model or ParallelCostModel()
+    lanes = max(1, (threads // 64) * model.lanes_per_64_threads)
+    stats = QueryStats()
+    total_executed = 0
+    total_waves = 0
+    total_predictions = 0
+
+    for motion in motions:
+        cdqs = detector.motion_cdqs(motion.start, motion.end, motion.num_poses, scheduler)
+        serial = QueryStats()
+        if predictor is None:
+            collided = detector.run_cdqs(cdqs, None, serial)
+            hit = serial.cdqs_executed if collided else None
+            executed = _wave_executed(hit, len(cdqs), lanes)
+        else:
+            collided = detector.run_cdqs(cdqs, predictor, serial)
+            # Prediction already reordered execution; the serial executed
+            # count is the effective scan length, rounded up to waves.
+            hit = serial.cdqs_executed if collided else None
+            executed = _wave_executed(hit, serial.cdqs_executed + serial.cdqs_skipped, lanes)
+            total_predictions += serial.predictions_made
+        stats.merge(serial)
+        total_executed += executed
+        total_waves += math.ceil(executed / lanes)
+
+    runtime = total_waves * model.cdq_cost
+    if predictor is not None:
+        contention = model.cht_contention_per_1k_threads * (threads / 1024.0)
+        runtime += total_predictions * model.cht_access_cost * (1.0 + contention) / lanes
+        if threads > model.divergence_knee_threads:
+            doublings = math.log2(threads / model.divergence_knee_threads)
+            runtime *= 1.0 + model.divergence_per_doubling * doublings
+    # CPU-style motion-level parallelism: motions themselves run in
+    # parallel across thread groups, dividing wall-clock time.
+    motion_groups = max(1, threads // max(lanes * 8, 1))
+    runtime /= motion_groups
+    return ParallelRunResult(
+        threads=threads,
+        predicted=predictor is not None,
+        cdqs_executed=total_executed,
+        runtime=runtime,
+        stats=stats,
+    )

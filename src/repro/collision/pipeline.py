@@ -1,0 +1,107 @@
+"""Batch harness: run many motion checks under a scheduler/predictor config.
+
+The evaluation sections compare *configurations* (scheduler x predictor)
+over a fixed population of motions. This module packages that loop,
+including the CHT reset between planning queries (Sec. IV) and aggregation
+of the executed-CDQ counters everything is normalized by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.predictor import Predictor
+from .detector import CollisionDetector
+from .queries import QueryStats
+from .scheduling import PoseScheduler
+
+__all__ = ["Motion", "BatchResult", "check_motion_batch", "compare_schedulers"]
+
+
+@dataclass
+class Motion:
+    """One motion-environment check request: a straight C-space segment."""
+
+    start: np.ndarray
+    end: np.ndarray
+    num_poses: int = 20
+
+    def __post_init__(self) -> None:
+        self.start = np.asarray(self.start, dtype=float)
+        self.end = np.asarray(self.end, dtype=float)
+        if self.num_poses < 2:
+            raise ValueError("a motion needs at least 2 poses")
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of a motion batch under one configuration."""
+
+    label: str
+    stats: QueryStats = field(default_factory=QueryStats)
+    outcomes: list[bool] = field(default_factory=list)
+
+    @property
+    def colliding_fraction(self) -> float:
+        """Fraction of checked motions that collided."""
+        return sum(self.outcomes) / len(self.outcomes) if self.outcomes else 0.0
+
+    @property
+    def cdqs_executed(self) -> int:
+        """Total executed CDQs across the batch."""
+        return self.stats.cdqs_executed
+
+    def reduction_vs(self, baseline: "BatchResult") -> float:
+        """Fractional CDQ reduction relative to a baseline configuration."""
+        if baseline.cdqs_executed == 0:
+            return 0.0
+        return 1.0 - self.cdqs_executed / baseline.cdqs_executed
+
+
+def check_motion_batch(
+    detector: CollisionDetector,
+    motions: list[Motion],
+    scheduler: PoseScheduler | None = None,
+    predictor: Predictor | None = None,
+    label: str = "config",
+    reset_predictor: bool = False,
+) -> BatchResult:
+    """Check every motion; optionally reset the predictor between motions.
+
+    Within a single planning query the CHT persists across motions (that is
+    the entire point of history-based prediction); ``reset_predictor=True``
+    models checking each motion as its own planning query.
+    """
+    result = BatchResult(label=label)
+    for motion in motions:
+        if reset_predictor and predictor is not None:
+            predictor.reset()
+        check = detector.check_motion(
+            motion.start, motion.end, motion.num_poses, scheduler, predictor
+        )
+        result.stats.merge(check.stats)
+        result.outcomes.append(check.collided)
+    return result
+
+
+def compare_schedulers(
+    detector: CollisionDetector,
+    motions: list[Motion],
+    configurations: dict,
+) -> dict[str, BatchResult]:
+    """Run the same motion batch under several (scheduler, predictor) pairs.
+
+    ``configurations`` maps a label to a ``(scheduler, predictor)`` tuple;
+    results are keyed by the same labels. Each configuration sees identical
+    motions, so executed-CDQ counts are directly comparable.
+    """
+    results = {}
+    for label, (scheduler, predictor) in configurations.items():
+        if predictor is not None:
+            predictor.reset()
+        results[label] = check_motion_batch(
+            detector, motions, scheduler, predictor, label=label
+        )
+    return results

@@ -1,0 +1,83 @@
+"""Collision Detection Query (CDQ) records and execution statistics.
+
+A CDQ is the unit of work everything in the paper counts: one intersection
+test between a single robot bounding volume and the environment (Sec. II-B).
+A pose-environment check is the OR over its links' CDQs; a motion check is
+the OR over the CDQs of its discretized poses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kinematics.link_geometry import LinkGeometry
+
+__all__ = ["CDQ", "QueryStats", "MotionCheckResult"]
+
+
+@dataclass
+class CDQ:
+    """One schedulable collision detection query.
+
+    Attributes
+    ----------
+    pose_index:
+        Index of the discretized pose this volume belongs to within its
+        motion (0 for standalone pose checks).
+    geometry:
+        The link volume and hash-input center.
+    pose:
+        The C-space pose vector (the key for POSE-family hashes).
+    """
+
+    pose_index: int
+    geometry: LinkGeometry
+    pose: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.pose = np.asarray(self.pose, dtype=float)
+
+
+@dataclass
+class QueryStats:
+    """Accumulated execution counters for one or more collision checks."""
+
+    cdqs_executed: int = 0
+    cdqs_skipped: int = 0
+    narrow_phase_tests: int = 0
+    predictions_made: int = 0
+    predicted_colliding: int = 0
+    motions_checked: int = 0
+    motions_colliding: int = 0
+    poses_checked: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another stats record into this one."""
+        self.cdqs_executed += other.cdqs_executed
+        self.cdqs_skipped += other.cdqs_skipped
+        self.narrow_phase_tests += other.narrow_phase_tests
+        self.predictions_made += other.predictions_made
+        self.predicted_colliding += other.predicted_colliding
+        self.motions_checked += other.motions_checked
+        self.motions_colliding += other.motions_colliding
+        self.poses_checked += other.poses_checked
+
+    @property
+    def total_cdqs(self) -> int:
+        """Executed plus skipped CDQs (the full query population)."""
+        return self.cdqs_executed + self.cdqs_skipped
+
+
+@dataclass
+class MotionCheckResult:
+    """Outcome of one motion-environment (or pose-environment) check."""
+
+    collided: bool
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def cdqs_executed(self) -> int:
+        """Shortcut to the executed-CDQ count."""
+        return self.stats.cdqs_executed

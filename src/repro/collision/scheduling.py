@@ -1,0 +1,100 @@
+"""CDQ scheduling policies (Fig. 1a-1c).
+
+* :class:`NaiveScheduler` — check discretized poses in path order
+  (P1, P2, ..., Pn).
+* :class:`CoarseStepScheduler` — the **CSP** policy of Shah et al. [43]:
+  physically distant poses first, by striding the pose sequence with a step
+  greater than 1 (step 3 turns P1..Pn into P1, P4, P7, ..., P2, P5, ...).
+  CSP is the baseline every prediction result in the paper is normalized to.
+* :class:`BisectionScheduler` — a classical alternative ordering (midpoint
+  first, then recursive midpoints); included as an extra baseline.
+
+A scheduler permutes *pose indices*; CDQ-level prioritization by predicted
+outcome happens downstream in the detector (Algorithm 1) or in the hardware
+Query Dispatcher.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["PoseScheduler", "NaiveScheduler", "CoarseStepScheduler", "BisectionScheduler"]
+
+
+class PoseScheduler(ABC):
+    """Produces the order in which a motion's discrete poses are checked."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def order(self, num_poses: int) -> list[int]:
+        """Return a permutation of ``range(num_poses)``."""
+
+    def _check(self, num_poses: int) -> None:
+        if num_poses < 1:
+            raise ValueError("num_poses must be positive")
+
+
+class NaiveScheduler(PoseScheduler):
+    """Sequential order from the start pose toward the goal (Fig. 1a)."""
+
+    name = "naive"
+
+    def order(self, num_poses: int) -> list[int]:
+        self._check(num_poses)
+        return list(range(num_poses))
+
+
+class CoarseStepScheduler(PoseScheduler):
+    """Coarse-step policy (CSP) of Shah et al. [43] (Fig. 1b).
+
+    With ``step = 3`` and 8 poses the order is 0, 3, 6, 1, 4, 7, 2, 5:
+    physically distant poses are probed first so a colliding region is
+    found after fewer CDQs than a linear scan.
+    """
+
+    name = "csp"
+
+    def __init__(self, step: int = 4):
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.step = int(step)
+
+    def order(self, num_poses: int) -> list[int]:
+        self._check(num_poses)
+        ordering = []
+        for offset in range(min(self.step, num_poses)):
+            ordering.extend(range(offset, num_poses, self.step))
+        return ordering
+
+
+class BisectionScheduler(PoseScheduler):
+    """Recursive-midpoint order: endpoints, midpoint, quarter points, ...
+
+    A classical van-der-Corput-style ordering used by OMPL's discrete
+    motion validator; provided as an additional non-predictive baseline.
+    """
+
+    name = "bisection"
+
+    def order(self, num_poses: int) -> list[int]:
+        self._check(num_poses)
+        if num_poses == 1:
+            return [0]
+        visited = [False] * num_poses
+        ordering = [0, num_poses - 1]
+        visited[0] = visited[num_poses - 1] = True
+        segments = [(0, num_poses - 1)]
+        while segments:
+            next_segments = []
+            for lo, hi in segments:
+                if hi - lo < 2:
+                    continue
+                mid = (lo + hi) // 2
+                if not visited[mid]:
+                    visited[mid] = True
+                    ordering.append(mid)
+                next_segments.append((lo, mid))
+                next_segments.append((mid, hi))
+            segments = next_segments
+        return ordering

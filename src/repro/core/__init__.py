@@ -1,0 +1,59 @@
+"""The paper's primary contribution: COORD collision prediction.
+
+This package holds the hash-function family (Sec. III-B/C), the Collision
+History Table (Sec. III-D), the predictor implementations, the learned-hash
+encoders, prediction-quality metrics, and the Fig. 13 statistical model of
+computation reduction.
+"""
+
+from .adaptive import STRATEGY_BY_DENSITY, AdaptiveCHTPredictor, ObstacleDensityEstimator
+from .cht import CollisionHistoryTable, shift_for_strategy
+from .encoders import LatentHash, train_coord_autoencoder, train_pose_autoencoder
+from .hashing import CoordHash, HashFunction, PoseFoldHash, PoseHash, PosePartHash
+from .metrics import ConfusionCounts, PredictionEvaluator
+from .mlp import MLP, DenseLayer, train_regression
+from .predictor import (
+    AlwaysPredictor,
+    CHTPredictor,
+    NeverPredictor,
+    OraclePredictor,
+    Predictor,
+    RandomPredictor,
+)
+from .statistical_model import (
+    ReductionEstimate,
+    estimate_reduction,
+    expected_cdqs_without_prediction,
+    simulate_reduction,
+)
+
+__all__ = [
+    "STRATEGY_BY_DENSITY",
+    "AdaptiveCHTPredictor",
+    "ObstacleDensityEstimator",
+    "CollisionHistoryTable",
+    "shift_for_strategy",
+    "LatentHash",
+    "train_coord_autoencoder",
+    "train_pose_autoencoder",
+    "CoordHash",
+    "HashFunction",
+    "PoseFoldHash",
+    "PoseHash",
+    "PosePartHash",
+    "ConfusionCounts",
+    "PredictionEvaluator",
+    "MLP",
+    "DenseLayer",
+    "train_regression",
+    "AlwaysPredictor",
+    "CHTPredictor",
+    "NeverPredictor",
+    "OraclePredictor",
+    "Predictor",
+    "RandomPredictor",
+    "ReductionEstimate",
+    "estimate_reduction",
+    "expected_cdqs_without_prediction",
+    "simulate_reduction",
+]

@@ -1,0 +1,123 @@
+"""Adaptive prediction strategy — the paper's stated future work.
+
+Section VI-A1: "there is scope to tune the value of S by using a heuristic
+to estimate environmental obstacle density (e.g., the number of voxels or
+the number of nodes in octree); we leave this to future work."
+
+This module implements that extension:
+
+* :class:`ObstacleDensityEstimator` approximates a scene's clutter level
+  from the fraction of occupied workspace voxels — exactly the "number of
+  voxels" heuristic the paper suggests. Mapping thresholds follow the
+  calibrated low/medium/high scene families of Sec. V.
+* :class:`AdaptiveCHTPredictor` picks the strategy weight ``S`` from the
+  estimated density using the paper's own Fig. 13 findings: aggressive
+  (S = 0) in sparse scenes where recall matters, balanced (S = 1/2) in
+  medium clutter, conservative (S = 2) in dense scenes where precision
+  matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..env.scene import Scene
+from ..env.voxels import voxelize_scene
+from ..geometry.aabb import AABB
+from .cht import CollisionHistoryTable
+from .hashing import HashFunction
+from .predictor import CHTPredictor, Predictor
+
+__all__ = ["ObstacleDensityEstimator", "AdaptiveCHTPredictor", "STRATEGY_BY_DENSITY"]
+
+#: Fig. 13's best strategy weight per clutter level.
+STRATEGY_BY_DENSITY = {"low": 0.0, "medium": 0.5, "high": 2.0}
+
+
+class ObstacleDensityEstimator:
+    """Estimates a scene's clutter level from voxel occupancy.
+
+    The estimator voxelizes the workspace once per scene (the same cheap
+    occupancy summary a mapping pipeline already produces) and thresholds
+    the occupied fraction into the paper's low/medium/high bands.
+    """
+
+    def __init__(
+        self,
+        bounds: AABB | None = None,
+        resolution: float = 0.15,
+        medium_threshold: float = 0.02,
+        high_threshold: float = 0.06,
+    ):
+        if high_threshold <= medium_threshold:
+            raise ValueError("thresholds must be ordered medium < high")
+        self.bounds = bounds if bounds is not None else AABB(np.full(3, -1.0), np.full(3, 1.0))
+        self.resolution = float(resolution)
+        self.medium_threshold = float(medium_threshold)
+        self.high_threshold = float(high_threshold)
+
+    def occupied_fraction(self, scene: Scene) -> float:
+        """Fraction of workspace voxels intersecting an obstacle."""
+        grid = voxelize_scene(scene, self.bounds, self.resolution)
+        total = int(np.prod(grid.shape))
+        return grid.num_occupied / total if total else 0.0
+
+    def classify(self, scene: Scene) -> str:
+        """Map a scene to ``"low"``, ``"medium"`` or ``"high"`` clutter."""
+        fraction = self.occupied_fraction(scene)
+        if fraction >= self.high_threshold:
+            return "high"
+        if fraction >= self.medium_threshold:
+            return "medium"
+        return "low"
+
+
+class AdaptiveCHTPredictor(Predictor):
+    """A CHT predictor whose ``S`` follows the estimated obstacle density.
+
+    Call :meth:`observe_environment` whenever a new environment
+    measurement arrives (the same event that resets the CHT); the
+    predictor re-estimates the density, selects ``S`` from
+    :data:`STRATEGY_BY_DENSITY`, and clears its history.
+    """
+
+    def __init__(
+        self,
+        hash_function: HashFunction,
+        table_size: int = 4096,
+        estimator: ObstacleDensityEstimator | None = None,
+        u: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        self.estimator = estimator if estimator is not None else ObstacleDensityEstimator()
+        self.u = float(u)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.inner = CHTPredictor(
+            hash_function,
+            CollisionHistoryTable(size=table_size, s=0.5, u=u, rng=self._rng),
+        )
+        self.current_density = "medium"
+
+    @property
+    def s(self) -> float:
+        """The currently selected strategy weight."""
+        return self.inner.table.s
+
+    def observe_environment(self, scene: Scene) -> str:
+        """Re-tune ``S`` for a newly measured environment; resets history."""
+        density = self.estimator.classify(scene)
+        self.current_density = density
+        table = self.inner.table
+        self.inner.table = CollisionHistoryTable(
+            size=table.size, s=STRATEGY_BY_DENSITY[density], u=self.u, rng=self._rng
+        )
+        return density
+
+    def predict(self, key) -> bool:
+        return self.inner.predict(key)
+
+    def observe(self, key, collided: bool) -> None:
+        self.inner.observe(key, collided)
+
+    def reset(self) -> None:
+        self.inner.reset()

@@ -1,0 +1,145 @@
+"""The Collision History Table (CHT) — Sec. III-D and IV.
+
+Each CHT entry holds two saturating counters: ``COLL`` counts colliding CDQs
+and ``NONCOLL`` collision-free CDQs observed under the same hash code since
+the last environment measurement. Two parameters shape the predictor:
+
+* **S** (aggressiveness): a query is predicted colliding when
+  ``COLL > S * NONCOLL``. ``S = 0`` is the most aggressive strategy and
+  degenerates the entry to a single bit (``NONCOLL`` is never consulted).
+* **U** (update frequency): every colliding CDQ updates the table, but only
+  a random fraction ``U`` of collision-free CDQs do, reducing table traffic.
+
+The hardware COPU implements the comparison as ``COLL > (NONCOLL >> x)``;
+:func:`shift_for_strategy` maps an ``S`` value onto that shift amount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CollisionHistoryTable", "shift_for_strategy"]
+
+#: 4-bit saturating counters, as stated in Sec. IV.
+COUNTER_BITS = 4
+COUNTER_MAX = (1 << COUNTER_BITS) - 1
+
+
+def shift_for_strategy(s: float) -> int | None:
+    """Map a strategy weight ``S`` to the hardware right-shift amount ``x``.
+
+    ``S = 1`` → shift 0, ``S = 1/2`` → shift 1, ``S = 1/4`` → shift 2, etc.
+    ``S = 0`` returns None (the NONCOLL counter is ignored entirely).
+    ``S = 2`` is realised as a left shift of the COLL side in hardware; we
+    return -1 to signal it.
+    """
+    if s == 0:
+        return None
+    if s >= 2:
+        return -1
+    shift = int(round(np.log2(1.0 / s)))
+    return max(shift, 0)
+
+
+class CollisionHistoryTable:
+    """A direct-mapped table of (COLL, NONCOLL) saturating counter pairs.
+
+    Parameters
+    ----------
+    size:
+        Number of entries. The paper uses 4096 for arm planning, 1024 for
+        2D planning (Sec. V).
+    s:
+        Prediction strategy weight (Sec. III-D). ``0 <= s <= 2`` typically.
+    u:
+        Update frequency for collision-free CDQs in ``[0, 1]``.
+    rng:
+        Source of randomness for the probabilistic NONCOLL updates. When
+        omitted, a fixed-seed generator is used (deterministic replays).
+    counter_bits:
+        Saturating-counter width; 4 in the paper's COPU, 1-bit tables are
+        modelled with ``s = 0``.
+    """
+
+    def __init__(
+        self,
+        size: int = 4096,
+        s: float = 1.0,
+        u: float = 1.0,
+        rng: np.random.Generator | None = None,
+        counter_bits: int = COUNTER_BITS,
+    ):
+        if size < 1:
+            raise ValueError("table size must be positive")
+        if s < 0:
+            raise ValueError("S must be non-negative")
+        if not 0.0 <= u <= 1.0:
+            raise ValueError("U must be in [0, 1]")
+        if counter_bits < 1:
+            raise ValueError("counters need at least one bit")
+        self.size = int(size)
+        self.s = float(s)
+        self.u = float(u)
+        self.counter_max = (1 << counter_bits) - 1
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.coll = np.zeros(self.size, dtype=np.int32)
+        self.noncoll = np.zeros(self.size, dtype=np.int32)
+        # Traffic statistics used by the energy model and the U-sweep bench.
+        self.reads = 0
+        self.writes = 0
+        self.skipped_updates = 0
+
+    def _index(self, code: int) -> int:
+        """Fold an arbitrary-width hash code onto the table size."""
+        return int(code) % self.size
+
+    def predict(self, code: int) -> bool:
+        """Return True when the entry predicts a collision (COLL > S*NONCOLL)."""
+        idx = self._index(code)
+        self.reads += 1
+        return bool(self.coll[idx] > self.s * self.noncoll[idx])
+
+    def entry(self, code: int) -> tuple[int, int]:
+        """Raw (COLL, NONCOLL) counter values for a hash code (no stats)."""
+        idx = self._index(code)
+        return int(self.coll[idx]), int(self.noncoll[idx])
+
+    def update(self, code: int, collided: bool) -> bool:
+        """Record a CDQ outcome. Returns True when the table was written.
+
+        Colliding outcomes always update (Sec. III-D observes this is
+        important for precision and recall); collision-free outcomes update
+        with probability ``U``.
+        """
+        if not collided and self.u < 1.0 and self.rng.random() >= self.u:
+            self.skipped_updates += 1
+            return False
+        idx = self._index(code)
+        if collided:
+            self.coll[idx] = min(self.coll[idx] + 1, self.counter_max)
+        else:
+            self.noncoll[idx] = min(self.noncoll[idx] + 1, self.counter_max)
+        self.writes += 1
+        return True
+
+    def reset(self) -> None:
+        """Clear all counters (new motion-planning query / new environment).
+
+        Sec. IV: "All entries ... are reset to zero after each motion
+        planning query, as obstacle positions might change."
+        """
+        self.coll.fill(0)
+        self.noncoll.fill(0)
+
+    def occupancy(self) -> float:
+        """Fraction of entries with any recorded history (density metric)."""
+        touched = np.count_nonzero((self.coll + self.noncoll) > 0)
+        return touched / float(self.size)
+
+    def storage_bits(self) -> int:
+        """Total SRAM bits of the table (for the area/energy model)."""
+        if self.s == 0:
+            # S = 0 needs only the one-bit "seen a collision" flag per entry.
+            return self.size
+        per_entry = 2 * int(np.ceil(np.log2(self.counter_max + 1)))
+        return self.size * per_entry

@@ -1,0 +1,108 @@
+"""Learned latent-space hash functions: ENPOSE and ENCOORD.
+
+Section III-B: "We train a small encoder-decoder network on 32,768 random
+poses using the loss between input poses and decoded poses. One-layer MLPs
+are used as the encoder and decoder... We explore 2 and 4-dimensional latent
+space representation and quantize latent space representation to generate
+hash code." Section III-C applies the same recipe to link centers
+(**ENCOORD**).
+
+The paper's finding — that latent representations do *not* preserve physical
+spatial locality, giving ENPOSE near-random precision — is an emergent
+property of the autoencoder, and reproduces here without any special
+handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hashing import HashFunction, _pack_bits, quantize_to_bits
+from .mlp import MLP, train_regression
+
+__all__ = ["LatentHash", "train_pose_autoencoder", "train_coord_autoencoder"]
+
+#: Training-set size from Sec. III-B. Benches may shrink this for speed.
+PAPER_TRAINING_POSES = 32768
+
+
+class LatentHash(HashFunction):
+    """Hash = quantized latent code of a trained encoder.
+
+    Instantiated as **ENPOSE** when the encoder was trained on C-space poses
+    and **ENCOORD** when trained on link-center coordinates.
+    """
+
+    def __init__(self, encoder: MLP, latent_ranges: np.ndarray, bits_per_dim: int, expected_input: int):
+        self.encoder = encoder
+        self.latent_ranges = np.asarray(latent_ranges, dtype=float)
+        if self.latent_ranges.ndim != 2 or self.latent_ranges.shape[1] != 2:
+            raise ValueError("latent_ranges must be (latent_dim, 2)")
+        self.bits_per_dim = int(bits_per_dim)
+        self.expected_input = int(expected_input)
+        self.latent_dim = self.latent_ranges.shape[0]
+
+    @property
+    def code_bits(self) -> int:
+        return self.bits_per_dim * self.latent_dim
+
+    def __call__(self, key) -> int:
+        x = np.asarray(key, dtype=float).reshape(-1)
+        if x.shape[0] != self.expected_input:
+            raise ValueError(f"expected input of size {self.expected_input}, got {x.shape[0]}")
+        latent = self.encoder.predict(x)
+        cells = quantize_to_bits(
+            latent, self.latent_ranges[:, 0], self.latent_ranges[:, 1], self.bits_per_dim
+        )
+        return _pack_bits(cells, self.bits_per_dim)
+
+
+def _train_autoencoder(
+    samples: np.ndarray,
+    latent_dim: int,
+    bits_per_dim: int,
+    rng: np.random.Generator,
+    epochs: int,
+) -> LatentHash:
+    """Train a one-layer encoder/decoder pair and wrap the encoder."""
+    dim = samples.shape[1]
+    # One-layer encoder and one-layer decoder, trained jointly (Sec. III-B).
+    autoencoder = MLP.create(rng, [dim, latent_dim, dim], hidden_activation="tanh")
+    train_regression(autoencoder, samples, samples, rng, epochs=epochs, batch_size=128, lr=0.02)
+    encoder = MLP(autoencoder.layers[:1])
+    latents = encoder.forward(samples)
+    lo = latents.min(axis=0)
+    hi = latents.max(axis=0)
+    span = np.maximum(hi - lo, 1e-6)
+    ranges = np.stack([lo, lo + span], axis=1)
+    return LatentHash(encoder, ranges, bits_per_dim, expected_input=dim)
+
+
+def train_pose_autoencoder(
+    joint_limits: np.ndarray,
+    rng: np.random.Generator,
+    latent_dim: int = 2,
+    bits_per_dim: int = 6,
+    num_samples: int = PAPER_TRAINING_POSES,
+    epochs: int = 30,
+) -> LatentHash:
+    """Train **ENPOSE**: a latent hash over random C-space poses."""
+    joint_limits = np.asarray(joint_limits, dtype=float)
+    samples = rng.uniform(
+        joint_limits[:, 0], joint_limits[:, 1], size=(num_samples, joint_limits.shape[0])
+    )
+    return _train_autoencoder(samples, latent_dim, bits_per_dim, rng, epochs)
+
+
+def train_coord_autoencoder(
+    centers: np.ndarray,
+    rng: np.random.Generator,
+    latent_dim: int = 2,
+    bits_per_dim: int = 6,
+    epochs: int = 30,
+) -> LatentHash:
+    """Train **ENCOORD**: a latent hash over observed link centers."""
+    centers = np.asarray(centers, dtype=float)
+    if centers.ndim != 2 or centers.shape[1] != 3:
+        raise ValueError("centers must be (N, 3)")
+    return _train_autoencoder(centers, latent_dim, bits_per_dim, rng, epochs)

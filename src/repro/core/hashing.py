@@ -1,0 +1,201 @@
+"""Hash functions that index the Collision History Table.
+
+Section III explores a family of hashing strategies whose goal is to group
+*physically nearby* robot positions under the same hash code:
+
+* C-space hashes (Sec. III-B), applied to the joint-value vector:
+  - :class:`PoseHash` (**POSE**): quantize every DOF to ``k`` bits.
+  - :class:`PosePartHash` (**POSE-part**): quantize only the first two DOFs
+    (the ones nearest the base dominate physical locality, Fig. 8c).
+  - :class:`PoseFoldHash` (**POSE+fold**): XOR-fold the POSE code down to a
+    smaller table index.
+  - :class:`EncodedPoseHash` (**ENPOSE**): quantize a learned latent-space
+    representation of the pose (see :mod:`repro.core.encoders`).
+* Physical-space hashes (Sec. III-C), applied per link:
+  - :class:`CoordHash` (**COORD**, the paper's proposal): take the top ``k``
+    MSBs of the 16-bit fixed-point Cartesian coordinates of a link's center
+    (Fig. 10).
+  - :class:`EncodedCoordHash` (**ENCOORD**): quantize a learned latent
+    representation of the link center.
+
+C-space hashes produce one code per *pose*; physical-space hashes produce
+one code per *link volume*. Both expose the same callable protocol so the
+prediction layer is agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..geometry.fixedpoint import DEFAULT_WORKSPACE_FORMAT, FixedPointFormat
+
+__all__ = [
+    "HashFunction",
+    "PoseHash",
+    "PosePartHash",
+    "PoseFoldHash",
+    "CoordHash",
+    "quantize_to_bits",
+]
+
+
+def quantize_to_bits(values: np.ndarray, lows: np.ndarray, highs: np.ndarray, k: int) -> np.ndarray:
+    """Quantize each value of a vector into ``k`` bits over its own range.
+
+    Values are clipped into ``[low, high)`` per dimension and mapped to the
+    integer cell index in ``[0, 2**k)``. This is the "take k MSBs of the
+    fixed-point representation" operation of Sec. III-B.
+    """
+    if k < 1:
+        raise ValueError("need at least one bit per dimension")
+    values = np.asarray(values, dtype=float)
+    span = highs - lows
+    scaled = (values - lows) / span
+    cells = np.floor(scaled * (1 << k)).astype(np.int64)
+    return np.clip(cells, 0, (1 << k) - 1)
+
+
+def _pack_bits(cells: np.ndarray, k: int) -> int:
+    """Concatenate per-dimension k-bit cells into one integer hash code."""
+    code = 0
+    for cell in cells:
+        code = (code << k) | int(cell)
+    return code
+
+
+class HashFunction(ABC):
+    """Maps a prediction key to an integer hash code in ``[0, table_size)``.
+
+    ``key`` is whatever the strategy hashes: a C-space pose vector for the
+    POSE family, a 3-vector link center for the COORD family.
+    """
+
+    @property
+    @abstractmethod
+    def code_bits(self) -> int:
+        """Bit width of the produced hash code."""
+
+    @abstractmethod
+    def __call__(self, key) -> int:
+        """Hash a key to an integer in ``[0, 2**code_bits)``."""
+
+    @property
+    def table_size(self) -> int:
+        """Number of CHT entries this hash function addresses."""
+        return 1 << self.code_bits
+
+
+class PoseHash(HashFunction):
+    """POSE: quantize every DOF of the C-space pose to ``bits_per_dof`` bits."""
+
+    def __init__(self, joint_limits: np.ndarray, bits_per_dof: int = 3):
+        self.joint_limits = np.asarray(joint_limits, dtype=float)
+        if self.joint_limits.ndim != 2 or self.joint_limits.shape[1] != 2:
+            raise ValueError("joint_limits must be (dof, 2)")
+        self.bits_per_dof = int(bits_per_dof)
+        self.dof = self.joint_limits.shape[0]
+
+    @property
+    def code_bits(self) -> int:
+        return self.bits_per_dof * self.dof
+
+    def __call__(self, key) -> int:
+        q = np.asarray(key, dtype=float).reshape(-1)
+        if q.shape[0] != self.dof:
+            raise ValueError(f"expected a {self.dof}-DOF pose")
+        cells = quantize_to_bits(
+            q, self.joint_limits[:, 0], self.joint_limits[:, 1], self.bits_per_dof
+        )
+        return _pack_bits(cells, self.bits_per_dof)
+
+
+class PosePartHash(HashFunction):
+    """POSE-part: hash only the first ``num_dofs`` joints (base-most DOFs).
+
+    Fig. 8b/8c motivates this: DOFs close to the base dominate the physical
+    space a pose occupies, so a partial hash preserves more physical
+    locality per table entry than hashing every joint.
+    """
+
+    def __init__(self, joint_limits: np.ndarray, bits_per_dof: int = 4, num_dofs: int = 2):
+        joint_limits = np.asarray(joint_limits, dtype=float)
+        if num_dofs < 1 or num_dofs > joint_limits.shape[0]:
+            raise ValueError("num_dofs out of range")
+        self.inner = PoseHash(joint_limits[:num_dofs], bits_per_dof)
+        self.num_dofs = num_dofs
+        self.full_dof = joint_limits.shape[0]
+
+    @property
+    def code_bits(self) -> int:
+        return self.inner.code_bits
+
+    def __call__(self, key) -> int:
+        q = np.asarray(key, dtype=float).reshape(-1)
+        if q.shape[0] != self.full_dof:
+            raise ValueError(f"expected a {self.full_dof}-DOF pose")
+        return self.inner(q[: self.num_dofs])
+
+
+class PoseFoldHash(HashFunction):
+    """POSE+fold: XOR-fold the long POSE code down to ``folded_bits`` bits.
+
+    Folding shrinks and densifies the table but destroys physical locality
+    (distant poses alias), which the paper observes as higher recall at the
+    cost of precision.
+    """
+
+    def __init__(self, joint_limits: np.ndarray, bits_per_dof: int = 3, folded_bits: int = 12):
+        self.inner = PoseHash(joint_limits, bits_per_dof)
+        if folded_bits < 1 or folded_bits > self.inner.code_bits:
+            raise ValueError("folded_bits must be in [1, full code width]")
+        self.folded_bits = int(folded_bits)
+
+    @property
+    def code_bits(self) -> int:
+        return self.folded_bits
+
+    def __call__(self, key) -> int:
+        code = self.inner(key)
+        folded = 0
+        mask = (1 << self.folded_bits) - 1
+        while code:
+            folded ^= code & mask
+            code >>= self.folded_bits
+        return folded
+
+
+class CoordHash(HashFunction):
+    """COORD: the paper's proposed hash over a link-center's coordinates.
+
+    Each Cartesian coordinate of the link center is encoded as a 16-bit
+    fixed-point value and the top ``bits_per_axis`` MSBs of each axis are
+    concatenated (Fig. 10). Physically nearby link positions — regardless of
+    which joint values produced them — share a code.
+    """
+
+    def __init__(
+        self,
+        bits_per_axis: int = 4,
+        fmt: FixedPointFormat = DEFAULT_WORKSPACE_FORMAT,
+    ):
+        if not 1 <= bits_per_axis <= fmt.word_bits:
+            raise ValueError("bits_per_axis out of range")
+        self.bits_per_axis = int(bits_per_axis)
+        self.fmt = fmt
+
+    @property
+    def code_bits(self) -> int:
+        return 3 * self.bits_per_axis
+
+    def __call__(self, key) -> int:
+        center = np.asarray(key, dtype=float).reshape(-1)
+        if center.shape[0] != 3:
+            raise ValueError("COORD hashes a 3-vector link center")
+        cells = self.fmt.msbs(center, self.bits_per_axis)
+        return _pack_bits(cells, self.bits_per_axis)
+
+    def cell_size(self) -> float:
+        """Physical edge length of one hash bin."""
+        return (self.fmt.hi - self.fmt.lo) / float(1 << self.bits_per_axis)

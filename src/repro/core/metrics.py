@@ -1,0 +1,92 @@
+"""Prediction-quality metrics: precision, recall, and confusion tracking.
+
+The paper's definitions (Sec. III-B): *precision* is the fraction of
+poses/queries predicted colliding that actually collide; *recall* is the
+fraction of actually colliding poses/queries that were predicted colliding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConfusionCounts", "PredictionEvaluator"]
+
+
+@dataclass
+class ConfusionCounts:
+    """A binary confusion matrix over CDQ predictions."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of scored predictions."""
+        return self.true_positive + self.false_positive + self.true_negative + self.false_negative
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+        predicted = self.true_positive + self.false_positive
+        return self.true_positive / predicted if predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 0.0 when nothing was actually positive."""
+        actual = self.true_positive + self.false_negative
+        return self.true_positive / actual if actual else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total; 0.0 when empty."""
+        return (self.true_positive + self.true_negative) / self.total if self.total else 0.0
+
+    @property
+    def base_rate(self) -> float:
+        """Fraction of scored queries that actually collided."""
+        actual = self.true_positive + self.false_negative
+        return actual / self.total if self.total else 0.0
+
+    def record(self, predicted: bool, actual: bool) -> None:
+        """Score one prediction against its ground truth."""
+        if predicted and actual:
+            self.true_positive += 1
+        elif predicted and not actual:
+            self.false_positive += 1
+        elif not predicted and actual:
+            self.false_negative += 1
+        else:
+            self.true_negative += 1
+
+    def merged(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        """Return the element-wise sum of two confusion matrices."""
+        return ConfusionCounts(
+            true_positive=self.true_positive + other.true_positive,
+            false_positive=self.false_positive + other.false_positive,
+            true_negative=self.true_negative + other.true_negative,
+            false_negative=self.false_negative + other.false_negative,
+        )
+
+
+class PredictionEvaluator:
+    """Drives a predictor over labelled queries and scores it.
+
+    Mirrors the paper's design-space methodology (Sec. V): iterate keys with
+    known ground-truth outcomes, score ``predict`` before feeding the truth
+    back through ``observe`` — i.e. the predictor is always evaluated on
+    queries it has not yet been updated with.
+    """
+
+    def __init__(self, predictor):
+        self.predictor = predictor
+        self.counts = ConfusionCounts()
+
+    def run(self, labelled_keys) -> ConfusionCounts:
+        """Score the predictor over an iterable of (key, collided) pairs."""
+        for key, collided in labelled_keys:
+            predicted = self.predictor.predict(key)
+            self.counts.record(predicted, bool(collided))
+            self.predictor.observe(key, bool(collided))
+        return self.counts

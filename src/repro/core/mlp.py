@@ -1,0 +1,161 @@
+"""A minimal numpy multi-layer perceptron with SGD training.
+
+Three of the paper's components use small neural networks:
+
+* ENPOSE / ENCOORD hashing train "one-layer MLP" encoder-decoder pairs on
+  random poses / link centers (Sec. III-B, III-C).
+* The MPNet-style planner's sampler network (Sec. V) — substituted here by
+  an MLP trained online by imitation (see DESIGN.md substitution #1).
+
+Since the offline environment has no deep-learning framework, this module
+implements dense layers, tanh/ReLU activations, mean-squared-error loss and
+mini-batch SGD with momentum from scratch on numpy. It is intentionally
+tiny — the paper's encoders are single-layer — but fully functional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DenseLayer", "MLP", "train_regression"]
+
+_ACTIVATIONS = {
+    "linear": (lambda x: x, lambda x, y: np.ones_like(x)),
+    "tanh": (np.tanh, lambda x, y: 1.0 - y**2),
+    "relu": (lambda x: np.maximum(x, 0.0), lambda x, y: (x > 0).astype(float)),
+}
+
+
+@dataclass
+class DenseLayer:
+    """One fully-connected layer with an element-wise activation."""
+
+    weights: np.ndarray
+    bias: np.ndarray
+    activation: str = "tanh"
+    _cache: tuple | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+    @classmethod
+    def create(cls, rng: np.random.Generator, fan_in: int, fan_out: int, activation: str = "tanh"):
+        """Xavier-initialized layer."""
+        scale = np.sqrt(2.0 / (fan_in + fan_out))
+        return cls(
+            weights=rng.normal(0.0, scale, size=(fan_in, fan_out)),
+            bias=np.zeros(fan_out),
+            activation=activation,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches pre-activations for the backward pass."""
+        pre = x @ self.weights + self.bias
+        act_fn, _ = _ACTIVATIONS[self.activation]
+        out = act_fn(pre)
+        self._cache = (x, pre, out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward pass. Returns (grad_input, grad_weights, grad_bias)."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, pre, out = self._cache
+        _, act_grad = _ACTIVATIONS[self.activation]
+        grad_pre = grad_out * act_grad(pre, out)
+        grad_w = x.T @ grad_pre / x.shape[0]
+        grad_b = grad_pre.mean(axis=0)
+        grad_in = grad_pre @ self.weights.T
+        return grad_in, grad_w, grad_b
+
+
+class MLP:
+    """A feed-forward stack of :class:`DenseLayer`."""
+
+    def __init__(self, layers: list[DenseLayer]):
+        if not layers:
+            raise ValueError("an MLP needs at least one layer")
+        self.layers = layers
+
+    @classmethod
+    def create(
+        cls,
+        rng: np.random.Generator,
+        sizes: list[int],
+        hidden_activation: str = "tanh",
+        output_activation: str = "linear",
+    ) -> "MLP":
+        """Build an MLP with the given layer ``sizes`` (input first)."""
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        layers = []
+        for i in range(len(sizes) - 1):
+            activation = output_activation if i == len(sizes) - 2 else hidden_activation
+            layers.append(DenseLayer.create(rng, sizes[i], sizes[i + 1], activation))
+        return cls(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run a (batch, features) array through every layer."""
+        out = np.atleast_2d(np.asarray(x, dtype=float))
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def predict(self, x) -> np.ndarray:
+        """Forward pass for a single example, returned as a 1-D vector."""
+        return self.forward(np.atleast_2d(x))[0]
+
+    def train_step(self, x: np.ndarray, target: np.ndarray, lr: float, velocities: list) -> float:
+        """One SGD-with-momentum step on MSE loss; returns the batch loss."""
+        out = self.forward(x)
+        diff = out - np.atleast_2d(target)
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.shape[1]
+        for idx in range(len(self.layers) - 1, -1, -1):
+            grad, grad_w, grad_b = self.layers[idx].backward(grad)
+            vel_w, vel_b = velocities[idx]
+            vel_w *= 0.9
+            vel_w -= lr * grad_w
+            vel_b *= 0.9
+            vel_b -= lr * grad_b
+            self.layers[idx].weights += vel_w
+            self.layers[idx].bias += vel_b
+        return loss
+
+    def init_velocities(self) -> list:
+        """Zeroed momentum buffers, one (w, b) pair per layer."""
+        return [
+            (np.zeros_like(layer.weights), np.zeros_like(layer.bias)) for layer in self.layers
+        ]
+
+
+def train_regression(
+    model: MLP,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+    epochs: int = 50,
+    batch_size: int = 64,
+    lr: float = 0.05,
+) -> list[float]:
+    """Mini-batch SGD on mean-squared error. Returns per-epoch losses."""
+    inputs = np.asarray(inputs, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if inputs.shape[0] != targets.shape[0]:
+        raise ValueError("inputs and targets must have equal row counts")
+    velocities = model.init_velocities()
+    losses = []
+    n = inputs.shape[0]
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            batch = order[start : start + batch_size]
+            epoch_loss += model.train_step(inputs[batch], targets[batch], lr, velocities)
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+    return losses

@@ -1,0 +1,122 @@
+"""Collision predictors.
+
+The predictor protocol has two operations mirroring the COPU datapath:
+``predict(key)`` guesses whether a CDQ with that key will collide, and
+``observe(key, outcome)`` feeds the executed CDQ's result back. Keys are
+whatever the installed hash function consumes (link centers for COORD,
+pose vectors for the POSE family).
+
+Besides the CHT-backed predictor this module provides the reference
+predictors used by the paper's studies: the **Oracle** (perfect prediction,
+used by the limit studies of Sec. III-A), a **random** predictor matching
+the base collision probability (the precision baseline of Fig. 9), and a
+**never-collides** predictor (equivalent to no prediction).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from .cht import CollisionHistoryTable
+from .hashing import HashFunction
+
+__all__ = [
+    "Predictor",
+    "CHTPredictor",
+    "OraclePredictor",
+    "RandomPredictor",
+    "NeverPredictor",
+    "AlwaysPredictor",
+]
+
+
+class Predictor(ABC):
+    """Common interface for all collision predictors."""
+
+    @abstractmethod
+    def predict(self, key) -> bool:
+        """Return True when a CDQ with this key is predicted to collide."""
+
+    def observe(self, key, collided: bool) -> None:
+        """Feed back the executed CDQ's real outcome (default: ignore)."""
+
+    def reset(self) -> None:
+        """Forget all history (new planning query / environment)."""
+
+
+class CHTPredictor(Predictor):
+    """The paper's predictor: a hash function over a Collision History Table.
+
+    Instantiating with :class:`~repro.core.hashing.CoordHash` yields COORD;
+    with the POSE-family hashes it yields the Sec. III-B ablations.
+    """
+
+    def __init__(self, hash_function: HashFunction, table: CollisionHistoryTable):
+        self.hash_function = hash_function
+        self.table = table
+
+    @classmethod
+    def create(
+        cls,
+        hash_function: HashFunction,
+        table_size: int = 4096,
+        s: float = 1.0,
+        u: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> "CHTPredictor":
+        """Convenience constructor wiring a fresh CHT to a hash function."""
+        return cls(hash_function, CollisionHistoryTable(size=table_size, s=s, u=u, rng=rng))
+
+    def predict(self, key) -> bool:
+        return self.table.predict(self.hash_function(key))
+
+    def observe(self, key, collided: bool) -> None:
+        self.table.update(self.hash_function(key), collided)
+
+    def reset(self) -> None:
+        self.table.reset()
+
+
+class OraclePredictor(Predictor):
+    """Perfect predictor used by the Sec. III-A limit study.
+
+    The oracle consults ground truth: the caller provides a function that
+    computes the real CDQ outcome for a key's volume. (The limit-study
+    harness passes a closure over the scene.)
+    """
+
+    def __init__(self, ground_truth: Callable[[object], bool]):
+        self.ground_truth = ground_truth
+
+    def predict(self, key) -> bool:
+        return bool(self.ground_truth(key))
+
+
+class RandomPredictor(Predictor):
+    """Predicts collision with a fixed probability (Fig. 9 baseline)."""
+
+    def __init__(self, probability: float, rng: np.random.Generator | None = None):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = float(probability)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def predict(self, key) -> bool:
+        return bool(self.rng.random() < self.probability)
+
+
+class NeverPredictor(Predictor):
+    """Never predicts collision: the no-prediction baseline."""
+
+    def predict(self, key) -> bool:
+        return False
+
+
+class AlwaysPredictor(Predictor):
+    """Always predicts collision (degenerate upper bound on recall)."""
+
+    def predict(self, key) -> bool:
+        return True

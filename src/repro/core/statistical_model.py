@@ -1,0 +1,134 @@
+"""Statistical model of computation reduction from prediction (Fig. 13).
+
+Section VI-A1: "We also report approximate computation reductions achieved
+by collision prediction using a statistical model. This statistical model
+considers the baseline collision probability, precision, and recall and
+provides the potential decrease in the number of CDQs executed for collision
+check of a motion consisting of 80 CDQs."
+
+Model: a motion comprises ``N`` i.i.d. CDQs, each colliding with probability
+``p``. Collision detection stops at the first colliding CDQ (the OR early
+exit, Sec. III-A). A predictor with precision ``pi`` and recall ``r`` flags
+CDQs; flagged CDQs execute first. The model computes the expected number of
+executed CDQs with and without prediction and the resulting reduction.
+
+A Monte-Carlo estimator with identical assumptions is provided for
+validating the closed-form expectation in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReductionEstimate", "expected_cdqs_without_prediction", "estimate_reduction", "simulate_reduction"]
+
+#: Motion length used by the paper's Fig. 13 model.
+PAPER_MOTION_CDQS = 80
+
+
+def expected_cdqs_without_prediction(num_cdqs: int, collision_prob: float) -> float:
+    """Expected CDQs executed by an unordered scan with early exit.
+
+    With per-CDQ collision probability ``p``, the scan stops at the first
+    hit: ``E = sum_{k=0}^{N-1} (1-p)^k``.
+    """
+    if num_cdqs < 1:
+        raise ValueError("a motion needs at least one CDQ")
+    if not 0.0 <= collision_prob <= 1.0:
+        raise ValueError("collision probability must be in [0, 1]")
+    if collision_prob == 0.0:
+        return float(num_cdqs)
+    miss = 1.0 - collision_prob
+    return (1.0 - miss**num_cdqs) / collision_prob
+
+
+def false_positive_rate(collision_prob: float, precision: float, recall: float) -> float:
+    """Per-free-CDQ flag probability implied by (p, precision, recall)."""
+    if precision <= 0.0:
+        return 1.0
+    if collision_prob >= 1.0:
+        return 0.0
+    rate = collision_prob * recall * (1.0 - precision) / (precision * (1.0 - collision_prob))
+    return float(min(rate, 1.0))
+
+
+@dataclass(frozen=True)
+class ReductionEstimate:
+    """Output of the statistical model."""
+
+    baseline_cdqs: float
+    predicted_cdqs: float
+
+    @property
+    def reduction(self) -> float:
+        """Fractional decrease in executed CDQs (positive = fewer CDQs)."""
+        if self.baseline_cdqs == 0.0:
+            return 0.0
+        return 1.0 - self.predicted_cdqs / self.baseline_cdqs
+
+
+def estimate_reduction(
+    collision_prob: float,
+    precision: float,
+    recall: float,
+    num_cdqs: int = PAPER_MOTION_CDQS,
+) -> ReductionEstimate:
+    """Exact expected CDQ reduction for a motion of ``num_cdqs``.
+
+    CDQs are i.i.d.; the predicted schedule scans flagged CDQs first (in
+    index order), then unflagged ones. A CDQ is executed iff no colliding
+    CDQ precedes it in that scan order, so the expectation is a sum of
+    per-item execution probabilities. With per-item probabilities
+    ``a`` = colliding-and-flagged and ``b`` = colliding-and-unflagged:
+
+    * flagged item at index i executes with probability
+      ``q_f * (1-a)^(i-1)`` (no earlier colliding-flagged item);
+    * unflagged item at index i executes with probability
+      ``(1-q_f) * (1-p)^(i-1) * (1-a)^(N-i)`` (no earlier colliding item
+      of either kind, and no colliding-flagged item anywhere after it).
+    """
+    if not 0.0 <= precision <= 1.0 or not 0.0 <= recall <= 1.0:
+        raise ValueError("precision and recall must be in [0, 1]")
+    p = collision_prob
+    baseline = expected_cdqs_without_prediction(num_cdqs, p)
+    fpr = false_positive_rate(p, precision, recall)
+    a = p * recall
+    flag_prob = a + (1.0 - p) * fpr
+    expected = 0.0
+    for i in range(1, num_cdqs + 1):
+        expected += flag_prob * (1.0 - a) ** (i - 1)
+        expected += (1.0 - flag_prob) * (1.0 - p) ** (i - 1) * (1.0 - a) ** (num_cdqs - i)
+    return ReductionEstimate(baseline_cdqs=baseline, predicted_cdqs=expected)
+
+
+def simulate_reduction(
+    collision_prob: float,
+    precision: float,
+    recall: float,
+    num_cdqs: int = PAPER_MOTION_CDQS,
+    num_motions: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> ReductionEstimate:
+    """Monte-Carlo estimate under the same assumptions as the closed form."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    fpr = false_positive_rate(collision_prob, precision, recall)
+    baseline_total = 0.0
+    predicted_total = 0.0
+    for _ in range(num_motions):
+        colliding = rng.random(num_cdqs) < collision_prob
+        flagged = np.where(
+            colliding, rng.random(num_cdqs) < recall, rng.random(num_cdqs) < fpr
+        )
+        # Baseline: scan in given order until first hit.
+        hits = np.flatnonzero(colliding)
+        baseline_total += (hits[0] + 1) if hits.size else num_cdqs
+        # Predicted: flagged first (stable order), then the rest.
+        order = np.concatenate([np.flatnonzero(flagged), np.flatnonzero(~flagged)])
+        ordered_hits = np.flatnonzero(colliding[order])
+        predicted_total += (ordered_hits[0] + 1) if ordered_hits.size else num_cdqs
+    return ReductionEstimate(
+        baseline_cdqs=baseline_total / num_motions,
+        predicted_cdqs=predicted_total / num_motions,
+    )

@@ -1,0 +1,38 @@
+"""Environments: obstacle scenes, random generators, voxel grids, octrees."""
+
+from .generators import (
+    DENSITY_TARGETS,
+    ClutterSpec,
+    calibrated_clutter_scene,
+    measure_collision_rate,
+    narrow_gap_arm_scene,
+    narrow_passage_2d_scene,
+    random_2d_scene,
+    random_clutter_scene,
+    tabletop_scene,
+)
+from .dynamic import DynamicScene, ObstacleTrack, history_carryover_validity
+from .octree import MotionOctree, OctreeNode, build_motion_octree
+from .scene import Scene
+from .voxels import VoxelGrid, voxelize_scene
+
+__all__ = [
+    "DENSITY_TARGETS",
+    "ClutterSpec",
+    "calibrated_clutter_scene",
+    "measure_collision_rate",
+    "narrow_gap_arm_scene",
+    "narrow_passage_2d_scene",
+    "random_2d_scene",
+    "random_clutter_scene",
+    "tabletop_scene",
+    "DynamicScene",
+    "ObstacleTrack",
+    "history_carryover_validity",
+    "MotionOctree",
+    "OctreeNode",
+    "build_motion_octree",
+    "Scene",
+    "VoxelGrid",
+    "voxelize_scene",
+]

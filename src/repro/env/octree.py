@@ -1,0 +1,126 @@
+"""Octree representation of a robot motion's swept volume.
+
+Dadu-P [31] precomputes, offline, an octree per candidate short motion
+describing the workspace the robot sweeps while executing it. At runtime a
+CDQ asks whether one environment voxel lies inside a motion's octree. We
+implement a real hierarchical octree (uniform subdivision, leaves marked
+full/empty/mixed) built by sweeping the robot's pose OBBs along the motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.aabb import AABB, aabb_overlap
+from ..geometry.obb import OBB, obb_overlap
+
+__all__ = ["OctreeNode", "MotionOctree", "build_motion_octree"]
+
+
+@dataclass
+class OctreeNode:
+    """One octree cell: either a leaf (full or empty) or eight children."""
+
+    bounds: AABB
+    full: bool = False
+    children: list["OctreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node has no children."""
+        return not self.children
+
+    def contains_point(self, point) -> bool:
+        """Descend the tree: is ``point`` inside swept (full) space?"""
+        if not self.bounds.contains_point(point):
+            return False
+        if self.is_leaf:
+            return self.full
+        return any(child.contains_point(point) for child in self.children)
+
+    def count_nodes(self) -> int:
+        """Total node count (tree-size metric for the offline store)."""
+        return 1 + sum(child.count_nodes() for child in self.children)
+
+    def count_full_leaves(self) -> int:
+        """Number of fully-occupied leaf cells."""
+        if self.is_leaf:
+            return 1 if self.full else 0
+        return sum(child.count_full_leaves() for child in self.children)
+
+
+def _octants(bounds: AABB) -> list[AABB]:
+    """Split an AABB into its eight octant children."""
+    mid = bounds.center
+    children = []
+    for sx in (0, 1):
+        for sy in (0, 1):
+            for sz in (0, 1):
+                lo = np.array(
+                    [
+                        bounds.lo[0] if sx == 0 else mid[0],
+                        bounds.lo[1] if sy == 0 else mid[1],
+                        bounds.lo[2] if sz == 0 else mid[2],
+                    ]
+                )
+                hi = np.array(
+                    [
+                        mid[0] if sx == 0 else bounds.hi[0],
+                        mid[1] if sy == 0 else bounds.hi[1],
+                        mid[2] if sz == 0 else bounds.hi[2],
+                    ]
+                )
+                children.append(AABB(lo, hi))
+    return children
+
+
+def _build_node(bounds: AABB, boxes: list[OBB], depth: int, max_depth: int) -> OctreeNode:
+    """Recursively classify ``bounds`` against the swept-volume boxes."""
+    cell = bounds.to_obb()
+    touching = [box for box in boxes if obb_overlap(cell, box)]
+    if not touching:
+        return OctreeNode(bounds=bounds, full=False)
+    if depth >= max_depth:
+        # Conservative: any overlap at the finest level marks the cell full.
+        return OctreeNode(bounds=bounds, full=True)
+    children = [_build_node(child, touching, depth + 1, max_depth) for child in _octants(bounds)]
+    if all(child.is_leaf and child.full for child in children):
+        return OctreeNode(bounds=bounds, full=True)
+    if all(child.is_leaf and not child.full for child in children):
+        return OctreeNode(bounds=bounds, full=False)
+    return OctreeNode(bounds=bounds, full=False, children=children)
+
+
+@dataclass
+class MotionOctree:
+    """Swept volume of one candidate short motion, stored as an octree."""
+
+    motion_id: int
+    root: OctreeNode
+
+    def collides_voxel(self, voxel_center) -> bool:
+        """One Dadu-P CDQ: is this environment voxel inside the sweep?"""
+        return self.root.contains_point(voxel_center)
+
+    def node_count(self) -> int:
+        """Total stored nodes (offline memory footprint proxy)."""
+        return self.root.count_nodes()
+
+
+def build_motion_octree(
+    motion_id: int,
+    pose_obb_lists: list[list[OBB]],
+    bounds: AABB,
+    max_depth: int = 5,
+) -> MotionOctree:
+    """Build the octree of a motion from its discretized poses' OBBs.
+
+    ``pose_obb_lists`` holds, per discrete pose along the motion, the OBBs
+    bounding the robot at that pose (the offline sweep).
+    """
+    swept = [box for pose_boxes in pose_obb_lists for box in pose_boxes]
+    clipped = [box for box in swept if aabb_overlap(AABB.of_obb(box), bounds)]
+    root = _build_node(bounds, clipped, depth=0, max_depth=max_depth)
+    return MotionOctree(motion_id=motion_id, root=root)

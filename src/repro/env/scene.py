@@ -1,0 +1,160 @@
+"""Workspace environments: collections of obstacle bounding volumes.
+
+The paper represents the environment "using simple volumes that bound the
+space actually occupied by obstacles" (Sec. II-B). A scene here is a list of
+cuboid obstacles (OBBs); an individual CDQ tests one robot volume against
+the whole scene (the hardware CDU iterates environment volumes internally
+with early exit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.aabb import AABB, aabb_overlap
+from ..geometry.obb import OBB, obb_overlap
+from ..geometry.sphere import Sphere, sphere_obb_overlap
+
+__all__ = ["Scene"]
+
+
+@dataclass
+class Scene:
+    """A static obstacle set valid for one environment measurement.
+
+    Collision predictions are only valid within one scene lifetime: the CHT
+    is reset whenever the environment is re-measured (Sec. IV, last
+    paragraph), which callers model by constructing a fresh scene (or
+    calling the predictor's ``reset``).
+    """
+
+    obstacles: list[OBB] = field(default_factory=list)
+    name: str = "scene"
+
+    def __post_init__(self) -> None:
+        self._obstacle_aabbs: list[AABB] = [AABB.of_obb(box) for box in self.obstacles]
+
+    def add_obstacle(self, box: OBB) -> None:
+        """Append an obstacle volume to the scene."""
+        self.obstacles.append(box)
+        self._obstacle_aabbs.append(AABB.of_obb(box))
+
+    @property
+    def num_obstacles(self) -> int:
+        """Number of obstacle volumes."""
+        return len(self.obstacles)
+
+    def bounds(self) -> AABB:
+        """Axis-aligned bounds of all obstacles (identity box if empty)."""
+        if not self.obstacles:
+            return AABB(np.zeros(3), np.zeros(3))
+        box = self._obstacle_aabbs[0]
+        for other in self._obstacle_aabbs[1:]:
+            box = box.union(other)
+        return box
+
+    def volume_collides(self, volume) -> bool:
+        """One CDQ: does a robot bounding volume hit any obstacle?
+
+        Accepts an :class:`OBB` or :class:`Sphere`. An AABB pre-filter
+        models the broad phase; the narrow phase is the SAT / clamp test.
+        """
+        if isinstance(volume, OBB):
+            query_aabb = AABB.of_obb(volume)
+            for box, box_aabb in zip(self.obstacles, self._obstacle_aabbs):
+                if aabb_overlap(query_aabb, box_aabb) and obb_overlap(volume, box):
+                    return True
+            return False
+        if isinstance(volume, Sphere):
+            query_aabb = AABB.from_center(volume.center, np.full(3, volume.radius))
+            for box, box_aabb in zip(self.obstacles, self._obstacle_aabbs):
+                if aabb_overlap(query_aabb, box_aabb) and sphere_obb_overlap(volume, box):
+                    return True
+            return False
+        raise TypeError(f"unsupported volume type: {type(volume).__name__}")
+
+    def volume_collision_work(self, volume) -> tuple[bool, int]:
+        """CDQ outcome plus the number of narrow-phase obstacle tests.
+
+        The test count is the per-CDQ work metric the hardware CDU model
+        charges cycles for (obstacles are streamed until a hit).
+        """
+        tests = 0
+        if isinstance(volume, OBB):
+            query_aabb = AABB.of_obb(volume)
+            check = obb_overlap
+        elif isinstance(volume, Sphere):
+            query_aabb = AABB.from_center(volume.center, np.full(3, volume.radius))
+            check = sphere_obb_overlap
+        else:
+            raise TypeError(f"unsupported volume type: {type(volume).__name__}")
+        for box, box_aabb in zip(self.obstacles, self._obstacle_aabbs):
+            if not aabb_overlap(query_aabb, box_aabb):
+                continue
+            tests += 1
+            if check(volume, box):
+                return True, tests
+        return False, tests
+
+    def volume_stream_work(self, volume) -> tuple[bool, int]:
+        """CDQ outcome plus obstacle-stream position (hardware CDU work).
+
+        A hardware CDU has no broad phase: it streams every environment
+        volume through the intersection pipeline, exiting at the first hit.
+        The returned count is the 1-based stream position of the hit, or
+        the full obstacle count for a free query — the cycle/energy cost
+        the accelerator model charges per CDQ.
+        """
+        if isinstance(volume, OBB):
+            check = obb_overlap
+        elif isinstance(volume, Sphere):
+            check = sphere_obb_overlap
+        else:
+            raise TypeError(f"unsupported volume type: {type(volume).__name__}")
+        for position, box in enumerate(self.obstacles, start=1):
+            if check(volume, box):
+                return True, position
+        return False, max(len(self.obstacles), 1)
+
+    def volume_cascade_work(self, volume) -> tuple[bool, int, int]:
+        """CDQ outcome plus cascaded-CDU work counts (Shah et al. [43]).
+
+        The baseline accelerator's CDU is a *cascaded early-exit* design:
+        every streamed obstacle first passes a cheap bounding-sphere test
+        and only survivors enter the full intersection stage. Returns
+        ``(collides, stream_tests, full_tests)`` where ``stream_tests`` is
+        the obstacle-stream position of the first hit (or the obstacle
+        count for a free query, as in :meth:`volume_stream_work`) and
+        ``full_tests`` counts the obstacles whose bounding spheres
+        overlapped the query's and therefore needed the full test.
+        """
+        if isinstance(volume, OBB):
+            radius = float(np.linalg.norm(volume.half_extents))
+            center = volume.center
+            check = obb_overlap
+        elif isinstance(volume, Sphere):
+            radius = volume.radius
+            center = volume.center
+            check = sphere_obb_overlap
+        else:
+            raise TypeError(f"unsupported volume type: {type(volume).__name__}")
+        full_tests = 0
+        for position, box in enumerate(self.obstacles, start=1):
+            box_radius = float(np.linalg.norm(box.half_extents))
+            gap = float(np.linalg.norm(center - box.center))
+            if gap > radius + box_radius:
+                continue  # sphere pre-filter rejects: no full test
+            full_tests += 1
+            if check(volume, box):
+                return True, position, full_tests
+        return False, max(len(self.obstacles), 1), full_tests
+
+    def point_collides(self, point) -> bool:
+        """Return True if a bare point lies inside any obstacle."""
+        p = np.asarray(point, dtype=float)
+        for box, box_aabb in zip(self.obstacles, self._obstacle_aabbs):
+            if box_aabb.contains_point(p) and box.contains_point(p):
+                return True
+        return False

@@ -1,0 +1,106 @@
+"""Voxel-grid environment representation (Dadu-P substrate, Sec. VII-2).
+
+The Dadu-P accelerator [31] represents environmental obstacles as a set of
+occupied voxels and each candidate short motion as a precomputed octree of
+the space the robot sweeps. A CDQ is then one motion-octree vs. voxel test.
+This module provides the voxel side: rasterising a :class:`Scene` onto a
+uniform grid and enumerating occupied voxel centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.aabb import AABB
+from ..geometry.obb import OBB, obb_overlap
+from .scene import Scene
+
+__all__ = ["VoxelGrid", "voxelize_scene"]
+
+
+@dataclass
+class VoxelGrid:
+    """A uniform occupancy grid over an axis-aligned workspace region."""
+
+    origin: np.ndarray
+    resolution: float
+    shape: tuple[int, int, int]
+    occupancy: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=float).reshape(3)
+        if self.resolution <= 0:
+            raise ValueError("voxel resolution must be positive")
+        self.occupancy = np.asarray(self.occupancy, dtype=bool)
+        if self.occupancy.shape != tuple(self.shape):
+            raise ValueError("occupancy array shape mismatch")
+
+    @classmethod
+    def empty(cls, bounds: AABB, resolution: float) -> "VoxelGrid":
+        """Create an all-free grid covering ``bounds``."""
+        span = bounds.hi - bounds.lo
+        shape = tuple(int(np.ceil(s / resolution)) if s > 0 else 1 for s in span)
+        shape = tuple(max(1, n) for n in shape)
+        return cls(
+            origin=bounds.lo.copy(),
+            resolution=resolution,
+            shape=shape,
+            occupancy=np.zeros(shape, dtype=bool),
+        )
+
+    @property
+    def num_occupied(self) -> int:
+        """Count of occupied voxels."""
+        return int(self.occupancy.sum())
+
+    def index_of(self, point) -> tuple[int, int, int] | None:
+        """Grid index containing ``point``, or None if outside the grid."""
+        rel = (np.asarray(point, dtype=float) - self.origin) / self.resolution
+        idx = np.floor(rel).astype(int)
+        if np.any(idx < 0) or np.any(idx >= np.asarray(self.shape)):
+            return None
+        return tuple(int(i) for i in idx)
+
+    def center_of(self, index) -> np.ndarray:
+        """World coordinates of a voxel center."""
+        return self.origin + (np.asarray(index, dtype=float) + 0.5) * self.resolution
+
+    def voxel_box(self, index) -> OBB:
+        """The voxel's cube as an axis-aligned OBB."""
+        half = np.full(3, self.resolution / 2.0)
+        return OBB.axis_aligned(self.center_of(index), half)
+
+    def occupied_centers(self) -> np.ndarray:
+        """(N, 3) world coordinates of all occupied voxel centers."""
+        indices = np.argwhere(self.occupancy)
+        if indices.size == 0:
+            return np.zeros((0, 3))
+        return self.origin + (indices + 0.5) * self.resolution
+
+    def mark_box(self, box: OBB) -> None:
+        """Mark every voxel overlapping ``box`` as occupied."""
+        lo, hi = box.aabb()
+        lo_idx = np.maximum(np.floor((lo - self.origin) / self.resolution).astype(int), 0)
+        hi_idx = np.minimum(
+            np.ceil((hi - self.origin) / self.resolution).astype(int),
+            np.asarray(self.shape),
+        )
+        if np.any(lo_idx >= hi_idx):
+            return
+        for ix in range(lo_idx[0], hi_idx[0]):
+            for iy in range(lo_idx[1], hi_idx[1]):
+                for iz in range(lo_idx[2], hi_idx[2]):
+                    if self.occupancy[ix, iy, iz]:
+                        continue
+                    if obb_overlap(self.voxel_box((ix, iy, iz)), box):
+                        self.occupancy[ix, iy, iz] = True
+
+
+def voxelize_scene(scene: Scene, bounds: AABB, resolution: float) -> VoxelGrid:
+    """Rasterize a scene's obstacles onto a uniform voxel grid."""
+    grid = VoxelGrid.empty(bounds, resolution)
+    for box in scene.obstacles:
+        grid.mark_box(box)
+    return grid

@@ -1,0 +1,38 @@
+"""Geometric primitives and intersection tests (the CDQ substrate)."""
+
+from .aabb import AABB, aabb_overlap
+from .batch import ObstacleSet, obb_overlap_batch, sphere_overlap_batch
+from .distance import (
+    aabb_distance,
+    obb_obb_distance_lower_bound,
+    point_obb_distance,
+    sphere_obb_distance,
+    sphere_sphere_distance,
+)
+from .fixedpoint import DEFAULT_WORKSPACE_FORMAT, FixedPointFormat
+from .obb import OBB, merge_obb_aabb, obb_overlap
+from .sphere import Sphere, sphere_obb_overlap, sphere_overlap, spheres_for_segment
+from . import transforms
+
+__all__ = [
+    "AABB",
+    "aabb_overlap",
+    "ObstacleSet",
+    "obb_overlap_batch",
+    "sphere_overlap_batch",
+    "aabb_distance",
+    "obb_obb_distance_lower_bound",
+    "point_obb_distance",
+    "sphere_obb_distance",
+    "sphere_sphere_distance",
+    "DEFAULT_WORKSPACE_FORMAT",
+    "FixedPointFormat",
+    "OBB",
+    "merge_obb_aabb",
+    "obb_overlap",
+    "Sphere",
+    "sphere_obb_overlap",
+    "sphere_overlap",
+    "spheres_for_segment",
+    "transforms",
+]

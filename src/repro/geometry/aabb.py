@@ -1,0 +1,84 @@
+"""Axis-aligned bounding boxes.
+
+AABBs serve two roles in the reproduction: a cheap broad-phase filter in the
+software collision detector, and the native volume type of the voxel-grid /
+octree substrate used by the Dadu-P-style accelerator (Sec. VII-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .obb import OBB
+
+__all__ = ["AABB", "aabb_overlap"]
+
+
+@dataclass
+class AABB:
+    """An axis-aligned box defined by its ``lo`` and ``hi`` corners."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.lo = np.asarray(self.lo, dtype=float).reshape(3)
+        self.hi = np.asarray(self.hi, dtype=float).reshape(3)
+        if np.any(self.hi < self.lo):
+            raise ValueError("AABB hi corner must dominate lo corner")
+
+    @classmethod
+    def from_center(cls, center, half_extents) -> "AABB":
+        """Construct from a center point and half-extent vector."""
+        center = np.asarray(center, dtype=float)
+        half = np.asarray(half_extents, dtype=float)
+        return cls(center - half, center + half)
+
+    @classmethod
+    def of_obb(cls, box: OBB) -> "AABB":
+        """Tightest AABB around an oriented box."""
+        lo, hi = box.aabb()
+        return cls(lo, hi)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Center point of the box."""
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def half_extents(self) -> np.ndarray:
+        """Half-sizes along each axis."""
+        return 0.5 * (self.hi - self.lo)
+
+    @property
+    def volume(self) -> float:
+        """Volume of the box."""
+        return float(np.prod(self.hi - self.lo))
+
+    def contains_point(self, point) -> bool:
+        """Return True if ``point`` lies inside the box (inclusive)."""
+        p = np.asarray(point, dtype=float)
+        return bool(np.all(p >= self.lo - 1e-12) and np.all(p <= self.hi + 1e-12))
+
+    def contains(self, other: "AABB") -> bool:
+        """Return True if ``other`` is entirely inside this box."""
+        return bool(np.all(other.lo >= self.lo - 1e-12) and np.all(other.hi <= self.hi + 1e-12))
+
+    def expanded(self, margin: float) -> "AABB":
+        """Return a copy grown by ``margin`` on every face."""
+        return AABB(self.lo - margin, self.hi + margin)
+
+    def union(self, other: "AABB") -> "AABB":
+        """Smallest AABB containing both boxes."""
+        return AABB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def to_obb(self) -> OBB:
+        """Convert to an OBB with identity rotation."""
+        return OBB.axis_aligned(self.center, self.half_extents)
+
+
+def aabb_overlap(a: AABB, b: AABB) -> bool:
+    """Return True when two AABBs intersect (touching counts)."""
+    return bool(np.all(a.lo <= b.hi + 1e-12) and np.all(b.lo <= a.hi + 1e-12))

@@ -1,0 +1,83 @@
+"""Fixed-point coordinate quantization used by hash-code generation.
+
+Section III-C of the paper: "The center of a link is represented using three
+16-bit fixed point representations of its Cartesian coordinates", and the
+COORD hash takes the top ``k`` MSBs of each coordinate (Fig. 10). This module
+implements that datapath bit-exactly so the software predictor and the
+hardware COPU model share one quantizer.
+
+Coordinates are mapped from a physical workspace interval ``[lo, hi)`` onto
+unsigned 16-bit integers; hash-code generation then keeps the ``k`` most
+significant bits, which is equivalent to binning the workspace into ``2**k``
+uniform cells per axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "DEFAULT_WORKSPACE_FORMAT"]
+
+_WORD_BITS = 16
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A uniform 16-bit fixed-point encoding of a scalar interval.
+
+    Parameters
+    ----------
+    lo, hi:
+        Physical interval mapped to the full 16-bit range. Values outside
+        the interval saturate, matching hardware behaviour.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not self.hi > self.lo:
+            raise ValueError(f"invalid interval [{self.lo}, {self.hi})")
+
+    @property
+    def word_bits(self) -> int:
+        """Bit width of the encoded word (always 16, as in the paper)."""
+        return _WORD_BITS
+
+    @property
+    def resolution(self) -> float:
+        """Physical size of one least-significant-bit step."""
+        return (self.hi - self.lo) / float(1 << _WORD_BITS)
+
+    def encode(self, value) -> np.ndarray:
+        """Quantize scalar(s) to unsigned 16-bit integers with saturation."""
+        scaled = (np.asarray(value, dtype=float) - self.lo) / (self.hi - self.lo)
+        word = np.floor(scaled * (1 << _WORD_BITS)).astype(np.int64)
+        return np.clip(word, 0, (1 << _WORD_BITS) - 1).astype(np.uint16)
+
+    def decode(self, word) -> np.ndarray:
+        """Map encoded word(s) back to the center of their quantization cell."""
+        w = np.asarray(word, dtype=np.float64)
+        return self.lo + (w + 0.5) * self.resolution
+
+    def msbs(self, value, k: int) -> np.ndarray:
+        """Return the ``k`` most significant bits of the encoding of ``value``.
+
+        This is the per-coordinate step of COORD hash-code generation
+        (Fig. 10): encode to 16 bits, keep the top ``k``, discard the rest.
+        """
+        if not 1 <= k <= _WORD_BITS:
+            raise ValueError(f"k must be in [1, {_WORD_BITS}], got {k}")
+        word = self.encode(value).astype(np.uint32)
+        return (word >> (_WORD_BITS - k)).astype(np.uint32)
+
+
+#: Default format covering a 3 m cube centred at the origin. The paper
+#: limits the environment to the robot's reach (Sec. V); every arm in
+#: :mod:`repro.kinematics.robots` reaches less than 1.4 m (Jaco2 ~1.27 m,
+#: Baxter ~1.39 m, KUKA iiwa ~1.27 m) and the 2D path-planning workspace is
+#: the [-1, 1] square, so [-1.5, 1.5) covers all workloads while keeping
+#: hash bins tight (4 bits/axis -> 18.75 cm cells).
+DEFAULT_WORKSPACE_FORMAT = FixedPointFormat(lo=-1.5, hi=1.5)

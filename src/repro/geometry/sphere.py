@@ -1,0 +1,79 @@
+"""Sphere bounding volumes and sphere-box intersection.
+
+Section VII-1 of the paper evaluates collision prediction for an accelerator
+whose CDUs perform *sphere*-environment intersection tests (the curobo-style
+representation [47], Fig. 4b right). A robot link is covered by a chain of
+spheres along its axis; each sphere-obstacle test is one CDQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .obb import OBB
+
+__all__ = ["Sphere", "sphere_overlap", "sphere_obb_overlap", "spheres_for_segment"]
+
+
+@dataclass
+class Sphere:
+    """A sphere bounding volume with world-space ``center`` and ``radius``."""
+
+    center: np.ndarray
+    radius: float
+
+    def __post_init__(self) -> None:
+        self.center = np.asarray(self.center, dtype=float).reshape(3)
+        self.radius = float(self.radius)
+        if self.radius < 0:
+            raise ValueError("radius must be non-negative")
+
+    @property
+    def volume(self) -> float:
+        """Volume of the sphere."""
+        return float(4.0 / 3.0 * np.pi * self.radius**3)
+
+    def contains_point(self, point) -> bool:
+        """Return True if a world point lies within the sphere."""
+        return bool(np.linalg.norm(np.asarray(point, float) - self.center) <= self.radius + 1e-12)
+
+    def transformed(self, transform: np.ndarray) -> "Sphere":
+        """Return the sphere mapped through a 4x4 rigid transform."""
+        return Sphere(transform[:3, :3] @ self.center + transform[:3, 3], self.radius)
+
+
+def sphere_overlap(a: Sphere, b: Sphere) -> bool:
+    """Return True when two spheres intersect (touching counts)."""
+    gap = np.linalg.norm(a.center - b.center)
+    return bool(gap <= a.radius + b.radius + 1e-12)
+
+
+def sphere_obb_overlap(sphere: Sphere, box: OBB) -> bool:
+    """Return True when a sphere intersects an OBB.
+
+    Clamps the sphere center into the box's local extent; the sphere hits
+    the box iff the clamped point is within ``radius`` of the center.
+    """
+    local = box.rotation.T @ (sphere.center - box.center)
+    clamped = np.clip(local, -box.half_extents, box.half_extents)
+    return bool(np.linalg.norm(local - clamped) <= sphere.radius + 1e-12)
+
+
+def spheres_for_segment(start, end, radius: float, max_spacing: float | None = None) -> list[Sphere]:
+    """Cover the segment ``start -> end`` with overlapping spheres.
+
+    The sphere chain conservatively bounds a capsule of the given radius:
+    consecutive sphere centers are at most ``max_spacing`` apart (default:
+    one radius), guaranteeing overlap between neighbours.
+    """
+    start = np.asarray(start, dtype=float)
+    end = np.asarray(end, dtype=float)
+    spacing = max_spacing if max_spacing is not None else max(radius, 1e-6)
+    length = float(np.linalg.norm(end - start))
+    if length < 1e-12:
+        return [Sphere(start, radius)]
+    count = max(2, int(np.ceil(length / spacing)) + 1)
+    fractions = np.linspace(0.0, 1.0, count)
+    return [Sphere(start + f * (end - start), radius) for f in fractions]

@@ -1,0 +1,159 @@
+"""Rigid-body transform utilities for SE(3).
+
+The collision-detection substrate works in homogeneous coordinates: every
+robot link carries a 4x4 transformation matrix (rotation + translation) that
+is produced by the forward-kinematics chain (see :mod:`repro.kinematics.dh`)
+and consumed by the link-geometry generator to place bounding volumes in the
+workspace. The paper's COORD hash function reads the translation column of
+these matrices (the link center) directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "identity",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "translation",
+    "transform_from",
+    "transform_point",
+    "transform_points",
+    "transform_direction",
+    "invert_transform",
+    "rotation_part",
+    "translation_part",
+    "is_rotation_matrix",
+    "rotation_about_axis",
+    "compose",
+]
+
+
+def identity() -> np.ndarray:
+    """Return the 4x4 identity transform."""
+    return np.eye(4)
+
+
+def rotation_x(angle: float) -> np.ndarray:
+    """Return a 4x4 transform rotating ``angle`` radians about the x axis."""
+    c, s = math.cos(angle), math.sin(angle)
+    m = np.eye(4)
+    m[1, 1], m[1, 2] = c, -s
+    m[2, 1], m[2, 2] = s, c
+    return m
+
+
+def rotation_y(angle: float) -> np.ndarray:
+    """Return a 4x4 transform rotating ``angle`` radians about the y axis."""
+    c, s = math.cos(angle), math.sin(angle)
+    m = np.eye(4)
+    m[0, 0], m[0, 2] = c, s
+    m[2, 0], m[2, 2] = -s, c
+    return m
+
+
+def rotation_z(angle: float) -> np.ndarray:
+    """Return a 4x4 transform rotating ``angle`` radians about the z axis."""
+    c, s = math.cos(angle), math.sin(angle)
+    m = np.eye(4)
+    m[0, 0], m[0, 1] = c, -s
+    m[1, 0], m[1, 1] = s, c
+    return m
+
+
+def translation(offset) -> np.ndarray:
+    """Return a 4x4 transform translating by ``offset`` (length-3)."""
+    m = np.eye(4)
+    m[:3, 3] = np.asarray(offset, dtype=float)
+    return m
+
+
+def rotation_about_axis(axis, angle: float) -> np.ndarray:
+    """Return a 4x4 transform rotating ``angle`` radians about ``axis``.
+
+    Uses Rodrigues' rotation formula. ``axis`` need not be normalized but
+    must be non-zero.
+    """
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0.0:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / norm
+    c, s = math.cos(angle), math.sin(angle)
+    t = 1.0 - c
+    rot = np.array(
+        [
+            [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+            [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+            [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+        ]
+    )
+    m = np.eye(4)
+    m[:3, :3] = rot
+    return m
+
+
+def transform_from(rotation: np.ndarray, offset) -> np.ndarray:
+    """Assemble a 4x4 transform from a 3x3 rotation and length-3 offset."""
+    m = np.eye(4)
+    m[:3, :3] = np.asarray(rotation, dtype=float)
+    m[:3, 3] = np.asarray(offset, dtype=float)
+    return m
+
+
+def compose(*transforms: np.ndarray) -> np.ndarray:
+    """Multiply transforms left-to-right: ``compose(A, B, C) == A @ B @ C``."""
+    result = np.eye(4)
+    for t in transforms:
+        result = result @ t
+    return result
+
+
+def transform_point(transform: np.ndarray, point) -> np.ndarray:
+    """Apply a 4x4 transform to a single 3-vector point."""
+    p = np.asarray(point, dtype=float)
+    return transform[:3, :3] @ p + transform[:3, 3]
+
+
+def transform_points(transform: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 transform to an (N, 3) array of points."""
+    pts = np.asarray(points, dtype=float)
+    return pts @ transform[:3, :3].T + transform[:3, 3]
+
+
+def transform_direction(transform: np.ndarray, direction) -> np.ndarray:
+    """Apply only the rotation part of a transform to a direction vector."""
+    return transform[:3, :3] @ np.asarray(direction, dtype=float)
+
+
+def invert_transform(transform: np.ndarray) -> np.ndarray:
+    """Invert a rigid transform using the rotation-transpose identity."""
+    rot = transform[:3, :3]
+    inv = np.eye(4)
+    inv[:3, :3] = rot.T
+    inv[:3, 3] = -rot.T @ transform[:3, 3]
+    return inv
+
+
+def rotation_part(transform: np.ndarray) -> np.ndarray:
+    """Return the 3x3 rotation block of a 4x4 transform."""
+    return transform[:3, :3]
+
+
+def translation_part(transform: np.ndarray) -> np.ndarray:
+    """Return the length-3 translation column of a 4x4 transform."""
+    return transform[:3, 3]
+
+
+def is_rotation_matrix(rot: np.ndarray, tol: float = 1e-6) -> bool:
+    """Return True if ``rot`` is orthonormal with determinant +1."""
+    rot = np.asarray(rot, dtype=float)
+    if rot.shape != (3, 3):
+        return False
+    if not np.allclose(rot @ rot.T, np.eye(3), atol=tol):
+        return False
+    return bool(abs(np.linalg.det(rot) - 1.0) < tol)

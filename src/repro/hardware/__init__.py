@@ -1,0 +1,40 @@
+"""Hardware models: the COPU+CDU accelerator, energy/area, and variants."""
+
+from .accelerator import AcceleratorSimulator, MotionSimResult, SimReport
+from .cdu import CDUnit
+from .config import AcceleratorConfig, TimingParams, baseline_config, copu_config
+from .copu import COPUnit
+from .dadu import DaduReport, DaduSimulator, DaduWorkItem
+from .multi_group import MultiGroupAccelerator, MultiGroupReport
+from .energy import (
+    AreaBreakdown,
+    EnergyBreakdown,
+    EnergyModel,
+    sram_access_energy_pj,
+    sram_area_mm2,
+)
+from .sphere_accel import trace_motion_spheres, trace_motions_spheres
+
+__all__ = [
+    "AcceleratorSimulator",
+    "MotionSimResult",
+    "SimReport",
+    "CDUnit",
+    "AcceleratorConfig",
+    "TimingParams",
+    "baseline_config",
+    "copu_config",
+    "COPUnit",
+    "DaduReport",
+    "DaduSimulator",
+    "DaduWorkItem",
+    "MultiGroupAccelerator",
+    "MultiGroupReport",
+    "AreaBreakdown",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "sram_access_energy_pj",
+    "sram_area_mm2",
+    "trace_motion_spheres",
+    "trace_motions_spheres",
+]

@@ -1,0 +1,68 @@
+"""Collision Detection Unit timing model.
+
+Each CDU is the OBB-environment intersection engine of Shah et al. [43]: a
+pipelined SAT datapath that streams environment volumes one per cycle and
+exits early on the first hit. Its occupancy for one CDQ is therefore a base
+pipeline-fill latency plus one cycle per narrow-phase obstacle test the
+query actually performed (recorded in the trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..workloads.traces import CDQRecord
+
+__all__ = ["CDUnit"]
+
+
+@dataclass
+class CDUnit:
+    """One CDU: either idle or busy with a query until ``busy_until``.
+
+    With ``cascade`` enabled the unit models the cascaded early-exit
+    design of Shah et al. [43]: every streamed obstacle costs one cycle in
+    the bounding-sphere stage and only pre-filter survivors pay an extra
+    cycle in the full intersection stage, so a query occupies the unit for
+    ``base + narrow_tests + full_tests`` cycles instead of
+    ``base + narrow_tests``. (A flat CDU is the special case where every
+    obstacle is a "survivor" folded into the stream cost.)
+    """
+
+    unit_id: int
+    base_latency: int = 4
+    cascade: bool = False
+    busy_until: int = -1
+    current: CDQRecord | None = None
+    queries_executed: int = field(default=0)
+    tests_executed: int = field(default=0)
+    full_tests_executed: int = field(default=0)
+
+    def is_free(self, now: int) -> bool:
+        """True when the unit can accept a query at cycle ``now``."""
+        return now >= self.busy_until
+
+    def service_cycles(self, query: CDQRecord) -> int:
+        """Occupancy of one query under the configured CDU design."""
+        cycles = self.base_latency + query.narrow_tests
+        if self.cascade:
+            cycles += query.full_tests
+        return cycles
+
+    def issue(self, query: CDQRecord, now: int) -> int:
+        """Start a query; returns its completion cycle."""
+        if not self.is_free(now):
+            raise RuntimeError(f"CDU {self.unit_id} issued while busy")
+        self.current = query
+        self.busy_until = now + self.service_cycles(query)
+        self.queries_executed += 1
+        self.tests_executed += query.narrow_tests
+        self.full_tests_executed += query.full_tests
+        return self.busy_until
+
+    def retire(self) -> CDQRecord:
+        """Return and clear the completed query."""
+        if self.current is None:
+            raise RuntimeError(f"CDU {self.unit_id} retired with no query")
+        query, self.current = self.current, None
+        return query

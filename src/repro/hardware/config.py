@@ -1,0 +1,111 @@
+"""Configuration of the collision-detection accelerator model (Fig. 12).
+
+The baseline accelerator follows Shah et al. [43]: a scheduler feeds poses
+to an OBB Generation Unit; generated OBBs go to OBB-environment Collision
+Detection Units (CDUs). The COPU extension adds per-group hash generation,
+a Collision History Table, the QCOLL/QNONCOLL queues and the priority Query
+Dispatcher.
+
+Configurations are named like the paper: ``COPU.x`` / ``baseline.x`` where
+``x`` is the number of CDUs served by one COPU/OBB-generation group
+(Sec. VI-B2 evaluates x = 1, 4, 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TimingParams", "AcceleratorConfig", "copu_config", "baseline_config"]
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Latency/throughput parameters of the pipeline stages, in cycles.
+
+    Values follow the baseline accelerator's pipeline structure: forward
+    kinematics (chained 4x4 matrix multiplies) has a few-cycle startup per
+    pose, then one OBB is emitted per cycle; the COPU adds hash generation
+    plus one CHT read; a CDU streams one environment volume per cycle
+    through the SAT pipeline after a short fill.
+    """
+
+    fk_latency: int = 4
+    obbs_per_cycle: int = 4
+    predict_latency: int = 2
+    cdu_base_latency: int = 4
+    cht_update_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.obbs_per_cycle < 1:
+            raise ValueError("OBB generation rate must be >= 1 per cycle")
+        for name in ("fk_latency", "predict_latency", "cdu_base_latency", "cht_update_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One accelerator build point."""
+
+    name: str = "copu.6"
+    num_cdus: int = 6
+    use_copu: bool = True
+    #: Model the cascaded early-exit CDU of Shah et al. [43]: a bounding-
+    #: sphere pre-filter stage ahead of the full intersection stage.
+    cascade: bool = False
+    qcoll_size: int = 8
+    qnoncoll_size: int = 56
+    cht_size: int = 4096
+    s: float = 1.0
+    u: float = 1.0
+    counter_bits: int = 4
+    timing: TimingParams = TimingParams()
+
+    def __post_init__(self) -> None:
+        if self.num_cdus < 1:
+            raise ValueError("need at least one CDU")
+        if self.use_copu and (self.qcoll_size < 1 or self.qnoncoll_size < 1):
+            raise ValueError("COPU queues need at least one entry")
+        if self.cht_size < 1:
+            raise ValueError("CHT needs at least one entry")
+
+    @property
+    def cht_entry_bits(self) -> int:
+        """Bits per CHT entry: one when S = 0, two counters otherwise."""
+        if self.s == 0:
+            return 1
+        return 2 * self.counter_bits
+
+    def with_queue_sizes(self, qcoll: int, qnoncoll: int) -> "AcceleratorConfig":
+        """Copy with different queue sizes (Fig. 17 sweep)."""
+        return replace(self, qcoll_size=qcoll, qnoncoll_size=qnoncoll)
+
+    def with_strategy(self, s: float | None = None, u: float | None = None) -> "AcceleratorConfig":
+        """Copy with a different prediction strategy (Fig. 18 sweeps)."""
+        cfg = self
+        if s is not None:
+            cfg = replace(cfg, s=s)
+        if u is not None:
+            cfg = replace(cfg, u=u)
+        return cfg
+
+
+def copu_config(num_cdus: int, cht_size: int = 4096, s: float = 0.0, u: float = 0.0) -> AcceleratorConfig:
+    """The paper's COPU.x evaluation points (Sec. VI-B2 defaults).
+
+    Sec. VI-B2 uses a 4096 x 1-bit CHT (S = 0, U = 0) with QNONCOLL = 56
+    and QCOLL = 8.
+    """
+    return AcceleratorConfig(
+        name=f"copu.{num_cdus}",
+        num_cdus=num_cdus,
+        use_copu=True,
+        cht_size=cht_size,
+        s=s,
+        u=u,
+    )
+
+
+def baseline_config(num_cdus: int) -> AcceleratorConfig:
+    """The baseline.x accelerator: identical CDUs, no prediction."""
+    return AcceleratorConfig(name=f"baseline.{num_cdus}", num_cdus=num_cdus, use_copu=False)

@@ -1,0 +1,103 @@
+"""The Collision Prediction Unit (COPU) datapath model — Sec. IV.
+
+The COPU receives generated OBBs, hashes their centers with COORD, reads
+the Collision History Table, and routes each query into QCOLL (predicted
+colliding) or QNONCOLL. The Query Dispatcher drains QCOLL with priority and
+takes from QNONCOLL only when it is full, or when the whole motion has been
+received and QCOLL is empty. The Query Update Unit writes executed CDQ
+outcomes back into the CHT (collision-free writes gated by ``U``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.cht import CollisionHistoryTable
+from ..core.hashing import CoordHash
+from ..workloads.traces import CDQRecord
+from .config import AcceleratorConfig
+
+__all__ = ["COPUnit"]
+
+
+class COPUnit:
+    """Hash generation + CHT + prediction queues + update unit."""
+
+    def __init__(self, config: AcceleratorConfig, rng: np.random.Generator | None = None):
+        self.config = config
+        # Address bits follow the table size; the CoordHash bit width is
+        # chosen so 3 * bits_per_axis covers the table (the CHT folds any
+        # excess code bits by modulo, matching the hardware address slice).
+        bits_per_axis = max(1, int(np.ceil(np.log2(config.cht_size) / 3.0)))
+        self.hash_function = CoordHash(bits_per_axis=bits_per_axis)
+        self.table = CollisionHistoryTable(
+            size=config.cht_size,
+            s=config.s,
+            u=config.u,
+            rng=rng if rng is not None else np.random.default_rng(0),
+            counter_bits=config.counter_bits,
+        )
+        self.qcoll: deque[CDQRecord] = deque()
+        self.qnoncoll: deque[CDQRecord] = deque()
+        self.queue_ops = 0
+        self.predictions = 0
+        self.predicted_colliding = 0
+
+    def has_capacity(self, predicted_queue_full_backpressure: bool = True) -> bool:
+        """Can the COPU accept another OBB without overflowing a queue?
+
+        QCOLL overflow stalls the front end (it is small and drains with
+        priority); QNONCOLL overflow instead triggers dispatch from it, so
+        it never blocks acceptance.
+        """
+        del predicted_queue_full_backpressure
+        return len(self.qcoll) < self.config.qcoll_size
+
+    def classify(self, query: CDQRecord) -> bool:
+        """Predict and enqueue a query; returns the prediction."""
+        code = self.hash_function(np.asarray(query.center))
+        self.predictions += 1
+        predicted = self.table.predict(code)
+        if predicted:
+            self.predicted_colliding += 1
+            self.qcoll.append(query)
+        else:
+            self.qnoncoll.append(query)
+        self.queue_ops += 1
+        return predicted
+
+    def qnoncoll_full(self) -> bool:
+        """True when QNONCOLL reached its configured capacity."""
+        return len(self.qnoncoll) >= self.config.qnoncoll_size
+
+    def dispatch(self, all_received: bool) -> CDQRecord | None:
+        """Query Dispatcher policy (Fig. 12 steps 5-6)."""
+        if self.qcoll:
+            self.queue_ops += 1
+            return self.qcoll.popleft()
+        if self.qnoncoll and (self.qnoncoll_full() or all_received):
+            self.queue_ops += 1
+            return self.qnoncoll.popleft()
+        return None
+
+    def update(self, query: CDQRecord) -> None:
+        """Query Update Unit: write the executed outcome into the CHT."""
+        code = self.hash_function(np.asarray(query.center))
+        self.table.update(code, query.collides)
+
+    def pending(self) -> int:
+        """Queries waiting in either queue."""
+        return len(self.qcoll) + len(self.qnoncoll)
+
+    def flush(self) -> int:
+        """Drop all queued queries (motion resolved); returns count dropped."""
+        dropped = self.pending()
+        self.qcoll.clear()
+        self.qnoncoll.clear()
+        return dropped
+
+    def reset_history(self) -> None:
+        """Clear the CHT (new planning query / environment measurement)."""
+        self.table.reset()

@@ -1,0 +1,180 @@
+"""Analytic 45 nm area and energy model (OpenRAM/FreePDK substitution).
+
+The paper sizes the CHT and queues with the OpenRAM memory compiler on
+FreePDK45 (Sec. V) and reports *relative* overheads against the MPAccel
+baseline [43] (Sec. VI-B1). Since OpenRAM is unavailable offline, this
+module provides an analytic model of SRAM macros (linear bit-area plus
+fixed periphery; access energy growing with the square root of capacity)
+and per-unit logic constants for the datapath blocks, calibrated so the
+relative overheads land where the paper reports them:
+
+* CHT 4096 x 8 bit vs. 24-CDU MPAccel: ~2% area, ~1% energy.
+* CHT 4096 x 1 bit: ~0.55% area, ~0.28% energy.
+* QCOLL + QNONCOLL queues: ~2.6% area, ~1.4% energy.
+
+Absolute numbers are plausible for 45 nm but only ratios are meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import AcceleratorConfig
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "AreaBreakdown", "sram_area_mm2", "sram_access_energy_pj"]
+
+# SRAM macro model: bit cells plus fixed periphery (decoders, sense amps).
+_SRAM_MM2_PER_BIT = 1.2e-6
+_SRAM_PERIPHERY_MM2 = 0.010
+_SRAM_ENERGY_BASE_PJ = 0.5
+_SRAM_ENERGY_PER_SQRT_BIT_PJ = 0.009
+
+# Datapath blocks (per-unit constants, 45 nm class).
+_CDU_AREA_MM2 = 0.080
+_OBBGEN_AREA_MM2 = 0.120
+_CONTROL_AREA_MM2 = 0.300
+_HASHGEN_AREA_MM2 = 0.004
+
+_CDU_TEST_ENERGY_PJ = 15.0  # one OBB-obstacle SAT test
+_OBBGEN_ENERGY_PJ = 25.0  # FK + one OBB emission
+_HASH_ENERGY_PJ = 0.4
+_QUEUE_OP_ENERGY_PJ = 1.1  # push or pop of one OBB descriptor
+_LEAKAGE_MW_PER_MM2 = 1.4  # static power density
+_CYCLE_NS = 1.0  # 1 GHz clock
+
+#: Bits of one queue entry: an OBB descriptor (center, half-extents and a
+#: compressed rotation, all 16-bit fixed point) plus motion/pose tags.
+_QUEUE_ENTRY_BITS = 288
+
+
+def sram_area_mm2(bits: int) -> float:
+    """Area of an SRAM macro of the given capacity."""
+    if bits <= 0:
+        return 0.0
+    return bits * _SRAM_MM2_PER_BIT + _SRAM_PERIPHERY_MM2
+
+
+def sram_access_energy_pj(bits: int) -> float:
+    """Energy of one read or write access to an SRAM macro."""
+    if bits <= 0:
+        return 0.0
+    return _SRAM_ENERGY_BASE_PJ + _SRAM_ENERGY_PER_SQRT_BIT_PJ * math.sqrt(bits)
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-component silicon area in mm^2."""
+
+    cdus: float
+    obb_generation: float
+    control: float
+    cht: float
+    queues: float
+    hash_generation: float
+
+    @property
+    def total(self) -> float:
+        """Total accelerator area."""
+        return (
+            self.cdus
+            + self.obb_generation
+            + self.control
+            + self.cht
+            + self.queues
+            + self.hash_generation
+        )
+
+    @property
+    def prediction_overhead(self) -> float:
+        """Fraction of total area spent on prediction hardware."""
+        added = self.cht + self.queues + self.hash_generation
+        return added / self.total if self.total else 0.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Dynamic + static energy of a simulated run, in pJ."""
+
+    cdu_tests: float = 0.0
+    obb_generation: float = 0.0
+    cht_accesses: float = 0.0
+    queue_operations: float = 0.0
+    hash_generation: float = 0.0
+    leakage: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total energy."""
+        return (
+            self.cdu_tests
+            + self.obb_generation
+            + self.cht_accesses
+            + self.queue_operations
+            + self.hash_generation
+            + self.leakage
+        )
+
+    @property
+    def prediction_overhead(self) -> float:
+        """Fraction of energy spent on prediction hardware."""
+        added = self.cht_accesses + self.queue_operations + self.hash_generation
+        return added / self.total if self.total else 0.0
+
+
+class EnergyModel:
+    """Charges area and energy for one accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+        self.cht_bits = config.cht_size * config.cht_entry_bits if config.use_copu else 0
+        queue_bits = (
+            (config.qcoll_size + config.qnoncoll_size) * _QUEUE_ENTRY_BITS
+            if config.use_copu
+            else 0
+        )
+        self.queue_bits = queue_bits
+        self._cht_access_pj = sram_access_energy_pj(self.cht_bits)
+        self._queue_access_pj = _QUEUE_OP_ENERGY_PJ
+
+    def area(self) -> AreaBreakdown:
+        """Static area of the configured accelerator."""
+        cfg = self.config
+        return AreaBreakdown(
+            cdus=cfg.num_cdus * _CDU_AREA_MM2,
+            obb_generation=_OBBGEN_AREA_MM2,
+            control=_CONTROL_AREA_MM2,
+            cht=sram_area_mm2(self.cht_bits),
+            queues=sram_area_mm2(self.queue_bits),
+            hash_generation=_HASHGEN_AREA_MM2 if cfg.use_copu else 0.0,
+        )
+
+    def energy(
+        self,
+        cdu_tests: int,
+        obbs_generated: int,
+        cht_reads: int,
+        cht_writes: int,
+        queue_ops: int,
+        cycles: int,
+    ) -> EnergyBreakdown:
+        """Energy of a run given its activity counters."""
+        leakage_pj = (
+            self.area().total * _LEAKAGE_MW_PER_MM2 * cycles * _CYCLE_NS
+        )  # mW * ns = pJ
+        return EnergyBreakdown(
+            cdu_tests=cdu_tests * _CDU_TEST_ENERGY_PJ,
+            obb_generation=obbs_generated * _OBBGEN_ENERGY_PJ,
+            cht_accesses=(cht_reads + cht_writes) * self._cht_access_pj,
+            queue_operations=queue_ops * self._queue_access_pj,
+            hash_generation=cht_reads * _HASH_ENERGY_PJ,
+            leakage=leakage_pj,
+        )
+
+    @staticmethod
+    def mpaccel_reference_area(num_cdus: int = 24, groups: int = 4) -> float:
+        """Area of the MPAccel [43] reference build (Sec. VI-B1 baseline).
+
+        24 CDUs with one OBB Generation Unit per 6-CDU group plus control.
+        """
+        return num_cdus * _CDU_AREA_MM2 + groups * _OBBGEN_AREA_MM2 + _CONTROL_AREA_MM2

@@ -1,0 +1,63 @@
+"""Sphere-based CDU integration (Sec. VII-1).
+
+The curobo-style accelerator [47] represents each robot link as a chain of
+spheres; a CDQ is one sphere-environment test. The COPU integration differs
+from the OBB flow in one way: prediction happens at *link* granularity —
+the link's transformation matrix (hence its center) is computed first, the
+link is predicted and queued, and only at dispatch are the link's spheres
+expanded into individual CDQs.
+
+We reproduce that by tracing sphere CDQs whose hash key is the *link
+center* (all spheres of a link share a CHT entry) and replaying through the
+standard :class:`~repro.hardware.accelerator.AcceleratorSimulator` — the
+paper notes buffer sizes stay the same because queues store transformation
+matrices.
+"""
+
+from __future__ import annotations
+
+from ..collision.detector import CollisionDetector
+from ..collision.pipeline import Motion
+from ..kinematics.link_geometry import generate_link_spheres
+from ..workloads.traces import CDQRecord, MotionTrace, PoseTrace
+
+__all__ = ["trace_motion_spheres", "trace_motions_spheres"]
+
+
+def trace_motion_spheres(
+    detector: CollisionDetector, motion: Motion, motion_id: int = 0, stage: str = "S1"
+) -> MotionTrace:
+    """Exhaustively label every sphere CDQ of a motion.
+
+    Each record's ``center`` is the owning link's center (the Sec. VII-1
+    prediction key); ``narrow_tests`` is the sphere's obstacle-stream cost.
+    """
+    robot = detector.robot
+    poses = robot.interpolate(motion.start, motion.end, motion.num_poses)
+    trace = MotionTrace(motion_id=motion_id, stage=stage)
+    for pose_index, q in enumerate(poses):
+        pose_trace = PoseTrace(pose_index=pose_index)
+        link_centers = robot.link_centers(q)
+        for geom in generate_link_spheres(robot, q):
+            collides, tests = detector.scene.volume_stream_work(geom.volume)
+            link_center = link_centers[min(geom.link_index, len(link_centers) - 1)]
+            pose_trace.cdqs.append(
+                CDQRecord(
+                    link_index=geom.link_index,
+                    center=tuple(float(v) for v in link_center),
+                    collides=collides,
+                    narrow_tests=tests,
+                )
+            )
+        trace.poses.append(pose_trace)
+    return trace
+
+
+def trace_motions_spheres(
+    detector: CollisionDetector, motions: list[Motion], stage: str = "S1"
+) -> list[MotionTrace]:
+    """Trace a batch of motions in the sphere representation."""
+    return [
+        trace_motion_spheres(detector, motion, motion_id=i, stage=stage)
+        for i, motion in enumerate(motions)
+    ]

@@ -1,0 +1,33 @@
+"""Forward kinematics and robot models."""
+
+from .dh import DHChain, DHLink, dh_transform
+from .link_geometry import LinkGeometry, generate_link_obbs, generate_link_spheres
+from .robots import (
+    ArmRobot,
+    PlanarRobot,
+    RobotModel,
+    baxter_arm,
+    franka_panda,
+    jaco2,
+    kuka_iiwa,
+    planar_2d,
+    ur5,
+)
+
+__all__ = [
+    "DHChain",
+    "DHLink",
+    "dh_transform",
+    "LinkGeometry",
+    "generate_link_obbs",
+    "generate_link_spheres",
+    "ArmRobot",
+    "PlanarRobot",
+    "RobotModel",
+    "baxter_arm",
+    "franka_panda",
+    "ur5",
+    "jaco2",
+    "kuka_iiwa",
+    "planar_2d",
+]

@@ -1,0 +1,141 @@
+"""Denavit-Hartenberg forward kinematics.
+
+The paper's baseline accelerator converts a C-space pose into physical-space
+geometry by chaining 4x4 DH transformation matrices (Sec. II-C: "For a
+robotic arm, transformation matrices for all links can be calculated using
+the DH parameters (4x4 matrices) of the robot and matrix multiplications").
+This module implements the classical (distal) DH convention used by those
+references.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DHLink", "DHChain", "dh_transform"]
+
+
+@dataclass(frozen=True)
+class DHLink:
+    """One row of a classical DH parameter table.
+
+    Parameters
+    ----------
+    a:
+        Link length: offset along the x axis of the new frame.
+    alpha:
+        Link twist: rotation about the x axis of the new frame.
+    d:
+        Link offset along the previous z axis.
+    theta:
+        Joint-angle offset added to the commanded joint value.
+    joint_limits:
+        Inclusive (low, high) joint-range in radians.
+    """
+
+    a: float
+    alpha: float
+    d: float
+    theta: float = 0.0
+    joint_limits: tuple[float, float] = (-math.pi, math.pi)
+
+    def __post_init__(self) -> None:
+        low, high = self.joint_limits
+        if not high > low:
+            raise ValueError(f"joint limits must satisfy low < high, got {self.joint_limits}")
+
+
+def dh_transform(a: float, alpha: float, d: float, theta: float) -> np.ndarray:
+    """Return the 4x4 transform of one classical DH row."""
+    ct, st = math.cos(theta), math.sin(theta)
+    ca, sa = math.cos(alpha), math.sin(alpha)
+    return np.array(
+        [
+            [ct, -st * ca, st * sa, a * ct],
+            [st, ct * ca, -ct * sa, a * st],
+            [0.0, sa, ca, d],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+
+
+class DHChain:
+    """A serial kinematic chain described by a DH table.
+
+    The chain produces, for a joint configuration, the world transform of
+    every link frame. The translation columns of these transforms are the
+    link centers used by the COORD hash function.
+    """
+
+    def __init__(self, links: Sequence[DHLink], base_transform: np.ndarray | None = None):
+        if not links:
+            raise ValueError("a DH chain needs at least one link")
+        self.links = list(links)
+        self.base_transform = np.eye(4) if base_transform is None else np.asarray(base_transform, float)
+
+    @property
+    def dof(self) -> int:
+        """Number of actuated joints."""
+        return len(self.links)
+
+    @property
+    def joint_limits(self) -> np.ndarray:
+        """(dof, 2) array of joint limits."""
+        return np.array([link.joint_limits for link in self.links])
+
+    def validate_configuration(self, q) -> np.ndarray:
+        """Check a configuration's shape; return it as a float array."""
+        q = np.asarray(q, dtype=float).reshape(-1)
+        if q.shape[0] != self.dof:
+            raise ValueError(f"expected {self.dof} joint values, got {q.shape[0]}")
+        return q
+
+    def within_limits(self, q) -> bool:
+        """Return True if every joint value is inside its limits."""
+        q = self.validate_configuration(q)
+        limits = self.joint_limits
+        return bool(np.all(q >= limits[:, 0]) and np.all(q <= limits[:, 1]))
+
+    def clamp(self, q) -> np.ndarray:
+        """Clamp a configuration into the joint limits."""
+        q = self.validate_configuration(q)
+        limits = self.joint_limits
+        return np.clip(q, limits[:, 0], limits[:, 1])
+
+    def link_transforms(self, q) -> list[np.ndarray]:
+        """Forward kinematics: world transform of every link frame.
+
+        Returns ``dof`` matrices; entry ``i`` is the frame at the *distal*
+        end of link ``i``.
+        """
+        q = self.validate_configuration(q)
+        transforms = []
+        current = self.base_transform.copy()
+        for link, angle in zip(self.links, q):
+            current = current @ dh_transform(link.a, link.alpha, link.d, link.theta + angle)
+            transforms.append(current.copy())
+        return transforms
+
+    def joint_positions(self, q) -> np.ndarray:
+        """(dof + 1, 3) array: base origin followed by each link frame origin."""
+        transforms = self.link_transforms(q)
+        points = [self.base_transform[:3, 3]]
+        points.extend(t[:3, 3] for t in transforms)
+        return np.array(points)
+
+    def end_effector(self, q) -> np.ndarray:
+        """World transform of the final link frame."""
+        return self.link_transforms(q)[-1]
+
+    def random_configuration(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample a configuration uniformly inside the joint limits."""
+        limits = self.joint_limits
+        return rng.uniform(limits[:, 0], limits[:, 1])
+
+    def reach(self) -> float:
+        """Conservative workspace radius: sum of |a| and |d| over all links."""
+        return float(sum(abs(link.a) + abs(link.d) for link in self.links))

@@ -1,0 +1,73 @@
+"""Software model of the accelerator's OBB Generation Unit.
+
+In the hardware flow (Fig. 12 step 1) the OBB Generation Unit receives a
+C-space pose from the scheduler and emits, per rigid link, an OBB whose
+center is the hash-generation input. This module packages that step for both
+the software pipeline and the cycle-level model: it converts a pose to a
+list of :class:`LinkGeometry` records carrying the link index, bounding
+volume, and the center coordinates fed to COORD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..geometry.obb import OBB
+from ..geometry.sphere import Sphere
+from .robots import RobotModel
+
+__all__ = ["LinkGeometry", "generate_link_obbs", "generate_link_spheres"]
+
+
+@dataclass
+class LinkGeometry:
+    """One rigid part of a posed robot, ready for a CDQ.
+
+    Attributes
+    ----------
+    link_index:
+        Which rigid part of the robot this volume bounds.
+    volume:
+        The bounding volume (OBB or Sphere) to test against the environment.
+    center:
+        World coordinates used for hash-code generation (``OBB.c`` in
+        Algorithm 1 / Fig. 10).
+    """
+
+    link_index: int
+    volume: Union[OBB, Sphere]
+    center: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.center = np.asarray(self.center, dtype=float).reshape(3)
+
+
+def generate_link_obbs(robot: RobotModel, q) -> list[LinkGeometry]:
+    """Generate one OBB :class:`LinkGeometry` per rigid part of pose ``q``."""
+    boxes = robot.pose_obbs(q)
+    return [
+        LinkGeometry(link_index=i, volume=box, center=box.center)
+        for i, box in enumerate(boxes)
+    ]
+
+
+def generate_link_spheres(robot: RobotModel, q) -> list[LinkGeometry]:
+    """Generate sphere :class:`LinkGeometry` records for pose ``q``.
+
+    Multiple spheres of a physical link share that link's index, matching
+    Sec. VII-1 where prediction happens per *link* (transformation-matrix
+    granularity) while CDQs are per sphere.
+    """
+    spheres = robot.pose_spheres(q)
+    centers = robot.link_centers(q)
+    records = []
+    # Assign each sphere to the nearest link center for its link index.
+    for sphere in spheres:
+        gaps = np.linalg.norm(centers - sphere.center, axis=1)
+        records.append(
+            LinkGeometry(link_index=int(np.argmin(gaps)), volume=sphere, center=sphere.center)
+        )
+    return records

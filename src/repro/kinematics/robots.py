@@ -1,0 +1,355 @@
+"""Robot models used throughout the paper's evaluation.
+
+Section V evaluates three robots plus a 2D path-planning setting:
+
+* **Kinova Jaco2** (7-DOF assistive arm) — hash-function and design-space
+  studies (Figs. 9, 13, 14) and the sphere-CDU study (Sec. VII-1).
+* **Rethink Baxter** (one 7-DOF arm) — MPNet benchmarks.
+* **KUKA LBR iiwa** (7-DOF) — GNN and BIT* benchmarks.
+* **2D path planning** — a rigid body translating in the plane.
+
+Each model exposes the same interface (:class:`RobotModel`): forward
+kinematics to per-link centers, and per-link bounding geometry (OBBs or
+sphere chains) whose individual environment tests are the CDQs.
+
+DH tables follow the published classical-DH descriptions of each arm; small
+deviations from vendor values are irrelevant here because every experiment
+measures CDQ *counts and outcomes* under the same kinematics for every
+scheduler and predictor.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..geometry.obb import OBB
+from ..geometry.sphere import Sphere, spheres_for_segment
+from .dh import DHChain, DHLink
+
+__all__ = [
+    "RobotModel",
+    "ArmRobot",
+    "PlanarRobot",
+    "jaco2",
+    "kuka_iiwa",
+    "baxter_arm",
+    "ur5",
+    "franka_panda",
+    "planar_2d",
+]
+
+_PI = math.pi
+
+
+class RobotModel(ABC):
+    """Common interface over serial arms and the planar rigid body."""
+
+    name: str
+
+    @property
+    @abstractmethod
+    def dof(self) -> int:
+        """Number of degrees of freedom (C-space dimensionality)."""
+
+    @property
+    @abstractmethod
+    def joint_limits(self) -> np.ndarray:
+        """(dof, 2) array of per-DOF limits."""
+
+    @abstractmethod
+    def link_centers(self, q) -> np.ndarray:
+        """(num_links, 3) world coordinates of link centers for pose ``q``.
+
+        These are the inputs to the COORD hash function.
+        """
+
+    @abstractmethod
+    def pose_obbs(self, q) -> list[OBB]:
+        """OBBs bounding the space occupied by pose ``q``, one per link part."""
+
+    @abstractmethod
+    def pose_spheres(self, q) -> list[Sphere]:
+        """Sphere chain bounding pose ``q`` (Sec. VII-1 representation)."""
+
+    @property
+    @abstractmethod
+    def num_links(self) -> int:
+        """Number of rigid parts (== number of OBBs per pose)."""
+
+    def random_configuration(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample a pose uniformly inside the joint limits."""
+        limits = self.joint_limits
+        return rng.uniform(limits[:, 0], limits[:, 1])
+
+    def validate_configuration(self, q) -> np.ndarray:
+        """Return ``q`` as a float vector of length ``dof`` (raises otherwise)."""
+        q = np.asarray(q, dtype=float).reshape(-1)
+        if q.shape[0] != self.dof:
+            raise ValueError(f"expected {self.dof} DOF values, got {q.shape[0]}")
+        return q
+
+    def interpolate(self, start, end, num_poses: int) -> np.ndarray:
+        """Uniformly discretize the straight C-space motion ``start -> end``.
+
+        This is the discrete motion-collision-detection decomposition of
+        Fig. 4c: the returned (num_poses, dof) array contains the poses whose
+        CDQs make up a motion-environment collision check.
+        """
+        start = self.validate_configuration(start)
+        end = self.validate_configuration(end)
+        if num_poses < 2:
+            raise ValueError("a motion needs at least 2 poses")
+        fractions = np.linspace(0.0, 1.0, num_poses)
+        return start + fractions[:, None] * (end - start)
+
+    def motion_resolution_poses(self, start, end, resolution: float) -> np.ndarray:
+        """Discretize a motion at a fixed C-space step ``resolution``."""
+        start = self.validate_configuration(start)
+        end = self.validate_configuration(end)
+        length = float(np.linalg.norm(end - start))
+        count = max(2, int(math.ceil(length / resolution)) + 1)
+        return self.interpolate(start, end, count)
+
+
+class ArmRobot(RobotModel):
+    """A serial arm: DH chain plus per-link collision radii.
+
+    Each kinematic link is bounded by ``boxes_per_link`` OBBs produced by
+    subdividing the segment between consecutive joint origins (the software
+    model of the accelerator's OBB Generation Unit), or by a chain of
+    spheres for the Sec. VII-1 representation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        chain: DHChain,
+        link_radii,
+        boxes_per_link: int = 1,
+        sphere_spacing: float | None = None,
+    ):
+        self.name = name
+        self.chain = chain
+        self.link_radii = np.asarray(link_radii, dtype=float).reshape(-1)
+        if self.link_radii.shape[0] != chain.dof:
+            raise ValueError("need one collision radius per link")
+        if boxes_per_link < 1:
+            raise ValueError("boxes_per_link must be >= 1")
+        self.boxes_per_link = boxes_per_link
+        self.sphere_spacing = sphere_spacing
+
+    @property
+    def dof(self) -> int:
+        return self.chain.dof
+
+    @property
+    def joint_limits(self) -> np.ndarray:
+        return self.chain.joint_limits
+
+    @property
+    def num_links(self) -> int:
+        return self.chain.dof * self.boxes_per_link
+
+    def _link_segments(self, q) -> list[tuple[np.ndarray, np.ndarray, float]]:
+        """(start, end, radius) of each physical link segment for pose q."""
+        points = self.chain.joint_positions(q)
+        segments = []
+        for i in range(self.chain.dof):
+            segments.append((points[i], points[i + 1], float(self.link_radii[i])))
+        return segments
+
+    def link_centers(self, q) -> np.ndarray:
+        centers = []
+        for start, end, _radius in self._link_segments(q):
+            for j in range(self.boxes_per_link):
+                f0 = j / self.boxes_per_link
+                f1 = (j + 1) / self.boxes_per_link
+                centers.append(0.5 * (start + f0 * (end - start) + start + f1 * (end - start)))
+        return np.array(centers)
+
+    def pose_obbs(self, q) -> list[OBB]:
+        boxes = []
+        for start, end, radius in self._link_segments(q):
+            for j in range(self.boxes_per_link):
+                f0 = j / self.boxes_per_link
+                f1 = (j + 1) / self.boxes_per_link
+                boxes.append(
+                    OBB.from_segment(start + f0 * (end - start), start + f1 * (end - start), radius)
+                )
+        return boxes
+
+    def pose_spheres(self, q) -> list[Sphere]:
+        spheres = []
+        for start, end, radius in self._link_segments(q):
+            spheres.extend(spheres_for_segment(start, end, radius, self.sphere_spacing))
+        return spheres
+
+    def end_effector_position(self, q) -> np.ndarray:
+        """World coordinates of the arm's tool point."""
+        return self.chain.joint_positions(q)[-1]
+
+    def reach(self) -> float:
+        """Conservative workspace radius of the arm."""
+        return self.chain.reach()
+
+
+class PlanarRobot(RobotModel):
+    """A rigid square body translating in the plane (2D path planning).
+
+    The C-space is the (x, y) position; the body is modelled as
+    ``num_parts`` OBB tiles so a single pose still issues multiple CDQs,
+    matching the paper's per-part prediction granularity.
+    """
+
+    def __init__(
+        self,
+        name: str = "planar2d",
+        workspace: tuple[float, float] = (-1.0, 1.0),
+        body_half_size: float = 0.04,
+        num_parts: int = 3,
+    ):
+        self.name = name
+        self.workspace = workspace
+        self.body_half_size = float(body_half_size)
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        self.num_parts = num_parts
+
+    @property
+    def dof(self) -> int:
+        return 2
+
+    @property
+    def joint_limits(self) -> np.ndarray:
+        lo, hi = self.workspace
+        return np.array([[lo, hi], [lo, hi]])
+
+    @property
+    def num_links(self) -> int:
+        return self.num_parts
+
+    def _part_centers(self, q) -> np.ndarray:
+        q = self.validate_configuration(q)
+        # Tiles laid out along x across the body footprint.
+        width = 2.0 * self.body_half_size
+        tile = width / self.num_parts
+        offsets = (np.arange(self.num_parts) + 0.5) * tile - self.body_half_size
+        centers = np.zeros((self.num_parts, 3))
+        centers[:, 0] = q[0] + offsets
+        centers[:, 1] = q[1]
+        return centers
+
+    def link_centers(self, q) -> np.ndarray:
+        return self._part_centers(q)
+
+    def pose_obbs(self, q) -> list[OBB]:
+        tile_half = self.body_half_size / self.num_parts
+        half = np.array([tile_half, self.body_half_size, self.body_half_size])
+        return [OBB.axis_aligned(center, half) for center in self._part_centers(q)]
+
+    def pose_spheres(self, q) -> list[Sphere]:
+        radius = self.body_half_size
+        return [Sphere(center, radius) for center in self._part_centers(q)]
+
+
+def jaco2(boxes_per_link: int = 1) -> ArmRobot:
+    """Kinova Jaco2, the 7-DOF assistive arm of the design-space studies."""
+    links = [
+        DHLink(a=0.0, alpha=_PI / 2, d=0.2755),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0),
+        DHLink(a=0.0, alpha=_PI / 2, d=-0.410),
+        DHLink(a=0.0, alpha=_PI / 2, d=-0.0098),
+        DHLink(a=0.0, alpha=_PI / 2, d=-0.3111),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0),
+        DHLink(a=0.0, alpha=_PI, d=0.2638),
+    ]
+    radii = [0.06, 0.05, 0.05, 0.045, 0.04, 0.035, 0.035]
+    return ArmRobot("jaco2", DHChain(links), radii, boxes_per_link=boxes_per_link)
+
+
+def kuka_iiwa(boxes_per_link: int = 1) -> ArmRobot:
+    """KUKA LBR iiwa 7 R800, used by the GNN and BIT* benchmarks."""
+    links = [
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.340),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.400),
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.0),
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.400),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0),
+        DHLink(a=0.0, alpha=0.0, d=0.126),
+    ]
+    limits = [
+        (-2.967, 2.967),
+        (-2.094, 2.094),
+        (-2.967, 2.967),
+        (-2.094, 2.094),
+        (-2.967, 2.967),
+        (-2.094, 2.094),
+        (-3.054, 3.054),
+    ]
+    links = [
+        DHLink(a=l.a, alpha=l.alpha, d=l.d, theta=l.theta, joint_limits=lim)
+        for l, lim in zip(links, limits)
+    ]
+    radii = [0.08, 0.07, 0.07, 0.06, 0.055, 0.05, 0.045]
+    return ArmRobot("kuka_iiwa", DHChain(links), radii, boxes_per_link=boxes_per_link)
+
+
+def baxter_arm(boxes_per_link: int = 1) -> ArmRobot:
+    """One 7-DOF arm of the Rethink Baxter, used by the MPNet benchmarks."""
+    links = [
+        DHLink(a=0.069, alpha=-_PI / 2, d=0.2703, joint_limits=(-1.70, 1.70)),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0, theta=_PI / 2, joint_limits=(-2.14, 1.04)),
+        DHLink(a=0.069, alpha=-_PI / 2, d=0.3644, joint_limits=(-3.05, 3.05)),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0, joint_limits=(-0.05, 2.61)),
+        DHLink(a=0.010, alpha=-_PI / 2, d=0.3743, joint_limits=(-3.05, 3.05)),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0, joint_limits=(-1.57, 2.09)),
+        DHLink(a=0.0, alpha=0.0, d=0.2295, joint_limits=(-3.05, 3.05)),
+    ]
+    radii = [0.09, 0.08, 0.075, 0.065, 0.06, 0.05, 0.045]
+    return ArmRobot("baxter", DHChain(links), radii, boxes_per_link=boxes_per_link)
+
+
+def ur5(boxes_per_link: int = 1) -> ArmRobot:
+    """Universal Robots UR5 (6-DOF) — extra robot beyond the paper's set.
+
+    Useful for checking that nothing in the stack assumes seven joints.
+    """
+    links = [
+        DHLink(a=0.0, alpha=_PI / 2, d=0.1625),
+        DHLink(a=-0.425, alpha=0.0, d=0.0),
+        DHLink(a=-0.3922, alpha=0.0, d=0.0),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.1333),
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.0997),
+        DHLink(a=0.0, alpha=0.0, d=0.0996),
+    ]
+    radii = [0.07, 0.06, 0.05, 0.045, 0.045, 0.04]
+    return ArmRobot("ur5", DHChain(links), radii, boxes_per_link=boxes_per_link)
+
+
+def franka_panda(boxes_per_link: int = 1) -> ArmRobot:
+    """Franka Emika Panda (7-DOF) — extra robot beyond the paper's set.
+
+    Classical-DH approximation of the published (modified-DH) table;
+    adequate for collision-workload generation, where only the existence
+    of a plausible link geometry matters.
+    """
+    links = [
+        DHLink(a=0.0, alpha=-_PI / 2, d=0.333, joint_limits=(-2.897, 2.897)),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.0, joint_limits=(-1.763, 1.763)),
+        DHLink(a=0.0825, alpha=_PI / 2, d=0.316, joint_limits=(-2.897, 2.897)),
+        DHLink(a=-0.0825, alpha=-_PI / 2, d=0.0, joint_limits=(-3.072, -0.070)),
+        DHLink(a=0.0, alpha=_PI / 2, d=0.384, joint_limits=(-2.897, 2.897)),
+        DHLink(a=0.088, alpha=_PI / 2, d=0.0, joint_limits=(-0.018, 3.752)),
+        DHLink(a=0.0, alpha=0.0, d=0.210, joint_limits=(-2.897, 2.897)),
+    ]
+    radii = [0.075, 0.07, 0.065, 0.055, 0.05, 0.045, 0.04]
+    return ArmRobot("panda", DHChain(links), radii, boxes_per_link=boxes_per_link)
+
+
+def planar_2d(num_parts: int = 3) -> PlanarRobot:
+    """Rigid-body 2D path planning robot (MPNet/GNN/BIT* 2D benchmarks)."""
+    return PlanarRobot(num_parts=num_parts)

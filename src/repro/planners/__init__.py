@@ -1,0 +1,49 @@
+"""Sampling-based motion planners generating the paper's CDQ workloads."""
+
+from .base import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    CheckContext,
+    Planner,
+    PlanningProblem,
+    PlanningResult,
+    path_length,
+)
+from .bit_star import BITStarPlanner
+from .informed_rrt import InformedRRTStarPlanner
+from .lazy_prm import LazyPRMPlanner
+from .gnn import EdgeScorer, GNNPlanner, train_edge_scorer
+from .mpnet import MPNetPlanner, NeuralSampler, encode_obstacles, train_sampler
+from .postprocess import chaikin_smooth, densify_path, path_clearance_profile, shortcut_path
+from .prm import FixedRoadmapPlanner, PRMPlanner, Roadmap, build_random_roadmap
+from .rrt import RRTConnectPlanner, RRTPlanner
+
+__all__ = [
+    "STAGE_EXPLORE",
+    "STAGE_REFINE",
+    "CheckContext",
+    "Planner",
+    "PlanningProblem",
+    "PlanningResult",
+    "path_length",
+    "BITStarPlanner",
+    "InformedRRTStarPlanner",
+    "LazyPRMPlanner",
+    "EdgeScorer",
+    "GNNPlanner",
+    "train_edge_scorer",
+    "MPNetPlanner",
+    "NeuralSampler",
+    "encode_obstacles",
+    "train_sampler",
+    "chaikin_smooth",
+    "densify_path",
+    "path_clearance_profile",
+    "shortcut_path",
+    "FixedRoadmapPlanner",
+    "PRMPlanner",
+    "Roadmap",
+    "build_random_roadmap",
+    "RRTConnectPlanner",
+    "RRTPlanner",
+]

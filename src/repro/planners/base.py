@@ -1,0 +1,144 @@
+"""Motion-planner interfaces and shared plumbing.
+
+Planners in this package exist to generate the *collision-query workload*
+the paper evaluates: which motions get checked, in what order, and in which
+algorithm stage. Every collision check flows through a
+:class:`~repro.collision.detector.CollisionDetector` so executed-CDQ
+accounting is uniform across planners, schedulers, and predictors.
+
+The paper splits each algorithm into two stages by CDQ type (Sec. III-A):
+**S1** — exploration, where candidate motions are mostly colliding, and
+**S2** — trajectory refinement/feasibility, where motions are mostly free.
+Planners tag every check with its stage so the limit study can report them
+separately.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..collision.detector import CollisionDetector
+from ..collision.queries import QueryStats
+from ..collision.scheduling import PoseScheduler
+from ..core.predictor import Predictor
+from ..env.scene import Scene
+from ..kinematics.robots import RobotModel
+
+__all__ = [
+    "PlanningProblem",
+    "PlanningResult",
+    "Planner",
+    "CheckContext",
+    "path_length",
+    "STAGE_EXPLORE",
+    "STAGE_REFINE",
+]
+
+#: Stage labels used across planners.
+STAGE_EXPLORE = "S1"
+STAGE_REFINE = "S2"
+
+
+@dataclass
+class PlanningProblem:
+    """One motion planning query: reach ``goal`` from ``start`` in ``scene``."""
+
+    robot: RobotModel
+    scene: Scene
+    start: np.ndarray
+    goal: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.start = self.robot.validate_configuration(self.start)
+        self.goal = self.robot.validate_configuration(self.goal)
+
+
+@dataclass
+class PlanningResult:
+    """Planner output plus the per-stage CDQ accounting."""
+
+    success: bool
+    path: list[np.ndarray] = field(default_factory=list)
+    stage_stats: dict[str, QueryStats] = field(default_factory=dict)
+
+    @property
+    def total_stats(self) -> QueryStats:
+        """Merged stats across all stages."""
+        total = QueryStats()
+        for stats in self.stage_stats.values():
+            total.merge(stats)
+        return total
+
+    @property
+    def cdqs_executed(self) -> int:
+        """Executed CDQs over the whole planning query."""
+        return self.total_stats.cdqs_executed
+
+
+class CheckContext:
+    """Bundles detector + scheduler + predictor + per-stage accounting.
+
+    Planners call :meth:`check_motion` / :meth:`check_pose` with a stage
+    label; the context routes the check through the configured scheduler
+    and predictor and accumulates the stats per stage.
+    """
+
+    def __init__(
+        self,
+        detector: CollisionDetector,
+        scheduler: PoseScheduler | None = None,
+        predictor: Predictor | None = None,
+        num_poses: int = 12,
+    ):
+        self.detector = detector
+        self.scheduler = scheduler
+        self.predictor = predictor
+        self.num_poses = num_poses
+        self.stage_stats: dict[str, QueryStats] = {}
+
+    def _stats(self, stage: str) -> QueryStats:
+        if stage not in self.stage_stats:
+            self.stage_stats[stage] = QueryStats()
+        return self.stage_stats[stage]
+
+    def check_motion(self, start, end, stage: str = STAGE_EXPLORE, num_poses: int | None = None) -> bool:
+        """Motion-environment check; returns True when the motion collides."""
+        result = self.detector.check_motion(
+            start, end, num_poses or self.num_poses, self.scheduler, self.predictor
+        )
+        self._stats(stage).merge(result.stats)
+        return result.collided
+
+    def check_pose(self, q, stage: str = STAGE_EXPLORE) -> bool:
+        """Pose-environment check; returns True when the pose collides."""
+        result = self.detector.check_pose(q, self.predictor)
+        self._stats(stage).merge(result.stats)
+        return result.collided
+
+    def reset_predictor(self) -> None:
+        """Clear prediction history (start of a new planning query)."""
+        if self.predictor is not None:
+            self.predictor.reset()
+
+
+class Planner(ABC):
+    """Abstract sampling-based motion planner."""
+
+    name: str = "planner"
+
+    @abstractmethod
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        """Attempt to solve ``problem``, charging all checks to ``context``."""
+
+    def _result(self, success: bool, path: list[np.ndarray], context: CheckContext) -> PlanningResult:
+        return PlanningResult(success=success, path=path, stage_stats=context.stage_stats)
+
+
+def path_length(path: list[np.ndarray]) -> float:
+    """Total C-space length of a waypoint path."""
+    if len(path) < 2:
+        return 0.0
+    return float(sum(np.linalg.norm(b - a) for a, b in zip(path[:-1], path[1:])))

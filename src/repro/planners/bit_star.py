@@ -1,0 +1,136 @@
+"""Batch Informed Trees (BIT*) — Gammell et al. [14].
+
+BIT* grows a tree over batches of informed samples, processing an edge
+queue ordered by the estimated cost of the solution through each edge, and
+evaluating collisions lazily only for edges that could improve the current
+solution. After the first solution it keeps refining with new batches drawn
+from the shrinking informed (prolate hyperspheroid) set.
+
+The implementation follows the published algorithm with one simplification:
+the vertex-expansion queue is folded into batch-time edge enumeration over
+k-nearest neighbours, which preserves both the search order (best heuristic
+cost first) and the lazy-evaluation CDQ pattern the paper measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from .base import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    CheckContext,
+    Planner,
+    PlanningProblem,
+    PlanningResult,
+)
+
+__all__ = ["BITStarPlanner"]
+
+
+class BITStarPlanner(Planner):
+    """Informed, batched, lazily-evaluated optimal sampling planner."""
+
+    name = "bit_star"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        batch_size: int = 60,
+        num_batches: int = 4,
+        neighbour_count: int = 8,
+        max_edge_checks: int = 600,
+    ):
+        self.rng = rng
+        self.batch_size = batch_size
+        self.num_batches = num_batches
+        self.neighbour_count = neighbour_count
+        self.max_edge_checks = max_edge_checks
+
+    def _informed_sample(self, problem: PlanningProblem, best_cost: float) -> np.ndarray:
+        """Sample from the informed set when a solution exists.
+
+        Uses rejection sampling against the ellipsoid bound
+        ``|q - start| + |q - goal| <= best_cost`` (exact prolate-spheroid
+        sampling is unnecessary at these acceptance rates).
+        """
+        robot = problem.robot
+        for _ in range(64):
+            q = robot.random_configuration(self.rng)
+            if best_cost == float("inf"):
+                return q
+            heuristic = np.linalg.norm(q - problem.start) + np.linalg.norm(q - problem.goal)
+            if heuristic <= best_cost:
+                return q
+        return robot.random_configuration(self.rng)
+
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        start, goal = problem.start, problem.goal
+        vertices = [start, goal]
+        cost = {0: 0.0, 1: float("inf")}
+        parent = {0: -1}
+        best_cost = float("inf")
+        checks = 0
+        counter = itertools.count()
+
+        for _batch in range(self.num_batches):
+            # Add a batch of (informed) samples.
+            for _ in range(self.batch_size):
+                vertices.append(self._informed_sample(problem, best_cost))
+                cost[len(vertices) - 1] = float("inf")
+
+            stacked = np.stack(vertices)
+            # Build the edge queue: k-NN edges keyed by estimated solution
+            # cost through the edge (g-estimate + edge + h-estimate).
+            queue: list[tuple[float, int, int, int]] = []
+            k = min(self.neighbour_count + 1, len(vertices))
+            for i, q in enumerate(vertices):
+                gaps = np.linalg.norm(stacked - q, axis=1)
+                for j in np.argpartition(gaps, k - 1)[:k]:
+                    j = int(j)
+                    if j == i:
+                        continue
+                    g_est = float(np.linalg.norm(vertices[i] - start))
+                    h_est = float(np.linalg.norm(vertices[j] - goal))
+                    edge = float(gaps[j])
+                    heapq.heappush(queue, (g_est + edge + h_est, next(counter), i, j))
+
+            checked: set = set()
+            while queue and checks < self.max_edge_checks:
+                estimate, _tie, i, j = heapq.heappop(queue)
+                if estimate >= best_cost:
+                    break  # No queued edge can improve the solution.
+                if (i, j) in checked or cost[i] == float("inf"):
+                    continue
+                checked.add((i, j))
+                edge_len = float(np.linalg.norm(vertices[i] - vertices[j]))
+                new_cost = cost[i] + edge_len
+                if new_cost >= cost.get(j, float("inf")):
+                    continue
+                checks += 1
+                if context.check_motion(vertices[i], vertices[j], STAGE_EXPLORE):
+                    continue
+                cost[j] = new_cost
+                parent[j] = i
+                if j == 1:
+                    best_cost = cost[1] + 0.0
+            if best_cost == float("inf") and cost[1] < float("inf"):
+                best_cost = cost[1]
+            best_cost = min(best_cost, cost.get(1, float("inf")))
+
+        if cost.get(1, float("inf")) == float("inf"):
+            return self._result(False, [], context)
+
+        # Reconstruct and run the final feasibility pass (S2): BIT* edge
+        # checks used the planner resolution; the returned trajectory is
+        # re-validated at full resolution like the paper's stage 2.
+        path = [1]
+        while path[-1] != 0:
+            path.append(parent[path[-1]])
+        waypoints = [vertices[v] for v in path[::-1]]
+        for a, b in zip(waypoints[:-1], waypoints[1:]):
+            context.check_motion(a, b, STAGE_REFINE, num_poses=context.num_poses * 2)
+        return self._result(True, waypoints, context)

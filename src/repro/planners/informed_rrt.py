@@ -1,0 +1,130 @@
+"""Informed RRT* (Gammell et al. [15]).
+
+RRT* with rewiring plus informed sampling: once a solution exists, new
+samples are drawn only from the prolate hyperspheroid that can contain a
+better path. Cited by the paper among the sampling-based planners whose
+collision checking dominates runtime; included here as a further workload
+generator and classical baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    CheckContext,
+    Planner,
+    PlanningProblem,
+    PlanningResult,
+)
+
+__all__ = ["InformedRRTStarPlanner"]
+
+
+class InformedRRTStarPlanner(Planner):
+    """Asymptotically-optimal RRT with informed sampling."""
+
+    name = "informed_rrt_star"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        max_iterations: int = 500,
+        step_size: float = 0.5,
+        neighbour_radius: float = 0.9,
+        goal_bias: float = 0.05,
+        goal_tolerance: float = 0.3,
+    ):
+        self.rng = rng
+        self.max_iterations = max_iterations
+        self.step_size = step_size
+        self.neighbour_radius = neighbour_radius
+        self.goal_bias = goal_bias
+        self.goal_tolerance = goal_tolerance
+
+    def _sample(self, problem: PlanningProblem, best_cost: float) -> np.ndarray:
+        robot = problem.robot
+        if self.rng.random() < self.goal_bias:
+            return problem.goal
+        if best_cost == float("inf"):
+            return robot.random_configuration(self.rng)
+        # Informed set by rejection: |q - start| + |q - goal| <= best_cost.
+        for _ in range(64):
+            q = robot.random_configuration(self.rng)
+            heuristic = float(
+                np.linalg.norm(q - problem.start) + np.linalg.norm(q - problem.goal)
+            )
+            if heuristic <= best_cost:
+                return q
+        return robot.random_configuration(self.rng)
+
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        nodes = [problem.start]
+        parents = [-1]
+        costs = [0.0]
+        goal_nodes: list[int] = []
+        best_cost = float("inf")
+
+        for _ in range(self.max_iterations):
+            target = self._sample(problem, best_cost)
+            stacked = np.stack(nodes)
+            gaps = np.linalg.norm(stacked - target, axis=1)
+            nearest = int(np.argmin(gaps))
+            direction = target - nodes[nearest]
+            dist = float(np.linalg.norm(direction))
+            if dist < 1e-9:
+                continue
+            candidate = (
+                target
+                if dist <= self.step_size
+                else nodes[nearest] + direction * (self.step_size / dist)
+            )
+            if context.check_motion(nodes[nearest], candidate, STAGE_EXPLORE):
+                continue
+
+            # Choose the lowest-cost parent among near neighbours.
+            gaps = np.linalg.norm(stacked - candidate, axis=1)
+            near = [int(i) for i in np.flatnonzero(gaps <= self.neighbour_radius)]
+            parent = nearest
+            parent_cost = costs[nearest] + float(np.linalg.norm(candidate - nodes[nearest]))
+            for i in near:
+                through = costs[i] + float(gaps[i])
+                if through < parent_cost and not context.check_motion(
+                    nodes[i], candidate, STAGE_EXPLORE
+                ):
+                    parent, parent_cost = i, through
+            nodes.append(candidate)
+            parents.append(parent)
+            costs.append(parent_cost)
+            new_index = len(nodes) - 1
+
+            # Rewire neighbours through the new node where it improves them.
+            for i in near:
+                improved = parent_cost + float(gaps[i])
+                if improved < costs[i] and not context.check_motion(
+                    candidate, nodes[i], STAGE_REFINE
+                ):
+                    parents[i] = new_index
+                    costs[i] = improved
+
+            if float(np.linalg.norm(candidate - problem.goal)) <= self.goal_tolerance:
+                if not context.check_motion(candidate, problem.goal, STAGE_EXPLORE):
+                    goal_nodes.append(new_index)
+            for g in goal_nodes:
+                total = costs[g] + float(np.linalg.norm(nodes[g] - problem.goal))
+                best_cost = min(best_cost, total)
+
+        if not goal_nodes:
+            return self._result(False, [], context)
+        best = min(
+            goal_nodes,
+            key=lambda g: costs[g] + float(np.linalg.norm(nodes[g] - problem.goal)),
+        )
+        path = [problem.goal]
+        index = best
+        while index >= 0:
+            path.append(nodes[index])
+            index = parents[index]
+        return self._result(True, path[::-1], context)

@@ -1,0 +1,107 @@
+"""Lazy PRM (Bohlin & Kavraki [6]).
+
+Lazy PRM builds the roadmap *without* any collision checking, searches it
+for a shortest path, and only then validates that path's vertices and
+edges — removing invalid elements and re-searching until a valid path
+survives. Its CDQ stream is therefore extremely collision-heavy in early
+iterations (exactly the structure collision prediction exploits), which
+is why the paper's related work cites it among the target algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    CheckContext,
+    Planner,
+    PlanningProblem,
+    PlanningResult,
+)
+from .prm import Roadmap
+
+__all__ = ["LazyPRMPlanner"]
+
+
+class LazyPRMPlanner(Planner):
+    """Search-first, validate-later probabilistic roadmap planning."""
+
+    name = "lazy_prm"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        num_samples: int = 150,
+        connection_radius: float = 1.2,
+        max_repairs: int = 60,
+    ):
+        self.rng = rng
+        self.num_samples = num_samples
+        self.connection_radius = connection_radius
+        self.max_repairs = max_repairs
+
+    def _build_roadmap(self, problem: PlanningProblem) -> tuple[Roadmap, int, int]:
+        roadmap = Roadmap()
+        start_id = roadmap.add_vertex(problem.start)
+        goal_id = roadmap.add_vertex(problem.goal)
+        for _ in range(self.num_samples):
+            # No collision checks here — laziness is the algorithm's point.
+            node = roadmap.add_vertex(problem.robot.random_configuration(self.rng))
+            for nb in roadmap.neighbours_within(roadmap.vertices[node], self.connection_radius):
+                if nb != node:
+                    roadmap.add_edge(node, nb)
+        for endpoint in (start_id, goal_id):
+            for nb in roadmap.neighbours_within(
+                roadmap.vertices[endpoint], self.connection_radius
+            ):
+                if nb != endpoint:
+                    roadmap.add_edge(endpoint, nb)
+        return roadmap, start_id, goal_id
+
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        roadmap, start_id, goal_id = self._build_roadmap(problem)
+        blocked: set = set()
+        invalid_vertices: set = set()
+        validated_edges: set = set()
+        for _repair in range(self.max_repairs):
+            vertex_path = roadmap.shortest_path(start_id, goal_id, blocked)
+            if not vertex_path or any(v in invalid_vertices for v in vertex_path):
+                # Block edges through known-invalid vertices and retry.
+                if not vertex_path:
+                    return self._result(False, [], context)
+                for v in vertex_path:
+                    if v in invalid_vertices:
+                        for nb in roadmap.adjacency[v]:
+                            blocked.add((min(v, nb), max(v, nb)))
+                continue
+            # Validate vertices first (cheap), then edges, lazily.
+            path_valid = True
+            for v in vertex_path:
+                if v in (start_id, goal_id) or v in invalid_vertices:
+                    continue
+                if context.check_pose(roadmap.vertices[v], STAGE_EXPLORE):
+                    invalid_vertices.add(v)
+                    for nb in roadmap.adjacency[v]:
+                        blocked.add((min(v, nb), max(v, nb)))
+                    path_valid = False
+                    break
+            if not path_valid:
+                continue
+            for a, b in zip(vertex_path[:-1], vertex_path[1:]):
+                key = (min(a, b), max(a, b))
+                if key in validated_edges:
+                    continue
+                if context.check_motion(
+                    roadmap.vertices[a], roadmap.vertices[b], STAGE_REFINE
+                ):
+                    blocked.add(key)
+                    path_valid = False
+                    break
+                validated_edges.add(key)
+            if path_valid:
+                return self._result(
+                    True, [roadmap.vertices[v] for v in vertex_path], context
+                )
+        return self._result(False, [], context)

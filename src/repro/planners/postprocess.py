@@ -1,0 +1,121 @@
+"""Trajectory post-processing: shortcutting, smoothing, densification.
+
+The planners return coarse waypoint paths; downstream consumers (the S2
+feasibility stage, trajectory executors) want them short, smooth, and
+uniformly sampled. These utilities operate purely in C-space and charge
+all collision checks to a :class:`~repro.planners.base.CheckContext`, so
+their CDQ cost is visible in the same accounting as everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import STAGE_REFINE, CheckContext
+
+__all__ = ["shortcut_path", "chaikin_smooth", "densify_path", "path_clearance_profile"]
+
+
+def shortcut_path(
+    path: list[np.ndarray],
+    context: CheckContext,
+    rng: np.random.Generator,
+    rounds: int = 40,
+) -> list[np.ndarray]:
+    """Randomized shortcutting: replace random subpaths by free segments.
+
+    The classical post-processor every sampling planner ships with; its
+    motion checks are charged to the refinement stage (S2), matching the
+    paper's stage taxonomy.
+    """
+    path = [np.asarray(p, dtype=float) for p in path]
+    for _ in range(rounds):
+        if len(path) <= 2:
+            break
+        i = int(rng.integers(0, len(path) - 2))
+        j = int(rng.integers(i + 2, len(path)))
+        if not context.check_motion(path[i], path[j], STAGE_REFINE):
+            path = path[: i + 1] + path[j:]
+    return path
+
+
+def chaikin_smooth(
+    path: list[np.ndarray],
+    context: CheckContext | None = None,
+    iterations: int = 2,
+    keep_endpoints: bool = True,
+) -> list[np.ndarray]:
+    """Chaikin corner cutting, optionally validated against collisions.
+
+    Each iteration replaces every interior corner by two points at 1/4
+    and 3/4 of its adjacent segments, geometrically converging to a
+    quadratic B-spline. When a ``context`` is given, the smoothed path is
+    kept only if every smoothed segment checks collision-free; otherwise
+    the original path is returned (smoothing must never un-validate a
+    trajectory).
+    """
+    path = [np.asarray(p, dtype=float) for p in path]
+    if len(path) < 3:
+        return path
+    smoothed = path
+    for _ in range(iterations):
+        new_path = [smoothed[0]] if keep_endpoints else []
+        for a, b in zip(smoothed[:-1], smoothed[1:]):
+            new_path.append(0.75 * a + 0.25 * b)
+            new_path.append(0.25 * a + 0.75 * b)
+        if keep_endpoints:
+            new_path.append(smoothed[-1])
+        smoothed = new_path
+    if context is not None:
+        for a, b in zip(smoothed[:-1], smoothed[1:]):
+            if context.check_motion(a, b, STAGE_REFINE):
+                return path
+    return smoothed
+
+
+def densify_path(path: list[np.ndarray], max_step: float) -> list[np.ndarray]:
+    """Insert waypoints so consecutive points are at most ``max_step`` apart."""
+    if max_step <= 0:
+        raise ValueError("max_step must be positive")
+    path = [np.asarray(p, dtype=float) for p in path]
+    if len(path) < 2:
+        return path
+    dense = [path[0]]
+    for a, b in zip(path[:-1], path[1:]):
+        gap = float(np.linalg.norm(b - a))
+        steps = max(1, int(np.ceil(gap / max_step)))
+        for k in range(1, steps + 1):
+            dense.append(a + (k / steps) * (b - a))
+    return dense
+
+
+def path_clearance_profile(path: list[np.ndarray], robot, scene, samples_per_segment: int = 5):
+    """Minimum link-center clearance along the path (diagnostic).
+
+    Returns an array with one conservative clearance value per sampled
+    pose: distance of the nearest link center to the nearest obstacle
+    center minus that obstacle's circumscribed radius. Useful for
+    comparing post-processors (shortcutting trades clearance for length).
+    """
+    from ..geometry.distance import point_obb_distance
+
+    values = []
+    path = [np.asarray(p, dtype=float) for p in path]
+    for a, b in zip(path[:-1], path[1:]):
+        for frac in np.linspace(0.0, 1.0, samples_per_segment, endpoint=False):
+            q = a + frac * (b - a)
+            centers = robot.link_centers(q)
+            clearance = float("inf")
+            for box in scene.obstacles:
+                for center in centers:
+                    clearance = min(clearance, point_obb_distance(center, box))
+            values.append(clearance)
+    if path:
+        centers = robot.link_centers(path[-1])
+        clearance = float("inf")
+        for box in scene.obstacles:
+            for center in centers:
+                clearance = min(clearance, point_obb_distance(center, box))
+        values.append(clearance)
+    return np.asarray(values)
+

@@ -1,0 +1,248 @@
+"""Probabilistic roadmaps, including the fixed-roadmap variant of Dadu-P.
+
+Two flavours:
+
+* :class:`PRMPlanner` — classical PRM: sample a roadmap per query, check
+  vertices and edges lazily during graph search.
+* :class:`FixedRoadmapPlanner` — the Leven & Hutchinson / Dadu-P model
+  (Sec. VII-2): a roadmap with a *fixed set of short motions* is built
+  offline; at runtime each short motion is checked against the current
+  environment and the plan is found over surviving edges. This is the
+  planner whose CDQs the Dadu-P accelerator model replays.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .base import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    CheckContext,
+    Planner,
+    PlanningProblem,
+    PlanningResult,
+)
+
+__all__ = ["PRMPlanner", "FixedRoadmapPlanner", "Roadmap", "build_random_roadmap"]
+
+
+class Roadmap:
+    """An undirected C-space graph with Euclidean edge weights."""
+
+    def __init__(self):
+        self.vertices: list[np.ndarray] = []
+        self.adjacency: dict[int, list[int]] = {}
+
+    def add_vertex(self, q: np.ndarray) -> int:
+        """Insert a configuration; returns its vertex id."""
+        self.vertices.append(np.asarray(q, dtype=float))
+        index = len(self.vertices) - 1
+        self.adjacency[index] = []
+        return index
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Connect two vertices (idempotent)."""
+        if b not in self.adjacency[a]:
+            self.adjacency[a].append(b)
+        if a not in self.adjacency[b]:
+            self.adjacency[b].append(a)
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count."""
+        return len(self.vertices)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Each undirected edge once, as (low, high) vertex-id pairs."""
+        seen = []
+        for a, neighbours in self.adjacency.items():
+            for b in neighbours:
+                if a < b:
+                    seen.append((a, b))
+        return seen
+
+    def truncate(self, num_vertices: int) -> None:
+        """Drop vertices with id >= ``num_vertices`` and their edges.
+
+        Used by :class:`FixedRoadmapPlanner` to remove the temporary
+        start/goal attachments after each query, keeping the offline
+        roadmap fixed across queries.
+        """
+        if num_vertices >= len(self.vertices):
+            return
+        self.vertices = self.vertices[:num_vertices]
+        self.adjacency = {
+            v: [nb for nb in nbs if nb < num_vertices]
+            for v, nbs in self.adjacency.items()
+            if v < num_vertices
+        }
+
+    def neighbours_within(self, q: np.ndarray, radius: float) -> list[int]:
+        """Vertex ids within ``radius`` of ``q``."""
+        if not self.vertices:
+            return []
+        stacked = np.stack(self.vertices)
+        gaps = np.linalg.norm(stacked - q, axis=1)
+        return [int(i) for i in np.flatnonzero(gaps <= radius)]
+
+    def shortest_path(self, start: int, goal: int, blocked_edges: set | None = None) -> list[int]:
+        """Dijkstra over unblocked edges; empty list when disconnected."""
+        blocked = blocked_edges or set()
+        dist = {start: 0.0}
+        prev: dict[int, int] = {}
+        heap = [(0.0, start)]
+        visited = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == goal:
+                break
+            for nb in self.adjacency[node]:
+                key = (min(node, nb), max(node, nb))
+                if key in blocked:
+                    continue
+                weight = float(np.linalg.norm(self.vertices[node] - self.vertices[nb]))
+                alt = d + weight
+                if alt < dist.get(nb, float("inf")):
+                    dist[nb] = alt
+                    prev[nb] = node
+                    heapq.heappush(heap, (alt, nb))
+        if goal not in visited:
+            return []
+        path = [goal]
+        while path[-1] != start:
+            path.append(prev[path[-1]])
+        return path[::-1]
+
+
+def build_random_roadmap(
+    robot, rng: np.random.Generator, num_vertices: int = 120, connection_radius: float = 1.2
+) -> Roadmap:
+    """Sample a roadmap over the robot's C-space (no collision filtering).
+
+    Collision status is resolved at query time — this mirrors Dadu-P, where
+    the *geometry* of every short motion is fixed offline and only its
+    validity against the current obstacles is computed online.
+    """
+    roadmap = Roadmap()
+    for _ in range(num_vertices):
+        roadmap.add_vertex(robot.random_configuration(rng))
+    stacked = np.stack(roadmap.vertices)
+    for i in range(num_vertices):
+        gaps = np.linalg.norm(stacked - stacked[i], axis=1)
+        for j in np.flatnonzero((gaps > 1e-9) & (gaps <= connection_radius)):
+            roadmap.add_edge(i, int(j))
+    return roadmap
+
+
+class PRMPlanner(Planner):
+    """Classical single-query PRM with lazy edge validation."""
+
+    name = "prm"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        num_samples: int = 150,
+        connection_radius: float = 1.2,
+    ):
+        self.rng = rng
+        self.num_samples = num_samples
+        self.connection_radius = connection_radius
+
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        roadmap = Roadmap()
+        start_id = roadmap.add_vertex(problem.start)
+        goal_id = roadmap.add_vertex(problem.goal)
+        for _ in range(self.num_samples):
+            q = problem.robot.random_configuration(self.rng)
+            if context.check_pose(q, STAGE_EXPLORE):
+                continue
+            node = roadmap.add_vertex(q)
+            for nb in roadmap.neighbours_within(q, self.connection_radius):
+                if nb != node:
+                    roadmap.add_edge(node, nb)
+        for nb in roadmap.neighbours_within(problem.start, self.connection_radius):
+            if nb != start_id:
+                roadmap.add_edge(start_id, nb)
+        for nb in roadmap.neighbours_within(problem.goal, self.connection_radius):
+            if nb != goal_id:
+                roadmap.add_edge(goal_id, nb)
+
+        blocked: set = set()
+        while True:
+            vertex_path = roadmap.shortest_path(start_id, goal_id, blocked)
+            if not vertex_path:
+                return self._result(False, [], context)
+            # Lazy validation: check edges of the candidate path only.
+            valid = True
+            for a, b in zip(vertex_path[:-1], vertex_path[1:]):
+                if context.check_motion(
+                    roadmap.vertices[a], roadmap.vertices[b], STAGE_REFINE
+                ):
+                    blocked.add((min(a, b), max(a, b)))
+                    valid = False
+                    break
+            if valid:
+                path = [roadmap.vertices[v] for v in vertex_path]
+                return self._result(True, path, context)
+
+
+class FixedRoadmapPlanner(Planner):
+    """Dadu-P-style planning over a precomputed roadmap (Sec. VII-2).
+
+    At query time *every* short motion (edge) of the fixed roadmap is
+    checked against the environment — this is the CDQ-heavy phase the
+    Dadu-P accelerator executes — then the plan is a graph search over the
+    surviving edges.
+    """
+
+    name = "fixed_roadmap"
+
+    def __init__(self, roadmap: Roadmap, connection_radius: float = 1.2):
+        self.roadmap = roadmap
+        self.connection_radius = connection_radius
+
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        base_vertices = self.roadmap.num_vertices
+        try:
+            return self._plan(problem, context)
+        finally:
+            # Detach the per-query start/goal vertices: the offline roadmap
+            # must stay fixed across queries (that is Dadu-P's premise).
+            self.roadmap.truncate(base_vertices)
+
+    def _plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        blocked: set = set()
+        for a, b in self.roadmap.edges():
+            if context.check_motion(
+                self.roadmap.vertices[a], self.roadmap.vertices[b], STAGE_EXPLORE
+            ):
+                blocked.add((a, b))
+        start_id = self._attach(problem.start, context, blocked)
+        goal_id = self._attach(problem.goal, context, blocked)
+        if start_id is None or goal_id is None:
+            return self._result(False, [], context)
+        vertex_path = self.roadmap.shortest_path(start_id, goal_id, blocked)
+        if not vertex_path:
+            return self._result(False, [], context)
+        path = [self.roadmap.vertices[v].copy() for v in vertex_path]
+        return self._result(True, path, context)
+
+    def _attach(self, q: np.ndarray, context: CheckContext, blocked: set) -> int | None:
+        """Temporarily connect a query configuration into the roadmap."""
+        neighbours = self.roadmap.neighbours_within(q, self.connection_radius)
+        node = self.roadmap.add_vertex(q)
+        attached = False
+        for nb in neighbours:
+            if context.check_motion(q, self.roadmap.vertices[nb], STAGE_REFINE):
+                blocked.add((min(node, nb), max(node, nb)))
+                continue
+            self.roadmap.add_edge(node, nb)
+            attached = True
+        return node if attached else None

@@ -1,0 +1,177 @@
+"""Rapidly-exploring Random Trees: RRT and RRT-Connect.
+
+RRT-Connect serves two roles in the reproduction: a classical baseline
+planner, and the *demonstration generator* used to train the MPNet-style
+neural sampler (DESIGN.md substitution #1 — the original MPNet is trained
+on expert paths; we imitate RRT-Connect solutions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    CheckContext,
+    Planner,
+    PlanningProblem,
+    PlanningResult,
+)
+
+__all__ = ["RRTPlanner", "RRTConnectPlanner"]
+
+
+class _Tree:
+    """A simple parent-pointer tree over C-space nodes."""
+
+    def __init__(self, root: np.ndarray):
+        self.nodes = [np.asarray(root, dtype=float)]
+        self.parents = [-1]
+
+    def nearest(self, q: np.ndarray) -> int:
+        """Index of the node closest to ``q``."""
+        stacked = np.stack(self.nodes)
+        return int(np.argmin(np.linalg.norm(stacked - q, axis=1)))
+
+    def add(self, q: np.ndarray, parent: int) -> int:
+        """Insert a node; returns its index."""
+        self.nodes.append(np.asarray(q, dtype=float))
+        self.parents.append(parent)
+        return len(self.nodes) - 1
+
+    def path_to(self, index: int) -> list[np.ndarray]:
+        """Root-to-node waypoint list."""
+        path = []
+        while index >= 0:
+            path.append(self.nodes[index])
+            index = self.parents[index]
+        return path[::-1]
+
+
+def _steer(from_q: np.ndarray, to_q: np.ndarray, step: float) -> np.ndarray:
+    """Move from ``from_q`` toward ``to_q`` by at most ``step``."""
+    delta = to_q - from_q
+    dist = float(np.linalg.norm(delta))
+    if dist <= step:
+        return to_q
+    return from_q + delta * (step / dist)
+
+
+class RRTPlanner(Planner):
+    """Single-tree RRT with goal biasing."""
+
+    name = "rrt"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        max_iterations: int = 400,
+        step_size: float = 0.5,
+        goal_bias: float = 0.1,
+        goal_tolerance: float = 0.25,
+    ):
+        self.rng = rng
+        self.max_iterations = max_iterations
+        self.step_size = step_size
+        self.goal_bias = goal_bias
+        self.goal_tolerance = goal_tolerance
+
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        robot = problem.robot
+        tree = _Tree(problem.start)
+        for _ in range(self.max_iterations):
+            if self.rng.random() < self.goal_bias:
+                target = problem.goal
+            else:
+                target = robot.random_configuration(self.rng)
+            nearest = tree.nearest(target)
+            candidate = _steer(tree.nodes[nearest], target, self.step_size)
+            if context.check_motion(tree.nodes[nearest], candidate, STAGE_EXPLORE):
+                continue
+            node = tree.add(candidate, nearest)
+            if np.linalg.norm(candidate - problem.goal) <= self.goal_tolerance:
+                if not context.check_motion(candidate, problem.goal, STAGE_EXPLORE):
+                    path = tree.path_to(node) + [problem.goal]
+                    path = _shortcut(path, context, self.rng)
+                    return self._result(True, path, context)
+        return self._result(False, [], context)
+
+
+class RRTConnectPlanner(Planner):
+    """Bidirectional RRT-Connect (Kuffner & LaValle)."""
+
+    name = "rrt_connect"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        max_iterations: int = 400,
+        step_size: float = 0.5,
+    ):
+        self.rng = rng
+        self.max_iterations = max_iterations
+        self.step_size = step_size
+
+    def _extend(self, tree: _Tree, target: np.ndarray, context: CheckContext) -> int | None:
+        """One EXTEND step toward ``target``; returns new node or None."""
+        nearest = tree.nearest(target)
+        candidate = _steer(tree.nodes[nearest], target, self.step_size)
+        if context.check_motion(tree.nodes[nearest], candidate, STAGE_EXPLORE):
+            return None
+        return tree.add(candidate, nearest)
+
+    def _connect(self, tree: _Tree, target: np.ndarray, context: CheckContext) -> int | None:
+        """Greedy CONNECT: extend repeatedly until blocked or reached."""
+        node = None
+        while True:
+            extended = self._extend(tree, target, context)
+            if extended is None:
+                return node
+            node = extended
+            if np.linalg.norm(tree.nodes[extended] - target) < 1e-9:
+                return extended
+
+    def plan(self, problem: PlanningProblem, context: CheckContext) -> PlanningResult:
+        robot = problem.robot
+        tree_a = _Tree(problem.start)
+        tree_b = _Tree(problem.goal)
+        forward = True
+        for _ in range(self.max_iterations):
+            target = robot.random_configuration(self.rng)
+            grow, other = (tree_a, tree_b) if forward else (tree_b, tree_a)
+            new_node = self._extend(grow, target, context)
+            if new_node is not None:
+                bridge = self._connect(other, grow.nodes[new_node], context)
+                if bridge is not None and np.linalg.norm(
+                    other.nodes[bridge] - grow.nodes[new_node]
+                ) < 1e-9:
+                    path_grow = grow.path_to(new_node)
+                    path_other = other.path_to(bridge)
+                    if forward:
+                        path = path_grow + path_other[::-1][1:]
+                    else:
+                        path = path_other + path_grow[::-1][1:]
+                    path = _shortcut(path, context, self.rng)
+                    return self._result(True, path, context)
+            forward = not forward
+        return self._result(False, [], context)
+
+
+def _shortcut(
+    path: list[np.ndarray], context: CheckContext, rng: np.random.Generator, rounds: int = 20
+) -> list[np.ndarray]:
+    """Randomized shortcutting — the refinement (S2) stage of RRT planners.
+
+    Attempts to replace random sub-paths with straight segments; its motion
+    checks are mostly collision-free, producing the paper's S2 CDQ profile.
+    """
+    path = list(path)
+    for _ in range(rounds):
+        if len(path) <= 2:
+            break
+        i = int(rng.integers(0, len(path) - 2))
+        j = int(rng.integers(i + 2, len(path)))
+        if not context.check_motion(path[i], path[j], STAGE_REFINE):
+            path = path[: i + 1] + path[j:]
+    return path

@@ -1,0 +1,45 @@
+"""Benchmark workloads: planner-generated motion streams, traces, grouping."""
+
+from .benchmarks import (
+    BENCHMARK_NAMES,
+    PlannerWorkload,
+    RecordedMotion,
+    RecordingContext,
+    generate_workload,
+    make_benchmark,
+)
+from .difficulty import GROUP_LABELS, group_by_difficulty
+from .io import load_workloads, save_workloads
+from .stats import WorkloadStats, characterize_suite, characterize_workload
+from .traces import (
+    CDQRecord,
+    MotionTrace,
+    PoseTrace,
+    load_traces,
+    save_traces,
+    trace_motion,
+    trace_motions,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "PlannerWorkload",
+    "RecordedMotion",
+    "RecordingContext",
+    "generate_workload",
+    "make_benchmark",
+    "GROUP_LABELS",
+    "group_by_difficulty",
+    "load_workloads",
+    "save_workloads",
+    "WorkloadStats",
+    "characterize_suite",
+    "characterize_workload",
+    "CDQRecord",
+    "MotionTrace",
+    "PoseTrace",
+    "load_traces",
+    "save_traces",
+    "trace_motion",
+    "trace_motions",
+]

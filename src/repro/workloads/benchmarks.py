@@ -1,0 +1,192 @@
+"""Benchmark workload generation (Sec. V).
+
+A *benchmark* here is what the paper evaluates: a (motion planning
+algorithm, robot) combination run over a set of environment scenarios and
+planning queries, captured as the stream of motion-environment checks the
+planner issued. The workload generator runs our planner implementations
+and records every checked motion, so downstream consumers (software
+pipeline comparisons, the hardware simulator) replay exactly the motions a
+real planner would have checked.
+
+The six paper combinations are exposed by name:
+``mpnet-baxter``, ``mpnet-2d``, ``gnnmp-kuka``, ``gnnmp-2d``,
+``bit*-kuka``, ``bit*-2d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..collision.detector import CollisionDetector
+from ..collision.pipeline import Motion
+from ..collision.scheduling import PoseScheduler
+from ..env.generators import (
+    narrow_gap_arm_scene,
+    narrow_passage_2d_scene,
+    random_2d_scene,
+    tabletop_scene,
+)
+from ..env.scene import Scene
+from ..kinematics.robots import RobotModel, baxter_arm, kuka_iiwa, planar_2d
+from ..planners.base import CheckContext, Planner, PlanningProblem
+from ..planners.bit_star import BITStarPlanner
+from ..planners.gnn import EdgeScorer, GNNPlanner
+from ..planners.mpnet import MPNetPlanner, NeuralSampler
+
+__all__ = [
+    "RecordedMotion",
+    "PlannerWorkload",
+    "RecordingContext",
+    "generate_workload",
+    "make_benchmark",
+    "BENCHMARK_NAMES",
+]
+
+BENCHMARK_NAMES = (
+    "mpnet-baxter",
+    "mpnet-2d",
+    "gnnmp-kuka",
+    "gnnmp-2d",
+    "bit*-kuka",
+    "bit*-2d",
+)
+
+
+@dataclass
+class RecordedMotion:
+    """One motion check a planner issued, with its stage tag."""
+
+    start: np.ndarray
+    end: np.ndarray
+    num_poses: int
+    stage: str
+
+    def as_motion(self) -> Motion:
+        """Convert to the pipeline's :class:`Motion`."""
+        return Motion(start=self.start, end=self.end, num_poses=self.num_poses)
+
+
+@dataclass
+class PlannerWorkload:
+    """All motion checks of one planning query against one scene."""
+
+    name: str
+    scene: Scene
+    robot: RobotModel
+    motions: list[RecordedMotion] = field(default_factory=list)
+
+    @property
+    def num_motions(self) -> int:
+        """Motion checks recorded."""
+        return len(self.motions)
+
+    def stage_motions(self, stage: str) -> list[RecordedMotion]:
+        """Only the motions of one algorithm stage (S1 or S2)."""
+        return [m for m in self.motions if m.stage == stage]
+
+
+class RecordingContext(CheckContext):
+    """A :class:`CheckContext` that also records every motion it checks."""
+
+    def __init__(self, detector: CollisionDetector, scheduler: PoseScheduler | None = None, num_poses: int = 12):
+        super().__init__(detector, scheduler=scheduler, predictor=None, num_poses=num_poses)
+        self.recorded: list[RecordedMotion] = []
+
+    def check_motion(self, start, end, stage: str = "S1", num_poses: int | None = None) -> bool:
+        self.recorded.append(
+            RecordedMotion(
+                start=np.asarray(start, dtype=float).copy(),
+                end=np.asarray(end, dtype=float).copy(),
+                num_poses=num_poses or self.num_poses,
+                stage=stage,
+            )
+        )
+        return super().check_motion(start, end, stage, num_poses)
+
+
+def _free_pose(detector: CollisionDetector, rng: np.random.Generator, attempts: int = 400) -> np.ndarray:
+    """Sample a collision-free configuration (planning endpoints)."""
+    for _ in range(attempts):
+        q = detector.robot.random_configuration(rng)
+        if not detector.check_pose(q).collided:
+            return q
+    raise RuntimeError("could not sample a free configuration")
+
+
+def generate_workload(
+    planner: Planner,
+    robot: RobotModel,
+    scene: Scene,
+    rng: np.random.Generator,
+    name: str = "workload",
+    num_poses: int = 12,
+) -> PlannerWorkload:
+    """Run one planning query and record every motion check it issued."""
+    detector = CollisionDetector(scene, robot)
+    start = _free_pose(detector, rng)
+    goal = _free_pose(detector, rng)
+    context = RecordingContext(detector, num_poses=num_poses)
+    planner.plan(PlanningProblem(robot=robot, scene=scene, start=start, goal=goal), context)
+    return PlannerWorkload(name=name, scene=scene, robot=robot, motions=context.recorded)
+
+
+def _arm_scene(rng: np.random.Generator, hard: bool) -> Scene:
+    return narrow_gap_arm_scene(rng) if hard else tabletop_scene(rng, num_objects=9)
+
+
+def _planar_scene(rng: np.random.Generator, hard: bool) -> Scene:
+    return narrow_passage_2d_scene(rng) if hard else random_2d_scene(rng, num_obstacles=12)
+
+
+def make_benchmark(
+    name: str,
+    rng: np.random.Generator,
+    num_queries: int = 10,
+    hard_fraction: float = 0.3,
+    sampler: NeuralSampler | None = None,
+    scorer: EdgeScorer | None = None,
+) -> list[PlannerWorkload]:
+    """Generate a named paper benchmark: a list of planning-query workloads.
+
+    ``hard_fraction`` of queries use the narrow-passage scene family so the
+    difficulty spread covers the G1-G5 grouping of Sec. VI-B. ``sampler`` /
+    ``scorer`` supply trained networks for the MPNet / GNN planners (the
+    untrained fallbacks are used otherwise).
+    """
+    if name not in BENCHMARK_NAMES:
+        raise ValueError(f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}")
+    algo, domain = name.split("-")
+    robot = {"baxter": baxter_arm, "kuka": kuka_iiwa, "2d": planar_2d}[domain]()
+
+    workloads = []
+    for query in range(num_queries):
+        hard = rng.random() < hard_fraction
+        if algo == "mpnet":
+            planner: Planner = MPNetPlanner(
+                sampler or NeuralSampler(robot.dof),
+                rng,
+                max_steps=60,
+                max_replans=3,
+                connect_threshold=1.5,
+            )
+        elif algo == "gnnmp":
+            planner = GNNPlanner(scorer or EdgeScorer(), rng, num_samples=80, max_edge_checks=200)
+        else:
+            planner = BITStarPlanner(rng, batch_size=40, num_batches=3, max_edge_checks=200)
+        # A hard scene can occasionally leave no free endpoints for this
+        # robot; redraw the scene rather than fail the whole benchmark.
+        for _attempt in range(8):
+            scene = _planar_scene(rng, hard) if domain == "2d" else _arm_scene(rng, hard)
+            try:
+                workload = generate_workload(
+                    planner, robot, scene, rng, name=f"{name}-q{query}"
+                )
+                break
+            except RuntimeError:
+                continue
+        else:
+            raise RuntimeError(f"could not build a feasible scene for {name} query {query}")
+        workloads.append(workload)
+    return workloads

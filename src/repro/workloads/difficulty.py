@@ -1,0 +1,36 @@
+"""Difficulty grouping of planning queries (G1-G5, Sec. VI-B).
+
+"We use the number of CDQs performed during a motion planning query to
+approximate its difficulty level and divide the benchmarks into five
+equal-size groups, G1-G5, where the difficulty level increases from G1 to
+G5." Group boundaries are quantiles of the per-query baseline CDQ counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["group_by_difficulty", "GROUP_LABELS"]
+
+GROUP_LABELS = ("G1", "G2", "G3", "G4", "G5")
+
+
+def group_by_difficulty(items: list, costs: list[float], num_groups: int = 5) -> dict[str, list]:
+    """Split ``items`` into equal-size groups by ascending ``costs``.
+
+    Returns a dict mapping labels (``G1`` easiest ... ``G<n>`` hardest) to
+    item lists. Sizes differ by at most one when the population does not
+    divide evenly.
+    """
+    if len(items) != len(costs):
+        raise ValueError("items and costs must be the same length")
+    if num_groups < 1:
+        raise ValueError("need at least one group")
+    if num_groups > len(GROUP_LABELS):
+        raise ValueError(f"at most {len(GROUP_LABELS)} groups supported")
+    order = np.argsort(np.asarray(costs, dtype=float), kind="stable")
+    groups: dict[str, list] = {GROUP_LABELS[g]: [] for g in range(num_groups)}
+    splits = np.array_split(order, num_groups)
+    for g, indices in enumerate(splits):
+        groups[GROUP_LABELS[g]] = [items[int(i)] for i in indices]
+    return groups

@@ -1,0 +1,122 @@
+"""Workload serialization (the artifact's trace-file role for planners).
+
+The paper's artifact ships planner workloads as files so the accelerator
+evaluation is decoupled from trace generation. This module does the same
+for :class:`~repro.workloads.benchmarks.PlannerWorkload`: scenes and the
+recorded motion checks round-trip through a JSON-lines format, so a
+benchmark suite can be generated once and replayed across machines or
+configurations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..env.scene import Scene
+from ..geometry.obb import OBB
+from ..kinematics import robots as robot_factories
+from ..kinematics.robots import RobotModel
+from .benchmarks import PlannerWorkload, RecordedMotion
+
+__all__ = ["save_workloads", "load_workloads", "scene_to_dict", "scene_from_dict"]
+
+#: Robot factories addressable by name in serialized workloads.
+_ROBOT_FACTORIES = {
+    "jaco2": robot_factories.jaco2,
+    "kuka_iiwa": robot_factories.kuka_iiwa,
+    "baxter": robot_factories.baxter_arm,
+    "ur5": robot_factories.ur5,
+    "panda": robot_factories.franka_panda,
+    "planar2d": robot_factories.planar_2d,
+}
+
+
+def scene_to_dict(scene: Scene) -> dict:
+    """Serialize a scene's obstacles to plain JSON types."""
+    return {
+        "name": scene.name,
+        "obstacles": [
+            {
+                "center": [float(v) for v in box.center],
+                "half_extents": [float(v) for v in box.half_extents],
+                "rotation": [[float(v) for v in row] for row in box.rotation],
+            }
+            for box in scene.obstacles
+        ],
+    }
+
+
+def scene_from_dict(data: dict) -> Scene:
+    """Rebuild a scene from :func:`scene_to_dict` output."""
+    return Scene(
+        obstacles=[
+            OBB(
+                center=np.asarray(row["center"]),
+                half_extents=np.asarray(row["half_extents"]),
+                rotation=np.asarray(row["rotation"]),
+            )
+            for row in data["obstacles"]
+        ],
+        name=data.get("name", "scene"),
+    )
+
+
+def _robot_name(robot: RobotModel) -> str:
+    if robot.name not in _ROBOT_FACTORIES:
+        raise ValueError(
+            f"robot {robot.name!r} is not serializable; known: {sorted(_ROBOT_FACTORIES)}"
+        )
+    return robot.name
+
+
+def save_workloads(workloads: list[PlannerWorkload], path) -> None:
+    """Write workloads as JSON lines (one planning query per line)."""
+    with open(path, "w") as handle:
+        for workload in workloads:
+            record = {
+                "name": workload.name,
+                "robot": _robot_name(workload.robot),
+                "scene": scene_to_dict(workload.scene),
+                "motions": [
+                    {
+                        "start": [float(v) for v in m.start],
+                        "end": [float(v) for v in m.end],
+                        "num_poses": m.num_poses,
+                        "stage": m.stage,
+                    }
+                    for m in workload.motions
+                ],
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_workloads(path) -> list[PlannerWorkload]:
+    """Load workloads written by :func:`save_workloads`.
+
+    Robots are reconstructed from their registered factories, so the
+    loaded workload issues byte-identical CDQ streams.
+    """
+    workloads = []
+    with open(path) as handle:
+        for line in handle:
+            record = json.loads(line)
+            robot = _ROBOT_FACTORIES[record["robot"]]()
+            workloads.append(
+                PlannerWorkload(
+                    name=record["name"],
+                    scene=scene_from_dict(record["scene"]),
+                    robot=robot,
+                    motions=[
+                        RecordedMotion(
+                            start=np.asarray(m["start"]),
+                            end=np.asarray(m["end"]),
+                            num_poses=int(m["num_poses"]),
+                            stage=m["stage"],
+                        )
+                        for m in record["motions"]
+                    ],
+                )
+            )
+    return workloads

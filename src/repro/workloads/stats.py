@@ -1,0 +1,94 @@
+"""Workload characterization statistics.
+
+Section III-A's motivating numbers ("52% - 93% of motions checked for
+collision ... are colliding") are workload *properties*, not algorithm
+outputs. This module computes them for any recorded workload so users can
+verify their own benchmark suites sit in the regime where collision
+prediction pays: colliding-motion fraction, per-stage breakdown, CDQ
+population, and the per-motion difficulty distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..collision.detector import CollisionDetector
+from .benchmarks import PlannerWorkload
+
+__all__ = ["WorkloadStats", "characterize_workload", "characterize_suite"]
+
+
+@dataclass
+class WorkloadStats:
+    """Summary statistics of one planning query's motion-check stream."""
+
+    name: str
+    num_motions: int = 0
+    colliding_motions: int = 0
+    total_cdqs: int = 0
+    stage_motions: dict = field(default_factory=dict)
+    stage_colliding: dict = field(default_factory=dict)
+    motion_lengths: list = field(default_factory=list)
+
+    @property
+    def colliding_fraction(self) -> float:
+        """Fraction of checked motions that collide (Sec. III-A metric)."""
+        return self.colliding_motions / self.num_motions if self.num_motions else 0.0
+
+    def stage_colliding_fraction(self, stage: str) -> float:
+        """Colliding fraction restricted to one algorithm stage."""
+        checked = self.stage_motions.get(stage, 0)
+        return self.stage_colliding.get(stage, 0) / checked if checked else 0.0
+
+    @property
+    def mean_motion_length(self) -> float:
+        """Mean C-space length of the checked motions."""
+        return float(np.mean(self.motion_lengths)) if self.motion_lengths else 0.0
+
+    def merged(self, other: "WorkloadStats") -> "WorkloadStats":
+        """Combine two summaries (suite-level aggregation)."""
+        merged = WorkloadStats(
+            name=f"{self.name}+{other.name}",
+            num_motions=self.num_motions + other.num_motions,
+            colliding_motions=self.colliding_motions + other.colliding_motions,
+            total_cdqs=self.total_cdqs + other.total_cdqs,
+            motion_lengths=self.motion_lengths + other.motion_lengths,
+        )
+        for stats in (self, other):
+            for stage, count in stats.stage_motions.items():
+                merged.stage_motions[stage] = merged.stage_motions.get(stage, 0) + count
+            for stage, count in stats.stage_colliding.items():
+                merged.stage_colliding[stage] = (
+                    merged.stage_colliding.get(stage, 0) + count
+                )
+        return merged
+
+
+def characterize_workload(workload: PlannerWorkload) -> WorkloadStats:
+    """Compute ground-truth statistics for one recorded workload."""
+    detector = CollisionDetector(workload.scene, workload.robot)
+    stats = WorkloadStats(name=workload.name)
+    for motion in workload.motions:
+        stats.num_motions += 1
+        stats.stage_motions[motion.stage] = stats.stage_motions.get(motion.stage, 0) + 1
+        stats.total_cdqs += motion.num_poses * workload.robot.num_links
+        stats.motion_lengths.append(float(np.linalg.norm(motion.end - motion.start)))
+        if detector.check_motion(motion.start, motion.end, motion.num_poses).collided:
+            stats.colliding_motions += 1
+            stats.stage_colliding[motion.stage] = (
+                stats.stage_colliding.get(motion.stage, 0) + 1
+            )
+    return stats
+
+
+def characterize_suite(workloads: list[PlannerWorkload]) -> WorkloadStats:
+    """Aggregate statistics over a whole benchmark suite."""
+    if not workloads:
+        return WorkloadStats(name="empty")
+    total = characterize_workload(workloads[0])
+    for workload in workloads[1:]:
+        total = total.merged(characterize_workload(workload))
+    total.name = workloads[0].name.rsplit("-q", 1)[0]
+    return total

@@ -1,0 +1,149 @@
+"""CDQ trace record/replay.
+
+The paper's artifact evaluates the COPU+CDU microarchitectural simulator on
+*trace files*: per motion, the fully-enumerated list of CDQs with their
+ground-truth outcomes, captured from planner runs. We mirror that flow:
+:func:`trace_motion` exhaustively labels every CDQ of a motion (no early
+exit — the trace must contain outcomes for queries a scheduler may or may
+not execute), and the hardware simulator replays traces deciding which CDQs
+actually execute.
+
+Traces serialize to a compact JSON-lines format so benchmark workloads can
+be captured once and replayed across accelerator configurations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..collision.detector import CollisionDetector
+from ..collision.pipeline import Motion
+
+__all__ = ["CDQRecord", "PoseTrace", "MotionTrace", "trace_motion", "trace_motions", "save_traces", "load_traces"]
+
+
+@dataclass
+class CDQRecord:
+    """One fully-labelled CDQ: hash input, ground truth, and CDU work.
+
+    ``narrow_tests`` is the obstacle-stream position of the first hit (the
+    cycles a flat CDU spends); ``full_tests`` is how many of those
+    obstacles survived the bounding-sphere pre-filter and needed the full
+    intersection stage (the extra cycles of a cascaded early-exit CDU
+    [43]). ``full_tests`` defaults to ``narrow_tests`` for traces captured
+    before the cascade model existed.
+    """
+
+    link_index: int
+    center: tuple[float, float, float]
+    collides: bool
+    narrow_tests: int
+    full_tests: int = -1
+
+    def __post_init__(self) -> None:
+        if self.full_tests < 0:
+            self.full_tests = self.narrow_tests
+
+    @classmethod
+    def from_row(cls, row: dict) -> "CDQRecord":
+        """Rebuild from a deserialized JSON object."""
+        return cls(
+            link_index=int(row["link_index"]),
+            center=tuple(row["center"]),
+            collides=bool(row["collides"]),
+            narrow_tests=int(row["narrow_tests"]),
+            full_tests=int(row.get("full_tests", -1)),
+        )
+
+
+@dataclass
+class PoseTrace:
+    """All CDQs of one discretized pose, in link order."""
+
+    pose_index: int
+    cdqs: list[CDQRecord] = field(default_factory=list)
+
+    @property
+    def collides(self) -> bool:
+        """Pose-level ground truth: OR over its CDQs."""
+        return any(c.collides for c in self.cdqs)
+
+
+@dataclass
+class MotionTrace:
+    """All poses of one motion-environment check, in path order."""
+
+    motion_id: int
+    poses: list[PoseTrace] = field(default_factory=list)
+    stage: str = "S1"
+
+    @property
+    def collides(self) -> bool:
+        """Motion-level ground truth: OR over its poses."""
+        return any(p.collides for p in self.poses)
+
+    @property
+    def num_cdqs(self) -> int:
+        """Total CDQ population of the motion."""
+        return sum(len(p.cdqs) for p in self.poses)
+
+
+def trace_motion(
+    detector: CollisionDetector, motion: Motion, motion_id: int = 0, stage: str = "S1"
+) -> MotionTrace:
+    """Exhaustively label every CDQ of a motion (no early exit)."""
+    poses = detector.robot.interpolate(motion.start, motion.end, motion.num_poses)
+    trace = MotionTrace(motion_id=motion_id, stage=stage)
+    for pose_index, q in enumerate(poses):
+        pose_trace = PoseTrace(pose_index=pose_index)
+        for cdq in detector.pose_cdqs(q, pose_index):
+            # Hardware CDUs stream every environment volume (no broad
+            # phase); the trace records the stream position of the first
+            # hit plus the cascaded-CDU full-test count (Sec. II-C / [43]).
+            collides, tests, full = detector.scene.volume_cascade_work(
+                cdq.geometry.volume
+            )
+            pose_trace.cdqs.append(
+                CDQRecord(
+                    link_index=cdq.geometry.link_index,
+                    center=tuple(float(v) for v in cdq.geometry.center),
+                    collides=collides,
+                    narrow_tests=tests,
+                    full_tests=full,
+                )
+            )
+        trace.poses.append(pose_trace)
+    return trace
+
+
+def trace_motions(
+    detector: CollisionDetector, motions: list[Motion], stage: str = "S1"
+) -> list[MotionTrace]:
+    """Trace a batch of motions with sequential ids."""
+    return [
+        trace_motion(detector, motion, motion_id=i, stage=stage)
+        for i, motion in enumerate(motions)
+    ]
+
+
+def save_traces(traces: list[MotionTrace], path) -> None:
+    """Write traces as JSON lines (one motion per line)."""
+    with open(path, "w") as handle:
+        for trace in traces:
+            handle.write(json.dumps(asdict(trace)) + "\n")
+
+
+def load_traces(path) -> list[MotionTrace]:
+    """Load traces written by :func:`save_traces`."""
+    traces = []
+    with open(path) as handle:
+        for line in handle:
+            row = json.loads(line)
+            motion = MotionTrace(motion_id=int(row["motion_id"]), stage=row.get("stage", "S1"))
+            for pose_row in row["poses"]:
+                pose = PoseTrace(pose_index=int(pose_row["pose_index"]))
+                pose.cdqs = [CDQRecord.from_row(c) for c in pose_row["cdqs"]]
+                motion.poses.append(pose)
+            traces.append(motion)
+    return traces

@@ -1,0 +1,75 @@
+"""Shared fixtures: robots, scenes, and deterministic RNGs.
+
+Expensive objects (calibrated scenes, planner workloads) are session-scoped
+so the suite stays fast; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector, Motion
+from repro.env import calibrated_clutter_scene, random_2d_scene, Scene
+from repro.geometry import OBB
+from repro.kinematics import jaco2, planar_2d
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def jaco():
+    """The 7-DOF Jaco2 arm used by the paper's design-space studies."""
+    return jaco2()
+
+
+@pytest.fixture(scope="session")
+def planar():
+    """The 2D path-planning robot."""
+    return planar_2d()
+
+
+@pytest.fixture(scope="session")
+def medium_scene(jaco):
+    """A calibrated medium-density clutter scene (shared, do not mutate)."""
+    return calibrated_clutter_scene(
+        np.random.default_rng(77), jaco, "medium", probe_poses=80, max_rounds=5
+    )
+
+
+@pytest.fixture(scope="session")
+def scene_2d():
+    """A random 2D obstacle scene."""
+    return random_2d_scene(np.random.default_rng(5), num_obstacles=6)
+
+
+@pytest.fixture(scope="session")
+def simple_scene():
+    """A tiny hand-built scene: one box on each side of the origin."""
+    return Scene(
+        obstacles=[
+            OBB.axis_aligned([0.5, 0.0, 0.3], [0.1, 0.1, 0.1]),
+            OBB.axis_aligned([-0.5, 0.2, 0.4], [0.15, 0.1, 0.1]),
+        ],
+        name="simple",
+    )
+
+
+@pytest.fixture(scope="session")
+def jaco_detector(medium_scene, jaco):
+    """Detector over the shared medium scene."""
+    return CollisionDetector(medium_scene, jaco)
+
+
+@pytest.fixture(scope="session")
+def random_motions(jaco):
+    """Fifty random Jaco2 motions (deterministic)."""
+    gen = np.random.default_rng(42)
+    return [
+        Motion(jaco.random_configuration(gen), jaco.random_configuration(gen), num_poses=12)
+        for _ in range(50)
+    ]

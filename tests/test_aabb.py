@@ -1,0 +1,93 @@
+"""Tests for axis-aligned bounding boxes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import AABB, OBB, aabb_overlap
+from repro.geometry import transforms as tf
+
+coords = st.floats(-3.0, 3.0, allow_nan=False)
+sizes = st.floats(0.01, 1.0, allow_nan=False)
+
+
+def random_aabb_strategy():
+    return st.builds(
+        lambda c, h: AABB.from_center(np.array(c), np.array(h)),
+        st.tuples(coords, coords, coords),
+        st.tuples(sizes, sizes, sizes),
+    )
+
+
+class TestConstruction:
+    def test_inverted_corners_raise(self):
+        with pytest.raises(ValueError):
+            AABB([1, 0, 0], [0, 1, 1])
+
+    def test_from_center_roundtrip(self):
+        box = AABB.from_center([1, 2, 3], [0.1, 0.2, 0.3])
+        assert np.allclose(box.center, [1, 2, 3])
+        assert np.allclose(box.half_extents, [0.1, 0.2, 0.3])
+
+    def test_volume(self):
+        assert AABB([0, 0, 0], [1, 2, 3]).volume == pytest.approx(6.0)
+
+    def test_of_obb_contains_all_corners(self):
+        obb = OBB([0, 0, 0], [0.3, 0.2, 0.1], tf.rotation_z(0.7)[:3, :3])
+        box = AABB.of_obb(obb)
+        for corner in obb.corners():
+            assert box.contains_point(corner)
+
+
+class TestPredicates:
+    def test_contains_point_inclusive(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert box.contains_point([1, 1, 1])
+        assert box.contains_point([0, 0, 0])
+        assert not box.contains_point([1.1, 0.5, 0.5])
+
+    def test_contains_box(self):
+        outer = AABB([0, 0, 0], [1, 1, 1])
+        inner = AABB([0.2, 0.2, 0.2], [0.8, 0.8, 0.8])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_expanded(self):
+        box = AABB([0, 0, 0], [1, 1, 1]).expanded(0.5)
+        assert np.allclose(box.lo, [-0.5] * 3)
+        assert np.allclose(box.hi, [1.5] * 3)
+
+    def test_union(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([2, 2, 2], [3, 3, 3])
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    def test_to_obb_roundtrip(self):
+        box = AABB([0, 1, 2], [1, 2, 3])
+        obb = box.to_obb()
+        assert np.allclose(obb.center, box.center)
+        assert np.allclose(obb.half_extents, box.half_extents)
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert aabb_overlap(AABB([0, 0, 0], [1, 1, 1]), AABB([0.5, 0.5, 0.5], [2, 2, 2]))
+
+    def test_touching(self):
+        assert aabb_overlap(AABB([0, 0, 0], [1, 1, 1]), AABB([1, 0, 0], [2, 1, 1]))
+
+    def test_disjoint(self):
+        assert not aabb_overlap(AABB([0, 0, 0], [1, 1, 1]), AABB([2, 2, 2], [3, 3, 3]))
+
+    @given(a=random_aabb_strategy(), b=random_aabb_strategy())
+    @settings(max_examples=60)
+    def test_symmetric(self, a, b):
+        assert aabb_overlap(a, b) == aabb_overlap(b, a)
+
+    @given(a=random_aabb_strategy(), b=random_aabb_strategy())
+    @settings(max_examples=60)
+    def test_union_overlaps_both(self, a, b):
+        u = a.union(b)
+        assert aabb_overlap(u, a) and aabb_overlap(u, b)

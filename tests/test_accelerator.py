@@ -1,0 +1,126 @@
+"""Tests for the cycle-level accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector, Motion, NaiveScheduler
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.hardware import AcceleratorSimulator, baseline_config, copu_config
+from repro.kinematics import planar_2d
+from repro.workloads import trace_motions
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scene = Scene(
+        obstacles=[
+            OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5]),
+            OBB.axis_aligned([-0.4, 0.5, 0.0], [0.1, 0.1, 0.5]),
+        ]
+    )
+    robot = planar_2d()
+    detector = CollisionDetector(scene, robot)
+    rng = np.random.default_rng(8)
+    motions = [
+        Motion(robot.random_configuration(rng), robot.random_configuration(rng), 16)
+        for _ in range(30)
+    ]
+    return detector, trace_motions(detector, motions)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("make", [baseline_config, copu_config])
+    def test_executed_plus_skipped_covers_population(self, setup, make):
+        detector, traces = setup
+        sim = AcceleratorSimulator(make(4), rng=np.random.default_rng(0))
+        for trace in traces:
+            result = sim.simulate_motion(trace)
+            assert result.cdqs_executed + result.cdqs_skipped == trace.num_cdqs
+
+    @pytest.mark.parametrize("make", [baseline_config, copu_config])
+    def test_outcomes_match_ground_truth(self, setup, make):
+        detector, traces = setup
+        sim = AcceleratorSimulator(make(4), rng=np.random.default_rng(0))
+        for trace in traces:
+            assert sim.simulate_motion(trace).collided == trace.collides
+
+    @pytest.mark.parametrize("make", [baseline_config, copu_config])
+    def test_free_motions_execute_everything(self, setup, make):
+        detector, traces = setup
+        sim = AcceleratorSimulator(make(4), rng=np.random.default_rng(0))
+        for trace in traces:
+            if not trace.collides:
+                result = sim.simulate_motion(trace)
+                assert result.cdqs_executed == trace.num_cdqs
+
+    def test_deterministic(self, setup):
+        detector, traces = setup
+        a = AcceleratorSimulator(copu_config(4), rng=np.random.default_rng(1)).run(traces)
+        b = AcceleratorSimulator(copu_config(4), rng=np.random.default_rng(1)).run(traces)
+        assert a.cdqs_executed == b.cdqs_executed
+        assert a.total_cycles == b.total_cycles
+
+    def test_cycles_positive(self, setup):
+        detector, traces = setup
+        report = AcceleratorSimulator(baseline_config(4)).run(traces)
+        assert report.total_cycles > 0
+        assert report.mean_latency > 0
+
+
+class TestPredictionEffects:
+    def test_copu_executes_fewer_cdqs(self, setup):
+        detector, traces = setup
+        base = AcceleratorSimulator(baseline_config(6), rng=np.random.default_rng(0)).run(traces)
+        pred = AcceleratorSimulator(copu_config(6), rng=np.random.default_rng(0)).run(traces)
+        assert pred.cdqs_executed <= base.cdqs_executed
+
+    def test_reset_between_queries_weakens_prediction(self, setup):
+        detector, traces = setup
+        warm = AcceleratorSimulator(copu_config(6), rng=np.random.default_rng(0)).run(traces)
+        cold = AcceleratorSimulator(copu_config(6), rng=np.random.default_rng(0)).run(
+            traces, reset_between_queries=True
+        )
+        assert cold.cdqs_executed >= warm.cdqs_executed
+
+    def test_cht_traffic_recorded(self, setup):
+        detector, traces = setup
+        report = AcceleratorSimulator(copu_config(6), rng=np.random.default_rng(0)).run(traces)
+        assert report.cht_reads > 0
+        assert report.queue_ops > 0
+
+    def test_baseline_has_no_cht_traffic(self, setup):
+        detector, traces = setup
+        report = AcceleratorSimulator(baseline_config(6)).run(traces)
+        assert report.cht_reads == 0 and report.cht_writes == 0
+
+
+class TestScaling:
+    def test_more_cdus_lower_latency(self, setup):
+        detector, traces = setup
+        one = AcceleratorSimulator(baseline_config(1)).run(traces)
+        six = AcceleratorSimulator(baseline_config(6)).run(traces)
+        assert six.mean_latency < one.mean_latency
+
+    def test_more_cdus_more_redundant_work(self, setup):
+        detector, traces = setup
+        one = AcceleratorSimulator(baseline_config(1)).run(traces)
+        six = AcceleratorSimulator(baseline_config(6)).run(traces)
+        assert six.cdqs_executed >= one.cdqs_executed
+
+    def test_report_metrics_consistent(self, setup):
+        detector, traces = setup
+        report = AcceleratorSimulator(copu_config(4), rng=np.random.default_rng(0)).run(traces)
+        assert report.energy is not None and report.area is not None
+        assert report.perf_per_watt > 0
+        assert report.perf_per_mm2 > 0
+        assert report.throughput == pytest.approx(len(traces) / report.total_cycles)
+
+
+class TestSchedulerIntegration:
+    def test_naive_vs_csp_ordering_changes_work(self, setup):
+        """Scheduler choice changes the executed count on some workload."""
+        detector, traces = setup
+        naive = AcceleratorSimulator(baseline_config(1), scheduler=NaiveScheduler()).run(traces)
+        csp = AcceleratorSimulator(baseline_config(1)).run(traces)  # default CSP
+        assert naive.cdqs_executed != csp.cdqs_executed

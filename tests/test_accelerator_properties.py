@@ -1,0 +1,83 @@
+"""Property-based tests: random traces through the accelerator simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import AcceleratorSimulator, baseline_config, copu_config
+from repro.workloads import CDQRecord, MotionTrace, PoseTrace
+
+
+@st.composite
+def motion_traces(draw):
+    """A random MotionTrace with 2-8 poses of 1-5 CDQs each."""
+    num_poses = draw(st.integers(2, 8))
+    trace = MotionTrace(motion_id=draw(st.integers(0, 100)))
+    for pose_index in range(num_poses):
+        pose = PoseTrace(pose_index=pose_index)
+        for link in range(draw(st.integers(1, 5))):
+            pose.cdqs.append(
+                CDQRecord(
+                    link_index=link,
+                    center=(
+                        draw(st.floats(-1.4, 1.4, allow_nan=False)),
+                        draw(st.floats(-1.4, 1.4, allow_nan=False)),
+                        draw(st.floats(-1.4, 1.4, allow_nan=False)),
+                    ),
+                    collides=draw(st.booleans()),
+                    narrow_tests=draw(st.integers(1, 9)),
+                )
+            )
+        trace.poses.append(pose)
+    return trace
+
+
+class TestSimulatorProperties:
+    @given(trace=motion_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_baseline_conservation_and_truth(self, trace):
+        sim = AcceleratorSimulator(baseline_config(3), rng=np.random.default_rng(0))
+        result = sim.simulate_motion(trace)
+        assert result.cdqs_executed + result.cdqs_skipped == trace.num_cdqs
+        assert result.collided == trace.collides
+        assert result.cycles >= 0
+        if not trace.collides:
+            assert result.cdqs_skipped == 0
+
+    @given(trace=motion_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_copu_conservation_and_truth(self, trace):
+        sim = AcceleratorSimulator(copu_config(3), rng=np.random.default_rng(0))
+        result = sim.simulate_motion(trace)
+        assert result.cdqs_executed + result.cdqs_skipped == trace.num_cdqs
+        assert result.collided == trace.collides
+        # Executed at least one CDQ whenever the motion had any.
+        if trace.num_cdqs:
+            assert result.cdqs_executed >= 1
+
+    @given(trace=motion_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_colliding_motion_never_executes_everything_plus(self, trace):
+        """A colliding motion executes at most the whole population; a
+        free one exactly the whole population (both configs)."""
+        for make in (baseline_config, copu_config):
+            sim = AcceleratorSimulator(make(2), rng=np.random.default_rng(0))
+            result = sim.simulate_motion(trace)
+            if trace.collides:
+                assert 1 <= result.cdqs_executed <= trace.num_cdqs
+            else:
+                assert result.cdqs_executed == trace.num_cdqs
+
+    @given(trace=motion_traces(), cdus=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_any_cdu_count_terminates(self, trace, cdus):
+        sim = AcceleratorSimulator(copu_config(cdus), rng=np.random.default_rng(0))
+        result = sim.simulate_motion(trace)
+        # Termination with a sane cycle bound: every CDQ costs at most
+        # base latency + its tests, plus pipeline fill and queue waits.
+        upper = (
+            sum(4 + c.narrow_tests for p in trace.poses for c in p.cdqs)
+            + 20 * trace.num_cdqs
+            + 100
+        )
+        assert result.cycles <= upper

@@ -1,0 +1,82 @@
+"""Tests for the adaptive-S extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    STRATEGY_BY_DENSITY,
+    AdaptiveCHTPredictor,
+    CoordHash,
+    ObstacleDensityEstimator,
+)
+from repro.env import Scene, calibrated_clutter_scene
+from repro.geometry import OBB
+
+
+class TestDensityEstimator:
+    def test_bad_thresholds_raise(self):
+        with pytest.raises(ValueError):
+            ObstacleDensityEstimator(medium_threshold=0.1, high_threshold=0.05)
+
+    def test_empty_scene_is_low(self):
+        assert ObstacleDensityEstimator().classify(Scene()) == "low"
+
+    def test_packed_scene_is_high(self):
+        scene = Scene(obstacles=[OBB.axis_aligned([0, 0, 0], [0.8, 0.8, 0.8])])
+        assert ObstacleDensityEstimator().classify(scene) == "high"
+
+    def test_occupied_fraction_bounds(self, rng, jaco):
+        scene = calibrated_clutter_scene(rng, jaco, "medium", probe_poses=60, max_rounds=3)
+        fraction = ObstacleDensityEstimator().occupied_fraction(scene)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_calibrated_density_ordering(self, jaco):
+        """Denser scene families occupy more voxels on average."""
+        estimator = ObstacleDensityEstimator()
+        fractions = {}
+        for density in ("low", "high"):
+            values = [
+                estimator.occupied_fraction(
+                    calibrated_clutter_scene(
+                        np.random.default_rng(50 + i), jaco, density, probe_poses=60, max_rounds=4
+                    )
+                )
+                for i in range(3)
+            ]
+            fractions[density] = np.mean(values)
+        assert fractions["high"] > fractions["low"]
+
+
+class TestAdaptivePredictor:
+    def test_selects_strategy_by_density(self):
+        predictor = AdaptiveCHTPredictor(CoordHash(4), table_size=1024)
+        assert predictor.observe_environment(Scene()) == "low"
+        assert predictor.s == STRATEGY_BY_DENSITY["low"]
+        packed = Scene(obstacles=[OBB.axis_aligned([0, 0, 0], [0.8, 0.8, 0.8])])
+        assert predictor.observe_environment(packed) == "high"
+        assert predictor.s == STRATEGY_BY_DENSITY["high"]
+
+    def test_environment_change_resets_history(self):
+        predictor = AdaptiveCHTPredictor(CoordHash(4), table_size=1024)
+        predictor.observe_environment(Scene())
+        key = np.array([0.2, 0.2, 0.2])
+        predictor.observe(key, collided=True)
+        assert predictor.predict(key)
+        predictor.observe_environment(Scene())
+        assert not predictor.predict(key)
+
+    def test_reset_passthrough(self):
+        predictor = AdaptiveCHTPredictor(CoordHash(4), table_size=1024)
+        key = np.array([0.1, 0.1, 0.1])
+        predictor.observe_environment(Scene())
+        predictor.observe(key, True)
+        predictor.reset()
+        assert not predictor.predict(key)
+
+    def test_learns_like_a_cht_predictor(self):
+        predictor = AdaptiveCHTPredictor(CoordHash(4), table_size=1024)
+        predictor.observe_environment(Scene())  # low -> aggressive S = 0
+        key = np.array([0.4, -0.2, 0.3])
+        assert not predictor.predict(key)
+        predictor.observe(key, True)
+        assert predictor.predict(key)

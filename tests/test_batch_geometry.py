@@ -1,0 +1,98 @@
+"""Property tests: batch kernels agree exactly with the scalar tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import OBB, Sphere, obb_overlap, sphere_obb_overlap
+from repro.geometry import transforms as tf
+from repro.geometry.batch import ObstacleSet, obb_overlap_batch, sphere_overlap_batch
+
+coords = st.floats(-1.5, 1.5, allow_nan=False)
+points = st.tuples(coords, coords, coords)
+halves = st.tuples(
+    st.floats(0.02, 0.4, allow_nan=False),
+    st.floats(0.02, 0.4, allow_nan=False),
+    st.floats(0.02, 0.4, allow_nan=False),
+)
+angles = st.floats(-math.pi, math.pi, allow_nan=False)
+
+
+def rotated(center, half, angle, axis):
+    rot = tf.rotation_about_axis(axis, angle)[:3, :3]
+    return OBB(np.asarray(center), np.asarray(half), rot)
+
+
+@st.composite
+def obstacle_sets(draw):
+    count = draw(st.integers(1, 8))
+    boxes = []
+    for _ in range(count):
+        boxes.append(
+            rotated(
+                draw(points),
+                draw(halves),
+                draw(angles),
+                (draw(st.sampled_from([0, 1])), draw(st.sampled_from([0, 1])), 1),
+            )
+        )
+    return ObstacleSet(boxes)
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ObstacleSet([])
+
+    def test_len(self):
+        boxes = [OBB.axis_aligned([0, 0, 0], [0.1] * 3)] * 3
+        assert len(ObstacleSet(boxes)) == 3
+
+    def test_unsupported_query_raises(self):
+        obstacle_set = ObstacleSet([OBB.axis_aligned([0, 0, 0], [0.1] * 3)])
+        with pytest.raises(TypeError):
+            obstacle_set.any_overlap("ball")
+
+
+class TestOBBBatchAgreement:
+    @given(obstacles=obstacle_sets(), center=points, half=halves, angle=angles)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_scalar_sat(self, obstacles, center, half, angle):
+        query = rotated(center, half, angle, (0, 1, 1))
+        batch = obb_overlap_batch(query, obstacles)
+        scalar = np.array([obb_overlap(query, box) for box in obstacles.boxes])
+        assert np.array_equal(batch, scalar)
+
+    def test_mask_shape(self):
+        obstacles = ObstacleSet([OBB.axis_aligned([i, 0, 0], [0.1] * 3) for i in range(5)])
+        query = OBB.axis_aligned([0, 0, 0], [0.15] * 3)
+        mask = obstacles.overlaps_obb(query)
+        assert mask.shape == (5,)
+        assert mask[0] and not mask[2]
+
+    def test_any_overlap(self):
+        obstacles = ObstacleSet([OBB.axis_aligned([2, 2, 2], [0.1] * 3)])
+        assert not obstacles.any_overlap(OBB.axis_aligned([0, 0, 0], [0.1] * 3))
+        assert obstacles.any_overlap(OBB.axis_aligned([2, 2, 2], [0.1] * 3))
+
+
+class TestSphereBatchAgreement:
+    @given(
+        obstacles=obstacle_sets(),
+        center=points,
+        radius=st.floats(0.02, 0.5, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_scalar_clamp(self, obstacles, center, radius):
+        query = Sphere(np.asarray(center), radius)
+        batch = sphere_overlap_batch(query, obstacles)
+        scalar = np.array([sphere_obb_overlap(query, box) for box in obstacles.boxes])
+        assert np.array_equal(batch, scalar)
+
+    def test_any_overlap_sphere(self):
+        obstacles = ObstacleSet([OBB.axis_aligned([1, 0, 0], [0.2] * 3)])
+        assert obstacles.any_overlap(Sphere([1.3, 0, 0], 0.15))
+        assert not obstacles.any_overlap(Sphere([2.0, 0, 0], 0.15))

@@ -1,0 +1,61 @@
+"""Tests for planner-workload generation (kept small for suite speed)."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector
+from repro.planners import RRTConnectPlanner
+from repro.workloads import generate_workload, make_benchmark
+from repro.workloads.benchmarks import BENCHMARK_NAMES, RecordingContext
+
+
+class TestRecordingContext:
+    def test_records_every_check(self, scene_2d, planar):
+        detector = CollisionDetector(scene_2d, planar)
+        context = RecordingContext(detector, num_poses=8)
+        context.check_motion([-0.5, 0.0], [0.5, 0.0], "S1")
+        context.check_motion([0.0, -0.5], [0.0, 0.5], "S2", num_poses=6)
+        assert len(context.recorded) == 2
+        assert context.recorded[0].stage == "S1"
+        assert context.recorded[1].num_poses == 6
+
+    def test_recorded_motions_are_copies(self, scene_2d, planar):
+        detector = CollisionDetector(scene_2d, planar)
+        context = RecordingContext(detector)
+        start = np.array([-0.5, 0.0])
+        context.check_motion(start, [0.5, 0.0])
+        start[0] = 99.0
+        assert context.recorded[0].start[0] == -0.5
+
+
+class TestGenerateWorkload:
+    def test_planner_run_is_recorded(self, scene_2d, planar):
+        rng = np.random.default_rng(2)
+        planner = RRTConnectPlanner(rng, max_iterations=100, step_size=0.4)
+        workload = generate_workload(planner, planar, scene_2d, rng, name="w")
+        assert workload.num_motions > 0
+        assert workload.name == "w"
+
+    def test_stage_filter(self, scene_2d, planar):
+        rng = np.random.default_rng(2)
+        planner = RRTConnectPlanner(rng, max_iterations=100, step_size=0.4)
+        workload = generate_workload(planner, planar, scene_2d, rng)
+        s1 = workload.stage_motions("S1")
+        s2 = workload.stage_motions("S2")
+        assert len(s1) + len(s2) == workload.num_motions
+
+
+class TestMakeBenchmark:
+    def test_unknown_name_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_benchmark("dijkstra-mars", rng)
+
+    def test_names_cover_paper_combinations(self):
+        assert len(BENCHMARK_NAMES) == 6
+        assert "mpnet-baxter" in BENCHMARK_NAMES and "bit*-2d" in BENCHMARK_NAMES
+
+    def test_small_2d_benchmark_generates(self):
+        rng = np.random.default_rng(4)
+        workloads = make_benchmark("bit*-2d", rng, num_queries=2, hard_fraction=0.5)
+        assert len(workloads) == 2
+        assert all(w.num_motions > 0 for w in workloads)

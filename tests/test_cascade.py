@@ -1,0 +1,135 @@
+"""Tests for the cascaded early-exit CDU model ([43] baseline design)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector, Motion
+from repro.env import Scene
+from repro.geometry import OBB, Sphere
+from repro.hardware import AcceleratorSimulator, CDUnit, baseline_config, copu_config
+from repro.kinematics import planar_2d
+from repro.workloads import CDQRecord, trace_motions
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return Scene(
+        obstacles=[
+            OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5]),
+            OBB.axis_aligned([-0.6, -0.6, 0.0], [0.1, 0.1, 0.5]),
+            OBB.axis_aligned([0.7, 0.7, 0.0], [0.1, 0.1, 0.5]),
+        ]
+    )
+
+
+class TestCascadeWork:
+    def test_full_tests_never_exceed_stream_tests(self, scene):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            center = rng.uniform(-1, 1, 3) * [1, 1, 0]
+            query = OBB.axis_aligned(center, [0.05, 0.05, 0.3])
+            collides, stream, full = scene.volume_cascade_work(query)
+            assert 0 <= full <= stream
+            # Outcome agrees with the flat stream test.
+            flat_collides, flat_stream = scene.volume_stream_work(query)
+            assert collides == flat_collides
+            assert stream == flat_stream
+
+    def test_far_query_filters_everything(self, scene):
+        query = OBB.axis_aligned([0.0, 5.0, 0.0], [0.05] * 3)
+        collides, stream, full = scene.volume_cascade_work(query)
+        assert not collides and full == 0
+
+    def test_hit_query_counts_its_full_test(self, scene):
+        query = OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 0.05, 0.3])
+        collides, _stream, full = scene.volume_cascade_work(query)
+        assert collides and full >= 1
+
+    def test_sphere_queries_supported(self, scene):
+        collides, stream, full = scene.volume_cascade_work(Sphere([0.5, 0.0, 0.0], 0.05))
+        assert collides and 1 <= full <= stream
+
+    def test_unsupported_type_raises(self, scene):
+        with pytest.raises(TypeError):
+            scene.volume_cascade_work("box")
+
+
+class TestCDQRecordCompat:
+    def test_default_full_tests_equals_narrow(self):
+        record = CDQRecord(0, (0, 0, 0), False, 7)
+        assert record.full_tests == 7
+
+    def test_explicit_full_tests_kept(self):
+        record = CDQRecord(0, (0, 0, 0), False, 7, full_tests=2)
+        assert record.full_tests == 2
+
+    def test_from_row_without_field(self):
+        record = CDQRecord.from_row(
+            {"link_index": 0, "center": (0, 0, 0), "collides": False, "narrow_tests": 5}
+        )
+        assert record.full_tests == 5
+
+
+class TestCascadeCDU:
+    def test_service_cycles(self):
+        record = CDQRecord(0, (0, 0, 0), False, narrow_tests=6, full_tests=2)
+        flat = CDUnit(0, base_latency=4)
+        cascaded = CDUnit(1, base_latency=4, cascade=True)
+        assert flat.service_cycles(record) == 10
+        assert cascaded.service_cycles(record) == 12
+
+    def test_full_test_counter(self):
+        record = CDQRecord(0, (0, 0, 0), False, narrow_tests=6, full_tests=2)
+        unit = CDUnit(0, cascade=True)
+        unit.issue(record, 0)
+        assert unit.full_tests_executed == 2
+
+
+class TestCascadeSimulator:
+    @pytest.fixture(scope="class")
+    def traces(self, scene):
+        robot = planar_2d()
+        detector = CollisionDetector(scene, robot)
+        rng = np.random.default_rng(4)
+        motions = [
+            Motion(robot.random_configuration(rng), robot.random_configuration(rng), 12)
+            for _ in range(25)
+        ]
+        return trace_motions(detector, motions)
+
+    def test_traces_carry_cascade_counts(self, traces):
+        records = [c for t in traces for p in t.poses for c in p.cdqs]
+        assert any(c.full_tests < c.narrow_tests for c in records)
+
+    def test_invariants_hold_with_cascade(self, traces):
+        config = dataclasses.replace(copu_config(4), cascade=True)
+        sim = AcceleratorSimulator(config, rng=np.random.default_rng(0))
+        for trace in traces:
+            result = sim.simulate_motion(trace)
+            assert result.cdqs_executed + result.cdqs_skipped == trace.num_cdqs
+            assert result.collided == trace.collides
+
+    def test_cascade_costs_cycles_but_same_cdqs_for_free_motions(self, traces):
+        """Cascade changes per-query occupancy, not which CDQs execute for
+        collision-free motions (every CDQ runs either way)."""
+        flat_cfg = baseline_config(4)
+        casc_cfg = dataclasses.replace(baseline_config(4), cascade=True)
+        for trace in traces:
+            if trace.collides:
+                continue
+            flat = AcceleratorSimulator(flat_cfg).simulate_motion(trace)
+            cascaded = AcceleratorSimulator(casc_cfg).simulate_motion(trace)
+            assert flat.cdqs_executed == cascaded.cdqs_executed
+            assert cascaded.cycles >= flat.cycles
+
+    def test_copu_still_helps_with_cascade(self, traces):
+        base = AcceleratorSimulator(
+            dataclasses.replace(baseline_config(6), cascade=True)
+        ).run(traces)
+        pred = AcceleratorSimulator(
+            dataclasses.replace(copu_config(6), cascade=True),
+            rng=np.random.default_rng(0),
+        ).run(traces)
+        assert pred.cdqs_executed <= base.cdqs_executed

@@ -1,0 +1,116 @@
+"""Tests for the CDU timing model and the COPU datapath."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import COPUnit, CDUnit, copu_config
+from repro.workloads import CDQRecord
+
+
+def record(collides=False, tests=5, center=(0.1, 0.2, 0.3)):
+    return CDQRecord(link_index=0, center=center, collides=collides, narrow_tests=tests)
+
+
+class TestCDUnit:
+    def test_free_initially(self):
+        assert CDUnit(0).is_free(0)
+
+    def test_issue_occupies(self):
+        unit = CDUnit(0, base_latency=4)
+        done = unit.issue(record(tests=6), now=10)
+        assert done == 20
+        assert not unit.is_free(15)
+        assert unit.is_free(20)
+
+    def test_issue_while_busy_raises(self):
+        unit = CDUnit(0)
+        unit.issue(record(), now=0)
+        with pytest.raises(RuntimeError):
+            unit.issue(record(), now=1)
+
+    def test_retire_returns_query(self):
+        unit = CDUnit(0)
+        q = record(collides=True)
+        unit.issue(q, now=0)
+        assert unit.retire() is q
+        assert unit.current is None
+
+    def test_retire_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            CDUnit(0).retire()
+
+    def test_counters(self):
+        unit = CDUnit(0)
+        unit.issue(record(tests=3), 0)
+        unit.retire()
+        unit.issue(record(tests=4), 100)
+        assert unit.queries_executed == 2
+        assert unit.tests_executed == 7
+
+
+class TestCOPUnit:
+    def test_cold_classify_routes_to_qnoncoll(self):
+        copu = COPUnit(copu_config(6))
+        assert not copu.classify(record())
+        assert len(copu.qnoncoll) == 1 and len(copu.qcoll) == 0
+
+    def test_warm_classify_routes_to_qcoll(self):
+        copu = COPUnit(copu_config(6))
+        hot = record(collides=True)
+        copu.update(hot)
+        assert copu.classify(record(center=hot.center))
+        assert len(copu.qcoll) == 1
+
+    def test_dispatch_priority(self):
+        copu = COPUnit(copu_config(6))
+        copu.update(record(collides=True, center=(0.5, 0.5, 0.5)))
+        cold = record(center=(-0.5, -0.5, -0.5))
+        hot = record(center=(0.5, 0.5, 0.5))
+        copu.classify(cold)
+        copu.classify(hot)
+        # QCOLL drains first even though cold arrived first.
+        assert copu.dispatch(all_received=False) is hot
+
+    def test_qnoncoll_held_until_all_received(self):
+        copu = COPUnit(copu_config(6))
+        copu.classify(record())
+        assert copu.dispatch(all_received=False) is None
+        assert copu.dispatch(all_received=True) is not None
+
+    def test_qnoncoll_drains_when_full(self):
+        cfg = copu_config(6).with_queue_sizes(qcoll=8, qnoncoll=2)
+        copu = COPUnit(cfg)
+        copu.classify(record(center=(0.1, 0.1, 0.1)))
+        copu.classify(record(center=(-0.1, -0.1, -0.1)))
+        assert copu.qnoncoll_full()
+        assert copu.dispatch(all_received=False) is not None
+
+    def test_flush_clears_queues(self):
+        copu = COPUnit(copu_config(6))
+        copu.classify(record())
+        copu.classify(record(center=(0.4, 0.4, 0.4)))
+        dropped = copu.flush()
+        assert dropped == 2 and copu.pending() == 0
+
+    def test_reset_history_clears_table(self):
+        copu = COPUnit(copu_config(6))
+        hot = record(collides=True)
+        copu.update(hot)
+        copu.reset_history()
+        assert not copu.classify(record(center=hot.center))
+        copu.flush()
+
+    def test_u_zero_skips_free_updates(self):
+        cfg = copu_config(6)  # u = 0 by default (Sec. VI-B2)
+        copu = COPUnit(cfg, rng=np.random.default_rng(0))
+        for _ in range(10):
+            copu.update(record(collides=False))
+        assert copu.table.writes == 0
+
+    def test_capacity_tracks_qcoll(self):
+        cfg = copu_config(6).with_queue_sizes(qcoll=1, qnoncoll=8)
+        copu = COPUnit(cfg)
+        copu.update(record(collides=True))
+        assert copu.has_capacity()
+        copu.classify(record())  # predicted colliding -> QCOLL
+        assert not copu.has_capacity()

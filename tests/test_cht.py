@@ -1,0 +1,148 @@
+"""Tests for the Collision History Table (Sec. III-D / IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CollisionHistoryTable, shift_for_strategy
+
+
+class TestConstruction:
+    def test_defaults(self):
+        t = CollisionHistoryTable()
+        assert t.size == 4096 and t.s == 1.0 and t.u == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": 0},
+            {"s": -0.5},
+            {"u": -0.1},
+            {"u": 1.5},
+            {"counter_bits": 0},
+        ],
+    )
+    def test_invalid_params_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            CollisionHistoryTable(**kwargs)
+
+
+class TestPrediction:
+    def test_cold_table_never_predicts(self):
+        t = CollisionHistoryTable(size=16, s=1.0)
+        assert not any(t.predict(i) for i in range(16))
+
+    def test_collision_then_predicts(self):
+        t = CollisionHistoryTable(size=16, s=1.0)
+        t.update(3, collided=True)
+        assert t.predict(3)
+        assert not t.predict(4)
+
+    def test_s_weighting(self):
+        t = CollisionHistoryTable(size=16, s=1.0)
+        t.update(5, True)
+        t.update(5, False)
+        # COLL=1, NONCOLL=1 -> 1 > 1*1 is False.
+        assert not t.predict(5)
+        aggressive = CollisionHistoryTable(size=16, s=0.5)
+        aggressive.update(5, True)
+        aggressive.update(5, False)
+        # 1 > 0.5*1 -> True.
+        assert aggressive.predict(5)
+
+    def test_s_zero_ignores_noncoll(self):
+        t = CollisionHistoryTable(size=16, s=0.0)
+        t.update(7, True)
+        for _ in range(20):
+            t.update(7, False)
+        assert t.predict(7)
+
+    def test_conservative_s2(self):
+        t = CollisionHistoryTable(size=16, s=2.0)
+        t.update(1, True)
+        t.update(1, False)
+        assert not t.predict(1)  # needs COLL > 2*NONCOLL
+        t.update(1, True)
+        t.update(1, True)
+        assert t.predict(1)  # 3 > 2
+
+
+class TestSaturation:
+    def test_counters_saturate(self):
+        t = CollisionHistoryTable(size=4, counter_bits=4)
+        for _ in range(100):
+            t.update(0, True)
+        assert t.entry(0)[0] == 15
+
+    def test_one_bit_counters(self):
+        t = CollisionHistoryTable(size=4, counter_bits=1)
+        for _ in range(5):
+            t.update(0, True)
+        assert t.entry(0)[0] == 1
+
+
+class TestUpdateFrequency:
+    def test_u_zero_skips_all_free_updates(self):
+        t = CollisionHistoryTable(size=8, u=0.0, rng=np.random.default_rng(0))
+        for _ in range(50):
+            t.update(2, False)
+        assert t.entry(2)[1] == 0
+        assert t.skipped_updates == 50
+
+    def test_u_one_records_all(self):
+        t = CollisionHistoryTable(size=8, u=1.0, counter_bits=8)
+        for _ in range(10):
+            t.update(2, False)
+        assert t.entry(2)[1] == 10
+
+    def test_colliding_updates_never_skipped(self):
+        t = CollisionHistoryTable(size=8, u=0.0, rng=np.random.default_rng(0))
+        for _ in range(5):
+            assert t.update(3, True)
+        assert t.entry(3)[0] == 5
+
+    def test_u_half_skips_about_half(self):
+        t = CollisionHistoryTable(size=8, u=0.5, rng=np.random.default_rng(1), counter_bits=10)
+        for _ in range(400):
+            t.update(4, False)
+        recorded = t.entry(4)[1]
+        assert 140 <= recorded <= 260
+
+
+class TestHousekeeping:
+    def test_reset_clears(self):
+        t = CollisionHistoryTable(size=8)
+        t.update(1, True)
+        t.update(2, False)
+        t.reset()
+        assert t.entry(1) == (0, 0) and t.entry(2) == (0, 0)
+
+    def test_index_folds_large_codes(self):
+        t = CollisionHistoryTable(size=8)
+        t.update(8 + 3, True)  # folds onto index 3
+        assert t.predict(3)
+
+    def test_occupancy(self):
+        t = CollisionHistoryTable(size=10)
+        assert t.occupancy() == 0.0
+        t.update(0, True)
+        t.update(1, False)
+        assert t.occupancy() == pytest.approx(0.2)
+
+    def test_traffic_counters(self):
+        t = CollisionHistoryTable(size=8)
+        t.predict(0)
+        t.update(0, True)
+        assert t.reads == 1 and t.writes == 1
+
+    def test_storage_bits(self):
+        assert CollisionHistoryTable(size=4096, s=0.0).storage_bits() == 4096
+        assert CollisionHistoryTable(size=4096, s=1.0).storage_bits() == 4096 * 8
+
+
+class TestShiftForStrategy:
+    def test_mapping(self):
+        assert shift_for_strategy(1.0) == 0
+        assert shift_for_strategy(0.5) == 1
+        assert shift_for_strategy(0.25) == 2
+        assert shift_for_strategy(0.0) is None
+        assert shift_for_strategy(2.0) == -1

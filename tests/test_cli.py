@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--out", "x.jsonl"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--benchmark", "astar-mars", "--out", "x"])
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "mpnet-baxter" in out
+
+    def test_generate_then_simulate(self, tmp_path, capsys):
+        out_file = tmp_path / "wl.jsonl"
+        assert main([
+            "generate",
+            "--benchmark",
+            "bit*-2d",
+            "--out",
+            str(out_file),
+            "--queries",
+            "1",
+            "--seed",
+            "3",
+        ]) == 0
+        assert out_file.exists()
+        assert main(["simulate", "--workloads", str(out_file), "--cdus", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+
+    def test_simulate_baseline_mode(self, tmp_path, capsys):
+        out_file = tmp_path / "wl.jsonl"
+        main(["generate", "--benchmark", "bit*-2d", "--out", str(out_file), "--queries", "1"])
+        assert main([
+            "simulate", "--workloads", str(out_file), "--cdus", "2", "--no-copu"
+        ]) == 0
+        assert "baseline.2" in capsys.readouterr().out

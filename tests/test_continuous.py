@@ -1,0 +1,80 @@
+"""Tests for continuous (conservative-advancement) motion checking."""
+
+import numpy as np
+import pytest
+
+from repro.collision import ContinuousMotionChecker
+from repro.core import CHTPredictor, CoordHash
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+
+
+@pytest.fixture
+def setup():
+    scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.08, 1.0, 0.5])])
+    robot = planar_2d()
+    return ContinuousMotionChecker(scene, robot), robot
+
+
+class TestConservativeAdvancement:
+    def test_free_motion(self, setup):
+        checker, _ = setup
+        result = checker.check_motion([-0.8, -0.5], [-0.8, 0.5])
+        assert not result.collided
+        assert result.poses_evaluated >= 1
+
+    def test_colliding_motion(self, setup):
+        checker, _ = setup
+        result = checker.check_motion([-0.8, 0.0], [0.9, 0.0])
+        assert result.collided
+
+    def test_zero_length_motion(self, setup):
+        checker, _ = setup
+        free = checker.check_motion([-0.8, 0.0], [-0.8, 0.0])
+        assert not free.collided and free.poses_evaluated == 1
+        hit = checker.check_motion([0.5, 0.0], [0.5, 0.0])
+        assert hit.collided
+
+    def test_adaptive_step_evaluates_fewer_poses_far_from_obstacles(self, setup):
+        checker, _ = setup
+        near_wall = checker.check_motion([0.30, -0.8], [0.30, 0.8])
+        far_wall = checker.check_motion([-0.9, -0.8], [-0.9, 0.8])
+        assert not near_wall.collided and not far_wall.collided
+        # Clearance-bounded steps: more room means bigger steps.
+        assert far_wall.poses_evaluated <= near_wall.poses_evaluated
+
+    def test_agrees_with_discrete_on_clear_cases(self, setup):
+        """Continuous and fine discrete checking agree away from grazing."""
+        from repro.collision import CollisionDetector
+
+        checker, robot = setup
+        detector = CollisionDetector(checker.scene, robot)
+        rng = np.random.default_rng(0)
+        agreements = 0
+        total = 0
+        for _ in range(25):
+            a = robot.random_configuration(rng)
+            b = robot.random_configuration(rng)
+            cont = checker.check_motion(a, b).collided
+            disc = detector.check_motion(a, b, num_poses=60).collided
+            total += 1
+            agreements += cont == disc
+        assert agreements / total >= 0.85
+
+    def test_prediction_prioritizes_but_preserves_outcome(self, setup):
+        checker, _ = setup
+        predictor = CHTPredictor.create(CoordHash(5), 1024, s=0.0)
+        base = checker.check_motion([-0.8, 0.0], [0.9, 0.0])
+        first = checker.check_motion([-0.8, 0.0], [0.9, 0.0], predictor)
+        second = checker.check_motion([-0.8, 0.0], [0.9, 0.0], predictor)
+        assert base.collided == first.collided == second.collided
+        # Prediction cannot reduce pose evaluations (serial dependence,
+        # Sec. VII) — only reorder CDQs within a pose.
+        assert second.poses_evaluated == first.poses_evaluated
+
+    def test_stats_populated(self, setup):
+        checker, _ = setup
+        result = checker.check_motion([-0.8, 0.0], [0.9, 0.0])
+        assert result.stats.cdqs_executed > 0
+        assert result.stats.motions_checked == 1

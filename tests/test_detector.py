@@ -1,0 +1,147 @@
+"""Tests for the collision detector and Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.collision import (
+    CoarseStepScheduler,
+    CollisionDetector,
+    NaiveScheduler,
+    coord_key,
+    pose_key,
+)
+from repro.core import AlwaysPredictor, CHTPredictor, CoordHash, NeverPredictor, OraclePredictor
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+
+
+@pytest.fixture
+def wall_scene():
+    """A 2D wall at x = 0.5 blocking the planar robot."""
+    return Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5])])
+
+
+@pytest.fixture
+def detector(wall_scene):
+    return CollisionDetector(wall_scene, planar_2d())
+
+
+class TestConstruction:
+    def test_bad_representation_raises(self, wall_scene):
+        with pytest.raises(ValueError):
+            CollisionDetector(wall_scene, planar_2d(), representation="mesh")
+
+    def test_sphere_representation(self, wall_scene):
+        det = CollisionDetector(wall_scene, planar_2d(), representation="sphere")
+        assert det.check_pose([0.5, 0.0]).collided
+
+
+class TestPoseCheck:
+    def test_pose_in_wall_collides(self, detector):
+        assert detector.check_pose([0.5, 0.0]).collided
+
+    def test_free_pose(self, detector):
+        assert not detector.check_pose([-0.5, 0.0]).collided
+
+    def test_free_pose_executes_all_cdqs(self, detector):
+        result = detector.check_pose([-0.5, 0.0])
+        assert result.stats.cdqs_executed == detector.robot.num_links
+
+    def test_colliding_pose_may_exit_early(self, detector):
+        result = detector.check_pose([0.5, 0.0])
+        assert 1 <= result.stats.cdqs_executed <= detector.robot.num_links
+
+
+class TestMotionCheck:
+    def test_crossing_motion_collides(self, detector):
+        assert detector.check_motion([-0.8, 0.0], [0.9, 0.0], num_poses=15).collided
+
+    def test_parallel_motion_free(self, detector):
+        result = detector.check_motion([-0.8, -0.5], [-0.8, 0.5], num_poses=15)
+        assert not result.collided
+        assert result.stats.cdqs_executed == 15 * detector.robot.num_links
+
+    def test_executed_plus_skipped_is_total(self, detector):
+        result = detector.check_motion([-0.8, 0.0], [0.9, 0.0], num_poses=15)
+        assert result.stats.total_cdqs == 15 * detector.robot.num_links
+
+    def test_csp_finds_collision_faster_than_naive_here(self, detector):
+        """The wall sits near the end of the motion: naive scans from the
+        start, CSP probes distant poses early."""
+        naive = detector.check_motion([-0.8, 0.0], [0.7, 0.0], 16, NaiveScheduler())
+        csp = detector.check_motion([-0.8, 0.0], [0.7, 0.0], 16, CoarseStepScheduler(4))
+        assert naive.collided and csp.collided
+        assert csp.stats.cdqs_executed < naive.stats.cdqs_executed
+
+
+class TestAlgorithm1:
+    def test_never_predictor_equals_no_predictor(self, detector):
+        base = detector.check_motion([-0.8, 0.0], [0.9, 0.0], 15)
+        never = detector.check_motion([-0.8, 0.0], [0.9, 0.0], 15, predictor=NeverPredictor())
+        assert base.collided == never.collided
+        assert base.stats.cdqs_executed == never.stats.cdqs_executed
+
+    def test_always_predictor_keeps_order(self, detector):
+        """AlwaysPredictor executes everything eagerly in scan order —
+        identical CDQ count to the baseline."""
+        base = detector.check_motion([-0.8, 0.0], [0.9, 0.0], 15)
+        always = detector.check_motion([-0.8, 0.0], [0.9, 0.0], 15, predictor=AlwaysPredictor())
+        assert always.stats.cdqs_executed == base.stats.cdqs_executed
+
+    def test_oracle_one_cdq_for_colliding_motion(self, detector):
+        odet = detector.make_oracle_detector()
+        oracle = OraclePredictor(odet.ground_truth_fn())
+        result = odet.check_motion([-0.8, 0.0], [0.9, 0.0], 15, predictor=oracle)
+        assert result.collided
+        assert result.stats.cdqs_executed == 1
+
+    def test_oracle_all_cdqs_for_free_motion(self, detector):
+        odet = detector.make_oracle_detector()
+        oracle = OraclePredictor(odet.ground_truth_fn())
+        result = odet.check_motion([-0.8, -0.5], [-0.8, 0.5], 15, predictor=oracle)
+        assert not result.collided
+        assert result.stats.cdqs_executed == 15 * detector.robot.num_links
+
+    def test_prediction_outcome_always_correct(self, detector):
+        """Prediction never changes the collision verdict, only the order."""
+        pred = CHTPredictor.create(CoordHash(5), table_size=4096)
+        for end_x in (-0.5, 0.0, 0.6, 0.9):
+            base = detector.check_motion([-0.8, 0.0], [end_x, 0.2], 12)
+            with_pred = detector.check_motion(
+                [-0.8, 0.0], [end_x, 0.2], 12, predictor=pred
+            )
+            assert base.collided == with_pred.collided
+
+    def test_warm_predictor_reduces_cdqs(self, detector):
+        """After observing one colliding motion, a repeat of the same
+        motion resolves with fewer executed CDQs."""
+        pred = CHTPredictor.create(CoordHash(5), table_size=4096, s=0.0)
+        first = detector.check_motion([-0.8, 0.0], [0.9, 0.0], 15, predictor=pred)
+        second = detector.check_motion([-0.8, 0.0], [0.9, 0.0], 15, predictor=pred)
+        assert first.collided and second.collided
+        # The repeat executes only predicted CDQs up to the hit: the truly
+        # colliding bins plus a few near-wall false positives.
+        assert second.stats.cdqs_executed < first.stats.cdqs_executed
+        assert second.stats.cdqs_executed <= first.stats.cdqs_executed // 2
+
+    def test_prediction_stats_populated(self, detector):
+        pred = CHTPredictor.create(CoordHash(5), table_size=4096)
+        result = detector.check_motion([-0.8, 0.0], [0.9, 0.0], 15, predictor=pred)
+        assert result.stats.predictions_made > 0
+
+
+class TestKeys:
+    def test_coord_key_is_center(self, detector):
+        cdq = detector.pose_cdqs([0.3, 0.2])[0]
+        assert np.allclose(coord_key(cdq), cdq.geometry.center)
+
+    def test_pose_key_is_configuration(self, detector):
+        cdq = detector.pose_cdqs([0.3, 0.2])[0]
+        assert np.allclose(pose_key(cdq), [0.3, 0.2])
+
+    def test_motion_cdqs_count_and_order(self, detector):
+        cdqs = detector.motion_cdqs([-0.5, 0], [0.5, 0], 10, CoarseStepScheduler(3))
+        assert len(cdqs) == 10 * detector.robot.num_links
+        pose_order = [c.pose_index for c in cdqs[:: detector.robot.num_links]]
+        assert pose_order == CoarseStepScheduler(3).order(10)

@@ -1,0 +1,110 @@
+"""Tests for DH-parameter forward kinematics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import transforms as tf
+from repro.kinematics import DHChain, DHLink, dh_transform
+
+
+def two_link_planar():
+    """A classic 2R planar arm: two unit links rotating about z."""
+    return DHChain([DHLink(a=1.0, alpha=0.0, d=0.0), DHLink(a=1.0, alpha=0.0, d=0.0)])
+
+
+class TestDHTransform:
+    def test_zero_row_is_identity(self):
+        assert np.allclose(dh_transform(0, 0, 0, 0), np.eye(4))
+
+    def test_pure_translation_along_x(self):
+        m = dh_transform(1.0, 0.0, 0.0, 0.0)
+        assert np.allclose(m[:3, 3], [1, 0, 0])
+
+    def test_pure_offset_along_z(self):
+        m = dh_transform(0.0, 0.0, 0.7, 0.0)
+        assert np.allclose(m[:3, 3], [0, 0, 0.7])
+
+    def test_theta_rotates_about_z(self):
+        m = dh_transform(0.0, 0.0, 0.0, math.pi / 2)
+        assert np.allclose(m, tf.rotation_z(math.pi / 2), atol=1e-12)
+
+    def test_rotation_block_is_proper(self):
+        m = dh_transform(0.3, 0.5, 0.2, 0.9)
+        assert tf.is_rotation_matrix(m[:3, :3])
+
+
+class TestDHChain:
+    def test_empty_chain_raises(self):
+        with pytest.raises(ValueError):
+            DHChain([])
+
+    def test_bad_joint_limits_raise(self):
+        with pytest.raises(ValueError):
+            DHLink(a=0, alpha=0, d=0, joint_limits=(1.0, -1.0))
+
+    def test_dof(self):
+        assert two_link_planar().dof == 2
+
+    def test_wrong_configuration_length_raises(self):
+        with pytest.raises(ValueError):
+            two_link_planar().link_transforms([0.0])
+
+    def test_planar_arm_stretched(self):
+        chain = two_link_planar()
+        ee = chain.end_effector([0.0, 0.0])
+        assert np.allclose(ee[:3, 3], [2, 0, 0], atol=1e-12)
+
+    def test_planar_arm_elbow_up(self):
+        chain = two_link_planar()
+        ee = chain.end_effector([math.pi / 2, -math.pi / 2])
+        assert np.allclose(ee[:3, 3], [1, 1, 0], atol=1e-12)
+
+    def test_joint_positions_shape(self):
+        chain = two_link_planar()
+        pts = chain.joint_positions([0.3, -0.2])
+        assert pts.shape == (3, 3)
+        assert np.allclose(pts[0], [0, 0, 0])
+
+    def test_link_lengths_preserved(self):
+        chain = two_link_planar()
+        pts = chain.joint_positions([0.7, 0.9])
+        assert np.linalg.norm(pts[1] - pts[0]) == pytest.approx(1.0)
+        assert np.linalg.norm(pts[2] - pts[1]) == pytest.approx(1.0)
+
+    def test_base_transform_offsets_everything(self):
+        base = tf.translation([0, 0, 1.0])
+        chain = DHChain([DHLink(a=1.0, alpha=0.0, d=0.0)], base_transform=base)
+        assert np.allclose(chain.joint_positions([0.0])[0], [0, 0, 1])
+        assert np.allclose(chain.joint_positions([0.0])[1], [1, 0, 1])
+
+    def test_reach_bound(self):
+        chain = two_link_planar()
+        assert chain.reach() == pytest.approx(2.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            q = chain.random_configuration(rng)
+            assert np.linalg.norm(chain.joint_positions(q)[-1]) <= chain.reach() + 1e-9
+
+
+class TestLimits:
+    def test_within_limits(self):
+        chain = DHChain([DHLink(a=1, alpha=0, d=0, joint_limits=(-1.0, 1.0))])
+        assert chain.within_limits([0.5])
+        assert not chain.within_limits([1.5])
+
+    def test_clamp(self):
+        chain = DHChain([DHLink(a=1, alpha=0, d=0, joint_limits=(-1.0, 1.0))])
+        assert chain.clamp([2.0])[0] == pytest.approx(1.0)
+
+    def test_random_configuration_within_limits(self):
+        chain = DHChain(
+            [
+                DHLink(a=1, alpha=0, d=0, joint_limits=(-0.5, 0.5)),
+                DHLink(a=1, alpha=0, d=0, joint_limits=(0.0, 0.1)),
+            ]
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            assert chain.within_limits(chain.random_configuration(rng))

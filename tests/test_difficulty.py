@@ -1,0 +1,63 @@
+"""Tests for the G1-G5 difficulty grouping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import GROUP_LABELS, group_by_difficulty
+
+
+class TestGrouping:
+    def test_five_groups_by_default(self):
+        items = list(range(10))
+        groups = group_by_difficulty(items, [float(i) for i in range(10)])
+        assert set(groups) == set(GROUP_LABELS)
+        assert groups["G1"] == [0, 1]
+        assert groups["G5"] == [8, 9]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            group_by_difficulty([1, 2], [1.0])
+
+    def test_invalid_group_count_raises(self):
+        with pytest.raises(ValueError):
+            group_by_difficulty([1], [1.0], num_groups=0)
+        with pytest.raises(ValueError):
+            group_by_difficulty([1], [1.0], num_groups=6)
+
+    def test_unsorted_costs(self):
+        items = ["a", "b", "c", "d", "e"]
+        costs = [5.0, 1.0, 4.0, 2.0, 3.0]
+        groups = group_by_difficulty(items, costs, num_groups=5)
+        assert groups["G1"] == ["b"]
+        assert groups["G5"] == ["a"]
+
+    def test_stable_for_ties(self):
+        items = ["x", "y"]
+        groups = group_by_difficulty(items, [1.0, 1.0], num_groups=2)
+        assert groups["G1"] == ["x"] and groups["G2"] == ["y"]
+
+    @given(n=st.integers(5, 60))
+    @settings(max_examples=20)
+    def test_partition_property(self, n):
+        items = list(range(n))
+        costs = [float((i * 37) % n) for i in range(n)]
+        groups = group_by_difficulty(items, costs)
+        recovered = [i for g in GROUP_LABELS for i in groups[g]]
+        assert sorted(recovered) == items
+        sizes = [len(groups[g]) for g in GROUP_LABELS]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(n=st.integers(5, 40))
+    @settings(max_examples=20)
+    def test_costs_ordered_across_groups(self, n):
+        items = list(range(n))
+        costs = [float((i * 13) % 17) for i in range(n)]
+        groups = group_by_difficulty(items, costs)
+        prev_max = -1.0
+        for label in GROUP_LABELS:
+            if not groups[label]:
+                continue
+            group_costs = [costs[i] for i in groups[label]]
+            assert min(group_costs) >= prev_max - 1e-12
+            prev_max = max(group_costs)

@@ -1,0 +1,90 @@
+"""Tests for distance queries (continuous-checking substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AABB,
+    OBB,
+    Sphere,
+    aabb_distance,
+    obb_obb_distance_lower_bound,
+    obb_overlap,
+    point_obb_distance,
+    sphere_obb_distance,
+    sphere_sphere_distance,
+)
+from repro.geometry import transforms as tf
+
+coords = st.floats(-2.0, 2.0, allow_nan=False)
+points = st.tuples(coords, coords, coords)
+sizes = st.floats(0.05, 0.5, allow_nan=False)
+
+
+class TestPointOBB:
+    def test_inside_is_zero(self):
+        box = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        assert point_obb_distance([0.5, 0.5, -0.5], box) == 0.0
+
+    def test_face_distance(self):
+        box = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        assert point_obb_distance([2.0, 0, 0], box) == pytest.approx(1.0)
+
+    def test_corner_distance(self):
+        box = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        assert point_obb_distance([2, 2, 2], box) == pytest.approx(np.sqrt(3))
+
+    def test_rotated_box(self):
+        rot = tf.rotation_z(np.pi / 2)[:3, :3]
+        box = OBB([0, 0, 0], [2.0, 0.1, 0.1], rot)  # long axis now along y
+        assert point_obb_distance([0, 1.5, 0], box) == 0.0
+        assert point_obb_distance([1.5, 0, 0], box) == pytest.approx(1.4)
+
+
+class TestSphereDistances:
+    def test_sphere_obb_touching(self):
+        box = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        assert sphere_obb_distance(Sphere([2.0, 0, 0], 1.0), box) == 0.0
+
+    def test_sphere_obb_gap(self):
+        box = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        assert sphere_obb_distance(Sphere([3.0, 0, 0], 1.0), box) == pytest.approx(1.0)
+
+    def test_sphere_sphere(self):
+        assert sphere_sphere_distance(Sphere([0, 0, 0], 1), Sphere([3, 0, 0], 1)) == pytest.approx(1.0)
+        assert sphere_sphere_distance(Sphere([0, 0, 0], 1), Sphere([1, 0, 0], 1)) == 0.0
+
+
+class TestAABBDistance:
+    def test_overlap_is_zero(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        assert aabb_distance(a, AABB([0.5, 0.5, 0.5], [2, 2, 2])) == 0.0
+
+    def test_axis_gap(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([2, 0, 0], [3, 1, 1])
+        assert aabb_distance(a, b) == pytest.approx(1.0)
+
+
+class TestOBBLowerBound:
+    def test_overlapping_boxes_bound_zero(self):
+        a = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        b = OBB.axis_aligned([0.5, 0, 0], [1, 1, 1])
+        assert obb_obb_distance_lower_bound(a, b) == 0.0
+
+    @given(ca=points, cb=points, ha=st.tuples(sizes, sizes, sizes), hb=st.tuples(sizes, sizes, sizes))
+    @settings(max_examples=60)
+    def test_bound_is_conservative(self, ca, cb, ha, hb):
+        """Positive bound implies true separation (no overlap)."""
+        a = OBB.axis_aligned(np.asarray(ca), np.asarray(ha))
+        b = OBB.axis_aligned(np.asarray(cb), np.asarray(hb))
+        bound = obb_obb_distance_lower_bound(a, b)
+        if bound > 0:
+            assert not obb_overlap(a, b)
+
+    def test_far_boxes_positive_bound(self):
+        a = OBB.axis_aligned([0, 0, 0], [0.1, 0.1, 0.1])
+        b = OBB.axis_aligned([5, 0, 0], [0.1, 0.1, 0.1])
+        assert obb_obb_distance_lower_bound(a, b) >= 4.0

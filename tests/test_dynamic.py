@@ -1,0 +1,83 @@
+"""Tests for dynamic environments and history carry-over validity."""
+
+import numpy as np
+import pytest
+
+from repro.env import DynamicScene, ObstacleTrack, Scene, history_carryover_validity
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+
+
+@pytest.fixture
+def static_scene():
+    return Scene(
+        obstacles=[
+            OBB.axis_aligned([0.4, 0.0, 0.0], [0.15, 0.15, 0.5]),
+            OBB.axis_aligned([-0.3, 0.5, 0.0], [0.1, 0.1, 0.5]),
+        ]
+    )
+
+
+class TestObstacleTrack:
+    def test_frame_zero_is_original(self, static_scene):
+        track = ObstacleTrack(static_scene.obstacles[0], [0.1, 0.0, 0.0])
+        assert np.allclose(track.at_frame(0).center, static_scene.obstacles[0].center)
+
+    def test_drift_accumulates(self, static_scene):
+        track = ObstacleTrack(static_scene.obstacles[0], [0.1, 0.0, 0.0])
+        assert np.allclose(track.at_frame(3).center[0], 0.4 + 0.3)
+
+    def test_shape_preserved(self, static_scene):
+        track = ObstacleTrack(static_scene.obstacles[0], [0.1, 0.2, 0.0])
+        moved = track.at_frame(5)
+        assert np.allclose(moved.half_extents, static_scene.obstacles[0].half_extents)
+
+
+class TestDynamicScene:
+    def test_from_scene_keeps_obstacle_count(self, static_scene, rng):
+        dynamic = DynamicScene.from_scene(static_scene, rng)
+        for frame in dynamic.frames(3):
+            assert frame.num_obstacles == static_scene.num_obstacles
+
+    def test_zero_moving_fraction_is_static(self, static_scene, rng):
+        dynamic = DynamicScene.from_scene(static_scene, rng, moving_fraction=0.0)
+        f0, f5 = dynamic.frame(0), dynamic.frame(5)
+        for a, b in zip(f0.obstacles, f5.obstacles):
+            assert np.allclose(a.center, b.center)
+
+    def test_speed_bound_respected(self, static_scene, rng):
+        dynamic = DynamicScene.from_scene(static_scene, rng, max_speed=0.02)
+        f0, f1 = dynamic.frame(0), dynamic.frame(1)
+        for a, b in zip(f0.obstacles, f1.obstacles):
+            assert np.linalg.norm(b.center - a.center) <= 0.02 + 1e-12
+
+
+class TestCarryoverValidity:
+    def test_identical_frames_fully_valid(self, static_scene, rng):
+        robot = planar_2d()
+        validity = history_carryover_validity(static_scene, static_scene, robot, rng, 50)
+        assert validity == 1.0
+
+    def test_slow_obstacles_mostly_valid(self, static_scene, rng):
+        robot = planar_2d()
+        dynamic = DynamicScene.from_scene(static_scene, np.random.default_rng(1), max_speed=0.01)
+        validity = history_carryover_validity(
+            dynamic.frame(0), dynamic.frame(1), robot, rng, 150
+        )
+        assert validity > 0.95
+
+    def test_fast_obstacles_less_valid_than_slow(self, static_scene, rng):
+        robot = planar_2d()
+        slow = DynamicScene.from_scene(static_scene, np.random.default_rng(1), max_speed=0.01)
+        fast = DynamicScene.from_scene(static_scene, np.random.default_rng(1), max_speed=0.4)
+        slow_validity = history_carryover_validity(
+            slow.frame(0), slow.frame(5), robot, np.random.default_rng(2), 150
+        )
+        fast_validity = history_carryover_validity(
+            fast.frame(0), fast.frame(5), robot, np.random.default_rng(2), 150
+        )
+        assert fast_validity <= slow_validity
+
+    def test_empty_robot_stream_is_valid(self, static_scene, rng):
+        robot = planar_2d()
+        assert history_carryover_validity(static_scene, static_scene, robot, rng, 0) == 1.0

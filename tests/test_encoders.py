@@ -1,0 +1,49 @@
+"""Tests for the learned latent hashes (ENPOSE / ENCOORD)."""
+
+import numpy as np
+import pytest
+
+from repro.core import train_coord_autoencoder, train_pose_autoencoder
+from repro.core.encoders import LatentHash
+from repro.core.mlp import MLP
+
+LIMITS = np.array([[-np.pi, np.pi]] * 7)
+
+
+class TestTraining:
+    def test_enpose_produces_valid_codes(self, rng):
+        h = train_pose_autoencoder(LIMITS, rng, latent_dim=2, bits_per_dim=4, num_samples=400, epochs=5)
+        for _ in range(30):
+            code = h(rng.uniform(-np.pi, np.pi, 7))
+            assert 0 <= code < h.table_size
+
+    def test_encoord_produces_valid_codes(self, rng):
+        centers = rng.uniform(-1, 1, size=(400, 3))
+        h = train_coord_autoencoder(centers, rng, latent_dim=2, bits_per_dim=4, epochs=5)
+        for c in centers[:30]:
+            assert 0 <= h(c) < h.table_size
+
+    def test_encoord_requires_3d_centers(self, rng):
+        with pytest.raises(ValueError):
+            train_coord_autoencoder(rng.uniform(size=(10, 4)), rng)
+
+    def test_code_bits(self, rng):
+        h = train_pose_autoencoder(LIMITS, rng, latent_dim=2, bits_per_dim=5, num_samples=200, epochs=3)
+        assert h.code_bits == 10
+
+    def test_deterministic_hash(self, rng):
+        h = train_pose_autoencoder(LIMITS, rng, latent_dim=2, bits_per_dim=4, num_samples=200, epochs=3)
+        q = rng.uniform(-np.pi, np.pi, 7)
+        assert h(q) == h(q)
+
+
+class TestLatentHashValidation:
+    def test_wrong_input_size_raises(self, rng):
+        h = train_pose_autoencoder(LIMITS, rng, num_samples=100, epochs=2)
+        with pytest.raises(ValueError):
+            h(np.zeros(3))
+
+    def test_bad_ranges_shape_raises(self, rng):
+        encoder = MLP.create(rng, [3, 2])
+        with pytest.raises(ValueError):
+            LatentHash(encoder, np.zeros((2, 3)), bits_per_dim=4, expected_input=3)

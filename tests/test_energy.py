@@ -1,0 +1,83 @@
+"""Tests for the analytic area/energy model (Sec. VI-B1 calibration)."""
+
+import pytest
+
+from repro.hardware import (
+    EnergyModel,
+    baseline_config,
+    copu_config,
+    sram_access_energy_pj,
+    sram_area_mm2,
+)
+
+
+class TestSRAMModel:
+    def test_zero_bits(self):
+        assert sram_area_mm2(0) == 0.0
+        assert sram_access_energy_pj(0) == 0.0
+
+    def test_area_monotone(self):
+        assert sram_area_mm2(8192) > sram_area_mm2(4096) > 0
+
+    def test_energy_sublinear(self):
+        """Access energy grows slower than capacity (sqrt scaling)."""
+        e1, e4 = sram_access_energy_pj(4096), sram_access_energy_pj(16384)
+        assert e4 < 4 * e1
+
+
+class TestAreaBreakdown:
+    def test_baseline_has_no_prediction_area(self):
+        area = EnergyModel(baseline_config(6)).area()
+        assert area.cht == 0.0 and area.queues == 0.0 and area.hash_generation == 0.0
+        assert area.prediction_overhead == 0.0
+
+    def test_copu_adds_prediction_area(self):
+        area = EnergyModel(copu_config(6)).area()
+        assert area.cht > 0.0 and area.queues > 0.0
+        assert 0.0 < area.prediction_overhead < 0.2
+
+    def test_area_scales_with_cdus(self):
+        small = EnergyModel(baseline_config(1)).area().total
+        large = EnergyModel(baseline_config(24)).area().total
+        assert large > small
+
+    def test_cht_overhead_vs_mpaccel_matches_paper(self):
+        """CHT 4096x8 bit: ~2% of the 24-CDU MPAccel (paper: 1.96%)."""
+        reference = EnergyModel.mpaccel_reference_area()
+        cht_8bit = sram_area_mm2(4096 * 8)
+        overhead = cht_8bit / reference
+        assert 0.01 < overhead < 0.03
+
+    def test_one_bit_cht_overhead_matches_paper(self):
+        """CHT 4096x1 bit: ~0.55% of MPAccel."""
+        reference = EnergyModel.mpaccel_reference_area()
+        overhead = sram_area_mm2(4096) / reference
+        assert 0.003 < overhead < 0.009
+
+    def test_queue_overhead_matches_paper(self):
+        """Four groups of QCOLL+QNONCOLL: ~2.6% of MPAccel (paper band)."""
+        reference = EnergyModel.mpaccel_reference_area()
+        per_group = sram_area_mm2((8 + 56) * 288)
+        overhead = 4 * per_group / reference
+        assert 0.015 < overhead < 0.06
+
+
+class TestEnergyBreakdown:
+    def test_energy_components_accumulate(self):
+        model = EnergyModel(copu_config(6))
+        energy = model.energy(
+            cdu_tests=1000, obbs_generated=200, cht_reads=300, cht_writes=100, queue_ops=400, cycles=5000
+        )
+        assert energy.total > 0
+        assert energy.cdu_tests > energy.cht_accesses  # CDU work dominates
+        assert energy.prediction_overhead < 0.25
+
+    def test_zero_activity_leaves_only_leakage(self):
+        model = EnergyModel(copu_config(6))
+        energy = model.energy(0, 0, 0, 0, 0, cycles=100)
+        assert energy.total == pytest.approx(energy.leakage)
+
+    def test_baseline_pays_no_cht_energy(self):
+        model = EnergyModel(baseline_config(6))
+        energy = model.energy(1000, 200, 0, 0, 0, 1000)
+        assert energy.cht_accesses == 0.0 and energy.queue_operations == 0.0

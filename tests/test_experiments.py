@@ -1,0 +1,99 @@
+"""Smoke tests for the experiment drivers (fast subset only).
+
+The full figure regenerations live in ``benchmarks/``; here we pin the
+cheap experiments' structure and the context's caching/determinism, so a
+refactor of :mod:`repro.analysis.experiments` fails fast in the unit
+suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentContext,
+    _pose_level_eval,
+    _stable_hash,
+    build_suites,
+    sec6b1_overheads,
+)
+from repro.analysis.report import Table
+from repro.core.hashing import CoordHash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert _stable_hash("mpnet-baxter") == _stable_hash("mpnet-baxter")
+
+    def test_distinct_names_differ(self):
+        assert _stable_hash("a") != _stable_hash("b")
+
+    def test_known_value(self):
+        # Pin the value: a change would silently reseed every experiment.
+        import zlib
+
+        assert _stable_hash("gnnmp-kuka") == zlib.crc32(b"gnnmp-kuka")
+
+
+class TestContext:
+    def test_build_suites_lazy(self):
+        ctx = build_suites(scale=0.25)
+        assert isinstance(ctx, ExperimentContext)
+        assert not ctx.suites and not ctx.traces
+
+    def test_density_scene_cache(self):
+        ctx = build_suites(scale=0.25)
+        a = ctx.density_scenes("medium", count=1)
+        b = ctx.density_scenes("medium", count=1)
+        assert a is b
+
+    def test_labelled_streams_shape(self):
+        ctx = build_suites(scale=0.25)
+        streams = ctx.labelled_pose_streams("medium", poses_per_scene=10)
+        assert len(streams) == 4  # default scene count
+        q, centers, outcomes = streams[0][0]
+        assert len(centers) == len(outcomes) == 7  # Jaco2 links
+
+
+class TestPoseLevelEval:
+    def test_returns_both_granularities(self):
+        ctx = build_suites(scale=0.25)
+        streams = ctx.labelled_pose_streams("medium", poses_per_scene=30)
+        scored = _pose_level_eval(streams, lambda scene: CoordHash(4), "coord", s=0.0)
+        assert set(scored) == {"pose", "cdq"}
+        assert scored["cdq"].total == sum(len(s) for s in streams) * 7
+        assert scored["pose"].total == sum(len(s) for s in streams)
+
+    def test_pose_kind_single_update_per_pose(self):
+        ctx = build_suites(scale=0.25)
+        streams = ctx.labelled_pose_streams("medium", poses_per_scene=30)
+        from repro.core.hashing import PoseHash
+
+        limits = np.array([[-np.pi, np.pi]] * 7)
+        scored = _pose_level_eval(streams, lambda scene: PoseHash(limits, 2), "pose", s=0.0)
+        assert scored["pose"].total == scored["cdq"].total
+
+
+class TestCheapExperiments:
+    def test_sec6b1_structure(self):
+        table = sec6b1_overheads(build_suites(scale=0.25))
+        assert isinstance(table, Table)
+        assert len(table.rows) == 3
+        labels = [r[0] for r in table.rows]
+        assert "CHT 4096x8b" in labels and "CHT 4096x1b" in labels
+
+    def test_sec6b1_overheads_ordered(self):
+        table = sec6b1_overheads(build_suites(scale=0.25))
+        rows = {r[0]: float(r[2].rstrip("%")) for r in table.rows}
+        assert rows["CHT 4096x1b"] < rows["CHT 4096x8b"]
+
+
+class TestRunAllRegistry:
+    def test_every_experiment_registered_once(self):
+        from repro.analysis.run_all import EXPERIMENTS
+
+        names = [name for name, _ in EXPERIMENTS]
+        assert len(names) == len(set(names))
+        assert "fig15_copu_reduction" in names
+        assert "ablation_adaptive_s" in names
+        # One bench file exists for every figure experiment.
+        assert len(names) >= 21

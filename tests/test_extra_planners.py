@@ -1,0 +1,95 @@
+"""Tests for Lazy PRM and Informed RRT*."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+from repro.planners import (
+    STAGE_EXPLORE,
+    CheckContext,
+    InformedRRTStarPlanner,
+    LazyPRMPlanner,
+    PlanningProblem,
+    RRTPlanner,
+    path_length,
+)
+
+
+@pytest.fixture
+def easy_problem():
+    scene = Scene(obstacles=[OBB.axis_aligned([0.0, 0.0, 0.0], [0.15, 0.3, 0.5])])
+    robot = planar_2d()
+    problem = PlanningProblem(robot=robot, scene=scene, start=[-0.7, 0.0], goal=[0.7, 0.0])
+    return problem, CollisionDetector(scene, robot)
+
+
+class TestLazyPRM:
+    def test_solves_easy_problem(self, easy_problem):
+        problem, detector = easy_problem
+        planner = LazyPRMPlanner(np.random.default_rng(3), num_samples=150, connection_radius=0.5)
+        result = planner.plan(problem, CheckContext(detector, num_poses=8))
+        assert result.success
+        for a, b in zip(result.path[:-1], result.path[1:]):
+            assert not detector.check_motion(a, b, 12).collided
+
+    def test_collision_heavy_stream(self, easy_problem):
+        """Lazy validation means many checked elements are invalid."""
+        problem, detector = easy_problem
+        planner = LazyPRMPlanner(np.random.default_rng(3), num_samples=150, connection_radius=0.5)
+        context = CheckContext(detector, num_poses=8)
+        planner.plan(problem, context)
+        assert STAGE_EXPLORE in context.stage_stats or "S2" in context.stage_stats
+
+    def test_gives_up_within_budget(self):
+        scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.2, 0.2, 0.5])])
+        robot = planar_2d()
+        # Goal buried inside the obstacle.
+        problem = PlanningProblem(robot=robot, scene=scene, start=[-0.7, 0.0], goal=[0.5, 0.0])
+        detector = CollisionDetector(scene, robot)
+        planner = LazyPRMPlanner(np.random.default_rng(0), num_samples=60, max_repairs=20)
+        result = planner.plan(problem, CheckContext(detector, num_poses=8))
+        assert not result.success
+
+
+class TestInformedRRTStar:
+    def test_solves_easy_problem(self, easy_problem):
+        problem, detector = easy_problem
+        planner = InformedRRTStarPlanner(
+            np.random.default_rng(5), max_iterations=400, step_size=0.35
+        )
+        result = planner.plan(problem, CheckContext(detector, num_poses=8))
+        assert result.success
+        assert np.allclose(result.path[-1], problem.goal)
+        # Validate at the planner's own checking resolution.
+        for a, b in zip(result.path[:-1], result.path[1:]):
+            assert not detector.check_motion(a, b, 8).collided
+
+    def test_no_worse_than_plain_rrt_on_average(self, easy_problem):
+        """Rewiring + informed sampling should shorten paths vs plain RRT."""
+        problem, detector = easy_problem
+        lengths = {"rrt": [], "informed": []}
+        for seed in range(3):
+            rrt = RRTPlanner(np.random.default_rng(seed), max_iterations=500, step_size=0.35)
+            result = rrt.plan(problem, CheckContext(detector, num_poses=8))
+            if result.success:
+                lengths["rrt"].append(path_length(result.path))
+            informed = InformedRRTStarPlanner(
+                np.random.default_rng(seed), max_iterations=500, step_size=0.35
+            )
+            result = informed.plan(problem, CheckContext(detector, num_poses=8))
+            if result.success:
+                lengths["informed"].append(path_length(result.path))
+        if lengths["rrt"] and lengths["informed"]:
+            assert np.mean(lengths["informed"]) <= np.mean(lengths["rrt"]) * 1.25
+
+    def test_failure_when_goal_enclosed(self):
+        scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.15, 0.15, 0.5])])
+        robot = planar_2d()
+        problem = PlanningProblem(robot=robot, scene=scene, start=[-0.7, 0.0], goal=[0.5, 0.0])
+        detector = CollisionDetector(scene, robot)
+        planner = InformedRRTStarPlanner(np.random.default_rng(0), max_iterations=80)
+        result = planner.plan(problem, CheckContext(detector, num_poses=8))
+        assert not result.success

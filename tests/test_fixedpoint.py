@@ -1,0 +1,103 @@
+"""Tests for the 16-bit fixed-point quantizer (Fig. 10 datapath)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import DEFAULT_WORKSPACE_FORMAT, FixedPointFormat
+
+
+class TestConstruction:
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(lo=1.0, hi=1.0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(lo=2.0, hi=-2.0)
+
+    def test_word_bits_is_sixteen(self):
+        assert FixedPointFormat(-1, 1).word_bits == 16
+
+    def test_resolution(self):
+        fmt = FixedPointFormat(0.0, 1.0)
+        assert fmt.resolution == pytest.approx(1.0 / 65536)
+
+
+class TestEncode:
+    def test_lo_maps_to_zero(self):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        assert fmt.encode(-1.0) == 0
+
+    def test_hi_saturates_to_max(self):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        assert fmt.encode(1.0) == 65535
+        assert fmt.encode(100.0) == 65535
+
+    def test_below_lo_saturates_to_zero(self):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        assert fmt.encode(-100.0) == 0
+
+    def test_midpoint(self):
+        fmt = FixedPointFormat(0.0, 1.0)
+        assert fmt.encode(0.5) == 32768
+
+    def test_vectorized_encode(self):
+        fmt = FixedPointFormat(0.0, 1.0)
+        words = fmt.encode([0.0, 0.5, 0.999999])
+        assert words.dtype == np.uint16
+        assert words[0] == 0 and words[1] == 32768
+
+    @given(value=st.floats(min_value=-1.0, max_value=0.999, allow_nan=False))
+    @settings(max_examples=50)
+    def test_decode_inverts_encode_within_resolution(self, value):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        recovered = float(fmt.decode(fmt.encode(value)))
+        assert abs(recovered - value) <= fmt.resolution
+
+
+class TestMSBs:
+    def test_msbs_bin_count(self):
+        fmt = FixedPointFormat(0.0, 1.0)
+        values = np.linspace(0.0, 0.999, 64)
+        cells = fmt.msbs(values, 2)
+        assert set(np.unique(cells)) == {0, 1, 2, 3}
+
+    def test_msbs_monotone(self):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        cells = fmt.msbs(np.linspace(-1.0, 0.999, 100), 4)
+        assert np.all(np.diff(cells.astype(int)) >= 0)
+
+    def test_msbs_k_bounds(self):
+        fmt = FixedPointFormat(0.0, 1.0)
+        with pytest.raises(ValueError):
+            fmt.msbs(0.5, 0)
+        with pytest.raises(ValueError):
+            fmt.msbs(0.5, 17)
+
+    def test_msbs_full_width_equals_encode(self):
+        fmt = FixedPointFormat(0.0, 1.0)
+        assert int(fmt.msbs(0.37, 16)) == int(fmt.encode(0.37))
+
+    @given(
+        a=st.floats(min_value=-1.4, max_value=1.4, allow_nan=False),
+        b=st.floats(min_value=-1.4, max_value=1.4, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_nearby_values_share_or_adjoin_bins(self, a, b):
+        """Physical locality: values within one bin width differ by <= 1 bin."""
+        fmt = DEFAULT_WORKSPACE_FORMAT
+        k = 4
+        bin_width = (fmt.hi - fmt.lo) / (1 << k)
+        if abs(a - b) < bin_width:
+            ca, cb = int(fmt.msbs(a, k)), int(fmt.msbs(b, k))
+            assert abs(ca - cb) <= 1
+
+
+class TestDefaultFormat:
+    def test_covers_arm_workspaces(self):
+        assert DEFAULT_WORKSPACE_FORMAT.lo <= -1.4
+        assert DEFAULT_WORKSPACE_FORMAT.hi >= 1.4
+
+    def test_bin_size_at_4_bits(self):
+        span = DEFAULT_WORKSPACE_FORMAT.hi - DEFAULT_WORKSPACE_FORMAT.lo
+        assert span / 16 == pytest.approx(0.1875)

@@ -1,0 +1,111 @@
+"""Tests for the environment generators and density calibration."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    DENSITY_TARGETS,
+    calibrated_clutter_scene,
+    measure_collision_rate,
+    narrow_gap_arm_scene,
+    narrow_passage_2d_scene,
+    random_2d_scene,
+    random_clutter_scene,
+    tabletop_scene,
+)
+from repro.collision import CollisionDetector
+from repro.kinematics import planar_2d
+
+
+class TestRandomClutter:
+    def test_obstacle_count_in_range(self, rng):
+        scene = random_clutter_scene(rng)
+        assert 5 <= scene.num_obstacles <= 9
+
+    def test_obstacles_off_base(self, rng):
+        scene = random_clutter_scene(rng)
+        for box in scene.obstacles:
+            assert np.linalg.norm(box.center[:2]) >= 0.18 - 1e-9
+
+    def test_scale_grows_obstacles(self, ):
+        small = random_clutter_scene(np.random.default_rng(0), scale=0.5)
+        big = random_clutter_scene(np.random.default_rng(0), scale=2.0)
+        assert big.obstacles[0].volume > small.obstacles[0].volume
+
+
+class TestCalibration:
+    def test_unknown_density_raises(self, rng, jaco):
+        with pytest.raises(ValueError):
+            calibrated_clutter_scene(rng, jaco, "extreme")
+
+    @pytest.mark.parametrize("density", ["low", "medium", "high"])
+    def test_calibrated_rate_ordering(self, jaco, density):
+        # Rates should be roughly ordered low < medium < high.
+        rng = np.random.default_rng(9)
+        scene = calibrated_clutter_scene(rng, jaco, density, probe_poses=60, max_rounds=4)
+        rate = measure_collision_rate(scene, jaco, np.random.default_rng(1), 80)
+        target = DENSITY_TARGETS[density]
+        assert rate <= target * 4 + 0.05
+        if density == "high":
+            assert rate >= 0.08
+
+    def test_measure_collision_rate_bounds(self, jaco, medium_scene, rng):
+        rate = measure_collision_rate(medium_scene, jaco, rng, 30)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestTableTop:
+    def test_has_table_plus_objects(self, rng):
+        scene = tabletop_scene(rng, num_objects=5)
+        assert scene.num_obstacles == 6
+
+    def test_table_below_shoulder(self, rng):
+        scene = tabletop_scene(rng)
+        table = scene.obstacles[0]
+        assert table.center[2] < 0.0
+
+
+class Test2DScenes:
+    def test_random_2d_count(self, rng):
+        assert random_2d_scene(rng, num_obstacles=4).num_obstacles == 4
+
+    def test_obstacles_extruded_in_z(self, rng):
+        scene = random_2d_scene(rng)
+        for box in scene.obstacles:
+            assert box.half_extents[2] >= 0.5
+
+    def test_narrow_passage_has_gap(self, rng):
+        robot = planar_2d()
+        scene = narrow_passage_2d_scene(rng, gap_width=0.2)
+        detector = CollisionDetector(scene, robot)
+        # Some y position near the wall must be free (the gap).
+        free = False
+        for y in np.linspace(-0.9, 0.9, 60):
+            if not detector.check_pose([0.0, y]).collided:
+                free = True
+                break
+        assert free
+
+    def test_narrow_passage_wall_blocks(self, rng):
+        robot = planar_2d()
+        scene = narrow_passage_2d_scene(rng, gap_width=0.2)
+        detector = CollisionDetector(scene, robot)
+        blocked = sum(
+            detector.check_pose([0.0, y]).collided for y in np.linspace(-0.9, 0.9, 40)
+        )
+        assert blocked > 20  # most of the wall line is blocked
+
+
+class TestNarrowGapArm:
+    def test_two_slabs_present(self, rng):
+        scene = narrow_gap_arm_scene(rng)
+        assert scene.num_obstacles >= 2
+
+    def test_free_poses_exist(self, rng, jaco):
+        scene = narrow_gap_arm_scene(np.random.default_rng(4))
+        detector = CollisionDetector(scene, jaco)
+        free = sum(
+            not detector.check_pose(jaco.random_configuration(rng)).collided
+            for _ in range(60)
+        )
+        assert free > 0

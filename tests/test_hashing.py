@@ -1,0 +1,169 @@
+"""Tests for the hash-function family (Sec. III-B/C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoordHash, PoseFoldHash, PoseHash, PosePartHash
+from repro.core.hashing import quantize_to_bits
+from repro.geometry import FixedPointFormat
+
+LIMITS_7DOF = np.array([[-np.pi, np.pi]] * 7)
+
+ws_coords = st.floats(-1.4, 1.4, allow_nan=False)
+link_centers = st.tuples(ws_coords, ws_coords, ws_coords)
+
+
+class TestQuantizeToBits:
+    def test_range_coverage(self):
+        cells = quantize_to_bits(
+            np.linspace(-1, 0.999, 100), np.array([-1.0]), np.array([1.0]), 3
+        )
+        assert cells.min() == 0 and cells.max() == 7
+
+    def test_clipping(self):
+        cells = quantize_to_bits(np.array([-5.0, 5.0]), np.array([-1.0, -1.0]), np.array([1.0, 1.0]), 4)
+        assert cells[0] == 0 and cells[1] == 15
+
+    def test_zero_bits_raises(self):
+        with pytest.raises(ValueError):
+            quantize_to_bits(np.array([0.0]), np.array([-1.0]), np.array([1.0]), 0)
+
+
+class TestPoseHash:
+    def test_code_bits(self):
+        assert PoseHash(LIMITS_7DOF, bits_per_dof=3).code_bits == 21
+
+    def test_table_size(self):
+        assert PoseHash(LIMITS_7DOF, bits_per_dof=2).table_size == 1 << 14
+
+    def test_codes_in_range(self, rng):
+        h = PoseHash(LIMITS_7DOF, bits_per_dof=3)
+        for _ in range(50):
+            code = h(rng.uniform(-np.pi, np.pi, 7))
+            assert 0 <= code < h.table_size
+
+    def test_deterministic(self, rng):
+        h = PoseHash(LIMITS_7DOF, bits_per_dof=3)
+        q = rng.uniform(-np.pi, np.pi, 7)
+        assert h(q) == h(q)
+
+    def test_wrong_dof_raises(self):
+        h = PoseHash(LIMITS_7DOF, 3)
+        with pytest.raises(ValueError):
+            h([0.0, 0.0])
+
+    def test_bad_limits_shape_raises(self):
+        with pytest.raises(ValueError):
+            PoseHash(np.zeros((7, 3)), 3)
+
+    def test_nearby_poses_share_code(self):
+        h = PoseHash(LIMITS_7DOF, bits_per_dof=2)
+        q = np.zeros(7) + 0.3
+        assert h(q) == h(q + 1e-6)
+
+
+class TestPosePartHash:
+    def test_only_first_dofs_matter(self, rng):
+        h = PosePartHash(LIMITS_7DOF, bits_per_dof=4, num_dofs=2)
+        q = rng.uniform(-np.pi, np.pi, 7)
+        q2 = q.copy()
+        q2[2:] = rng.uniform(-np.pi, np.pi, 5)  # change distal joints only
+        assert h(q) == h(q2)
+
+    def test_base_dof_changes_code(self):
+        h = PosePartHash(LIMITS_7DOF, bits_per_dof=4, num_dofs=2)
+        q = np.zeros(7)
+        q2 = q.copy()
+        q2[0] = 2.0
+        assert h(q) != h(q2)
+
+    def test_smaller_code(self):
+        full = PoseHash(LIMITS_7DOF, 4)
+        part = PosePartHash(LIMITS_7DOF, 4, 2)
+        assert part.code_bits < full.code_bits
+
+    def test_bad_num_dofs_raises(self):
+        with pytest.raises(ValueError):
+            PosePartHash(LIMITS_7DOF, 4, 0)
+        with pytest.raises(ValueError):
+            PosePartHash(LIMITS_7DOF, 4, 8)
+
+
+class TestPoseFoldHash:
+    def test_folded_width(self):
+        h = PoseFoldHash(LIMITS_7DOF, bits_per_dof=3, folded_bits=12)
+        assert h.code_bits == 12
+
+    def test_codes_within_folded_range(self, rng):
+        h = PoseFoldHash(LIMITS_7DOF, 3, 12)
+        for _ in range(50):
+            assert 0 <= h(rng.uniform(-np.pi, np.pi, 7)) < (1 << 12)
+
+    def test_bad_fold_raises(self):
+        with pytest.raises(ValueError):
+            PoseFoldHash(LIMITS_7DOF, 3, 0)
+        with pytest.raises(ValueError):
+            PoseFoldHash(LIMITS_7DOF, 3, 22)
+
+    def test_fold_no_wider_than_inner(self):
+        # Folding a 21-bit code into 21 bits is the identity.
+        h = PoseFoldHash(LIMITS_7DOF, 3, 21)
+        inner = PoseHash(LIMITS_7DOF, 3)
+        q = np.full(7, 0.4)
+        assert h(q) == inner(q)
+
+
+class TestCoordHash:
+    def test_code_bits(self):
+        assert CoordHash(bits_per_axis=4).code_bits == 12
+
+    def test_requires_3_vector(self):
+        with pytest.raises(ValueError):
+            CoordHash(4)([1.0, 2.0])
+
+    def test_bits_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            CoordHash(0)
+        with pytest.raises(ValueError):
+            CoordHash(17)
+
+    def test_cell_size(self):
+        h = CoordHash(4, FixedPointFormat(-1.6, 1.6))
+        assert h.cell_size() == pytest.approx(0.2)
+
+    @given(center=link_centers)
+    @settings(max_examples=50)
+    def test_codes_in_range(self, center):
+        h = CoordHash(4)
+        assert 0 <= h(np.asarray(center)) < h.table_size
+
+    @given(center=link_centers)
+    @settings(max_examples=50)
+    def test_physical_locality(self, center):
+        """An epsilon displacement moves each axis cell by at most one
+        (equal codes except exactly at a bin boundary)."""
+        h = CoordHash(4)
+        c = np.asarray(center)
+        nearby = c + 1e-9
+        cells_a = h.fmt.msbs(c, h.bits_per_axis).astype(int)
+        cells_b = h.fmt.msbs(nearby, h.bits_per_axis).astype(int)
+        assert np.all(np.abs(cells_a - cells_b) <= 1)
+
+    def test_distant_points_differ(self):
+        h = CoordHash(4)
+        assert h(np.array([0.0, 0.0, 0.0])) != h(np.array([1.0, 1.0, 1.0]))
+
+    def test_grouping_is_binning(self):
+        """All points inside one 18.75 cm cell share the hash code."""
+        h = CoordHash(4)  # default format [-1.5, 1.5)
+        cell = h.cell_size()
+        base = np.array([0.01, 0.01, 0.01])  # cell-aligned region start
+        codes = {
+            h(base + np.array([dx, dy, dz]) * (cell * 0.4))
+            for dx in (0, 1)
+            for dy in (0, 1)
+            for dz in (0, 1)
+        }
+        assert len(codes) == 1

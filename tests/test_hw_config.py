@@ -1,0 +1,62 @@
+"""Tests for accelerator configuration."""
+
+import pytest
+
+from repro.hardware import AcceleratorConfig, TimingParams, baseline_config, copu_config
+
+
+class TestTimingParams:
+    def test_defaults_valid(self):
+        TimingParams()
+
+    def test_zero_rate_raises(self):
+        with pytest.raises(ValueError):
+            TimingParams(obbs_per_cycle=0)
+
+    def test_negative_latency_raises(self):
+        with pytest.raises(ValueError):
+            TimingParams(fk_latency=-1)
+
+
+class TestAcceleratorConfig:
+    def test_defaults(self):
+        cfg = AcceleratorConfig()
+        assert cfg.use_copu and cfg.num_cdus == 6
+
+    def test_no_cdus_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(num_cdus=0)
+
+    def test_zero_queue_with_copu_raises(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(qcoll_size=0)
+
+    def test_cht_entry_bits_one_when_s_zero(self):
+        assert AcceleratorConfig(s=0.0).cht_entry_bits == 1
+
+    def test_cht_entry_bits_two_counters(self):
+        assert AcceleratorConfig(s=1.0, counter_bits=4).cht_entry_bits == 8
+
+    def test_with_queue_sizes(self):
+        cfg = AcceleratorConfig().with_queue_sizes(4, 16)
+        assert cfg.qcoll_size == 4 and cfg.qnoncoll_size == 16
+
+    def test_with_strategy(self):
+        cfg = AcceleratorConfig().with_strategy(s=0.5, u=0.25)
+        assert cfg.s == 0.5 and cfg.u == 0.25
+        partial = cfg.with_strategy(u=1.0)
+        assert partial.s == 0.5 and partial.u == 1.0
+
+
+class TestNamedConfigs:
+    def test_copu_config_paper_defaults(self):
+        cfg = copu_config(4)
+        assert cfg.name == "copu.4"
+        assert cfg.use_copu
+        assert cfg.s == 0.0 and cfg.u == 0.0  # 4096 x 1-bit CHT (Sec. VI-B2)
+        assert cfg.qnoncoll_size == 56 and cfg.qcoll_size == 8
+
+    def test_baseline_config(self):
+        cfg = baseline_config(6)
+        assert cfg.name == "baseline.6"
+        assert not cfg.use_copu

@@ -1,0 +1,104 @@
+"""End-to-end integration tests spanning planner -> trace -> hardware."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CoarseStepScheduler, CollisionDetector, check_motion_batch
+from repro.core import CHTPredictor, CoordHash, OraclePredictor
+from repro.hardware import AcceleratorSimulator, baseline_config, copu_config
+from repro.kinematics import planar_2d
+from repro.workloads import generate_workload, trace_motion
+from repro.env import narrow_passage_2d_scene
+from repro.planners import RRTConnectPlanner
+
+
+@pytest.fixture(scope="module")
+def recorded_workload():
+    """One narrow-passage 2D planning query, recorded."""
+    rng = np.random.default_rng(17)
+    robot = planar_2d()
+    scene = narrow_passage_2d_scene(np.random.default_rng(3), gap_width=0.2)
+    planner = RRTConnectPlanner(rng, max_iterations=250, step_size=0.4)
+    return generate_workload(planner, robot, scene, rng, name="integration")
+
+
+class TestSoftwareStack:
+    def test_scheduler_predictor_chain_orders_correctly(self, recorded_workload):
+        """Oracle <= COORD <= CSP executed CDQs on the same workload."""
+        w = recorded_workload
+        detector = CollisionDetector(w.scene, w.robot)
+        motions = [m.as_motion() for m in w.motions]
+        csp = check_motion_batch(detector, motions, CoarseStepScheduler(4), None, "csp")
+        coord = check_motion_batch(
+            detector,
+            motions,
+            CoarseStepScheduler(4),
+            CHTPredictor.create(CoordHash(5), 1024, s=0.0),
+            "coord",
+        )
+        odet = detector.make_oracle_detector()
+        oracle = check_motion_batch(
+            odet, motions, CoarseStepScheduler(4), OraclePredictor(odet.ground_truth_fn()), "oracle"
+        )
+        assert oracle.cdqs_executed <= coord.cdqs_executed
+        assert coord.cdqs_executed <= csp.cdqs_executed
+        # All three must agree on every outcome.
+        assert csp.outcomes == coord.outcomes == oracle.outcomes
+
+
+class TestHardwareStack:
+    def test_trace_replay_matches_outcomes(self, recorded_workload):
+        w = recorded_workload
+        detector = CollisionDetector(w.scene, w.robot)
+        traces = [
+            trace_motion(detector, m.as_motion(), i, m.stage) for i, m in enumerate(w.motions)
+        ]
+        sim = AcceleratorSimulator(copu_config(4), rng=np.random.default_rng(0))
+        report = sim.run(traces)
+        for trace, result in zip(traces, report.motions):
+            assert trace.collides == result.collided
+
+    def test_copu_no_worse_than_baseline_on_planner_workload(self, recorded_workload):
+        w = recorded_workload
+        detector = CollisionDetector(w.scene, w.robot)
+        traces = [
+            trace_motion(detector, m.as_motion(), i, m.stage) for i, m in enumerate(w.motions)
+        ]
+        base = AcceleratorSimulator(baseline_config(6), rng=np.random.default_rng(0)).run(traces)
+        pred = AcceleratorSimulator(copu_config(6), rng=np.random.default_rng(0)).run(traces)
+        assert pred.cdqs_executed <= base.cdqs_executed
+
+    def test_energy_follows_cdq_reduction(self, recorded_workload):
+        w = recorded_workload
+        detector = CollisionDetector(w.scene, w.robot)
+        traces = [
+            trace_motion(detector, m.as_motion(), i, m.stage) for i, m in enumerate(w.motions)
+        ]
+        base = AcceleratorSimulator(baseline_config(6), rng=np.random.default_rng(0)).run(traces)
+        pred = AcceleratorSimulator(copu_config(6), rng=np.random.default_rng(0)).run(traces)
+        if pred.cdqs_executed < base.cdqs_executed * 0.9:
+            assert pred.energy.cdu_tests < base.energy.cdu_tests
+
+
+class TestPublicAPI:
+    def test_quickstart_snippet_runs(self):
+        """The README/package-docstring quick start must stay valid."""
+        import repro
+
+        rng = np.random.default_rng(0)
+        robot = repro.planar_2d()
+        scene = repro.random_2d_scene(rng, 5)
+        detector = repro.CollisionDetector(scene, robot)
+        motions = [
+            repro.Motion(robot.random_configuration(rng), robot.random_configuration(rng), 8)
+            for _ in range(10)
+        ]
+        csp = repro.check_motion_batch(detector, motions, repro.CoarseStepScheduler(4), None)
+        predictor = repro.CHTPredictor.create(repro.CoordHash(bits_per_axis=5), table_size=1024)
+        coord = repro.check_motion_batch(detector, motions, repro.CoarseStepScheduler(4), predictor)
+        assert isinstance(coord.reduction_vs(csp), float)
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,53 @@
+"""Tests for the OBB-Generation-Unit software model."""
+
+import numpy as np
+
+from repro.geometry import OBB, Sphere
+from repro.kinematics import generate_link_obbs, generate_link_spheres, jaco2, planar_2d
+
+
+class TestGenerateLinkOBBs:
+    def test_one_record_per_link(self, rng):
+        robot = jaco2()
+        q = robot.random_configuration(rng)
+        records = generate_link_obbs(robot, q)
+        assert len(records) == robot.num_links
+        assert [r.link_index for r in records] == list(range(robot.num_links))
+
+    def test_center_matches_volume(self, rng):
+        robot = jaco2()
+        records = generate_link_obbs(robot, robot.random_configuration(rng))
+        for record in records:
+            assert isinstance(record.volume, OBB)
+            assert np.allclose(record.center, record.volume.center)
+
+    def test_planar_robot(self):
+        robot = planar_2d()
+        records = generate_link_obbs(robot, [0.1, 0.2])
+        assert len(records) == robot.num_links
+
+
+class TestGenerateLinkSpheres:
+    def test_spheres_cover_links(self, rng):
+        robot = jaco2()
+        q = robot.random_configuration(rng)
+        records = generate_link_spheres(robot, q)
+        assert len(records) >= robot.num_links
+        assert all(isinstance(r.volume, Sphere) for r in records)
+
+    def test_link_indices_valid(self, rng):
+        robot = jaco2()
+        records = generate_link_spheres(robot, robot.random_configuration(rng))
+        for record in records:
+            assert 0 <= record.link_index < robot.num_links
+
+    def test_every_link_represented(self, rng):
+        robot = jaco2()
+        records = generate_link_spheres(robot, robot.random_configuration(rng))
+        assert len({r.link_index for r in records}) >= robot.num_links - 1
+
+    def test_center_is_sphere_center(self, rng):
+        robot = jaco2()
+        records = generate_link_spheres(robot, robot.random_configuration(rng))
+        for record in records:
+            assert np.allclose(record.center, record.volume.center)

@@ -1,0 +1,70 @@
+"""Tests for precision/recall accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlwaysPredictor, ConfusionCounts, NeverPredictor, PredictionEvaluator
+
+
+class TestConfusionCounts:
+    def test_empty_is_zero(self):
+        c = ConfusionCounts()
+        assert c.precision == 0.0 and c.recall == 0.0 and c.accuracy == 0.0
+
+    def test_record_routing(self):
+        c = ConfusionCounts()
+        c.record(True, True)
+        c.record(True, False)
+        c.record(False, True)
+        c.record(False, False)
+        assert (c.true_positive, c.false_positive, c.false_negative, c.true_negative) == (
+            1,
+            1,
+            1,
+            1,
+        )
+
+    def test_precision_recall_values(self):
+        c = ConfusionCounts(true_positive=3, false_positive=1, false_negative=2, true_negative=4)
+        assert c.precision == pytest.approx(0.75)
+        assert c.recall == pytest.approx(0.6)
+        assert c.accuracy == pytest.approx(0.7)
+        assert c.base_rate == pytest.approx(0.5)
+
+    def test_merged(self):
+        a = ConfusionCounts(true_positive=1)
+        b = ConfusionCounts(false_negative=2)
+        m = a.merged(b)
+        assert m.true_positive == 1 and m.false_negative == 2
+
+    @given(
+        tp=st.integers(0, 100),
+        fp=st.integers(0, 100),
+        fn=st.integers(0, 100),
+        tn=st.integers(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_metrics_bounded(self, tp, fp, fn, tn):
+        c = ConfusionCounts(tp, fp, tn, fn)
+        assert 0.0 <= c.precision <= 1.0
+        assert 0.0 <= c.recall <= 1.0
+        assert 0.0 <= c.accuracy <= 1.0
+
+
+class TestEvaluator:
+    def test_always_predictor_full_recall(self):
+        stream = [(i, i % 3 == 0) for i in range(30)]
+        counts = PredictionEvaluator(AlwaysPredictor()).run(stream)
+        assert counts.recall == 1.0
+        assert counts.precision == pytest.approx(10 / 30)
+
+    def test_never_predictor_zero_recall(self):
+        stream = [(i, True) for i in range(10)]
+        counts = PredictionEvaluator(NeverPredictor()).run(stream)
+        assert counts.recall == 0.0 and counts.false_negative == 10
+
+    def test_total_matches_stream(self):
+        stream = [(i, bool(i % 2)) for i in range(25)]
+        counts = PredictionEvaluator(NeverPredictor()).run(stream)
+        assert counts.total == 25

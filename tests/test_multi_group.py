@@ -1,0 +1,78 @@
+"""Tests for the multi-group (MPAccel-24-style) accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector, Motion
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.hardware import (
+    AcceleratorSimulator,
+    MultiGroupAccelerator,
+    baseline_config,
+    copu_config,
+)
+from repro.kinematics import planar_2d
+from repro.workloads import trace_motions
+
+
+@pytest.fixture(scope="module")
+def traces():
+    scene = Scene(
+        obstacles=[
+            OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5]),
+            OBB.axis_aligned([-0.4, 0.5, 0.0], [0.1, 0.1, 0.5]),
+        ]
+    )
+    robot = planar_2d()
+    detector = CollisionDetector(scene, robot)
+    rng = np.random.default_rng(12)
+    motions = [
+        Motion(robot.random_configuration(rng), robot.random_configuration(rng), 14)
+        for _ in range(40)
+    ]
+    return trace_motions(detector, motions)
+
+
+class TestMultiGroup:
+    def test_zero_groups_raise(self):
+        with pytest.raises(ValueError):
+            MultiGroupAccelerator(copu_config(6), num_groups=0)
+
+    def test_all_motions_processed(self, traces):
+        accel = MultiGroupAccelerator(copu_config(6), num_groups=4)
+        report = accel.run(traces)
+        assert len(report.motions) == len(traces)
+
+    def test_outcomes_match_ground_truth(self, traces):
+        accel = MultiGroupAccelerator(copu_config(6), num_groups=4)
+        report = accel.run(traces)
+        for trace, result in zip(traces, report.motions):
+            assert trace.collides == result.collided
+
+    def test_more_groups_shorter_makespan(self, traces):
+        one = MultiGroupAccelerator(baseline_config(6), num_groups=1).run(traces)
+        four = MultiGroupAccelerator(baseline_config(6), num_groups=4).run(traces)
+        assert four.makespan_cycles < one.makespan_cycles
+        assert four.throughput > one.throughput
+
+    def test_single_group_matches_flat_simulator(self, traces):
+        flat = AcceleratorSimulator(baseline_config(6)).run(traces)
+        grouped = MultiGroupAccelerator(baseline_config(6), num_groups=1).run(traces)
+        assert grouped.makespan_cycles == flat.total_cycles
+        assert grouped.cdqs_executed == flat.cdqs_executed
+
+    def test_load_balance_metric(self, traces):
+        report = MultiGroupAccelerator(baseline_config(6), num_groups=4).run(traces)
+        assert 0.0 < report.load_balance <= 1.0
+
+    def test_area_scales_with_groups(self, traces):
+        one = MultiGroupAccelerator(copu_config(6), num_groups=1).run(traces[:4])
+        four = MultiGroupAccelerator(copu_config(6), num_groups=4).run(traces[:4])
+        assert four.area.cdus == pytest.approx(4 * one.area.cdus)
+        assert four.area.control == pytest.approx(one.area.control)
+
+    def test_copu_groups_reduce_cdqs(self, traces):
+        base = MultiGroupAccelerator(baseline_config(6), num_groups=4).run(traces)
+        pred = MultiGroupAccelerator(copu_config(6), num_groups=4).run(traces)
+        assert pred.cdqs_executed <= base.cdqs_executed

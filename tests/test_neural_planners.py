@@ -1,0 +1,148 @@
+"""Tests for the MPNet-style and GNN-style planners."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector
+from repro.env import Scene, random_2d_scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+from repro.planners import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    CheckContext,
+    EdgeScorer,
+    GNNPlanner,
+    MPNetPlanner,
+    NeuralSampler,
+    PlanningProblem,
+    encode_obstacles,
+    train_edge_scorer,
+    train_sampler,
+)
+from repro.planners.gnn import message_passing, node_features
+
+
+@pytest.fixture
+def problem_2d():
+    scene = Scene(obstacles=[OBB.axis_aligned([0.0, 0.3, 0.0], [0.15, 0.4, 0.5])])
+    robot = planar_2d()
+    problem = PlanningProblem(robot=robot, scene=scene, start=[-0.6, 0.0], goal=[0.6, 0.0])
+    return problem, CollisionDetector(scene, robot)
+
+
+class TestObstacleEncoding:
+    def test_fixed_size(self, rng):
+        small = encode_obstacles(random_2d_scene(rng, 2))
+        large = encode_obstacles(random_2d_scene(rng, 20))
+        assert small.shape == large.shape
+
+    def test_zero_padding(self):
+        encoding = encode_obstacles(Scene())
+        assert np.all(encoding == 0.0)
+
+
+class TestNeuralSampler:
+    def test_fallback_moves_toward_goal(self, rng):
+        sampler = NeuralSampler(2, noise=0.0)
+        current = np.array([0.0, 0.0])
+        goal = np.array([1.0, 0.0])
+        proposal = sampler.propose(current, goal, np.zeros(60), rng)
+        assert proposal[0] > 0.0
+
+    def test_noise_diversifies(self, rng):
+        sampler = NeuralSampler(2, noise=0.3)
+        proposals = [
+            sampler.propose(np.zeros(2), np.ones(2), np.zeros(60), rng) for _ in range(10)
+        ]
+        assert np.std([p[0] for p in proposals]) > 0.0
+
+
+class TestMPNet:
+    def test_plans_with_fallback_sampler(self, problem_2d):
+        problem, detector = problem_2d
+        planner = MPNetPlanner(NeuralSampler(2), np.random.default_rng(3), max_steps=50)
+        result = planner.plan(problem, CheckContext(detector, num_poses=8))
+        if result.success:
+            for a, b in zip(result.path[:-1], result.path[1:]):
+                assert not detector.check_motion(a, b, 16).collided
+        assert STAGE_EXPLORE in result.stage_stats
+
+    def test_feasibility_stage_runs_on_success(self, problem_2d):
+        problem, detector = problem_2d
+        planner = MPNetPlanner(NeuralSampler(2), np.random.default_rng(3), max_steps=50)
+        result = planner.plan(problem, CheckContext(detector, num_poses=8))
+        if result.success:
+            assert STAGE_REFINE in result.stage_stats
+
+    def test_train_sampler_learns_direction(self, rng):
+        robot = planar_2d()
+        scenes = [random_2d_scene(rng, 3) for _ in range(2)]
+        sampler = train_sampler(robot, scenes, rng, demos_per_scene=3, epochs=10)
+        # Whether trained or fallback, the proposal interface works.
+        proposal = sampler.propose(np.zeros(2), np.array([0.8, 0.0]), encode_obstacles(scenes[0]), rng)
+        assert proposal.shape == (2,)
+
+
+class TestGNNComponents:
+    def test_node_features_shape(self, rng):
+        robot = planar_2d()
+        scene = random_2d_scene(rng, 4)
+        feats = node_features(robot, scene, np.zeros(2), np.ones(2))
+        assert feats.shape == (2 + 1 + 6,)
+
+    def test_message_passing_smooths(self):
+        feats = np.array([[0.0], [1.0]])
+        out = message_passing(feats, [[1], [0]], rounds=1)
+        # Each node averages itself with its (single) neighbour.
+        assert out[0, 0] == pytest.approx(0.5)
+        assert out[1, 0] == pytest.approx(0.5)
+
+    def test_message_passing_isolated_node_unchanged(self):
+        feats = np.array([[2.0], [5.0]])
+        out = message_passing(feats, [[], []], rounds=3)
+        assert np.allclose(out, feats)
+
+    def test_heuristic_scorer_prefers_clearance(self):
+        scorer = EdgeScorer()
+        near = np.concatenate([np.zeros(3), np.full(6, 0.01)])
+        far = np.concatenate([np.zeros(3), np.full(6, 1.0)])
+        assert scorer.score(far, far) > scorer.score(near, near)
+
+
+class TestGNNPlanner:
+    def test_plans_easy_scene(self, problem_2d):
+        problem, detector = problem_2d
+        planner = GNNPlanner(EdgeScorer(), np.random.default_rng(5), num_samples=120, max_edge_checks=400)
+        result = planner.plan(problem, CheckContext(detector, num_poses=8))
+        if result.success:
+            assert np.allclose(result.path[0], problem.start)
+            assert np.allclose(result.path[-1], problem.goal)
+            for a, b in zip(result.path[:-1], result.path[1:]):
+                assert not detector.check_motion(a, b, 12).collided
+        assert result.total_stats.cdqs_executed > 0
+
+    def test_train_edge_scorer_runs(self, rng):
+        robot = planar_2d()
+        scenes = [random_2d_scene(rng, 3)]
+        scorer = train_edge_scorer(robot, scenes, rng, samples_per_scene=10, epochs=5)
+        assert scorer.model is not None
+
+    def test_trained_scorer_separates_free_and_blocked(self, rng):
+        """A trained scorer should, on average, score free edges higher."""
+        robot = planar_2d()
+        scenes = [random_2d_scene(np.random.default_rng(i), 5) for i in range(2)]
+        scorer = train_edge_scorer(robot, scenes, rng, samples_per_scene=30, epochs=30)
+        test_scene = random_2d_scene(np.random.default_rng(99), 5)
+        detector = CollisionDetector(test_scene, robot)
+        goal = np.zeros(2)
+        free_scores, blocked_scores = [], []
+        nodes = [robot.random_configuration(rng) for _ in range(40)]
+        feats = np.stack([node_features(robot, test_scene, q, goal) for q in nodes])
+        emb = message_passing(feats, [[j for j in range(40) if j != i][:4] for i in range(40)])
+        for i in range(0, 38, 2):
+            score = scorer.score(emb[i], emb[i + 1])
+            collided = detector.check_motion(nodes[i], nodes[i + 1], 8).collided
+            (blocked_scores if collided else free_scores).append(score)
+        if free_scores and blocked_scores:
+            assert np.mean(free_scores) > np.mean(blocked_scores) - 0.35

@@ -1,0 +1,176 @@
+"""Tests for oriented bounding boxes and the SAT intersection (the CDQ)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import OBB, merge_obb_aabb, obb_overlap
+from repro.geometry import transforms as tf
+
+centers = st.tuples(
+    st.floats(-2.0, 2.0, allow_nan=False),
+    st.floats(-2.0, 2.0, allow_nan=False),
+    st.floats(-2.0, 2.0, allow_nan=False),
+)
+halves = st.tuples(
+    st.floats(0.01, 0.5, allow_nan=False),
+    st.floats(0.01, 0.5, allow_nan=False),
+    st.floats(0.01, 0.5, allow_nan=False),
+)
+angles = st.floats(-math.pi, math.pi, allow_nan=False)
+
+
+def rotated_obb(center, half, angle, axis=(0.0, 0.0, 1.0)):
+    rot = tf.rotation_about_axis(axis, angle)[:3, :3]
+    return OBB(center=np.asarray(center), half_extents=np.asarray(half), rotation=rot)
+
+
+class TestConstruction:
+    def test_negative_half_extents_raise(self):
+        with pytest.raises(ValueError):
+            OBB(center=[0, 0, 0], half_extents=[-0.1, 0.1, 0.1])
+
+    def test_axis_aligned_has_identity_rotation(self):
+        box = OBB.axis_aligned([1, 2, 3], [0.1, 0.2, 0.3])
+        assert np.array_equal(box.rotation, np.eye(3))
+
+    def test_volume(self):
+        box = OBB.axis_aligned([0, 0, 0], [0.5, 1.0, 2.0])
+        assert box.volume == pytest.approx(8 * 0.5 * 1.0 * 2.0)
+
+    def test_is_valid_for_proper_rotations(self):
+        assert rotated_obb([0, 0, 0], [0.1, 0.1, 0.1], 0.7).is_valid()
+
+
+class TestFromSegment:
+    def test_center_at_midpoint(self):
+        box = OBB.from_segment([0, 0, 0], [1, 0, 0], radius=0.1)
+        assert np.allclose(box.center, [0.5, 0, 0])
+
+    def test_contains_endpoints(self):
+        box = OBB.from_segment([0.2, -0.1, 0.4], [0.6, 0.5, 0.1], radius=0.05)
+        assert box.contains_point([0.2, -0.1, 0.4])
+        assert box.contains_point([0.6, 0.5, 0.1])
+
+    def test_degenerate_segment_gives_cube(self):
+        box = OBB.from_segment([1, 1, 1], [1, 1, 1], radius=0.2)
+        assert np.allclose(box.half_extents, [0.2, 0.2, 0.2])
+
+    def test_rotation_is_proper(self):
+        box = OBB.from_segment([0, 0, 0], [0.3, 0.4, 0.5], radius=0.05)
+        assert box.is_valid()
+
+    @given(a=centers, b=centers)
+    @settings(max_examples=40)
+    def test_segment_midpoints_inside(self, a, b):
+        box = OBB.from_segment(a, b, radius=0.05)
+        mid = 0.5 * (np.asarray(a) + np.asarray(b))
+        assert box.contains_point(mid)
+
+
+class TestContainsAndCorners:
+    def test_corners_count_and_extent(self):
+        box = OBB.axis_aligned([0, 0, 0], [1, 2, 3])
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        assert np.allclose(np.abs(corners).max(axis=0), [1, 2, 3])
+
+    def test_contains_center(self):
+        box = rotated_obb([0.3, 0.1, -0.2], [0.2, 0.1, 0.3], 1.0)
+        assert box.contains_point(box.center)
+
+    def test_outside_point(self):
+        box = OBB.axis_aligned([0, 0, 0], [0.1, 0.1, 0.1])
+        assert not box.contains_point([1, 1, 1])
+
+
+class TestTransformedAndAABB:
+    def test_transformed_moves_center(self):
+        box = OBB.axis_aligned([1, 0, 0], [0.1, 0.1, 0.1])
+        moved = box.transformed(tf.translation([0, 1, 0]))
+        assert np.allclose(moved.center, [1, 1, 0])
+
+    def test_transformed_keeps_validity(self):
+        box = OBB.axis_aligned([1, 0, 0], [0.1, 0.2, 0.3])
+        moved = box.transformed(tf.rotation_y(0.8))
+        assert moved.is_valid()
+
+    def test_aabb_bounds_corners(self):
+        box = rotated_obb([0, 0, 0], [0.3, 0.1, 0.2], 0.6)
+        lo, hi = box.aabb()
+        corners = box.corners()
+        assert np.all(corners >= lo - 1e-9)
+        assert np.all(corners <= hi + 1e-9)
+
+    def test_merge_obb_aabb(self):
+        a = OBB.axis_aligned([0, 0, 0], [0.1, 0.1, 0.1])
+        b = OBB.axis_aligned([1, 1, 1], [0.1, 0.1, 0.1])
+        lo, hi = merge_obb_aabb([a, b])
+        assert np.allclose(lo, [-0.1, -0.1, -0.1])
+        assert np.allclose(hi, [1.1, 1.1, 1.1])
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_obb_aabb([])
+
+
+class TestSATOverlap:
+    def test_identical_boxes_overlap(self):
+        box = OBB.axis_aligned([0, 0, 0], [0.1, 0.1, 0.1])
+        assert obb_overlap(box, box)
+
+    def test_separated_boxes_do_not_overlap(self):
+        a = OBB.axis_aligned([0, 0, 0], [0.1, 0.1, 0.1])
+        b = OBB.axis_aligned([1, 0, 0], [0.1, 0.1, 0.1])
+        assert not obb_overlap(a, b)
+
+    def test_face_touching_counts_as_overlap(self):
+        a = OBB.axis_aligned([0, 0, 0], [0.5, 0.5, 0.5])
+        b = OBB.axis_aligned([1.0, 0, 0], [0.5, 0.5, 0.5])
+        assert obb_overlap(a, b)
+
+    def test_rotated_diagonal_case(self):
+        # A unit cube rotated 45 degrees reaches sqrt(2)/2 along x.
+        a = OBB.axis_aligned([0, 0, 0], [0.5, 0.5, 0.5])
+        b = rotated_obb([1.15, 0, 0], [0.5, 0.5, 0.5], math.pi / 4)
+        assert obb_overlap(a, b)  # 0.5 + 0.707 > 1.15
+        c = rotated_obb([1.3, 0, 0], [0.5, 0.5, 0.5], math.pi / 4)
+        assert not obb_overlap(a, c)  # needs the cross-product axes
+
+    def test_symmetry(self):
+        a = rotated_obb([0, 0, 0], [0.3, 0.2, 0.1], 0.5)
+        b = rotated_obb([0.25, 0.1, 0.05], [0.2, 0.2, 0.2], -0.8, axis=(1, 0, 0))
+        assert obb_overlap(a, b) == obb_overlap(b, a)
+
+    def test_containment_is_overlap(self):
+        outer = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        inner = rotated_obb([0.1, 0.1, 0.1], [0.05, 0.05, 0.05], 0.3)
+        assert obb_overlap(outer, inner)
+
+    @given(ca=centers, cb=centers, ha=halves, hb=halves, ra=angles, rb=angles)
+    @settings(max_examples=80)
+    def test_overlap_symmetric_property(self, ca, cb, ha, hb, ra, rb):
+        a = rotated_obb(ca, ha, ra)
+        b = rotated_obb(cb, hb, rb, axis=(0, 1, 0))
+        assert obb_overlap(a, b) == obb_overlap(b, a)
+
+    @given(ca=centers, cb=centers, ha=halves, hb=halves, ra=angles)
+    @settings(max_examples=60)
+    def test_no_false_negatives_against_sampling(self, ca, cb, ha, hb, ra):
+        """If sampled points of b lie inside a, SAT must report overlap."""
+        a = rotated_obb(ca, ha, ra)
+        b = OBB(center=np.asarray(cb), half_extents=np.asarray(hb))
+        rng = np.random.default_rng(0)
+        pts = b.sample_surface_points(rng, 24)
+        if any(a.contains_point(p) for p in pts):
+            assert obb_overlap(a, b)
+
+    @given(c=centers, h=halves, ra=angles)
+    @settings(max_examples=40)
+    def test_far_separation_never_overlaps(self, c, h, ra):
+        a = rotated_obb(c, h, ra)
+        b = rotated_obb(np.asarray(c) + [10.0, 0, 0], h, ra)
+        assert not obb_overlap(a, b)

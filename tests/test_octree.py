@@ -1,0 +1,71 @@
+"""Tests for the motion-sweep octree (Dadu-P offline store)."""
+
+import numpy as np
+import pytest
+
+from repro.env import build_motion_octree
+from repro.geometry import AABB, OBB
+
+
+@pytest.fixture
+def bounds():
+    return AABB([-1.0, -1.0, -1.0], [1.0, 1.0, 1.0])
+
+
+def sweep_boxes():
+    """Boxes of a motion sweeping along x at y=z=0."""
+    return [
+        [OBB.axis_aligned([x, 0.0, 0.0], [0.15, 0.1, 0.1])]
+        for x in np.linspace(-0.6, 0.6, 7)
+    ]
+
+
+class TestBuild:
+    def test_empty_sweep_gives_empty_tree(self, bounds):
+        tree = build_motion_octree(0, [], bounds)
+        assert tree.root.is_leaf and not tree.root.full
+        assert not tree.collides_voxel([0, 0, 0])
+
+    def test_swept_region_detected(self, bounds):
+        tree = build_motion_octree(1, sweep_boxes(), bounds, max_depth=5)
+        assert tree.collides_voxel([0.0, 0.0, 0.0])
+        assert tree.collides_voxel([0.5, 0.0, 0.0])
+
+    def test_far_region_free(self, bounds):
+        tree = build_motion_octree(1, sweep_boxes(), bounds, max_depth=5)
+        assert not tree.collides_voxel([0.0, 0.8, 0.0])
+        assert not tree.collides_voxel([-0.9, -0.9, 0.9])
+
+    def test_outside_bounds_free(self, bounds):
+        tree = build_motion_octree(1, sweep_boxes(), bounds)
+        assert not tree.collides_voxel([5.0, 0.0, 0.0])
+
+    def test_node_count_positive(self, bounds):
+        tree = build_motion_octree(1, sweep_boxes(), bounds)
+        assert tree.node_count() >= 1
+
+    def test_deeper_tree_is_tighter(self, bounds):
+        shallow = build_motion_octree(1, sweep_boxes(), bounds, max_depth=2)
+        deep = build_motion_octree(1, sweep_boxes(), bounds, max_depth=5)
+        # Conservative approximation: the shallow tree covers at least
+        # everything the deep one covers.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p = rng.uniform(-1, 1, 3)
+            if deep.collides_voxel(p):
+                assert shallow.collides_voxel(p)
+
+    def test_conservative_vs_ground_truth(self, bounds):
+        """Octree must never miss a point actually inside a swept box."""
+        boxes = sweep_boxes()
+        tree = build_motion_octree(1, boxes, bounds, max_depth=5)
+        flat = [b for pose in boxes for b in pose]
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            p = rng.uniform(-1, 1, 3)
+            if any(b.contains_point(p) for b in flat):
+                assert tree.collides_voxel(p)
+
+    def test_full_leaf_count(self, bounds):
+        tree = build_motion_octree(1, sweep_boxes(), bounds, max_depth=4)
+        assert tree.root.count_full_leaves() > 0

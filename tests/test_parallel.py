@@ -1,0 +1,79 @@
+"""Tests for the CPU/GPU parallel execution model (Fig. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.collision import (
+    CoarseStepScheduler,
+    CollisionDetector,
+    Motion,
+    run_parallel_batch,
+)
+from repro.core import CHTPredictor, CoordHash
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+
+
+@pytest.fixture
+def setup():
+    scene = Scene(
+        obstacles=[
+            OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5]),
+            OBB.axis_aligned([-0.4, 0.5, 0.0], [0.1, 0.1, 0.5]),
+        ]
+    )
+    robot = planar_2d()
+    detector = CollisionDetector(scene, robot)
+    rng = np.random.default_rng(3)
+    motions = [
+        Motion(robot.random_configuration(rng), robot.random_configuration(rng), 16)
+        for _ in range(25)
+    ]
+    return detector, motions
+
+
+class TestParallelModel:
+    def test_invalid_threads_raise(self, setup):
+        detector, motions = setup
+        with pytest.raises(ValueError):
+            run_parallel_batch(detector, motions, threads=0)
+
+    def test_redundant_work_grows_with_threads(self, setup):
+        """Fig. 11a: baseline executed CDQs increase with parallelism."""
+        detector, motions = setup
+        few = run_parallel_batch(detector, motions, threads=64, scheduler=CoarseStepScheduler(4))
+        many = run_parallel_batch(detector, motions, threads=2048, scheduler=CoarseStepScheduler(4))
+        assert many.cdqs_executed >= few.cdqs_executed
+
+    def test_prediction_reduces_cdqs_at_high_parallelism(self, setup):
+        """Fig. 11a: with prediction the executed count drops."""
+        detector, motions = setup
+        base = run_parallel_batch(detector, motions, threads=2048, scheduler=CoarseStepScheduler(4))
+        pred = CHTPredictor.create(CoordHash(5), 1024, s=0.0)
+        with_pred = run_parallel_batch(
+            detector, motions, threads=2048, scheduler=CoarseStepScheduler(4), predictor=pred
+        )
+        assert with_pred.cdqs_executed <= base.cdqs_executed
+
+    def test_prediction_slower_at_very_high_parallelism(self, setup):
+        """Fig. 11b: software prediction costs runtime at 2048+ threads."""
+        detector, motions = setup
+        base = run_parallel_batch(detector, motions, threads=4096, scheduler=CoarseStepScheduler(4))
+        pred = CHTPredictor.create(CoordHash(5), 1024, s=0.0)
+        with_pred = run_parallel_batch(
+            detector, motions, threads=4096, scheduler=CoarseStepScheduler(4), predictor=pred
+        )
+        assert with_pred.runtime > base.runtime
+
+    def test_runtime_positive(self, setup):
+        detector, motions = setup
+        result = run_parallel_batch(detector, motions, threads=64)
+        assert result.runtime > 0
+        assert result.threads == 64 and not result.predicted
+
+    def test_more_threads_faster_baseline(self, setup):
+        detector, motions = setup
+        t64 = run_parallel_batch(detector, motions, threads=64)
+        t1024 = run_parallel_batch(detector, motions, threads=1024)
+        assert t1024.runtime < t64.runtime

@@ -1,0 +1,54 @@
+"""Tests for the parallel cost model's internals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision.parallel import ParallelCostModel, _wave_executed
+
+
+class TestWaveExecuted:
+    def test_free_motion_executes_all(self):
+        assert _wave_executed(None, total=100, lanes=8) == 100
+
+    def test_hit_rounds_up_to_wave(self):
+        # Hit at position 5, waves of 8: the whole first wave issues.
+        assert _wave_executed(5, total=100, lanes=8) == 8
+
+    def test_hit_on_wave_boundary(self):
+        assert _wave_executed(8, total=100, lanes=8) == 8
+        assert _wave_executed(9, total=100, lanes=8) == 16
+
+    def test_single_lane_is_serial(self):
+        assert _wave_executed(5, total=100, lanes=1) == 5
+
+    def test_never_exceeds_total(self):
+        assert _wave_executed(99, total=100, lanes=64) == 100
+
+    @given(
+        hit=st.integers(1, 500),
+        total=st.integers(1, 500),
+        lanes=st.integers(1, 128),
+    )
+    @settings(max_examples=80)
+    def test_bounds_property(self, hit, total, lanes):
+        if hit > total:
+            hit = total
+        executed = _wave_executed(hit, total, lanes)
+        # At least the serial count, at most one extra wave, capped at total.
+        assert hit <= executed <= min(total, hit + lanes - 1)
+
+    @given(hit=st.integers(1, 200), total=st.integers(200, 400))
+    @settings(max_examples=40)
+    def test_more_lanes_more_redundancy(self, hit, total):
+        few = _wave_executed(hit, total, lanes=2)
+        many = _wave_executed(hit, total, lanes=64)
+        assert many >= few
+
+
+class TestCostModelDefaults:
+    def test_defaults_sane(self):
+        model = ParallelCostModel()
+        assert model.cdq_cost > 0
+        assert model.divergence_knee_threads >= 1
+        assert 0 <= model.cht_access_cost < model.cdq_cost

@@ -1,0 +1,84 @@
+"""Tests for the batch motion-check harness."""
+
+import numpy as np
+import pytest
+
+from repro.collision import (
+    CoarseStepScheduler,
+    CollisionDetector,
+    Motion,
+    NaiveScheduler,
+    check_motion_batch,
+    compare_schedulers,
+)
+from repro.core import CHTPredictor, CoordHash
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+
+
+@pytest.fixture
+def setup():
+    scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5])])
+    robot = planar_2d()
+    detector = CollisionDetector(scene, robot)
+    rng = np.random.default_rng(0)
+    motions = [
+        Motion(robot.random_configuration(rng), robot.random_configuration(rng), 10)
+        for _ in range(30)
+    ]
+    return detector, motions
+
+
+class TestMotion:
+    def test_too_few_poses_raises(self):
+        with pytest.raises(ValueError):
+            Motion(np.zeros(2), np.ones(2), num_poses=1)
+
+
+class TestBatch:
+    def test_outcomes_recorded(self, setup):
+        detector, motions = setup
+        result = check_motion_batch(detector, motions)
+        assert len(result.outcomes) == 30
+        assert 0.0 <= result.colliding_fraction <= 1.0
+
+    def test_stats_accumulate(self, setup):
+        detector, motions = setup
+        result = check_motion_batch(detector, motions)
+        assert result.stats.motions_checked == 30
+        assert result.cdqs_executed > 0
+
+    def test_reduction_vs_self_is_zero(self, setup):
+        detector, motions = setup
+        result = check_motion_batch(detector, motions)
+        assert result.reduction_vs(result) == 0.0
+
+    def test_reset_predictor_per_motion(self, setup):
+        detector, motions = setup
+        pred = CHTPredictor.create(CoordHash(5), table_size=1024)
+        cold = check_motion_batch(detector, motions, predictor=pred, reset_predictor=True)
+        pred.reset()
+        warm = check_motion_batch(detector, motions, predictor=pred, reset_predictor=False)
+        # Persistent history can only help (or tie).
+        assert warm.cdqs_executed <= cold.cdqs_executed
+
+
+class TestCompare:
+    def test_same_outcomes_across_configs(self, setup):
+        detector, motions = setup
+        results = compare_schedulers(
+            detector,
+            motions,
+            {
+                "naive": (NaiveScheduler(), None),
+                "csp": (CoarseStepScheduler(4), None),
+                "coord": (CoarseStepScheduler(4), CHTPredictor.create(CoordHash(5), 1024)),
+            },
+        )
+        assert results["naive"].outcomes == results["csp"].outcomes == results["coord"].outcomes
+
+    def test_labels_propagate(self, setup):
+        detector, motions = setup
+        results = compare_schedulers(detector, motions, {"a": (None, None)})
+        assert results["a"].label == "a"

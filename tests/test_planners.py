@@ -1,0 +1,150 @@
+"""Tests for the sampling-based planners (RRT, RRT-Connect, PRM, BIT*)."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+from repro.planners import (
+    STAGE_EXPLORE,
+    STAGE_REFINE,
+    BITStarPlanner,
+    CheckContext,
+    PlanningProblem,
+    PRMPlanner,
+    RRTConnectPlanner,
+    RRTPlanner,
+    build_random_roadmap,
+    FixedRoadmapPlanner,
+    path_length,
+)
+
+
+@pytest.fixture
+def easy_problem():
+    """A single small obstacle between start and goal in 2D."""
+    scene = Scene(obstacles=[OBB.axis_aligned([0.0, 0.0, 0.0], [0.15, 0.3, 0.5])])
+    robot = planar_2d()
+    problem = PlanningProblem(robot=robot, scene=scene, start=[-0.7, 0.0], goal=[0.7, 0.0])
+    detector = CollisionDetector(scene, robot)
+    return problem, detector
+
+
+def fresh_context(detector):
+    return CheckContext(detector, num_poses=8)
+
+
+class TestPathValidity:
+    @pytest.mark.parametrize("make", [
+        lambda rng: RRTPlanner(rng, max_iterations=600, step_size=0.4),
+        lambda rng: RRTConnectPlanner(rng, max_iterations=400, step_size=0.4),
+        lambda rng: PRMPlanner(rng, num_samples=120, connection_radius=0.6),
+        lambda rng: BITStarPlanner(rng, batch_size=50, num_batches=3),
+    ])
+    def test_planner_solves_easy_problem(self, easy_problem, make):
+        problem, detector = easy_problem
+        planner = make(np.random.default_rng(7))
+        result = planner.plan(problem, fresh_context(detector))
+        assert result.success
+        assert np.allclose(result.path[0], problem.start)
+        assert np.allclose(result.path[-1], problem.goal)
+        # Returned path must be collision-free at checking resolution.
+        for a, b in zip(result.path[:-1], result.path[1:]):
+            assert not detector.check_motion(a, b, 12).collided
+
+    def test_stats_are_charged(self, easy_problem):
+        problem, detector = easy_problem
+        planner = RRTConnectPlanner(np.random.default_rng(1), max_iterations=300)
+        result = planner.plan(problem, fresh_context(detector))
+        assert result.cdqs_executed > 0
+        assert STAGE_EXPLORE in result.stage_stats
+
+    def test_shortcutting_charges_refine_stage(self, easy_problem):
+        problem, detector = easy_problem
+        planner = RRTConnectPlanner(np.random.default_rng(1), max_iterations=300)
+        result = planner.plan(problem, fresh_context(detector))
+        if result.success:
+            assert STAGE_REFINE in result.stage_stats
+
+
+class TestImpossibleProblem:
+    def test_rrt_fails_gracefully(self):
+        """Goal fully enclosed: the planner must terminate unsuccessfully."""
+        scene = Scene(
+            obstacles=[
+                OBB.axis_aligned([0.5, 0.0, 0.0], [0.15, 0.15, 0.5]),
+            ]
+        )
+        robot = planar_2d()
+        # Goal inside the obstacle: every connecting motion collides.
+        problem = PlanningProblem(robot=robot, scene=scene, start=[-0.7, 0.0], goal=[0.5, 0.0])
+        detector = CollisionDetector(scene, robot)
+        planner = RRTPlanner(np.random.default_rng(0), max_iterations=60)
+        result = planner.plan(problem, fresh_context(detector))
+        assert not result.success
+        assert result.path == []
+
+
+class TestRoadmap:
+    def test_build_random_roadmap(self, rng):
+        roadmap = build_random_roadmap(planar_2d(), rng, num_vertices=40, connection_radius=0.5)
+        assert roadmap.num_vertices == 40
+        assert len(roadmap.edges()) > 0
+
+    def test_shortest_path_on_triangle(self):
+        from repro.planners import Roadmap
+
+        r = Roadmap()
+        a = r.add_vertex([0.0, 0.0])
+        b = r.add_vertex([1.0, 0.0])
+        c = r.add_vertex([0.5, 2.0])
+        r.add_edge(a, b)
+        r.add_edge(a, c)
+        r.add_edge(c, b)
+        assert r.shortest_path(a, b) == [a, b]
+        # Blocking the direct edge forces the detour.
+        assert r.shortest_path(a, b, blocked_edges={(a, b)}) == [a, c, b]
+
+    def test_disconnected_returns_empty(self):
+        from repro.planners import Roadmap
+
+        r = Roadmap()
+        a = r.add_vertex([0.0, 0.0])
+        b = r.add_vertex([1.0, 0.0])
+        assert r.shortest_path(a, b) == []
+
+    def test_truncate_removes_temporaries(self, rng):
+        roadmap = build_random_roadmap(planar_2d(), rng, num_vertices=20, connection_radius=0.6)
+        n = roadmap.num_vertices
+        extra = roadmap.add_vertex([0.0, 0.0])
+        roadmap.add_edge(extra, 0)
+        roadmap.truncate(n)
+        assert roadmap.num_vertices == n
+        assert all(nb < n for nbs in roadmap.adjacency.values() for nb in nbs)
+
+    def test_fixed_roadmap_planner_restores_roadmap(self, easy_problem, rng):
+        problem, detector = easy_problem
+        roadmap = build_random_roadmap(problem.robot, rng, num_vertices=80, connection_radius=0.5)
+        n = roadmap.num_vertices
+        planner = FixedRoadmapPlanner(roadmap, connection_radius=0.5)
+        planner.plan(problem, fresh_context(detector))
+        assert roadmap.num_vertices == n
+
+    def test_fixed_roadmap_checks_every_edge(self, easy_problem, rng):
+        problem, detector = easy_problem
+        roadmap = build_random_roadmap(problem.robot, rng, num_vertices=40, connection_radius=0.5)
+        context = fresh_context(detector)
+        FixedRoadmapPlanner(roadmap, connection_radius=0.5).plan(problem, context)
+        explore = context.stage_stats[STAGE_EXPLORE]
+        assert explore.motions_checked >= len(roadmap.edges())
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length([]) == 0.0
+        assert path_length([np.zeros(2)]) == 0.0
+
+    def test_two_points(self):
+        assert path_length([np.zeros(2), np.array([3.0, 4.0])]) == pytest.approx(5.0)

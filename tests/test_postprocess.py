@@ -1,0 +1,131 @@
+"""Tests for trajectory post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+from repro.planners import CheckContext, path_length
+from repro.planners.postprocess import (
+    chaikin_smooth,
+    densify_path,
+    path_clearance_profile,
+    shortcut_path,
+)
+
+
+@pytest.fixture
+def setup():
+    scene = Scene(obstacles=[OBB.axis_aligned([0.0, 0.0, 0.0], [0.15, 0.4, 0.5])])
+    robot = planar_2d()
+    detector = CollisionDetector(scene, robot)
+    # A detour path around the obstacle.
+    path = [
+        np.array([-0.7, 0.0]),
+        np.array([-0.5, -0.7]),
+        np.array([0.0, -0.8]),
+        np.array([0.5, -0.7]),
+        np.array([0.7, 0.0]),
+    ]
+    return scene, robot, detector, path
+
+
+class TestShortcut:
+    def test_shortens_or_preserves(self, setup):
+        scene, robot, detector, path = setup
+        context = CheckContext(detector, num_poses=10)
+        result = shortcut_path(path, context, np.random.default_rng(0), rounds=30)
+        assert path_length(result) <= path_length(path) + 1e-9
+        assert np.allclose(result[0], path[0]) and np.allclose(result[-1], path[-1])
+
+    def test_result_stays_valid(self, setup):
+        scene, robot, detector, path = setup
+        context = CheckContext(detector, num_poses=10)
+        result = shortcut_path(path, context, np.random.default_rng(0), rounds=30)
+        for a, b in zip(result[:-1], result[1:]):
+            assert not detector.check_motion(a, b, 10).collided
+
+    def test_two_point_path_untouched(self, setup):
+        scene, robot, detector, _ = setup
+        context = CheckContext(detector, num_poses=10)
+        path = [np.array([-0.7, 0.5]), np.array([0.7, 0.5])]
+        assert len(shortcut_path(path, context, np.random.default_rng(0))) == 2
+
+
+class TestChaikin:
+    def test_endpoints_preserved(self, setup):
+        _, _, _, path = setup
+        smoothed = chaikin_smooth(path, iterations=2)
+        assert np.allclose(smoothed[0], path[0])
+        assert np.allclose(smoothed[-1], path[-1])
+
+    def test_more_waypoints(self, setup):
+        _, _, _, path = setup
+        assert len(chaikin_smooth(path, iterations=2)) > len(path)
+
+    def test_short_path_passthrough(self):
+        path = [np.zeros(2), np.ones(2)]
+        assert chaikin_smooth(path) == path
+
+    def test_validated_smoothing_never_invalidates(self, setup):
+        scene, robot, detector, path = setup
+        context = CheckContext(detector, num_poses=10)
+        smoothed = chaikin_smooth(path, context=context, iterations=2)
+        for a, b in zip(smoothed[:-1], smoothed[1:]):
+            assert not detector.check_motion(a, b, 10).collided
+
+    def test_corners_are_cut(self, setup):
+        _, _, _, path = setup
+        smoothed = chaikin_smooth(path, iterations=3)
+        # Corner cutting spreads curvature: the sharpest remaining corner
+        # is strictly gentler than the original sharpest corner (total
+        # turning is invariant, so the per-corner max is the right metric).
+        def max_turn(points):
+            worst = 0.0
+            for a, b, c in zip(points[:-2], points[1:-1], points[2:]):
+                v1, v2 = b - a, c - b
+                n1, n2 = np.linalg.norm(v1), np.linalg.norm(v2)
+                if n1 > 1e-12 and n2 > 1e-12:
+                    cosine = np.clip(np.dot(v1, v2) / (n1 * n2), -1, 1)
+                    worst = max(worst, float(np.arccos(cosine)))
+            return worst
+
+        assert max_turn(smoothed) < max_turn(path)
+
+
+class TestDensify:
+    def test_spacing_bound(self, setup):
+        _, _, _, path = setup
+        dense = densify_path(path, max_step=0.1)
+        gaps = [np.linalg.norm(b - a) for a, b in zip(dense[:-1], dense[1:])]
+        assert max(gaps) <= 0.1 + 1e-9
+
+    def test_endpoints_and_length_preserved(self, setup):
+        _, _, _, path = setup
+        dense = densify_path(path, max_step=0.05)
+        assert np.allclose(dense[0], path[0]) and np.allclose(dense[-1], path[-1])
+        assert path_length(dense) == pytest.approx(path_length(path))
+
+    def test_bad_step_raises(self):
+        with pytest.raises(ValueError):
+            densify_path([np.zeros(2), np.ones(2)], max_step=0.0)
+
+    def test_single_point_passthrough(self):
+        assert len(densify_path([np.zeros(2)], 0.1)) == 1
+
+
+class TestClearanceProfile:
+    def test_profile_shape_and_sign(self, setup):
+        scene, robot, _, path = setup
+        profile = path_clearance_profile(path, robot, scene, samples_per_segment=4)
+        assert len(profile) == 4 * (len(path) - 1) + 1
+        assert np.all(profile >= 0.0)
+
+    def test_detour_has_more_clearance_than_straight(self, setup):
+        scene, robot, _, path = setup
+        straight = [path[0], path[-1]]  # cuts through the obstacle
+        detour_min = path_clearance_profile(path, robot, scene).min()
+        straight_min = path_clearance_profile(straight, robot, scene).min()
+        assert detour_min >= straight_min

@@ -1,0 +1,74 @@
+"""Tests for the predictor implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlwaysPredictor,
+    CHTPredictor,
+    CoordHash,
+    NeverPredictor,
+    OraclePredictor,
+    RandomPredictor,
+)
+
+
+class TestCHTPredictor:
+    def test_create_wires_table(self):
+        p = CHTPredictor.create(CoordHash(4), table_size=256, s=0.5, u=0.25)
+        assert p.table.size == 256
+        assert p.table.s == 0.5 and p.table.u == 0.25
+
+    def test_learns_from_observations(self):
+        p = CHTPredictor.create(CoordHash(4), table_size=4096)
+        center = np.array([0.5, 0.2, 0.3])
+        assert not p.predict(center)
+        p.observe(center, collided=True)
+        assert p.predict(center)
+
+    def test_nearby_centers_share_prediction(self):
+        p = CHTPredictor.create(CoordHash(4), table_size=4096)
+        p.observe(np.array([0.5, 0.2, 0.3]), collided=True)
+        assert p.predict(np.array([0.5 + 1e-4, 0.2, 0.3]))
+
+    def test_reset_forgets(self):
+        p = CHTPredictor.create(CoordHash(4), table_size=4096)
+        center = np.array([0.1, 0.1, 0.1])
+        p.observe(center, True)
+        p.reset()
+        assert not p.predict(center)
+
+
+class TestOraclePredictor:
+    def test_follows_ground_truth(self):
+        oracle = OraclePredictor(lambda key: key > 0)
+        assert oracle.predict(1)
+        assert not oracle.predict(-1)
+
+    def test_observe_is_noop(self):
+        oracle = OraclePredictor(lambda key: False)
+        oracle.observe(1, True)  # must not raise
+        assert not oracle.predict(1)
+
+
+class TestRandomPredictor:
+    def test_bad_probability_raises(self):
+        with pytest.raises(ValueError):
+            RandomPredictor(1.5)
+
+    def test_rate_matches_probability(self):
+        p = RandomPredictor(0.3, rng=np.random.default_rng(0))
+        rate = np.mean([p.predict(None) for _ in range(2000)])
+        assert 0.25 <= rate <= 0.35
+
+    def test_extremes(self):
+        assert not RandomPredictor(0.0).predict(None)
+        assert RandomPredictor(1.0).predict(None)
+
+
+class TestTrivialPredictors:
+    def test_never(self):
+        assert not NeverPredictor().predict("anything")
+
+    def test_always(self):
+        assert AlwaysPredictor().predict("anything")

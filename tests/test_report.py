@@ -1,0 +1,45 @@
+"""Tests for the result-table formatter."""
+
+import pytest
+
+from repro.analysis import Table, format_percent, format_ratio
+
+
+class TestFormatting:
+    def test_percent_signed(self):
+        assert format_percent(0.234) == "+23.4%"
+        assert format_percent(-0.05) == "-5.0%"
+
+    def test_percent_unsigned(self):
+        assert format_percent(0.234, signed=False) == "23.4%"
+
+    def test_ratio(self):
+        assert format_ratio(1.234) == "1.23x"
+
+
+class TestTable:
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only one")
+
+    def test_render_contains_everything(self):
+        table = Table("My Title", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("beta", 22.5)
+        text = table.render()
+        assert "My Title" in text
+        assert "alpha" in text and "22.5" in text
+
+    def test_alignment(self):
+        table = Table("t", ["col"])
+        table.add_row("a-very-long-cell")
+        lines = table.render().splitlines()
+        header_width = len(lines[2])
+        assert header_width >= len("a-very-long-cell")
+
+    def test_show_prints(self, capsys):
+        table = Table("shown", ["x"])
+        table.add_row(1)
+        table.show()
+        assert "shown" in capsys.readouterr().out

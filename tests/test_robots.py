@@ -1,0 +1,182 @@
+"""Tests for the robot models (arms + planar)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import OBB, Sphere
+from repro.kinematics import baxter_arm, jaco2, kuka_iiwa, planar_2d
+
+ARMS = [jaco2, kuka_iiwa, baxter_arm]
+
+
+class TestArmBasics:
+    @pytest.mark.parametrize("factory", ARMS)
+    def test_seven_dof(self, factory):
+        assert factory().dof == 7
+
+    @pytest.mark.parametrize("factory", ARMS)
+    def test_num_links_matches_dof(self, factory):
+        robot = factory()
+        assert robot.num_links == robot.dof
+
+    @pytest.mark.parametrize("factory", ARMS)
+    def test_pose_obbs_count(self, factory, rng):
+        robot = factory()
+        q = robot.random_configuration(rng)
+        assert len(robot.pose_obbs(q)) == robot.num_links
+
+    @pytest.mark.parametrize("factory", ARMS)
+    def test_link_centers_shape(self, factory, rng):
+        robot = factory()
+        q = robot.random_configuration(rng)
+        centers = robot.link_centers(q)
+        assert centers.shape == (robot.num_links, 3)
+
+    @pytest.mark.parametrize("factory", ARMS)
+    def test_obb_centers_match_link_centers(self, factory, rng):
+        robot = factory()
+        q = robot.random_configuration(rng)
+        boxes = robot.pose_obbs(q)
+        centers = robot.link_centers(q)
+        for box, center in zip(boxes, centers):
+            assert np.allclose(box.center, center, atol=1e-9)
+
+    @pytest.mark.parametrize("factory", ARMS)
+    def test_reach_bounds_link_centers(self, factory, rng):
+        robot = factory()
+        for _ in range(10):
+            q = robot.random_configuration(rng)
+            centers = robot.link_centers(q)
+            assert np.all(np.linalg.norm(centers, axis=1) <= robot.reach() + 0.2)
+
+    @pytest.mark.parametrize("factory", ARMS)
+    def test_spheres_generated(self, factory, rng):
+        robot = factory()
+        q = robot.random_configuration(rng)
+        spheres = robot.pose_spheres(q)
+        assert len(spheres) >= robot.num_links
+        assert all(isinstance(s, Sphere) for s in spheres)
+
+    def test_boxes_per_link_multiplies(self, rng):
+        fine = jaco2(boxes_per_link=3)
+        assert fine.num_links == 21
+        q = fine.random_configuration(rng)
+        assert len(fine.pose_obbs(q)) == 21
+
+    def test_mismatched_radii_raise(self):
+        robot = jaco2()
+        with pytest.raises(ValueError):
+            type(robot)("bad", robot.chain, [0.1, 0.2])
+
+
+class TestInterpolation:
+    def test_interpolate_endpoints(self, rng):
+        robot = jaco2()
+        a, b = robot.random_configuration(rng), robot.random_configuration(rng)
+        poses = robot.interpolate(a, b, 10)
+        assert poses.shape == (10, 7)
+        assert np.allclose(poses[0], a)
+        assert np.allclose(poses[-1], b)
+
+    def test_interpolate_needs_two_poses(self, rng):
+        robot = jaco2()
+        q = robot.random_configuration(rng)
+        with pytest.raises(ValueError):
+            robot.interpolate(q, q, 1)
+
+    def test_uniform_spacing(self, rng):
+        robot = jaco2()
+        a, b = robot.random_configuration(rng), robot.random_configuration(rng)
+        poses = robot.interpolate(a, b, 5)
+        steps = np.linalg.norm(np.diff(poses, axis=0), axis=1)
+        assert np.allclose(steps, steps[0])
+
+    def test_resolution_poses(self, rng):
+        robot = jaco2()
+        a, b = robot.random_configuration(rng), robot.random_configuration(rng)
+        coarse = robot.motion_resolution_poses(a, b, 1.0)
+        fine = robot.motion_resolution_poses(a, b, 0.1)
+        assert len(fine) > len(coarse)
+        assert np.allclose(fine[0], a) and np.allclose(fine[-1], b)
+
+    @given(steps=st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20)
+    def test_interpolation_stays_within_segment(self, steps):
+        robot = planar_2d()
+        poses = robot.interpolate([0.0, 0.0], [1.0, 1.0], steps)
+        assert np.all(poses >= -1e-12) and np.all(poses <= 1.0 + 1e-12)
+
+
+class TestPlanarRobot:
+    def test_dof_is_two(self):
+        assert planar_2d().dof == 2
+
+    def test_parts_count(self):
+        assert planar_2d(num_parts=4).num_links == 4
+
+    def test_parts_tile_the_body(self):
+        robot = planar_2d(num_parts=3)
+        boxes = robot.pose_obbs([0.2, -0.3])
+        assert len(boxes) == 3
+        assert all(isinstance(b, OBB) for b in boxes)
+        # Tiles span the body width along x.
+        xs = sorted(b.center[0] for b in boxes)
+        assert xs[0] < 0.2 < xs[-1]
+
+    def test_centers_at_requested_position(self):
+        robot = planar_2d(num_parts=1)
+        centers = robot.link_centers([0.4, 0.6])
+        assert np.allclose(centers[0], [0.4, 0.6, 0.0])
+
+    def test_invalid_parts_raise(self):
+        with pytest.raises(ValueError):
+            planar_2d(num_parts=0)
+
+    def test_random_configuration_in_workspace(self, rng):
+        robot = planar_2d()
+        for _ in range(20):
+            q = robot.random_configuration(rng)
+            assert np.all(q >= -1.0) and np.all(q <= 1.0)
+
+    def test_validate_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            planar_2d().validate_configuration([1.0, 2.0, 3.0])
+
+
+class TestExtraRobots:
+    def test_ur5_six_dof(self, rng):
+        from repro.kinematics import ur5
+
+        robot = ur5()
+        assert robot.dof == 6
+        q = robot.random_configuration(rng)
+        assert len(robot.pose_obbs(q)) == 6
+        assert robot.reach() > 0.8
+
+    def test_panda_seven_dof(self, rng):
+        from repro.kinematics import franka_panda
+
+        robot = franka_panda()
+        assert robot.dof == 7
+        q = robot.random_configuration(rng)
+        assert robot.link_centers(q).shape == (7, 3)
+
+    def test_panda_limits_respected(self, rng):
+        from repro.kinematics import franka_panda
+
+        robot = franka_panda()
+        limits = robot.joint_limits
+        for _ in range(20):
+            q = robot.random_configuration(rng)
+            assert np.all(q >= limits[:, 0]) and np.all(q <= limits[:, 1])
+
+    def test_extra_robots_work_with_detector(self, rng, simple_scene):
+        from repro.collision import CollisionDetector
+        from repro.kinematics import franka_panda, ur5
+
+        for robot in (ur5(), franka_panda()):
+            detector = CollisionDetector(simple_scene, robot)
+            result = detector.check_pose(robot.random_configuration(rng))
+            assert isinstance(result.collided, bool)

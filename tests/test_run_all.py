@@ -1,0 +1,24 @@
+"""Tests for the run_all driver (fast experiments only)."""
+
+from pathlib import Path
+
+from repro.analysis.run_all import main
+
+
+class TestRunAll:
+    def test_only_filter_writes_one_file(self, tmp_path, capsys):
+        main(["--scale", "0.25", "--out", str(tmp_path), "--only", "sec6b1_overhead"])
+        files = list(Path(tmp_path).glob("*.txt"))
+        assert [f.name for f in files] == ["sec6b1_overhead.txt"]
+        out = capsys.readouterr().out
+        assert "Section VI-B1" in out
+        assert "[sec6b1_overhead:" in out
+
+    def test_output_file_contains_table(self, tmp_path):
+        main(["--scale", "0.25", "--out", str(tmp_path), "--only", "sec6b1_overhead"])
+        text = (tmp_path / "sec6b1_overhead.txt").read_text()
+        assert "CHT 4096x8b" in text
+
+    def test_unknown_only_writes_nothing(self, tmp_path):
+        main(["--scale", "0.25", "--out", str(tmp_path), "--only", "not-an-experiment"])
+        assert list(Path(tmp_path).glob("*.txt")) == []

@@ -1,0 +1,87 @@
+"""Tests for Scene collision queries (the CDQ executor)."""
+
+import numpy as np
+import pytest
+
+from repro.env import Scene
+from repro.geometry import OBB, Sphere
+
+
+@pytest.fixture
+def scene():
+    return Scene(
+        obstacles=[
+            OBB.axis_aligned([1.0, 0.0, 0.0], [0.2, 0.2, 0.2]),
+            OBB.axis_aligned([0.0, 1.0, 0.0], [0.2, 0.2, 0.2]),
+            OBB.axis_aligned([0.0, 0.0, 1.0], [0.2, 0.2, 0.2]),
+        ]
+    )
+
+
+class TestVolumeCollides:
+    def test_obb_hit(self, scene):
+        assert scene.volume_collides(OBB.axis_aligned([1.0, 0.0, 0.0], [0.05] * 3))
+
+    def test_obb_miss(self, scene):
+        assert not scene.volume_collides(OBB.axis_aligned([-1.0, -1.0, -1.0], [0.05] * 3))
+
+    def test_sphere_hit(self, scene):
+        assert scene.volume_collides(Sphere([0.0, 1.0, 0.0], 0.05))
+
+    def test_sphere_miss(self, scene):
+        assert not scene.volume_collides(Sphere([-1.0, -1.0, 0.0], 0.05))
+
+    def test_unsupported_type_raises(self, scene):
+        with pytest.raises(TypeError):
+            scene.volume_collides("not a volume")
+
+    def test_empty_scene_never_collides(self):
+        empty = Scene()
+        assert not empty.volume_collides(OBB.axis_aligned([0, 0, 0], [1, 1, 1]))
+
+
+class TestWorkCounting:
+    def test_collision_work_counts_narrow_tests(self, scene):
+        hit, tests = scene.volume_collision_work(OBB.axis_aligned([1.0, 0, 0], [0.05] * 3))
+        assert hit and tests >= 1
+
+    def test_miss_work_zero_narrow_tests_possible(self, scene):
+        # Far away: broad phase filters everything.
+        hit, tests = scene.volume_collision_work(OBB.axis_aligned([5, 5, 5], [0.01] * 3))
+        assert not hit and tests == 0
+
+    def test_stream_work_hit_position(self, scene):
+        # Hits the *second* obstacle in storage order.
+        hit, position = scene.volume_stream_work(OBB.axis_aligned([0.0, 1.0, 0.0], [0.05] * 3))
+        assert hit and position == 2
+
+    def test_stream_work_free_counts_all(self, scene):
+        hit, tests = scene.volume_stream_work(OBB.axis_aligned([5, 5, 5], [0.01] * 3))
+        assert not hit and tests == scene.num_obstacles
+
+    def test_stream_work_empty_scene(self):
+        hit, tests = Scene().volume_stream_work(Sphere([0, 0, 0], 0.1))
+        assert not hit and tests == 1
+
+    def test_stream_work_sphere(self, scene):
+        hit, position = scene.volume_stream_work(Sphere([1.0, 0, 0], 0.05))
+        assert hit and position == 1
+
+
+class TestSceneManagement:
+    def test_add_obstacle_updates_count(self, scene):
+        before = scene.num_obstacles
+        scene.add_obstacle(OBB.axis_aligned([2, 2, 2], [0.1] * 3))
+        assert scene.num_obstacles == before + 1
+        assert scene.volume_collides(Sphere([2, 2, 2], 0.05))
+
+    def test_bounds_cover_all(self, scene):
+        bounds = scene.bounds()
+        for box in scene.obstacles:
+            lo, hi = box.aabb()
+            assert np.all(lo >= bounds.lo - 1e-9)
+            assert np.all(hi <= bounds.hi + 1e-9)
+
+    def test_point_collides(self, scene):
+        assert scene.point_collides([1.0, 0.0, 0.0])
+        assert not scene.point_collides([-1.0, 0.0, 0.0])

@@ -1,0 +1,62 @@
+"""Tests for CDQ scheduling policies (Fig. 1 orderings)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision import BisectionScheduler, CoarseStepScheduler, NaiveScheduler
+
+ALL_SCHEDULERS = [NaiveScheduler(), CoarseStepScheduler(3), CoarseStepScheduler(4), BisectionScheduler()]
+
+
+class TestNaive:
+    def test_identity_order(self):
+        assert NaiveScheduler().order(5) == [0, 1, 2, 3, 4]
+
+    def test_zero_poses_raises(self):
+        with pytest.raises(ValueError):
+            NaiveScheduler().order(0)
+
+
+class TestCSP:
+    def test_paper_example(self):
+        """Step 3 over 8 poses: P1, P4, P7, P2, P5, P8, P3, P6 (0-based)."""
+        assert CoarseStepScheduler(3).order(8) == [0, 3, 6, 1, 4, 7, 2, 5]
+
+    def test_step_one_is_naive(self):
+        assert CoarseStepScheduler(1).order(6) == list(range(6))
+
+    def test_step_larger_than_count(self):
+        assert sorted(CoarseStepScheduler(10).order(4)) == [0, 1, 2, 3]
+
+    def test_invalid_step_raises(self):
+        with pytest.raises(ValueError):
+            CoarseStepScheduler(0)
+
+    def test_distant_poses_first(self):
+        order = CoarseStepScheduler(4).order(12)
+        # First three probes span at least step distance apart.
+        assert order[1] - order[0] == 4
+        assert order[2] - order[1] == 4
+
+
+class TestBisection:
+    def test_endpoints_first(self):
+        order = BisectionScheduler().order(9)
+        assert order[0] == 0 and order[1] == 8
+        assert order[2] == 4  # midpoint
+
+    def test_single_pose(self):
+        assert BisectionScheduler().order(1) == [0]
+
+    def test_two_poses(self):
+        assert BisectionScheduler().order(2) == [0, 1]
+
+
+class TestPermutationProperty:
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS, ids=lambda s: s.name + str(id(s) % 97))
+    @given(n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_order_is_permutation(self, scheduler, n):
+        order = scheduler.order(n)
+        assert sorted(order) == list(range(n))

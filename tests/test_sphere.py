@@ -1,0 +1,111 @@
+"""Tests for sphere volumes and sphere-box intersection (Sec. VII-1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import OBB, Sphere, sphere_obb_overlap, sphere_overlap, spheres_for_segment
+from repro.geometry import transforms as tf
+
+coords = st.floats(-2.0, 2.0, allow_nan=False)
+points = st.tuples(coords, coords, coords)
+radii = st.floats(0.01, 0.5, allow_nan=False)
+
+
+class TestSphere:
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Sphere([0, 0, 0], -0.1)
+
+    def test_contains_center(self):
+        s = Sphere([1, 2, 3], 0.5)
+        assert s.contains_point([1, 2, 3])
+
+    def test_contains_boundary(self):
+        s = Sphere([0, 0, 0], 1.0)
+        assert s.contains_point([1, 0, 0])
+
+    def test_excludes_outside(self):
+        s = Sphere([0, 0, 0], 1.0)
+        assert not s.contains_point([1.01, 0, 0])
+
+    def test_volume(self):
+        assert Sphere([0, 0, 0], 1.0).volume == pytest.approx(4.0 / 3.0 * np.pi)
+
+    def test_transformed(self):
+        s = Sphere([1, 0, 0], 0.3)
+        moved = s.transformed(tf.translation([0, 2, 0]))
+        assert np.allclose(moved.center, [1, 2, 0])
+        assert moved.radius == 0.3
+
+
+class TestSphereOverlap:
+    def test_touching_spheres_overlap(self):
+        assert sphere_overlap(Sphere([0, 0, 0], 0.5), Sphere([1, 0, 0], 0.5))
+
+    def test_separated_spheres(self):
+        assert not sphere_overlap(Sphere([0, 0, 0], 0.4), Sphere([1, 0, 0], 0.4))
+
+    @given(a=points, b=points, ra=radii, rb=radii)
+    @settings(max_examples=50)
+    def test_symmetric(self, a, b, ra, rb):
+        sa, sb = Sphere(a, ra), Sphere(b, rb)
+        assert sphere_overlap(sa, sb) == sphere_overlap(sb, sa)
+
+
+class TestSphereBox:
+    def test_sphere_inside_box(self):
+        box = OBB.axis_aligned([0, 0, 0], [1, 1, 1])
+        assert sphere_obb_overlap(Sphere([0.2, 0.1, -0.3], 0.1), box)
+
+    def test_sphere_touching_face(self):
+        box = OBB.axis_aligned([0, 0, 0], [0.5, 0.5, 0.5])
+        assert sphere_obb_overlap(Sphere([1.0, 0, 0], 0.5), box)
+
+    def test_sphere_missing_corner(self):
+        box = OBB.axis_aligned([0, 0, 0], [0.5, 0.5, 0.5])
+        # Corner at (0.5,0.5,0.5); sphere radius too small to reach it.
+        assert not sphere_obb_overlap(Sphere([1.0, 1.0, 1.0], 0.5), box)
+
+    def test_sphere_reaching_corner(self):
+        box = OBB.axis_aligned([0, 0, 0], [0.5, 0.5, 0.5])
+        assert sphere_obb_overlap(Sphere([1.0, 1.0, 1.0], 0.9), box)
+
+    def test_rotated_box(self):
+        rot = tf.rotation_z(np.pi / 4)[:3, :3]
+        box = OBB([0, 0, 0], [1.0, 0.1, 0.1], rot)
+        # The box's long axis points along (1,1,0)/sqrt(2).
+        tip = np.array([1, 1, 0]) / np.sqrt(2)
+        assert sphere_obb_overlap(Sphere(tip * 0.9, 0.05), box)
+        assert not sphere_obb_overlap(Sphere([0.9, -0.9, 0], 0.05), box)
+
+
+class TestSpheresForSegment:
+    def test_degenerate_segment_single_sphere(self):
+        spheres = spheres_for_segment([1, 1, 1], [1, 1, 1], 0.2)
+        assert len(spheres) == 1
+
+    def test_endpoints_covered(self):
+        spheres = spheres_for_segment([0, 0, 0], [1, 0, 0], 0.1)
+        assert any(s.contains_point([0, 0, 0]) for s in spheres)
+        assert any(s.contains_point([1, 0, 0]) for s in spheres)
+
+    def test_chain_is_connected(self):
+        spheres = spheres_for_segment([0, 0, 0], [1, 0, 0], 0.1)
+        for a, b in zip(spheres[:-1], spheres[1:]):
+            assert sphere_overlap(a, b)
+
+    @given(a=points, b=points, r=radii)
+    @settings(max_examples=40)
+    def test_whole_segment_covered(self, a, b, r):
+        spheres = spheres_for_segment(a, b, r)
+        a, b = np.asarray(a), np.asarray(b)
+        for frac in np.linspace(0, 1, 17):
+            p = a + frac * (b - a)
+            assert any(s.contains_point(p) for s in spheres)
+
+    def test_spacing_controls_count(self):
+        few = spheres_for_segment([0, 0, 0], [1, 0, 0], 0.1, max_spacing=0.5)
+        many = spheres_for_segment([0, 0, 0], [1, 0, 0], 0.1, max_spacing=0.05)
+        assert len(many) > len(few)

@@ -1,0 +1,82 @@
+"""Tests for the sphere-CDU trace flow (Sec. VII-1)."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector, Motion
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.hardware import (
+    AcceleratorSimulator,
+    baseline_config,
+    copu_config,
+    trace_motion_spheres,
+    trace_motions_spheres,
+)
+from repro.kinematics import jaco2
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scene = Scene(
+        obstacles=[
+            OBB.axis_aligned([0.4, 0.2, 0.3], [0.15, 0.15, 0.15]),
+            OBB.axis_aligned([-0.3, -0.4, 0.5], [0.15, 0.15, 0.15]),
+        ]
+    )
+    robot = jaco2()
+    detector = CollisionDetector(scene, robot, representation="sphere")
+    rng = np.random.default_rng(6)
+    motions = [
+        Motion(robot.random_configuration(rng), robot.random_configuration(rng), 10)
+        for _ in range(20)
+    ]
+    return detector, motions
+
+
+class TestSphereTraces:
+    def test_more_cdqs_than_links(self, setup):
+        detector, motions = setup
+        trace = trace_motion_spheres(detector, motions[0])
+        assert trace.num_cdqs > 10 * detector.robot.num_links
+
+    def test_hash_keys_are_link_centers(self, setup):
+        """All spheres of one link share the same hash-input center."""
+        detector, motions = setup
+        trace = trace_motion_spheres(detector, motions[0])
+        pose = trace.poses[0]
+        by_link = {}
+        for cdq in pose.cdqs:
+            by_link.setdefault(cdq.link_index, set()).add(cdq.center)
+        for centers in by_link.values():
+            assert len(centers) == 1
+
+    def test_ground_truth_matches_detector(self, setup):
+        detector, motions = setup
+        for motion in motions[:5]:
+            trace = trace_motion_spheres(detector, motion)
+            check = detector.check_motion(motion.start, motion.end, motion.num_poses)
+            assert trace.collides == check.collided
+
+    def test_batch_ids(self, setup):
+        detector, motions = setup
+        traces = trace_motions_spheres(detector, motions[:3])
+        assert [t.motion_id for t in traces] == [0, 1, 2]
+
+
+class TestSphereAccelerator:
+    def test_copu_reduces_sphere_cdqs(self, setup):
+        detector, motions = setup
+        traces = trace_motions_spheres(detector, motions)
+        base = AcceleratorSimulator(baseline_config(6), rng=np.random.default_rng(0)).run(traces)
+        pred = AcceleratorSimulator(copu_config(6), rng=np.random.default_rng(0)).run(traces)
+        assert pred.cdqs_executed <= base.cdqs_executed
+
+    def test_invariants_hold(self, setup):
+        detector, motions = setup
+        traces = trace_motions_spheres(detector, motions[:8])
+        sim = AcceleratorSimulator(copu_config(4), rng=np.random.default_rng(0))
+        for trace in traces:
+            result = sim.simulate_motion(trace)
+            assert result.cdqs_executed + result.cdqs_skipped == trace.num_cdqs
+            assert result.collided == trace.collides

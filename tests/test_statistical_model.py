@@ -1,0 +1,80 @@
+"""Tests for the Fig. 13 statistical computation-reduction model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import estimate_reduction, expected_cdqs_without_prediction, simulate_reduction
+
+probs = st.floats(0.01, 0.5, allow_nan=False)
+rates = st.floats(0.05, 1.0, allow_nan=False)
+
+
+class TestBaselineExpectation:
+    def test_zero_probability_executes_all(self):
+        assert expected_cdqs_without_prediction(80, 0.0) == 80.0
+
+    def test_certain_collision_executes_one(self):
+        assert expected_cdqs_without_prediction(80, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_probability(self):
+        values = [expected_cdqs_without_prediction(80, p) for p in (0.01, 0.1, 0.3)]
+        assert values[0] > values[1] > values[2]
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            expected_cdqs_without_prediction(0, 0.5)
+        with pytest.raises(ValueError):
+            expected_cdqs_without_prediction(10, 1.5)
+
+    def test_matches_geometric_sum(self):
+        p, n = 0.1, 20
+        exact = sum((1 - p) ** k for k in range(n))
+        assert expected_cdqs_without_prediction(n, p) == pytest.approx(exact)
+
+
+class TestEstimateReduction:
+    def test_perfect_predictor_near_oracle(self):
+        est = estimate_reduction(collision_prob=0.2, precision=1.0, recall=1.0)
+        # Collision probability 0.2 over 80 CDQs: the motion almost surely
+        # collides, and the perfect predictor needs ~1 CDQ.
+        assert est.predicted_cdqs < 2.5
+        assert est.reduction > 0.5
+
+    def test_useless_predictor_no_gain(self):
+        est = estimate_reduction(collision_prob=0.2, precision=0.2, recall=1.0)
+        # Precision equal to base rate = random flagging: tiny or no gain.
+        assert abs(est.reduction) < 0.2
+
+    def test_invalid_precision_raises(self):
+        with pytest.raises(ValueError):
+            estimate_reduction(0.1, 1.5, 0.5)
+
+    def test_reduction_increases_with_recall(self):
+        low = estimate_reduction(0.1, 0.8, 0.2).reduction
+        high = estimate_reduction(0.1, 0.8, 0.9).reduction
+        assert high > low
+
+    @given(p=probs, precision=rates, recall=rates)
+    @settings(max_examples=50)
+    def test_predicted_cdqs_bounded(self, p, precision, recall):
+        est = estimate_reduction(p, precision, recall)
+        assert 0.0 < est.predicted_cdqs <= 80.0 + 1e-9
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize(
+        "p,precision,recall",
+        [(0.05, 0.8, 0.5), (0.2, 0.7, 0.7), (0.1, 0.9, 0.3)],
+    )
+    def test_closed_form_matches_simulation(self, p, precision, recall):
+        est = estimate_reduction(p, precision, recall)
+        sim = simulate_reduction(p, precision, recall, num_motions=4000, rng=np.random.default_rng(0))
+        assert est.predicted_cdqs == pytest.approx(sim.predicted_cdqs, rel=0.15, abs=1.0)
+        assert est.baseline_cdqs == pytest.approx(sim.baseline_cdqs, rel=0.1, abs=1.0)
+
+    def test_simulation_deterministic_with_seed(self):
+        a = simulate_reduction(0.1, 0.8, 0.5, num_motions=500, rng=np.random.default_rng(7))
+        b = simulate_reduction(0.1, 0.8, 0.5, num_motions=500, rng=np.random.default_rng(7))
+        assert a.predicted_cdqs == b.predicted_cdqs

@@ -1,0 +1,78 @@
+"""Tests for CDQ trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector, Motion
+from repro.env import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+from repro.workloads import load_traces, save_traces, trace_motion, trace_motions
+
+
+@pytest.fixture(scope="module")
+def detector():
+    scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5])])
+    return CollisionDetector(scene, planar_2d())
+
+
+class TestTraceMotion:
+    def test_full_enumeration(self, detector):
+        trace = trace_motion(detector, Motion([-0.8, 0.0], [0.9, 0.0], 12))
+        assert len(trace.poses) == 12
+        assert trace.num_cdqs == 12 * detector.robot.num_links
+
+    def test_ground_truth_matches_detector(self, detector):
+        motion = Motion([-0.8, 0.0], [0.9, 0.0], 12)
+        trace = trace_motion(detector, motion)
+        assert trace.collides == detector.check_motion(motion.start, motion.end, 12).collided
+
+    def test_free_motion_trace(self, detector):
+        trace = trace_motion(detector, Motion([-0.8, -0.5], [-0.8, 0.5], 10))
+        assert not trace.collides
+        assert all(not p.collides for p in trace.poses)
+
+    def test_narrow_tests_positive(self, detector):
+        trace = trace_motion(detector, Motion([-0.8, 0.0], [0.9, 0.0], 12))
+        for pose in trace.poses:
+            for cdq in pose.cdqs:
+                assert cdq.narrow_tests >= 1
+
+    def test_stage_and_id_recorded(self, detector):
+        trace = trace_motion(detector, Motion([-0.5, 0], [0.5, 0], 8), motion_id=7, stage="S2")
+        assert trace.motion_id == 7 and trace.stage == "S2"
+
+    def test_trace_motions_sequential_ids(self, detector):
+        motions = [Motion([-0.5, y], [0.5, y], 6) for y in (-0.5, 0.0, 0.5)]
+        traces = trace_motions(detector, motions)
+        assert [t.motion_id for t in traces] == [0, 1, 2]
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, detector, tmp_path):
+        motions = [Motion([-0.8, 0.0], [0.9, 0.0], 8), Motion([-0.8, -0.5], [-0.8, 0.5], 8)]
+        traces = trace_motions(detector, motions, stage="S1")
+        path = tmp_path / "traces.jsonl"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        assert len(loaded) == len(traces)
+        for orig, back in zip(traces, loaded):
+            assert back.motion_id == orig.motion_id
+            assert back.stage == orig.stage
+            assert back.collides == orig.collides
+            assert back.num_cdqs == orig.num_cdqs
+            for pose_a, pose_b in zip(orig.poses, back.poses):
+                for cdq_a, cdq_b in zip(pose_a.cdqs, pose_b.cdqs):
+                    assert cdq_a.collides == cdq_b.collides
+                    assert cdq_a.narrow_tests == cdq_b.narrow_tests
+                    assert np.allclose(cdq_a.center, cdq_b.center)
+
+    def test_loaded_traces_drive_simulator(self, detector, tmp_path):
+        from repro.hardware import AcceleratorSimulator, copu_config
+
+        traces = trace_motions(detector, [Motion([-0.8, 0.0], [0.9, 0.0], 10)])
+        path = tmp_path / "t.jsonl"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        report = AcceleratorSimulator(copu_config(2), rng=np.random.default_rng(0)).run(loaded)
+        assert report.cdqs_executed > 0

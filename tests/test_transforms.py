@@ -1,0 +1,130 @@
+"""Unit and property tests for SE(3) transform utilities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import transforms as tf
+
+angles = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False)
+coords = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+vectors = st.tuples(coords, coords, coords)
+
+
+class TestBasicRotations:
+    def test_identity_is_4x4_eye(self):
+        assert np.array_equal(tf.identity(), np.eye(4))
+
+    def test_rotation_z_quarter_turn_moves_x_to_y(self):
+        m = tf.rotation_z(math.pi / 2)
+        assert np.allclose(tf.transform_point(m, [1, 0, 0]), [0, 1, 0], atol=1e-12)
+
+    def test_rotation_x_quarter_turn_moves_y_to_z(self):
+        m = tf.rotation_x(math.pi / 2)
+        assert np.allclose(tf.transform_point(m, [0, 1, 0]), [0, 0, 1], atol=1e-12)
+
+    def test_rotation_y_quarter_turn_moves_z_to_x(self):
+        m = tf.rotation_y(math.pi / 2)
+        assert np.allclose(tf.transform_point(m, [0, 0, 1]), [1, 0, 0], atol=1e-12)
+
+    @given(angle=angles)
+    @settings(max_examples=30)
+    def test_rotations_are_proper(self, angle):
+        for maker in (tf.rotation_x, tf.rotation_y, tf.rotation_z):
+            assert tf.is_rotation_matrix(maker(angle)[:3, :3])
+
+    def test_zero_angle_rotations_are_identity(self):
+        for maker in (tf.rotation_x, tf.rotation_y, tf.rotation_z):
+            assert np.allclose(maker(0.0), np.eye(4))
+
+
+class TestAxisAngle:
+    def test_axis_z_matches_rotation_z(self):
+        assert np.allclose(tf.rotation_about_axis([0, 0, 1], 0.7), tf.rotation_z(0.7))
+
+    def test_axis_does_not_need_normalization(self):
+        assert np.allclose(
+            tf.rotation_about_axis([0, 0, 5], 0.7), tf.rotation_about_axis([0, 0, 1], 0.7)
+        )
+
+    def test_zero_axis_raises(self):
+        with pytest.raises(ValueError):
+            tf.rotation_about_axis([0, 0, 0], 0.5)
+
+    @given(axis=vectors, angle=angles)
+    @settings(max_examples=30)
+    def test_axis_is_fixed_point(self, axis, angle):
+        axis = np.asarray(axis)
+        if np.linalg.norm(axis) < 1e-6:
+            return
+        m = tf.rotation_about_axis(axis, angle)
+        assert np.allclose(tf.transform_direction(m, axis), axis, atol=1e-9)
+
+
+class TestTranslationAndCompose:
+    def test_translation_moves_origin(self):
+        assert np.allclose(tf.transform_point(tf.translation([1, 2, 3]), [0, 0, 0]), [1, 2, 3])
+
+    def test_compose_order_left_to_right(self):
+        a = tf.translation([1, 0, 0])
+        b = tf.rotation_z(math.pi / 2)
+        # A @ B applied to origin: rotate (no-op on origin), then translate.
+        assert np.allclose(tf.transform_point(tf.compose(a, b), [0, 0, 0]), [1, 0, 0])
+
+    def test_compose_empty_is_identity(self):
+        assert np.array_equal(tf.compose(), np.eye(4))
+
+    def test_transform_from_assembles_blocks(self):
+        rot = tf.rotation_z(0.3)[:3, :3]
+        m = tf.transform_from(rot, [4, 5, 6])
+        assert np.allclose(m[:3, :3], rot)
+        assert np.allclose(m[:3, 3], [4, 5, 6])
+
+
+class TestInverse:
+    @given(angle=angles, offset=vectors)
+    @settings(max_examples=40)
+    def test_inverse_roundtrip(self, angle, offset):
+        m = tf.compose(tf.translation(offset), tf.rotation_y(angle))
+        assert np.allclose(m @ tf.invert_transform(m), np.eye(4), atol=1e-9)
+
+    @given(point=vectors, angle=angles, offset=vectors)
+    @settings(max_examples=40)
+    def test_inverse_undoes_point_transform(self, point, angle, offset):
+        m = tf.compose(tf.translation(offset), tf.rotation_x(angle))
+        moved = tf.transform_point(m, point)
+        back = tf.transform_point(tf.invert_transform(m), moved)
+        assert np.allclose(back, point, atol=1e-8)
+
+
+class TestBatchedPoints:
+    def test_transform_points_matches_single(self, rng):
+        m = tf.compose(tf.translation([0.1, -0.2, 0.3]), tf.rotation_z(0.5))
+        pts = rng.normal(size=(10, 3))
+        batch = tf.transform_points(m, pts)
+        for i in range(10):
+            assert np.allclose(batch[i], tf.transform_point(m, pts[i]))
+
+    def test_transform_direction_ignores_translation(self):
+        m = tf.translation([5, 5, 5])
+        assert np.allclose(tf.transform_direction(m, [1, 0, 0]), [1, 0, 0])
+
+
+class TestAccessors:
+    def test_rotation_and_translation_parts(self):
+        m = tf.compose(tf.translation([1, 2, 3]), tf.rotation_z(0.4))
+        assert np.allclose(tf.translation_part(m), [1, 2, 3])
+        assert tf.is_rotation_matrix(tf.rotation_part(m))
+
+    def test_is_rotation_matrix_rejects_scaled(self):
+        assert not tf.is_rotation_matrix(2.0 * np.eye(3))
+
+    def test_is_rotation_matrix_rejects_reflection(self):
+        m = np.diag([1.0, 1.0, -1.0])
+        assert not tf.is_rotation_matrix(m)
+
+    def test_is_rotation_matrix_rejects_wrong_shape(self):
+        assert not tf.is_rotation_matrix(np.eye(4))

@@ -1,0 +1,58 @@
+"""Tests for the ASCII renderers."""
+
+import numpy as np
+
+from repro.analysis.viz import render_cht_heatmap, render_scene_2d
+from repro.core import CollisionHistoryTable, CoordHash
+from repro.env import Scene
+from repro.geometry import OBB
+
+
+def wall_scene():
+    return Scene(obstacles=[OBB.axis_aligned([0.0, 0.0, 0.0], [0.1, 0.8, 0.5])])
+
+
+class TestRenderScene:
+    def test_dimensions(self):
+        text = render_scene_2d(wall_scene(), width=40, height=20)
+        lines = text.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 40 for line in lines)
+
+    def test_obstacle_rendered(self):
+        text = render_scene_2d(wall_scene())
+        assert "#" in text
+
+    def test_free_space_rendered(self):
+        text = render_scene_2d(wall_scene())
+        assert "." in text
+
+    def test_path_markers(self):
+        path = [np.array([-0.8, -0.8]), np.array([-0.8, 0.8]), np.array([0.8, 0.8])]
+        text = render_scene_2d(wall_scene(), path=path)
+        assert "S" in text and "G" in text and "o" in text
+
+    def test_empty_scene_all_free(self):
+        text = render_scene_2d(Scene(), width=10, height=5)
+        assert set(text.replace("\n", "")) == {"."}
+
+
+class TestRenderHeatmap:
+    def test_cold_table_all_dots(self):
+        table = CollisionHistoryTable(size=4096, s=0.0)
+        text = render_cht_heatmap(table, CoordHash(4), width=16, height=8)
+        assert set(text.replace("\n", "")) == {"."}
+
+    def test_hot_bin_marked(self):
+        table = CollisionHistoryTable(size=4096, s=0.0)
+        h = CoordHash(4)
+        table.update(h(np.array([0.0, 0.0, 0.0])), collided=True)
+        text = render_cht_heatmap(table, h, width=32, height=16)
+        assert "+" in text
+
+    def test_noncoll_history_marked_dash(self):
+        table = CollisionHistoryTable(size=4096, s=1.0)
+        h = CoordHash(4)
+        table.update(h(np.array([0.5, 0.5, 0.0])), collided=False)
+        text = render_cht_heatmap(table, h, width=32, height=16)
+        assert "-" in text

@@ -1,0 +1,76 @@
+"""Tests for the voxel grid (Dadu-P environment substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.env import Scene, VoxelGrid, voxelize_scene
+from repro.geometry import AABB, OBB
+
+
+@pytest.fixture
+def bounds():
+    return AABB([-1.0, -1.0, -1.0], [1.0, 1.0, 1.0])
+
+
+class TestEmptyGrid:
+    def test_shape_from_bounds(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.5)
+        assert grid.shape == (4, 4, 4)
+        assert grid.num_occupied == 0
+
+    def test_bad_resolution_raises(self, bounds):
+        with pytest.raises(ValueError):
+            VoxelGrid(origin=[0, 0, 0], resolution=0.0, shape=(1, 1, 1), occupancy=np.zeros((1, 1, 1), bool))
+
+    def test_index_of_inside(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.5)
+        assert grid.index_of([-0.99, -0.99, -0.99]) == (0, 0, 0)
+        assert grid.index_of([0.99, 0.99, 0.99]) == (3, 3, 3)
+
+    def test_index_of_outside_is_none(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.5)
+        assert grid.index_of([2.0, 0.0, 0.0]) is None
+
+    def test_center_of_roundtrip(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.5)
+        center = grid.center_of((1, 2, 3))
+        assert grid.index_of(center) == (1, 2, 3)
+
+
+class TestMarking:
+    def test_mark_box_occupies_overlapping_voxels(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.5)
+        grid.mark_box(OBB.axis_aligned([0, 0, 0], [0.3, 0.3, 0.3]))
+        assert grid.num_occupied >= 8  # the 2x2x2 block around the origin
+
+    def test_mark_box_outside_is_noop(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.5)
+        grid.mark_box(OBB.axis_aligned([5, 5, 5], [0.1, 0.1, 0.1]))
+        assert grid.num_occupied == 0
+
+    def test_occupied_centers_inside_marked_region(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.25)
+        box = OBB.axis_aligned([0.2, 0.2, 0.2], [0.3, 0.3, 0.3])
+        grid.mark_box(box)
+        centers = grid.occupied_centers()
+        assert centers.shape[1] == 3
+        # Every occupied voxel's cube overlaps the marked box.
+        lo, hi = box.aabb()
+        for c in centers:
+            assert np.all(c >= lo - 0.25) and np.all(c <= hi + 0.25)
+
+    def test_voxelize_scene(self, bounds):
+        scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.5, 0.5], [0.2, 0.2, 0.2])])
+        grid = voxelize_scene(scene, bounds, 0.25)
+        assert grid.num_occupied > 0
+        assert grid.occupancy.shape == grid.shape
+
+    def test_voxelize_empty_scene(self, bounds):
+        grid = voxelize_scene(Scene(), bounds, 0.25)
+        assert grid.num_occupied == 0
+        assert grid.occupied_centers().shape == (0, 3)
+
+    def test_voxel_box_size(self, bounds):
+        grid = VoxelGrid.empty(bounds, 0.5)
+        box = grid.voxel_box((0, 0, 0))
+        assert np.allclose(box.half_extents, 0.25)

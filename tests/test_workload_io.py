@@ -1,0 +1,83 @@
+"""Tests for workload serialization."""
+
+import numpy as np
+import pytest
+
+from repro.collision import CollisionDetector
+from repro.env import random_2d_scene
+from repro.kinematics import planar_2d, ur5
+from repro.planners import RRTConnectPlanner
+from repro.workloads import generate_workload
+from repro.workloads.io import load_workloads, save_workloads, scene_from_dict, scene_to_dict
+
+
+class TestSceneRoundTrip:
+    def test_obstacles_preserved(self, rng):
+        scene = random_2d_scene(rng, 5)
+        back = scene_from_dict(scene_to_dict(scene))
+        assert back.num_obstacles == scene.num_obstacles
+        for a, b in zip(scene.obstacles, back.obstacles):
+            assert np.allclose(a.center, b.center)
+            assert np.allclose(a.half_extents, b.half_extents)
+            assert np.allclose(a.rotation, b.rotation)
+
+    def test_name_preserved(self, rng):
+        scene = random_2d_scene(rng, 3, name="myscene")
+        assert scene_from_dict(scene_to_dict(scene)).name == "myscene"
+
+
+class TestWorkloadRoundTrip:
+    def test_roundtrip_identical_cdq_stream(self, rng, tmp_path):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(1), 6)
+        planner = RRTConnectPlanner(rng, max_iterations=80, step_size=0.4)
+        workload = generate_workload(planner, robot, scene, rng, name="io-test")
+        path = tmp_path / "wl.jsonl"
+        save_workloads([workload], path)
+        loaded = load_workloads(path)
+        assert len(loaded) == 1
+        back = loaded[0]
+        assert back.name == "io-test"
+        assert back.num_motions == workload.num_motions
+        # Replays must produce identical outcomes.
+        orig_det = CollisionDetector(workload.scene, workload.robot)
+        back_det = CollisionDetector(back.scene, back.robot)
+        for m_orig, m_back in zip(workload.motions, back.motions):
+            a = orig_det.check_motion(m_orig.start, m_orig.end, m_orig.num_poses)
+            b = back_det.check_motion(m_back.start, m_back.end, m_back.num_poses)
+            assert a.collided == b.collided
+            assert a.stats.cdqs_executed == b.stats.cdqs_executed
+
+    def test_stages_preserved(self, rng, tmp_path):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(1), 4)
+        planner = RRTConnectPlanner(rng, max_iterations=80, step_size=0.4)
+        workload = generate_workload(planner, robot, scene, rng)
+        path = tmp_path / "wl.jsonl"
+        save_workloads([workload], path)
+        back = load_workloads(path)[0]
+        assert [m.stage for m in back.motions] == [m.stage for m in workload.motions]
+
+    def test_unknown_robot_raises(self, tmp_path):
+        from repro.workloads.benchmarks import PlannerWorkload
+        from repro.env import Scene
+
+        robot = ur5()
+        robot.name = "mystery-bot"
+        workload = PlannerWorkload(name="x", scene=Scene(), robot=robot)
+        with pytest.raises(ValueError):
+            save_workloads([workload], tmp_path / "bad.jsonl")
+
+    def test_all_registered_robots_roundtrip(self, tmp_path):
+        from repro.workloads.benchmarks import PlannerWorkload
+        from repro.env import Scene
+        from repro.workloads.io import _ROBOT_FACTORIES
+
+        workloads = [
+            PlannerWorkload(name=name, scene=Scene(), robot=factory())
+            for name, factory in _ROBOT_FACTORIES.items()
+        ]
+        path = tmp_path / "robots.jsonl"
+        save_workloads(workloads, path)
+        loaded = load_workloads(path)
+        assert [w.robot.name for w in loaded] == list(_ROBOT_FACTORIES)

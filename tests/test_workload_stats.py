@@ -1,0 +1,81 @@
+"""Tests for workload characterization statistics."""
+
+import numpy as np
+import pytest
+
+from repro.env import Scene, random_2d_scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+from repro.planners import RRTConnectPlanner
+from repro.workloads import generate_workload
+from repro.workloads.benchmarks import PlannerWorkload, RecordedMotion
+from repro.workloads.stats import WorkloadStats, characterize_suite, characterize_workload
+
+
+def manual_workload():
+    """Hand-built workload with known ground truth."""
+    scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.05, 1.0, 0.5])])
+    robot = planar_2d()
+    motions = [
+        # Crosses the wall: collides.
+        RecordedMotion(np.array([-0.8, 0.0]), np.array([0.9, 0.0]), 10, "S1"),
+        # Parallel to the wall: free.
+        RecordedMotion(np.array([-0.8, -0.5]), np.array([-0.8, 0.5]), 10, "S2"),
+    ]
+    return PlannerWorkload(name="manual", scene=scene, robot=robot, motions=motions)
+
+
+class TestCharacterize:
+    def test_known_ground_truth(self):
+        stats = characterize_workload(manual_workload())
+        assert stats.num_motions == 2
+        assert stats.colliding_motions == 1
+        assert stats.colliding_fraction == pytest.approx(0.5)
+        assert stats.stage_colliding_fraction("S1") == 1.0
+        assert stats.stage_colliding_fraction("S2") == 0.0
+
+    def test_cdq_population(self):
+        stats = characterize_workload(manual_workload())
+        assert stats.total_cdqs == 2 * 10 * 3  # motions x poses x parts
+
+    def test_motion_lengths(self):
+        stats = characterize_workload(manual_workload())
+        assert stats.mean_motion_length > 0
+        assert len(stats.motion_lengths) == 2
+
+    def test_unknown_stage_fraction_zero(self):
+        stats = characterize_workload(manual_workload())
+        assert stats.stage_colliding_fraction("S9") == 0.0
+
+
+class TestSuiteAggregation:
+    def test_merged_counts(self):
+        a = characterize_workload(manual_workload())
+        b = characterize_workload(manual_workload())
+        merged = a.merged(b)
+        assert merged.num_motions == 4
+        assert merged.colliding_motions == 2
+        assert merged.stage_motions["S1"] == 2
+
+    def test_characterize_suite(self):
+        suite = [manual_workload(), manual_workload()]
+        total = characterize_suite(suite)
+        assert total.num_motions == 4
+        assert total.colliding_fraction == pytest.approx(0.5)
+
+    def test_empty_suite(self):
+        assert characterize_suite([]).num_motions == 0
+
+    def test_real_planner_workload(self, rng):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(2), 8)
+        planner = RRTConnectPlanner(rng, max_iterations=100, step_size=0.4)
+        workload = generate_workload(planner, robot, scene, rng)
+        stats = characterize_workload(workload)
+        assert stats.num_motions == workload.num_motions
+        assert 0.0 <= stats.colliding_fraction <= 1.0
+
+    def test_empty_stats_defaults(self):
+        stats = WorkloadStats(name="x")
+        assert stats.colliding_fraction == 0.0
+        assert stats.mean_motion_length == 0.0
