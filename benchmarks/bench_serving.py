@@ -1,0 +1,85 @@
+"""Serving-layer throughput/latency bench.
+
+Unlike the figure benches this does not reproduce a paper plot: it starts
+the repo's own perf trajectory for the online serving architecture (the
+ROADMAP's north star). One open-loop replay drives the asyncio service at
+a fixed offered load; the recorded throughput and p50/p95/p99 end-to-end
+latencies land in ``benchmarks/results/BENCH_serving.json`` so successive
+PRs can compare runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.env import random_2d_scene
+from repro.kinematics import planar_2d
+from repro.serving import CollisionService, LoadGenerator, ServiceConfig
+from repro.workloads.benchmarks import PlannerWorkload, RecordedMotion
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_SESSIONS = 4
+MOTIONS_PER_SESSION = 40
+TARGET_QPS = 3000.0
+
+
+def _workloads() -> list[PlannerWorkload]:
+    robot = planar_2d()
+    rng = np.random.default_rng(11)
+    return [
+        PlannerWorkload(
+            name=f"serve-{index}",
+            scene=random_2d_scene(np.random.default_rng(100 + index), num_obstacles=6),
+            robot=robot,
+            motions=[
+                RecordedMotion(
+                    start=robot.random_configuration(rng),
+                    end=robot.random_configuration(rng),
+                    num_poses=8,
+                    stage="S1",
+                )
+                for _ in range(MOTIONS_PER_SESSION)
+            ],
+        )
+        for index in range(NUM_SESSIONS)
+    ]
+
+
+def _run_loadtest():
+    service = CollisionService(
+        ServiceConfig(num_workers=2, max_batch=8, max_wait_ms=2.0, queue_bound=256)
+    )
+    generator = LoadGenerator(service, _workloads(), qps=TARGET_QPS, seed=0)
+
+    async def go():
+        async with service:
+            return await generator.run()
+
+    return asyncio.run(go())
+
+
+def test_bench_serving(benchmark):
+    report = benchmark.pedantic(_run_loadtest, rounds=1, iterations=1)
+    total = report.snapshot["latency_ms"]["total"]
+    payload = {
+        "target_qps": report.target_qps,
+        "offered": report.offered,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "achieved_qps": report.achieved_qps,
+        "mean_batch_size": report.snapshot["mean_batch_size"],
+        "latency_ms": {k: total[k] for k in ("p50", "p95", "p99", "mean")},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serving.json").write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+    assert report.completed > 0
+    assert report.completed + report.rejected == report.offered
+    assert total["p99"] >= total["p50"] > 0.0

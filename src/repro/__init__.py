@@ -96,6 +96,13 @@ from .planners import (
     RRTConnectPlanner,
     RRTPlanner,
 )
+from .serving import (
+    CollisionService,
+    LoadGenerator,
+    QueryResult,
+    ServiceConfig,
+    ServiceTelemetry,
+)
 from .workloads import group_by_difficulty, make_benchmark, trace_motion, trace_motions
 
 __version__ = "1.0.0"
@@ -153,6 +160,11 @@ __all__ = [
     "PRMPlanner",
     "RRTConnectPlanner",
     "RRTPlanner",
+    "CollisionService",
+    "LoadGenerator",
+    "QueryResult",
+    "ServiceConfig",
+    "ServiceTelemetry",
     "group_by_difficulty",
     "make_benchmark",
     "trace_motion",

@@ -13,6 +13,12 @@ Commands
 ``simulate --workloads FILE [--cdus N] [--no-copu]``
     Replay a saved workload suite through the accelerator simulator and
     print the report.
+``serve --selftest``
+    Start the async collision service in-process, drive it with a small
+    generated workload, and print the telemetry snapshot.
+``loadtest --workloads FILE [--qps Q] [--queue-bound N] [--policy P]``
+    Replay a saved workload suite through the async service at a target
+    QPS (open-loop arrivals) and print the load report plus telemetry.
 """
 
 from __future__ import annotations
@@ -99,6 +105,124 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    if not args.selftest:
+        print(
+            "the service runs in-process (no network frontend yet); "
+            "use 'repro serve --selftest' or 'repro loadtest'",
+            file=sys.stderr,
+        )
+        return 2
+
+    import asyncio
+
+    from .collision.pipeline import Motion
+    from .env.generators import random_2d_scene
+    from .kinematics.robots import planar_2d
+    from .serving import CollisionService, ServiceConfig
+
+    rng = np.random.default_rng(args.seed)
+    robot = planar_2d()
+    scene = random_2d_scene(rng, num_obstacles=6)
+    service = CollisionService(
+        ServiceConfig(num_workers=2, max_batch=4, max_wait_ms=1.0, queue_bound=32)
+    )
+
+    async def selftest():
+        async with service:
+            sessions = [service.open_session(scene, robot) for _ in range(2)]
+            motions = [
+                Motion(
+                    robot.random_configuration(rng),
+                    robot.random_configuration(rng),
+                    num_poses=8,
+                )
+                for _ in range(24)
+            ]
+            results = await asyncio.gather(
+                *(
+                    service.submit(sessions[i % 2], motion)
+                    for i, motion in enumerate(motions)
+                )
+            )
+            fallback = await service.submit(sessions[0], motions[0], deadline_ms=0.0)
+            for session_id in sessions:
+                service.close_session(session_id)
+        return results, fallback
+
+    results, fallback = asyncio.run(selftest())
+    print(service.telemetry.to_json())
+    exact = sum(r.status == "ok" for r in results)
+    healthy = exact == len(results) and fallback.status == "predicted"
+    print(f"selftest: {exact}/{len(results)} exact verdicts, "
+          f"deadline fallback {fallback.status!r} -> {'OK' if healthy else 'FAILED'}")
+    return 0 if healthy else 1
+
+
+def _cmd_loadtest(args) -> int:
+    import asyncio
+    import itertools
+
+    from .serving import CollisionService, LoadGenerator, ServiceConfig
+    from .workloads.io import iter_workload
+
+    if args.qps <= 0.0:
+        print("--qps must be positive", file=sys.stderr)
+        return 2
+    try:
+        workloads = list(itertools.islice(iter_workload(args.workloads), args.max_sessions))
+    except FileNotFoundError:
+        print(f"workload file not found: {args.workloads}", file=sys.stderr)
+        return 2
+    if not workloads:
+        print(f"no workloads found in {args.workloads}", file=sys.stderr)
+        return 2
+    service = CollisionService(
+        ServiceConfig(
+            num_workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_bound=args.queue_bound,
+            policy=args.policy,
+        )
+    )
+    generator = LoadGenerator(
+        service,
+        workloads,
+        qps=args.qps,
+        seed=args.seed,
+        max_requests=args.max_requests,
+        deadline_ms=args.deadline_ms,
+    )
+
+    async def run():
+        async with service:
+            return await generator.run()
+
+    report = asyncio.run(run())
+    print(report.render())
+    print()
+    print(service.telemetry.to_json())
+    if args.json:
+        import json
+
+        payload = {
+            "offered": report.offered,
+            "completed": report.completed,
+            "predicted": report.predicted,
+            "rejected": report.rejected,
+            "wall_s": report.wall_s,
+            "target_qps": report.target_qps,
+            "achieved_qps": report.achieved_qps,
+            "telemetry": report.snapshot,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote load report to {args.json}")
+    answered_everything = report.completed + report.rejected == report.offered
+    return 0 if report.completed > 0 and answered_everything else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -125,6 +249,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--no-copu", action="store_true")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(fn=_cmd_simulate)
+
+    serve = sub.add_parser("serve", help="run the async collision service")
+    serve.add_argument("--selftest", action="store_true")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(fn=_cmd_serve)
+
+    loadtest = sub.add_parser("loadtest", help="replay workloads through the async service")
+    loadtest.add_argument("--workloads", required=True)
+    loadtest.add_argument("--qps", type=float, default=200.0)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--max-requests", type=int, default=None)
+    loadtest.add_argument("--max-sessions", type=int, default=8)
+    loadtest.add_argument("--deadline-ms", type=float, default=None)
+    loadtest.add_argument("--workers", type=int, default=2)
+    loadtest.add_argument("--max-batch", type=int, default=8)
+    loadtest.add_argument("--max-wait-ms", type=float, default=2.0)
+    loadtest.add_argument("--queue-bound", type=int, default=64)
+    loadtest.add_argument("--policy", choices=("reject", "block"), default="reject")
+    loadtest.add_argument("--json", default=None)
+    loadtest.set_defaults(fn=_cmd_loadtest)
     return parser
 
 

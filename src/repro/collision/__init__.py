@@ -3,7 +3,14 @@
 from .continuous import ContinuousCheckResult, ContinuousMotionChecker
 from .detector import CollisionDetector, coord_key, pose_key
 from .parallel import ParallelCostModel, ParallelRunResult, run_parallel_batch
-from .pipeline import BatchResult, Motion, check_motion_batch, compare_schedulers
+from .pipeline import (
+    BatchResult,
+    Motion,
+    check_motion,
+    check_motion_batch,
+    compare_schedulers,
+    predict_motion,
+)
 from .queries import CDQ, MotionCheckResult, QueryStats
 from .scheduling import BisectionScheduler, CoarseStepScheduler, NaiveScheduler, PoseScheduler
 
@@ -18,8 +25,10 @@ __all__ = [
     "run_parallel_batch",
     "BatchResult",
     "Motion",
+    "check_motion",
     "check_motion_batch",
     "compare_schedulers",
+    "predict_motion",
     "CDQ",
     "MotionCheckResult",
     "QueryStats",

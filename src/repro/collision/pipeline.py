@@ -17,7 +17,14 @@ from .detector import CollisionDetector
 from .queries import QueryStats
 from .scheduling import PoseScheduler
 
-__all__ = ["Motion", "BatchResult", "check_motion_batch", "compare_schedulers"]
+__all__ = [
+    "Motion",
+    "BatchResult",
+    "check_motion",
+    "predict_motion",
+    "check_motion_batch",
+    "compare_schedulers",
+]
 
 
 @dataclass
@@ -60,6 +67,46 @@ class BatchResult:
         return 1.0 - self.cdqs_executed / baseline.cdqs_executed
 
 
+def check_motion(
+    detector: CollisionDetector,
+    motion: Motion,
+    scheduler: PoseScheduler | None = None,
+    predictor: Predictor | None = None,
+) -> tuple[bool, QueryStats]:
+    """Check one :class:`Motion`; the shared inner step of every harness.
+
+    Both the offline batch loop (:func:`check_motion_batch`) and the online
+    serving layer (:mod:`repro.serving`) call this, so a motion costs the
+    same CDQ stream no matter which entry point issued it.
+    """
+    check = detector.check_motion(
+        motion.start, motion.end, motion.num_poses, scheduler, predictor
+    )
+    return check.collided, check.stats
+
+
+def predict_motion(
+    detector: CollisionDetector,
+    motion: Motion,
+    scheduler: PoseScheduler | None = None,
+    predictor: Predictor | None = None,
+) -> bool:
+    """Predicted-only verdict: OR of the predictor over the motion's CDQs.
+
+    No CDQ is executed and the predictor is not updated — this is the
+    software analogue of COPU's early prediction, used by the serving
+    layer's deadline-fallback path when the exact check cannot complete in
+    time. With no predictor the verdict is ``False`` (nothing predicts a
+    collision).
+    """
+    if predictor is None:
+        return False
+    return any(
+        predictor.predict(detector.key_fn(cdq))
+        for cdq in detector.motion_cdqs(motion.start, motion.end, motion.num_poses, scheduler)
+    )
+
+
 def check_motion_batch(
     detector: CollisionDetector,
     motions: list[Motion],
@@ -78,11 +125,9 @@ def check_motion_batch(
     for motion in motions:
         if reset_predictor and predictor is not None:
             predictor.reset()
-        check = detector.check_motion(
-            motion.start, motion.end, motion.num_poses, scheduler, predictor
-        )
-        result.stats.merge(check.stats)
-        result.outcomes.append(check.collided)
+        collided, stats = check_motion(detector, motion, scheduler, predictor)
+        result.stats.merge(stats)
+        result.outcomes.append(collided)
     return result
 
 

@@ -10,7 +10,7 @@ from .adaptive import STRATEGY_BY_DENSITY, AdaptiveCHTPredictor, ObstacleDensity
 from .cht import CollisionHistoryTable, shift_for_strategy
 from .encoders import LatentHash, train_coord_autoencoder, train_pose_autoencoder
 from .hashing import CoordHash, HashFunction, PoseFoldHash, PoseHash, PosePartHash
-from .metrics import ConfusionCounts, PredictionEvaluator
+from .metrics import ConfusionCounts, LatencyHistogram, PredictionEvaluator
 from .mlp import MLP, DenseLayer, train_regression
 from .predictor import (
     AlwaysPredictor,
@@ -42,6 +42,7 @@ __all__ = [
     "PoseHash",
     "PosePartHash",
     "ConfusionCounts",
+    "LatencyHistogram",
     "PredictionEvaluator",
     "MLP",
     "DenseLayer",

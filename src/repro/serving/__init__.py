@@ -1,0 +1,43 @@
+"""Online serving layer: async batched collision queries with backpressure.
+
+The first layer of the ROADMAP's serving architecture. The offline
+pipeline answers "how many CDQs does a configuration execute"; this
+package answers "what latency does a *stream* of collision queries see",
+which is the quantity that actually gates a planner (Sec. III-E). It
+provides:
+
+* :class:`CollisionService` — asyncio service with per-session CHT state;
+* micro-batching with shard-per-worker CHT placement (no Fig. 11
+  shared-table contention by construction);
+* bounded-queue admission control (block / reject-with-retry-after) and a
+  deadline path that falls back to the CHT's *predicted* verdict;
+* streaming latency telemetry and an open-loop replay load generator.
+"""
+
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    QueryRequest,
+    QueryResult,
+)
+from .batching import BatchingConfig, MicroBatcher, worker_for_session
+from .loadgen import LoadGenerator, LoadTestReport, ScheduledRequest
+from .service import CollisionService, ServiceConfig, Session
+from .telemetry import ServiceTelemetry
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "QueryRequest",
+    "QueryResult",
+    "BatchingConfig",
+    "MicroBatcher",
+    "worker_for_session",
+    "LoadGenerator",
+    "LoadTestReport",
+    "ScheduledRequest",
+    "CollisionService",
+    "ServiceConfig",
+    "Session",
+    "ServiceTelemetry",
+]

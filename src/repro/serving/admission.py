@@ -1,0 +1,120 @@
+"""Admission control: bounded queues, backpressure, deadline fallback.
+
+An online collision service cannot let its queues grow without bound — a
+planner that keeps submitting while checks back up only increases the
+latency of the answers it is already waiting on. This module owns the
+request/result records and the admission decision at the front of the
+pipeline:
+
+* ``block``  — the submitter waits until queue space frees (closed-loop
+  clients, e.g. a planner that issues one motion at a time);
+* ``reject`` — a full queue immediately fails the request with a
+  ``retry_after_ms`` hint (open-loop clients, load shedding).
+
+Requests may also carry a deadline. A request whose deadline has passed by
+the time a worker picks it up is *not* checked exactly; instead the
+session's predictor supplies a speculative verdict straight from the CHT
+(:func:`repro.collision.pipeline.predict_motion`) — the software analogue
+of COPU answering from history before the CDQ pipeline would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from dataclasses import dataclass, field
+
+from ..collision.pipeline import Motion
+from .telemetry import ServiceTelemetry
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "QueryRequest",
+    "QueryResult",
+    "AdmissionController",
+]
+
+ADMISSION_POLICIES = ("block", "reject")
+
+#: Result statuses.
+STATUS_OK = "ok"
+STATUS_PREDICTED = "predicted"
+STATUS_REJECTED = "rejected"
+
+
+@dataclass
+class QueryRequest:
+    """One in-flight motion check travelling through the service."""
+
+    session_id: str
+    motion: Motion
+    future: asyncio.Future
+    enqueued_at: float
+    deadline_ms: float | None = None
+    seq: int = 0
+
+    def deadline_expired(self, now: float) -> bool:
+        """True when the request can no longer meet its deadline."""
+        if self.deadline_ms is None:
+            return False
+        return (now - self.enqueued_at) * 1e3 >= self.deadline_ms
+
+
+@dataclass
+class QueryResult:
+    """The service's answer to one :class:`QueryRequest`.
+
+    ``status`` is ``"ok"`` (exact check ran), ``"predicted"`` (deadline
+    fallback: the verdict is the CHT's speculation, no CDQ executed), or
+    ``"rejected"`` (backpressure: no verdict, retry after the hint).
+    """
+
+    session_id: str
+    status: str
+    colliding: bool | None = None
+    queue_ms: float = 0.0
+    execute_ms: float = 0.0
+    total_ms: float = 0.0
+    batch_size: int = 0
+    retry_after_ms: float | None = None
+    cdqs_executed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the service produced a verdict (exact or predicted)."""
+        return self.status in (STATUS_OK, STATUS_PREDICTED)
+
+
+class AdmissionController:
+    """Applies one backpressure policy at the mouth of a worker queue."""
+
+    def __init__(self, policy: str, telemetry: ServiceTelemetry):
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(f"policy must be one of {ADMISSION_POLICIES}, got {policy!r}")
+        self.policy = policy
+        self.telemetry = telemetry
+
+    async def admit(self, queue: asyncio.Queue, request: QueryRequest) -> bool:
+        """Place the request on the queue, or reject it.
+
+        Returns True when the request was enqueued. On rejection the
+        request's future is resolved with a ``rejected`` result carrying a
+        drain-time-based ``retry_after_ms`` hint, and False is returned.
+        """
+        self.telemetry.count("requests_total")
+        if self.policy == "block":
+            await queue.put(request)
+            return True
+        try:
+            queue.put_nowait(request)
+            return True
+        except asyncio.QueueFull:
+            self.telemetry.count("requests_rejected")
+            request.future.set_result(
+                QueryResult(
+                    session_id=request.session_id,
+                    status=STATUS_REJECTED,
+                    retry_after_ms=self.telemetry.retry_after_ms(queue.qsize()),
+                )
+            )
+            return False

@@ -1,0 +1,183 @@
+"""Open-loop replay load generator for the collision service.
+
+Replays planner workload traces (:mod:`repro.workloads.io`) against a
+:class:`~repro.serving.service.CollisionService` the way serving systems
+are actually load-tested: arrivals follow a seeded Poisson process at a
+target QPS and are issued *open-loop* — the generator does not wait for
+one verdict before sending the next request, so queueing delay shows up
+as latency instead of silently throttling the offered load.
+
+The request schedule (arrival offsets, session assignment, motions) is
+computed up front from the seed alone, so two generators with the same
+seed and trace offer byte-identical load — the property the determinism
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..collision.pipeline import Motion
+from ..workloads.benchmarks import PlannerWorkload
+from .admission import STATUS_OK, STATUS_PREDICTED, STATUS_REJECTED, QueryResult
+from .service import CollisionService
+
+__all__ = ["ScheduledRequest", "LoadTestReport", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One planned arrival: when, which session, which motion."""
+
+    at_s: float
+    workload_index: int
+    motion: Motion
+    deadline_ms: float | None = None
+
+
+@dataclass
+class LoadTestReport:
+    """Outcome of one load-generator run."""
+
+    offered: int
+    completed: int
+    predicted: int
+    rejected: int
+    colliding: int
+    wall_s: float
+    target_qps: float
+    snapshot: dict = field(default_factory=dict)
+
+    @property
+    def achieved_qps(self) -> float:
+        """Requests answered (exactly or speculatively) per wall second."""
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        latency = self.snapshot.get("latency_ms", {}).get("total", {})
+        lines = [
+            f"offered:   {self.offered} requests @ {self.target_qps:g} qps target",
+            f"answered:  {self.completed} ({self.predicted} predicted-only)",
+            f"rejected:  {self.rejected} (backpressure)",
+            f"colliding: {self.colliding}",
+            f"wall:      {self.wall_s:.3f} s ({self.achieved_qps:.1f} qps achieved)",
+        ]
+        if latency:
+            lines.append(
+                "latency:   p50 {p50:.3f} ms | p95 {p95:.3f} ms | p99 {p99:.3f} ms".format(
+                    **{k: latency[k] for k in ("p50", "p95", "p99")}
+                )
+            )
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Drives a service from planner workloads at a target QPS."""
+
+    def __init__(
+        self,
+        service: CollisionService,
+        workloads: list[PlannerWorkload],
+        qps: float = 200.0,
+        seed: int = 0,
+        max_requests: int | None = None,
+        deadline_ms: float | None = None,
+        time_scale: float = 1.0,
+    ):
+        if qps <= 0.0:
+            raise ValueError("qps must be positive")
+        if not workloads:
+            raise ValueError("need at least one workload to replay")
+        if any(not w.motions for w in workloads):
+            raise ValueError("every replayed workload needs recorded motions")
+        self.service = service
+        self.workloads = list(workloads)
+        self.qps = float(qps)
+        self.seed = int(seed)
+        self.max_requests = max_requests
+        self.deadline_ms = deadline_ms
+        #: <1 compresses the schedule (faster tests), >1 stretches it.
+        self.time_scale = float(time_scale)
+
+    def schedule(self) -> list[ScheduledRequest]:
+        """The deterministic arrival plan implied by (trace, qps, seed).
+
+        Motions are drawn round-robin across workloads, cycling each
+        workload's recorded motions in order; inter-arrival gaps are
+        exponential with mean ``1/qps``.
+        """
+        rng = np.random.default_rng(self.seed)
+        total = self.max_requests
+        if total is None:
+            total = sum(len(w.motions) for w in self.workloads)
+        cursors = [itertools.cycle(w.motions) for w in self.workloads]
+        plan = []
+        now = 0.0
+        for index in range(total):
+            now += rng.exponential(1.0 / self.qps)
+            workload_index = index % len(self.workloads)
+            recorded = next(cursors[workload_index])
+            plan.append(
+                ScheduledRequest(
+                    at_s=now,
+                    workload_index=workload_index,
+                    motion=recorded.as_motion(),
+                    deadline_ms=self.deadline_ms,
+                )
+            )
+        return plan
+
+    async def run(self) -> LoadTestReport:
+        """Replay the schedule open-loop; returns the aggregated report.
+
+        Opens one service session per workload (sessions must not outlive
+        the run: they are closed before returning).
+        """
+        plan = self.schedule()
+        session_ids = [
+            self.service.open_session(w.scene, w.robot) for w in self.workloads
+        ]
+        loop_clock = time.perf_counter
+        started = loop_clock()
+        tasks = []
+        try:
+            for request in plan:
+                delay = started + request.at_s * self.time_scale - loop_clock()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(
+                    asyncio.ensure_future(
+                        self.service.submit(
+                            session_ids[request.workload_index],
+                            request.motion,
+                            deadline_ms=request.deadline_ms,
+                        )
+                    )
+                )
+            results: list[QueryResult] = await asyncio.gather(*tasks)
+        finally:
+            for session_id in session_ids:
+                self.service.close_session(session_id)
+        wall_s = loop_clock() - started
+        by_status = {STATUS_OK: 0, STATUS_PREDICTED: 0, STATUS_REJECTED: 0}
+        colliding = 0
+        for result in results:
+            by_status[result.status] += 1
+            colliding += bool(result.colliding)
+        return LoadTestReport(
+            offered=len(plan),
+            completed=by_status[STATUS_OK] + by_status[STATUS_PREDICTED],
+            predicted=by_status[STATUS_PREDICTED],
+            rejected=by_status[STATUS_REJECTED],
+            colliding=colliding,
+            wall_s=wall_s,
+            target_qps=self.qps,
+            snapshot=self.service.telemetry.snapshot(),
+        )

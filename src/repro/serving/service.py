@@ -1,0 +1,329 @@
+"""The asyncio collision-query service.
+
+:class:`CollisionService` turns the offline batch pipeline into an online
+system: clients open a *session* (one planning query against one scene —
+the unit the paper resets the CHT at, Sec. IV), submit
+:class:`~repro.collision.pipeline.Motion` checks, and await verdicts.
+Internally, requests pass admission control
+(:mod:`~repro.serving.admission`), land on the queue of the worker that
+owns their session (:func:`~repro.serving.batching.worker_for_session`),
+are coalesced into micro-batches, and execute through the same
+:func:`~repro.collision.pipeline.check_motion_batch` path as every offline
+harness. Each session owns its detector and CHT predictor, so prediction
+state is isolated per planning query and per worker shard.
+
+The service is single-process and cooperative: "workers" are asyncio
+tasks, and batch execution itself is synchronous Python (numpy under the
+GIL gains nothing from threads here). What the architecture models — and
+what the telemetry measures — is the scheduling layer the paper's Sec.
+III-E identifies as the real bottleneck: queueing, batching, backpressure,
+and prediction fallback under deadline pressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+
+from dataclasses import dataclass
+
+from ..collision.detector import CollisionDetector
+from ..collision.pipeline import Motion, check_motion_batch, predict_motion
+from ..collision.queries import QueryStats
+from ..collision.scheduling import PoseScheduler
+from ..core.hashing import CoordHash
+from ..core.predictor import CHTPredictor, Predictor
+from ..env.scene import Scene
+from ..kinematics.robots import RobotModel
+from .admission import (
+    STATUS_OK,
+    STATUS_PREDICTED,
+    AdmissionController,
+    QueryRequest,
+    QueryResult,
+)
+from .batching import BatchingConfig, MicroBatcher, worker_for_session
+from .telemetry import ServiceTelemetry
+
+__all__ = ["ServiceConfig", "Session", "CollisionService"]
+
+
+def default_predictor_factory() -> Predictor:
+    """A fresh COORD predictor with the paper's arm-planning defaults."""
+    return CHTPredictor.create(CoordHash(bits_per_axis=4), table_size=4096, s=0.0)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All service knobs in one place."""
+
+    num_workers: int = 2
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    queue_bound: int = 64
+    policy: str = "reject"
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        if self.queue_bound < 1:
+            raise ValueError("queue_bound must be positive")
+
+    @property
+    def batching(self) -> BatchingConfig:
+        """The micro-batcher view of this config."""
+        return BatchingConfig(max_batch=self.max_batch, max_wait_ms=self.max_wait_ms)
+
+
+@dataclass
+class Session:
+    """Per-planning-query serving state: detector, predictor, counters."""
+
+    session_id: str
+    detector: CollisionDetector
+    predictor: Predictor | None
+    scheduler: PoseScheduler | None
+    worker: int
+    stats: QueryStats
+
+    @property
+    def cdqs_executed(self) -> int:
+        """Executed CDQs accumulated over the session's lifetime."""
+        return self.stats.cdqs_executed
+
+
+class CollisionService:
+    """Async batched collision-query service with backpressure.
+
+    Usage::
+
+        service = CollisionService(ServiceConfig(num_workers=2))
+        async with service:
+            sid = service.open_session(scene, robot)
+            result = await service.submit(sid, Motion(q0, q1, num_poses=12))
+
+    ``submit`` resolves to a :class:`~repro.serving.admission.QueryResult`;
+    it never raises for backpressure or deadline misses — those are
+    statuses, mirroring how a hardware unit reports rather than traps.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, clock=time.perf_counter):
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.telemetry = ServiceTelemetry(clock=clock)
+        self.sessions: dict[str, Session] = {}
+        self._admission = AdmissionController(self.config.policy, self.telemetry)
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._session_counter = itertools.count()
+        self._seq_counter = itertools.count()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create worker queues and spawn one batcher task per worker."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._queues = [
+            asyncio.Queue(maxsize=self.config.queue_bound)
+            for _ in range(self.config.num_workers)
+        ]
+        self._workers = [
+            asyncio.ensure_future(self._worker_loop(index, queue))
+            for index, queue in enumerate(self._queues)
+        ]
+        self._started = True
+
+    async def stop(self) -> None:
+        """Cancel workers; pending requests' futures are cancelled too."""
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for queue in self._queues:
+            while not queue.empty():
+                request = queue.get_nowait()
+                if not request.future.done():
+                    request.future.cancel()
+        self._workers = []
+        self._queues = []
+        self._started = False
+
+    async def __aenter__(self) -> "CollisionService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- sessions ----------------------------------------------------------
+
+    def open_session(
+        self,
+        scene: Scene,
+        robot: RobotModel,
+        *,
+        representation: str = "obb",
+        scheduler: PoseScheduler | None = None,
+        predictor: Predictor | None = None,
+        use_prediction: bool = True,
+        session_id: str | None = None,
+    ) -> str:
+        """Register a planning query; returns its session id.
+
+        Each session gets its own detector and (by default) a fresh COORD
+        predictor — the per-planning-query CHT reset of Sec. IV, realised
+        as per-session state instead of a reset instruction.
+        """
+        if session_id is None:
+            session_id = f"s{next(self._session_counter)}"
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        if predictor is None and use_prediction:
+            predictor = default_predictor_factory()
+        self.sessions[session_id] = Session(
+            session_id=session_id,
+            detector=CollisionDetector(scene, robot, representation=representation),
+            predictor=predictor,
+            scheduler=scheduler,
+            worker=worker_for_session(session_id, self.config.num_workers),
+            stats=QueryStats(),
+        )
+        return session_id
+
+    def session(self, session_id: str) -> Session:
+        """Look up an open session."""
+        return self.sessions[session_id]
+
+    def close_session(self, session_id: str) -> Session:
+        """Drop a session's state; returns it for final inspection."""
+        return self.sessions.pop(session_id)
+
+    # -- request path ------------------------------------------------------
+
+    async def submit(
+        self,
+        session_id: str,
+        motion: Motion,
+        deadline_ms: float | None = None,
+    ) -> QueryResult:
+        """Submit one motion check and await its verdict."""
+        if not self._started:
+            raise RuntimeError("service not started (use 'async with service:')")
+        session = self.sessions[session_id]
+        request = QueryRequest(
+            session_id=session_id,
+            motion=motion,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=self.clock(),
+            deadline_ms=deadline_ms,
+            seq=next(self._seq_counter),
+        )
+        queue = self._queues[session.worker]
+        admitted = await self._admission.admit(queue, request)
+        self.telemetry.set_queue_depth(session.worker, queue.qsize())
+        if not admitted:
+            return request.future.result()
+        return await request.future
+
+    # -- execution ---------------------------------------------------------
+
+    async def _worker_loop(self, index: int, queue: asyncio.Queue) -> None:
+        batcher = MicroBatcher(queue, self.config.batching, clock=self.clock)
+        while True:
+            batch = await batcher.next_batch()
+            self.telemetry.set_queue_depth(index, queue.qsize())
+            self._execute_batch(batch)
+            for _ in batch:
+                queue.task_done()
+
+    def _execute_batch(self, batch: list[QueryRequest]) -> None:
+        """Run one micro-batch: deadline fallbacks, then exact checks."""
+        now = self.clock()
+        self.telemetry.observe_batch(len(batch))
+        exact: list[QueryRequest] = []
+        for request in batch:
+            if request.future.done():
+                continue  # caller vanished (e.g. cancelled while queued)
+            if request.deadline_expired(now):
+                self._resolve_predicted(request, len(batch))
+            else:
+                exact.append(request)
+        for requests in MicroBatcher.group_by_session(exact).values():
+            self._execute_session_group(requests, len(batch))
+
+    def _resolve_predicted(self, request: QueryRequest, batch_size: int) -> None:
+        """Deadline fallback: answer from the CHT without executing CDQs."""
+        session = self.sessions.get(request.session_id)
+        now = self.clock()
+        queue_ms = (now - request.enqueued_at) * 1e3
+        verdict = None
+        if session is not None:
+            with self.telemetry.span("predict_fallback"):
+                verdict = predict_motion(
+                    session.detector, request.motion, session.scheduler, session.predictor
+                )
+        self.telemetry.count("deadline_fallbacks")
+        self.telemetry.count("requests_completed")
+        self.telemetry.observe_request(queue_ms, 0.0, queue_ms)
+        request.future.set_result(
+            QueryResult(
+                session_id=request.session_id,
+                status=STATUS_PREDICTED,
+                colliding=verdict,
+                queue_ms=queue_ms,
+                total_ms=queue_ms,
+                batch_size=batch_size,
+            )
+        )
+
+    def _execute_session_group(self, requests: list[QueryRequest], batch_size: int) -> None:
+        """Exact checks for one session's share of a micro-batch.
+
+        Dispatches through :func:`check_motion_batch` so the serving path
+        and the offline harness execute byte-identical CDQ streams.
+        """
+        session = self.sessions.get(requests[0].session_id)
+        started = self.clock()
+        if session is None:
+            for request in requests:
+                request.future.set_exception(
+                    KeyError(f"session {request.session_id!r} was closed")
+                )
+            return
+        with self.telemetry.span("batch_execute"):
+            result = check_motion_batch(
+                session.detector,
+                [request.motion for request in requests],
+                session.scheduler,
+                session.predictor,
+                label=session.session_id,
+            )
+        finished = self.clock()
+        session.stats.merge(result.stats)
+        execute_ms = (finished - started) * 1e3 / len(requests)
+        cdqs_each = result.stats.cdqs_executed // len(requests)
+        self.telemetry.count("cdqs_executed", result.stats.cdqs_executed)
+        self.telemetry.count("motions_colliding", sum(result.outcomes))
+        for request, colliding in zip(requests, result.outcomes):
+            queue_ms = (started - request.enqueued_at) * 1e3
+            total_ms = (finished - request.enqueued_at) * 1e3
+            self.telemetry.count("requests_completed")
+            self.telemetry.observe_request(queue_ms, execute_ms, total_ms)
+            request.future.set_result(
+                QueryResult(
+                    session_id=request.session_id,
+                    status=STATUS_OK,
+                    colliding=colliding,
+                    queue_ms=queue_ms,
+                    execute_ms=execute_ms,
+                    total_ms=total_ms,
+                    batch_size=batch_size,
+                    cdqs_executed=cdqs_each,
+                )
+            )

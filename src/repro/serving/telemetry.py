@@ -1,0 +1,122 @@
+"""Serving-layer telemetry: counters, latency histograms, queue gauges.
+
+Section III-E's lesson is that collision prediction lives or dies on
+*serving-path* effects (CHT contention, divergence) that aggregate CDQ
+counts cannot see. The service therefore measures itself the way a
+production system would: monotonic counters, streaming latency histograms
+per pipeline stage (queue wait, batch execution, end-to-end), the
+micro-batch size distribution, and per-worker queue-depth gauges.
+Everything is exposed as a plain-dict :meth:`ServiceTelemetry.snapshot`
+and a JSON dump so benchmarks and the CLI share one format.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from contextlib import contextmanager
+
+from ..core.metrics import LatencyHistogram
+
+__all__ = ["ServiceTelemetry"]
+
+#: Counter names registered up front so snapshots always have every key.
+COUNTER_NAMES = (
+    "requests_total",
+    "requests_completed",
+    "requests_rejected",
+    "deadline_fallbacks",
+    "batches_dispatched",
+    "cdqs_executed",
+    "motions_colliding",
+)
+
+
+def _fresh_histogram() -> LatencyHistogram:
+    # 1 microsecond .. 100 seconds, in milliseconds.
+    return LatencyHistogram(min_value=1e-3, max_value=1e5, buckets_per_decade=10)
+
+
+class ServiceTelemetry:
+    """All observable state of one :class:`~repro.serving.CollisionService`.
+
+    The service and its workers live on one event loop, so plain mutation
+    is safe — there is no cross-thread access to guard.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+        self.counters = {name: 0 for name in COUNTER_NAMES}
+        #: Stage-name -> latency histogram (milliseconds).
+        self.stages = {
+            "queue_wait": _fresh_histogram(),
+            "execute": _fresh_histogram(),
+            "total": _fresh_histogram(),
+        }
+        #: Micro-batch size -> number of batches dispatched at that size.
+        self.batch_sizes: dict[int, int] = {}
+        #: Worker index -> last observed queue depth.
+        self.queue_depths: dict[int, int] = {}
+        #: EWMA of per-request service time, feeding retry-after estimates.
+        self.service_time_ewma_ms = 1.0
+        self._ewma_alpha = 0.2
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter (created on first use if unregistered)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe_request(self, queue_ms: float, execute_ms: float, total_ms: float) -> None:
+        """Record one completed request's per-stage latencies."""
+        self.stages["queue_wait"].record(queue_ms)
+        self.stages["execute"].record(execute_ms)
+        self.stages["total"].record(total_ms)
+        self.service_time_ewma_ms += self._ewma_alpha * (
+            execute_ms - self.service_time_ewma_ms
+        )
+
+    def observe_batch(self, size: int) -> None:
+        """Record one dispatched micro-batch's size."""
+        self.count("batches_dispatched")
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def set_queue_depth(self, worker: int, depth: int) -> None:
+        """Update one worker's queue-depth gauge."""
+        self.queue_depths[worker] = depth
+
+    @contextmanager
+    def span(self, stage: str):
+        """Time a block into the named stage histogram (milliseconds)."""
+        if stage not in self.stages:
+            self.stages[stage] = _fresh_histogram()
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.stages[stage].record((self.clock() - start) * 1e3)
+
+    def retry_after_ms(self, queue_depth: int) -> float:
+        """Suggested client back-off: the queue's estimated drain time."""
+        return max(queue_depth, 1) * self.service_time_ewma_ms
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average micro-batch size over all dispatched batches."""
+        total = sum(size * n for size, n in self.batch_sizes.items())
+        batches = sum(self.batch_sizes.values())
+        return total / batches if batches else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every counter, histogram, and gauge."""
+        return {
+            "counters": dict(self.counters),
+            "latency_ms": {name: hist.snapshot() for name, hist in self.stages.items()},
+            "batch_sizes": {str(size): n for size, n in sorted(self.batch_sizes.items())},
+            "mean_batch_size": self.mean_batch_size,
+            "queue_depths": {str(worker): d for worker, d in sorted(self.queue_depths.items())},
+            "service_time_ewma_ms": self.service_time_ewma_ms,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)

@@ -9,7 +9,7 @@ from .benchmarks import (
     make_benchmark,
 )
 from .difficulty import GROUP_LABELS, group_by_difficulty
-from .io import load_workloads, save_workloads
+from .io import iter_workload, load_workloads, save_workloads
 from .stats import WorkloadStats, characterize_suite, characterize_workload
 from .traces import (
     CDQRecord,
@@ -30,6 +30,7 @@ __all__ = [
     "make_benchmark",
     "GROUP_LABELS",
     "group_by_difficulty",
+    "iter_workload",
     "load_workloads",
     "save_workloads",
     "WorkloadStats",

@@ -20,7 +20,13 @@ from ..kinematics import robots as robot_factories
 from ..kinematics.robots import RobotModel
 from .benchmarks import PlannerWorkload, RecordedMotion
 
-__all__ = ["save_workloads", "load_workloads", "scene_to_dict", "scene_from_dict"]
+__all__ = [
+    "save_workloads",
+    "load_workloads",
+    "iter_workload",
+    "scene_to_dict",
+    "scene_from_dict",
+]
 
 #: Robot factories addressable by name in serialized workloads.
 _ROBOT_FACTORIES = {
@@ -72,7 +78,12 @@ def _robot_name(robot: RobotModel) -> str:
 
 
 def save_workloads(workloads: list[PlannerWorkload], path) -> None:
-    """Write workloads as JSON lines (one planning query per line)."""
+    """Write workloads as JSON lines (one planning query per line).
+
+    Non-finite floats (NaN/inf) are rejected: Python's ``json`` would emit
+    non-standard ``NaN``/``Infinity`` literals that other JSON parsers
+    refuse, silently breaking cross-machine replay.
+    """
     with open(path, "w") as handle:
         for workload in workloads:
             record = {
@@ -89,7 +100,46 @@ def save_workloads(workloads: list[PlannerWorkload], path) -> None:
                     for m in workload.motions
                 ],
             }
-            handle.write(json.dumps(record) + "\n")
+            try:
+                line = json.dumps(record, allow_nan=False)
+            except ValueError as exc:
+                raise ValueError(
+                    f"workload {workload.name!r} contains non-finite floats "
+                    "(NaN/inf) and cannot be serialized portably"
+                ) from exc
+            handle.write(line + "\n")
+
+
+def _workload_from_record(record: dict) -> PlannerWorkload:
+    """Rebuild one planning query from its JSON-lines record."""
+    return PlannerWorkload(
+        name=record["name"],
+        scene=scene_from_dict(record["scene"]),
+        robot=_ROBOT_FACTORIES[record["robot"]](),
+        motions=[
+            RecordedMotion(
+                start=np.asarray(m["start"]),
+                end=np.asarray(m["end"]),
+                num_poses=int(m["num_poses"]),
+                stage=m["stage"],
+            )
+            for m in record["motions"]
+        ],
+    )
+
+
+def iter_workload(path):
+    """Stream workloads from a JSON-lines file, one planning query at a time.
+
+    Unlike :func:`load_workloads` this never materializes the whole trace,
+    so the serving load generator can replay arbitrarily large files with
+    bounded memory. Blank lines are skipped.
+    """
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _workload_from_record(json.loads(line))
 
 
 def load_workloads(path) -> list[PlannerWorkload]:
@@ -98,25 +148,4 @@ def load_workloads(path) -> list[PlannerWorkload]:
     Robots are reconstructed from their registered factories, so the
     loaded workload issues byte-identical CDQ streams.
     """
-    workloads = []
-    with open(path) as handle:
-        for line in handle:
-            record = json.loads(line)
-            robot = _ROBOT_FACTORIES[record["robot"]]()
-            workloads.append(
-                PlannerWorkload(
-                    name=record["name"],
-                    scene=scene_from_dict(record["scene"]),
-                    robot=robot,
-                    motions=[
-                        RecordedMotion(
-                            start=np.asarray(m["start"]),
-                            end=np.asarray(m["end"]),
-                            num_poses=int(m["num_poses"]),
-                            stage=m["stage"],
-                        )
-                        for m in record["motions"]
-                    ],
-                )
-            )
-    return workloads
+    return list(iter_workload(path))

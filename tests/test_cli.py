@@ -50,3 +50,45 @@ class TestCommands:
             "simulate", "--workloads", str(out_file), "--cdus", "2", "--no-copu"
         ]) == 0
         assert "baseline.2" in capsys.readouterr().out
+
+
+class TestServingCommands:
+    def test_serve_requires_selftest(self, capsys):
+        assert main(["serve"]) == 2
+
+    def test_serve_selftest(self, capsys):
+        assert main(["serve", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert '"requests_completed"' in out and "OK" in out
+
+    def test_loadtest_replays_trace(self, tmp_path, capsys):
+        trace = tmp_path / "wl.jsonl"
+        main(["generate", "--benchmark", "bit*-2d", "--out", str(trace), "--queries", "1", "--seed", "3"])
+        report_json = tmp_path / "report.json"
+        assert main([
+            "loadtest",
+            "--workloads", str(trace),
+            "--qps", "2000",
+            "--max-requests", "30",
+            "--json", str(report_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "offered:   30" in out
+        assert report_json.exists()
+
+    def test_loadtest_counts_backpressure(self, tmp_path, capsys):
+        trace = tmp_path / "wl.jsonl"
+        main(["generate", "--benchmark", "bit*-2d", "--out", str(trace), "--queries", "1", "--seed", "3"])
+        assert main([
+            "loadtest",
+            "--workloads", str(trace),
+            "--qps", "100000",
+            "--max-requests", "60",
+            "--workers", "1",
+            "--max-batch", "2",
+            "--queue-bound", "2",
+            "--policy", "reject",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rejected:  0 " not in out  # some load must have been shed
+        assert '"requests_rejected"' in out

@@ -68,3 +68,78 @@ class TestEvaluator:
         stream = [(i, bool(i % 2)) for i in range(25)]
         counts = PredictionEvaluator(NeverPredictor()).run(stream)
         assert counts.total == 25
+
+
+class TestLatencyHistogram:
+    def _make(self):
+        from repro.core import LatencyHistogram
+
+        return LatencyHistogram(min_value=1e-3, max_value=1e5, buckets_per_decade=10)
+
+    def test_empty_snapshot(self):
+        h = self._make()
+        assert h.count == 0
+        assert h.percentile(99.0) == 0.0
+        assert h.snapshot()["p50"] == 0.0
+
+    def test_percentile_within_one_bucket(self):
+        h = self._make()
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0]:
+            h.record(v)
+        # p50 must land on the bucket containing 3.0; upper edge is within
+        # one bucket width (10**0.1 ~ 1.26x) of the true value.
+        p50 = h.percentile(50.0)
+        assert 3.0 <= p50 <= 3.0 * 10 ** 0.1
+        # The max sample bounds every percentile.
+        assert h.percentile(100.0) <= 100.0
+        assert h.min == 1.0 and h.max == 100.0
+
+    def test_constant_stream_is_exact_at_edges(self):
+        h = self._make()
+        for _ in range(1000):
+            h.record(5.0)
+        assert h.percentile(50.0) == h.percentile(99.0)
+        assert h.percentile(99.0) <= 5.0 * 10 ** 0.1
+
+    def test_merge_matches_combined_stream(self):
+        a, b, both = self._make(), self._make(), self._make()
+        for i in range(1, 101):
+            (a if i % 2 else b).record(float(i))
+            both.record(float(i))
+        a.merge(b)
+        assert a.count == both.count
+        assert a.counts == both.counts
+        assert a.percentile(95.0) == both.percentile(95.0)
+        assert a.mean == pytest.approx(both.mean)
+
+    def test_merge_rejects_mismatched_layout(self):
+        from repro.core import LatencyHistogram
+
+        a = self._make()
+        b = LatencyHistogram(min_value=1e-2, max_value=1e4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_rejects_bad_samples(self):
+        h = self._make()
+        with pytest.raises(ValueError):
+            h.record(float("nan"))
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+
+    def test_overflow_and_underflow_buckets(self):
+        h = self._make()
+        h.record(0.0)        # below min_value -> first bucket
+        h.record(1e6)        # above max_value -> overflow bucket
+        assert h.count == 2
+        assert h.percentile(100.0) == 1e6
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_percentiles_monotone_and_bounded(self, samples):
+        h = self._make()
+        for v in samples:
+            h.record(v)
+        p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+        assert p50 <= p95 <= p99
+        assert p99 <= max(max(samples), h.min_value)

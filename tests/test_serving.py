@@ -1,0 +1,334 @@
+"""Tests for the async batched collision-query service."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.collision import Motion, predict_motion
+from repro.core import CHTPredictor, CoordHash
+from repro.serving import (
+    CollisionService,
+    LoadGenerator,
+    ServiceConfig,
+    worker_for_session,
+)
+from repro.workloads.benchmarks import PlannerWorkload, RecordedMotion
+
+
+def run(coro):
+    """Drive one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def make_motions(robot, n, seed=7, num_poses=8):
+    gen = np.random.default_rng(seed)
+    return [
+        Motion(robot.random_configuration(gen), robot.random_configuration(gen), num_poses=num_poses)
+        for _ in range(n)
+    ]
+
+
+def make_workload(robot, scene, n=10, seed=3, name="wl"):
+    gen = np.random.default_rng(seed)
+    return PlannerWorkload(
+        name=name,
+        scene=scene,
+        robot=robot,
+        motions=[
+            RecordedMotion(
+                start=robot.random_configuration(gen),
+                end=robot.random_configuration(gen),
+                num_poses=8,
+                stage="S1",
+            )
+            for _ in range(n)
+        ],
+    )
+
+
+class TestSharding:
+    def test_stable_and_in_range(self):
+        for workers in (1, 2, 7):
+            for sid in ("s0", "s1", "planner-42"):
+                w = worker_for_session(sid, workers)
+                assert 0 <= w < workers
+                assert worker_for_session(sid, workers) == w
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            worker_for_session("s0", 0)
+
+
+class TestSessionIsolation:
+    def test_chts_are_per_session(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=2, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                a = service.open_session(scene_2d, planar)
+                b = service.open_session(scene_2d, planar)
+                for motion in make_motions(planar, 10):
+                    result = await service.submit(a, motion)
+                    assert result.status == "ok"
+                return service.session(a), service.session(b)
+
+        session_a, session_b = run(scenario())
+        # Only A served traffic: its CHT saw writes, B's is untouched.
+        assert session_a.predictor.table.writes > 0
+        assert session_b.predictor.table.writes == 0
+        assert session_b.predictor.table.coll.sum() == 0
+        assert session_a.cdqs_executed > 0
+        assert session_b.cdqs_executed == 0
+
+    def test_same_session_requests_share_one_worker(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=4))
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                session = service.session(sid)
+                assert session.worker == worker_for_session(sid, 4)
+                return session.worker
+
+        assert 0 <= run(scenario()) < 4
+
+
+class TestBatching:
+    def test_flush_on_max_batch(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(
+                ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=500.0, queue_bound=32)
+            )
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                results = await asyncio.gather(
+                    *(service.submit(sid, m) for m in make_motions(planar, 8))
+                )
+            return service, results
+
+        service, results = run(scenario())
+        assert all(r.status == "ok" for r in results)
+        # All 8 requests were queued before the worker woke, so the batcher
+        # must have flushed twice on the max_batch bound, not the timer.
+        assert service.telemetry.batch_sizes.get(4) == 2
+
+    def test_flush_on_max_wait(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(
+                ServiceConfig(num_workers=1, max_batch=100, max_wait_ms=20.0, queue_bound=32)
+            )
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                return service, await asyncio.gather(
+                    *(service.submit(sid, m) for m in make_motions(planar, 2))
+                )
+
+        service, results = run(scenario())
+        # Far below max_batch, so only the timer could have flushed.
+        assert all(r.status == "ok" for r in results)
+        assert sum(size * n for size, n in service.telemetry.batch_sizes.items()) == 2
+
+    def test_batch_outcomes_match_direct_checks(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                sid = service.open_session(scene_2d, planar, use_prediction=False)
+                motions = make_motions(planar, 12)
+                results = await asyncio.gather(*(service.submit(sid, m) for m in motions))
+                detector = service.session(sid).detector
+                return motions, results, detector
+
+        motions, results, detector = run(scenario())
+        for motion, result in zip(motions, results):
+            direct = detector.check_motion(motion.start, motion.end, motion.num_poses)
+            assert result.colliding == direct.collided
+
+
+class TestBackpressure:
+    def test_reject_policy_sheds_load(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(
+                ServiceConfig(
+                    num_workers=1, max_batch=2, max_wait_ms=1.0, queue_bound=2, policy="reject"
+                )
+            )
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                return service, await asyncio.gather(
+                    *(service.submit(sid, m) for m in make_motions(planar, 12))
+                )
+
+        service, results = run(scenario())
+        rejected = [r for r in results if r.status == "rejected"]
+        served = [r for r in results if r.status == "ok"]
+        # All 12 submits land before the worker runs: 2 fit the queue.
+        assert len(rejected) == 10 and len(served) == 2
+        assert all(r.colliding is None for r in rejected)
+        assert all(r.retry_after_ms is not None and r.retry_after_ms > 0 for r in rejected)
+        assert service.telemetry.counters["requests_rejected"] == 10
+        assert service.telemetry.counters["requests_total"] == 12
+
+    def test_block_policy_serves_everything(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(
+                ServiceConfig(
+                    num_workers=1, max_batch=2, max_wait_ms=1.0, queue_bound=2, policy="block"
+                )
+            )
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                return service, await asyncio.gather(
+                    *(service.submit(sid, m) for m in make_motions(planar, 12))
+                )
+
+        service, results = run(scenario())
+        assert all(r.status == "ok" for r in results)
+        assert service.telemetry.counters["requests_rejected"] == 0
+        assert service.telemetry.counters["requests_completed"] == 12
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CollisionService(ServiceConfig(policy="drop"))
+
+
+class TestDeadlineFallback:
+    def test_fallback_returns_cht_prediction(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=1.0))
+            predictor = CHTPredictor.create(CoordHash(bits_per_axis=4), table_size=1024, s=0.0)
+            async with service:
+                sid = service.open_session(scene_2d, planar, predictor=predictor)
+                session = service.session(sid)
+                motion = make_motions(planar, 1)[0]
+                cold = await service.submit(sid, motion, deadline_ms=0.0)
+                # Teach the CHT that every CDQ of this motion collides.
+                for cdq in session.detector.motion_cdqs(
+                    motion.start, motion.end, motion.num_poses
+                ):
+                    predictor.observe(session.detector.key_fn(cdq), True)
+                writes_before = predictor.table.writes
+                warm = await service.submit(sid, motion, deadline_ms=0.0)
+                expected = predict_motion(session.detector, motion, None, predictor)
+                return service, cold, warm, expected, writes_before, predictor.table.writes
+
+        service, cold, warm, expected, writes_before, writes_after = run(scenario())
+        assert cold.status == "predicted" and cold.colliding is False
+        assert warm.status == "predicted" and warm.colliding is True
+        assert warm.colliding == expected
+        # The fallback consults the CHT but never updates it.
+        assert writes_after == writes_before
+        assert service.telemetry.counters["deadline_fallbacks"] == 2
+        # No CDQ executed on either fallback.
+        assert service.telemetry.counters["cdqs_executed"] == 0
+
+    def test_generous_deadline_runs_exactly(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                return await service.submit(sid, make_motions(planar, 1)[0], deadline_ms=60_000.0)
+
+        assert run(scenario()).status == "ok"
+
+
+class TestLoadGenerator:
+    def test_schedule_deterministic_under_seed(self, planar, scene_2d):
+        workloads = [make_workload(planar, scene_2d, n=6, seed=s) for s in (1, 2)]
+        service = CollisionService()
+        plan_a = LoadGenerator(service, workloads, qps=100.0, seed=9).schedule()
+        plan_b = LoadGenerator(service, workloads, qps=100.0, seed=9).schedule()
+        plan_c = LoadGenerator(service, workloads, qps=100.0, seed=10).schedule()
+        assert [r.at_s for r in plan_a] == [r.at_s for r in plan_b]
+        for a, b in zip(plan_a, plan_b):
+            assert a.workload_index == b.workload_index
+            assert np.array_equal(a.motion.start, b.motion.start)
+            assert np.array_equal(a.motion.end, b.motion.end)
+        assert [r.at_s for r in plan_a] != [r.at_s for r in plan_c]
+
+    def test_schedule_cycles_trace_for_extra_requests(self, planar, scene_2d):
+        workload = make_workload(planar, scene_2d, n=3)
+        plan = LoadGenerator(
+            CollisionService(), [workload], qps=50.0, seed=0, max_requests=7
+        ).schedule()
+        assert len(plan) == 7
+        assert np.array_equal(plan[0].motion.start, plan[3].motion.start)
+
+    def test_replay_end_to_end(self, planar, scene_2d):
+        workloads = [make_workload(planar, scene_2d, n=8, seed=s) for s in (1, 2)]
+        service = CollisionService(
+            ServiceConfig(num_workers=2, max_batch=4, max_wait_ms=2.0, queue_bound=64)
+        )
+        generator = LoadGenerator(service, workloads, qps=2000.0, seed=4, time_scale=0.1)
+
+        async def scenario():
+            async with service:
+                return await generator.run()
+
+        report = run(scenario())
+        assert report.offered == 16
+        assert report.completed + report.rejected == report.offered
+        assert report.completed > 0
+        snap = report.snapshot
+        assert snap["counters"]["requests_total"] == 16
+        assert snap["latency_ms"]["total"]["count"] == report.completed
+        assert snap["latency_ms"]["total"]["p99"] >= snap["latency_ms"]["total"]["p50"] > 0.0
+        assert sum(size * n for size, n in service.telemetry.batch_sizes.items()) >= report.completed
+        # Sessions are closed after the run.
+        assert not service.sessions
+
+    def test_overload_is_shed_not_deadlocked(self, planar, scene_2d):
+        workload = make_workload(planar, scene_2d, n=10)
+        service = CollisionService(
+            ServiceConfig(num_workers=1, max_batch=2, max_wait_ms=1.0, queue_bound=2, policy="reject")
+        )
+        generator = LoadGenerator(
+            service, [workload], qps=100_000.0, seed=0, max_requests=60
+        )
+
+        async def scenario():
+            async with service:
+                return await asyncio.wait_for(generator.run(), timeout=30.0)
+
+        report = run(scenario())
+        assert report.rejected > 0
+        assert report.completed + report.rejected == report.offered == 60
+        assert report.snapshot["counters"]["requests_rejected"] == report.rejected
+
+    def test_validates_inputs(self, planar, scene_2d):
+        workload = make_workload(planar, scene_2d, n=2)
+        with pytest.raises(ValueError):
+            LoadGenerator(CollisionService(), [workload], qps=0.0)
+        with pytest.raises(ValueError):
+            LoadGenerator(CollisionService(), [], qps=10.0)
+
+
+class TestServiceLifecycle:
+    def test_submit_before_start_raises(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService()
+            sid = service.open_session(scene_2d, planar)
+            with pytest.raises(RuntimeError):
+                await service.submit(sid, make_motions(planar, 1)[0])
+
+        run(scenario())
+
+    def test_double_start_raises(self):
+        async def scenario():
+            service = CollisionService()
+            async with service:
+                with pytest.raises(RuntimeError):
+                    await service.start()
+
+        run(scenario())
+
+    def test_duplicate_session_id_rejected(self, planar, scene_2d):
+        service = CollisionService()
+        service.open_session(scene_2d, planar, session_id="dup")
+        with pytest.raises(ValueError):
+            service.open_session(scene_2d, planar, session_id="dup")
+
+    def test_close_session_returns_state(self, planar, scene_2d):
+        service = CollisionService()
+        sid = service.open_session(scene_2d, planar)
+        session = service.close_session(sid)
+        assert session.session_id == sid
+        assert sid not in service.sessions

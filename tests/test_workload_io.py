@@ -81,3 +81,75 @@ class TestWorkloadRoundTrip:
         save_workloads(workloads, path)
         loaded = load_workloads(path)
         assert [w.robot.name for w in loaded] == list(_ROBOT_FACTORIES)
+
+
+class TestStreamingReader:
+    def _suite(self, tmp_path, n=3):
+        from repro.env import Scene
+        from repro.workloads.benchmarks import PlannerWorkload, RecordedMotion
+
+        robot = planar_2d()
+        workloads = [
+            PlannerWorkload(
+                name=f"q{i}",
+                scene=Scene(),
+                robot=robot,
+                motions=[RecordedMotion([0.0, 0.0], [1.0, float(i)], 4, "S1")],
+            )
+            for i in range(n)
+        ]
+        path = tmp_path / "stream.jsonl"
+        save_workloads(workloads, path)
+        return workloads, path
+
+    def test_iter_matches_load(self, tmp_path):
+        from repro.workloads.io import iter_workload
+
+        workloads, path = self._suite(tmp_path)
+        streamed = list(iter_workload(path))
+        loaded = load_workloads(path)
+        assert [w.name for w in streamed] == [w.name for w in loaded] == ["q0", "q1", "q2"]
+        for s, l in zip(streamed, loaded):
+            assert np.allclose(s.motions[0].end, l.motions[0].end)
+
+    def test_iter_is_lazy(self, tmp_path):
+        from repro.workloads.io import iter_workload
+
+        _, path = self._suite(tmp_path, n=5)
+        it = iter_workload(path)
+        assert next(it).name == "q0"
+        assert next(it).name == "q1"
+        it.close()  # closing mid-stream must not error
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.workloads.io import iter_workload
+
+        _, path = self._suite(tmp_path)
+        text = path.read_text().replace("\n", "\n\n", 1)
+        path.write_text(text + "\n\n")
+        assert [w.name for w in iter_workload(path)] == ["q0", "q1", "q2"]
+
+
+class TestNonFiniteGuard:
+    def test_nan_motion_rejected(self, tmp_path):
+        from repro.env import Scene
+        from repro.workloads.benchmarks import PlannerWorkload, RecordedMotion
+
+        workload = PlannerWorkload(
+            name="bad",
+            scene=Scene(),
+            robot=planar_2d(),
+            motions=[RecordedMotion([0.0, float("nan")], [1.0, 1.0], 4, "S1")],
+        )
+        with pytest.raises(ValueError, match="non-finite"):
+            save_workloads([workload], tmp_path / "bad.jsonl")
+
+    def test_inf_obstacle_rejected(self, tmp_path):
+        from repro.env import Scene
+        from repro.geometry import OBB
+        from repro.workloads.benchmarks import PlannerWorkload
+
+        scene = Scene(obstacles=[OBB.axis_aligned([0.0, 0.0, float("inf")], [0.1, 0.1, 0.1])])
+        workload = PlannerWorkload(name="bad", scene=scene, robot=planar_2d())
+        with pytest.raises(ValueError, match="non-finite"):
+            save_workloads([workload], tmp_path / "bad.jsonl")
