@@ -76,7 +76,7 @@ def test_ablation_dynamic_history(benchmark, ctx, save_result):
     assert float(slow[1]) >= float(fast[1]) - 0.02
 
 
-def test_ablation_cascade_cdu(benchmark, ctx, save_result):
+def test_ablation_cascade_cdu(benchmark, ctx, save_result, bench_seed):
     """Flat vs cascaded early-exit CDU ([43]) under the same COPU.
 
     The cascade adds per-survivor full-test cycles but filters most
@@ -100,7 +100,7 @@ def test_ablation_cascade_cdu(benchmark, ctx, save_result):
         cycles = 0
         motions = 0
         for traces in per_query:
-            sim = AcceleratorSimulator(config, rng=np.random.default_rng(9))
+            sim = AcceleratorSimulator(config, rng=np.random.default_rng(bench_seed + 9))
             report = sim.run(traces)
             cdqs += report.cdqs_executed
             cycles += report.total_cycles

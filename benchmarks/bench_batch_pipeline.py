@@ -1,0 +1,115 @@
+"""Whole-motion batch kernel vs. scalar scan: speedup + parity bench.
+
+The tentpole workload of the vectorized pipeline: 64-pose jaco2 motions
+against a 100-obstacle scatter scene. Obstacles are small enough that
+most CDQs survive the broad phase without colliding, so the scalar scan
+pays its full per-CDQ Python cost — the regime the batch kernel exists
+for. The bench asserts bit-identical verdicts/first-colliding-pose
+indices, records the sequential and process-pool-sharded timings, and
+writes ``benchmarks/results/BENCH_batch_pipeline.json`` for the CI
+regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.collision import Motion, check_motions_sharded
+from repro.collision.detector import CollisionDetector
+from repro.env.scene import Scene
+from repro.geometry import OBB
+from repro.kinematics import jaco2
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_MOTIONS = 16
+NUM_POSES = 64
+NUM_OBSTACLES = 100
+MIN_SPEEDUP = 5.0
+
+
+def _scatter_scene(rng: np.random.Generator) -> Scene:
+    """100 small boxes scattered through the arm's workspace."""
+    boxes = []
+    for _ in range(NUM_OBSTACLES):
+        center = rng.uniform(-1.2, 1.2, 3)
+        center[2] = rng.uniform(0.0, 1.2)
+        boxes.append(OBB(center, rng.uniform(0.015, 0.04, 3)))
+    return Scene(boxes)
+
+
+def _workload(seed: int):
+    rng = np.random.default_rng(seed)
+    robot = jaco2()
+    scene = _scatter_scene(rng)
+    detector = CollisionDetector(scene, robot)
+    motions = [
+        Motion(
+            robot.random_configuration(rng),
+            robot.random_configuration(rng),
+            num_poses=NUM_POSES,
+        )
+        for _ in range(NUM_MOTIONS)
+    ]
+    return detector, motions
+
+
+def test_bench_batch_pipeline(benchmark, bench_seed):
+    detector, motions = _workload(bench_seed)
+    kernel = detector.batch_kernel()
+
+    # Scalar reference pass (also the parity oracle).
+    start = time.perf_counter()
+    scalar = [detector.check_motion(m.start, m.end, m.num_poses) for m in motions]
+    scalar_s = time.perf_counter() - start
+
+    def batch_pass():
+        return [kernel.check_motion(m.start, m.end, m.num_poses) for m in motions]
+
+    batched = benchmark.pedantic(batch_pass, rounds=3, iterations=1, warmup_rounds=1)
+    start = time.perf_counter()
+    batch_pass()
+    batch_s = time.perf_counter() - start
+
+    # Bit-identical early-exit semantics, motion by motion.
+    for a, b in zip(scalar, batched):
+        assert a.collided == b.collided
+        assert a.first_colliding_pose == b.first_colliding_pose
+        assert a.stats.cdqs_executed == b.stats.cdqs_executed
+        assert a.stats.cdqs_skipped == b.stats.cdqs_skipped
+        assert a.stats.narrow_phase_tests == b.stats.narrow_phase_tests
+
+    # Process-pool sharding over the same workload (includes pool spin-up,
+    # so short workloads like this one mostly measure dispatch overhead).
+    start = time.perf_counter()
+    sharded = check_motions_sharded(detector, motions, seed=bench_seed)
+    sharded_s = time.perf_counter() - start
+    assert sharded.outcomes == [r.collided for r in scalar]
+    assert sharded.first_colliding_poses == [r.first_colliding_pose for r in scalar]
+
+    speedup = scalar_s / batch_s
+    payload = {
+        "workload": {
+            "robot": "jaco2",
+            "motions": NUM_MOTIONS,
+            "poses_per_motion": NUM_POSES,
+            "obstacles": NUM_OBSTACLES,
+            "colliding_fraction": sum(r.collided for r in scalar) / NUM_MOTIONS,
+        },
+        "scalar_ms_per_motion": 1e3 * scalar_s / NUM_MOTIONS,
+        "batch_ms_per_motion": 1e3 * batch_s / NUM_MOTIONS,
+        "sharded_wall_ms": 1e3 * sharded_s,
+        "speedup": speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch_pipeline.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+    assert speedup >= MIN_SPEEDUP

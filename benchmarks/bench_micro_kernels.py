@@ -16,8 +16,8 @@ from repro.kinematics import jaco2
 
 
 @pytest.fixture(scope="module")
-def boxes():
-    rng = np.random.default_rng(0)
+def boxes(bench_seed):
+    rng = np.random.default_rng(bench_seed)
     out = []
     for _ in range(64):
         rot = tf.rotation_about_axis(rng.normal(size=3), rng.uniform(0, np.pi))[:3, :3]
@@ -53,9 +53,9 @@ def test_batch_matches_scalar(boxes):
     )
 
 
-def test_forward_kinematics(benchmark):
+def test_forward_kinematics(benchmark, bench_seed):
     robot = jaco2()
-    rng = np.random.default_rng(1)
+    rng = np.random.default_rng(bench_seed + 1)
     poses = [robot.random_configuration(rng) for _ in range(32)]
 
     def run():
@@ -64,9 +64,9 @@ def test_forward_kinematics(benchmark):
     benchmark(run)
 
 
-def test_coord_hash(benchmark):
+def test_coord_hash(benchmark, bench_seed):
     hash_function = CoordHash(4)
-    rng = np.random.default_rng(2)
+    rng = np.random.default_rng(bench_seed + 2)
     centers = rng.uniform(-1.4, 1.4, size=(256, 3))
 
     def run():
@@ -75,9 +75,9 @@ def test_coord_hash(benchmark):
     benchmark(run)
 
 
-def test_cht_operations(benchmark):
+def test_cht_operations(benchmark, bench_seed):
     table = CollisionHistoryTable(size=4096, s=0.0, u=0.0)
-    rng = np.random.default_rng(3)
+    rng = np.random.default_rng(bench_seed + 3)
     codes = rng.integers(0, 4096, size=512)
     outcomes = rng.random(512) < 0.2
 

@@ -29,13 +29,13 @@ MOTIONS_PER_SESSION = 40
 TARGET_QPS = 3000.0
 
 
-def _workloads() -> list[PlannerWorkload]:
+def _workloads(seed: int) -> list[PlannerWorkload]:
     robot = planar_2d()
-    rng = np.random.default_rng(11)
+    rng = np.random.default_rng(seed)
     return [
         PlannerWorkload(
             name=f"serve-{index}",
-            scene=random_2d_scene(np.random.default_rng(100 + index), num_obstacles=6),
+            scene=random_2d_scene(np.random.default_rng(seed + 100 + index), num_obstacles=6),
             robot=robot,
             motions=[
                 RecordedMotion(
@@ -51,11 +51,11 @@ def _workloads() -> list[PlannerWorkload]:
     ]
 
 
-def _run_loadtest():
+def _run_loadtest(seed: int):
     service = CollisionService(
         ServiceConfig(num_workers=2, max_batch=8, max_wait_ms=2.0, queue_bound=256)
     )
-    generator = LoadGenerator(service, _workloads(), qps=TARGET_QPS, seed=0)
+    generator = LoadGenerator(service, _workloads(seed), qps=TARGET_QPS, seed=seed)
 
     async def go():
         async with service:
@@ -64,8 +64,8 @@ def _run_loadtest():
     return asyncio.run(go())
 
 
-def test_bench_serving(benchmark):
-    report = benchmark.pedantic(_run_loadtest, rounds=1, iterations=1)
+def test_bench_serving(benchmark, bench_seed):
+    report = benchmark.pedantic(_run_loadtest, args=(bench_seed,), rounds=1, iterations=1)
     total = report.snapshot["latency_ms"]["total"]
     payload = {
         "target_qps": report.target_qps,

@@ -1,0 +1,106 @@
+"""Compare fresh BENCH_*.json results against committed baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baseline --fresh benchmarks/results \
+        [--tolerance 0.30]
+
+The CI benchmark job copies the committed ``benchmarks/results`` tree to a
+baseline directory, reruns the perf benches, then runs this script. Each
+tracked metric may move against us by at most ``--tolerance`` (fractional;
+default ±30%, sized for shared-runner noise). Improvements never fail.
+
+Tracked metrics:
+
+* ``BENCH_serving.json`` — ``achieved_qps`` (higher is better) and
+  ``latency_ms.p99`` (lower is better);
+* ``BENCH_batch_pipeline.json`` — ``speedup`` over the scalar path
+  (higher is better; a ratio, so it transfers across machine speeds).
+
+A metric missing from the baseline (first run of a new bench) is reported
+and skipped rather than failed, so adding a bench and its baseline can
+land in the same commit that introduces it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from pathlib import Path
+
+#: (file, dotted metric path, direction) — direction "up" means higher is
+#: better (fail when fresh < baseline * (1 - tol)), "down" the reverse.
+METRICS = [
+    ("BENCH_serving.json", "achieved_qps", "up"),
+    ("BENCH_serving.json", "latency_ms.p99", "down"),
+    ("BENCH_batch_pipeline.json", "speedup", "up"),
+]
+
+
+def _lookup(payload: dict, dotted: str):
+    value = payload
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def compare(baseline_dir: Path, fresh_dir: Path, tolerance: float) -> list[str]:
+    """Return a list of regression messages (empty when everything holds)."""
+    failures = []
+    for filename, metric, direction in METRICS:
+        fresh_path = fresh_dir / filename
+        if not fresh_path.exists():
+            failures.append(f"{filename}: fresh result missing ({fresh_path})")
+            continue
+        fresh = _lookup(json.loads(fresh_path.read_text()), metric)
+        if fresh is None:
+            failures.append(f"{filename}: fresh result lacks metric {metric!r}")
+            continue
+        base_path = baseline_dir / filename
+        base = (
+            _lookup(json.loads(base_path.read_text()), metric)
+            if base_path.exists()
+            else None
+        )
+        if base is None:
+            print(f"  {filename} {metric}: no baseline, recorded fresh={fresh:.3f}")
+            continue
+        if direction == "up":
+            bound = base * (1.0 - tolerance)
+            ok = fresh >= bound
+            verdict = f"fresh={fresh:.3f} vs baseline={base:.3f} (floor {bound:.3f})"
+        else:
+            bound = base * (1.0 + tolerance)
+            ok = fresh <= bound
+            verdict = f"fresh={fresh:.3f} vs baseline={base:.3f} (ceiling {bound:.3f})"
+        print(f"  {filename} {metric}: {verdict} -> {'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(f"{filename}: {metric} regressed — {verdict}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    print(f"benchmark regression check (tolerance ±{args.tolerance:.0%})")
+    failures = compare(args.baseline, args.fresh, args.tolerance)
+    if failures:
+        print("\nREGRESSIONS:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,11 @@ Set ``REPRO_BENCH_SCALE`` to raise or lower workload sizes (default 0.5,
 which regenerates every figure in a few minutes; 1.0 doubles the planning
 queries per suite).
 
+Every stochastic input derives from one root seed so a whole bench run is
+reproducible from a single flag: ``pytest benchmarks/ --seed 7``. The
+default matches the fixed seed the committed BENCH_*.json baselines were
+recorded with.
+
 Each bench writes its regenerated table(s) to ``benchmarks/results/`` and
 prints them, so ``pytest benchmarks/ --benchmark-only -s`` shows the rows
 the paper reports next to pytest-benchmark's timing output.
@@ -22,12 +27,29 @@ from repro.analysis.experiments import build_suites
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+DEFAULT_SEED = 20240624
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="root RNG seed every bench derives its generators from",
+    )
+
 
 @pytest.fixture(scope="session")
-def ctx():
+def bench_seed(request) -> int:
+    """The root seed; benches derive all their RNG streams from this."""
+    return request.config.getoption("--seed")
+
+
+@pytest.fixture(scope="session")
+def ctx(bench_seed):
     """The shared experiment context (cached workloads/traces/streams)."""
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
-    return build_suites(scale=scale)
+    return build_suites(scale=scale, seed=bench_seed)
 
 
 @pytest.fixture(scope="session")

@@ -34,6 +34,7 @@ Quick start::
 
 from .collision import (
     CDQ,
+    BatchMotionKernel,
     BisectionScheduler,
     CoarseStepScheduler,
     CollisionDetector,
@@ -43,8 +44,11 @@ from .collision import (
     ParallelCostModel,
     QueryStats,
     check_motion_batch,
+    check_motions_sharded,
     compare_schedulers,
+    get_default_backend,
     run_parallel_batch,
+    set_default_backend,
 )
 from .core import (
     CHTPredictor,
@@ -109,6 +113,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CDQ",
+    "BatchMotionKernel",
+    "check_motions_sharded",
+    "get_default_backend",
+    "set_default_backend",
     "BisectionScheduler",
     "CoarseStepScheduler",
     "CollisionDetector",

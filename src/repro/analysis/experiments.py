@@ -80,6 +80,7 @@ class ExperimentContext:
     """Caches the expensive shared inputs across experiment functions."""
 
     scale: float = 1.0
+    seed: int = _SEED
     suites: dict = field(default_factory=dict)
     traces: dict = field(default_factory=dict)
     scenes: dict = field(default_factory=dict)
@@ -94,7 +95,7 @@ class ExperimentContext:
         count = queries if queries is not None else max(4, int(8 * self.scale))
         key = (name, count)
         if key not in self.suites:
-            rng = np.random.default_rng(_SEED + _stable_hash(name) % 1000)
+            rng = np.random.default_rng(self.seed + _stable_hash(name) % 1000)
             self.suites[key] = make_benchmark(
                 name, rng, num_queries=count, hard_fraction=0.5
             )
@@ -123,7 +124,7 @@ class ExperimentContext:
             robot = jaco2()
             self.scenes[key] = [
                 calibrated_clutter_scene(
-                    np.random.default_rng(_SEED + 31 * i + _stable_hash(density) % 97),
+                    np.random.default_rng(self.seed + 31 * i + _stable_hash(density) % 97),
                     robot,
                     density,
                     probe_poses=100,
@@ -145,7 +146,7 @@ class ExperimentContext:
             robot = jaco2()
             streams = []
             for scene_index, scene in enumerate(self.density_scenes(density)):
-                rng = np.random.default_rng(_SEED + scene_index)
+                rng = np.random.default_rng(self.seed + scene_index)
                 stream = []
                 for _ in range(poses_per_scene):
                     q = robot.random_configuration(rng)
@@ -158,9 +159,14 @@ class ExperimentContext:
         return self.scenes[key]
 
 
-def build_suites(scale: float = 1.0) -> ExperimentContext:
-    """Create a fresh experiment context (workloads generated lazily)."""
-    return ExperimentContext(scale=scale)
+def build_suites(scale: float = 1.0, seed: int = _SEED) -> ExperimentContext:
+    """Create a fresh experiment context (workloads generated lazily).
+
+    ``seed`` is the single root every stochastic input derives from —
+    benches thread their ``--seed`` option through here so one flag
+    reproduces the whole figure set.
+    """
+    return ExperimentContext(scale=scale, seed=seed)
 
 
 # ---------------------------------------------------------------------------
@@ -381,7 +387,7 @@ def fig09_hash_functions(ctx: ExperimentContext) -> Table:
     """Precision/recall of the hash-function family, low vs high clutter."""
     robot = jaco2()
     limits = robot.joint_limits
-    train_rng = np.random.default_rng(_SEED)
+    train_rng = np.random.default_rng(ctx.seed)
     enpose = train_pose_autoencoder(
         limits, train_rng, latent_dim=2, bits_per_dim=6, num_samples=4096, epochs=15
     )
@@ -752,7 +758,7 @@ def sec7_sphere_cdu(ctx: ExperimentContext) -> Table:
     )
     for index, scene in enumerate(scenes):
         detector = CollisionDetector(scene, robot, representation="sphere")
-        rng = np.random.default_rng(_SEED + index)
+        rng = np.random.default_rng(ctx.seed + index)
         motions = [
             Motion(robot.random_configuration(rng), robot.random_configuration(rng), 10)
             for _ in range(max(30, int(60 * ctx.scale)))
@@ -782,7 +788,7 @@ def sec7_dadu_p(ctx: ExperimentContext) -> Table:
     scene = ctx.density_scenes("high", count=1)[0]
     bounds = AABB(np.full(3, -1.0), np.full(3, 1.0))
     grid = voxelize_scene(scene, bounds, resolution=0.125)
-    rng = np.random.default_rng(_SEED)
+    rng = np.random.default_rng(ctx.seed)
     roadmap = build_random_roadmap(robot, rng, num_vertices=24, connection_radius=4.5)
     octrees = []
     for motion_id, (a, b) in enumerate(roadmap.edges()[: max(20, int(40 * ctx.scale))]):

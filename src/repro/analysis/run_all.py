@@ -15,6 +15,7 @@ import argparse
 import time
 from pathlib import Path
 
+from ..collision.pipeline import BACKENDS, set_default_backend
 from . import ablations, experiments
 
 #: (result-file stem, experiment function) in paper order.
@@ -50,8 +51,16 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--only", nargs="*", default=None, help="run only the named experiments"
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="motion-check engine for predictor-free checks (default: scalar)",
+    )
     args = parser.parse_args(argv)
 
+    if args.backend is not None:
+        set_default_backend(args.backend)
     args.out.mkdir(parents=True, exist_ok=True)
     ctx = experiments.build_suites(scale=args.scale)
     for name, fn in EXPERIMENTS:

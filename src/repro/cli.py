@@ -31,6 +31,7 @@ import numpy as np
 from . import __version__
 from .analysis.report import Table
 from .collision.detector import CollisionDetector
+from .collision.pipeline import BACKENDS
 from .hardware.accelerator import AcceleratorSimulator
 from .hardware.config import baseline_config, copu_config
 from .workloads.benchmarks import BENCHMARK_NAMES, make_benchmark
@@ -58,6 +59,8 @@ def _cmd_experiments(args) -> int:
     argv = ["--scale", str(args.scale)]
     if args.only:
         argv += ["--only", *args.only]
+    if args.backend:
+        argv += ["--backend", args.backend]
     run_all_main(argv)
     return 0
 
@@ -125,7 +128,10 @@ def _cmd_serve(args) -> int:
     robot = planar_2d()
     scene = random_2d_scene(rng, num_obstacles=6)
     service = CollisionService(
-        ServiceConfig(num_workers=2, max_batch=4, max_wait_ms=1.0, queue_bound=32)
+        ServiceConfig(
+            num_workers=2, max_batch=4, max_wait_ms=1.0, queue_bound=32,
+            backend=args.backend,
+        )
     )
 
     async def selftest():
@@ -184,6 +190,7 @@ def _cmd_loadtest(args) -> int:
             max_wait_ms=args.max_wait_ms,
             queue_bound=args.queue_bound,
             policy=args.policy,
+            backend=args.backend,
         )
     )
     generator = LoadGenerator(
@@ -233,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="regenerate figures/tables")
     experiments.add_argument("--scale", type=float, default=0.5)
     experiments.add_argument("--only", nargs="*", default=None)
+    experiments.add_argument("--backend", choices=BACKENDS, default=None)
     experiments.set_defaults(fn=_cmd_experiments)
 
     generate = sub.add_parser("generate", help="generate a planner workload suite")
@@ -253,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run the async collision service")
     serve.add_argument("--selftest", action="store_true")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--backend", choices=BACKENDS, default="scalar")
     serve.set_defaults(fn=_cmd_serve)
 
     loadtest = sub.add_parser("loadtest", help="replay workloads through the async service")
@@ -267,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--max-wait-ms", type=float, default=2.0)
     loadtest.add_argument("--queue-bound", type=int, default=64)
     loadtest.add_argument("--policy", choices=("reject", "block"), default="reject")
+    loadtest.add_argument("--backend", choices=BACKENDS, default="scalar")
     loadtest.add_argument("--json", default=None)
     loadtest.set_defaults(fn=_cmd_loadtest)
     return parser

@@ -1,20 +1,30 @@
 """Collision detection: CDQs, schedulers, Algorithm 1, parallel models."""
 
+from .batch_pipeline import BatchMotionKernel, check_motion_batched, check_motions_sharded
 from .continuous import ContinuousCheckResult, ContinuousMotionChecker
 from .detector import CollisionDetector, coord_key, pose_key
 from .parallel import ParallelCostModel, ParallelRunResult, run_parallel_batch
 from .pipeline import (
+    BACKENDS,
     BatchResult,
     Motion,
     check_motion,
     check_motion_batch,
     compare_schedulers,
+    get_default_backend,
     predict_motion,
+    set_default_backend,
 )
 from .queries import CDQ, MotionCheckResult, QueryStats
 from .scheduling import BisectionScheduler, CoarseStepScheduler, NaiveScheduler, PoseScheduler
 
 __all__ = [
+    "BACKENDS",
+    "BatchMotionKernel",
+    "check_motion_batched",
+    "check_motions_sharded",
+    "get_default_backend",
+    "set_default_backend",
     "ContinuousCheckResult",
     "ContinuousMotionChecker",
     "CollisionDetector",

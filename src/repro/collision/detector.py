@@ -73,6 +73,23 @@ class CollisionDetector:
         self.robot = robot
         self.representation = representation
         self.key_fn = key_fn
+        self._batch_kernel = None
+
+    def batch_kernel(self):
+        """The cached vectorized whole-motion kernel over this detector.
+
+        Lazily built (and rebuilt whenever the scene's obstacle list
+        changes) so repeated batch-backend checks reuse the packed
+        obstacle arrays. See
+        :class:`repro.collision.batch_pipeline.BatchMotionKernel`.
+        """
+        from .batch_pipeline import BatchMotionKernel
+
+        kernel = self._batch_kernel
+        if kernel is None or not kernel.matches_scene():
+            kernel = BatchMotionKernel(self)
+            self._batch_kernel = kernel
+        return kernel
 
     def _pose_geometry(self, q) -> list[LinkGeometry]:
         if self.representation == "obb":
@@ -108,12 +125,24 @@ class CollisionDetector:
         queued, then drained. Every executed CDQ's outcome is fed back via
         ``observe``.
         """
+        collided, _ = self.run_cdqs_traced(cdqs, predictor, stats)
+        return collided
+
+    def run_cdqs_traced(
+        self, cdqs: list[CDQ], predictor: Predictor | None, stats: QueryStats
+    ) -> tuple[bool, int | None]:
+        """:meth:`run_cdqs` plus the pose index that triggered the early exit.
+
+        Returns ``(collided, hit_pose_index)`` where ``hit_pose_index`` is
+        the ``pose_index`` of the CDQ whose execution produced the colliding
+        verdict (None when the scan completes collision-free).
+        """
         if predictor is None:
             for cdq in cdqs:
                 if self._execute(cdq, stats):
                     stats.cdqs_skipped += len(cdqs) - stats.cdqs_executed
-                    return True
-            return False
+                    return True, cdq.pose_index
+            return False, None
 
         queue: list[CDQ] = []
         executed = 0
@@ -127,7 +156,7 @@ class CollisionDetector:
                 predictor.observe(key, collided)
                 if collided:
                     stats.cdqs_skipped += len(cdqs) - executed
-                    return True
+                    return True, cdq.pose_index
             else:
                 queue.append(cdq)
         for cdq in queue:
@@ -136,14 +165,14 @@ class CollisionDetector:
             predictor.observe(self.key_fn(cdq), collided)
             if collided:
                 stats.cdqs_skipped += len(cdqs) - executed
-                return True
-        return False
+                return True, cdq.pose_index
+        return False, None
 
     def check_pose(self, q, predictor: Predictor | None = None) -> MotionCheckResult:
         """Pose-environment collision check (OR over the pose's CDQs)."""
         stats = QueryStats(poses_checked=1)
-        collided = self.run_cdqs(self.pose_cdqs(q), predictor, stats)
-        return MotionCheckResult(collided=collided, stats=stats)
+        collided, hit_pose = self.run_cdqs_traced(self.pose_cdqs(q), predictor, stats)
+        return MotionCheckResult(collided=collided, stats=stats, first_colliding_pose=hit_pose)
 
     def check_motion(
         self,
@@ -156,10 +185,10 @@ class CollisionDetector:
         """Motion-environment collision check over a discretized motion."""
         stats = QueryStats(motions_checked=1, poses_checked=num_poses)
         cdqs = self.motion_cdqs(start, end, num_poses, scheduler)
-        collided = self.run_cdqs(cdqs, predictor, stats)
+        collided, hit_pose = self.run_cdqs_traced(cdqs, predictor, stats)
         if collided:
             stats.motions_colliding += 1
-        return MotionCheckResult(collided=collided, stats=stats)
+        return MotionCheckResult(collided=collided, stats=stats, first_colliding_pose=hit_pose)
 
     def ground_truth_fn(self) -> Callable[[np.ndarray], bool]:
         """Closure for :class:`OraclePredictor`: true CDQ outcome per key.

@@ -14,17 +14,54 @@ import numpy as np
 
 from ..core.predictor import Predictor
 from .detector import CollisionDetector
-from .queries import QueryStats
+from .queries import MotionCheckResult, QueryStats
 from .scheduling import PoseScheduler
 
 __all__ = [
     "Motion",
     "BatchResult",
+    "BACKENDS",
     "check_motion",
     "predict_motion",
     "check_motion_batch",
     "compare_schedulers",
+    "get_default_backend",
+    "set_default_backend",
 ]
+
+#: The available motion-check execution engines. ``scalar`` is the
+#: canonical per-CDQ scan the hardware simulators mirror; ``batch`` is the
+#: vectorized whole-motion kernel of :mod:`repro.collision.batch_pipeline`
+#: (predictor-free checks only — predicted checks always run scalar).
+BACKENDS = ("scalar", "batch")
+
+_default_backend = "scalar"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide default motion-check backend.
+
+    Harnesses that cannot thread a ``backend`` argument through every call
+    site (e.g. ``analysis/run_all.py --backend batch``) opt in here; any
+    explicit per-call ``backend=`` still wins.
+    """
+    global _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    _default_backend = backend
+
+
+def get_default_backend() -> str:
+    """The process-wide default motion-check backend."""
+    return _default_backend
+
+
+def _resolve_backend(backend: str | None) -> str:
+    if backend is None:
+        return _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
 
 
 @dataclass
@@ -49,6 +86,9 @@ class BatchResult:
     label: str
     stats: QueryStats = field(default_factory=QueryStats)
     outcomes: list[bool] = field(default_factory=list)
+    #: Per-motion path index of the pose that produced each colliding
+    #: verdict (None for free motions); parallel to ``outcomes``.
+    first_colliding_poses: list = field(default_factory=list)
 
     @property
     def colliding_fraction(self) -> float:
@@ -67,21 +107,44 @@ class BatchResult:
         return 1.0 - self.cdqs_executed / baseline.cdqs_executed
 
 
+def _motion_result(
+    detector: CollisionDetector,
+    motion: Motion,
+    scheduler: PoseScheduler | None,
+    predictor: Predictor | None,
+    backend: str | None,
+) -> MotionCheckResult:
+    """Route one motion check through the selected execution engine.
+
+    The batch backend covers predictor-free checks; CHT prediction needs
+    the sequential observe loop, so predicted checks always run the
+    canonical scalar engine regardless of the backend setting.
+    """
+    backend = _resolve_backend(backend)
+    if backend == "batch" and predictor is None:
+        return detector.batch_kernel().check_motion(
+            motion.start, motion.end, motion.num_poses, scheduler
+        )
+    return detector.check_motion(
+        motion.start, motion.end, motion.num_poses, scheduler, predictor
+    )
+
+
 def check_motion(
     detector: CollisionDetector,
     motion: Motion,
     scheduler: PoseScheduler | None = None,
     predictor: Predictor | None = None,
+    backend: str | None = None,
 ) -> tuple[bool, QueryStats]:
     """Check one :class:`Motion`; the shared inner step of every harness.
 
     Both the offline batch loop (:func:`check_motion_batch`) and the online
     serving layer (:mod:`repro.serving`) call this, so a motion costs the
-    same CDQ stream no matter which entry point issued it.
+    same CDQ stream no matter which entry point issued it. ``backend``
+    picks the execution engine (None uses the process default).
     """
-    check = detector.check_motion(
-        motion.start, motion.end, motion.num_poses, scheduler, predictor
-    )
+    check = _motion_result(detector, motion, scheduler, predictor, backend)
     return check.collided, check.stats
 
 
@@ -114,20 +177,24 @@ def check_motion_batch(
     predictor: Predictor | None = None,
     label: str = "config",
     reset_predictor: bool = False,
+    backend: str | None = None,
 ) -> BatchResult:
     """Check every motion; optionally reset the predictor between motions.
 
     Within a single planning query the CHT persists across motions (that is
     the entire point of history-based prediction); ``reset_predictor=True``
-    models checking each motion as its own planning query.
+    models checking each motion as its own planning query. ``backend``
+    selects the execution engine per motion (None uses the process
+    default; see :data:`BACKENDS`).
     """
     result = BatchResult(label=label)
     for motion in motions:
         if reset_predictor and predictor is not None:
             predictor.reset()
-        collided, stats = check_motion(detector, motion, scheduler, predictor)
-        result.stats.merge(stats)
-        result.outcomes.append(collided)
+        check = _motion_result(detector, motion, scheduler, predictor, backend)
+        result.stats.merge(check.stats)
+        result.outcomes.append(check.collided)
+        result.first_colliding_poses.append(check.first_colliding_pose)
     return result
 
 

@@ -76,6 +76,11 @@ class MotionCheckResult:
 
     collided: bool
     stats: QueryStats = field(default_factory=QueryStats)
+    #: Path index of the pose whose CDQ produced the colliding verdict
+    #: (None for collision-free checks). For predictor-free runs this is
+    #: the first colliding CDQ in scheduler order, which is how the batch
+    #: backend preserves early-exit semantics at the reporting level.
+    first_colliding_pose: int | None = None
 
     @property
     def cdqs_executed(self) -> int:

@@ -1,7 +1,18 @@
 """Geometric primitives and intersection tests (the CDQ substrate)."""
 
 from .aabb import AABB, aabb_overlap
-from .batch import ObstacleSet, obb_overlap_batch, sphere_overlap_batch
+from .batch import (
+    OBBPack,
+    ObstacleSet,
+    SpherePack,
+    obb_pack_overlap,
+    obb_pairs_overlap,
+    obb_overlap_batch,
+    pack_aabb_overlap,
+    sphere_pack_overlap,
+    sphere_pairs_overlap,
+    sphere_overlap_batch,
+)
 from .distance import (
     aabb_distance,
     obb_obb_distance_lower_bound,
@@ -20,6 +31,13 @@ __all__ = [
     "ObstacleSet",
     "obb_overlap_batch",
     "sphere_overlap_batch",
+    "OBBPack",
+    "SpherePack",
+    "obb_pack_overlap",
+    "obb_pairs_overlap",
+    "sphere_pack_overlap",
+    "sphere_pairs_overlap",
+    "pack_aabb_overlap",
     "aabb_distance",
     "obb_obb_distance_lower_bound",
     "point_obb_distance",

@@ -18,7 +18,18 @@ import numpy as np
 from .obb import OBB
 from .sphere import Sphere
 
-__all__ = ["ObstacleSet", "obb_overlap_batch", "sphere_overlap_batch"]
+__all__ = [
+    "ObstacleSet",
+    "OBBPack",
+    "SpherePack",
+    "obb_overlap_batch",
+    "sphere_overlap_batch",
+    "obb_pack_overlap",
+    "sphere_pack_overlap",
+    "obb_pairs_overlap",
+    "sphere_pairs_overlap",
+    "pack_aabb_overlap",
+]
 
 _EPS = 1e-9
 
@@ -37,6 +48,10 @@ class ObstacleSet:
         self.centers = np.stack([b.center for b in boxes])  # (N, 3)
         self.half_extents = np.stack([b.half_extents for b in boxes])  # (N, 3)
         self.rotations = np.stack([b.rotation for b in boxes])  # (N, 3, 3)
+        # Axis-aligned bounds of every obstacle, for broad-phase masks.
+        reach = np.einsum("nij,nj->ni", np.abs(self.rotations), self.half_extents)
+        self.aabb_lo = self.centers - reach  # (N, 3)
+        self.aabb_hi = self.centers + reach  # (N, 3)
 
     def __len__(self) -> int:
         return len(self.boxes)
@@ -101,3 +116,234 @@ def sphere_overlap_batch(query: Sphere, obstacles: ObstacleSet) -> np.ndarray:
     clamped = np.clip(local, -obstacles.half_extents, obstacles.half_extents)
     gaps = np.linalg.norm(local - clamped, axis=1)
     return gaps <= query.radius + 1e-12
+
+
+class OBBPack:
+    """Many query OBBs packed into stacked arrays.
+
+    The whole-motion pipeline generates one pack covering every (pose, link)
+    pair of a motion; :func:`obb_pack_overlap` then evaluates all M x N
+    robot-obstacle SAT tests in one einsum pass.
+    """
+
+    def __init__(self, centers: np.ndarray, half_extents: np.ndarray, rotations: np.ndarray):
+        self.centers = np.asarray(centers, dtype=float).reshape(-1, 3)
+        self.half_extents = np.asarray(half_extents, dtype=float).reshape(-1, 3)
+        self.rotations = np.asarray(rotations, dtype=float).reshape(-1, 3, 3)
+        if not (len(self.centers) == len(self.half_extents) == len(self.rotations)):
+            raise ValueError("centers, half_extents and rotations must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.centers)
+
+    @classmethod
+    def from_boxes(cls, boxes: list[OBB]) -> "OBBPack":
+        """Pack a list of scalar :class:`OBB` records."""
+        if not boxes:
+            raise ValueError("an OBBPack needs at least one box")
+        return cls(
+            np.stack([b.center for b in boxes]),
+            np.stack([b.half_extents for b in boxes]),
+            np.stack([b.rotation for b in boxes]),
+        )
+
+    @classmethod
+    def from_segments(cls, starts: np.ndarray, ends: np.ndarray, radii: np.ndarray) -> "OBBPack":
+        """Vectorized :meth:`OBB.from_segment` over M segments at once.
+
+        ``starts``/``ends`` are (M, 3) endpoint arrays and ``radii`` an
+        (M,) radius vector; the construction mirrors the scalar method
+        (including its degenerate zero-length branch) so the packed boxes
+        match the per-pose OBB Generation Unit output.
+        """
+        starts = np.asarray(starts, dtype=float).reshape(-1, 3)
+        ends = np.asarray(ends, dtype=float).reshape(-1, 3)
+        radii = np.asarray(radii, dtype=float).reshape(-1)
+        axis = ends - starts
+        length = np.linalg.norm(axis, axis=1)
+        centers = 0.5 * (starts + ends)
+        degenerate = length < 1e-12
+        safe = np.where(degenerate, 1.0, length)
+        x = axis / safe[:, None]
+        helper = np.where(
+            (np.abs(x[:, 2]) < 0.9)[:, None],
+            np.array([0.0, 0.0, 1.0]),
+            np.array([1.0, 0.0, 0.0]),
+        )
+        y = np.cross(helper, x)
+        y_norm = np.linalg.norm(y, axis=1)
+        y /= np.where(degenerate, 1.0, y_norm)[:, None]
+        z = np.cross(x, y)
+        rotations = np.stack([x, y, z], axis=2)  # columns are the box axes
+        rotations[degenerate] = np.eye(3)
+        half = np.stack([0.5 * length + radii, radii, radii], axis=1)
+        half[degenerate] = radii[degenerate, None]
+        return cls(centers, half, rotations)
+
+    def aabb_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """(M, 3) lo / hi corners of the tightest AABB around each box."""
+        reach = np.einsum("mij,mj->mi", np.abs(self.rotations), self.half_extents)
+        return self.centers - reach, self.centers + reach
+
+    def box(self, index: int) -> OBB:
+        """Materialize one packed entry as a scalar :class:`OBB`."""
+        return OBB(self.centers[index], self.half_extents[index], self.rotations[index])
+
+
+class SpherePack:
+    """Many query spheres packed into stacked arrays."""
+
+    def __init__(self, centers: np.ndarray, radii: np.ndarray):
+        self.centers = np.asarray(centers, dtype=float).reshape(-1, 3)
+        self.radii = np.asarray(radii, dtype=float).reshape(-1)
+        if len(self.centers) != len(self.radii):
+            raise ValueError("centers and radii must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.centers)
+
+    @classmethod
+    def from_spheres(cls, spheres: list[Sphere]) -> "SpherePack":
+        """Pack a list of scalar :class:`Sphere` records."""
+        if not spheres:
+            raise ValueError("a SpherePack needs at least one sphere")
+        return cls(np.stack([s.center for s in spheres]), np.array([s.radius for s in spheres]))
+
+    def aabb_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """(M, 3) lo / hi corners of each sphere's AABB."""
+        reach = self.radii[:, None]
+        return self.centers - reach, self.centers + reach
+
+
+#: Rolled index tables for the nine edge-cross axes: axis (i, j) pairs the
+#: query box's edges (i+1, i+2 mod 3) with the obstacle's (j+1, j+2 mod 3).
+_ROLL1 = np.array([1, 2, 0])
+_ROLL2 = np.array([2, 0, 1])
+
+
+def obb_pack_overlap(pack: OBBPack, obstacles: ObstacleSet) -> np.ndarray:
+    """Pairwise 15-axis SAT: (M,) packed queries x (N,) obstacles -> (M, N).
+
+    The two-dimensional generalization of :func:`obb_overlap_batch`: the
+    same axis inequalities evaluate as (M, N) masks, covering every
+    (pose-link, obstacle) pair of a whole motion in one pass. All
+    contractions run as BLAS matmuls and the nine edge-cross axes are
+    evaluated together as (M, N, 3, 3) blocks — no per-axis Python loop.
+    """
+    # R[m, n] = A_m^T B_n ; t[m, n] = A_m^T (c_n - c_m)
+    rot = np.tensordot(pack.rotations, obstacles.rotations, axes=([1], [1]))
+    rot = rot.transpose(0, 2, 1, 3)  # (M, N, 3, 3)
+    diff = obstacles.centers[None, :, :] - pack.centers[:, None, :]  # (M, N, 3)
+    t = np.matmul(diff, pack.rotations)  # (M, N, 3): diff[m] @ A_m row-wise
+    abs_rot = np.abs(rot) + _EPS
+    ea = pack.half_extents  # (M, 3)
+    eb = obstacles.half_extents  # (N, 3)
+
+    # Face axes of the query boxes.
+    reach_a = ea[:, None, :] + np.matmul(abs_rot, eb[None, :, :, None])[..., 0]
+    separated = (np.abs(t) > reach_a).any(axis=2)
+    # Face axes of the obstacle boxes.
+    t_in_b = np.matmul(t[:, :, None, :], rot)[:, :, 0, :]
+    reach_b = eb[None, :, :] + np.matmul(ea[:, None, None, :], abs_rot)[:, :, 0, :]
+    separated |= (np.abs(t_in_b) > reach_b).any(axis=2)
+    # The nine edge-cross axes L = a_i x b_j, all at once: entry (i, j) of
+    # each (M, N, 3, 3) block is the inequality for that axis pair.
+    ra = (
+        ea[:, None, _ROLL1, None] * abs_rot[:, :, _ROLL2, :]
+        + ea[:, None, _ROLL2, None] * abs_rot[:, :, _ROLL1, :]
+    )
+    rb = (
+        eb[None, :, None, _ROLL1] * abs_rot[:, :, :, _ROLL2]
+        + eb[None, :, None, _ROLL2] * abs_rot[:, :, :, _ROLL1]
+    )
+    dist = np.abs(
+        t[:, :, _ROLL2, None] * rot[:, :, _ROLL1, :]
+        - t[:, :, _ROLL1, None] * rot[:, :, _ROLL2, :]
+    )
+    separated |= (dist > ra + rb).any(axis=(2, 3))
+    return ~separated
+
+
+def obb_pairs_overlap(
+    pack: OBBPack, obstacles: ObstacleSet, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """15-axis SAT over an explicit (row, col) pair list -> (K,) mask.
+
+    The sparse companion of :func:`obb_pack_overlap`: after the AABB broad
+    phase leaves K << M*N candidate pairs, gathering them into flat
+    (K, ...) arrays makes narrow-phase cost proportional to the surviving
+    pairs rather than the full cross product. Evaluates the identical
+    inequalities (same ``_EPS`` cushion), so
+    ``obb_pairs_overlap(p, o, *np.nonzero(mask))`` equals
+    ``obb_pack_overlap(p, o)[mask]`` exactly.
+    """
+    a_rot = pack.rotations[rows]  # (K, 3, 3)
+    b_rot = obstacles.rotations[cols]
+    ea = pack.half_extents[rows]  # (K, 3)
+    eb = obstacles.half_extents[cols]
+    # R[k] = A_k^T B_k ; t[k] = A_k^T (c_b - c_a)
+    rot = np.matmul(a_rot.transpose(0, 2, 1), b_rot)  # (K, 3, 3)
+    diff = obstacles.centers[cols] - pack.centers[rows]  # (K, 3)
+    t = np.matmul(diff[:, None, :], a_rot)[:, 0, :]  # (K, 3)
+    abs_rot = np.abs(rot) + _EPS
+
+    # Face axes of the query boxes.
+    reach_a = ea + np.matmul(abs_rot, eb[:, :, None])[:, :, 0]
+    separated = (np.abs(t) > reach_a).any(axis=1)
+    # Face axes of the obstacle boxes.
+    t_in_b = np.matmul(t[:, None, :], rot)[:, 0, :]
+    reach_b = eb + np.matmul(ea[:, None, :], abs_rot)[:, 0, :]
+    separated |= (np.abs(t_in_b) > reach_b).any(axis=1)
+    # The nine edge-cross axes, evaluated as (K, 3, 3) blocks.
+    ra = (
+        ea[:, _ROLL1, None] * abs_rot[:, _ROLL2, :]
+        + ea[:, _ROLL2, None] * abs_rot[:, _ROLL1, :]
+    )
+    rb = (
+        eb[:, None, _ROLL1] * abs_rot[:, :, _ROLL2]
+        + eb[:, None, _ROLL2] * abs_rot[:, :, _ROLL1]
+    )
+    dist = np.abs(
+        t[:, _ROLL2, None] * rot[:, _ROLL1, :] - t[:, _ROLL1, None] * rot[:, _ROLL2, :]
+    )
+    separated |= (dist > ra + rb).any(axis=(1, 2))
+    return ~separated
+
+
+def sphere_pairs_overlap(
+    pack: SpherePack, obstacles: ObstacleSet, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Sphere-vs-OBB clamp test over an explicit pair list -> (K,) mask.
+
+    Sparse companion of :func:`sphere_pack_overlap`; identical arithmetic,
+    so gathering AABB survivors yields exactly the dense mask's entries.
+    """
+    diff = pack.centers[rows] - obstacles.centers[cols]  # (K, 3)
+    local = np.matmul(diff[:, None, :], obstacles.rotations[cols])[:, 0, :]
+    half = obstacles.half_extents[cols]
+    clamped = np.clip(local, -half, half)
+    gaps = np.linalg.norm(local - clamped, axis=1)
+    return gaps <= pack.radii[rows] + 1e-12
+
+
+def sphere_pack_overlap(pack: SpherePack, obstacles: ObstacleSet) -> np.ndarray:
+    """Pairwise sphere-vs-OBB clamp test: (M, N) boolean mask."""
+    diff = pack.centers[:, None, :] - obstacles.centers[None, :, :]  # (M, N, 3)
+    local = np.einsum("nji,mnj->mni", obstacles.rotations, diff)
+    clamped = np.clip(local, -obstacles.half_extents[None], obstacles.half_extents[None])
+    gaps = np.linalg.norm(local - clamped, axis=2)
+    return gaps <= pack.radii[:, None] + 1e-12
+
+
+def pack_aabb_overlap(lo: np.ndarray, hi: np.ndarray, obstacles: ObstacleSet) -> np.ndarray:
+    """Broad-phase mask: which (query, obstacle) AABB pairs overlap.
+
+    ``lo``/``hi`` are the (M, 3) query bounds from ``aabb_bounds``; the
+    comparison replicates :func:`repro.geometry.aabb.aabb_overlap`
+    (including its tolerance) so the mask matches the scalar detector's
+    per-CDQ broad-phase filter decision for decision-exact work accounting.
+    """
+    return (
+        (lo[:, None, :] <= obstacles.aabb_hi[None, :, :] + 1e-12)
+        & (obstacles.aabb_lo[None, :, :] <= hi[:, None, :] + 1e-12)
+    ).all(axis=2)

@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["DHLink", "DHChain", "dh_transform"]
+__all__ = ["DHLink", "DHChain", "dh_transform", "dh_transform_batch"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,32 @@ def dh_transform(a: float, alpha: float, d: float, theta: float) -> np.ndarray:
             [0.0, 0.0, 0.0, 1.0],
         ]
     )
+
+
+def dh_transform_batch(a: float, alpha: float, d: float, thetas: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`dh_transform`: (P,) joint angles -> (P, 4, 4).
+
+    One call builds the same DH row for every pose of a motion at once; the
+    trigonometry and matrix assembly run as numpy array ops instead of a
+    per-pose Python loop.
+    """
+    thetas = np.asarray(thetas, dtype=float).reshape(-1)
+    ct, st = np.cos(thetas), np.sin(thetas)
+    ca, sa = math.cos(alpha), math.sin(alpha)
+    out = np.zeros((thetas.shape[0], 4, 4))
+    out[:, 0, 0] = ct
+    out[:, 0, 1] = -st * ca
+    out[:, 0, 2] = st * sa
+    out[:, 0, 3] = a * ct
+    out[:, 1, 0] = st
+    out[:, 1, 1] = ct * ca
+    out[:, 1, 2] = -ct * sa
+    out[:, 1, 3] = a * st
+    out[:, 2, 1] = sa
+    out[:, 2, 2] = ca
+    out[:, 2, 3] = d
+    out[:, 3, 3] = 1.0
+    return out
 
 
 class DHChain:
@@ -119,6 +145,34 @@ class DHChain:
             current = current @ dh_transform(link.a, link.alpha, link.d, link.theta + angle)
             transforms.append(current.copy())
         return transforms
+
+    def batch_link_transforms(self, poses: np.ndarray) -> np.ndarray:
+        """Batched forward kinematics: (P, dof) poses -> (P, dof, 4, 4).
+
+        Stacked-matmul equivalent of :meth:`link_transforms`: the chain is
+        accumulated link by link with one ``(P, 4, 4) @ (P, 4, 4)`` matmul
+        per link, so the cost per pose is amortized across the whole batch
+        and no per-pose Python loop remains.
+        """
+        poses = np.asarray(poses, dtype=float)
+        if poses.ndim != 2 or poses.shape[1] != self.dof:
+            raise ValueError(f"expected a (P, {self.dof}) pose array, got {poses.shape}")
+        num_poses = poses.shape[0]
+        out = np.empty((num_poses, self.dof, 4, 4))
+        current = np.broadcast_to(self.base_transform, (num_poses, 4, 4))
+        for index, link in enumerate(self.links):
+            step = dh_transform_batch(link.a, link.alpha, link.d, link.theta + poses[:, index])
+            current = current @ step
+            out[:, index] = current
+        return out
+
+    def batch_joint_positions(self, poses: np.ndarray) -> np.ndarray:
+        """Batched :meth:`joint_positions`: (P, dof) -> (P, dof + 1, 3)."""
+        transforms = self.batch_link_transforms(poses)
+        points = np.empty((transforms.shape[0], self.dof + 1, 3))
+        points[:, 0] = self.base_transform[:3, 3]
+        points[:, 1:] = transforms[:, :, :3, 3]
+        return points
 
     def joint_positions(self, q) -> np.ndarray:
         """(dof + 1, 3) array: base origin followed by each link frame origin."""

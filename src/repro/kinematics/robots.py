@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..geometry.batch import OBBPack, SpherePack
 from ..geometry.obb import OBB
 from ..geometry.sphere import Sphere, spheres_for_segment
 from .dh import DHChain, DHLink
@@ -113,6 +114,35 @@ class RobotModel(ABC):
         count = max(2, int(math.ceil(length / resolution)) + 1)
         return self.interpolate(start, end, count)
 
+    def batch_pose_obbs(self, poses: np.ndarray) -> OBBPack:
+        """Packed OBBs of many poses at once: (P, dof) -> (P * num_links,).
+
+        Entry ``p * num_links + l`` bounds link ``l`` of pose ``p``, matching
+        the per-pose order of :meth:`pose_obbs`. This generic fallback packs
+        the scalar generator's output; vectorized robots override it.
+        """
+        poses = np.asarray(poses, dtype=float)
+        boxes = []
+        for q in poses:
+            boxes.extend(self.pose_obbs(q))
+        return OBBPack.from_boxes(boxes)
+
+    def batch_pose_spheres(self, poses: np.ndarray) -> tuple[SpherePack, np.ndarray]:
+        """Packed sphere chains of many poses: (pack, per-sphere pose ids).
+
+        Sphere counts vary with the posed link lengths, so the pack is
+        ragged across poses; the returned (M,) integer array maps every
+        packed sphere back to its pose index.
+        """
+        poses = np.asarray(poses, dtype=float)
+        spheres: list[Sphere] = []
+        pose_ids: list[int] = []
+        for index, q in enumerate(poses):
+            chain = self.pose_spheres(q)
+            spheres.extend(chain)
+            pose_ids.extend([index] * len(chain))
+        return SpherePack.from_spheres(spheres), np.asarray(pose_ids, dtype=int)
+
 
 class ArmRobot(RobotModel):
     """A serial arm: DH chain plus per-link collision radii.
@@ -187,6 +217,31 @@ class ArmRobot(RobotModel):
             spheres.extend(spheres_for_segment(start, end, radius, self.sphere_spacing))
         return spheres
 
+    def batch_pose_obbs(self, poses: np.ndarray) -> OBBPack:
+        """Vectorized link-OBB generation over a whole (P, dof) pose array.
+
+        Batched FK produces every joint origin in stacked matmuls; the
+        per-link segment subdivision and segment-to-OBB conversion then run
+        as array ops, so no per-pose Python loop remains. The packed order
+        matches :meth:`pose_obbs` (pose-major, links in chain order, boxes
+        along each link in order).
+        """
+        poses = np.asarray(poses, dtype=float)
+        if poses.ndim != 2:
+            raise ValueError(f"expected a (P, dof) pose array, got shape {poses.shape}")
+        points = self.chain.batch_joint_positions(poses)  # (P, dof + 1, 3)
+        seg_starts = points[:, :-1, :]  # (P, dof, 3)
+        seg_vec = points[:, 1:, :] - seg_starts
+        boxes = self.boxes_per_link
+        f0 = np.arange(boxes) / boxes  # (B,)
+        f1 = (np.arange(boxes) + 1) / boxes
+        starts = seg_starts[:, :, None, :] + f0[None, None, :, None] * seg_vec[:, :, None, :]
+        ends = seg_starts[:, :, None, :] + f1[None, None, :, None] * seg_vec[:, :, None, :]
+        radii = np.repeat(self.link_radii, boxes)  # (num_links,)
+        return OBBPack.from_segments(
+            starts.reshape(-1, 3), ends.reshape(-1, 3), np.tile(radii, poses.shape[0])
+        )
+
     def end_effector_position(self, q) -> np.ndarray:
         """World coordinates of the arm's tool point."""
         return self.chain.joint_positions(q)[-1]
@@ -253,6 +308,27 @@ class PlanarRobot(RobotModel):
     def pose_spheres(self, q) -> list[Sphere]:
         radius = self.body_half_size
         return [Sphere(center, radius) for center in self._part_centers(q)]
+
+    def batch_pose_obbs(self, poses: np.ndarray) -> OBBPack:
+        """Vectorized tile-OBB generation over a (P, 2) pose array."""
+        poses = np.asarray(poses, dtype=float)
+        if poses.ndim != 2:
+            raise ValueError(f"expected a (P, dof) pose array, got shape {poses.shape}")
+        width = 2.0 * self.body_half_size
+        tile = width / self.num_parts
+        offsets = (np.arange(self.num_parts) + 0.5) * tile - self.body_half_size
+        num_poses = poses.shape[0]
+        centers = np.zeros((num_poses, self.num_parts, 3))
+        centers[:, :, 0] = poses[:, 0, None] + offsets
+        centers[:, :, 1] = poses[:, 1, None]
+        tile_half = self.body_half_size / self.num_parts
+        half = np.array([tile_half, self.body_half_size, self.body_half_size])
+        count = num_poses * self.num_parts
+        return OBBPack(
+            centers.reshape(-1, 3),
+            np.broadcast_to(half, (count, 3)),
+            np.broadcast_to(np.eye(3), (count, 3, 3)),
+        )
 
 
 def jaco2(boxes_per_link: int = 1) -> ArmRobot:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import asyncio
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..collision.pipeline import Motion
 from .telemetry import ServiceTelemetry

@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass
 
 from ..collision.detector import CollisionDetector
-from ..collision.pipeline import Motion, check_motion_batch, predict_motion
+from ..collision.pipeline import BACKENDS, Motion, check_motion_batch, predict_motion
 from ..collision.queries import QueryStats
 from ..collision.scheduling import PoseScheduler
 from ..core.hashing import CoordHash
@@ -63,12 +63,19 @@ class ServiceConfig:
     max_wait_ms: float = 2.0
     queue_bound: int = 64
     policy: str = "reject"
+    #: Motion-check execution engine for exact checks (see
+    #: :data:`repro.collision.pipeline.BACKENDS`). ``batch`` vectorizes
+    #: predictor-free sessions; sessions with a CHT predictor still run
+    #: the scalar observe loop regardless.
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ValueError("num_workers must be positive")
         if self.queue_bound < 1:
             raise ValueError("queue_bound must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
 
     @property
     def batching(self) -> BatchingConfig:
@@ -303,6 +310,7 @@ class CollisionService:
                 session.scheduler,
                 session.predictor,
                 label=session.session_id,
+                backend=self.config.backend,
             )
         finished = self.clock()
         session.stats.merge(result.stats)

@@ -9,7 +9,18 @@ from hypothesis import strategies as st
 
 from repro.geometry import OBB, Sphere, obb_overlap, sphere_obb_overlap
 from repro.geometry import transforms as tf
-from repro.geometry.batch import ObstacleSet, obb_overlap_batch, sphere_overlap_batch
+from repro.geometry.batch import (
+    OBBPack,
+    ObstacleSet,
+    SpherePack,
+    obb_overlap_batch,
+    obb_pack_overlap,
+    obb_pairs_overlap,
+    pack_aabb_overlap,
+    sphere_overlap_batch,
+    sphere_pack_overlap,
+    sphere_pairs_overlap,
+)
 
 coords = st.floats(-1.5, 1.5, allow_nan=False)
 points = st.tuples(coords, coords, coords)
@@ -96,3 +107,135 @@ class TestSphereBatchAgreement:
         obstacles = ObstacleSet([OBB.axis_aligned([1, 0, 0], [0.2] * 3)])
         assert obstacles.any_overlap(Sphere([1.3, 0, 0], 0.15))
         assert not obstacles.any_overlap(Sphere([2.0, 0, 0], 0.15))
+
+
+#: Near-parallel rotations: angles inside the SAT cushion's danger zone,
+#: where the edge-cross axes nearly vanish and naive formulations misfire.
+tiny_angles = st.floats(-1e-7, 1e-7, allow_nan=False)
+
+
+class TestPackKernelAgreement:
+    """The (M, N) pack kernels and sparse pair kernels vs. the scalar SAT."""
+
+    @given(obstacles=obstacle_sets(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_pack_matches_scalar(self, obstacles, data):
+        count = data.draw(st.integers(1, 6))
+        queries = [
+            rotated(
+                data.draw(points), data.draw(halves), data.draw(angles), (0, 1, 1)
+            )
+            for _ in range(count)
+        ]
+        pack = OBBPack.from_boxes(queries)
+        mask = obb_pack_overlap(pack, obstacles)
+        assert mask.shape == (count, len(obstacles))
+        for m, query in enumerate(queries):
+            for n, box in enumerate(obstacles.boxes):
+                assert mask[m, n] == obb_overlap(query, box)
+
+    @given(obstacles=obstacle_sets(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pairs_match_dense(self, obstacles, data):
+        count = data.draw(st.integers(1, 6))
+        pack = OBBPack.from_boxes(
+            [
+                rotated(
+                    data.draw(points), data.draw(halves), data.draw(angles), (1, 0, 1)
+                )
+                for _ in range(count)
+            ]
+        )
+        dense = obb_pack_overlap(pack, obstacles)
+        rows, cols = np.nonzero(np.ones_like(dense))
+        assert np.array_equal(
+            obb_pairs_overlap(pack, obstacles, rows, cols), dense[rows, cols]
+        )
+
+    @given(obstacles=obstacle_sets(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sphere_pack_and_pairs_match_scalar(self, obstacles, data):
+        count = data.draw(st.integers(1, 6))
+        spheres = [
+            Sphere(
+                np.asarray(data.draw(points)),
+                data.draw(st.floats(0.02, 0.5, allow_nan=False)),
+            )
+            for _ in range(count)
+        ]
+        pack = SpherePack.from_spheres(spheres)
+        dense = sphere_pack_overlap(pack, obstacles)
+        for m, sphere in enumerate(spheres):
+            for n, box in enumerate(obstacles.boxes):
+                assert dense[m, n] == sphere_obb_overlap(sphere, box)
+        rows, cols = np.nonzero(np.ones_like(dense))
+        assert np.array_equal(
+            sphere_pairs_overlap(pack, obstacles, rows, cols), dense[rows, cols]
+        )
+
+
+class TestPackEdgeCases:
+    """Zero-gap contact, near-parallel rotations, single-obstacle sets."""
+
+    @given(half=halves, gap=st.sampled_from([0.0, -1e-15, 1e-15]))
+    @settings(max_examples=40, deadline=None)
+    def test_touching_boxes_count_as_overlap(self, half, gap):
+        # Two axis-aligned boxes sharing (or within one ulp of) a face:
+        # the SAT cushion treats contact as overlap, batch and scalar alike.
+        a = OBB.axis_aligned([0.0, 0.0, 0.0], half)
+        offset = 2.0 * half[0] + gap
+        b = OBB.axis_aligned([offset, 0.0, 0.0], half)
+        obstacles = ObstacleSet([b])
+        pack = OBBPack.from_boxes([a])
+        dense = obb_pack_overlap(pack, obstacles)
+        assert dense[0, 0] == obb_overlap(a, b)
+        assert dense[0, 0]  # zero gap is contact, not separation
+        sparse = obb_pairs_overlap(pack, obstacles, np.array([0]), np.array([0]))
+        assert sparse[0] == dense[0, 0]
+
+    @given(center=points, half=halves, angle=tiny_angles, data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_near_parallel_rotations(self, center, half, angle, data):
+        # Nearly-aligned frames make every edge-cross axis nearly zero —
+        # exactly where the _EPS cushion must keep batch == scalar.
+        axis = data.draw(st.sampled_from([(0, 0, 1), (0, 1, 0), (1, 1, 1)]))
+        query = rotated(center, half, angle, axis)
+        obstacle = rotated(
+            data.draw(points), data.draw(halves), data.draw(tiny_angles), axis
+        )
+        obstacles = ObstacleSet([obstacle])
+        pack = OBBPack.from_boxes([query])
+        dense = obb_pack_overlap(pack, obstacles)
+        assert dense[0, 0] == obb_overlap(query, obstacle)
+        sparse = obb_pairs_overlap(pack, obstacles, np.array([0]), np.array([0]))
+        assert sparse[0] == dense[0, 0]
+
+    @given(center=points, half=halves, angle=angles, data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_single_obstacle_sets(self, center, half, angle, data):
+        # N == 1 exercises every kernel's degenerate broadcast shapes.
+        obstacles = ObstacleSet(
+            [rotated(data.draw(points), data.draw(halves), data.draw(angles), (0, 1, 1))]
+        )
+        query = rotated(center, half, angle, (1, 0, 1))
+        pack = OBBPack.from_boxes([query])
+        dense = obb_pack_overlap(pack, obstacles)
+        assert dense.shape == (1, 1)
+        assert dense[0, 0] == obb_overlap(query, obstacles.boxes[0])
+        lo, hi = pack.aabb_bounds()
+        aabb = pack_aabb_overlap(lo, hi, obstacles)
+        assert aabb.shape == (1, 1)
+        # Narrow-phase overlap implies broad-phase AABB overlap.
+        assert aabb[0, 0] or not dense[0, 0]
+
+    def test_from_segments_degenerate_zero_length(self):
+        starts = np.array([[0.1, 0.2, 0.3], [0.0, 0.0, 0.0]])
+        ends = np.array([[0.1, 0.2, 0.3], [0.0, 0.0, 1.0]])
+        pack = OBBPack.from_segments(starts, ends, np.array([0.05, 0.05]))
+        scalar_degenerate = OBB.from_segment(starts[0], ends[0], 0.05)
+        assert np.allclose(pack.box(0).center, scalar_degenerate.center)
+        assert np.allclose(pack.box(0).half_extents, scalar_degenerate.half_extents)
+        assert np.allclose(pack.box(0).rotation, scalar_degenerate.rotation)
+        scalar_regular = OBB.from_segment(starts[1], ends[1], 0.05)
+        assert np.allclose(pack.box(1).rotation, scalar_regular.rotation)
+        assert np.allclose(pack.box(1).half_extents, scalar_regular.half_extents)

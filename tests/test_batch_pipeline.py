@@ -1,0 +1,256 @@
+"""Parity and plumbing tests for the vectorized whole-motion pipeline.
+
+The batch backend's contract is *bit-identical* early-exit semantics: for
+any motion, scheduler, and scene, it must report the same verdict, the
+same first-colliding-pose index, and the same executed/skipped CDQ and
+narrow-phase-test counts as the scalar predictor-free scan. The big
+randomized sweep below checks that over >1000 motions spanning robots,
+schedulers, scene densities, and both volume representations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collision import (
+    BACKENDS,
+    BisectionScheduler,
+    CoarseStepScheduler,
+    Motion,
+    check_motion,
+    check_motion_batch,
+    check_motions_sharded,
+    get_default_backend,
+    set_default_backend,
+)
+from repro.collision.batch_pipeline import BatchMotionKernel, check_motion_batched
+from repro.collision.detector import CollisionDetector
+from repro.env.scene import Scene
+from repro.geometry import OBB
+from repro.kinematics import jaco2, planar_2d
+from repro.serving import ServiceConfig
+
+
+def _random_scene(rng, count, span=1.0):
+    boxes = []
+    for _ in range(count):
+        rotation = np.linalg.qr(rng.normal(size=(3, 3)))[0]
+        if np.linalg.det(rotation) < 0:
+            rotation[:, 0] *= -1
+        boxes.append(OBB(rng.uniform(-span, span, 3), rng.uniform(0.02, 0.2, 3), rotation))
+    return Scene(boxes)
+
+
+def _assert_match(scalar, batch, context=""):
+    assert scalar.collided == batch.collided, context
+    assert scalar.first_colliding_pose == batch.first_colliding_pose, context
+    assert scalar.stats.cdqs_executed == batch.stats.cdqs_executed, context
+    assert scalar.stats.cdqs_skipped == batch.stats.cdqs_skipped, context
+    assert scalar.stats.narrow_phase_tests == batch.stats.narrow_phase_tests, context
+
+
+class TestThousandMotionParity:
+    """>1000 randomized motions: batch == scalar, bit for bit."""
+
+    def test_planar_sweep(self):
+        rng = np.random.default_rng(2024)
+        robot = planar_2d()
+        schedulers = [None, CoarseStepScheduler(4), BisectionScheduler()]
+        checked = 0
+        for scene_index in range(6):
+            scene = _random_scene(rng, int(rng.integers(1, 12)))
+            detector = CollisionDetector(scene, robot)
+            kernel = detector.batch_kernel()
+            for trial in range(140):
+                scheduler = schedulers[trial % len(schedulers)]
+                start = robot.random_configuration(rng)
+                end = robot.random_configuration(rng)
+                num_poses = int(rng.integers(2, 24))
+                scalar = detector.check_motion(start, end, num_poses, scheduler)
+                batch = kernel.check_motion(start, end, num_poses, scheduler)
+                _assert_match(scalar, batch, f"scene {scene_index} trial {trial}")
+                checked += 1
+        assert checked == 840
+
+    def test_arm_sweep(self):
+        rng = np.random.default_rng(777)
+        robot = jaco2()
+        schedulers = [None, CoarseStepScheduler(4), BisectionScheduler()]
+        for scene_index in range(3):
+            scene = _random_scene(rng, int(rng.integers(2, 20)))
+            detector = CollisionDetector(scene, robot)
+            kernel = detector.batch_kernel()
+            for trial in range(40):
+                scheduler = schedulers[trial % len(schedulers)]
+                start = robot.random_configuration(rng)
+                end = robot.random_configuration(rng)
+                scalar = detector.check_motion(start, end, 12, scheduler)
+                batch = kernel.check_motion(start, end, 12, scheduler)
+                _assert_match(scalar, batch, f"arm scene {scene_index} trial {trial}")
+
+    def test_sphere_representation_sweep(self):
+        rng = np.random.default_rng(31)
+        robot = jaco2()
+        for scene_index in range(2):
+            scene = _random_scene(rng, int(rng.integers(2, 12)))
+            detector = CollisionDetector(scene, robot, representation="sphere")
+            kernel = detector.batch_kernel()
+            for trial in range(30):
+                start = robot.random_configuration(rng)
+                end = robot.random_configuration(rng)
+                scalar = detector.check_motion(start, end, 10)
+                batch = kernel.check_motion(start, end, 10)
+                _assert_match(scalar, batch, f"sphere scene {scene_index} trial {trial}")
+
+
+class TestKernelPlumbing:
+    def test_empty_scene(self):
+        robot = planar_2d()
+        detector = CollisionDetector(Scene([]), robot)
+        rng = np.random.default_rng(0)
+        start, end = robot.random_configuration(rng), robot.random_configuration(rng)
+        scalar = detector.check_motion(start, end, 8)
+        batch = check_motion_batched(detector, start, end, 8)
+        _assert_match(scalar, batch)
+        assert not batch.collided
+
+    def test_kernel_cached_and_rebuilt_on_scene_change(self):
+        rng = np.random.default_rng(5)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 4), robot)
+        first = detector.batch_kernel()
+        assert detector.batch_kernel() is first
+        detector.scene = _random_scene(rng, 6)
+        rebuilt = detector.batch_kernel()
+        assert rebuilt is not first
+        assert rebuilt.matches_scene()
+
+    def test_kernel_bound_to_detector(self):
+        rng = np.random.default_rng(6)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 4), robot)
+        kernel = BatchMotionKernel(detector)
+        start, end = robot.random_configuration(rng), robot.random_configuration(rng)
+        _assert_match(
+            detector.check_motion(start, end, 10), kernel.check_motion(start, end, 10)
+        )
+
+
+class TestBackendSwitch:
+    def test_backends_constant(self):
+        assert BACKENDS == ("scalar", "batch")
+
+    def test_check_motion_backend_param(self):
+        rng = np.random.default_rng(9)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 5), robot)
+        motion = Motion(
+            robot.random_configuration(rng), robot.random_configuration(rng), 12
+        )
+        scalar = check_motion(detector, motion, backend="scalar")
+        batch = check_motion(detector, motion, backend="batch")
+        assert scalar[0] == batch[0]
+        assert scalar[1].cdqs_executed == batch[1].cdqs_executed
+
+    def test_invalid_backend_rejected(self):
+        rng = np.random.default_rng(9)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 3), robot)
+        motion = Motion(
+            robot.random_configuration(rng), robot.random_configuration(rng), 4
+        )
+        with pytest.raises(ValueError):
+            check_motion(detector, motion, backend="gpu")
+        with pytest.raises(ValueError):
+            set_default_backend("gpu")
+
+    def test_default_backend_round_trip(self):
+        assert get_default_backend() == "scalar"
+        try:
+            set_default_backend("batch")
+            assert get_default_backend() == "batch"
+            rng = np.random.default_rng(11)
+            robot = planar_2d()
+            detector = CollisionDetector(_random_scene(rng, 5), robot)
+            motions = [
+                Motion(
+                    robot.random_configuration(rng), robot.random_configuration(rng), 8
+                )
+                for _ in range(10)
+            ]
+            defaulted = check_motion_batch(detector, motions)
+            explicit = check_motion_batch(detector, motions, backend="scalar")
+            assert defaulted.outcomes == explicit.outcomes
+            assert defaulted.first_colliding_poses == explicit.first_colliding_poses
+            assert defaulted.cdqs_executed == explicit.cdqs_executed
+        finally:
+            set_default_backend("scalar")
+
+    def test_predictor_falls_back_to_scalar(self):
+        from repro.core import CHTPredictor, CoordHash
+
+        rng = np.random.default_rng(13)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 5), robot)
+        motions = [
+            Motion(robot.random_configuration(rng), robot.random_configuration(rng), 8)
+            for _ in range(12)
+        ]
+        predictor = CHTPredictor.create(CoordHash(bits_per_axis=4), table_size=512)
+        with_pred = check_motion_batch(detector, motions, None, predictor, backend="batch")
+        predictor.reset()
+        scalar_pred = check_motion_batch(
+            detector, motions, None, predictor, backend="scalar"
+        )
+        assert with_pred.outcomes == scalar_pred.outcomes
+        assert with_pred.cdqs_executed == scalar_pred.cdqs_executed
+
+    def test_service_config_backend_validation(self):
+        assert ServiceConfig(backend="batch").backend == "batch"
+        with pytest.raises(ValueError):
+            ServiceConfig(backend="gpu")
+
+
+class TestShardedRunner:
+    def test_matches_sequential(self):
+        rng = np.random.default_rng(21)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 6), robot)
+        motions = [
+            Motion(robot.random_configuration(rng), robot.random_configuration(rng), 10)
+            for _ in range(24)
+        ]
+        sequential = check_motion_batch(detector, motions, backend="batch")
+        for backend in BACKENDS:
+            sharded = check_motions_sharded(
+                detector, motions, backend=backend, max_workers=2
+            )
+            assert sharded.outcomes == sequential.outcomes
+            assert sharded.first_colliding_poses == sequential.first_colliding_poses
+            assert sharded.cdqs_executed == sequential.cdqs_executed
+            assert sharded.stats.narrow_phase_tests == sequential.stats.narrow_phase_tests
+
+    def test_empty_and_invalid(self):
+        rng = np.random.default_rng(22)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 3), robot)
+        assert check_motions_sharded(detector, []).outcomes == []
+        with pytest.raises(ValueError):
+            check_motions_sharded(
+                detector,
+                [Motion(robot.random_configuration(rng), robot.random_configuration(rng))],
+                backend="gpu",
+            )
+
+    def test_chunksize_and_workers_respected(self):
+        rng = np.random.default_rng(23)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 4), robot)
+        motions = [
+            Motion(robot.random_configuration(rng), robot.random_configuration(rng), 6)
+            for _ in range(9)
+        ]
+        sharded = check_motions_sharded(
+            detector, motions, max_workers=3, chunksize=2, seed=7
+        )
+        sequential = check_motion_batch(detector, motions, backend="batch")
+        assert sharded.outcomes == sequential.outcomes

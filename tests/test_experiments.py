@@ -7,7 +7,6 @@ suite.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.experiments import (
     ExperimentContext,
