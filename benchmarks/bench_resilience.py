@@ -1,0 +1,119 @@
+"""Resilience-overhead bench: serving throughput under injected faults.
+
+Runs the same open-loop replay twice — once clean, once with the seeded
+chaos harness killing worker loops and failing execution rungs — and
+records how much throughput the supervision machinery retains
+(``qps_retention = faulted_qps / clean_qps``) plus the degraded-verdict
+fraction. The point is to price the fault-tolerance layer: recovery
+(worker restarts, breaker bookkeeping, CHT fallbacks) must not silently
+collapse serving throughput. Results land in
+``benchmarks/results/BENCH_resilience.json`` for the regression gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.env import random_2d_scene
+from repro.kinematics import planar_2d
+from repro.resilience import FaultInjector, FaultSpec
+from repro.serving import CollisionService, LoadGenerator, ServiceConfig
+from repro.workloads.benchmarks import PlannerWorkload, RecordedMotion
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_SESSIONS = 4
+MOTIONS_PER_SESSION = 40
+TARGET_QPS = 3000.0
+INJECT_RATE = 0.15
+
+
+def _workloads(seed: int) -> list[PlannerWorkload]:
+    robot = planar_2d()
+    rng = np.random.default_rng(seed)
+    return [
+        PlannerWorkload(
+            name=f"chaos-{index}",
+            scene=random_2d_scene(np.random.default_rng(seed + 200 + index), num_obstacles=6),
+            robot=robot,
+            motions=[
+                RecordedMotion(
+                    start=robot.random_configuration(rng),
+                    end=robot.random_configuration(rng),
+                    num_poses=8,
+                    stage="S1",
+                )
+                for _ in range(MOTIONS_PER_SESSION)
+            ],
+        )
+        for index in range(NUM_SESSIONS)
+    ]
+
+
+def _run_loadtest(seed: int, inject: bool):
+    faults = None
+    if inject:
+        faults = FaultInjector(
+            [
+                FaultSpec(kind="crash", rate=INJECT_RATE),
+                FaultSpec(kind="exception", rate=INJECT_RATE),
+            ],
+            seed=seed,
+        )
+    service = CollisionService(
+        ServiceConfig(
+            num_workers=2,
+            max_batch=8,
+            max_wait_ms=2.0,
+            queue_bound=256,
+            breaker_recovery_s=0.05,
+        ),
+        faults=faults,
+    )
+    generator = LoadGenerator(service, _workloads(seed), qps=TARGET_QPS, seed=seed)
+
+    async def go():
+        async with service:
+            return await generator.run()
+
+    return asyncio.run(go())
+
+
+def _both_runs(seed: int):
+    return _run_loadtest(seed, inject=False), _run_loadtest(seed, inject=True)
+
+
+def test_bench_resilience(benchmark, bench_seed):
+    clean, faulted = benchmark.pedantic(_both_runs, args=(bench_seed,), rounds=1, iterations=1)
+    resilience = faulted.snapshot["resilience"]
+    payload = {
+        "target_qps": clean.target_qps,
+        "offered": clean.offered,
+        "clean": {
+            "achieved_qps": clean.achieved_qps,
+            "p99_ms": clean.snapshot["latency_ms"]["total"]["p99"],
+        },
+        "faulted": {
+            "achieved_qps": faulted.achieved_qps,
+            "p99_ms": faulted.snapshot["latency_ms"]["total"]["p99"],
+            "predicted": faulted.predicted,
+            "degraded_fraction": faulted.predicted / max(1, faulted.completed),
+            "faults_injected": resilience["faults_injected"],
+            "worker_restarts": resilience["worker_restarts"],
+            "breaker_trips": resilience["breaker_trips"],
+        },
+        "qps_retention": faulted.achieved_qps / max(1e-9, clean.achieved_qps),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_resilience.json").write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+    # The resilience invariant holds even under load: nothing hangs.
+    assert clean.answered == clean.offered
+    assert faulted.answered == faulted.offered
+    assert faulted.completed > 0

@@ -16,7 +16,10 @@ Tracked metrics:
 * ``BENCH_serving.json`` — ``achieved_qps`` (higher is better) and
   ``latency_ms.p99`` (lower is better);
 * ``BENCH_batch_pipeline.json`` — ``speedup`` over the scalar path
-  (higher is better; a ratio, so it transfers across machine speeds).
+  (higher is better; a ratio, so it transfers across machine speeds);
+* ``BENCH_resilience.json`` — ``qps_retention``, the faulted/clean
+  throughput ratio under the seeded chaos harness (higher is better; a
+  ratio, so it transfers across machine speeds).
 
 A metric missing from the baseline (first run of a new bench) is reported
 and skipped rather than failed, so adding a bench and its baseline can
@@ -37,6 +40,7 @@ METRICS = [
     ("BENCH_serving.json", "achieved_qps", "up"),
     ("BENCH_serving.json", "latency_ms.p99", "down"),
     ("BENCH_batch_pipeline.json", "speedup", "up"),
+    ("BENCH_resilience.json", "qps_retention", "up"),
 ]
 
 

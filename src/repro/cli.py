@@ -19,6 +19,10 @@ Commands
 ``loadtest --workloads FILE [--qps Q] [--queue-bound N] [--policy P]``
     Replay a saved workload suite through the async service at a target
     QPS (open-loop arrivals) and print the load report plus telemetry.
+    ``--inject crash|exception|stall`` (repeatable) arms the seeded chaos
+    harness: worker-loop deaths, kernel exceptions, and queue stalls are
+    injected at ``--inject-rate`` while the run must still answer every
+    request (ok / predicted / rejected / shutdown — never hung).
 """
 
 from __future__ import annotations
@@ -169,6 +173,7 @@ def _cmd_loadtest(args) -> int:
     import asyncio
     import itertools
 
+    from .resilience import FaultInjector, FaultSpec
     from .serving import CollisionService, LoadGenerator, ServiceConfig
     from .workloads.io import iter_workload
 
@@ -183,6 +188,15 @@ def _cmd_loadtest(args) -> int:
     if not workloads:
         print(f"no workloads found in {args.workloads}", file=sys.stderr)
         return 2
+    faults = None
+    if args.inject:
+        faults = FaultInjector(
+            [
+                FaultSpec(kind=kind, rate=args.inject_rate, delay_s=args.inject_delay_ms / 1e3)
+                for kind in args.inject
+            ],
+            seed=args.inject_seed,
+        )
     service = CollisionService(
         ServiceConfig(
             num_workers=args.workers,
@@ -191,7 +205,9 @@ def _cmd_loadtest(args) -> int:
             queue_bound=args.queue_bound,
             policy=args.policy,
             backend=args.backend,
-        )
+            on_worker_error=args.on_worker_error,
+        ),
+        faults=faults,
     )
     generator = LoadGenerator(
         service,
@@ -218,6 +234,7 @@ def _cmd_loadtest(args) -> int:
             "completed": report.completed,
             "predicted": report.predicted,
             "rejected": report.rejected,
+            "shutdown": report.shutdown,
             "wall_s": report.wall_s,
             "target_qps": report.target_qps,
             "achieved_qps": report.achieved_qps,
@@ -226,8 +243,9 @@ def _cmd_loadtest(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote load report to {args.json}")
-    answered_everything = report.completed + report.rejected == report.offered
-    return 0 if report.completed > 0 and answered_everything else 1
+    # The resilience invariant: every offered request reached a terminal
+    # status. A hung request would make `answered` fall short.
+    return 0 if report.completed > 0 and report.answered == report.offered else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +296,32 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--policy", choices=("reject", "block"), default="reject")
     loadtest.add_argument("--backend", choices=BACKENDS, default="scalar")
     loadtest.add_argument("--json", default=None)
+    loadtest.add_argument(
+        "--inject",
+        action="append",
+        choices=("crash", "exception", "stall"),
+        default=None,
+        help="arm a seeded fault injector for this kind (repeatable)",
+    )
+    loadtest.add_argument(
+        "--inject-rate",
+        type=float,
+        default=0.1,
+        help="per-batch probability each armed fault kind fires",
+    )
+    loadtest.add_argument("--inject-seed", type=int, default=0)
+    loadtest.add_argument(
+        "--inject-delay-ms",
+        type=float,
+        default=50.0,
+        help="duration of injected stalls",
+    )
+    loadtest.add_argument(
+        "--on-worker-error",
+        choices=("predict", "error"),
+        default="predict",
+        help="fate of a batch whose worker loop crashes",
+    )
     loadtest.set_defaults(fn=_cmd_loadtest)
     return parser
 

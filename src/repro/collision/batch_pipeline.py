@@ -16,8 +16,9 @@ the whole hot path into numpy:
    counts and broad-phase test counts are identical to what the scalar
    predictor-free scan would have reported;
 4. :func:`check_motions_sharded` fans whole motions out over a
-   ``ProcessPoolExecutor`` so multi-core machines shard a workload without
-   touching the per-motion kernel.
+   *supervised* ``ProcessPoolExecutor`` (:mod:`repro.resilience`): crashed
+   or hung workers break only their shard, which is retried with bounded
+   backoff on a restarted pool instead of aborting the workload.
 
 The scalar path stays canonical for the hardware simulators; this backend
 is its exact, property-tested software counterpart (predictor-free — CHT
@@ -40,6 +41,7 @@ from ..geometry.batch import (
     pack_aabb_overlap,
     sphere_pairs_overlap,
 )
+from ..resilience import FaultInjector, RetryPolicy, SupervisedPool
 from .detector import CollisionDetector
 from .queries import MotionCheckResult, QueryStats
 from .scheduling import NaiveScheduler, PoseScheduler
@@ -171,12 +173,20 @@ def check_motion_batched(
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(detector: CollisionDetector, scheduler, backend: str, seed: int) -> None:
+def _init_worker(
+    detector: CollisionDetector,
+    scheduler,
+    backend: str,
+    seed: int,
+    faults: FaultInjector | None = None,
+) -> None:
     """Process-pool initializer: detector, kernel and a fork-safe RNG.
 
     The RNG folds the worker's PID into the parent seed so processes
     started by ``fork`` do not inherit identical generator state — any
     stochastic scheduler or sampling hook sees an independent stream.
+    ``faults`` (a picklable seeded injector) arms deterministic crash /
+    slow-shard / exception faults inside this worker.
     """
     _WORKER_STATE["detector"] = detector
     _WORKER_STATE["scheduler"] = scheduler
@@ -184,6 +194,7 @@ def _init_worker(detector: CollisionDetector, scheduler, backend: str, seed: int
     _WORKER_STATE["kernel"] = (
         BatchMotionKernel(detector) if backend == "batch" else None
     )
+    _WORKER_STATE["faults"] = faults
     _WORKER_STATE["rng"] = np.random.default_rng(
         np.random.SeedSequence([int(seed), os.getpid()])
     )
@@ -203,6 +214,22 @@ def _check_one(motion) -> tuple[bool, int | None, QueryStats]:
     return result.collided, result.first_colliding_pose, result.stats
 
 
+def _check_shard(shard_index: int, attempt: int, motions) -> list:
+    """Check one shard's motions inside a pool worker.
+
+    Armed faults fire first (deterministically, keyed by shard index and
+    attempt number), so a crash/slow/exception fault hits the shard before
+    any motion result is produced — a retried shard re-checks every motion
+    and the assembled workload stays bit-identical to a clean run.
+    """
+    faults = _WORKER_STATE.get("faults")
+    if faults is not None:
+        faults.fire("crash", shard_index, attempt)
+        faults.fire("slow", shard_index, attempt)
+        faults.fire("exception", shard_index, attempt)
+    return [_check_one(motion) for motion in motions]
+
+
 def check_motions_sharded(
     detector: CollisionDetector,
     motions: list,
@@ -213,16 +240,29 @@ def check_motions_sharded(
     chunksize: int | None = None,
     seed: int = 0,
     label: str = "sharded",
+    retry: RetryPolicy | None = None,
+    shard_timeout_s: float | None = None,
+    faults: FaultInjector | None = None,
+    counters=None,
 ):
-    """Shard a motion workload over a ``ProcessPoolExecutor``.
+    """Shard a motion workload over a supervised ``ProcessPoolExecutor``.
 
     Every worker receives the detector once (pool initializer), then
-    motions stream through ``Executor.map`` in ``chunksize`` groups — the
-    classic throughput tuning knob: large chunks amortize IPC, small
-    chunks balance uneven motion costs. The default targets ~4 chunks per
-    worker. Results arrive in submission order, so the returned
+    motions are submitted as ``chunksize``-motion shards — the classic
+    throughput tuning knob: large shards amortize IPC, small shards
+    balance uneven motion costs. The default targets ~4 shards per
+    worker. Results are assembled in shard order, so the returned
     :class:`~repro.collision.pipeline.BatchResult` is independent of
-    worker scheduling.
+    worker scheduling *and* of any retries.
+
+    Failure handling is always on: a worker exception, a crashed worker
+    (``BrokenProcessPool``) or — when ``shard_timeout_s`` is set — a hung
+    round breaks only the affected shards, which are resubmitted to a
+    restarted pool under ``retry`` (default: 3 retries, jittered
+    exponential backoff; see :class:`repro.resilience.RetryPolicy`).
+    ``faults`` arms the deterministic in-worker fault injector and
+    ``counters`` (a :class:`repro.core.metrics.ResilienceCounters`)
+    receives ``shard_retries`` / ``shard_timeouts`` / ``pool_restarts``.
 
     Prediction state cannot be shared across processes, so this runner is
     predictor-free by construction (``backend`` picks the per-motion
@@ -239,12 +279,27 @@ def check_motions_sharded(
         max_workers = max(1, min(os.cpu_count() or 1, 8, len(motions)))
     if chunksize is None:
         chunksize = max(1, math.ceil(len(motions) / (max_workers * 4)))
-    with ProcessPoolExecutor(
-        max_workers=max_workers,
-        initializer=_init_worker,
-        initargs=(detector, scheduler, backend, seed),
-    ) as pool:
-        for collided, first_pose, stats in pool.map(_check_one, motions, chunksize=chunksize):
+    shards = {
+        index: motions[offset : offset + chunksize]
+        for index, offset in enumerate(range(0, len(motions), chunksize))
+    }
+
+    def pool_factory() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(detector, scheduler, backend, seed, faults),
+        )
+
+    supervisor = SupervisedPool(
+        pool_factory,
+        retry=retry,
+        shard_timeout_s=shard_timeout_s,
+        counters=counters,
+    )
+    shard_results = supervisor.run(_check_shard, shards)
+    for index in range(len(shards)):
+        for collided, first_pose, stats in shard_results[index]:
             result.stats.merge(stats)
             result.outcomes.append(collided)
             result.first_colliding_poses.append(first_pose)

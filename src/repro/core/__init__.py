@@ -10,7 +10,12 @@ from .adaptive import STRATEGY_BY_DENSITY, AdaptiveCHTPredictor, ObstacleDensity
 from .cht import CollisionHistoryTable, shift_for_strategy
 from .encoders import LatentHash, train_coord_autoencoder, train_pose_autoencoder
 from .hashing import CoordHash, HashFunction, PoseFoldHash, PoseHash, PosePartHash
-from .metrics import ConfusionCounts, LatencyHistogram, PredictionEvaluator
+from .metrics import (
+    ConfusionCounts,
+    LatencyHistogram,
+    PredictionEvaluator,
+    ResilienceCounters,
+)
 from .mlp import MLP, DenseLayer, train_regression
 from .predictor import (
     AlwaysPredictor,
@@ -43,6 +48,7 @@ __all__ = [
     "PosePartHash",
     "ConfusionCounts",
     "LatencyHistogram",
+    "ResilienceCounters",
     "PredictionEvaluator",
     "MLP",
     "DenseLayer",

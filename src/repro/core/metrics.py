@@ -8,6 +8,10 @@ This module also hosts :class:`LatencyHistogram`, the streaming histogram
 shared by the serving telemetry layer and the benchmarks: collision checks
 arrive as latency-sensitive streams (Sec. III-E), so tail percentiles —
 not means — are the quantity every serving experiment reports.
+:class:`ResilienceCounters` is the matching counter block for the fault
+tolerance layer (:mod:`repro.resilience`): retries, breaker trips,
+degraded verdicts, and restarts, aggregated the same way everywhere a
+supervised component runs.
 """
 
 from __future__ import annotations
@@ -16,7 +20,58 @@ import math
 
 from dataclasses import dataclass
 
-__all__ = ["ConfusionCounts", "PredictionEvaluator", "LatencyHistogram"]
+__all__ = [
+    "ConfusionCounts",
+    "PredictionEvaluator",
+    "LatencyHistogram",
+    "RESILIENCE_COUNTER_NAMES",
+    "ResilienceCounters",
+]
+
+#: Counters registered up front so resilience snapshots always carry every
+#: key, even for components that never failed.
+RESILIENCE_COUNTER_NAMES = (
+    "shard_retries",
+    "shard_timeouts",
+    "pool_restarts",
+    "worker_errors",
+    "worker_restarts",
+    "breaker_trips",
+    "breaker_probes",
+    "backend_failures",
+    "degraded_verdicts",
+    "faults_injected",
+    "shutdown_drained",
+)
+
+
+class ResilienceCounters:
+    """Monotonic counters for the fault-tolerance layer.
+
+    One instance per supervised component (a sharded run, a serving
+    telemetry block); ``merge`` folds per-component counters into a
+    run-level view. Unregistered names are created on first use so the
+    fault-injection harness can attach ad-hoc counters.
+    """
+
+    def __init__(self):
+        self.counters = {name: 0 for name in RESILIENCE_COUNTER_NAMES}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter (created on first use if unregistered)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def merge(self, other: "ResilienceCounters") -> None:
+        """Accumulate another counter block into this one."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every counter."""
+        return dict(self.counters)
 
 
 class LatencyHistogram:

@@ -1,0 +1,42 @@
+"""Fault tolerance: supervised pools, circuit breakers, fault injection.
+
+The production counterpart of the paper's core idea. COORD's CHT stands
+in for the exact collision check when the exact path is too *expensive*;
+this package makes the same speculative verdict the graceful-degradation
+floor when the exact path is *unavailable* — a crashed pool worker, a
+broken execution backend, a stalled serving loop. Three pieces:
+
+* :mod:`~repro.resilience.supervisor` — bounded-retry supervision over
+  restartable process pools (used by
+  :func:`repro.collision.batch_pipeline.check_motions_sharded`);
+* :mod:`~repro.resilience.breaker` — per-backend circuit breakers and the
+  batch → scalar → CHT-predicted degradation ladder the serving layer
+  walks;
+* :mod:`~repro.resilience.faults` — a seeded, deterministic fault
+  injector (worker crash / slow shard / kernel exception / queue stall)
+  shared by the tests, the chaos CI job, and ``loadtest --inject``.
+"""
+
+from .breaker import BREAKER_STATES, CircuitBreaker, DegradationLadder
+from .faults import (
+    FAULT_KINDS,
+    FaultInjected,
+    FaultInjector,
+    FaultSpec,
+    WorkerCrashFault,
+)
+from .supervisor import RetryPolicy, ShardFailureError, SupervisedPool
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "FAULT_KINDS",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultSpec",
+    "WorkerCrashFault",
+    "RetryPolicy",
+    "ShardFailureError",
+    "SupervisedPool",
+]

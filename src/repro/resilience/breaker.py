@@ -1,0 +1,143 @@
+"""Circuit breakers and the exact→predicted degradation ladder.
+
+The paper's core trade — answer from the CHT when the exact check is too
+expensive — generalizes to *unavailable*: when an execution backend keeps
+failing, the service should stop burning latency on attempts that will
+fail and degrade to the next-cheaper rung, probing the broken rung
+periodically for recovery. That is precisely a circuit breaker per rung:
+
+* **closed**    — requests flow; ``failure_threshold`` consecutive
+  failures trip the breaker open;
+* **open**      — the rung is skipped outright until ``recovery_s`` has
+  elapsed;
+* **half_open** — one probe request is let through; success closes the
+  breaker, failure re-opens it for another recovery window.
+
+:class:`DegradationLadder` strings breakers over an ordered list of rung
+names (e.g. ``("batch", "scalar")``); the serving layer walks
+:meth:`DegradationLadder.plan` and falls through to the CHT-predicted
+verdict when every exact rung is broken or circuit-broken.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker", "DegradationLadder"]
+
+#: The breaker state machine's states.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Per-backend failure gate with closed/open/half-open states."""
+
+    def __init__(
+        self,
+        name: str = "backend",
+        failure_threshold: int = 3,
+        recovery_s: float = 1.0,
+        clock=time.monotonic,
+        counters=None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if recovery_s < 0.0:
+            raise ValueError("recovery_s must be non-negative")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.clock = clock
+        self.counters = counters
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+
+    def _count(self, counter: str) -> None:
+        if self.counters is not None:
+            self.counters.count(counter)
+
+    def allow(self) -> bool:
+        """May a request try this rung right now?
+
+        In the open state this is also where recovery probing happens:
+        once ``recovery_s`` has elapsed the breaker moves to half-open and
+        admits the caller as the probe.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self.opened_at >= self.recovery_s:
+                self.state = "half_open"
+                self._count("breaker_probes")
+                return True
+            return False
+        return True  # half_open: the probe (and any racers) may try
+
+    def record_success(self) -> None:
+        """A request on this rung completed: close the breaker."""
+        self.state = "closed"
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A request on this rung failed: trip or re-open as appropriate."""
+        self.consecutive_failures += 1
+        if self.state == "half_open" or self.consecutive_failures >= self.failure_threshold:
+            if self.state != "open":
+                self._count("breaker_trips")
+            self.state = "open"
+            self.opened_at = self.clock()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for telemetry."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+class DegradationLadder:
+    """Ordered execution rungs, each guarded by its own breaker.
+
+    ``plan()`` returns the rung names currently worth attempting, in
+    preference order; an empty plan means "go straight to the terminal
+    fallback" (the CHT-predicted verdict, which cannot fail).
+    """
+
+    def __init__(
+        self,
+        rungs,
+        *,
+        failure_threshold: int = 3,
+        recovery_s: float = 1.0,
+        clock=time.monotonic,
+        counters=None,
+    ):
+        self.rungs = tuple(rungs)
+        if not self.rungs:
+            raise ValueError("a ladder needs at least one rung")
+        self.breakers = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=failure_threshold,
+                recovery_s=recovery_s,
+                clock=clock,
+                counters=counters,
+            )
+            for name in self.rungs
+        }
+
+    def plan(self) -> list:
+        """Rung names currently admitted by their breakers, in order."""
+        return [name for name in self.rungs if self.breakers[name].allow()]
+
+    def record(self, rung: str, ok: bool) -> None:
+        """Feed one attempt's outcome back into the rung's breaker."""
+        if ok:
+            self.breakers[rung].record_success()
+        else:
+            self.breakers[rung].record_failure()
+
+    def snapshot(self) -> dict:
+        """Per-rung breaker states for telemetry."""
+        return {name: self.breakers[name].snapshot() for name in self.rungs}

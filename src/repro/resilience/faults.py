@@ -1,0 +1,152 @@
+"""Deterministic fault injection for the collision and serving stacks.
+
+A resilience layer is only trustworthy if its failure paths are exercised
+as repeatably as its happy path. This module provides a *seeded* fault
+plan: every injection decision is a pure function of ``(seed, kind,
+scope index, attempt)``, so a test, a chaos CI job, and a ``loadtest
+--inject`` run all see the same faults for the same seed — and a retried
+shard sees attempt-aware faults (by default a fault fires on the first
+attempt only, so recovery can be asserted).
+
+Fault kinds (``FAULT_KINDS``):
+
+* ``crash``     — hard worker death (``os._exit`` in a pool worker, a
+  :class:`WorkerCrashFault` escaping an asyncio worker loop);
+* ``slow``      — a shard sleeps past its supervision timeout;
+* ``exception`` — the kernel raises mid-batch (:class:`FaultInjected`);
+* ``stall``     — an asyncio worker loop stops draining its queue for
+  ``delay_s`` seconds.
+
+The injector is picklable, so one instance configures both the parent
+process and every ``ProcessPoolExecutor`` worker (each worker holds its
+own copy; decisions agree because they are seed-derived, though
+``max_triggers`` caps are then per-process).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjected",
+    "WorkerCrashFault",
+    "FaultSpec",
+    "FaultInjector",
+]
+
+#: The injectable failure modes.
+FAULT_KINDS = ("crash", "slow", "exception", "stall")
+
+
+class FaultInjected(RuntimeError):
+    """An injected kernel exception (the ``exception`` fault kind)."""
+
+
+class WorkerCrashFault(RuntimeError):
+    """An injected serving-worker death (the async ``crash`` fault kind)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: what kind, where, and how often.
+
+    Targeting is either explicit (``indices`` — e.g. "shard 3 crashes")
+    or statistical (``rate`` — each scope index is targeted with this
+    probability, decided by a seeded hash so the choice is stable).
+    ``attempts`` limits firing to specific retry attempts (default: the
+    first attempt only, so supervised retries succeed); ``None`` fires on
+    every attempt. ``max_triggers`` caps total firings per injector copy.
+    """
+
+    kind: str
+    rate: float = 0.0
+    indices: tuple = ()
+    attempts: tuple = (0,)
+    delay_s: float = 2.0
+    max_triggers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate!r}")
+        if self.delay_s < 0.0:
+            raise ValueError("delay_s must be non-negative")
+
+
+class FaultInjector:
+    """Seeded decision engine over a list of :class:`FaultSpec`.
+
+    :meth:`poll` is the pure decision ("does a fault fire here?") used by
+    the asyncio serving layer, which implements the side effects itself;
+    :meth:`fire` additionally *executes* the synchronous side effects
+    (process exit, sleep, raise) and is what pool workers call.
+    """
+
+    def __init__(self, specs, seed: int = 0):
+        self.specs = list(specs)
+        self.seed = int(seed)
+        #: Spec position -> number of times it has fired (per process).
+        self.triggered: dict[int, int] = {}
+
+    @property
+    def total_triggered(self) -> int:
+        """Faults fired so far by this injector copy."""
+        return sum(self.triggered.values())
+
+    def _targets(self, spec: FaultSpec, index: int) -> bool:
+        """Deterministic targeting decision for one scope index."""
+        if spec.indices:
+            return index in spec.indices
+        if spec.rate <= 0.0:
+            return False
+        if spec.rate >= 1.0:
+            return True
+        token = f"{self.seed}:{spec.kind}:{index}".encode("utf-8")
+        draw = zlib.crc32(token) / 2**32
+        return draw < spec.rate
+
+    def poll(self, kind: str, index: int, attempt: int = 0):
+        """Return the first matching :class:`FaultSpec`, or None.
+
+        A returned spec counts as a firing (``max_triggers`` decrements),
+        so callers must follow through with the fault's side effect.
+        """
+        for position, spec in enumerate(self.specs):
+            if spec.kind != kind:
+                continue
+            if spec.attempts is not None and attempt not in spec.attempts:
+                continue
+            if spec.max_triggers is not None:
+                if self.triggered.get(position, 0) >= spec.max_triggers:
+                    continue
+            if not self._targets(spec, index):
+                continue
+            self.triggered[position] = self.triggered.get(position, 0) + 1
+            return spec
+        return None
+
+    def fire(self, kind: str, index: int, attempt: int = 0):
+        """Poll and *execute* a synchronous fault (for pool workers).
+
+        ``crash`` exits the process without cleanup (the pool sees a dead
+        worker, exactly like an OOM kill); ``slow`` sleeps ``delay_s``;
+        ``exception`` raises :class:`FaultInjected`. Returns the fired
+        spec (or None) for the kinds that return at all.
+        """
+        spec = self.poll(kind, index, attempt)
+        if spec is None:
+            return None
+        if kind == "crash":
+            os._exit(13)
+        if kind == "slow":
+            time.sleep(spec.delay_s)
+            return spec
+        if kind == "exception":
+            raise FaultInjected(f"injected exception (scope {index}, attempt {attempt})")
+        return spec

@@ -1,0 +1,182 @@
+"""Supervised execution of shard tasks over restartable process pools.
+
+``ProcessPoolExecutor`` has an all-or-nothing failure model: one worker
+dying (OOM kill, segfault in a native kernel, ``os._exit``) breaks the
+whole pool and every in-flight future raises ``BrokenProcessPool``. For a
+production collision service that is the wrong granularity — one poisoned
+shard must not abort a million-motion workload. :class:`SupervisedPool`
+wraps the executor with the supervision loop production job runners use:
+
+1. submit every unfinished shard to the current pool;
+2. wait for the round (optionally bounded by a timeout, which is how hung
+   workers are detected — a future that never resolves);
+3. collect per-shard results; classify failures (worker exception, broken
+   pool, timeout);
+4. restart the pool if it broke or hung, back off with seeded exponential
+   jitter, and resubmit *only* the unfinished shards;
+5. give up on a shard only after ``RetryPolicy.max_retries`` retries.
+
+Results are keyed by shard index, so the caller's assembly order — and
+therefore the final verdict stream — is independent of which attempt
+finally succeeded.
+"""
+
+from __future__ import annotations
+
+import time
+
+from concurrent.futures import BrokenExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "ShardFailureError", "SupervisedPool"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    ``delay_s(attempt)`` grows as ``base_delay_s * 2**attempt`` capped at
+    ``max_delay_s``, scaled by a deterministic jitter factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from ``seed`` — retries desynchronize
+    across runs of different seeds yet replay identically under one seed.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.02
+    max_delay_s: float = 0.5
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s < 0.0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay_s, self.base_delay_s * (2.0 ** max(attempt, 0)))
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, max(attempt, 0)]))
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+class ShardFailureError(RuntimeError):
+    """A shard kept failing after its retry budget was spent."""
+
+    def __init__(self, shard: int, attempts: int, cause: BaseException):
+        super().__init__(
+            f"shard {shard} failed {attempts} attempt(s); last cause: {cause!r}"
+        )
+        self.shard = shard
+        self.attempts = attempts
+        self.cause = cause
+
+
+class SupervisedPool:
+    """Retry/restart supervision over a replaceable process pool.
+
+    Parameters
+    ----------
+    pool_factory:
+        Zero-argument callable returning a fresh executor (with its
+        initializer/initargs baked in); called again after every pool
+        break or hang.
+    retry:
+        The :class:`RetryPolicy`; defaults to 3 retries with jittered
+        exponential backoff.
+    shard_timeout_s:
+        Wall-clock budget for one dispatch round (all outstanding shards
+        run concurrently, so this is the per-shard attempt budget when
+        shards fit the pool). ``None`` disables hang detection.
+    counters:
+        Optional counter sink with a ``count(name, n=1)`` method (e.g.
+        :class:`repro.core.metrics.ResilienceCounters`); receives
+        ``shard_retries``, ``shard_timeouts`` and ``pool_restarts``.
+    """
+
+    def __init__(
+        self,
+        pool_factory,
+        *,
+        retry: RetryPolicy | None = None,
+        shard_timeout_s: float | None = None,
+        counters=None,
+        sleep=time.sleep,
+    ):
+        self.pool_factory = pool_factory
+        self.retry = retry or RetryPolicy()
+        self.shard_timeout_s = shard_timeout_s
+        self.counters = counters
+        self.sleep = sleep
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.counters is not None:
+            self.counters.count(name, n)
+
+    def run(self, task_fn, shards: dict) -> dict:
+        """Run ``task_fn(index, attempt, payload)`` for every shard.
+
+        ``shards`` maps shard index -> payload. Returns a dict of shard
+        index -> result containing every shard, or raises
+        :class:`ShardFailureError` for the first shard whose retry budget
+        is exhausted. Worker-side exceptions, broken pools, and round
+        timeouts all route through the same retry path.
+        """
+        results: dict = {}
+        attempts = {index: 0 for index in shards}
+        pending = set(shards)
+        pool = self.pool_factory()
+        try:
+            while pending:
+                futures = {}
+                broken = False
+                for index in sorted(pending):
+                    try:
+                        futures[pool.submit(task_fn, index, attempts[index], shards[index])] = index
+                    except (BrokenExecutor, RuntimeError):
+                        # Pool died between rounds; unsubmitted shards
+                        # simply ride into the next round's fresh pool.
+                        broken = True
+                        break
+                done, not_done = wait(futures, timeout=self.shard_timeout_s)
+                failed: dict = {}
+                for future in done:
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                        pending.discard(index)
+                    except BrokenExecutor as exc:
+                        broken = True
+                        failed[index] = exc
+                    except Exception as exc:
+                        failed[index] = exc
+                if not_done:
+                    # A hung worker never resolves its future: classify the
+                    # stragglers as timeouts and rebuild the pool under them.
+                    broken = True
+                    for future in not_done:
+                        index = futures[future]
+                        failed[index] = TimeoutError(
+                            f"shard {index} exceeded {self.shard_timeout_s}s round budget"
+                        )
+                        self._count("shard_timeouts")
+                if failed:
+                    for index, exc in failed.items():
+                        attempts[index] += 1
+                        self._count("shard_retries")
+                        if attempts[index] > self.retry.max_retries:
+                            raise ShardFailureError(index, attempts[index], exc)
+                    self.sleep(self.retry.delay_s(max(attempts[i] for i in failed) - 1))
+                if (broken or not_done) and pending:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self.pool_factory()
+                    self._count("pool_restarts")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results

@@ -11,22 +11,35 @@ provides:
   shared-table contention by construction);
 * bounded-queue admission control (block / reject-with-retry-after) and a
   deadline path that falls back to the CHT's *predicted* verdict;
-* streaming latency telemetry and an open-loop replay load generator.
+* supervised worker loops with a circuit-breaker degradation ladder
+  (batch → scalar → CHT-predicted) and shutdown draining — every request
+  terminates as ok / predicted / rejected / shutdown, never hangs;
+* streaming latency + resilience telemetry and an open-loop replay load
+  generator.
 """
 
 from .admission import (
     ADMISSION_POLICIES,
+    STATUS_OK,
+    STATUS_PREDICTED,
+    STATUS_REJECTED,
+    STATUS_SHUTDOWN,
     AdmissionController,
     QueryRequest,
     QueryResult,
 )
 from .batching import BatchingConfig, MicroBatcher, worker_for_session
 from .loadgen import LoadGenerator, LoadTestReport, ScheduledRequest
-from .service import CollisionService, ServiceConfig, Session
+from .service import WORKER_ERROR_POLICIES, CollisionService, ServiceConfig, Session
 from .telemetry import ServiceTelemetry
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "STATUS_OK",
+    "STATUS_PREDICTED",
+    "STATUS_REJECTED",
+    "STATUS_SHUTDOWN",
+    "WORKER_ERROR_POLICIES",
     "AdmissionController",
     "QueryRequest",
     "QueryResult",

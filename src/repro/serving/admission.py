@@ -40,6 +40,7 @@ ADMISSION_POLICIES = ("block", "reject")
 STATUS_OK = "ok"
 STATUS_PREDICTED = "predicted"
 STATUS_REJECTED = "rejected"
+STATUS_SHUTDOWN = "shutdown"
 
 
 @dataclass
@@ -64,9 +65,13 @@ class QueryRequest:
 class QueryResult:
     """The service's answer to one :class:`QueryRequest`.
 
-    ``status`` is ``"ok"`` (exact check ran), ``"predicted"`` (deadline
-    fallback: the verdict is the CHT's speculation, no CDQ executed), or
-    ``"rejected"`` (backpressure: no verdict, retry after the hint).
+    ``status`` is ``"ok"`` (exact check ran), ``"predicted"`` (the verdict
+    is the CHT's speculation, no CDQ executed — a deadline fallback or a
+    degraded verdict after backend failures), ``"rejected"`` (backpressure:
+    no verdict, retry after the hint), or ``"shutdown"`` (the service
+    stopped before the request could execute; no verdict). Every request
+    terminates in exactly one of these — the service never leaves an
+    awaiter hung.
     """
 
     session_id: str

@@ -70,11 +70,25 @@ class MicroBatcher:
         self.queue = queue
         self.config = config or BatchingConfig()
         self.clock = clock
+        #: Requests popped off the queue whose futures have not yet been
+        #: handed a result. The batcher keeps ownership from the first
+        #: ``queue.get`` until the worker loop finishes processing the
+        #: returned batch (the loop clears this); if collection *or*
+        #: processing is cancelled (service shutdown), these would
+        #: otherwise be silently dropped with their futures forever
+        #: pending — the service drains them to ``shutdown`` instead.
+        self.pending: list[QueryRequest] = []
 
     async def next_batch(self) -> list[QueryRequest]:
-        """Collect the next micro-batch (always at least one request)."""
+        """Collect the next micro-batch (always at least one request).
+
+        The returned batch stays referenced by :attr:`pending` until the
+        caller clears it, so an interrupted worker loop never strands
+        popped requests.
+        """
+        self.pending = []
         first = await self.queue.get()
-        batch = [first]
+        batch = self.pending = [first]
         flush_at = self.clock() + self.config.max_wait_ms / 1e3
         while len(batch) < self.config.max_batch:
             remaining = flush_at - self.clock()

@@ -25,7 +25,13 @@ import numpy as np
 
 from ..collision.pipeline import Motion
 from ..workloads.benchmarks import PlannerWorkload
-from .admission import STATUS_OK, STATUS_PREDICTED, STATUS_REJECTED, QueryResult
+from .admission import (
+    STATUS_OK,
+    STATUS_PREDICTED,
+    STATUS_REJECTED,
+    STATUS_SHUTDOWN,
+    QueryResult,
+)
 from .service import CollisionService
 
 __all__ = ["ScheduledRequest", "LoadTestReport", "LoadGenerator"]
@@ -52,12 +58,18 @@ class LoadTestReport:
     colliding: int
     wall_s: float
     target_qps: float
+    shutdown: int = 0
     snapshot: dict = field(default_factory=dict)
 
     @property
     def achieved_qps(self) -> float:
         """Requests answered (exactly or speculatively) per wall second."""
         return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def answered(self) -> int:
+        """Requests that reached *any* terminal status (nothing hung)."""
+        return self.completed + self.rejected + self.shutdown
 
     def render(self) -> str:
         """Human-readable multi-line summary."""
@@ -69,6 +81,8 @@ class LoadTestReport:
             f"colliding: {self.colliding}",
             f"wall:      {self.wall_s:.3f} s ({self.achieved_qps:.1f} qps achieved)",
         ]
+        if self.shutdown:
+            lines.insert(3, f"shutdown:  {self.shutdown} (drained at stop)")
         if latency:
             lines.append(
                 "latency:   p50 {p50:.3f} ms | p95 {p95:.3f} ms | p99 {p99:.3f} ms".format(
@@ -166,16 +180,17 @@ class LoadGenerator:
             for session_id in session_ids:
                 self.service.close_session(session_id)
         wall_s = loop_clock() - started
-        by_status = {STATUS_OK: 0, STATUS_PREDICTED: 0, STATUS_REJECTED: 0}
+        by_status: dict[str, int] = {}
         colliding = 0
         for result in results:
-            by_status[result.status] += 1
+            by_status[result.status] = by_status.get(result.status, 0) + 1
             colliding += bool(result.colliding)
         return LoadTestReport(
             offered=len(plan),
-            completed=by_status[STATUS_OK] + by_status[STATUS_PREDICTED],
-            predicted=by_status[STATUS_PREDICTED],
-            rejected=by_status[STATUS_REJECTED],
+            completed=by_status.get(STATUS_OK, 0) + by_status.get(STATUS_PREDICTED, 0),
+            predicted=by_status.get(STATUS_PREDICTED, 0),
+            rejected=by_status.get(STATUS_REJECTED, 0),
+            shutdown=by_status.get(STATUS_SHUTDOWN, 0),
             colliding=colliding,
             wall_s=wall_s,
             target_qps=self.qps,

@@ -18,6 +18,13 @@ GIL gains nothing from threads here). What the architecture models — and
 what the telemetry measures — is the scheduling layer the paper's Sec.
 III-E identifies as the real bottleneck: queueing, batching, backpressure,
 and prediction fallback under deadline pressure.
+
+Execution is fault-tolerant (:mod:`repro.resilience`): worker loops run
+under a supervisor that fails only the in-flight batch and restarts the
+loop; exact checks walk a circuit-breaker-guarded degradation ladder
+(batch backend → scalar backend → CHT-predicted verdict); and shutdown
+drains every queued request with a terminal ``"shutdown"`` status, so an
+awaiter is never left hung — not by a crash, not by ``stop()``.
 """
 
 from __future__ import annotations
@@ -36,9 +43,16 @@ from ..core.hashing import CoordHash
 from ..core.predictor import CHTPredictor, Predictor
 from ..env.scene import Scene
 from ..kinematics.robots import RobotModel
+from ..resilience import (
+    DegradationLadder,
+    FaultInjected,
+    FaultInjector,
+    WorkerCrashFault,
+)
 from .admission import (
     STATUS_OK,
     STATUS_PREDICTED,
+    STATUS_SHUTDOWN,
     AdmissionController,
     QueryRequest,
     QueryResult,
@@ -46,7 +60,12 @@ from .admission import (
 from .batching import BatchingConfig, MicroBatcher, worker_for_session
 from .telemetry import ServiceTelemetry
 
-__all__ = ["ServiceConfig", "Session", "CollisionService"]
+__all__ = ["WORKER_ERROR_POLICIES", "ServiceConfig", "Session", "CollisionService"]
+
+#: What happens to a batch whose worker loop dies mid-execution:
+#: ``predict`` resolves its requests with degraded CHT verdicts,
+#: ``error`` propagates the failure to the awaiters.
+WORKER_ERROR_POLICIES = ("predict", "error")
 
 
 def default_predictor_factory() -> Predictor:
@@ -66,8 +85,17 @@ class ServiceConfig:
     #: Motion-check execution engine for exact checks (see
     #: :data:`repro.collision.pipeline.BACKENDS`). ``batch`` vectorizes
     #: predictor-free sessions; sessions with a CHT predictor still run
-    #: the scalar observe loop regardless.
+    #: the scalar observe loop regardless. This is the *top rung* of the
+    #: degradation ladder — on repeated failure the service steps down
+    #: (batch → scalar → CHT-predicted).
     backend: str = "scalar"
+    #: Fate of a batch whose worker loop crashes mid-flight (see
+    #: :data:`WORKER_ERROR_POLICIES`).
+    on_worker_error: str = "predict"
+    #: Consecutive backend failures before that rung's breaker opens.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before admitting a recovery probe.
+    breaker_recovery_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -76,6 +104,20 @@ class ServiceConfig:
             raise ValueError("queue_bound must be positive")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.on_worker_error not in WORKER_ERROR_POLICIES:
+            raise ValueError(
+                f"on_worker_error must be one of {WORKER_ERROR_POLICIES}, "
+                f"got {self.on_worker_error!r}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_recovery_s < 0.0:
+            raise ValueError("breaker_recovery_s must be non-negative")
+
+    @property
+    def exact_rungs(self) -> tuple:
+        """Exact-execution ladder rungs, fastest first."""
+        return ("batch", "scalar") if self.backend == "batch" else ("scalar",)
 
     @property
     def batching(self) -> BatchingConfig:
@@ -111,40 +153,71 @@ class CollisionService:
             result = await service.submit(sid, Motion(q0, q1, num_poses=12))
 
     ``submit`` resolves to a :class:`~repro.serving.admission.QueryResult`;
-    it never raises for backpressure or deadline misses — those are
-    statuses, mirroring how a hardware unit reports rather than traps.
+    it never raises for backpressure, deadline misses, degraded execution,
+    or shutdown — those are statuses, mirroring how a hardware unit
+    reports rather than traps.
+
+    ``faults`` arms the deterministic chaos harness: an injected ``crash``
+    kills a worker loop mid-batch (the supervisor restarts it), an
+    injected ``exception`` fails an execution rung (exercising the
+    degradation ladder), and an injected ``stall`` freezes a worker loop
+    for its configured delay. Injection scope indices are the service's
+    monotonically increasing batch numbers.
     """
 
-    def __init__(self, config: ServiceConfig | None = None, clock=time.perf_counter):
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        clock=time.perf_counter,
+        faults: FaultInjector | None = None,
+    ):
         self.config = config or ServiceConfig()
         self.clock = clock
+        self.faults = faults
         self.telemetry = ServiceTelemetry(clock=clock)
         self.sessions: dict[str, Session] = {}
         self._admission = AdmissionController(self.config.policy, self.telemetry)
         self._queues: list[asyncio.Queue] = []
         self._workers: list[asyncio.Task] = []
+        self._batchers: dict[int, MicroBatcher] = {}
         self._session_counter = itertools.count()
         self._seq_counter = itertools.count()
+        self._batch_counter = itertools.count()
+        self._ladder = DegradationLadder(
+            self.config.exact_rungs,
+            failure_threshold=self.config.breaker_threshold,
+            recovery_s=self.config.breaker_recovery_s,
+            clock=clock,
+            counters=self.telemetry.resilience,
+        )
+        self.telemetry.set_breaker_provider(self._ladder.snapshot)
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Create worker queues and spawn one batcher task per worker."""
+        """Create worker queues and spawn one supervised task per worker."""
         if self._started:
             raise RuntimeError("service already started")
         self._queues = [
             asyncio.Queue(maxsize=self.config.queue_bound)
             for _ in range(self.config.num_workers)
         ]
+        self._batchers = {}
         self._workers = [
-            asyncio.ensure_future(self._worker_loop(index, queue))
+            asyncio.ensure_future(self._supervised_worker(index, queue))
             for index, queue in enumerate(self._queues)
         ]
         self._started = True
 
     async def stop(self) -> None:
-        """Cancel workers; pending requests' futures are cancelled too."""
+        """Stop workers and drain every pending request as ``shutdown``.
+
+        Requests still queued — or already popped into a half-collected
+        micro-batch — are resolved with a terminal
+        :data:`~repro.serving.admission.STATUS_SHUTDOWN` result rather
+        than cancelled, so every awaiter gets an answer it can branch on.
+        """
         for task in self._workers:
             task.cancel()
         for task in self._workers:
@@ -152,13 +225,19 @@ class CollisionService:
                 await task
             except asyncio.CancelledError:
                 pass
+        drained = 0
+        for batcher in self._batchers.values():
+            for request in batcher.pending:
+                drained += self._resolve_shutdown(request)
+            batcher.pending = []
         for queue in self._queues:
             while not queue.empty():
-                request = queue.get_nowait()
-                if not request.future.done():
-                    request.future.cancel()
+                drained += self._resolve_shutdown(queue.get_nowait())
+        if drained:
+            self.telemetry.resilience.count("shutdown_drained", drained)
         self._workers = []
         self._queues = []
+        self._batchers = {}
         self._started = False
 
     async def __aenter__(self) -> "CollisionService":
@@ -240,16 +319,86 @@ class CollisionService:
 
     # -- execution ---------------------------------------------------------
 
+    async def _supervised_worker(self, index: int, queue: asyncio.Queue) -> None:
+        """Keep the worker loop alive: a crash fails one batch, not the shard.
+
+        Any exception escaping the loop (a bug in an execution path, an
+        injected :class:`~repro.resilience.WorkerCrashFault`) has already
+        had its in-flight batch resolved by the loop's error handler; the
+        supervisor just counts the restart and re-enters the loop with a
+        fresh batcher, so queued clients keep being served.
+        """
+        while True:
+            try:
+                await self._worker_loop(index, queue)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.telemetry.resilience.count("worker_restarts")
+
     async def _worker_loop(self, index: int, queue: asyncio.Queue) -> None:
         batcher = MicroBatcher(queue, self.config.batching, clock=self.clock)
+        self._batchers[index] = batcher
         while True:
             batch = await batcher.next_batch()
             self.telemetry.set_queue_depth(index, queue.qsize())
-            self._execute_batch(batch)
-            for _ in batch:
-                queue.task_done()
+            batch_index = next(self._batch_counter)
+            if self.faults is not None:
+                stall = self.faults.poll("stall", batch_index)
+                if stall is not None:
+                    self.telemetry.resilience.count("faults_injected")
+                    await asyncio.sleep(stall.delay_s)
+            try:
+                if self.faults is not None and self.faults.poll("crash", batch_index):
+                    self.telemetry.resilience.count("faults_injected")
+                    raise WorkerCrashFault(
+                        f"injected crash in worker {index} at batch {batch_index}"
+                    )
+                self._execute_batch(batch, batch_index)
+            except Exception as error:
+                self._fail_batch(batch, error)
+                raise  # the supervisor restarts this loop
+            finally:
+                # The batch is fully processed (or terminally failed);
+                # release the batcher's ownership. A cancellation landing
+                # on an await above leaves `pending` set, so stop() can
+                # drain the half-processed batch to `shutdown`.
+                batcher.pending = []
+                for _ in batch:
+                    queue.task_done()
 
-    def _execute_batch(self, batch: list[QueryRequest]) -> None:
+    def _fail_batch(self, batch: list[QueryRequest], error: BaseException) -> None:
+        """Terminal handling for a batch whose worker loop died mid-flight.
+
+        Per ``config.on_worker_error``, unresolved requests either degrade
+        to CHT-predicted verdicts (``predict``) or receive the failure
+        itself (``error``). Either way no future is left pending.
+        """
+        self.telemetry.resilience.count("worker_errors")
+        for request in batch:
+            if request.future.done():
+                continue
+            if self.config.on_worker_error == "predict":
+                self._resolve_predicted(request, len(batch), degraded=True)
+            else:
+                request.future.set_exception(error)
+
+    def _resolve_shutdown(self, request: QueryRequest) -> int:
+        """Resolve one abandoned request with a terminal shutdown status."""
+        if request.future.done():
+            return 0
+        queue_ms = (self.clock() - request.enqueued_at) * 1e3
+        request.future.set_result(
+            QueryResult(
+                session_id=request.session_id,
+                status=STATUS_SHUTDOWN,
+                queue_ms=queue_ms,
+                total_ms=queue_ms,
+            )
+        )
+        return 1
+
+    def _execute_batch(self, batch: list[QueryRequest], batch_index: int) -> None:
         """Run one micro-batch: deadline fallbacks, then exact checks."""
         now = self.clock()
         self.telemetry.observe_batch(len(batch))
@@ -262,10 +411,18 @@ class CollisionService:
             else:
                 exact.append(request)
         for requests in MicroBatcher.group_by_session(exact).values():
-            self._execute_session_group(requests, len(batch))
+            self._execute_session_group(requests, len(batch), batch_index)
 
-    def _resolve_predicted(self, request: QueryRequest, batch_size: int) -> None:
-        """Deadline fallback: answer from the CHT without executing CDQs."""
+    def _resolve_predicted(
+        self, request: QueryRequest, batch_size: int, degraded: bool = False
+    ) -> None:
+        """Answer from the CHT without executing CDQs.
+
+        Two paths land here: the deadline fallback (the request expired
+        while queued) and the degradation ladder's floor (every exact
+        backend failed or is circuit-broken); ``degraded`` picks the
+        counter so telemetry distinguishes them.
+        """
         session = self.sessions.get(request.session_id)
         now = self.clock()
         queue_ms = (now - request.enqueued_at) * 1e3
@@ -275,7 +432,10 @@ class CollisionService:
                 verdict = predict_motion(
                     session.detector, request.motion, session.scheduler, session.predictor
                 )
-        self.telemetry.count("deadline_fallbacks")
+        if degraded:
+            self.telemetry.resilience.count("degraded_verdicts")
+        else:
+            self.telemetry.count("deadline_fallbacks")
         self.telemetry.count("requests_completed")
         self.telemetry.observe_request(queue_ms, 0.0, queue_ms)
         request.future.set_result(
@@ -289,31 +449,65 @@ class CollisionService:
             )
         )
 
-    def _execute_session_group(self, requests: list[QueryRequest], batch_size: int) -> None:
+    def _execute_session_group(
+        self, requests: list[QueryRequest], batch_size: int, batch_index: int
+    ) -> None:
         """Exact checks for one session's share of a micro-batch.
 
         Dispatches through :func:`check_motion_batch` so the serving path
-        and the offline harness execute byte-identical CDQ streams.
+        and the offline harness execute byte-identical CDQ streams. The
+        group walks the degradation ladder: each exact rung whose breaker
+        admits it is attempted in order (``batch`` → ``scalar``); a rung
+        failure feeds its breaker and falls through; when no exact rung
+        remains, every request degrades to the CHT-predicted verdict.
         """
         session = self.sessions.get(requests[0].session_id)
-        started = self.clock()
         if session is None:
             for request in requests:
                 request.future.set_exception(
                     KeyError(f"session {request.session_id!r} was closed")
                 )
             return
-        with self.telemetry.span("batch_execute"):
-            result = check_motion_batch(
-                session.detector,
-                [request.motion for request in requests],
-                session.scheduler,
-                session.predictor,
-                label=session.session_id,
-                backend=self.config.backend,
-            )
+        for rung in self._ladder.plan():
+            started = self.clock()
+            try:
+                with self.telemetry.span("batch_execute"):
+                    if self.faults is not None and self.faults.poll("exception", batch_index):
+                        self.telemetry.resilience.count("faults_injected")
+                        raise FaultInjected(
+                            f"injected kernel exception at batch {batch_index}"
+                        )
+                    result = check_motion_batch(
+                        session.detector,
+                        [request.motion for request in requests],
+                        session.scheduler,
+                        session.predictor,
+                        label=session.session_id,
+                        backend=rung,
+                    )
+            except Exception:
+                self._ladder.record(rung, False)
+                self.telemetry.resilience.count("backend_failures")
+                continue
+            self._ladder.record(rung, True)
+            self._resolve_exact(requests, result, started, batch_size)
+            return
+        # Every exact rung failed or is circuit-broken: degrade to the CHT.
+        for request in requests:
+            self._resolve_predicted(request, batch_size, degraded=True)
+
+    def _resolve_exact(
+        self,
+        requests: list[QueryRequest],
+        result,
+        started: float,
+        batch_size: int,
+    ) -> None:
+        """Resolve one session group's futures from an exact batch result."""
+        session = self.sessions.get(requests[0].session_id)
         finished = self.clock()
-        session.stats.merge(result.stats)
+        if session is not None:
+            session.stats.merge(result.stats)
         execute_ms = (finished - started) * 1e3 / len(requests)
         cdqs_each = result.stats.cdqs_executed // len(requests)
         self.telemetry.count("cdqs_executed", result.stats.cdqs_executed)

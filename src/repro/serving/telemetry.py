@@ -6,8 +6,12 @@ counts cannot see. The service therefore measures itself the way a
 production system would: monotonic counters, streaming latency histograms
 per pipeline stage (queue wait, batch execution, end-to-end), the
 micro-batch size distribution, and per-worker queue-depth gauges.
-Everything is exposed as a plain-dict :meth:`ServiceTelemetry.snapshot`
-and a JSON dump so benchmarks and the CLI share one format.
+Fault-tolerance events (worker restarts, breaker trips, degraded
+verdicts) land in a :class:`~repro.core.metrics.ResilienceCounters`
+block, and the degradation ladder's per-backend breaker states are
+included when the service registers a provider. Everything is exposed as
+a plain-dict :meth:`ServiceTelemetry.snapshot` and a JSON dump so
+benchmarks and the CLI share one format.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import time
 
 from contextlib import contextmanager
 
-from ..core.metrics import LatencyHistogram
+from ..core.metrics import LatencyHistogram, ResilienceCounters
 
 __all__ = ["ServiceTelemetry"]
 
@@ -61,6 +65,18 @@ class ServiceTelemetry:
         #: EWMA of per-request service time, feeding retry-after estimates.
         self.service_time_ewma_ms = 1.0
         self._ewma_alpha = 0.2
+        #: Fault-tolerance counters (retries, breaker trips, restarts, …).
+        self.resilience = ResilienceCounters()
+        self._breaker_provider = None
+
+    def set_breaker_provider(self, provider) -> None:
+        """Register a callable returning per-backend breaker states.
+
+        The service wires its degradation ladder's ``snapshot`` here so
+        telemetry consumers see live breaker states without the telemetry
+        layer depending on the ladder.
+        """
+        self._breaker_provider = provider
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter (created on first use if unregistered)."""
@@ -108,14 +124,18 @@ class ServiceTelemetry:
 
     def snapshot(self) -> dict:
         """Plain-dict view of every counter, histogram, and gauge."""
-        return {
+        data = {
             "counters": dict(self.counters),
             "latency_ms": {name: hist.snapshot() for name, hist in self.stages.items()},
             "batch_sizes": {str(size): n for size, n in sorted(self.batch_sizes.items())},
             "mean_batch_size": self.mean_batch_size,
             "queue_depths": {str(worker): d for worker, d in sorted(self.queue_depths.items())},
             "service_time_ewma_ms": self.service_time_ewma_ms,
+            "resilience": self.resilience.snapshot(),
         }
+        if self._breaker_provider is not None:
+            data["breakers"] = self._breaker_provider()
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         """The snapshot as a JSON document."""

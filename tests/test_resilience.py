@@ -1,0 +1,685 @@
+"""Tests for the fault-tolerant execution layer (:mod:`repro.resilience`).
+
+Covers the three pieces in isolation (retry policy, circuit breakers,
+fault injector, supervision loop over a scripted pool) and then the two
+integration contracts the ISSUE pins down:
+
+* a sharded motion workload under injected worker crashes completes
+  bit-identical to a clean run;
+* a serving run with killed worker loops answers *every* request with a
+  terminal status (ok / predicted / rejected / shutdown) — nothing hangs.
+
+pytest-timeout is not available in this environment, so every await that
+could hang is wrapped in ``asyncio.wait_for`` explicitly.
+"""
+
+import asyncio
+import pickle
+
+from concurrent.futures import BrokenExecutor, Future
+
+import numpy as np
+import pytest
+
+from repro.collision import Motion, check_motion_batch, check_motions_sharded
+from repro.collision.detector import CollisionDetector
+from repro.core import ResilienceCounters
+from repro.core.metrics import RESILIENCE_COUNTER_NAMES
+from repro.resilience import (
+    CircuitBreaker,
+    DegradationLadder,
+    FaultInjected,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    ShardFailureError,
+    SupervisedPool,
+    WorkerCrashFault,
+)
+from repro.serving import CollisionService, LoadGenerator, ServiceConfig
+from repro.workloads.benchmarks import PlannerWorkload, RecordedMotion
+
+
+def run(coro):
+    """Drive one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def make_motions(robot, n, seed=7, num_poses=6):
+    gen = np.random.default_rng(seed)
+    return [
+        Motion(
+            robot.random_configuration(gen),
+            robot.random_configuration(gen),
+            num_poses=num_poses,
+        )
+        for _ in range(n)
+    ]
+
+
+def make_workload(robot, scene, n=10, seed=3, name="wl"):
+    gen = np.random.default_rng(seed)
+    return PlannerWorkload(
+        name=name,
+        scene=scene,
+        robot=robot,
+        motions=[
+            RecordedMotion(
+                start=robot.random_configuration(gen),
+                end=robot.random_configuration(gen),
+                num_poses=6,
+                stage="S1",
+            )
+            for _ in range(n)
+        ],
+    )
+
+
+class FakeClock:
+    """Manually advanced clock for breaker state-machine tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# -- retry policy ------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps_without_jitter(self):
+        policy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.05, jitter=0.0)
+        assert policy.delay_s(0) == pytest.approx(0.01)
+        assert policy.delay_s(1) == pytest.approx(0.02)
+        assert policy.delay_s(2) == pytest.approx(0.04)
+        assert policy.delay_s(3) == pytest.approx(0.05)  # capped
+        assert policy.delay_s(10) == pytest.approx(0.05)
+
+    def test_jitter_is_seed_deterministic_and_bounded(self):
+        a = RetryPolicy(base_delay_s=0.01, max_delay_s=1.0, jitter=0.25, seed=3)
+        b = RetryPolicy(base_delay_s=0.01, max_delay_s=1.0, jitter=0.25, seed=3)
+        c = RetryPolicy(base_delay_s=0.01, max_delay_s=1.0, jitter=0.25, seed=4)
+        delays_a = [a.delay_s(k) for k in range(5)]
+        assert delays_a == [b.delay_s(k) for k in range(5)]
+        assert delays_a != [c.delay_s(k) for k in range(5)]
+        for attempt, delay in enumerate(delays_a):
+            base = min(1.0, 0.01 * 2.0**attempt)
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        counters = ResilienceCounters()
+        breaker = CircuitBreaker(
+            "b", failure_threshold=3, recovery_s=1.0, clock=clock, counters=counters
+        )
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert counters["breaker_trips"] == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker("b", failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        counters = ResilienceCounters()
+        breaker = CircuitBreaker(
+            "b", failure_threshold=1, recovery_s=5.0, clock=clock, counters=counters
+        )
+        breaker.record_failure()
+        assert not breaker.allow()  # still inside the recovery window
+        clock.t = 5.0
+        assert breaker.allow()  # admitted as the probe
+        assert breaker.state == "half_open"
+        assert counters["breaker_probes"] == 1
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("b", failure_threshold=3, recovery_s=1.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.t = 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe fails: re-open immediately
+        assert breaker.state == "open"
+        assert not breaker.allow()  # new recovery window starts at t=1
+        clock.t = 1.5
+        assert not breaker.allow()
+        clock.t = 2.0
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_s=-1.0)
+
+
+class TestDegradationLadder:
+    def test_plan_preserves_order_and_drops_open_rungs(self):
+        clock = FakeClock()
+        ladder = DegradationLadder(
+            ("batch", "scalar"), failure_threshold=1, recovery_s=9.0, clock=clock
+        )
+        assert ladder.plan() == ["batch", "scalar"]
+        ladder.record("batch", False)
+        assert ladder.plan() == ["scalar"]
+        ladder.record("scalar", False)
+        assert ladder.plan() == []  # terminal fallback territory
+        snap = ladder.snapshot()
+        assert snap["batch"]["state"] == "open"
+        assert snap["scalar"]["state"] == "open"
+
+    def test_recovered_rung_rejoins_the_plan(self):
+        clock = FakeClock()
+        ladder = DegradationLadder(
+            ("batch", "scalar"), failure_threshold=1, recovery_s=2.0, clock=clock
+        )
+        ladder.record("batch", False)
+        clock.t = 2.0
+        assert ladder.plan() == ["batch", "scalar"]  # probe admitted, in order
+        ladder.record("batch", True)
+        assert ladder.snapshot()["batch"]["state"] == "closed"
+
+    def test_needs_at_least_one_rung(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(())
+
+
+# -- fault injector ----------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_rate_targeting_is_seed_deterministic(self):
+        spec = FaultSpec(kind="exception", rate=0.3, attempts=None)
+        hits_a = {i for i in range(200) if FaultInjector([spec], seed=1)._targets(spec, i)}
+        hits_b = {i for i in range(200) if FaultInjector([spec], seed=1)._targets(spec, i)}
+        hits_c = {i for i in range(200) if FaultInjector([spec], seed=2)._targets(spec, i)}
+        assert hits_a == hits_b
+        assert hits_a != hits_c
+        assert 0.15 < len(hits_a) / 200 < 0.45  # roughly the configured rate
+
+    def test_explicit_indices_and_attempt_gating(self):
+        injector = FaultInjector([FaultSpec(kind="crash", indices=(2,))])
+        assert injector.poll("crash", 2, attempt=0) is not None
+        assert injector.poll("crash", 2, attempt=1) is None  # default: first attempt only
+        assert injector.poll("crash", 3, attempt=0) is None
+        assert injector.poll("slow", 2, attempt=0) is None  # kind mismatch
+        assert injector.total_triggered == 1
+
+    def test_attempts_none_fires_every_attempt(self):
+        injector = FaultInjector([FaultSpec(kind="exception", indices=(0,), attempts=None)])
+        assert all(injector.poll("exception", 0, attempt=k) for k in range(4))
+
+    def test_max_triggers_caps_firings(self):
+        injector = FaultInjector([FaultSpec(kind="stall", indices=(0, 1, 2), max_triggers=2)])
+        fired = [injector.poll("stall", i) for i in range(3)]
+        assert [spec is not None for spec in fired] == [True, True, False]
+        assert injector.total_triggered == 2
+
+    def test_pickled_copy_agrees_with_the_original(self):
+        injector = FaultInjector([FaultSpec(kind="crash", rate=0.4, attempts=None)], seed=9)
+        clone = pickle.loads(pickle.dumps(injector))
+        for index in range(64):
+            assert (injector.poll("crash", index) is None) == (clone.poll("crash", index) is None)
+
+    def test_fire_executes_exception_and_slow(self):
+        injector = FaultInjector(
+            [
+                FaultSpec(kind="exception", indices=(0,)),
+                FaultSpec(kind="slow", indices=(1,), delay_s=0.0),
+            ]
+        )
+        with pytest.raises(FaultInjected):
+            injector.fire("exception", 0)
+        assert injector.fire("slow", 1) is not None
+        assert injector.fire("slow", 5) is None
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="slow", delay_s=-1.0)
+
+
+# -- resilience counters -----------------------------------------------------
+
+
+class TestResilienceCounters:
+    def test_registered_names_start_at_zero(self):
+        counters = ResilienceCounters()
+        assert set(RESILIENCE_COUNTER_NAMES) <= set(counters.snapshot())
+        assert all(value == 0 for value in counters.snapshot().values())
+
+    def test_count_getitem_and_adhoc_names(self):
+        counters = ResilienceCounters()
+        counters.count("shard_retries")
+        counters.count("shard_retries", 2)
+        counters.count("custom_fault")
+        assert counters["shard_retries"] == 3
+        assert counters["custom_fault"] == 1
+        assert counters["never_touched"] == 0
+
+    def test_merge_accumulates(self):
+        a, b = ResilienceCounters(), ResilienceCounters()
+        a.count("pool_restarts", 2)
+        b.count("pool_restarts")
+        b.count("extra")
+        a.merge(b)
+        assert a["pool_restarts"] == 3
+        assert a["extra"] == 1
+
+
+# -- supervision loop over a scripted pool -----------------------------------
+
+
+class ScriptedPool:
+    """In-process stand-in for an executor; outcomes come from a script.
+
+    ``script(index, attempt, payload)`` returns a value (future resolves),
+    raises (future fails), or returns the sentinel ``"hang"`` (future
+    never resolves — exercises the round-timeout path).
+    """
+
+    def __init__(self, script, log):
+        self.script = script
+        self.log = log
+
+    def submit(self, fn, index, attempt, payload):
+        future = Future()
+        try:
+            outcome = self.script(index, attempt, payload)
+        except Exception as exc:
+            future.set_exception(exc)
+            return future
+        if outcome != "hang":
+            future.set_result(outcome)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.log.append("shutdown")
+
+
+class TestSupervisedPool:
+    def make(self, script, **kwargs):
+        log = []
+        factories = []
+
+        def factory():
+            factories.append(1)
+            return ScriptedPool(script, log)
+
+        sleeps = []
+        pool = SupervisedPool(factory, sleep=sleeps.append, **kwargs)
+        return pool, factories, sleeps
+
+    def test_worker_exception_is_retried_until_success(self):
+        counters = ResilienceCounters()
+
+        def script(index, attempt, payload):
+            if index == 0 and attempt < 2:
+                raise RuntimeError(f"attempt {attempt}")
+            return f"ok{index}"
+
+        pool, factories, sleeps = self.make(
+            script,
+            retry=RetryPolicy(max_retries=3, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0),
+            counters=counters,
+        )
+        results = pool.run(None, {0: "a", 1: "b"})
+        assert results == {0: "ok0", 1: "ok1"}
+        assert counters["shard_retries"] == 2
+        assert counters["pool_restarts"] == 0  # plain exceptions keep the pool
+        assert len(factories) == 1
+        assert len(sleeps) == 2
+
+    def test_broken_pool_is_restarted(self):
+        counters = ResilienceCounters()
+
+        def script(index, attempt, payload):
+            if attempt == 0:
+                raise BrokenExecutor("worker died")
+            return index
+
+        pool, factories, _ = self.make(
+            script,
+            retry=RetryPolicy(max_retries=2, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0),
+            counters=counters,
+        )
+        assert pool.run(None, {0: None, 1: None}) == {0: 0, 1: 1}
+        assert counters["pool_restarts"] == 1
+        assert len(factories) == 2
+
+    def test_hung_shard_times_out_and_recovers(self):
+        counters = ResilienceCounters()
+
+        def script(index, attempt, payload):
+            return "hang" if attempt == 0 else "late"
+
+        pool, factories, _ = self.make(
+            script,
+            retry=RetryPolicy(max_retries=2, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0),
+            shard_timeout_s=0.01,
+            counters=counters,
+        )
+        assert pool.run(None, {0: None}) == {0: "late"}
+        assert counters["shard_timeouts"] == 1
+        assert counters["pool_restarts"] == 1
+        assert len(factories) == 2
+
+    def test_exhausted_retry_budget_raises_shard_failure(self):
+        def script(index, attempt, payload):
+            raise RuntimeError("always")
+
+        pool, _, _ = self.make(
+            script,
+            retry=RetryPolicy(max_retries=1, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0),
+        )
+        with pytest.raises(ShardFailureError) as excinfo:
+            pool.run(None, {0: None})
+        assert excinfo.value.shard == 0
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.cause, RuntimeError)
+
+
+# -- sharded execution under injected faults (real process pools) ------------
+
+
+class TestSupervisedSharding:
+    def test_crash_recovery_is_bit_identical_to_clean_run(self, planar, scene_2d):
+        """ISSUE acceptance: 1000 motions, injected crashes, identical output."""
+        detector = CollisionDetector(scene_2d, planar)
+        motions = make_motions(planar, 1000, seed=11)
+        kwargs = dict(backend="batch", max_workers=2, chunksize=150, seed=0)
+
+        clean = check_motions_sharded(detector, motions, **kwargs)
+        counters = ResilienceCounters()
+        faulted = check_motions_sharded(
+            detector,
+            motions,
+            faults=FaultInjector(
+                [
+                    FaultSpec(kind="crash", indices=(1,)),
+                    FaultSpec(kind="exception", indices=(3,)),
+                ]
+            ),
+            retry=RetryPolicy(base_delay_s=0.0, max_delay_s=0.0, jitter=0.0),
+            counters=counters,
+            **kwargs,
+        )
+
+        assert faulted.outcomes == clean.outcomes
+        assert faulted.first_colliding_poses == clean.first_colliding_poses
+        assert faulted.stats.cdqs_executed == clean.stats.cdqs_executed
+        assert faulted.stats.cdqs_skipped == clean.stats.cdqs_skipped
+        assert faulted.stats.narrow_phase_tests == clean.stats.narrow_phase_tests
+        assert counters["shard_retries"] >= 2  # the crashed and the poisoned shard
+        assert counters["pool_restarts"] >= 1
+
+        # And the clean sharded run matches the sequential pipeline.
+        sequential = check_motion_batch(detector, motions, backend="batch")
+        assert clean.outcomes == sequential.outcomes
+        assert clean.first_colliding_poses == sequential.first_colliding_poses
+
+    def test_crash_recovery_with_default_supervision_config(self, planar, scene_2d):
+        """A BrokenProcessPool must be survivable without opting in to anything."""
+        detector = CollisionDetector(scene_2d, planar)
+        motions = make_motions(planar, 20, seed=5)
+        clean = check_motions_sharded(detector, motions, max_workers=2, chunksize=5, seed=0)
+        faulted = check_motions_sharded(
+            detector,
+            motions,
+            max_workers=2,
+            chunksize=5,
+            seed=0,
+            faults=FaultInjector([FaultSpec(kind="crash", indices=(0,))]),
+        )
+        assert faulted.outcomes == clean.outcomes
+
+    def test_slow_shard_trips_timeout_and_recovers(self, planar, scene_2d):
+        detector = CollisionDetector(scene_2d, planar)
+        motions = make_motions(planar, 20, seed=6)
+        counters = ResilienceCounters()
+        faulted = check_motions_sharded(
+            detector,
+            motions,
+            max_workers=2,
+            chunksize=5,
+            seed=0,
+            faults=FaultInjector([FaultSpec(kind="slow", indices=(0,), delay_s=2.0)]),
+            retry=RetryPolicy(base_delay_s=0.0, max_delay_s=0.0, jitter=0.0),
+            shard_timeout_s=0.3,
+            counters=counters,
+        )
+        clean = check_motions_sharded(detector, motions, max_workers=2, chunksize=5, seed=0)
+        assert faulted.outcomes == clean.outcomes
+        assert counters["shard_timeouts"] >= 1
+        assert counters["pool_restarts"] >= 1
+
+    def test_exhausted_retries_surface_as_shard_failure(self, planar, scene_2d):
+        detector = CollisionDetector(scene_2d, planar)
+        motions = make_motions(planar, 8, seed=8)
+        with pytest.raises(ShardFailureError) as excinfo:
+            check_motions_sharded(
+                detector,
+                motions,
+                max_workers=2,
+                chunksize=4,
+                seed=0,
+                faults=FaultInjector(
+                    [FaultSpec(kind="exception", indices=(0,), attempts=None)]
+                ),
+                retry=RetryPolicy(max_retries=1, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0),
+            )
+        assert excinfo.value.shard == 0
+
+
+# -- serving-layer supervision ------------------------------------------------
+
+
+class TestServingResilience:
+    def test_killed_worker_loops_leave_zero_hung_requests(self, planar, scene_2d):
+        """ISSUE acceptance: every request terminates despite worker deaths."""
+        workloads = [make_workload(planar, scene_2d, n=8, seed=s) for s in (1, 2)]
+        faults = FaultInjector([FaultSpec(kind="crash", indices=(0, 3, 6))])
+        service = CollisionService(
+            ServiceConfig(num_workers=2, max_batch=4, max_wait_ms=1.0, queue_bound=64),
+            faults=faults,
+        )
+        generator = LoadGenerator(service, workloads, qps=3000.0, seed=4, max_requests=60)
+
+        async def scenario():
+            async with service:
+                return await asyncio.wait_for(generator.run(), timeout=60.0)
+
+        report = run(scenario())
+        assert report.offered == 60
+        # The resilience invariant: nothing hung, every status is terminal.
+        assert report.answered == report.offered
+        resilience = report.snapshot["resilience"]
+        assert resilience["faults_injected"] == 3
+        assert resilience["worker_errors"] == 3
+        assert resilience["worker_restarts"] == 3
+        # Crashed batches degrade to CHT verdicts under the default policy.
+        assert report.predicted == resilience["degraded_verdicts"] >= 3
+        assert report.completed + report.rejected == report.offered
+
+    def test_error_policy_propagates_and_worker_restarts(self, planar, scene_2d):
+        faults = FaultInjector([FaultSpec(kind="crash", indices=(0,))])
+        service = CollisionService(
+            ServiceConfig(
+                num_workers=1, max_batch=4, max_wait_ms=1.0, on_worker_error="error"
+            ),
+            faults=faults,
+        )
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                motions = make_motions(planar, 3)
+                doomed = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(service.submit(sid, m) for m in motions), return_exceptions=True
+                    ),
+                    timeout=30.0,
+                )
+                survivor = await asyncio.wait_for(
+                    service.submit(sid, motions[0]), timeout=30.0
+                )
+                return doomed, survivor
+
+        doomed, survivor = run(scenario())
+        assert all(isinstance(r, WorkerCrashFault) for r in doomed)
+        assert survivor.status == "ok"  # the supervisor restarted the loop
+        assert service.telemetry.resilience["worker_restarts"] == 1
+
+    def test_ladder_degrades_to_predicted_and_breaker_opens(self, planar, scene_2d):
+        faults = FaultInjector([FaultSpec(kind="exception", rate=1.0, attempts=None)])
+        service = CollisionService(
+            ServiceConfig(
+                num_workers=1,
+                max_batch=2,
+                max_wait_ms=1.0,
+                breaker_threshold=2,
+                breaker_recovery_s=60.0,
+            ),
+            faults=faults,
+        )
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                results = []
+                for motion in make_motions(planar, 6):
+                    results.append(
+                        await asyncio.wait_for(service.submit(sid, motion), timeout=30.0)
+                    )
+                return results
+
+        results = run(scenario())
+        assert all(r.status == "predicted" for r in results)
+        resilience = service.telemetry.resilience
+        # Two failures trip the breaker; after that the rung is skipped
+        # outright, so no further faults are even reachable.
+        assert resilience["backend_failures"] == 2
+        assert resilience["breaker_trips"] == 1
+        assert resilience["degraded_verdicts"] == 6
+        assert service.telemetry.counters["cdqs_executed"] == 0
+        snapshot = service.telemetry.snapshot()
+        assert snapshot["breakers"]["scalar"]["state"] == "open"
+
+    def test_breaker_recovery_probe_restores_exact_service(self, planar, scene_2d):
+        faults = FaultInjector(
+            [FaultSpec(kind="exception", rate=1.0, attempts=None, max_triggers=1)]
+        )
+        service = CollisionService(
+            ServiceConfig(
+                num_workers=1,
+                max_batch=2,
+                max_wait_ms=1.0,
+                breaker_threshold=1,
+                breaker_recovery_s=0.05,
+            ),
+            faults=faults,
+        )
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                motions = make_motions(planar, 2)
+                degraded = await asyncio.wait_for(service.submit(sid, motions[0]), timeout=30.0)
+                await asyncio.sleep(0.12)  # let the recovery window elapse
+                recovered = await asyncio.wait_for(service.submit(sid, motions[1]), timeout=30.0)
+                return degraded, recovered
+
+        degraded, recovered = run(scenario())
+        assert degraded.status == "predicted"
+        assert recovered.status == "ok"  # the half-open probe succeeded
+        resilience = service.telemetry.resilience
+        assert resilience["breaker_trips"] == 1
+        assert resilience["breaker_probes"] == 1
+        assert service.telemetry.snapshot()["breakers"]["scalar"]["state"] == "closed"
+
+
+class TestShutdownDrain:
+    def test_stop_drains_stalled_batch_and_queue_to_shutdown(self, planar, scene_2d):
+        faults = FaultInjector([FaultSpec(kind="stall", indices=(0,), delay_s=30.0)])
+        service = CollisionService(
+            ServiceConfig(num_workers=1, max_batch=2, max_wait_ms=1.0, queue_bound=32),
+            faults=faults,
+        )
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                tasks = [
+                    asyncio.ensure_future(service.submit(sid, m))
+                    for m in make_motions(planar, 6)
+                ]
+                await asyncio.sleep(0.05)  # worker pops a batch and hits the stall
+            return await asyncio.wait_for(asyncio.gather(*tasks), timeout=10.0)
+
+        results = run(scenario())
+        assert [r.status for r in results] == ["shutdown"] * 6
+        assert all(r.colliding is None for r in results)
+        assert service.telemetry.resilience["shutdown_drained"] == 6
+
+    def test_stop_drains_half_collected_batch(self, planar, scene_2d):
+        # One request, huge batching window: the worker has popped it off
+        # the queue and is waiting for companions when stop() lands.
+        service = CollisionService(
+            ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=10_000.0)
+        )
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                task = asyncio.ensure_future(service.submit(sid, make_motions(planar, 1)[0]))
+                await asyncio.sleep(0.05)
+                assert not task.done()
+            return await asyncio.wait_for(task, timeout=10.0)
+
+        result = run(scenario())
+        assert result.status == "shutdown"
+        assert service.telemetry.resilience["shutdown_drained"] == 1
+
+
+class TestServiceConfigValidation:
+    def test_bad_worker_error_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(on_worker_error="shrug")
+
+    def test_bad_breaker_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(breaker_threshold=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(breaker_recovery_s=-0.1)
+
+    def test_exact_rungs_follow_backend(self):
+        assert ServiceConfig(backend="batch").exact_rungs == ("batch", "scalar")
+        assert ServiceConfig(backend="scalar").exact_rungs == ("scalar",)

@@ -220,6 +220,66 @@ class TestDeadlineFallback:
         # No CDQ executed on either fallback.
         assert service.telemetry.counters["cdqs_executed"] == 0
 
+    def test_fallback_under_sustained_saturation(self, planar, scene_2d):
+        """Queue full and expired deadlines in the same wave, twice over.
+
+        Every wave oversubscribes a bounded queue with already-expired
+        requests: the overflow is rejected at admission, and everything
+        that *was* admitted expires before its batch runs, so the whole
+        batch resolves from the CHT. The predicted verdicts must carry the
+        trained CHT's answer and the telemetry must account for every
+        request.
+        """
+
+        async def scenario():
+            service = CollisionService(
+                ServiceConfig(
+                    num_workers=1, max_batch=8, max_wait_ms=1.0, queue_bound=4, policy="reject"
+                )
+            )
+            predictor = CHTPredictor.create(CoordHash(bits_per_axis=4), table_size=1024, s=0.0)
+            async with service:
+                sid = service.open_session(scene_2d, planar, predictor=predictor)
+                session = service.session(sid)
+                motion = make_motions(planar, 1)[0]
+                # Teach the CHT that every CDQ of this motion collides.
+                for cdq in session.detector.motion_cdqs(
+                    motion.start, motion.end, motion.num_poses
+                ):
+                    predictor.observe(session.detector.key_fn(cdq), True)
+                expected = predict_motion(session.detector, motion, None, predictor)
+                waves = []
+                for _ in range(2):  # sustained: saturate, drain, saturate again
+                    waves.append(
+                        await asyncio.wait_for(
+                            asyncio.gather(
+                                *(
+                                    service.submit(sid, motion, deadline_ms=0.0)
+                                    for _ in range(12)
+                                )
+                            ),
+                            timeout=30.0,
+                        )
+                    )
+                return service, waves, expected
+
+        service, waves, expected = run(scenario())
+        assert expected is True  # the CHT was trained to say "collides"
+        results = [result for wave in waves for result in wave]
+        predicted = [r for r in results if r.status == "predicted"]
+        rejected = [r for r in results if r.status == "rejected"]
+        # Per wave all 12 submits land before the worker wakes: the queue
+        # admits 4, the other 8 shed at admission.
+        assert len(predicted) == 8 and len(rejected) == 16
+        assert all(r.colliding is True for r in predicted)
+        assert all(r.colliding is None for r in rejected)
+        assert all(r.cdqs_executed == 0 for r in predicted)
+        counters = service.telemetry.counters
+        assert counters["deadline_fallbacks"] == len(predicted)
+        assert counters["requests_rejected"] == len(rejected)
+        assert counters["requests_total"] == len(results) == 24
+        assert counters["cdqs_executed"] == 0
+
     def test_generous_deadline_runs_exactly(self, planar, scene_2d):
         async def scenario():
             service = CollisionService(ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=1.0))
