@@ -66,14 +66,14 @@ def main(argv=None) -> None:
     for name, fn in EXPERIMENTS:
         if args.only and name not in args.only:
             continue
-        start = time.time()
+        start = time.perf_counter()
         tables = fn(ctx)
         if not isinstance(tables, list):
             tables = [tables]
         text = "\n\n".join(t.render() for t in tables)
         (args.out / f"{name}.txt").write_text(text + "\n")
         print(text)
-        print(f"[{name}: {time.time() - start:.1f}s]\n")
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
 
 
 if __name__ == "__main__":

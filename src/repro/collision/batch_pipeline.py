@@ -32,8 +32,11 @@ import math
 import os
 
 from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+from numpy.typing import ArrayLike
 
 from ..geometry.batch import (
     ObstacleSet,
@@ -45,6 +48,10 @@ from ..resilience import FaultInjector, RetryPolicy, SupervisedPool
 from .detector import CollisionDetector
 from .queries import MotionCheckResult, QueryStats
 from .scheduling import NaiveScheduler, PoseScheduler
+
+if TYPE_CHECKING:
+    from ..core.metrics import ResilienceCounters
+    from .pipeline import BatchResult, Motion
 
 __all__ = ["BatchMotionKernel", "check_motion_batched", "check_motions_sharded"]
 
@@ -60,7 +67,7 @@ class BatchMotionKernel:
     executed/skipped CDQ counts and narrow-phase test totals.
     """
 
-    def __init__(self, detector: CollisionDetector):
+    def __init__(self, detector: CollisionDetector) -> None:
         self.detector = detector
         self._obstacle_list = detector.scene.obstacles
         self._obstacle_count = detector.scene.num_obstacles
@@ -76,7 +83,7 @@ class BatchMotionKernel:
             and scene.num_obstacles == self._obstacle_count
         )
 
-    def _pack_motion(self, poses: np.ndarray) -> tuple[object, np.ndarray, str]:
+    def _pack_motion(self, poses: np.ndarray) -> tuple[Any, np.ndarray, str]:
         """Packed volumes of every (pose, link) pair plus per-row pose ids."""
         robot = self.detector.robot
         if self.detector.representation == "obb":
@@ -87,7 +94,11 @@ class BatchMotionKernel:
         return pack, pose_ids, "sphere"
 
     def check_motion(
-        self, start, end, num_poses: int = 20, scheduler: PoseScheduler | None = None
+        self,
+        start: ArrayLike,
+        end: ArrayLike,
+        num_poses: int = 20,
+        scheduler: PoseScheduler | None = None,
     ) -> MotionCheckResult:
         """Whole-motion check: one vectorized pass over every CDQ pair.
 
@@ -154,8 +165,8 @@ class BatchMotionKernel:
 
 def check_motion_batched(
     detector: CollisionDetector,
-    start,
-    end,
+    start: ArrayLike,
+    end: ArrayLike,
     num_poses: int = 20,
     scheduler: PoseScheduler | None = None,
 ) -> MotionCheckResult:
@@ -175,7 +186,7 @@ _WORKER_STATE: dict = {}
 
 def _init_worker(
     detector: CollisionDetector,
-    scheduler,
+    scheduler: PoseScheduler | None,
     backend: str,
     seed: int,
     faults: FaultInjector | None = None,
@@ -200,7 +211,7 @@ def _init_worker(
     )
 
 
-def _check_one(motion) -> tuple[bool, int | None, QueryStats]:
+def _check_one(motion: "Motion") -> tuple[bool, int | None, QueryStats]:
     """Check one motion inside a pool worker; returns a picklable triple."""
     scheduler = _WORKER_STATE["scheduler"]
     if _WORKER_STATE["backend"] == "batch":
@@ -214,7 +225,9 @@ def _check_one(motion) -> tuple[bool, int | None, QueryStats]:
     return result.collided, result.first_colliding_pose, result.stats
 
 
-def _check_shard(shard_index: int, attempt: int, motions) -> list:
+def _check_shard(
+    shard_index: int, attempt: int, motions: "list[Motion]"
+) -> list[tuple[bool, int | None, QueryStats]]:
     """Check one shard's motions inside a pool worker.
 
     Armed faults fire first (deterministically, keyed by shard index and
@@ -232,7 +245,7 @@ def _check_shard(shard_index: int, attempt: int, motions) -> list:
 
 def check_motions_sharded(
     detector: CollisionDetector,
-    motions: list,
+    motions: "list[Motion]",
     scheduler: PoseScheduler | None = None,
     *,
     backend: str = "batch",
@@ -243,8 +256,8 @@ def check_motions_sharded(
     retry: RetryPolicy | None = None,
     shard_timeout_s: float | None = None,
     faults: FaultInjector | None = None,
-    counters=None,
-):
+    counters: "ResilienceCounters | None" = None,
+) -> "BatchResult":
     """Shard a motion workload over a supervised ``ProcessPoolExecutor``.
 
     Every worker receives the detector once (pool initializer), then

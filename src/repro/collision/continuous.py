@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from ..core.predictor import Predictor
 from ..env.scene import Scene
 from ..geometry.distance import point_obb_distance
@@ -57,13 +59,15 @@ class ContinuousMotionChecker:
         robot: RobotModel,
         min_step: float = 1e-3,
         collision_tolerance: float = 1e-3,
-    ):
+    ) -> None:
         self.scene = scene
         self.robot = robot
         self.min_step = float(min_step)
         self.collision_tolerance = float(collision_tolerance)
 
-    def _pose_clearance(self, q, predictor: Predictor | None, stats: QueryStats) -> float:
+    def _pose_clearance(
+        self, q: np.ndarray, predictor: Predictor | None, stats: QueryStats
+    ) -> float:
         """Minimum obstacle clearance over the pose's link volumes.
 
         With a predictor, links predicted to collide are evaluated first —
@@ -102,7 +106,9 @@ class ContinuousMotionChecker:
             clearance = min(clearance, gap)
         return clearance
 
-    def check_motion(self, start, end, predictor: Predictor | None = None) -> ContinuousCheckResult:
+    def check_motion(
+        self, start: ArrayLike, end: ArrayLike, predictor: Predictor | None = None
+    ) -> ContinuousCheckResult:
         """Conservative advancement from ``start`` to ``end``."""
         start = self.robot.validate_configuration(start)
         end = self.robot.validate_configuration(end)

@@ -19,9 +19,11 @@ no predicted CDQ collided.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+from numpy.typing import ArrayLike
 
 from ..core.predictor import Predictor
 from ..env.scene import Scene
@@ -30,15 +32,18 @@ from ..kinematics.robots import RobotModel
 from .queries import CDQ, MotionCheckResult, QueryStats
 from .scheduling import NaiveScheduler, PoseScheduler
 
+if TYPE_CHECKING:
+    from .batch_pipeline import BatchMotionKernel
+
 __all__ = ["CollisionDetector", "coord_key", "pose_key"]
 
 
-def coord_key(cdq: CDQ):
+def coord_key(cdq: CDQ) -> np.ndarray:
     """Prediction key for the COORD family: the link-center coordinates."""
     return cdq.geometry.center
 
 
-def pose_key(cdq: CDQ):
+def pose_key(cdq: CDQ) -> np.ndarray:
     """Prediction key for the POSE family: the C-space pose vector."""
     return cdq.pose
 
@@ -66,16 +71,16 @@ class CollisionDetector:
         robot: RobotModel,
         representation: str = "obb",
         key_fn: Callable[[CDQ], object] = coord_key,
-    ):
+    ) -> None:
         if representation not in ("obb", "sphere"):
             raise ValueError("representation must be 'obb' or 'sphere'")
         self.scene = scene
         self.robot = robot
         self.representation = representation
         self.key_fn = key_fn
-        self._batch_kernel = None
+        self._batch_kernel: "BatchMotionKernel | None" = None
 
-    def batch_kernel(self):
+    def batch_kernel(self) -> "BatchMotionKernel":
         """The cached vectorized whole-motion kernel over this detector.
 
         Lazily built (and rebuilt whenever the scene's obstacle list
@@ -91,21 +96,27 @@ class CollisionDetector:
             self._batch_kernel = kernel
         return kernel
 
-    def _pose_geometry(self, q) -> list[LinkGeometry]:
+    def _pose_geometry(self, q: np.ndarray) -> list[LinkGeometry]:
         if self.representation == "obb":
             return generate_link_obbs(self.robot, q)
         return generate_link_spheres(self.robot, q)
 
-    def pose_cdqs(self, q, pose_index: int = 0) -> list[CDQ]:
+    def pose_cdqs(self, q: ArrayLike, pose_index: int = 0) -> list[CDQ]:
         """All CDQs of one pose (one per bounding volume)."""
         q = self.robot.validate_configuration(q)
         return [CDQ(pose_index=pose_index, geometry=g, pose=q) for g in self._pose_geometry(q)]
 
-    def motion_cdqs(self, start, end, num_poses: int, scheduler: PoseScheduler | None = None) -> list[CDQ]:
+    def motion_cdqs(
+        self,
+        start: ArrayLike,
+        end: ArrayLike,
+        num_poses: int,
+        scheduler: PoseScheduler | None = None,
+    ) -> list[CDQ]:
         """All CDQs of a discretized motion, in scheduler pose order."""
         scheduler = scheduler or NaiveScheduler()
         poses = self.robot.interpolate(start, end, num_poses)
-        cdqs = []
+        cdqs: list[CDQ] = []
         for pose_index in scheduler.order(num_poses):
             cdqs.extend(self.pose_cdqs(poses[pose_index], pose_index))
         return cdqs
@@ -168,7 +179,7 @@ class CollisionDetector:
                 return True, cdq.pose_index
         return False, None
 
-    def check_pose(self, q, predictor: Predictor | None = None) -> MotionCheckResult:
+    def check_pose(self, q: ArrayLike, predictor: Predictor | None = None) -> MotionCheckResult:
         """Pose-environment collision check (OR over the pose's CDQs)."""
         stats = QueryStats(poses_checked=1)
         collided, hit_pose = self.run_cdqs_traced(self.pose_cdqs(q), predictor, stats)
@@ -176,8 +187,8 @@ class CollisionDetector:
 
     def check_motion(
         self,
-        start,
-        end,
+        start: ArrayLike,
+        end: ArrayLike,
         num_poses: int = 20,
         scheduler: PoseScheduler | None = None,
         predictor: Predictor | None = None,
@@ -190,14 +201,14 @@ class CollisionDetector:
             stats.motions_colliding += 1
         return MotionCheckResult(collided=collided, stats=stats, first_colliding_pose=hit_pose)
 
-    def ground_truth_fn(self) -> Callable[[np.ndarray], bool]:
+    def ground_truth_fn(self) -> Callable[[CDQ], bool]:
         """Closure for :class:`OraclePredictor`: true CDQ outcome per key.
 
         Only meaningful with :func:`coord_key`-style keys when the key is a
         link center — the oracle needs the actual volume, so we instead
         return a function over CDQs; pair it with ``key_fn=lambda c: c``.
         """
-        def truth(cdq) -> bool:
+        def truth(cdq: CDQ) -> bool:
             return self.scene.volume_collides(cdq.geometry.volume)
 
         return truth

@@ -55,7 +55,7 @@ class CoarseStepScheduler(PoseScheduler):
 
     name = "csp"
 
-    def __init__(self, step: int = 4):
+    def __init__(self, step: int = 4) -> None:
         if step < 1:
             raise ValueError("step must be >= 1")
         self.step = int(step)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from ..env.scene import Scene
 from ..env.voxels import voxelize_scene
 from ..geometry.aabb import AABB
@@ -48,7 +50,7 @@ class ObstacleDensityEstimator:
         resolution: float = 0.15,
         medium_threshold: float = 0.02,
         high_threshold: float = 0.06,
-    ):
+    ) -> None:
         if high_threshold <= medium_threshold:
             raise ValueError("thresholds must be ordered medium < high")
         self.bounds = bounds if bounds is not None else AABB(np.full(3, -1.0), np.full(3, 1.0))
@@ -88,7 +90,7 @@ class AdaptiveCHTPredictor(Predictor):
         estimator: ObstacleDensityEstimator | None = None,
         u: float = 1.0,
         rng: np.random.Generator | None = None,
-    ):
+    ) -> None:
         self.estimator = estimator if estimator is not None else ObstacleDensityEstimator()
         self.u = float(u)
         self._rng = rng if rng is not None else np.random.default_rng(0)
@@ -113,10 +115,10 @@ class AdaptiveCHTPredictor(Predictor):
         )
         return density
 
-    def predict(self, key) -> bool:
+    def predict(self, key: ArrayLike) -> bool:
         return self.inner.predict(key)
 
-    def observe(self, key, collided: bool) -> None:
+    def observe(self, key: ArrayLike, collided: bool) -> None:
         self.inner.observe(key, collided)
 
     def reset(self) -> None:

@@ -68,7 +68,7 @@ class CollisionHistoryTable:
         u: float = 1.0,
         rng: np.random.Generator | None = None,
         counter_bits: int = COUNTER_BITS,
-    ):
+    ) -> None:
         if size < 1:
             raise ValueError("table size must be positive")
         if s < 0:

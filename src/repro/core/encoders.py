@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from .hashing import HashFunction, _pack_bits, quantize_to_bits
 from .mlp import MLP, train_regression
 
@@ -33,7 +35,13 @@ class LatentHash(HashFunction):
     and **ENCOORD** when trained on link-center coordinates.
     """
 
-    def __init__(self, encoder: MLP, latent_ranges: np.ndarray, bits_per_dim: int, expected_input: int):
+    def __init__(
+        self,
+        encoder: MLP,
+        latent_ranges: ArrayLike,
+        bits_per_dim: int,
+        expected_input: int,
+    ) -> None:
         self.encoder = encoder
         self.latent_ranges = np.asarray(latent_ranges, dtype=float)
         if self.latent_ranges.ndim != 2 or self.latent_ranges.shape[1] != 2:
@@ -46,7 +54,7 @@ class LatentHash(HashFunction):
     def code_bits(self) -> int:
         return self.bits_per_dim * self.latent_dim
 
-    def __call__(self, key) -> int:
+    def __call__(self, key: ArrayLike) -> int:
         x = np.asarray(key, dtype=float).reshape(-1)
         if x.shape[0] != self.expected_input:
             raise ValueError(f"expected input of size {self.expected_input}, got {x.shape[0]}")

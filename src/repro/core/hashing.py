@@ -29,6 +29,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from ..geometry.fixedpoint import DEFAULT_WORKSPACE_FORMAT, FixedPointFormat
 
 __all__ = [
@@ -78,7 +80,7 @@ class HashFunction(ABC):
         """Bit width of the produced hash code."""
 
     @abstractmethod
-    def __call__(self, key) -> int:
+    def __call__(self, key: ArrayLike) -> int:
         """Hash a key to an integer in ``[0, 2**code_bits)``."""
 
     @property
@@ -90,7 +92,7 @@ class HashFunction(ABC):
 class PoseHash(HashFunction):
     """POSE: quantize every DOF of the C-space pose to ``bits_per_dof`` bits."""
 
-    def __init__(self, joint_limits: np.ndarray, bits_per_dof: int = 3):
+    def __init__(self, joint_limits: ArrayLike, bits_per_dof: int = 3) -> None:
         self.joint_limits = np.asarray(joint_limits, dtype=float)
         if self.joint_limits.ndim != 2 or self.joint_limits.shape[1] != 2:
             raise ValueError("joint_limits must be (dof, 2)")
@@ -101,7 +103,7 @@ class PoseHash(HashFunction):
     def code_bits(self) -> int:
         return self.bits_per_dof * self.dof
 
-    def __call__(self, key) -> int:
+    def __call__(self, key: ArrayLike) -> int:
         q = np.asarray(key, dtype=float).reshape(-1)
         if q.shape[0] != self.dof:
             raise ValueError(f"expected a {self.dof}-DOF pose")
@@ -119,7 +121,7 @@ class PosePartHash(HashFunction):
     locality per table entry than hashing every joint.
     """
 
-    def __init__(self, joint_limits: np.ndarray, bits_per_dof: int = 4, num_dofs: int = 2):
+    def __init__(self, joint_limits: ArrayLike, bits_per_dof: int = 4, num_dofs: int = 2) -> None:
         joint_limits = np.asarray(joint_limits, dtype=float)
         if num_dofs < 1 or num_dofs > joint_limits.shape[0]:
             raise ValueError("num_dofs out of range")
@@ -131,7 +133,7 @@ class PosePartHash(HashFunction):
     def code_bits(self) -> int:
         return self.inner.code_bits
 
-    def __call__(self, key) -> int:
+    def __call__(self, key: ArrayLike) -> int:
         q = np.asarray(key, dtype=float).reshape(-1)
         if q.shape[0] != self.full_dof:
             raise ValueError(f"expected a {self.full_dof}-DOF pose")
@@ -146,7 +148,9 @@ class PoseFoldHash(HashFunction):
     cost of precision.
     """
 
-    def __init__(self, joint_limits: np.ndarray, bits_per_dof: int = 3, folded_bits: int = 12):
+    def __init__(
+        self, joint_limits: ArrayLike, bits_per_dof: int = 3, folded_bits: int = 12
+    ) -> None:
         self.inner = PoseHash(joint_limits, bits_per_dof)
         if folded_bits < 1 or folded_bits > self.inner.code_bits:
             raise ValueError("folded_bits must be in [1, full code width]")
@@ -156,7 +160,7 @@ class PoseFoldHash(HashFunction):
     def code_bits(self) -> int:
         return self.folded_bits
 
-    def __call__(self, key) -> int:
+    def __call__(self, key: ArrayLike) -> int:
         code = self.inner(key)
         folded = 0
         mask = (1 << self.folded_bits) - 1
@@ -179,7 +183,7 @@ class CoordHash(HashFunction):
         self,
         bits_per_axis: int = 4,
         fmt: FixedPointFormat = DEFAULT_WORKSPACE_FORMAT,
-    ):
+    ) -> None:
         if not 1 <= bits_per_axis <= fmt.word_bits:
             raise ValueError("bits_per_axis out of range")
         self.bits_per_axis = int(bits_per_axis)
@@ -189,7 +193,7 @@ class CoordHash(HashFunction):
     def code_bits(self) -> int:
         return 3 * self.bits_per_axis
 
-    def __call__(self, key) -> int:
+    def __call__(self, key: ArrayLike) -> int:
         center = np.asarray(key, dtype=float).reshape(-1)
         if center.shape[0] != 3:
             raise ValueError("COORD hashes a 3-vector link center")

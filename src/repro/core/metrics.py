@@ -19,6 +19,12 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from numpy.typing import ArrayLike
+
+if TYPE_CHECKING:
+    from .predictor import Predictor
 
 __all__ = [
     "ConfusionCounts",
@@ -42,6 +48,7 @@ RESILIENCE_COUNTER_NAMES = (
     "degraded_verdicts",
     "faults_injected",
     "shutdown_drained",
+    "errors_recorded",
 )
 
 
@@ -54,12 +61,24 @@ class ResilienceCounters:
     fault-injection harness can attach ad-hoc counters.
     """
 
-    def __init__(self):
-        self.counters = {name: 0 for name in RESILIENCE_COUNTER_NAMES}
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {name: 0 for name in RESILIENCE_COUNTER_NAMES}
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter (created on first use if unregistered)."""
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def record_error(self, site: str, error: BaseException) -> None:
+        """Keep a handled-and-swallowed exception's identity observable.
+
+        The contract broad ``except Exception`` handlers must meet
+        (reprolint rule C001): increments the aggregate
+        ``errors_recorded`` counter plus an ad-hoc
+        ``error:<site>:<ExceptionType>`` counter, so snapshots show not
+        just *that* errors were absorbed but *where* and *what kind*.
+        """
+        self.count("errors_recorded")
+        self.count(f"error:{site}:{type(error).__name__}")
 
     def __getitem__(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -94,7 +113,7 @@ class LatencyHistogram:
         min_value: float = 1e-3,
         max_value: float = 1e5,
         buckets_per_decade: int = 10,
-    ):
+    ) -> None:
         if min_value <= 0.0 or max_value <= min_value:
             raise ValueError("need 0 < min_value < max_value")
         if buckets_per_decade < 1:
@@ -173,8 +192,15 @@ class LatencyHistogram:
     def snapshot(self) -> dict:
         """Summary dict: count, mean, min/max, and p50/p95/p99."""
         if self.count == 0:
-            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {
+                "count": 0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
         return {
             "count": self.count,
             "mean": self.mean,
@@ -253,11 +279,11 @@ class PredictionEvaluator:
     queries it has not yet been updated with.
     """
 
-    def __init__(self, predictor):
+    def __init__(self, predictor: "Predictor") -> None:
         self.predictor = predictor
         self.counts = ConfusionCounts()
 
-    def run(self, labelled_keys) -> ConfusionCounts:
+    def run(self, labelled_keys: Iterable[tuple[ArrayLike, bool]]) -> ConfusionCounts:
         """Score the predictor over an iterable of (key, collided) pairs."""
         for key, collided in labelled_keys:
             predicted = self.predictor.predict(key)

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 __all__ = ["DenseLayer", "MLP", "train_regression"]
 
 _ACTIVATIONS = {
@@ -42,7 +44,13 @@ class DenseLayer:
             raise ValueError(f"unknown activation {self.activation!r}")
 
     @classmethod
-    def create(cls, rng: np.random.Generator, fan_in: int, fan_out: int, activation: str = "tanh"):
+    def create(
+        cls,
+        rng: np.random.Generator,
+        fan_in: int,
+        fan_out: int,
+        activation: str = "tanh",
+    ) -> "DenseLayer":
         """Xavier-initialized layer."""
         scale = np.sqrt(2.0 / (fan_in + fan_out))
         return cls(
@@ -75,7 +83,7 @@ class DenseLayer:
 class MLP:
     """A feed-forward stack of :class:`DenseLayer`."""
 
-    def __init__(self, layers: list[DenseLayer]):
+    def __init__(self, layers: list[DenseLayer]) -> None:
         if not layers:
             raise ValueError("an MLP needs at least one layer")
         self.layers = layers
@@ -104,7 +112,7 @@ class MLP:
             out = layer.forward(out)
         return out
 
-    def predict(self, x) -> np.ndarray:
+    def predict(self, x: ArrayLike) -> np.ndarray:
         """Forward pass for a single example, returned as a 1-D vector."""
         return self.forward(np.atleast_2d(x))[0]
 

@@ -20,6 +20,8 @@ from typing import Callable
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from .cht import CollisionHistoryTable
 from .hashing import HashFunction
 
@@ -37,10 +39,10 @@ class Predictor(ABC):
     """Common interface for all collision predictors."""
 
     @abstractmethod
-    def predict(self, key) -> bool:
+    def predict(self, key: ArrayLike) -> bool:
         """Return True when a CDQ with this key is predicted to collide."""
 
-    def observe(self, key, collided: bool) -> None:
+    def observe(self, key: ArrayLike, collided: bool) -> None:
         """Feed back the executed CDQ's real outcome (default: ignore)."""
 
     def reset(self) -> None:
@@ -54,7 +56,7 @@ class CHTPredictor(Predictor):
     with the POSE-family hashes it yields the Sec. III-B ablations.
     """
 
-    def __init__(self, hash_function: HashFunction, table: CollisionHistoryTable):
+    def __init__(self, hash_function: HashFunction, table: CollisionHistoryTable) -> None:
         self.hash_function = hash_function
         self.table = table
 
@@ -70,10 +72,10 @@ class CHTPredictor(Predictor):
         """Convenience constructor wiring a fresh CHT to a hash function."""
         return cls(hash_function, CollisionHistoryTable(size=table_size, s=s, u=u, rng=rng))
 
-    def predict(self, key) -> bool:
+    def predict(self, key: ArrayLike) -> bool:
         return self.table.predict(self.hash_function(key))
 
-    def observe(self, key, collided: bool) -> None:
+    def observe(self, key: ArrayLike, collided: bool) -> None:
         self.table.update(self.hash_function(key), collided)
 
     def reset(self) -> None:
@@ -88,35 +90,35 @@ class OraclePredictor(Predictor):
     harness passes a closure over the scene.)
     """
 
-    def __init__(self, ground_truth: Callable[[object], bool]):
+    def __init__(self, ground_truth: Callable[[object], bool]) -> None:
         self.ground_truth = ground_truth
 
-    def predict(self, key) -> bool:
+    def predict(self, key: ArrayLike) -> bool:
         return bool(self.ground_truth(key))
 
 
 class RandomPredictor(Predictor):
     """Predicts collision with a fixed probability (Fig. 9 baseline)."""
 
-    def __init__(self, probability: float, rng: np.random.Generator | None = None):
+    def __init__(self, probability: float, rng: np.random.Generator | None = None) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         self.probability = float(probability)
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
-    def predict(self, key) -> bool:
+    def predict(self, key: ArrayLike) -> bool:
         return bool(self.rng.random() < self.probability)
 
 
 class NeverPredictor(Predictor):
     """Never predicts collision: the no-prediction baseline."""
 
-    def predict(self, key) -> bool:
+    def predict(self, key: ArrayLike) -> bool:
         return False
 
 
 class AlwaysPredictor(Predictor):
     """Always predicts collision (degenerate upper bound on recall)."""
 
-    def predict(self, key) -> bool:
+    def predict(self, key: ArrayLike) -> bool:
         return True

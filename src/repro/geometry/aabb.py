@@ -11,6 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from .obb import OBB
 
 __all__ = ["AABB", "aabb_overlap"]
@@ -30,7 +32,7 @@ class AABB:
             raise ValueError("AABB hi corner must dominate lo corner")
 
     @classmethod
-    def from_center(cls, center, half_extents) -> "AABB":
+    def from_center(cls, center: ArrayLike, half_extents: ArrayLike) -> "AABB":
         """Construct from a center point and half-extent vector."""
         center = np.asarray(center, dtype=float)
         half = np.asarray(half_extents, dtype=float)
@@ -57,7 +59,7 @@ class AABB:
         """Volume of the box."""
         return float(np.prod(self.hi - self.lo))
 
-    def contains_point(self, point) -> bool:
+    def contains_point(self, point: ArrayLike) -> bool:
         """Return True if ``point`` lies inside the box (inclusive)."""
         p = np.asarray(point, dtype=float)
         return bool(np.all(p >= self.lo - 1e-12) and np.all(p <= self.hi + 1e-12))

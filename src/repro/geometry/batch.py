@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from .obb import OBB
 from .sphere import Sphere
 
@@ -41,7 +43,7 @@ class ObstacleSet:
     subsequent query is a handful of einsums over the whole set.
     """
 
-    def __init__(self, boxes: list[OBB]):
+    def __init__(self, boxes: list[OBB]) -> None:
         if not boxes:
             raise ValueError("an ObstacleSet needs at least one box")
         self.boxes = list(boxes)
@@ -64,7 +66,7 @@ class ObstacleSet:
         """Boolean mask: which obstacles intersect the query sphere."""
         return sphere_overlap_batch(query, self)
 
-    def any_overlap(self, query) -> bool:
+    def any_overlap(self, query: "OBB | Sphere") -> bool:
         """One CDQ outcome against the whole set (vectorized)."""
         if isinstance(query, OBB):
             return bool(self.overlaps_obb(query).any())
@@ -126,7 +128,12 @@ class OBBPack:
     robot-obstacle SAT tests in one einsum pass.
     """
 
-    def __init__(self, centers: np.ndarray, half_extents: np.ndarray, rotations: np.ndarray):
+    def __init__(
+        self,
+        centers: ArrayLike,
+        half_extents: ArrayLike,
+        rotations: ArrayLike,
+    ) -> None:
         self.centers = np.asarray(centers, dtype=float).reshape(-1, 3)
         self.half_extents = np.asarray(half_extents, dtype=float).reshape(-1, 3)
         self.rotations = np.asarray(rotations, dtype=float).reshape(-1, 3, 3)
@@ -193,7 +200,7 @@ class OBBPack:
 class SpherePack:
     """Many query spheres packed into stacked arrays."""
 
-    def __init__(self, centers: np.ndarray, radii: np.ndarray):
+    def __init__(self, centers: ArrayLike, radii: ArrayLike) -> None:
         self.centers = np.asarray(centers, dtype=float).reshape(-1, 3)
         self.radii = np.asarray(radii, dtype=float).reshape(-1)
         if len(self.centers) != len(self.radii):

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from .aabb import AABB
 from .obb import OBB
 from .sphere import Sphere
@@ -24,7 +26,7 @@ __all__ = [
 ]
 
 
-def point_obb_distance(point, box: OBB) -> float:
+def point_obb_distance(point: ArrayLike, box: OBB) -> float:
     """Euclidean distance from a point to an OBB (0 inside)."""
     local = box.rotation.T @ (np.asarray(point, dtype=float) - box.center)
     clamped = np.clip(local, -box.half_extents, box.half_extents)

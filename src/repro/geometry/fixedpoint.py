@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 __all__ = ["FixedPointFormat", "DEFAULT_WORKSPACE_FORMAT"]
 
 _WORD_BITS = 16
@@ -51,18 +53,18 @@ class FixedPointFormat:
         """Physical size of one least-significant-bit step."""
         return (self.hi - self.lo) / float(1 << _WORD_BITS)
 
-    def encode(self, value) -> np.ndarray:
+    def encode(self, value: ArrayLike) -> np.ndarray:
         """Quantize scalar(s) to unsigned 16-bit integers with saturation."""
         scaled = (np.asarray(value, dtype=float) - self.lo) / (self.hi - self.lo)
         word = np.floor(scaled * (1 << _WORD_BITS)).astype(np.int64)
         return np.clip(word, 0, (1 << _WORD_BITS) - 1).astype(np.uint16)
 
-    def decode(self, word) -> np.ndarray:
+    def decode(self, word: ArrayLike) -> np.ndarray:
         """Map encoded word(s) back to the center of their quantization cell."""
         w = np.asarray(word, dtype=np.float64)
         return self.lo + (w + 0.5) * self.resolution
 
-    def msbs(self, value, k: int) -> np.ndarray:
+    def msbs(self, value: ArrayLike, k: int) -> np.ndarray:
         """Return the ``k`` most significant bits of the encoding of ``value``.
 
         This is the per-coordinate step of COORD hash-code generation

@@ -14,8 +14,11 @@ accelerators implement in hardware [3], [43].
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
+
+from numpy.typing import ArrayLike
 
 from .transforms import is_rotation_matrix, transform_points
 
@@ -53,12 +56,12 @@ class OBB:
             raise ValueError("half extents must be non-negative")
 
     @classmethod
-    def axis_aligned(cls, center, half_extents) -> "OBB":
+    def axis_aligned(cls, center: ArrayLike, half_extents: ArrayLike) -> "OBB":
         """Construct an axis-aligned box (identity rotation)."""
         return cls(center=np.asarray(center, float), half_extents=np.asarray(half_extents, float))
 
     @classmethod
-    def from_segment(cls, start, end, radius: float) -> "OBB":
+    def from_segment(cls, start: ArrayLike, end: ArrayLike, radius: float) -> "OBB":
         """Bound a capsule-like segment of given radius with an OBB.
 
         Used by the link-geometry generator: a robot link is modelled as the
@@ -100,7 +103,7 @@ class OBB:
         local = signs * self.half_extents
         return local @ self.rotation.T + self.center
 
-    def contains_point(self, point) -> bool:
+    def contains_point(self, point: ArrayLike) -> bool:
         """Return True if a world-space point lies inside the box."""
         local = self.rotation.T @ (np.asarray(point, dtype=float) - self.center)
         return bool(np.all(np.abs(local) <= self.half_extents + 1e-12))
@@ -165,7 +168,7 @@ def obb_overlap(a: OBB, b: OBB) -> bool:
     return True
 
 
-def merge_obb_aabb(boxes) -> tuple[np.ndarray, np.ndarray]:
+def merge_obb_aabb(boxes: "Iterable[OBB]") -> tuple[np.ndarray, np.ndarray]:
     """Return the (min, max) axis-aligned bounds enclosing all ``boxes``."""
     boxes = list(boxes)
     if not boxes:

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 from .obb import OBB
 
 __all__ = ["Sphere", "sphere_overlap", "sphere_obb_overlap", "spheres_for_segment"]
@@ -35,7 +37,7 @@ class Sphere:
         """Volume of the sphere."""
         return float(4.0 / 3.0 * np.pi * self.radius**3)
 
-    def contains_point(self, point) -> bool:
+    def contains_point(self, point: ArrayLike) -> bool:
         """Return True if a world point lies within the sphere."""
         return bool(np.linalg.norm(np.asarray(point, float) - self.center) <= self.radius + 1e-12)
 
@@ -61,7 +63,12 @@ def sphere_obb_overlap(sphere: Sphere, box: OBB) -> bool:
     return bool(np.linalg.norm(local - clamped) <= sphere.radius + 1e-12)
 
 
-def spheres_for_segment(start, end, radius: float, max_spacing: float | None = None) -> list[Sphere]:
+def spheres_for_segment(
+    start: ArrayLike,
+    end: ArrayLike,
+    radius: float,
+    max_spacing: float | None = None,
+) -> list[Sphere]:
     """Cover the segment ``start -> end`` with overlapping spheres.
 
     The sphere chain conservatively bounds a capsule of the given radius:

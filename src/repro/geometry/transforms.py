@@ -14,6 +14,8 @@ import math
 
 import numpy as np
 
+from numpy.typing import ArrayLike
+
 __all__ = [
     "identity",
     "rotation_x",
@@ -65,14 +67,14 @@ def rotation_z(angle: float) -> np.ndarray:
     return m
 
 
-def translation(offset) -> np.ndarray:
+def translation(offset: ArrayLike) -> np.ndarray:
     """Return a 4x4 transform translating by ``offset`` (length-3)."""
     m = np.eye(4)
     m[:3, 3] = np.asarray(offset, dtype=float)
     return m
 
 
-def rotation_about_axis(axis, angle: float) -> np.ndarray:
+def rotation_about_axis(axis: ArrayLike, angle: float) -> np.ndarray:
     """Return a 4x4 transform rotating ``angle`` radians about ``axis``.
 
     Uses Rodrigues' rotation formula. ``axis`` need not be normalized but
@@ -97,7 +99,7 @@ def rotation_about_axis(axis, angle: float) -> np.ndarray:
     return m
 
 
-def transform_from(rotation: np.ndarray, offset) -> np.ndarray:
+def transform_from(rotation: ArrayLike, offset: ArrayLike) -> np.ndarray:
     """Assemble a 4x4 transform from a 3x3 rotation and length-3 offset."""
     m = np.eye(4)
     m[:3, :3] = np.asarray(rotation, dtype=float)
@@ -113,7 +115,7 @@ def compose(*transforms: np.ndarray) -> np.ndarray:
     return result
 
 
-def transform_point(transform: np.ndarray, point) -> np.ndarray:
+def transform_point(transform: np.ndarray, point: ArrayLike) -> np.ndarray:
     """Apply a 4x4 transform to a single 3-vector point."""
     p = np.asarray(point, dtype=float)
     return transform[:3, :3] @ p + transform[:3, 3]
@@ -125,7 +127,7 @@ def transform_points(transform: np.ndarray, points: np.ndarray) -> np.ndarray:
     return pts @ transform[:3, :3].T + transform[:3, 3]
 
 
-def transform_direction(transform: np.ndarray, direction) -> np.ndarray:
+def transform_direction(transform: np.ndarray, direction: ArrayLike) -> np.ndarray:
     """Apply only the rotation part of a transform to a direction vector."""
     return transform[:3, :3] @ np.asarray(direction, dtype=float)
 

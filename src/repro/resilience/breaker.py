@@ -23,6 +23,11 @@ from __future__ import annotations
 
 import time
 
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:
+    from ..core.metrics import ResilienceCounters
+
 __all__ = ["BREAKER_STATES", "CircuitBreaker", "DegradationLadder"]
 
 #: The breaker state machine's states.
@@ -37,9 +42,9 @@ class CircuitBreaker:
         name: str = "backend",
         failure_threshold: int = 3,
         recovery_s: float = 1.0,
-        clock=time.monotonic,
-        counters=None,
-    ):
+        clock: Callable[[], float] = time.monotonic,
+        counters: "ResilienceCounters | None" = None,
+    ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be positive")
         if recovery_s < 0.0:
@@ -106,13 +111,13 @@ class DegradationLadder:
 
     def __init__(
         self,
-        rungs,
+        rungs: Iterable[str],
         *,
         failure_threshold: int = 3,
         recovery_s: float = 1.0,
-        clock=time.monotonic,
-        counters=None,
-    ):
+        clock: Callable[[], float] = time.monotonic,
+        counters: "ResilienceCounters | None" = None,
+    ) -> None:
         self.rungs = tuple(rungs)
         if not self.rungs:
             raise ValueError("a ladder needs at least one rung")

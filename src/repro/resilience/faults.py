@@ -30,6 +30,7 @@ import time
 import zlib
 
 from dataclasses import dataclass
+from typing import Iterable
 
 __all__ = [
     "FAULT_KINDS",
@@ -88,7 +89,7 @@ class FaultInjector:
     (process exit, sleep, raise) and is what pool workers call.
     """
 
-    def __init__(self, specs, seed: int = 0):
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
         self.specs = list(specs)
         self.seed = int(seed)
         #: Spec position -> number of times it has fired (per process).
@@ -111,7 +112,7 @@ class FaultInjector:
         draw = zlib.crc32(token) / 2**32
         return draw < spec.rate
 
-    def poll(self, kind: str, index: int, attempt: int = 0):
+    def poll(self, kind: str, index: int, attempt: int = 0) -> FaultSpec | None:
         """Return the first matching :class:`FaultSpec`, or None.
 
         A returned spec counts as a firing (``max_triggers`` decrements),
@@ -131,7 +132,7 @@ class FaultInjector:
             return spec
         return None
 
-    def fire(self, kind: str, index: int, attempt: int = 0):
+    def fire(self, kind: str, index: int, attempt: int = 0) -> FaultSpec | None:
         """Poll and *execute* a synchronous fault (for pool workers).
 
         ``crash`` exits the process without cleanup (the pool sees a dead

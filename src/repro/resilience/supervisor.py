@@ -25,8 +25,12 @@ from __future__ import annotations
 
 import time
 
-from concurrent.futures import BrokenExecutor, wait
+from concurrent.futures import BrokenExecutor, Executor, wait
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from ..core.metrics import ResilienceCounters
 
 import numpy as np
 
@@ -69,7 +73,7 @@ class RetryPolicy:
 class ShardFailureError(RuntimeError):
     """A shard kept failing after its retry budget was spent."""
 
-    def __init__(self, shard: int, attempts: int, cause: BaseException):
+    def __init__(self, shard: int, attempts: int, cause: BaseException) -> None:
         super().__init__(
             f"shard {shard} failed {attempts} attempt(s); last cause: {cause!r}"
         )
@@ -102,13 +106,13 @@ class SupervisedPool:
 
     def __init__(
         self,
-        pool_factory,
+        pool_factory: Callable[[], Executor],
         *,
         retry: RetryPolicy | None = None,
         shard_timeout_s: float | None = None,
-        counters=None,
-        sleep=time.sleep,
-    ):
+        counters: "ResilienceCounters | None" = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.pool_factory = pool_factory
         self.retry = retry or RetryPolicy()
         self.shard_timeout_s = shard_timeout_s
@@ -119,7 +123,7 @@ class SupervisedPool:
         if self.counters is not None:
             self.counters.count(name, n)
 
-    def run(self, task_fn, shards: dict) -> dict:
+    def run(self, task_fn: Callable[..., object], shards: dict) -> dict:
         """Run ``task_fn(index, attempt, payload)`` for every shard.
 
         ``shards`` maps shard index -> payload. Returns a dict of shard
@@ -154,7 +158,7 @@ class SupervisedPool:
                     except BrokenExecutor as exc:
                         broken = True
                         failed[index] = exc
-                    except Exception as exc:
+                    except Exception as exc:  # reprolint: disable=C001 -- re-raised as ShardFailureError when the retry budget is spent
                         failed[index] = exc
                 if not_done:
                     # A hung worker never resolves its future: classify the

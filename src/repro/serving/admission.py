@@ -93,7 +93,7 @@ class QueryResult:
 class AdmissionController:
     """Applies one backpressure policy at the mouth of a worker queue."""
 
-    def __init__(self, policy: str, telemetry: ServiceTelemetry):
+    def __init__(self, policy: str, telemetry: ServiceTelemetry) -> None:
         if policy not in ADMISSION_POLICIES:
             raise ValueError(f"policy must be one of {ADMISSION_POLICIES}, got {policy!r}")
         self.policy = policy

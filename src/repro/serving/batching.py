@@ -22,6 +22,7 @@ import time
 import zlib
 
 from dataclasses import dataclass
+from typing import Callable
 
 from .admission import QueryRequest
 
@@ -65,8 +66,8 @@ class MicroBatcher:
         self,
         queue: asyncio.Queue,
         config: BatchingConfig | None = None,
-        clock=time.perf_counter,
-    ):
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self.queue = queue
         self.config = config or BatchingConfig()
         self.clock = clock

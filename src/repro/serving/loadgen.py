@@ -104,7 +104,7 @@ class LoadGenerator:
         max_requests: int | None = None,
         deadline_ms: float | None = None,
         time_scale: float = 1.0,
-    ):
+    ) -> None:
         if qps <= 0.0:
             raise ValueError("qps must be positive")
         if not workloads:

@@ -34,9 +34,16 @@ import itertools
 import time
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..collision.detector import CollisionDetector
-from ..collision.pipeline import BACKENDS, Motion, check_motion_batch, predict_motion
+from ..collision.pipeline import (
+    BACKENDS,
+    BatchResult,
+    Motion,
+    check_motion_batch,
+    predict_motion,
+)
 from ..collision.queries import QueryStats
 from ..collision.scheduling import PoseScheduler
 from ..core.hashing import CoordHash
@@ -168,9 +175,9 @@ class CollisionService:
     def __init__(
         self,
         config: ServiceConfig | None = None,
-        clock=time.perf_counter,
+        clock: Callable[[], float] = time.perf_counter,
         faults: FaultInjector | None = None,
-    ):
+    ) -> None:
         self.config = config or ServiceConfig()
         self.clock = clock
         self.faults = faults
@@ -244,7 +251,7 @@ class CollisionService:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.stop()
 
     # -- sessions ----------------------------------------------------------
@@ -333,7 +340,8 @@ class CollisionService:
                 await self._worker_loop(index, queue)
             except asyncio.CancelledError:
                 raise
-            except Exception:
+            except Exception as error:
+                self.telemetry.resilience.record_error("worker_loop", error)
                 self.telemetry.resilience.count("worker_restarts")
 
     async def _worker_loop(self, index: int, queue: asyncio.Queue) -> None:
@@ -485,8 +493,9 @@ class CollisionService:
                         label=session.session_id,
                         backend=rung,
                     )
-            except Exception:
+            except Exception as error:
                 self._ladder.record(rung, False)
+                self.telemetry.resilience.record_error(f"backend_{rung}", error)
                 self.telemetry.resilience.count("backend_failures")
                 continue
             self._ladder.record(rung, True)
@@ -499,7 +508,7 @@ class CollisionService:
     def _resolve_exact(
         self,
         requests: list[QueryRequest],
-        result,
+        result: BatchResult,
         started: float,
         batch_size: int,
     ) -> None:

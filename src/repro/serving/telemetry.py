@@ -20,6 +20,7 @@ import json
 import time
 
 from contextlib import contextmanager
+from typing import Callable, Iterator
 
 from ..core.metrics import LatencyHistogram, ResilienceCounters
 
@@ -49,9 +50,9 @@ class ServiceTelemetry:
     is safe — there is no cross-thread access to guard.
     """
 
-    def __init__(self, clock=time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.clock = clock
-        self.counters = {name: 0 for name in COUNTER_NAMES}
+        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
         #: Stage-name -> latency histogram (milliseconds).
         self.stages = {
             "queue_wait": _fresh_histogram(),
@@ -67,9 +68,9 @@ class ServiceTelemetry:
         self._ewma_alpha = 0.2
         #: Fault-tolerance counters (retries, breaker trips, restarts, …).
         self.resilience = ResilienceCounters()
-        self._breaker_provider = None
+        self._breaker_provider: Callable[[], dict] | None = None
 
-    def set_breaker_provider(self, provider) -> None:
+    def set_breaker_provider(self, provider: Callable[[], dict]) -> None:
         """Register a callable returning per-backend breaker states.
 
         The service wires its degradation ladder's ``snapshot`` here so
@@ -101,7 +102,7 @@ class ServiceTelemetry:
         self.queue_depths[worker] = depth
 
     @contextmanager
-    def span(self, stage: str):
+    def span(self, stage: str) -> Iterator[None]:
         """Time a block into the named stage histogram (milliseconds)."""
         if stage not in self.stages:
             self.stages[stage] = _fresh_histogram()

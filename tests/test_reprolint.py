@@ -1,0 +1,451 @@
+"""reprolint: every rule fires on its minimal bad example and stays
+silent on the good twin; suppressions require reasons; the baseline
+round-trips; the CLI emits both formats with correct exit codes."""
+
+import json
+import subprocess
+import sys
+
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import (
+    Finding,
+    apply_baseline,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    scan_suppressions,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_source(tmp_path, source, filename="mod.py"):
+    """Lint one in-memory module; returns the list of findings."""
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(path, tmp_path)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestD001UnseededRandom:
+    def test_fires_on_legacy_global_calls(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "x = np.random.rand(3)\n"
+            "np.random.seed(0)\n",
+        )
+        assert rule_ids(findings) == ["D001", "D001"]
+
+    def test_fires_on_unseeded_constructors(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "from numpy.random import default_rng\n"
+            "rng = default_rng()\n"
+            "r = random.Random()\n"
+            "g = random.random()\n",
+        )
+        assert rule_ids(findings) == ["D001", "D001", "D001"]
+
+    def test_silent_on_seeded_twin(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "seq = np.random.SeedSequence([1, 2])\n"
+            "r = random.Random(7)\n"
+            "def draw(generator: np.random.Generator) -> float:\n"
+            "    return float(generator.random())\n",
+        )
+        assert findings == []
+
+    def test_silent_in_test_files(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\nx = np.random.rand(3)\n",
+            filename="test_something.py",
+        )
+        assert findings == []
+
+
+class TestD002WallClock:
+    def test_fires_on_wall_clock(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\n"
+            "from datetime import datetime\n"
+            "t0 = time.time()\n"
+            "stamp = datetime.now()\n",
+        )
+        assert rule_ids(findings) == ["D002", "D002"]
+
+    def test_silent_on_monotonic_twin(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\nt0 = time.perf_counter()\nt1 = time.monotonic()\n",
+        )
+        assert findings == []
+
+    def test_silent_in_test_files(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import time\nt0 = time.time()\n", filename="conftest.py"
+        )
+        assert findings == []
+
+
+class TestF001ForkSafety:
+    def test_fires_on_lambda_submission(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(pool):\n    return pool.submit(lambda x: x + 1, 2)\n",
+        )
+        assert rule_ids(findings) == ["F001"]
+
+    def test_fires_on_nested_function_submission(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(pool, bias):\n"
+            "    def shifted(x):\n"
+            "        return x + bias\n"
+            "    return pool.submit(shifted, 1)\n",
+        )
+        assert rule_ids(findings) == ["F001"]
+
+    def test_fires_on_module_state_mutation(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "RESULTS = []\n"
+            "def work(i):\n"
+            "    RESULTS.append(i)\n"
+            "    return i\n"
+            "def run(pool):\n"
+            "    return pool.submit(work, 1)\n",
+        )
+        assert rule_ids(findings) == ["F001"]
+
+    def test_fires_on_captured_open_handle(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "LOG = open('log.txt', 'a')\n"
+            "def work(i):\n"
+            "    print(i, file=LOG)\n"
+            "def run(pool):\n"
+            "    return pool.submit(work, 1)\n",
+        )
+        assert rule_ids(findings) == ["F001"]
+
+    def test_silent_on_pure_module_function(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "LIMITS = (1, 2, 3)\n"
+            "def work(i):\n"
+            "    return i * LIMITS[0]\n"
+            "def run(pool):\n"
+            "    return pool.submit(work, 1)\n",
+        )
+        assert findings == []
+
+
+class TestC001SilentExcept:
+    def test_fires_on_swallowing_handler(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def guarded(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:\n"
+            "        return None\n",
+        )
+        assert rule_ids(findings) == ["C001"]
+
+    def test_silent_when_reraised(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def guarded(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:\n"
+            "        raise\n",
+        )
+        assert findings == []
+
+    def test_silent_when_recorded_to_counters(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def guarded(fn, counters):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception as error:\n"
+            "        counters.record_error('guarded', error)\n"
+            "        return None\n",
+        )
+        assert findings == []
+
+    def test_silent_on_narrow_handler(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def guarded(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except ValueError:\n"
+            "        return None\n",
+        )
+        assert findings == []
+
+
+class TestM001MutableDefault:
+    def test_fires_on_mutable_defaults(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def collect(item, into=[]):\n"
+            "    into.append(item)\n"
+            "    return into\n"
+            "def index(key, table=dict()):\n"
+            "    return table.setdefault(key, len(table))\n",
+        )
+        assert rule_ids(findings) == ["M001", "M001"]
+
+    def test_silent_on_none_default_twin(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def collect(item, into=None):\n"
+            "    into = [] if into is None else into\n"
+            "    into.append(item)\n"
+            "    return into\n",
+        )
+        assert findings == []
+
+
+class TestN001FloatArrayEquality:
+    def test_fires_on_float_ndarray_equality(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+            "    return bool((a == b).all())\n",
+        )
+        assert rule_ids(findings) == ["N001"]
+
+    def test_silent_on_isclose_twin(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+            "    return bool(np.allclose(a, b))\n",
+        )
+        assert findings == []
+
+    def test_silent_on_integer_arrays(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "import numpy.typing as npt\n"
+            "def same(a: 'npt.NDArray[np.int64]', b: 'npt.NDArray[np.int64]') -> bool:\n"
+            "    return bool((a == b).all())\n",
+        )
+        assert findings == []
+
+
+class TestA001AllDrift:
+    def test_fires_on_missing_export(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from os.path import join, split\n__all__ = ['join']\n",
+            filename="pkg/__init__.py",
+        )
+        assert rule_ids(findings) == ["A001"]
+        assert "split" in findings[0].message
+
+    def test_fires_on_phantom_export(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from os.path import join\n__all__ = ['join', 'ghost']\n",
+            filename="pkg/__init__.py",
+        )
+        assert rule_ids(findings) == ["A001"]
+        assert "ghost" in findings[0].message
+
+    def test_fires_on_hub_without_all(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from os.path import join\n",
+            filename="pkg/__init__.py",
+        )
+        assert rule_ids(findings) == ["A001"]
+
+    def test_silent_on_consistent_hub(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from os.path import join, split\n__all__ = ['join', 'split']\n",
+            filename="pkg/__init__.py",
+        )
+        assert findings == []
+
+    def test_silent_outside_init_files(self, tmp_path):
+        findings = lint_source(tmp_path, "from os.path import join\n")
+        assert findings == []
+
+
+class TestSuppressions:
+    BAD_LINE = "import time\nt0 = time.time()  # reprolint: disable=D002 {}\n"
+
+    def test_reasoned_suppression_silences_finding(self, tmp_path):
+        findings = lint_source(
+            tmp_path, self.BAD_LINE.format("-- wall-clock is the point here")
+        )
+        assert findings == []
+
+    def test_suppression_without_reason_is_inert_and_reported(self, tmp_path):
+        findings = lint_source(tmp_path, self.BAD_LINE.format(""))
+        assert sorted(rule_ids(findings)) == ["D002", "S001"]
+
+    def test_unknown_rule_id_is_reported(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\nt0 = time.time()  # reprolint: disable=D002,Z999 -- ok\n",
+        )
+        assert "S001" in rule_ids(findings)
+
+    def test_suppression_only_covers_named_rules(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\nt0 = time.time()  # reprolint: disable=D001 -- wrong rule\n",
+        )
+        assert "D002" in rule_ids(findings)
+
+    def test_directives_inside_strings_do_not_count(self, tmp_path):
+        suppressions = scan_suppressions(
+            "text = '# reprolint: disable=D002 -- not a comment'\n"
+        )
+        assert suppressions == {}
+
+
+class TestBaseline:
+    SOURCE = "import time\na = time.time()\nb = time.time()\n"
+
+    def test_round_trip_masks_grandfathered_findings(self, tmp_path):
+        findings = lint_source(tmp_path, self.SOURCE)
+        assert len(findings) == 2
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        match = apply_baseline(findings, load_baseline(baseline_path))
+        assert match.new == []
+        assert match.matched == 2
+        assert match.stale == 0
+
+    def test_new_findings_stay_visible(self, tmp_path):
+        findings = lint_source(tmp_path, self.SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        grown = lint_source(
+            tmp_path, self.SOURCE + "from datetime import datetime\nc = datetime.now()\n"
+        )
+        match = apply_baseline(grown, load_baseline(baseline_path))
+        assert len(match.new) == 1
+        assert match.new[0].line == 5
+
+    def test_stale_entries_are_counted(self, tmp_path):
+        findings = lint_source(tmp_path, self.SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        fixed = lint_source(tmp_path, "import time\na = time.perf_counter()\n")
+        match = apply_baseline(fixed, load_baseline(baseline_path))
+        assert match.new == []
+        assert match.stale == 2
+
+    def test_fingerprint_survives_line_motion(self, tmp_path):
+        original = lint_source(tmp_path, self.SOURCE)
+        shifted = lint_source(tmp_path, "import time\n\n\na = time.time()\nb = time.time()\n")
+        assert [f.fingerprint for f in original] == [f.fingerprint for f in shifted]
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+
+class TestEngine:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "pkg" / "b.py").write_text("import time\nt = time.perf_counter()\n")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert rule_ids(findings) == ["D002"]
+        assert findings[0].path == "pkg/a.py"
+
+    def test_syntax_errors_are_skipped(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert findings == []
+
+    def test_finding_is_json_round_trippable(self, tmp_path):
+        findings = lint_source(tmp_path, "import time\nt = time.time()\n")
+        payload = findings[0].to_dict()
+        assert payload["rule"] == "D002"
+        fields = ("rule", "path", "line", "col", "message")
+        assert isinstance(Finding(**{k: payload[k] for k in fields}), Finding)
+
+
+class TestCli:
+    def run_cli(self, *argv, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", *argv],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_repo_tree_is_clean_with_empty_baseline(self):
+        proc = self.run_cli("src", "tests", "benchmarks", "tools", "--require-empty-baseline")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_json_format_reports_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        proc = self.run_cli("--format=json", "--no-baseline", str(bad))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "D002"
+        assert payload["ok"] is False
+
+    def test_text_format_and_exit_code_on_findings(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand(2)\n")
+        proc = self.run_cli("--no-baseline", str(bad))
+        assert proc.returncode == 1
+        assert "D001" in proc.stdout
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        proc = self.run_cli("--write-baseline", "--baseline", str(baseline), str(bad))
+        assert proc.returncode == 0
+        proc = self.run_cli("--baseline", str(baseline), str(bad))
+        assert proc.returncode == 0, proc.stdout
+        proc = self.run_cli("--baseline", str(baseline), str(bad), "--require-empty-baseline")
+        assert proc.returncode == 1
+        assert "baseline must be empty" in proc.stdout
+
+    def test_list_rules_names_every_rule(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("D001", "D002", "F001", "C001", "M001", "N001", "A001", "S001"):
+            assert rule_id in proc.stdout
+
+
+@pytest.mark.parametrize("rule_id", ["D001", "D002", "F001", "C001", "M001", "N001", "A001"])
+def test_every_rule_is_registered_with_a_summary(rule_id):
+    from tools.reprolint import RULES
+
+    assert rule_id in RULES
+    assert RULES[rule_id].summary

@@ -1,0 +1,30 @@
+"""reprolint: project-native static analysis for reproducibility invariants.
+
+The repo's benchmark claims rest on properties no general-purpose linter
+checks: seeded RNG everywhere (bit-identical replay), monotonic clocks in
+telemetry, fork-safe process-pool submissions, and observable failure
+handling through :class:`repro.core.metrics.ResilienceCounters`. reprolint
+encodes those invariants as AST rules (run ``--list-rules`` for the set)
+with per-line reasoned suppressions and a committed — and empty —
+baseline. See README "Static analysis" for the workflow.
+"""
+
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import RULES, FileContext, Rule, lint_file, lint_paths
+from .findings import Finding
+from .suppress import Suppression, scan_suppressions
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "Suppression",
+    "apply_baseline",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "scan_suppressions",
+    "write_baseline",
+]

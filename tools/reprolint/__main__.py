@@ -1,0 +1,7 @@
+"""``python -m tools.reprolint`` dispatch."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,88 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline is a JSON multiset of finding keys. A run subtracts matching
+findings (by ``(rule, path, fingerprint)``, with multiplicity) before
+reporting, so pre-existing debt does not block CI while every *new*
+finding does. ``--write-baseline`` regenerates the file; CI enforces that
+the committed baseline stays **empty**, so the mechanism exists for
+emergencies and for downstream forks, not as a parking lot.
+"""
+
+from __future__ import annotations
+
+import json
+
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline location, resolved relative to this package
+#: so the CLI works from any working directory.
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or structurally invalid baseline files."""
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of subtracting the baseline from a run's findings."""
+
+    new: list[Finding]
+    matched: int
+    stale: int
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a ``Counter`` of finding keys."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Counter()
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(f"baseline {path} is not a reprolint baseline object")
+    keys: Counter = Counter()
+    for entry in payload["findings"]:
+        try:
+            keys[(entry["rule"], entry["path"], entry["fingerprint"])] += 1
+        except (TypeError, KeyError) as error:
+            raise BaselineError(f"malformed baseline entry in {path}: {entry!r}") from error
+    return keys
+
+
+def apply_baseline(findings: list[Finding], baseline: Counter) -> BaselineMatch:
+    """Split findings into new vs baselined; count stale baseline entries."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        if remaining[finding.key] > 0:
+            remaining[finding.key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    stale = sum(count for count in remaining.values() if count > 0)
+    return BaselineMatch(new=new, matched=matched, stale=stale)
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    """Serialise the given findings as the new baseline file."""
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "fingerprint": finding.fingerprint,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 clean, 1 findings (or a non-empty baseline under
+``--require-empty-baseline``, or stale baseline entries), 2 usage or
+baseline-format errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from pathlib import Path
+from typing import Sequence
+
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import RULES, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-native static analysis for reproducibility invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src"), Path("tests"), Path("benchmarks")],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE_PATH,
+        help="baseline file of grandfathered findings (default: the committed one)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--require-empty-baseline",
+        action="store_true",
+        help="fail if the baseline contains any grandfathered findings (CI mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id and summary, then exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].summary}")
+        print("S001  suppression directives must carry a reason and name known rules")
+        return 0
+
+    findings = lint_paths(args.paths, root=Path.cwd())
+
+    if args.write_baseline:
+        write_baseline(findings, args.baseline)
+        print(f"reprolint: wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline) if not args.no_baseline else None
+    except BaselineError as error:
+        print(f"reprolint: error: {error}", file=sys.stderr)
+        return 2
+
+    if baseline is not None:
+        match = apply_baseline(findings, baseline)
+        new, matched, stale = match.new, match.matched, match.stale
+    else:
+        new, matched, stale = findings, 0, 0
+
+    baseline_size = sum(baseline.values()) if baseline is not None else 0
+    failed = bool(new) or stale > 0 or (args.require_empty_baseline and baseline_size > 0)
+
+    if args.format == "json":
+        payload = {
+            "findings": [finding.to_dict() for finding in new],
+            "count": len(new),
+            "baseline": {"entries": baseline_size, "matched": matched, "stale": stale},
+            "ok": not failed,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        if new:
+            print(f"reprolint: {len(new)} finding(s)", end="")
+            print(f" ({matched} baselined)" if matched else "")
+        else:
+            suffix = f" ({matched} baselined)" if matched else ""
+            print(f"reprolint: clean{suffix}")
+        if stale:
+            print(
+                f"reprolint: {stale} stale baseline entr(y/ies) no longer match; "
+                "regenerate with --write-baseline"
+            )
+        if args.require_empty_baseline and baseline_size > 0:
+            print(
+                f"reprolint: baseline must be empty but holds {baseline_size} "
+                "finding(s); fix them or justify with inline suppressions"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""File walking, per-file context, rule dispatch, suppression filtering.
+
+The engine parses each file once, builds a :class:`FileContext` (AST,
+source lines, import-alias map, test-file flag), runs every registered
+rule over it, then filters findings through the file's suppression
+directives. Suppressions lacking a reason are inert and reported as
+S001 — that check lives here rather than in a rule so it can never be
+suppressed away.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .findings import Finding
+from .suppress import Suppression, scan_suppressions
+
+#: Directory names never descended into.
+SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist", ".venv"}
+
+#: Engine-level rule id for malformed suppressions (not suppressible).
+SUPPRESSION_RULE = "S001"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: Path
+    relpath: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    is_test: bool
+    #: Local name -> fully qualified module/attribute path, built from the
+    #: file's import statements (``np`` -> ``numpy``,
+    #: ``default_rng`` -> ``numpy.random.default_rng``, ...).
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def snippet(self, line: int) -> str:
+        """Stripped source text of a 1-based physical line."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at an AST node."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=line,
+            col=col + 1,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+    def qualified_name(self, node: ast.AST) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted path through aliases.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; unresolvable shapes (calls, subscripts)
+        return ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        parts[0] = self.aliases.get(parts[0], parts[0])
+        return ".".join(parts)
+
+
+class Rule:
+    """Base class for reprolint rules; subclasses set ids and override check."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: Registry of rule id -> rule instance, populated by :func:`register`.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    RULES[rule.rule_id] = rule
+    return rule_cls
+
+
+def known_rule_ids() -> frozenset[str]:
+    """Every valid id a suppression may name (rules + engine checks)."""
+    return frozenset(RULES) | {SUPPRESSION_RULE}
+
+
+def is_test_path(path: Path) -> bool:
+    """True for pytest files: ``tests/`` trees, ``test_*.py``, conftest."""
+    if any(part == "tests" for part in path.parts):
+        return True
+    return path.name.startswith("test_") or path.name == "conftest.py"
+
+
+def build_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local import names to fully qualified dotted paths."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                aliases[local] = item.name if item.asname else item.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under the given files/directories, sorted."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in SKIP_DIRS for part in p.parts)
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def parse_file(path: Path, root: Path) -> FileContext | None:
+    """Parse one file into a rule-ready context (None for non-source files)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    return FileContext(
+        path=path,
+        relpath=_relpath(path, root),
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        is_test=is_test_path(path),
+        aliases=build_aliases(tree),
+    )
+
+
+def _suppression_findings(
+    ctx: FileContext, suppressions: dict[int, Suppression]
+) -> list[Finding]:
+    """S001 findings for malformed directives (no reason / unknown rule)."""
+    findings: list[Finding] = []
+    valid = known_rule_ids()
+    for line, suppression in sorted(suppressions.items()):
+        anchor = ast.Module(body=[], type_ignores=[])
+        anchor.lineno = line  # type: ignore[attr-defined]
+        anchor.col_offset = 0  # type: ignore[attr-defined]
+        if not suppression.has_reason:
+            findings.append(
+                ctx.finding(
+                    SUPPRESSION_RULE,
+                    anchor,
+                    "suppression is missing a reason; write "
+                    "'# reprolint: disable=RULE -- why this is safe'",
+                )
+            )
+        unknown = sorted(suppression.rules - valid)
+        if unknown:
+            findings.append(
+                ctx.finding(
+                    SUPPRESSION_RULE,
+                    anchor,
+                    f"suppression names unknown rule id(s): {', '.join(unknown)}",
+                )
+            )
+    return findings
+
+
+def lint_file(
+    path: Path,
+    root: Path,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Run all (or the given) rules over one file, honouring suppressions."""
+    ctx = parse_file(path, root)
+    if ctx is None:
+        return []
+    suppressions = scan_suppressions(ctx.source)
+    active = list(rules) if rules is not None else list(RULES.values())
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            directive = suppressions.get(finding.line)
+            if (
+                directive is not None
+                and directive.has_reason
+                and finding.rule in directive.rules
+            ):
+                continue
+            findings.append(finding)
+    findings.extend(_suppression_findings(ctx, suppressions))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+    select: Callable[[Path], bool] | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths``; findings sorted by location."""
+    root = root if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        if select is not None and not select(path):
+            continue
+        findings.extend(lint_file(path, root, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,56 @@
+"""Finding records and stable fingerprints.
+
+A finding's *fingerprint* hashes the rule id, the file's repo-relative
+path, and the stripped source line — but **not** the line number — so a
+baselined finding survives unrelated edits that merely shift it up or
+down the file. Duplicate findings on identical lines are disambiguated
+by the baseline's multiset matching (see :mod:`tools.reprolint.baseline`),
+not by the fingerprint itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Stripped text of the offending source line (feeds the fingerprint).
+    snippet: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-independent identity used for baseline matching."""
+        digest = hashlib.sha1(
+            f"{self.rule}\x1f{self.path}\x1f{self.snippet}".encode("utf-8", "replace")
+        )
+        return digest.hexdigest()[:16]
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """(rule, path, fingerprint) — the baseline matching key."""
+        return (self.rule, self.path, self.fingerprint)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``--format=json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

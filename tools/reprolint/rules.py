@@ -1,0 +1,589 @@
+"""Project-native rules encoding the repo's reproducibility invariants.
+
+Every rule exists because a layer of this codebase depends on it:
+
+- **D001/D002** — benchmark numbers (EXPERIMENTS.md) and the serving
+  telemetry are only comparable across runs if every RNG is seeded and
+  every duration comes from a monotonic clock.
+- **F001** — ``check_motions_sharded`` and ``SupervisedPool`` fork
+  workers; state captured across the fork boundary silently diverges.
+- **C001** — the resilience layer's contract is that swallowed errors
+  are *counted*; a silent ``except Exception`` voids the accounting.
+- **M001/N001** — classic python/numpy traps that have bitten batch
+  kernels before: shared mutable defaults, ``==`` on float arrays.
+- **A001** — ``__init__`` hubs re-export the public API; drift between
+  imports and ``__all__`` breaks ``from repro.x import *`` users and the
+  public-API tests.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import Iterator
+
+from .engine import FileContext, Rule, register
+from .findings import Finding
+
+#: numpy.random constructors that are fine *when given a seed argument*.
+_SEEDABLE_CONSTRUCTORS = {
+    "default_rng",
+    "SeedSequence",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: numpy.random names that are types/containers, never entropy sources.
+_RANDOM_TYPES = {"Generator", "BitGenerator"}
+
+#: stdlib ``random`` module functions that use the process-global RNG.
+_STDLIB_GLOBAL_RANDOM = {
+    "random",
+    "seed",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "triangular",
+    "getrandbits",
+    "randbytes",
+}
+
+#: Wall-clock calls (qualified) and the replacement the message names.
+_WALL_CLOCKS = {
+    "time.time": "time.perf_counter()",
+    "time.clock": "time.perf_counter()",
+    "datetime.datetime.now": "time.perf_counter() (or an injected clock)",
+    "datetime.datetime.utcnow": "time.perf_counter() (or an injected clock)",
+    "datetime.datetime.today": "time.perf_counter() (or an injected clock)",
+    "datetime.date.today": "time.perf_counter() (or an injected clock)",
+}
+
+#: Identifiers whose presence in an except body counts as "recorded".
+_RECORDING_NAMES = {"resilience", "counters", "ResilienceCounters", "record_error"}
+
+#: Mutating method names that entangle forked workers with parent state.
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "write",
+    "writelines",
+}
+
+#: Module-level constructors whose results must not cross a fork boundary.
+_HANDLE_FACTORIES = {"open", "socket", "Lock", "RLock", "Condition", "Semaphore", "Queue"}
+
+#: AST literal nodes that allocate a fresh mutable container.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _call_has_seed(node: ast.Call) -> bool:
+    """True if a seedable RNG constructor call passes any seed material."""
+    if node.args:
+        return True
+    return any(keyword.arg in ("seed", "entropy") for keyword in node.keywords)
+
+
+@register
+class UnseededRandomRule(Rule):
+    """D001: randomness that cannot be replayed from a recorded seed."""
+
+    rule_id = "D001"
+    summary = (
+        "unseeded randomness outside tests: np.random module-level calls, "
+        "default_rng()/random.Random() without a seed"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified_name(node.func)
+            if qualified is None:
+                continue
+            if qualified.startswith("numpy.random."):
+                tail = qualified.rsplit(".", 1)[1]
+                if tail in _RANDOM_TYPES:
+                    continue
+                if tail in _SEEDABLE_CONSTRUCTORS:
+                    if not _call_has_seed(node):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"{tail}() without a seed is entropy-seeded; pass an "
+                            "explicit seed so runs can be replayed",
+                        )
+                    continue
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"np.random.{tail}() uses the process-global legacy RNG; thread "
+                    "a seeded np.random.Generator (default_rng(seed)) through instead",
+                )
+            elif qualified == "random.Random":
+                if not _call_has_seed(node):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "random.Random() without a seed is entropy-seeded; pass an "
+                        "explicit seed so runs can be replayed",
+                    )
+            elif qualified.startswith("random."):
+                tail = qualified.rsplit(".", 1)[1]
+                if tail in _STDLIB_GLOBAL_RANDOM:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"random.{tail}() uses the process-global RNG; use a seeded "
+                        "random.Random(seed) or np.random.Generator instance",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """D002: wall-clock reads where telemetry needs a monotonic clock."""
+
+    rule_id = "D002"
+    summary = (
+        "wall-clock time.time()/datetime.now() outside tests; durations and "
+        "telemetry must use time.perf_counter() or an injected clock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified_name(node.func)
+            if qualified in _WALL_CLOCKS:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{qualified}() is wall-clock (not monotonic, jumps under NTP); "
+                    f"use {_WALL_CLOCKS[qualified]} for timing/telemetry",
+                )
+
+
+def _module_level_mutables(tree: ast.Module) -> dict[str, str]:
+    """Module-level names bound to mutable containers or live handles."""
+    mutables: dict[str, str] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        kind: str | None = None
+        if isinstance(value, _MUTABLE_LITERALS):
+            kind = "mutable container"
+        elif isinstance(value, ast.Call):
+            callee = value.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else None
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            if name in ("list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"):
+                kind = "mutable container"
+            elif name in _HANDLE_FACTORIES:
+                kind = "open handle"
+        if kind is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables[target.id] = kind
+    return mutables
+
+
+def _function_fork_hazard(fn: ast.AST, mutables: dict[str, str]) -> tuple[str, str] | None:
+    """Why a function is unsafe to submit across a fork, if it is."""
+    local_bindings: set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            local_bindings.add(arg.arg)
+        if args.vararg:
+            local_bindings.add(args.vararg.arg)
+        if args.kwarg:
+            local_bindings.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            return node.names[0], "rebinds it via 'global'"
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local_bindings.add(node.id)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in mutables and node.id not in local_bindings:
+            kind = mutables[node.id]
+            if kind == "open handle":
+                return node.id, "captures a module-level open handle"
+            parent_attr = _mutating_use(fn, node.id)
+            if parent_attr is not None:
+                return node.id, f"mutates module-level state via .{parent_attr}()"
+    return None
+
+
+def _mutating_use(fn: ast.AST, name: str) -> str | None:
+    """First mutating method/statement applied to ``name`` inside ``fn``."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            target = node.func.value
+            if isinstance(target, ast.Name) and target.id == name:
+                if node.func.attr in _MUTATING_METHODS:
+                    return node.func.attr
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    base = target.value
+                    if isinstance(base, ast.Name) and base.id == name:
+                        return "__setitem__"
+    return None
+
+
+@register
+class ForkSafetyRule(Rule):
+    """F001: state that silently diverges across ProcessPool fork boundaries."""
+
+    rule_id = "F001"
+    summary = (
+        "functions submitted to a process pool must not be closures/lambdas "
+        "or touch module-level mutable state or open handles"
+    )
+
+    _SUBMIT_ATTRS = {"submit", "run_shards"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        mutables = _module_level_mutables(ctx.tree)
+        module_functions = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        nested_functions = _nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if not self._is_pool_dispatch(node):
+                continue
+            callee = node.args[0]
+            if isinstance(callee, ast.Lambda):
+                yield ctx.finding(
+                    self.rule_id,
+                    callee,
+                    "lambda submitted to a process pool: not picklable and its "
+                    "closure is re-evaluated per fork; use a module-level function",
+                )
+            elif isinstance(callee, ast.Name):
+                if callee.id in nested_functions:
+                    yield ctx.finding(
+                        self.rule_id,
+                        callee,
+                        f"nested function '{callee.id}' submitted to a process pool "
+                        "captures its closure; hoist it to module level",
+                    )
+                    continue
+                target = module_functions.get(callee.id)
+                if target is None:
+                    continue
+                hazard = _function_fork_hazard(target, mutables)
+                if hazard is not None:
+                    name, how = hazard
+                    yield ctx.finding(
+                        self.rule_id,
+                        callee,
+                        f"'{callee.id}' submitted to a process pool {how} "
+                        f"('{name}'); forked workers see a divergent copy",
+                    )
+
+    def _is_pool_dispatch(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in self._SUBMIT_ATTRS
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr in self._SUBMIT_ATTRS:
+            return True
+        if func.attr in ("map", "run"):
+            # ``.map``/``.run`` are generic method names; only treat them as
+            # pool dispatch when the receiver reads like one.
+            receiver = func.value
+            text = ""
+            if isinstance(receiver, ast.Name):
+                text = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                text = receiver.attr
+            lowered = text.lower()
+            return any(token in lowered for token in ("pool", "executor", "supervisor"))
+        return False
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions (closures)."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+@register
+class SilentExceptRule(Rule):
+    """C001: broad excepts that neither re-raise nor feed ResilienceCounters."""
+
+    rule_id = "C001"
+    summary = (
+        "broad 'except Exception' must re-raise or record the error to "
+        "ResilienceCounters so failures stay observable"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if self._handles_visibly(node):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "broad except swallows the error invisibly; re-raise, narrow the "
+                "exception type, or record it to ResilienceCounters "
+                "(e.g. counters.record_error(site, exc))",
+            )
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+        for entry in types:
+            if isinstance(entry, ast.Name) and entry.id in ("Exception", "BaseException"):
+                return True
+        return False
+
+    @staticmethod
+    def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Name) and node.id in _RECORDING_NAMES:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in _RECORDING_NAMES:
+                return True
+        return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """M001: mutable default arguments shared across every call."""
+
+    rule_id = "M001"
+    summary = "mutable default argument ([], {}, set(), ...) is shared across calls"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        self.rule_id,
+                        default,
+                        "mutable default argument is evaluated once and shared by "
+                        "every call; default to None and allocate inside the body",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, _MUTABLE_LITERALS):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+def _annotation_mentions_float_array(annotation: str) -> bool:
+    """True for ndarray annotations that are not explicitly int/bool typed."""
+    if "ndarray" not in annotation and "NDArray" not in annotation:
+        return False
+    lowered = annotation.lower()
+    return not any(token in lowered for token in ("int", "bool", "uint"))
+
+
+class _ArrayNameCollector(ast.NodeVisitor):
+    """Names annotated as (non-integer) ndarrays, per enclosing function."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._collect_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._collect_args(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if _annotation_mentions_float_array(ast.unparse(node.annotation)):
+                self.names.add(node.target.id)
+        self.generic_visit(node)
+
+    def _collect_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None:
+                if _annotation_mentions_float_array(ast.unparse(arg.annotation)):
+                    self.names.add(arg.arg)
+
+
+@register
+class FloatArrayEqualityRule(Rule):
+    """N001: == / != on float ndarrays (use np.isclose/np.array_equal)."""
+
+    rule_id = "N001"
+    summary = (
+        "==/!= on float ndarrays compares elementwise with exact float "
+        "equality; use np.isclose/np.allclose (or np.array_equal for exact "
+        "integer semantics)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        collector = _ArrayNameCollector()
+        collector.visit(ctx.tree)
+        if not collector.names:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                if isinstance(operand, ast.Name) and operand.id in collector.names:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"'{operand.id}' is annotated as a float ndarray; == compares "
+                        "with exact float equality elementwise — use np.isclose/"
+                        "np.allclose (or compare a scalar reduction)",
+                    )
+                    break
+
+
+@register
+class AllDriftRule(Rule):
+    """A001: __init__.py re-exports drifting out of sync with __all__."""
+
+    rule_id = "A001"
+    summary = "__init__.py: __all__ must list exactly the module's public bindings"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path.name != "__init__.py":
+            return
+        exported: set[str] | None = None
+        saw_all = False
+        exported_node: ast.AST = ctx.tree
+        bound: dict[str, ast.AST] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    bound[item.asname or item.name] = node
+            elif isinstance(node, ast.Import):
+                for item in node.names:
+                    bound[(item.asname or item.name).split(".")[0]] = node
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound[node.name] = node
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "__all__":
+                        saw_all = True
+                        exported_node = node
+                        exported = self._literal_names(node.value)
+                    else:
+                        bound[target.id] = node
+        public = {name for name in bound if not name.startswith("_")}
+        if exported is None:
+            # A non-literal __all__ (e.g. built programmatically) is opaque
+            # to static analysis; only flag hubs with *no* __all__ at all.
+            if public and not saw_all:
+                yield ctx.finding(
+                    self.rule_id,
+                    ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                    f"__init__.py re-exports {len(public)} public name(s) but "
+                    "declares no __all__",
+                )
+            return
+        for name in sorted(exported - set(bound)):
+            yield ctx.finding(
+                self.rule_id,
+                exported_node,
+                f"__all__ lists '{name}' but the module never defines or imports it",
+            )
+        for name in sorted(public - exported):
+            yield ctx.finding(
+                self.rule_id,
+                bound[name],
+                f"'{name}' is bound at module level but missing from __all__; "
+                "add it or rename with a leading underscore",
+            )
+
+    @staticmethod
+    def _literal_names(node: ast.expr | None) -> set[str] | None:
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            return None
+        names: set[str] = set()
+        for element in node.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(element.value, str):
+                return None
+            names.add(element.value)
+        return names

@@ -1,0 +1,67 @@
+"""Per-line suppression comments.
+
+Syntax (one per physical line, after any code)::
+
+    x = time.time()  # reprolint: disable=D002 -- wall-clock is the point here
+
+The reason text after ``--`` is **mandatory**: a suppression without it
+is inert and itself reported as S001, so every silenced finding carries
+an auditable justification. Multiple rule ids may be comma-separated.
+
+Comments are located with :mod:`tokenize`, not a regex over raw lines,
+so ``# reprolint:`` text inside string literals never counts.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from dataclasses import dataclass
+
+#: Matches the payload of a reprolint control comment.
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# reprolint: disable=...`` directive on one physical line."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason)
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """Map physical line number -> suppression directive for a file."""
+    suppressions: dict[int, Suppression] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip().upper() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        line = token.start[0]
+        suppressions[line] = Suppression(
+            line=line,
+            rules=rules,
+            reason=(match.group("reason") or "").strip(),
+        )
+    return suppressions
