@@ -1,0 +1,111 @@
+"""Batched vs. scalar COORD prediction datapath: speedup + parity bench.
+
+The hot loop of CHT-backed prediction is hash → table probe → table
+update, repeated once per CDQ. This bench times that datapath both ways
+over an N=4096 link-center stream: the scalar per-key loop
+(``predict``/``update``) against the batched pair
+(``hash_many``+``predict_many`` / ``update_many``). Both phases assert
+bit-parity first — identical verdicts, counters, traffic statistics and
+RNG stream — then the combined throughput ratio must clear
+``MIN_SPEEDUP``. Results land in
+``benchmarks/results/BENCH_predictor_batch.json`` for the CI regression
+gate.
+
+Predict and update phases are timed separately (not interleaved): the
+interleaved gate is what :class:`BatchMotionKernel.check_motion_predicted`
+replays, and its end-to-end cost is covered by the batch-pipeline bench.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CHTPredictor, CollisionHistoryTable, CoordHash
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_KEYS = 4096
+TABLE_SIZE = 4096
+MIN_SPEEDUP = 5.0
+
+
+def _predictor(seed: int) -> CHTPredictor:
+    return CHTPredictor(
+        CoordHash(bits_per_axis=4),
+        CollisionHistoryTable(size=TABLE_SIZE, s=1.0, u=0.5, rng=np.random.default_rng(seed)),
+    )
+
+
+def _workload(seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    keys = rng.uniform(-1.4, 1.4, (NUM_KEYS, 3))
+    outcomes = rng.random(NUM_KEYS) < 0.3
+    return keys, outcomes
+
+
+def test_bench_predictor_batch(benchmark, bench_seed):
+    keys, outcomes = _workload(bench_seed)
+
+    # -- parity oracle: the scalar loop on an identically seeded predictor.
+    scalar_p = _predictor(bench_seed)
+    batch_p = _predictor(bench_seed)
+
+    start = time.perf_counter()
+    scalar_written = [
+        scalar_p.table.update(scalar_p.hash_function(key), bool(outcome))
+        for key, outcome in zip(keys, outcomes)
+    ]
+    scalar_update_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch_written = batch_p.table.update_many(batch_p.hash_function.hash_many(keys), outcomes)
+    batch_update_s = time.perf_counter() - start
+
+    assert np.array_equal(np.array(scalar_written), batch_written)
+    assert np.array_equal(scalar_p.table.coll, batch_p.table.coll)
+    assert np.array_equal(scalar_p.table.noncoll, batch_p.table.noncoll)
+    assert scalar_p.table.writes == batch_p.table.writes
+    assert scalar_p.table.skipped_updates == batch_p.table.skipped_updates
+    assert scalar_p.table.rng.random() == batch_p.table.rng.random()
+
+    start = time.perf_counter()
+    scalar_verdicts = np.array([scalar_p.predict(key) for key in keys])
+    scalar_predict_s = time.perf_counter() - start
+
+    def batch_predict():
+        return batch_p.predict_many(keys)
+
+    batch_verdicts = benchmark.pedantic(batch_predict, rounds=5, iterations=1, warmup_rounds=1)
+    start = time.perf_counter()
+    batch_predict()
+    batch_predict_s = time.perf_counter() - start
+
+    assert np.array_equal(scalar_verdicts, batch_verdicts)
+
+    scalar_s = scalar_update_s + scalar_predict_s
+    batch_s = batch_update_s + batch_predict_s
+    speedup = scalar_s / batch_s
+    payload = {
+        "workload": {
+            "keys": NUM_KEYS,
+            "table_size": TABLE_SIZE,
+            "colliding_fraction": float(outcomes.mean()),
+        },
+        "scalar_update_us_per_key": 1e6 * scalar_update_s / NUM_KEYS,
+        "batch_update_us_per_key": 1e6 * batch_update_s / NUM_KEYS,
+        "scalar_predict_us_per_key": 1e6 * scalar_predict_s / NUM_KEYS,
+        "batch_predict_us_per_key": 1e6 * batch_predict_s / NUM_KEYS,
+        "speedup": speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_predictor_batch.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+    assert speedup >= MIN_SPEEDUP

@@ -17,6 +17,9 @@ Tracked metrics:
   ``latency_ms.p99`` (lower is better);
 * ``BENCH_batch_pipeline.json`` — ``speedup`` over the scalar path
   (higher is better; a ratio, so it transfers across machine speeds);
+* ``BENCH_predictor_batch.json`` — ``speedup`` of the batched CHT
+  predict/update datapath over the scalar per-key loop (higher is
+  better; a ratio);
 * ``BENCH_resilience.json`` — ``qps_retention``, the faulted/clean
   throughput ratio under the seeded chaos harness (higher is better; a
   ratio, so it transfers across machine speeds).
@@ -40,6 +43,7 @@ METRICS = [
     ("BENCH_serving.json", "achieved_qps", "up"),
     ("BENCH_serving.json", "latency_ms.p99", "down"),
     ("BENCH_batch_pipeline.json", "speedup", "up"),
+    ("BENCH_predictor_batch.json", "speedup", "up"),
     ("BENCH_resilience.json", "qps_retention", "up"),
 ]
 

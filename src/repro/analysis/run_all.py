@@ -54,13 +54,16 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--backend",
         choices=BACKENDS,
-        default=None,
-        help="motion-check engine for predictor-free checks (default: scalar)",
+        default="batch",
+        help=(
+            "motion-check engine (default: batch — the vectorized kernels, "
+            "bit-identical to scalar for both predictor-free and CHT-predicted "
+            "checks; pass 'scalar' for the canonical per-CDQ scan)"
+        ),
     )
     args = parser.parse_args(argv)
 
-    if args.backend is not None:
-        set_default_backend(args.backend)
+    set_default_backend(args.backend)
     args.out.mkdir(parents=True, exist_ok=True)
     ctx = experiments.build_suites(scale=args.scale)
     for name, fn in EXPERIMENTS:

@@ -15,15 +15,21 @@ the whole hot path into numpy:
    matrix: verdict, first-colliding-pose index, executed/skipped CDQ
    counts and broad-phase test counts are identical to what the scalar
    predictor-free scan would have reported;
-4. :func:`check_motions_sharded` fans whole motions out over a
+4. CHT-predicted checks run **predict-gated**
+   (:meth:`BatchMotionKernel.check_motion_predicted`): all link centers of
+   the motion are hashed in one :meth:`~repro.core.hashing.HashFunction.hash_many`
+   pass, the CHT is consulted batched, and only Algorithm 1's *gate* —
+   the order/short-circuit decisions that depend on intra-motion table
+   updates — replays sequentially over precomputed integer arrays. Codes,
+   predictions, counter states and traffic statistics are bit-identical
+   to the scalar loop on the same seed;
+5. :func:`check_motions_sharded` fans whole motions out over a
    *supervised* ``ProcessPoolExecutor`` (:mod:`repro.resilience`): crashed
    or hung workers break only their shard, which is retried with bounded
    backoff on a restarted pool instead of aborting the workload.
 
 The scalar path stays canonical for the hardware simulators; this backend
-is its exact, property-tested software counterpart (predictor-free — CHT
-prediction requires the sequential observe loop, so predicted checks fall
-back to the scalar engine).
+is its exact, property-tested software counterpart.
 """
 
 from __future__ import annotations
@@ -44,8 +50,9 @@ from ..geometry.batch import (
     pack_aabb_overlap,
     sphere_pairs_overlap,
 )
+from ..core.predictor import CHTPredictor, Predictor
 from ..resilience import FaultInjector, RetryPolicy, SupervisedPool
-from .detector import CollisionDetector
+from .detector import CollisionDetector, coord_key, pose_key
 from .queries import MotionCheckResult, QueryStats
 from .scheduling import NaiveScheduler, PoseScheduler
 
@@ -57,14 +64,16 @@ __all__ = ["BatchMotionKernel", "check_motion_batched", "check_motions_sharded"]
 
 
 class BatchMotionKernel:
-    """Vectorized predictor-free motion checker bound to one detector.
+    """Vectorized motion checker bound to one detector.
 
     Packs the detector's obstacle set once; every subsequent
-    :meth:`check_motion` is a handful of einsums over the whole
-    (poses x links x obstacles) workload. Results match the scalar
-    :meth:`CollisionDetector.check_motion` (with ``predictor=None``)
-    bit-for-bit: same verdict, same first-colliding-pose index, same
-    executed/skipped CDQ counts and narrow-phase test totals.
+    :meth:`check_motion` (predictor-free) or
+    :meth:`check_motion_predicted` (predict-gated, CHT-backed) is a
+    handful of einsums over the whole (poses x links x obstacles)
+    workload plus one batched hash/table pass. Results match the scalar
+    :meth:`CollisionDetector.check_motion` bit-for-bit: same verdict,
+    same first-colliding-pose index, same executed/skipped CDQ counts,
+    narrow-phase test totals, predictions, counter states and RNG stream.
     """
 
     def __init__(self, detector: CollisionDetector) -> None:
@@ -93,6 +102,69 @@ class BatchMotionKernel:
         pack, pose_ids = robot.batch_pose_spheres(poses)
         return pack, pose_ids, "sphere"
 
+    def _row_order(self, pose_ids: np.ndarray, order: np.ndarray) -> np.ndarray:
+        """Row permutation putting CDQ rows into scheduler pose order."""
+        num_poses = int(pose_ids[-1]) + 1 if len(pose_ids) else 0
+        row_starts = np.searchsorted(pose_ids, np.arange(num_poses + 1))
+        return np.concatenate(
+            [np.arange(row_starts[p], row_starts[p + 1]) for p in order]
+        )
+
+    def _row_outcomes(
+        self, pack: Any, kind: str, row_order: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-CDQ (outcome, narrow-phase test count) in scheduler order.
+
+        The test counts replicate :meth:`Scene.volume_collision_work`
+        exactly: each row charges one test per AABB-passing obstacle up to
+        and including its first narrow-phase hit (all of them when the row
+        is collision-free). Narrow phase runs only on broad-phase
+        survivors: the K AABB-passing (row, obstacle) pairs are gathered
+        and SAT-tested flat — identical outcomes to masking the dense
+        kernel, at cost proportional to K instead of M*N.
+        """
+        total = len(row_order)
+        if self.obstacles is None:
+            # Empty scene: every CDQ is collision-free with zero tests.
+            return np.zeros(total, dtype=bool), np.zeros(total, dtype=np.int64)
+        lo, hi = pack.aabb_bounds()
+        aabb = pack_aabb_overlap(lo, hi, self.obstacles)  # (M, N)
+        rows, cols = np.nonzero(aabb)
+        narrow = np.zeros_like(aabb)
+        if len(rows):
+            if kind == "obb":
+                narrow[rows, cols] = obb_pairs_overlap(pack, self.obstacles, rows, cols)
+            else:
+                narrow[rows, cols] = sphere_pairs_overlap(pack, self.obstacles, rows, cols)
+        ordered_hits = narrow[row_order]
+        ordered_aabb = aabb[row_order]
+        outcomes = ordered_hits.any(axis=1)
+        survivors = np.cumsum(ordered_aabb, axis=1)
+        first_obstacle = np.argmax(ordered_hits, axis=1)
+        tests = np.where(
+            outcomes,
+            survivors[np.arange(total), first_obstacle],
+            ordered_aabb.sum(axis=1),
+        )
+        return outcomes, tests.astype(np.int64)
+
+    def _row_keys(
+        self, pack: Any, pose_ids: np.ndarray, poses: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-row predictor keys, or None when the key function is custom.
+
+        COORD keys are the packed volume centers (bit-identical to the
+        scalar CDQ geometry centers); POSE keys are each row's C-space
+        pose vector. Custom key functions need the scalar CDQ objects, so
+        callers fall back to the scalar engine.
+        """
+        key_fn = self.detector.key_fn
+        if key_fn is coord_key:
+            return np.asarray(pack.centers, dtype=float)
+        if key_fn is pose_key:
+            return np.asarray(poses, dtype=float)[pose_ids]
+        return None
+
     def check_motion(
         self,
         start: ArrayLike,
@@ -113,54 +185,177 @@ class BatchMotionKernel:
         order = (scheduler or NaiveScheduler()).order(num_poses)
         stats = QueryStats(motions_checked=1, poses_checked=num_poses)
         pack, pose_ids, kind = self._pack_motion(poses)
-        row_starts = np.searchsorted(pose_ids, np.arange(num_poses + 1))
-        row_order = np.concatenate(
-            [np.arange(row_starts[p], row_starts[p + 1]) for p in order]
-        )
+        row_order = self._row_order(pose_ids, order)
         total = len(row_order)
+        outcomes, tests = self._row_outcomes(pack, kind, row_order)
 
-        if self.obstacles is None:
-            # Empty scene: every CDQ executes and reports zero tests.
+        if not outcomes.any():
             stats.cdqs_executed = total
+            stats.narrow_phase_tests = int(tests.sum())
             return MotionCheckResult(collided=False, stats=stats)
 
-        lo, hi = pack.aabb_bounds()
-        aabb = pack_aabb_overlap(lo, hi, self.obstacles)  # (M, N)
-        # Narrow phase only on broad-phase survivors: gather the K
-        # AABB-passing (row, obstacle) pairs and SAT-test them flat —
-        # identical outcomes to masking the dense kernel, at cost
-        # proportional to K instead of M*N.
-        rows, cols = np.nonzero(aabb)
-        narrow = np.zeros_like(aabb)
-        if len(rows):
-            if kind == "obb":
-                narrow[rows, cols] = obb_pairs_overlap(pack, self.obstacles, rows, cols)
-            else:
-                narrow[rows, cols] = sphere_pairs_overlap(pack, self.obstacles, rows, cols)
-
-        ordered_hits = narrow[row_order]
-        ordered_aabb = aabb[row_order]
-        cdq_hits = ordered_hits.any(axis=1)
-        if not cdq_hits.any():
-            stats.cdqs_executed = total
-            stats.narrow_phase_tests = int(ordered_aabb.sum())
-            return MotionCheckResult(collided=False, stats=stats)
-
-        first = int(np.argmax(cdq_hits))
+        first = int(np.argmax(outcomes))
         stats.cdqs_executed = first + 1
         stats.cdqs_skipped = total - (first + 1)
         stats.motions_colliding = 1
-        # Rows before the hit ran their full AABB-filtered obstacle scan;
-        # the hit row stopped at its first narrow-phase hit.
-        first_obstacle = int(np.argmax(ordered_hits[first]))
-        stats.narrow_phase_tests = int(ordered_aabb[:first].sum()) + int(
-            ordered_aabb[first, : first_obstacle + 1].sum()
-        )
+        stats.narrow_phase_tests = int(tests[: first + 1].sum())
         return MotionCheckResult(
             collided=True,
             stats=stats,
             first_colliding_pose=int(pose_ids[row_order[first]]),
         )
+
+    def check_motion_predicted(
+        self,
+        start: ArrayLike,
+        end: ArrayLike,
+        num_poses: int = 20,
+        scheduler: PoseScheduler | None = None,
+        predictor: Predictor | None = None,
+    ) -> MotionCheckResult | None:
+        """Predict-gated whole-motion check (Algorithm 1, vectorized).
+
+        All heavy work is batched up front — FK, volume packing, the
+        broad/narrow-phase outcome matrix and one
+        :meth:`~repro.core.hashing.HashFunction.hash_many` pass over every
+        link center (or pose vector) of the motion. What remains of
+        Algorithm 1 is only its *gate*: the scheduling decisions that
+        depend on intra-motion CHT updates. The gate replays over
+        precomputed integer arrays:
+
+        * phase 1 jumps straight between predicted-colliding rows
+          (``np.flatnonzero`` on the batched verdict vector) instead of
+          visiting every CDQ; each executed row feeds the table through
+          the scalar :meth:`~repro.core.cht.CollisionHistoryTable.update`
+          (preserving the exact RNG draw order), then the verdicts of
+          remaining rows mapping to the written entry are refreshed in one
+          masked assignment;
+        * phase 2 drains the queue with a single
+          :meth:`~repro.core.cht.CollisionHistoryTable.update_many` over
+          the rows the scalar loop would have executed.
+
+        Returns None when the configuration needs the scalar engine (a
+        non-CHT predictor, whose ``predict`` may consume RNG per call, a
+        custom key function, or a hash too wide to vectorize — see
+        :attr:`~repro.core.hashing.HashFunction.vectorizable`); otherwise
+        the result — codes, verdicts,
+        counter states, RNG stream and every traffic statistic — is
+        bit-identical to
+        ``CollisionDetector.check_motion(..., predictor=predictor)``.
+        """
+        if not isinstance(predictor, CHTPredictor) or not predictor.hash_function.vectorizable:
+            return None
+        robot = self.detector.robot
+        poses = robot.interpolate(start, end, num_poses)
+        order = (scheduler or NaiveScheduler()).order(num_poses)
+        pack, pose_ids, kind = self._pack_motion(poses)
+        keys = self._row_keys(pack, pose_ids, poses)
+        if keys is None:
+            return None
+        row_order = self._row_order(pose_ids, order)
+        total = len(row_order)
+        stats = QueryStats(motions_checked=1, poses_checked=num_poses)
+        outcomes, tests = self._row_outcomes(pack, kind, row_order)
+
+        table = predictor.table
+        codes = np.asarray(predictor.hash_function.hash_many(keys[row_order]), dtype=np.int64)
+        indices = codes % table.size
+        preds = table.probe_many(codes)
+
+        executed = 0
+        tests_total = 0
+        predictions_made = total
+        hit_row = -1
+
+        # Phase 1: predicted-colliding CDQs execute eagerly in scheduler
+        # order; everything the gate skips over is queued (= stays False
+        # in ``preds``, which only fix-ups on not-yet-visited rows mutate).
+        i = 0
+        while i < total:
+            ahead = np.flatnonzero(preds[i:])
+            if ahead.size == 0:
+                break
+            j = i + int(ahead[0])
+            stats.predicted_colliding += 1
+            executed += 1
+            collided = bool(outcomes[j])
+            tests_total += int(tests[j])
+            written = table.update(int(codes[j]), collided)
+            if collided:
+                predictions_made = j + 1
+                hit_row = j
+                break
+            if written and j + 1 < total:
+                # The write may flip predictions of later rows hashing to
+                # the same entry; refresh them before the gate reaches them.
+                same = indices[j + 1 :] == indices[j]
+                if same.any():
+                    preds[j + 1 :][same] = table.probe_many(codes[j : j + 1])[0]
+            i = j + 1
+
+        # Phase 2: drain the queue in order, stopping at the first hit.
+        if hit_row < 0:
+            queued = np.flatnonzero(~preds)
+            if queued.size:
+                queue_hits = outcomes[queued]
+                count = int(np.argmax(queue_hits)) + 1 if queue_hits.any() else int(queued.size)
+                run = queued[:count]
+                table.update_many(codes[run], outcomes[run])
+                executed += count
+                tests_total += int(tests[run].sum())
+                if queue_hits.any():
+                    hit_row = int(run[-1])
+
+        table.reads += predictions_made
+        stats.predictions_made = predictions_made
+        stats.cdqs_executed = executed
+        stats.narrow_phase_tests = tests_total
+        if hit_row < 0:
+            return MotionCheckResult(collided=False, stats=stats)
+        stats.cdqs_skipped = total - executed
+        stats.motions_colliding = 1
+        return MotionCheckResult(
+            collided=True,
+            stats=stats,
+            first_colliding_pose=int(pose_ids[row_order[hit_row]]),
+        )
+
+    def predict_motion(
+        self,
+        start: ArrayLike,
+        end: ArrayLike,
+        num_poses: int = 20,
+        scheduler: PoseScheduler | None = None,
+        predictor: Predictor | None = None,
+    ) -> bool | None:
+        """Batched predicted-only verdict: OR of the CHT over the motion.
+
+        The fast path behind :func:`repro.collision.pipeline.predict_motion`:
+        one hash pass, one stats-free table probe, and read accounting
+        that replicates the scalar generator's short-circuit (the scalar
+        loop stops predicting at the first colliding verdict). No CDQ is
+        executed and no table entry is written, so — unlike the gated
+        check — a single batched probe is exact. Returns None when the
+        configuration needs the scalar loop (non-CHT predictor, custom
+        key function, or a hash too wide to vectorize).
+        """
+        if not isinstance(predictor, CHTPredictor) or not predictor.hash_function.vectorizable:
+            return None
+        robot = self.detector.robot
+        poses = robot.interpolate(start, end, num_poses)
+        order = (scheduler or NaiveScheduler()).order(num_poses)
+        pack, pose_ids, _ = self._pack_motion(poses)
+        keys = self._row_keys(pack, pose_ids, poses)
+        if keys is None:
+            return None
+        row_order = self._row_order(pose_ids, order)
+        table = predictor.table
+        verdicts = table.probe_many(predictor.hash_function.hash_many(keys[row_order]))
+        if verdicts.any():
+            table.reads += int(np.argmax(verdicts)) + 1
+            return True
+        table.reads += int(verdicts.shape[0])
+        return False
 
 
 def check_motion_batched(

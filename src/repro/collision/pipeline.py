@@ -31,8 +31,10 @@ __all__ = [
 
 #: The available motion-check execution engines. ``scalar`` is the
 #: canonical per-CDQ scan the hardware simulators mirror; ``batch`` is the
-#: vectorized whole-motion kernel of :mod:`repro.collision.batch_pipeline`
-#: (predictor-free checks only — predicted checks always run scalar).
+#: vectorized whole-motion kernel of :mod:`repro.collision.batch_pipeline`.
+#: Predicted checks over a CHT run the predict-gated batch kernel
+#: (bit-identical to the scalar loop); configurations the kernel cannot
+#: express (custom key functions, non-CHT predictors) fall back to scalar.
 BACKENDS = ("scalar", "batch")
 
 _default_backend = "scalar"
@@ -116,15 +118,25 @@ def _motion_result(
 ) -> MotionCheckResult:
     """Route one motion check through the selected execution engine.
 
-    The batch backend covers predictor-free checks; CHT prediction needs
-    the sequential observe loop, so predicted checks always run the
-    canonical scalar engine regardless of the backend setting.
+    The batch backend covers predictor-free checks (the vectorized
+    whole-motion kernel) and CHT-predicted checks (the predict-gated
+    kernel, bit-identical to the scalar Algorithm 1 loop). Configurations
+    the kernel cannot express — non-CHT predictors or custom key
+    functions — run the canonical scalar engine regardless of the
+    backend setting.
     """
     backend = _resolve_backend(backend)
-    if backend == "batch" and predictor is None:
-        return detector.batch_kernel().check_motion(
-            motion.start, motion.end, motion.num_poses, scheduler
+    if backend == "batch":
+        kernel = detector.batch_kernel()
+        if predictor is None:
+            return kernel.check_motion(
+                motion.start, motion.end, motion.num_poses, scheduler
+            )
+        gated = kernel.check_motion_predicted(
+            motion.start, motion.end, motion.num_poses, scheduler, predictor
         )
+        if gated is not None:
+            return gated
     return detector.check_motion(
         motion.start, motion.end, motion.num_poses, scheduler, predictor
     )
@@ -153,6 +165,7 @@ def predict_motion(
     motion: Motion,
     scheduler: PoseScheduler | None = None,
     predictor: Predictor | None = None,
+    backend: str | None = None,
 ) -> bool:
     """Predicted-only verdict: OR of the predictor over the motion's CDQs.
 
@@ -160,10 +173,19 @@ def predict_motion(
     software analogue of COPU's early prediction, used by the serving
     layer's deadline-fallback path when the exact check cannot complete in
     time. With no predictor the verdict is ``False`` (nothing predicts a
-    collision).
+    collision). The batch backend answers CHT-backed configurations with
+    one batched hash-and-probe pass (scalar-identical verdict and read
+    accounting, including the scalar generator's short-circuit); other
+    predictors keep the scalar loop.
     """
     if predictor is None:
         return False
+    if _resolve_backend(backend) == "batch":
+        verdict = detector.batch_kernel().predict_motion(
+            motion.start, motion.end, motion.num_poses, scheduler, predictor
+        )
+        if verdict is not None:
+            return verdict
     return any(
         predictor.predict(detector.key_fn(cdq))
         for cdq in detector.motion_cdqs(motion.start, motion.end, motion.num_poses, scheduler)

@@ -41,6 +41,32 @@ def shift_for_strategy(s: float) -> int | None:
     return max(shift, 0)
 
 
+#: Sentinel shift meaning "S = 0: predict from COLL alone" (distinct from
+#: ``None``, which :func:`_exact_shift` uses for "no exact shift exists").
+_SHIFT_IGNORE_NONCOLL = -2
+
+
+def _exact_shift(s: float) -> int | None:
+    """The hardware shift for ``S`` when the shift comparison is *exact*.
+
+    ``COLL > NONCOLL >> x`` agrees with the float ``COLL > S * NONCOLL``
+    for every integer counter state precisely when ``S`` is a power of two
+    realisable by the COPU's shifter: ``S ∈ {0} ∪ {2^-x} ∪ {2}``. For
+    those values this returns :func:`shift_for_strategy`'s amount (with
+    ``S = 0`` mapped to :data:`_SHIFT_IGNORE_NONCOLL`); any other ``S``
+    returns None and the predictor keeps the float comparison.
+    """
+    if s == 0.0:
+        return _SHIFT_IGNORE_NONCOLL
+    if s == 2.0:
+        return -1
+    if 0.0 < s <= 1.0:
+        exponent = np.log2(1.0 / s)
+        if exponent == np.floor(exponent):
+            return int(exponent)
+    return None
+
+
 class CollisionHistoryTable:
     """A direct-mapped table of (COLL, NONCOLL) saturating counter pairs.
 
@@ -84,6 +110,10 @@ class CollisionHistoryTable:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.coll = np.zeros(self.size, dtype=np.int32)
         self.noncoll = np.zeros(self.size, dtype=np.int32)
+        #: Hardware shift amount when ``S`` is an exact power of two (the
+        #: COPU's ``COLL > NONCOLL >> x`` comparator); None keeps the
+        #: float comparison for non-power-of-two strategy sweeps.
+        self.shift = _exact_shift(self.s)
         # Traffic statistics used by the energy model and the U-sweep bench.
         self.reads = 0
         self.writes = 0
@@ -93,16 +123,106 @@ class CollisionHistoryTable:
         """Fold an arbitrary-width hash code onto the table size."""
         return int(code) % self.size
 
+    def _compare(
+        self,
+        coll: "np.ndarray | np.signedinteger",
+        noncoll: "np.ndarray | np.signedinteger",
+    ) -> "np.ndarray | np.bool_":
+        """The prediction comparison, elementwise over counter arrays.
+
+        Uses the hardware-exact integer shift datapath whenever ``S`` is a
+        power of two the COPU shifter can realise (Sec. IV: the comparison
+        is ``COLL > NONCOLL >> x``; ``S = 2`` left-shifts the NONCOLL side
+        and ``S = 0`` ignores NONCOLL entirely). Integer and float paths
+        agree for every reachable counter state when the shift is exact —
+        pinned by a test sweeping all (COLL, NONCOLL) pairs.
+        """
+        if self.shift is None:
+            return coll > self.s * noncoll
+        if self.shift == _SHIFT_IGNORE_NONCOLL:
+            return coll > 0
+        if self.shift == -1:
+            return coll > (noncoll << 1)
+        return coll > (noncoll >> self.shift)
+
     def predict(self, code: int) -> bool:
         """Return True when the entry predicts a collision (COLL > S*NONCOLL)."""
         idx = self._index(code)
         self.reads += 1
-        return bool(self.coll[idx] > self.s * self.noncoll[idx])
+        return bool(self._compare(self.coll[idx], self.noncoll[idx]))
 
     def entry(self, code: int) -> tuple[int, int]:
         """Raw (COLL, NONCOLL) counter values for a hash code (no stats)."""
         idx = self._index(code)
         return int(self.coll[idx]), int(self.noncoll[idx])
+
+    def _indices(self, codes: "np.ndarray") -> np.ndarray:
+        """Vectorized :meth:`_index`: fold a code array onto the table."""
+        return np.asarray(codes, dtype=np.int64) % self.size
+
+    def probe_many(self, codes: "np.ndarray") -> np.ndarray:
+        """Stats-free batched prediction: (N,) codes -> (N,) bool verdicts.
+
+        One fancy-indexed gather of both counter columns plus one
+        vectorized comparison — the software image of the COPU reading N
+        parallel CHT banks in a single cycle. Does *not* touch the read
+        counter: callers that must replicate the scalar loop's traffic
+        statistics exactly (the predict-gated batch kernel, which may stop
+        predicting mid-motion on an early exit) account reads themselves.
+        Use :meth:`predict_many` for the stats-tracking form.
+        """
+        idx = self._indices(codes)
+        return np.asarray(self._compare(self.coll[idx], self.noncoll[idx]), dtype=bool)
+
+    def predict_many(self, codes: "np.ndarray") -> np.ndarray:
+        """Batched :meth:`predict`: one table read per code, exact stats.
+
+        Equivalent to ``[table.predict(c) for c in codes]`` — same
+        verdicts, same final read counter — evaluated as one gather and
+        one compare.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        self.reads += int(codes.shape[0])
+        return self.probe_many(codes)
+
+    def update_many(self, codes: "np.ndarray", outcomes: "np.ndarray") -> np.ndarray:
+        """Batched :meth:`update`: sequential-equivalent outcome recording.
+
+        Replays exactly what the scalar update loop would do, as array
+        ops. Three properties make the equivalence bit-exact:
+
+        * **U-sampling order**: the scalar loop draws one uniform per
+          collision-free outcome, in stream order. ``rng.random(n_free)``
+          consumes the identical generator stream, so accept/skip
+          decisions (and every later draw from the shared RNG) match the
+          sequential run draw for draw.
+        * **Saturation under duplicates**: per-entry increments accumulate
+          with ``np.bincount`` and clip at ``counter_max`` once —
+          identical to k successive saturating ``+1`` writes because the
+          increment is monotone.
+        * **Stats**: writes and skipped-update counters advance by the
+          same totals as the scalar loop.
+
+        Returns the per-outcome "table was written" mask (the batched
+        analogue of :meth:`update`'s return value).
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        outcomes = np.asarray(outcomes, dtype=bool)
+        if codes.shape != outcomes.shape or codes.ndim != 1:
+            raise ValueError("codes and outcomes must be equal-length 1-D arrays")
+        written = np.ones(codes.shape[0], dtype=bool)
+        if self.u < 1.0:
+            free = ~outcomes
+            draws = self.rng.random(int(free.sum()))
+            written[free] = draws < self.u
+            self.skipped_updates += int(free.sum() - written[free].sum())
+        idx = self._indices(codes)
+        coll_counts = np.bincount(idx[outcomes], minlength=self.size)
+        noncoll_counts = np.bincount(idx[written & ~outcomes], minlength=self.size)
+        self.coll = np.minimum(self.coll + coll_counts, self.counter_max).astype(np.int32)
+        self.noncoll = np.minimum(self.noncoll + noncoll_counts, self.counter_max).astype(np.int32)
+        self.writes += int(written.sum())
+        return written
 
     def update(self, code: int, collided: bool) -> bool:
         """Record a CDQ outcome. Returns True when the table was written.

@@ -42,20 +42,34 @@ __all__ = [
     "quantize_to_bits",
 ]
 
+#: Widest hash code the vectorized int64 packing can represent. Wider
+#: codes fall back to the per-element Python-int path, which is exact at
+#: any width.
+_MAX_VECTOR_CODE_BITS = 63
+
 
 def quantize_to_bits(values: np.ndarray, lows: np.ndarray, highs: np.ndarray, k: int) -> np.ndarray:
     """Quantize each value of a vector into ``k`` bits over its own range.
 
-    Values are clipped into ``[low, high)`` per dimension and mapped to the
-    integer cell index in ``[0, 2**k)``. This is the "take k MSBs of the
-    fixed-point representation" operation of Sec. III-B.
+    Values are clamped into the closed interval ``[low, high]`` per
+    dimension and mapped to the integer cell index in ``[0, 2**k)``. The
+    clamp is right-closed: a value exactly at (or beyond) ``high`` lands in
+    the last cell, and ``±inf`` saturates to the corresponding edge cell —
+    matching the hardware's saturating fixed-point encoder. NaN values are
+    rejected (no hardware bin exists for them). This is the "take k MSBs of
+    the fixed-point representation" operation of Sec. III-B.
+
+    Broadcasts over leading axes: ``values`` may be ``(dof,)`` or
+    ``(N, dof)`` against ``(dof,)`` bounds.
     """
     if k < 1:
         raise ValueError("need at least one bit per dimension")
     values = np.asarray(values, dtype=float)
+    if np.isnan(values).any():
+        raise ValueError("cannot quantize NaN values")
     span = highs - lows
-    scaled = (values - lows) / span
-    cells = np.floor(scaled * (1 << k)).astype(np.int64)
+    clamped = np.clip(values, lows, highs)
+    cells = np.floor((clamped - lows) / span * (1 << k)).astype(np.int64)
     return np.clip(cells, 0, (1 << k) - 1)
 
 
@@ -65,6 +79,26 @@ def _pack_bits(cells: np.ndarray, k: int) -> int:
     for cell in cells:
         code = (code << k) | int(cell)
     return code
+
+
+def _pack_bits_many(cells: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`_pack_bits`: (N, D) cell array -> (N,) int64 codes.
+
+    The per-element shift-and-or loop becomes one shift-and-or per *column*
+    — D operations over the whole batch instead of N * D Python ops.
+    """
+    cells = np.asarray(cells, dtype=np.int64)
+    if cells.ndim != 2:
+        raise ValueError(f"expected an (N, D) cell array, got shape {cells.shape}")
+    if cells.shape[1] * k > _MAX_VECTOR_CODE_BITS:
+        raise ValueError(
+            f"{cells.shape[1]} x {k}-bit cells exceed the {_MAX_VECTOR_CODE_BITS}-bit "
+            "vectorized code width"
+        )
+    codes = np.zeros(cells.shape[0], dtype=np.int64)
+    for column in range(cells.shape[1]):
+        codes = (codes << k) | cells[:, column]
+    return codes
 
 
 class HashFunction(ABC):
@@ -83,10 +117,41 @@ class HashFunction(ABC):
     def __call__(self, key: ArrayLike) -> int:
         """Hash a key to an integer in ``[0, 2**code_bits)``."""
 
+    def hash_many(self, keys: ArrayLike) -> np.ndarray:
+        """Hash a batch of keys: (N, key_dim) array -> (N,) int64 codes.
+
+        Bit-identical to calling the instance on each row — the batched
+        prediction layer depends on this equivalence (property-tested per
+        family). Subclasses override with vectorized implementations; this
+        default evaluates the scalar path row by row, so every
+        :class:`HashFunction` (including learned hashes) supports the
+        batched protocol.
+        """
+        keys = np.asarray(keys, dtype=float)
+        if keys.ndim != 2:
+            raise ValueError(f"expected an (N, key_dim) key array, got shape {keys.shape}")
+        if self.code_bits > _MAX_VECTOR_CODE_BITS:
+            raise ValueError(
+                f"{self.code_bits}-bit codes exceed the {_MAX_VECTOR_CODE_BITS}-bit "
+                "batched code width; use the scalar path"
+            )
+        return np.fromiter((self(key) for key in keys), dtype=np.int64, count=keys.shape[0])
+
     @property
     def table_size(self) -> int:
         """Number of CHT entries this hash function addresses."""
         return 1 << self.code_bits
+
+    @property
+    def vectorizable(self) -> bool:
+        """True when :meth:`hash_many` can emit this hash's codes.
+
+        Batched codes are int64 (the CHT's vectorized index fold requires
+        it), so hashes wider than 63 bits are scalar-only; the predict-
+        gated batch kernel checks this flag and falls back to the scalar
+        engine for them.
+        """
+        return self.code_bits <= _MAX_VECTOR_CODE_BITS
 
 
 class PoseHash(HashFunction):
@@ -111,6 +176,18 @@ class PoseHash(HashFunction):
             q, self.joint_limits[:, 0], self.joint_limits[:, 1], self.bits_per_dof
         )
         return _pack_bits(cells, self.bits_per_dof)
+
+    def hash_many(self, keys: ArrayLike) -> np.ndarray:
+        """Vectorized POSE hashing: (N, dof) poses -> (N,) codes."""
+        q = np.asarray(keys, dtype=float)
+        if q.ndim != 2 or q.shape[1] != self.dof:
+            raise ValueError(f"expected an (N, {self.dof}) pose array, got shape {q.shape}")
+        if self.code_bits > _MAX_VECTOR_CODE_BITS:
+            return super().hash_many(q)
+        cells = quantize_to_bits(
+            q, self.joint_limits[:, 0], self.joint_limits[:, 1], self.bits_per_dof
+        )
+        return _pack_bits_many(cells, self.bits_per_dof)
 
 
 class PosePartHash(HashFunction):
@@ -138,6 +215,13 @@ class PosePartHash(HashFunction):
         if q.shape[0] != self.full_dof:
             raise ValueError(f"expected a {self.full_dof}-DOF pose")
         return self.inner(q[: self.num_dofs])
+
+    def hash_many(self, keys: ArrayLike) -> np.ndarray:
+        """Vectorized POSE-part hashing: slice the base DOFs, batch-hash."""
+        q = np.asarray(keys, dtype=float)
+        if q.ndim != 2 or q.shape[1] != self.full_dof:
+            raise ValueError(f"expected an (N, {self.full_dof}) pose array, got shape {q.shape}")
+        return self.inner.hash_many(q[:, : self.num_dofs])
 
 
 class PoseFoldHash(HashFunction):
@@ -167,6 +251,16 @@ class PoseFoldHash(HashFunction):
         while code:
             folded ^= code & mask
             code >>= self.folded_bits
+        return folded
+
+    def hash_many(self, keys: ArrayLike) -> np.ndarray:
+        """Vectorized POSE+fold hashing: batch-hash, then XOR-fold columns."""
+        codes = self.inner.hash_many(keys)
+        folded = np.zeros_like(codes)
+        mask = np.int64((1 << self.folded_bits) - 1)
+        while codes.any():
+            folded ^= codes & mask
+            codes = codes >> self.folded_bits
         return folded
 
 
@@ -199,6 +293,20 @@ class CoordHash(HashFunction):
             raise ValueError("COORD hashes a 3-vector link center")
         cells = self.fmt.msbs(center, self.bits_per_axis)
         return _pack_bits(cells, self.bits_per_axis)
+
+    def hash_many(self, keys: ArrayLike) -> np.ndarray:
+        """Vectorized COORD hashing: (N, 3) link centers -> (N,) codes.
+
+        One :meth:`FixedPointFormat.msbs` pass encodes every coordinate of
+        the batch (Fig. 10's per-axis MSB extraction as three array ops);
+        the per-axis cells then pack into codes with two shift-and-or
+        column operations.
+        """
+        centers = np.asarray(keys, dtype=float)
+        if centers.ndim != 2 or centers.shape[1] != 3:
+            raise ValueError(f"expected an (N, 3) center array, got shape {centers.shape}")
+        cells = self.fmt.msbs(centers, self.bits_per_axis).astype(np.int64)
+        return _pack_bits_many(cells, self.bits_per_axis)
 
     def cell_size(self) -> float:
         """Physical edge length of one hash bin."""

@@ -45,6 +45,25 @@ class Predictor(ABC):
     def observe(self, key: ArrayLike, collided: bool) -> None:
         """Feed back the executed CDQ's real outcome (default: ignore)."""
 
+    def predict_many(self, keys: ArrayLike) -> np.ndarray:
+        """Batched :meth:`predict`: (N, key_dim) keys -> (N,) bool verdicts.
+
+        Must be equivalent to calling :meth:`predict` per row (including
+        any internal statistics or RNG consumption). The default does
+        exactly that; stateful predictors with a vectorizable datapath
+        override it.
+        """
+        keys = np.asarray(keys, dtype=float)
+        return np.fromiter(
+            (self.predict(key) for key in keys), dtype=bool, count=keys.shape[0]
+        )
+
+    def observe_many(self, keys: ArrayLike, outcomes: ArrayLike) -> None:
+        """Batched :meth:`observe`, row-parallel to :meth:`predict_many`."""
+        keys = np.asarray(keys, dtype=float)
+        for key, outcome in zip(keys, np.asarray(outcomes, dtype=bool)):
+            self.observe(key, bool(outcome))
+
     def reset(self) -> None:
         """Forget all history (new planning query / environment)."""
 
@@ -77,6 +96,22 @@ class CHTPredictor(Predictor):
 
     def observe(self, key: ArrayLike, collided: bool) -> None:
         self.table.update(self.hash_function(key), collided)
+
+    def predict_many(self, keys: ArrayLike) -> np.ndarray:
+        """Batched COORD/POSE prediction: hash the batch, probe the table.
+
+        The software image of the COPU's parallel hash generators feeding
+        parallel CHT banks (Sec. IV): one vectorized
+        :meth:`~repro.core.hashing.HashFunction.hash_many` pass plus one
+        fancy-indexed :meth:`~repro.core.cht.CollisionHistoryTable.predict_many`.
+        """
+        return self.table.predict_many(self.hash_function.hash_many(keys))
+
+    def observe_many(self, keys: ArrayLike, outcomes: ArrayLike) -> None:
+        """Batched outcome feedback with sequential-equivalent semantics."""
+        self.table.update_many(
+            self.hash_function.hash_many(keys), np.asarray(outcomes, dtype=bool)
+        )
 
     def reset(self) -> None:
         self.table.reset()

@@ -54,8 +54,19 @@ class FixedPointFormat:
         return (self.hi - self.lo) / float(1 << _WORD_BITS)
 
     def encode(self, value: ArrayLike) -> np.ndarray:
-        """Quantize scalar(s) to unsigned 16-bit integers with saturation."""
-        scaled = (np.asarray(value, dtype=float) - self.lo) / (self.hi - self.lo)
+        """Quantize scalar(s) to unsigned 16-bit integers with saturation.
+
+        Values are clamped into the closed ``[lo, hi]`` interval before
+        scaling, so a value exactly at ``hi`` (or ``+inf``) saturates to
+        the top word and ``-inf`` to zero — an explicit right-closed clamp
+        rather than a post-hoc clip of an out-of-range cell index. NaN is
+        rejected: the hardware encoder has no representation for it.
+        """
+        values = np.asarray(value, dtype=float)
+        if np.isnan(values).any():
+            raise ValueError("cannot encode NaN coordinates")
+        clamped = np.clip(values, self.lo, self.hi)
+        scaled = (clamped - self.lo) / (self.hi - self.lo)
         word = np.floor(scaled * (1 << _WORD_BITS)).astype(np.int64)
         return np.clip(word, 0, (1 << _WORD_BITS) - 1).astype(np.uint16)
 
@@ -69,6 +80,9 @@ class FixedPointFormat:
 
         This is the per-coordinate step of COORD hash-code generation
         (Fig. 10): encode to 16 bits, keep the top ``k``, discard the rest.
+        Fully vectorized: ``value`` may be any array shape — e.g. the
+        (N, 3) link-center batch of a whole motion — and the MSB extraction
+        runs as one encode plus one shift over the batch.
         """
         if not 1 <= k <= _WORD_BITS:
             raise ValueError(f"k must be in [1, {_WORD_BITS}], got {k}")

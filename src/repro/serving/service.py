@@ -91,9 +91,11 @@ class ServiceConfig:
     policy: str = "reject"
     #: Motion-check execution engine for exact checks (see
     #: :data:`repro.collision.pipeline.BACKENDS`). ``batch`` vectorizes
-    #: predictor-free sessions; sessions with a CHT predictor still run
-    #: the scalar observe loop regardless. This is the *top rung* of the
-    #: degradation ladder — on repeated failure the service steps down
+    #: both predictor-free sessions (whole-motion kernel) and CHT
+    #: sessions (predict-gated kernel, bit-identical to the scalar
+    #: observe loop); it also batches the CHT-fallback rung's
+    #: predicted-only verdicts. This is the *top rung* of the degradation
+    #: ladder — on repeated failure the service steps down
     #: (batch → scalar → CHT-predicted).
     backend: str = "scalar"
     #: Fate of a batch whose worker loop crashes mid-flight (see
@@ -438,7 +440,11 @@ class CollisionService:
         if session is not None:
             with self.telemetry.span("predict_fallback"):
                 verdict = predict_motion(
-                    session.detector, request.motion, session.scheduler, session.predictor
+                    session.detector,
+                    request.motion,
+                    session.scheduler,
+                    session.predictor,
+                    backend=self.config.backend,
                 )
         if degraded:
             self.telemetry.resilience.count("degraded_verdicts")

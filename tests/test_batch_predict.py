@@ -1,0 +1,239 @@
+"""Bit-parity suite for the predict-gated batch kernel.
+
+The gated kernel's contract is stronger than the predictor-free batch
+backend's: besides verdicts and work counters, the *predictor state* must
+match the scalar Algorithm 1 loop exactly — every hash code, every
+prediction, the (COLL, NONCOLL) counter arrays, the table's traffic
+statistics, and the position of the shared RNG stream. The randomized
+sweeps below run scalar and gated checks side by side on identically
+seeded predictors and require equality after every single motion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collision import Motion, check_motion, check_motion_batch, predict_motion
+from repro.collision.batch_pipeline import BatchMotionKernel
+from repro.collision.detector import CollisionDetector, coord_key, pose_key
+from repro.collision.scheduling import BisectionScheduler, CoarseStepScheduler
+from repro.core import CHTPredictor, CollisionHistoryTable, RandomPredictor
+from repro.core.hashing import CoordHash, PoseHash
+from repro.env.scene import Scene
+from repro.geometry import OBB
+from repro.kinematics import jaco2, planar_2d
+
+STAT_FIELDS = (
+    "cdqs_executed",
+    "cdqs_skipped",
+    "narrow_phase_tests",
+    "predictions_made",
+    "predicted_colliding",
+    "motions_checked",
+    "motions_colliding",
+    "poses_checked",
+)
+
+
+def _random_scene(gen, count, span=1.0):
+    boxes = []
+    for _ in range(count):
+        rotation = np.linalg.qr(gen.normal(size=(3, 3)))[0]
+        if np.linalg.det(rotation) < 0:
+            rotation[:, 0] *= -1
+        boxes.append(OBB(gen.uniform(-span, span, 3), gen.uniform(0.02, 0.25, 3), rotation))
+    return Scene(boxes)
+
+
+def _assert_results_match(scalar, gated, context):
+    assert scalar.collided == gated.collided, context
+    assert scalar.first_colliding_pose == gated.first_colliding_pose, context
+    for field in STAT_FIELDS:
+        assert getattr(scalar.stats, field) == getattr(gated.stats, field), (context, field)
+
+
+def _assert_tables_match(a, b, context):
+    assert np.array_equal(a.coll, b.coll), context
+    assert np.array_equal(a.noncoll, b.noncoll), context
+    assert (a.reads, a.writes, a.skipped_updates) == (b.reads, b.writes, b.skipped_updates), context
+
+
+def _predictor_pair(make_hash, s, u, size=257, seed=9):
+    def make():
+        return CHTPredictor(
+            make_hash(), CollisionHistoryTable(size=size, s=s, u=u, rng=np.random.default_rng(seed))
+        )
+
+    return make(), make()
+
+
+class TestGatedKernelParity:
+    """Randomized sweep: gated kernel == scalar Algorithm 1, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "robot_fn,representation",
+        [(jaco2, "obb"), (jaco2, "sphere"), (planar_2d, "obb")],
+    )
+    def test_motion_sequences(self, robot_fn, representation):
+        gen = np.random.default_rng(77)
+        robot = robot_fn()
+        key_configs = [
+            (coord_key, lambda: CoordHash(bits_per_axis=4)),
+            (pose_key, lambda: PoseHash(robot.joint_limits, bits_per_dof=3)),
+        ]
+        schedulers = [None, CoarseStepScheduler(4), BisectionScheduler()]
+        lo, hi = robot.joint_limits[:, 0], robot.joint_limits[:, 1]
+        for key_fn, make_hash in key_configs:
+            for s, u in [(0.0, 1.0), (1.0, 0.5), (0.5, 0.25), (0.7, 0.5), (2.0, 1.0)]:
+                scheduler = schedulers[int(gen.integers(0, len(schedulers)))]
+                scene = _random_scene(gen, int(gen.integers(1, 10)))
+                det_scalar = CollisionDetector(scene, robot, representation, key_fn=key_fn)
+                det_gated = CollisionDetector(scene, robot, representation, key_fn=key_fn)
+                scalar_p, gated_p = _predictor_pair(make_hash, s, u)
+                kernel = BatchMotionKernel(det_gated)
+                # The CHT persists across the motion sequence: later motions
+                # exercise a warm table with intra-motion update interleaving.
+                for m in range(8):
+                    start, end = gen.uniform(lo, hi), gen.uniform(lo, hi)
+                    num_poses = int(gen.integers(3, 14))
+                    context = (representation, key_fn.__name__, s, u, m)
+                    scalar_r = det_scalar.check_motion(start, end, num_poses, scheduler, scalar_p)
+                    gated_r = kernel.check_motion_predicted(
+                        start, end, num_poses, scheduler, gated_p
+                    )
+                    assert gated_r is not None, context
+                    _assert_results_match(scalar_r, gated_r, context)
+                    _assert_tables_match(scalar_p.table, gated_p.table, context)
+                # RNG stream parity: the next draw from each table matches.
+                assert scalar_p.table.rng.random() == gated_p.table.rng.random()
+
+    def test_empty_scene_still_updates_the_table(self):
+        robot = planar_2d()
+        scene = Scene([])
+        scalar_p, gated_p = _predictor_pair(lambda: CoordHash(4), s=0.5, u=0.5)
+        # Warm both tables so some CDQs are predicted colliding even though
+        # the scene is empty (every execution then records a NONCOLL).
+        warm = np.random.default_rng(2).uniform(-1, 1, (50, 3))
+        scalar_p.observe_many(warm, np.ones(50, dtype=bool))
+        gated_p.observe_many(warm, np.ones(50, dtype=bool))
+        det_scalar = CollisionDetector(scene, robot)
+        det_gated = CollisionDetector(scene, robot)
+        gen = np.random.default_rng(4)
+        lo, hi = robot.joint_limits[:, 0], robot.joint_limits[:, 1]
+        for _ in range(5):
+            start, end = gen.uniform(lo, hi), gen.uniform(lo, hi)
+            scalar_r = det_scalar.check_motion(start, end, 8, None, scalar_p)
+            gated_r = det_gated.batch_kernel().check_motion_predicted(start, end, 8, None, gated_p)
+            _assert_results_match(scalar_r, gated_r, "empty scene")
+            _assert_tables_match(scalar_p.table, gated_p.table, "empty scene")
+
+
+class TestPredictMotionParity:
+    """Batched predicted-only verdicts == the scalar short-circuit loop."""
+
+    @pytest.mark.parametrize("s,u", [(0.0, 1.0), (1.0, 0.5)])
+    def test_verdicts_and_read_accounting(self, s, u):
+        gen = np.random.default_rng(3)
+        robot = jaco2()
+        scene = _random_scene(gen, 6)
+        detector = CollisionDetector(scene, robot)
+        scalar_p, batch_p = _predictor_pair(lambda: CoordHash(4), s, u, size=123, seed=1)
+        warm = gen.uniform(-1, 1, (200, 3))
+        outcomes = gen.random(200) < 0.4
+        scalar_p.observe_many(warm, outcomes)
+        batch_p.observe_many(warm, outcomes)
+        lo, hi = robot.joint_limits[:, 0], robot.joint_limits[:, 1]
+        for m in range(20):
+            motion = Motion(gen.uniform(lo, hi), gen.uniform(lo, hi), int(gen.integers(3, 10)))
+            scalar_v = predict_motion(detector, motion, None, scalar_p, backend="scalar")
+            batch_v = predict_motion(detector, motion, None, batch_p, backend="batch")
+            assert scalar_v == batch_v, (s, u, m)
+            # The scalar generator stops predicting at the first colliding
+            # verdict; the batched path must charge the same reads.
+            assert scalar_p.table.reads == batch_p.table.reads, (s, u, m)
+
+    def test_no_predictor_is_false(self, jaco_detector):
+        motion = Motion(np.zeros(7), np.ones(7) * 0.1, 4)
+        assert predict_motion(jaco_detector, motion, None, None, backend="batch") is False
+
+
+class TestFallbackRouting:
+    """Configurations the kernel cannot express run the scalar engine."""
+
+    def _detector_pair(self, key_fn=coord_key):
+        gen = np.random.default_rng(11)
+        scene = _random_scene(gen, 5)
+        robot = jaco2()
+        return (
+            CollisionDetector(scene, robot, key_fn=key_fn),
+            CollisionDetector(scene, robot, key_fn=key_fn),
+        )
+
+    def test_non_cht_predictor_returns_none(self):
+        det, _ = self._detector_pair()
+        kernel = BatchMotionKernel(det)
+        result = kernel.check_motion_predicted(
+            np.zeros(7), np.ones(7) * 0.2, 5, None, RandomPredictor(0.5)
+        )
+        assert result is None
+
+    def test_custom_key_fn_returns_none(self):
+        det, _ = self._detector_pair(key_fn=lambda cdq: cdq.pose)
+        kernel = BatchMotionKernel(det)
+        predictor = CHTPredictor(PoseHash(jaco2().joint_limits, 3), CollisionHistoryTable(64))
+        gated = kernel.check_motion_predicted(np.zeros(7), np.ones(7) * 0.2, 5, None, predictor)
+        assert gated is None
+
+    def test_wide_hash_returns_none(self):
+        det, _ = self._detector_pair(key_fn=pose_key)
+        kernel = BatchMotionKernel(det)
+        wide = PoseHash(jaco2().joint_limits, bits_per_dof=10)  # 70-bit codes
+        predictor = CHTPredictor(wide, CollisionHistoryTable(64))
+        assert not wide.vectorizable
+        gated = kernel.check_motion_predicted(np.zeros(7), np.ones(7) * 0.2, 5, None, predictor)
+        assert gated is None
+        assert kernel.predict_motion(np.zeros(7), np.ones(7) * 0.2, 5, None, predictor) is None
+
+    def test_pipeline_backend_batch_matches_scalar_for_random_predictor(self):
+        # The batch backend must route non-CHT predictors to the scalar
+        # engine, so identically seeded runs agree between backends.
+        det_a, det_b = self._detector_pair()
+        gen = np.random.default_rng(6)
+        robot = jaco2()
+        lo, hi = robot.joint_limits[:, 0], robot.joint_limits[:, 1]
+        motions = [
+            Motion(gen.uniform(lo, hi), gen.uniform(lo, hi), 6) for _ in range(10)
+        ]
+        pred_a = RandomPredictor(0.3, np.random.default_rng(1))
+        pred_b = RandomPredictor(0.3, np.random.default_rng(1))
+        scalar = check_motion_batch(det_a, motions, None, pred_a, backend="scalar")
+        batch = check_motion_batch(det_b, motions, None, pred_b, backend="batch")
+        assert scalar.outcomes == batch.outcomes
+        for field in STAT_FIELDS:
+            assert getattr(scalar.stats, field) == getattr(batch.stats, field)
+
+    def test_pipeline_backend_batch_uses_gated_kernel_for_cht(self):
+        det_a, det_b = self._detector_pair()
+        gen = np.random.default_rng(8)
+        robot = jaco2()
+        lo, hi = robot.joint_limits[:, 0], robot.joint_limits[:, 1]
+        motions = [
+            Motion(gen.uniform(lo, hi), gen.uniform(lo, hi), 8) for _ in range(12)
+        ]
+        pred_a, pred_b = _predictor_pair(lambda: CoordHash(4), s=1.0, u=0.5)
+        scalar = check_motion_batch(det_a, motions, None, pred_a, backend="scalar")
+        batch = check_motion_batch(det_b, motions, None, pred_b, backend="batch")
+        assert scalar.outcomes == batch.outcomes
+        assert scalar.first_colliding_poses == batch.first_colliding_poses
+        for field in STAT_FIELDS:
+            assert getattr(scalar.stats, field) == getattr(batch.stats, field)
+        _assert_tables_match(pred_a.table, pred_b.table, "pipeline routing")
+
+    def test_check_motion_entrypoint_parity(self):
+        det_a, det_b = self._detector_pair()
+        pred_a, pred_b = _predictor_pair(lambda: CoordHash(4), s=0.0, u=1.0)
+        motion = Motion(np.zeros(7), np.ones(7) * 0.4, 10)
+        collided_a, stats_a = check_motion(det_a, motion, None, pred_a, backend="scalar")
+        collided_b, stats_b = check_motion(det_b, motion, None, pred_b, backend="batch")
+        assert collided_a == collided_b
+        for field in STAT_FIELDS:
+            assert getattr(stats_a, field) == getattr(stats_b, field)

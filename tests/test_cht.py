@@ -146,3 +146,96 @@ class TestShiftForStrategy:
         assert shift_for_strategy(0.25) == 2
         assert shift_for_strategy(0.0) is None
         assert shift_for_strategy(2.0) == -1
+
+
+class TestShiftPredictParity:
+    """The hardware integer-shift compare must agree with the float compare
+    for every reachable counter state whenever S is an exact power of two."""
+
+    @pytest.mark.parametrize("s", [0.0, 0.25, 0.5, 1.0, 2.0])
+    def test_shift_agrees_with_float_everywhere(self, s):
+        t = CollisionHistoryTable(size=1, s=s)
+        assert t.shift is not None  # the exact integer datapath is active
+        for coll in range(t.counter_max + 1):
+            for noncoll in range(t.counter_max + 1):
+                t.coll[0] = coll
+                t.noncoll[0] = noncoll
+                assert t.predict(0) == (coll > s * noncoll), (s, coll, noncoll)
+
+    @pytest.mark.parametrize("s", [0.3, 0.7, 1.5, 4.0])
+    def test_inexact_strategies_keep_the_float_path(self, s):
+        # S >= 2 (other than exactly 2) and non-power-of-two fractions have
+        # no exact shift; the predictor must not approximate them.
+        assert CollisionHistoryTable(size=1, s=s).shift is None
+
+    def test_shift_zero_predicts_on_any_collision(self):
+        t = CollisionHistoryTable(size=4, s=0.0)
+        t.update(1, False)
+        assert not t.predict(1)
+        t.update(1, True)
+        assert t.predict(1)
+
+
+class TestBatchedTableOps:
+    """predict_many / update_many ≡ the sequential loops, bit for bit."""
+
+    def _pair(self, s=1.0, u=1.0, size=64, seed=9):
+        make = lambda: CollisionHistoryTable(
+            size=size, s=s, u=u, rng=np.random.default_rng(seed)
+        )
+        return make(), make()
+
+    def _duplicate_heavy_stream(self, seed, n=600, codes_span=40):
+        gen = np.random.default_rng(seed)
+        return gen.integers(0, codes_span, n), gen.random(n) < 0.35
+
+    @pytest.mark.parametrize("u", [1.0, 0.5, 0.1, 0.0])
+    def test_update_many_equals_sequential(self, u):
+        seq, bat = self._pair(u=u)
+        codes, outcomes = self._duplicate_heavy_stream(3)
+        seq_written = [seq.update(int(c), bool(o)) for c, o in zip(codes, outcomes)]
+        bat_written = bat.update_many(codes, outcomes)
+        assert np.array_equal(np.array(seq_written), bat_written)
+        assert np.array_equal(seq.coll, bat.coll)
+        assert np.array_equal(seq.noncoll, bat.noncoll)
+        assert seq.writes == bat.writes
+        assert seq.skipped_updates == bat.skipped_updates
+        # The shared RNG advanced identically: the *next* draw matches.
+        assert seq.rng.random() == bat.rng.random()
+
+    def test_update_many_saturates_under_duplicates(self):
+        seq, bat = self._pair()
+        codes = np.zeros(40, dtype=np.int64)  # everything hits entry 0
+        outcomes = np.ones(40, dtype=bool)
+        for c, o in zip(codes, outcomes):
+            seq.update(int(c), bool(o))
+        bat.update_many(codes, outcomes)
+        assert bat.coll[0] == bat.counter_max
+        assert np.array_equal(seq.coll, bat.coll)
+
+    @pytest.mark.parametrize("s", [0.0, 0.5, 0.7, 1.0, 2.0])
+    def test_predict_many_equals_sequential(self, s):
+        seq, bat = self._pair(s=s)
+        codes, outcomes = self._duplicate_heavy_stream(5)
+        seq.update_many(codes, outcomes)
+        bat.update_many(codes, outcomes)
+        probe = np.arange(200)
+        seq_verdicts = np.array([seq.predict(int(c)) for c in probe])
+        bat_verdicts = bat.predict_many(probe)
+        assert np.array_equal(seq_verdicts, bat_verdicts)
+        assert seq.reads == bat.reads
+
+    def test_probe_many_is_stats_free(self):
+        t = CollisionHistoryTable(size=16)
+        t.update(3, True)
+        before = t.reads
+        verdicts = t.probe_many(np.array([3, 4]))
+        assert verdicts[0] and not verdicts[1]
+        assert t.reads == before
+
+    def test_update_many_validates_shapes(self):
+        t = CollisionHistoryTable(size=16)
+        with pytest.raises(ValueError):
+            t.update_many(np.zeros(3, dtype=np.int64), np.zeros(4, dtype=bool))
+        with pytest.raises(ValueError):
+            t.update_many(np.zeros((2, 2), dtype=np.int64), np.zeros((2, 2), dtype=bool))

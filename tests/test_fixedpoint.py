@@ -101,3 +101,32 @@ class TestDefaultFormat:
     def test_bin_size_at_4_bits(self):
         span = DEFAULT_WORKSPACE_FORMAT.hi - DEFAULT_WORKSPACE_FORMAT.lo
         assert span / 16 == pytest.approx(0.1875)
+
+
+class TestEncodeBoundaries:
+    """Saturating edge handling: the encoder is right-closed on [lo, hi]."""
+
+    def test_value_at_hi_saturates_to_top_word(self):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        assert int(fmt.encode(1.0)) == (1 << 16) - 1
+
+    def test_value_at_lo_is_zero(self):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        assert int(fmt.encode(-1.0)) == 0
+
+    def test_infinities_saturate(self):
+        fmt = FixedPointFormat(-1.0, 1.0)
+        words = fmt.encode(np.array([-np.inf, np.inf]))
+        assert words[0] == 0 and words[1] == (1 << 16) - 1
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(-1.0, 1.0).encode(np.nan)
+
+    def test_msbs_vectorizes_over_batches(self):
+        fmt = DEFAULT_WORKSPACE_FORMAT
+        gen = np.random.default_rng(8)
+        centers = gen.uniform(-2.0, 2.0, (64, 3))
+        batched = fmt.msbs(centers, 4)
+        for row, expected in zip(centers, batched):
+            assert np.array_equal(fmt.msbs(row, 4), expected)

@@ -167,3 +167,99 @@ class TestCoordHash:
             for dz in (0, 1)
         }
         assert len(codes) == 1
+
+
+class TestQuantizeBoundaries:
+    """Edge handling of the right-closed clamp (hardware saturation)."""
+
+    LOWS = np.array([-1.0])
+    HIGHS = np.array([1.0])
+
+    def test_low_edge_lands_in_first_cell(self):
+        assert quantize_to_bits(np.array([-1.0]), self.LOWS, self.HIGHS, 3)[0] == 0
+
+    def test_high_edge_lands_in_last_cell(self):
+        # Right-closed: the value exactly at `high` belongs to the top cell,
+        # not an out-of-range ninth cell.
+        assert quantize_to_bits(np.array([1.0]), self.LOWS, self.HIGHS, 3)[0] == 7
+
+    def test_just_below_high_lands_in_last_cell(self):
+        assert quantize_to_bits(np.array([1.0 - 1e-12]), self.LOWS, self.HIGHS, 3)[0] == 7
+
+    def test_infinities_saturate(self):
+        cells = quantize_to_bits(
+            np.array([-np.inf, np.inf]), np.array([-1.0, -1.0]), np.array([1.0, 1.0]), 4
+        )
+        assert cells[0] == 0 and cells[1] == 15
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_to_bits(np.array([np.nan]), self.LOWS, self.HIGHS, 3)
+
+    def test_batched_rows_match_single_rows(self):
+        lows = np.array([-1.0, 0.0])
+        highs = np.array([1.0, 2.0])
+        batch = np.array([[-1.0, 2.0], [0.3, 0.7], [1.0, 0.0]])
+        batched = quantize_to_bits(batch, lows, highs, 4)
+        for row, expected in zip(batch, batched):
+            assert np.array_equal(quantize_to_bits(row, lows, highs, 4), expected)
+
+
+class TestHashMany:
+    """hash_many must equal the per-element __call__ for every family."""
+
+    def _assert_batch_matches_scalar(self, h, keys):
+        batched = h.hash_many(keys)
+        assert batched.dtype == np.int64 and batched.shape == (keys.shape[0],)
+        scalar = np.array([h(key) for key in keys], dtype=np.int64)
+        assert np.array_equal(batched, scalar)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_coord_hash_many(self, seed):
+        gen = np.random.default_rng(seed)
+        self._assert_batch_matches_scalar(CoordHash(4), gen.uniform(-2.0, 2.0, (32, 3)))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pose_hash_many(self, seed):
+        gen = np.random.default_rng(seed)
+        h = PoseHash(LIMITS_7DOF, bits_per_dof=3)
+        self._assert_batch_matches_scalar(h, gen.uniform(-np.pi, np.pi, (32, 7)))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pose_part_hash_many(self, seed):
+        gen = np.random.default_rng(seed)
+        h = PosePartHash(LIMITS_7DOF, bits_per_dof=4, num_dofs=2)
+        self._assert_batch_matches_scalar(h, gen.uniform(-np.pi, np.pi, (32, 7)))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pose_fold_hash_many(self, seed):
+        gen = np.random.default_rng(seed)
+        h = PoseFoldHash(LIMITS_7DOF, bits_per_dof=3, folded_bits=10)
+        self._assert_batch_matches_scalar(h, gen.uniform(-np.pi, np.pi, (32, 7)))
+
+    def test_wide_code_is_scalar_only(self):
+        # 7 DOF x 10 bits = 70 code bits > 63: the codes cannot fit the
+        # int64 batch representation, so the hash reports itself as
+        # non-vectorizable and hash_many refuses (callers fall back to
+        # the scalar per-key path, which uses Python's unbounded ints).
+        h = PoseHash(LIMITS_7DOF, bits_per_dof=10)
+        assert h.code_bits > 63
+        assert not h.vectorizable
+        with pytest.raises(ValueError):
+            h.hash_many(np.zeros((8, 7)))
+
+    def test_narrow_codes_are_vectorizable(self):
+        assert CoordHash(4).vectorizable
+        assert PoseHash(LIMITS_7DOF, bits_per_dof=3).vectorizable
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CoordHash(4).hash_many(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            PoseHash(LIMITS_7DOF, 3).hash_many(np.zeros((4, 6)))
+        with pytest.raises(ValueError):
+            CoordHash(4).hash_many(np.zeros(3))  # 1-D: a single key, not a batch

@@ -72,3 +72,53 @@ class TestTrivialPredictors:
 
     def test_always(self):
         assert AlwaysPredictor().predict("anything")
+
+
+class TestBatchedPredictorAPI:
+    """predict_many / observe_many ≡ the per-key loops."""
+
+    def _seeded_pair(self, s=1.0, u=0.5):
+        from repro.core import CollisionHistoryTable
+
+        def make():
+            return CHTPredictor(
+                CoordHash(4),
+                CollisionHistoryTable(size=128, s=s, u=u, rng=np.random.default_rng(5)),
+            )
+
+        return make(), make()
+
+    def test_cht_predict_many_matches_scalar(self):
+        seq, bat = self._seeded_pair()
+        gen = np.random.default_rng(1)
+        keys = gen.uniform(-1.2, 1.2, (80, 3))
+        outcomes = gen.random(80) < 0.4
+        for key, outcome in zip(keys, outcomes):
+            seq.observe(key, bool(outcome))
+        bat.observe_many(keys, outcomes)
+        probe = gen.uniform(-1.2, 1.2, (120, 3))
+        scalar_verdicts = np.array([seq.predict(k) for k in probe])
+        assert np.array_equal(scalar_verdicts, bat.predict_many(probe))
+        assert seq.table.reads == bat.table.reads
+        assert np.array_equal(seq.table.coll, bat.table.coll)
+        assert np.array_equal(seq.table.noncoll, bat.table.noncoll)
+        assert seq.table.rng.random() == bat.table.rng.random()
+
+    def test_default_predict_many_uses_per_key_path(self):
+        # Trivial predictors inherit the base implementation.
+        keys = np.zeros((5, 3))
+        assert not NeverPredictor().predict_many(keys).any()
+        assert AlwaysPredictor().predict_many(keys).all()
+
+    def test_default_observe_many_feeds_observe(self):
+        class Recorder(NeverPredictor):
+            def __init__(self):
+                self.seen = []
+
+            def observe(self, key, collided):
+                self.seen.append((tuple(np.asarray(key, dtype=float)), collided))
+
+        recorder = Recorder()
+        keys = np.arange(6, dtype=float).reshape(2, 3)
+        recorder.observe_many(keys, [True, False])
+        assert recorder.seen == [((0.0, 1.0, 2.0), True), ((3.0, 4.0, 5.0), False)]
