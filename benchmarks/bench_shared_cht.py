@@ -1,0 +1,91 @@
+"""Shared-CHT bench: how much work a scene-keyed warm bank saves.
+
+The point of :mod:`repro.sharedcht` in the serving layer is that N
+sessions planning against the same scene warm *one* table instead of N
+cold private ones — collision history learned by any session prunes CDQs
+for all of them. This bench measures exactly that: the same round-robin
+multi-session motion stream is answered twice, once with per-session
+private tables and once with ``ServiceConfig(shared_cht=True)``, and the
+executed-CDQ totals are compared.
+
+Requests are submitted sequentially (each awaited before the next), so
+the interleaving — and therefore the CDQ stream — is deterministic and
+the ``warm_cdq_reduction`` ratio is stable across machines, which is what
+lets ``check_regression.py`` gate on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.collision import Motion
+from repro.env import random_2d_scene
+from repro.kinematics import planar_2d
+from repro.serving import CollisionService, ServiceConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_SESSIONS = 4
+MOTIONS_PER_SESSION = 60
+NUM_POSES = 10
+
+
+def _motion_stream(robot, seed: int) -> list[Motion]:
+    rng = np.random.default_rng(seed)
+    return [
+        Motion(
+            robot.random_configuration(rng),
+            robot.random_configuration(rng),
+            num_poses=NUM_POSES,
+        )
+        for _ in range(NUM_SESSIONS * MOTIONS_PER_SESSION)
+    ]
+
+
+def _drive(shared: bool, seed: int) -> dict:
+    """Answer the stream under one table regime; returns CDQ totals."""
+    robot = planar_2d()
+    scene = random_2d_scene(np.random.default_rng(seed + 17), num_obstacles=6)
+    motions = _motion_stream(robot, seed)
+    service = CollisionService(
+        ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=0.5, shared_cht=shared)
+    )
+
+    async def go():
+        async with service:
+            sessions = [service.open_session(scene, robot) for _ in range(NUM_SESSIONS)]
+            cdqs = 0
+            colliding = 0
+            for index, motion in enumerate(motions):
+                result = await service.submit(sessions[index % NUM_SESSIONS], motion)
+                assert result.status == "ok"
+                cdqs += result.cdqs_executed
+                colliding += bool(result.colliding)
+        return {"cdqs_executed": cdqs, "colliding": colliding}
+
+    return asyncio.run(go())
+
+
+def test_bench_shared_cht(benchmark, bench_seed):
+    private = _drive(shared=False, seed=bench_seed)
+    shared = benchmark.pedantic(_drive, args=(True, bench_seed), rounds=1, iterations=1)
+    reduction = 1.0 - shared["cdqs_executed"] / private["cdqs_executed"]
+    payload = {
+        "sessions": NUM_SESSIONS,
+        "motions": NUM_SESSIONS * MOTIONS_PER_SESSION,
+        "private_cdqs": private["cdqs_executed"],
+        "shared_cdqs": shared["cdqs_executed"],
+        "warm_cdq_reduction": reduction,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_shared_cht.json").write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+    # Both regimes answer the same exact verdicts; sharing only prunes work.
+    assert shared["colliding"] == private["colliding"]
+    assert 0.0 <= reduction < 1.0

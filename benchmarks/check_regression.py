@@ -22,7 +22,11 @@ Tracked metrics:
   better; a ratio);
 * ``BENCH_resilience.json`` — ``qps_retention``, the faulted/clean
   throughput ratio under the seeded chaos harness (higher is better; a
-  ratio, so it transfers across machine speeds).
+  ratio, so it transfers across machine speeds);
+* ``BENCH_shared_cht.json`` — ``warm_cdq_reduction``, the fraction of
+  executed CDQs a scene-keyed shared table saves over per-session private
+  tables (higher is better; deterministic, so it transfers across
+  machines).
 
 A metric missing from the baseline (first run of a new bench) is reported
 and skipped rather than failed, so adding a bench and its baseline can
@@ -45,6 +49,7 @@ METRICS = [
     ("BENCH_batch_pipeline.json", "speedup", "up"),
     ("BENCH_predictor_batch.json", "speedup", "up"),
     ("BENCH_resilience.json", "qps_retention", "up"),
+    ("BENCH_shared_cht.json", "warm_cdq_reduction", "up"),
 ]
 
 

@@ -107,6 +107,7 @@ from .serving import (
     ServiceConfig,
     ServiceTelemetry,
 )
+from .sharedcht import SegmentManager, SharedCHT, SharedCHTSpec, SharedPredictorSpec
 from .workloads import group_by_difficulty, make_benchmark, trace_motion, trace_motions
 
 __version__ = "1.0.0"
@@ -173,6 +174,10 @@ __all__ = [
     "QueryResult",
     "ServiceConfig",
     "ServiceTelemetry",
+    "SegmentManager",
+    "SharedCHT",
+    "SharedCHTSpec",
+    "SharedPredictorSpec",
     "group_by_difficulty",
     "make_benchmark",
     "trace_motion",

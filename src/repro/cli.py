@@ -13,12 +13,16 @@ Commands
 ``simulate --workloads FILE [--cdus N] [--no-copu]``
     Replay a saved workload suite through the accelerator simulator and
     print the report.
-``serve --selftest``
+``serve --selftest [--shared-cht]``
     Start the async collision service in-process, drive it with a small
-    generated workload, and print the telemetry snapshot.
+    generated workload, and print the telemetry snapshot. ``--shared-cht``
+    shares one CHT bank per scene across sessions.
 ``loadtest --workloads FILE [--qps Q] [--queue-bound N] [--policy P]``
     Replay a saved workload suite through the async service at a target
     QPS (open-loop arrivals) and print the load report plus telemetry.
+    ``--shared-cht`` turns on scene-keyed table sharing and
+    ``--sessions-per-scene N`` opens N concurrent sessions per workload
+    scene (the many-clients-one-scene shape shared banks amortize).
     ``--inject crash|exception|stall`` (repeatable) arms the seeded chaos
     harness: worker-loop deaths, kernel exceptions, and queue stalls are
     injected at ``--inject-rate`` while the run must still answer every
@@ -134,7 +138,7 @@ def _cmd_serve(args) -> int:
     service = CollisionService(
         ServiceConfig(
             num_workers=2, max_batch=4, max_wait_ms=1.0, queue_bound=32,
-            backend=args.backend,
+            backend=args.backend, shared_cht=args.shared_cht,
         )
     )
 
@@ -156,12 +160,15 @@ def _cmd_serve(args) -> int:
                 )
             )
             fallback = await service.submit(sessions[0], motions[0], deadline_ms=0.0)
+            # Snapshot before the context exit: service.stop() releases the
+            # shared CHT banks, which would blank the "cht" section.
+            snapshot_json = service.telemetry.to_json()
             for session_id in sessions:
                 service.close_session(session_id)
-        return results, fallback
+        return results, fallback, snapshot_json
 
-    results, fallback = asyncio.run(selftest())
-    print(service.telemetry.to_json())
+    results, fallback, snapshot_json = asyncio.run(selftest())
+    print(snapshot_json)
     exact = sum(r.status == "ok" for r in results)
     healthy = exact == len(results) and fallback.status == "predicted"
     print(f"selftest: {exact}/{len(results)} exact verdicts, "
@@ -206,6 +213,7 @@ def _cmd_loadtest(args) -> int:
             policy=args.policy,
             backend=args.backend,
             on_worker_error=args.on_worker_error,
+            shared_cht=args.shared_cht,
         ),
         faults=faults,
     )
@@ -216,6 +224,7 @@ def _cmd_loadtest(args) -> int:
         seed=args.seed,
         max_requests=args.max_requests,
         deadline_ms=args.deadline_ms,
+        sessions_per_scene=args.sessions_per_scene,
     )
 
     async def run():
@@ -225,10 +234,12 @@ def _cmd_loadtest(args) -> int:
     report = asyncio.run(run())
     print(report.render())
     print()
-    print(service.telemetry.to_json())
-    if args.json:
-        import json
+    # The report's snapshot was taken before service.stop() released the
+    # shared CHT banks, so it still carries the final "cht" section.
+    import json
 
+    print(json.dumps(report.snapshot, indent=2))
+    if args.json:
         payload = {
             "offered": report.offered,
             "completed": report.completed,
@@ -280,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--selftest", action="store_true")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--backend", choices=BACKENDS, default="scalar")
+    serve.add_argument(
+        "--shared-cht",
+        action="store_true",
+        help="share one CHT bank per scene across sessions (repro.sharedcht)",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     loadtest = sub.add_parser("loadtest", help="replay workloads through the async service")
@@ -295,6 +311,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--queue-bound", type=int, default=64)
     loadtest.add_argument("--policy", choices=("reject", "block"), default="reject")
     loadtest.add_argument("--backend", choices=BACKENDS, default="scalar")
+    loadtest.add_argument(
+        "--shared-cht",
+        action="store_true",
+        help="share one CHT bank per scene across sessions (repro.sharedcht)",
+    )
+    loadtest.add_argument(
+        "--sessions-per-scene",
+        type=int,
+        default=1,
+        help="concurrent sessions opened against each workload's scene",
+    )
     loadtest.add_argument("--json", default=None)
     loadtest.add_argument(
         "--inject",

@@ -26,7 +26,11 @@ the whole hot path into numpy:
 5. :func:`check_motions_sharded` fans whole motions out over a
    *supervised* ``ProcessPoolExecutor`` (:mod:`repro.resilience`): crashed
    or hung workers break only their shard, which is retried with bounded
-   backoff on a restarted pool instead of aborting the workload.
+   backoff on a restarted pool instead of aborting the workload. With a
+   ``shared_predictor=`` the workers are no longer predictor-free: each
+   syncs a private :class:`~repro.sharedcht.WorkerCHT` from the shared
+   counter banks at start, runs the predict-gated kernel against it, and
+   ships per-shard deltas back for the parent's merge-on-join commit.
 
 The scalar path stays canonical for the hardware simulators; this backend
 is its exact, property-tested software counterpart.
@@ -52,6 +56,8 @@ from ..geometry.batch import (
 )
 from ..core.predictor import CHTPredictor, Predictor
 from ..resilience import FaultInjector, RetryPolicy, SupervisedPool
+from ..sharedcht import SegmentManager, SharedCHT, SharedPredictorSpec
+from ..sharedcht.worker import CHTDeltas
 from .detector import CollisionDetector, coord_key, pose_key
 from .queries import MotionCheckResult, QueryStats
 from .scheduling import NaiveScheduler, PoseScheduler
@@ -385,6 +391,7 @@ def _init_worker(
     backend: str,
     seed: int,
     faults: FaultInjector | None = None,
+    shared_predictor: SharedPredictorSpec | None = None,
 ) -> None:
     """Process-pool initializer: detector, kernel and a fork-safe RNG.
 
@@ -393,6 +400,15 @@ def _init_worker(
     stochastic scheduler or sampling hook sees an independent stream.
     ``faults`` (a picklable seeded injector) arms deterministic crash /
     slow-shard / exception faults inside this worker.
+
+    ``shared_predictor`` arms the shared-CHT mode: the worker builds its
+    own :class:`~repro.sharedcht.SegmentManager` (never aliasing the
+    parent's registry through fork), attaches the shared counter banks
+    and syncs a private :class:`~repro.sharedcht.WorkerCHT` — once, here,
+    not per shard, which is what keeps the single-writer run bit-exact
+    (the table evolves continuously across shards exactly like a private
+    table would). Restarted workers re-run this initializer and re-sync,
+    picking up every delta already merged by the parent.
     """
     _WORKER_STATE["detector"] = detector
     _WORKER_STATE["scheduler"] = scheduler
@@ -404,38 +420,69 @@ def _init_worker(
     _WORKER_STATE["rng"] = np.random.default_rng(
         np.random.SeedSequence([int(seed), os.getpid()])
     )
+    if shared_predictor is None:
+        _WORKER_STATE["predictor"] = None
+    else:
+        _WORKER_STATE["segments"] = SegmentManager()
+        _WORKER_STATE["predictor"] = shared_predictor.worker_predictor(
+            manager=_WORKER_STATE["segments"]
+        )
 
 
 def _check_one(motion: "Motion") -> tuple[bool, int | None, QueryStats]:
     """Check one motion inside a pool worker; returns a picklable triple."""
     scheduler = _WORKER_STATE["scheduler"]
+    predictor = _WORKER_STATE.get("predictor")
     if _WORKER_STATE["backend"] == "batch":
-        result = _WORKER_STATE["kernel"].check_motion(
-            motion.start, motion.end, motion.num_poses, scheduler
-        )
+        kernel = _WORKER_STATE["kernel"]
+        if predictor is not None:
+            result = kernel.check_motion_predicted(
+                motion.start, motion.end, motion.num_poses, scheduler, predictor
+            )
+            if result is None:
+                # Configuration the gated kernel cannot vectorize (custom
+                # key function, wide hash): exact scalar engine instead.
+                result = _WORKER_STATE["detector"].check_motion(
+                    motion.start, motion.end, motion.num_poses, scheduler, predictor
+                )
+        else:
+            result = kernel.check_motion(
+                motion.start, motion.end, motion.num_poses, scheduler
+            )
     else:
         result = _WORKER_STATE["detector"].check_motion(
-            motion.start, motion.end, motion.num_poses, scheduler, None
+            motion.start, motion.end, motion.num_poses, scheduler, predictor
         )
     return result.collided, result.first_colliding_pose, result.stats
 
 
 def _check_shard(
     shard_index: int, attempt: int, motions: "list[Motion]"
-) -> list[tuple[bool, int | None, QueryStats]]:
+) -> tuple[list[tuple[bool, int | None, QueryStats]], CHTDeltas | None]:
     """Check one shard's motions inside a pool worker.
 
     Armed faults fire first (deterministically, keyed by shard index and
     attempt number), so a crash/slow/exception fault hits the shard before
     any motion result is produced — a retried shard re-checks every motion
     and the assembled workload stays bit-identical to a clean run.
+
+    In shared-predictor mode the worker's delta watermark resets *before*
+    the shard runs, so the returned :class:`~repro.sharedcht.CHTDeltas`
+    payload carries exactly this attempt's table updates — a previous
+    failed attempt's partial writes are absorbed into the watermark and
+    never published.
     """
     faults = _WORKER_STATE.get("faults")
+    predictor = _WORKER_STATE.get("predictor")
+    if predictor is not None:
+        predictor.table.reset_watermark()
     if faults is not None:
         faults.fire("crash", shard_index, attempt)
         faults.fire("slow", shard_index, attempt)
         faults.fire("exception", shard_index, attempt)
-    return [_check_one(motion) for motion in motions]
+    triples = [_check_one(motion) for motion in motions]
+    deltas = predictor.table.take_deltas() if predictor is not None else None
+    return triples, deltas
 
 
 def check_motions_sharded(
@@ -452,6 +499,7 @@ def check_motions_sharded(
     shard_timeout_s: float | None = None,
     faults: FaultInjector | None = None,
     counters: "ResilienceCounters | None" = None,
+    shared_predictor: "SharedPredictorSpec | CHTPredictor | None" = None,
 ) -> "BatchResult":
     """Shard a motion workload over a supervised ``ProcessPoolExecutor``.
 
@@ -472,14 +520,42 @@ def check_motions_sharded(
     ``counters`` (a :class:`repro.core.metrics.ResilienceCounters`)
     receives ``shard_retries`` / ``shard_timeouts`` / ``pool_restarts``.
 
-    Prediction state cannot be shared across processes, so this runner is
-    predictor-free by construction (``backend`` picks the per-motion
-    engine: the vectorized kernel or the scalar scan).
+    ``shared_predictor`` turns the predictor-free fan-out into a
+    *shared-table* run (:mod:`repro.sharedcht`): pass either a
+    :class:`~repro.sharedcht.SharedPredictorSpec` or a
+    :class:`~repro.core.predictor.CHTPredictor` whose table is a
+    :class:`~repro.sharedcht.SharedCHT`. Workers sync a private copy of
+    the shared counter banks at start, run Algorithm 1's predict-gated
+    kernel against it, and return per-shard delta payloads; the parent
+    commits them into the shared banks *in shard-index order* via the
+    saturating :meth:`~repro.core.cht.CollisionHistoryTable.merge_counts`
+    primitive (merge-on-join). Verdicts and first-colliding poses are
+    always exact — prediction only reorders and prunes CDQs — and with
+    ``max_workers=1`` the whole run (counters, traffic statistics, RNG
+    stream) is bit-identical to checking the motions sequentially against
+    a private table. Multi-worker runs trade that for throughput:
+    counters converge through the order-invariant saturating merge, while
+    per-motion CDQ statistics become schedule-dependent.
     """
     from .pipeline import BatchResult
 
     if backend not in ("scalar", "batch"):
         raise ValueError(f"backend must be 'scalar' or 'batch', got {backend!r}")
+    spec: SharedPredictorSpec | None = None
+    shared_table: SharedCHT | None = None
+    if shared_predictor is not None:
+        if isinstance(shared_predictor, CHTPredictor):
+            table = shared_predictor.table
+            if not isinstance(table, SharedCHT):
+                raise TypeError(
+                    "shared_predictor's table must be a SharedCHT "
+                    f"(got {type(table).__name__}); build one with SharedCHT.create()"
+                )
+            shared_table = table
+            spec = SharedPredictorSpec.for_table(table, shared_predictor.hash_function)
+        else:
+            spec = shared_predictor
+            shared_table = SharedCHT.attach(spec.table)
     result = BatchResult(label=label)
     if not motions:
         return result
@@ -496,7 +572,7 @@ def check_motions_sharded(
         return ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(detector, scheduler, backend, seed, faults),
+            initargs=(detector, scheduler, backend, seed, faults, spec),
         )
 
     supervisor = SupervisedPool(
@@ -507,8 +583,13 @@ def check_motions_sharded(
     )
     shard_results = supervisor.run(_check_shard, shards)
     for index in range(len(shards)):
-        for collided, first_pose, stats in shard_results[index]:
+        triples, deltas = shard_results[index]
+        for collided, first_pose, stats in triples:
             result.stats.merge(stats)
             result.outcomes.append(collided)
             result.first_colliding_poses.append(first_pose)
+        if deltas is not None and shared_table is not None:
+            # Merge-on-join: commit each shard's increments in shard-index
+            # order (deterministic, and bit-exact for a single writer).
+            deltas.publish(shared_table)
     return result

@@ -219,10 +219,30 @@ class CollisionHistoryTable:
         idx = self._indices(codes)
         coll_counts = np.bincount(idx[outcomes], minlength=self.size)
         noncoll_counts = np.bincount(idx[written & ~outcomes], minlength=self.size)
-        self.coll = np.minimum(self.coll + coll_counts, self.counter_max).astype(np.int32)
-        self.noncoll = np.minimum(self.noncoll + noncoll_counts, self.counter_max).astype(np.int32)
+        self.merge_counts(coll_counts, noncoll_counts)
         self.writes += int(written.sum())
         return written
+
+    def merge_counts(self, coll_counts: "np.ndarray", noncoll_counts: "np.ndarray") -> None:
+        """Saturating commit of per-entry increment counts (the merge primitive).
+
+        This is :meth:`update_many`'s commit step exposed on its own: add a
+        whole (size,) vector of raw increments to each counter column and
+        clip at ``counter_max`` once. Because the increments are monotone,
+        ``min(base + a + b, max)`` equals any interleaving of saturating
+        single steps — merging delta batches is associative and commutative
+        up to saturation, which is what makes this safe as the
+        *cross-process* merge primitive of :mod:`repro.sharedcht` (shared
+        counter banks accept workers' batched deltas in any order).
+
+        Operates in place so subclasses backed by shared-memory views keep
+        their backing buffer. Traffic statistics are untouched; callers
+        account writes themselves.
+        """
+        np.minimum(self.coll + coll_counts, self.counter_max, out=self.coll, casting="unsafe")
+        np.minimum(
+            self.noncoll + noncoll_counts, self.counter_max, out=self.noncoll, casting="unsafe"
+        )
 
     def update(self, code: int, collided: bool) -> bool:
         """Record a CDQ outcome. Returns True when the table was written.

@@ -45,6 +45,9 @@ class ScheduledRequest:
     workload_index: int
     motion: Motion
     deadline_ms: float | None = None
+    #: Which of the workload's ``sessions_per_scene`` concurrent sessions
+    #: this arrival targets (0 when each workload has a single session).
+    session_slot: int = 0
 
 
 @dataclass
@@ -104,6 +107,7 @@ class LoadGenerator:
         max_requests: int | None = None,
         deadline_ms: float | None = None,
         time_scale: float = 1.0,
+        sessions_per_scene: int = 1,
     ) -> None:
         if qps <= 0.0:
             raise ValueError("qps must be positive")
@@ -111,6 +115,8 @@ class LoadGenerator:
             raise ValueError("need at least one workload to replay")
         if any(not w.motions for w in workloads):
             raise ValueError("every replayed workload needs recorded motions")
+        if sessions_per_scene < 1:
+            raise ValueError("sessions_per_scene must be positive")
         self.service = service
         self.workloads = list(workloads)
         self.qps = float(qps)
@@ -119,13 +125,20 @@ class LoadGenerator:
         self.deadline_ms = deadline_ms
         #: <1 compresses the schedule (faster tests), >1 stretches it.
         self.time_scale = float(time_scale)
+        #: Concurrent sessions opened against each workload's scene — the
+        #: many-clients-one-scene shape that shared CHT banks
+        #: (``ServiceConfig(shared_cht=True)``) amortize across.
+        self.sessions_per_scene = int(sessions_per_scene)
 
     def schedule(self) -> list[ScheduledRequest]:
         """The deterministic arrival plan implied by (trace, qps, seed).
 
         Motions are drawn round-robin across workloads, cycling each
         workload's recorded motions in order; inter-arrival gaps are
-        exponential with mean ``1/qps``.
+        exponential with mean ``1/qps``. With ``sessions_per_scene > 1``,
+        consecutive visits to a workload rotate through its session slots
+        — deterministically, from the request index alone — so the load
+        models N independent clients planning against the same scene.
         """
         rng = np.random.default_rng(self.seed)
         total = self.max_requests
@@ -144,6 +157,7 @@ class LoadGenerator:
                     workload_index=workload_index,
                     motion=recorded.as_motion(),
                     deadline_ms=self.deadline_ms,
+                    session_slot=(index // len(self.workloads)) % self.sessions_per_scene,
                 )
             )
         return plan
@@ -151,12 +165,18 @@ class LoadGenerator:
     async def run(self) -> LoadTestReport:
         """Replay the schedule open-loop; returns the aggregated report.
 
-        Opens one service session per workload (sessions must not outlive
-        the run: they are closed before returning).
+        Opens ``sessions_per_scene`` service sessions per workload
+        (sessions must not outlive the run: they are closed before
+        returning). Under a shared-CHT service, a workload's sessions all
+        read the same scene-keyed bank.
         """
         plan = self.schedule()
         session_ids = [
-            self.service.open_session(w.scene, w.robot) for w in self.workloads
+            [
+                self.service.open_session(w.scene, w.robot)
+                for _ in range(self.sessions_per_scene)
+            ]
+            for w in self.workloads
         ]
         loop_clock = time.perf_counter
         started = loop_clock()
@@ -169,7 +189,7 @@ class LoadGenerator:
                 tasks.append(
                     asyncio.ensure_future(
                         self.service.submit(
-                            session_ids[request.workload_index],
+                            session_ids[request.workload_index][request.session_slot],
                             request.motion,
                             deadline_ms=request.deadline_ms,
                         )
@@ -177,8 +197,9 @@ class LoadGenerator:
                 )
             results: list[QueryResult] = await asyncio.gather(*tasks)
         finally:
-            for session_id in session_ids:
-                self.service.close_session(session_id)
+            for workload_sessions in session_ids:
+                for session_id in workload_sessions:
+                    self.service.close_session(session_id)
         wall_s = loop_clock() - started
         by_status: dict[str, int] = {}
         colliding = 0

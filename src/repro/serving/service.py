@@ -10,7 +10,13 @@ owns their session (:func:`~repro.serving.batching.worker_for_session`),
 are coalesced into micro-batches, and execute through the same
 :func:`~repro.collision.pipeline.check_motion_batch` path as every offline
 harness. Each session owns its detector and CHT predictor, so prediction
-state is isolated per planning query and per worker shard.
+state is isolated per planning query and per worker shard — unless the
+service runs with ``ServiceConfig(shared_cht=True)``, in which case
+sessions against the same (scene, robot, representation) share one
+:class:`~repro.sharedcht.SharedCHT` bank (the paper's single COPU table
+serving every lane): they are pinned to the same worker, their motions
+coalesce into one predict-gated kernel invocation per micro-batch, and
+collision history learned by any of them warms all of them.
 
 The service is single-process and cooperative: "workers" are asyncio
 tasks, and batch execution itself is synchronous Python (numpy under the
@@ -56,6 +62,7 @@ from ..resilience import (
     FaultInjector,
     WorkerCrashFault,
 )
+from ..sharedcht import SegmentManager, SharedCHT
 from .admission import (
     STATUS_OK,
     STATUS_PREDICTED,
@@ -67,7 +74,13 @@ from .admission import (
 from .batching import BatchingConfig, MicroBatcher, worker_for_session
 from .telemetry import ServiceTelemetry
 
-__all__ = ["WORKER_ERROR_POLICIES", "ServiceConfig", "Session", "CollisionService"]
+__all__ = [
+    "WORKER_ERROR_POLICIES",
+    "ServiceConfig",
+    "Session",
+    "SharedTableEntry",
+    "CollisionService",
+]
 
 #: What happens to a batch whose worker loop dies mid-execution:
 #: ``predict`` resolves its requests with degraded CHT verdicts,
@@ -105,6 +118,18 @@ class ServiceConfig:
     breaker_threshold: int = 3
     #: Seconds an open breaker waits before admitting a recovery probe.
     breaker_recovery_s: float = 0.5
+    #: Share one CHT bank per (scene, robot, representation) across
+    #: sessions (:mod:`repro.sharedcht`). Shared sessions are pinned to
+    #: one worker and their motions coalesce into cross-session kernel
+    #: invocations; an explicitly passed ``predictor=`` always stays
+    #: private.
+    shared_cht: bool = False
+    #: Entry count of each shared bank (paper default: 4096 for arms).
+    shared_table_size: int = 4096
+    #: Prediction strategy ``S`` of shared banks (``0`` = most aggressive).
+    shared_s: float = 0.0
+    #: Update frequency ``U`` of shared banks.
+    shared_u: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -122,6 +147,12 @@ class ServiceConfig:
             raise ValueError("breaker_threshold must be positive")
         if self.breaker_recovery_s < 0.0:
             raise ValueError("breaker_recovery_s must be non-negative")
+        if self.shared_table_size < 1:
+            raise ValueError("shared_table_size must be positive")
+        if self.shared_s < 0.0:
+            raise ValueError("shared_s must be non-negative")
+        if not 0.0 <= self.shared_u <= 1.0:
+            raise ValueError("shared_u must be in [0, 1]")
 
     @property
     def exact_rungs(self) -> tuple:
@@ -135,6 +166,34 @@ class ServiceConfig:
 
 
 @dataclass
+class SharedTableEntry:
+    """One scene-keyed shared CHT bank and the sessions reading it.
+
+    Created lazily by :meth:`CollisionService.open_session` under
+    ``shared_cht=True``: the first session against a (scene, robot,
+    representation) triple allocates the bank, later ones attach to it.
+    The entry carries the canonical detector/scheduler used for coalesced
+    cross-session kernel invocations, and its ``stats`` accumulate the
+    exact-execution statistics of every coalesced group (per-session
+    attribution is impossible once motions from several sessions share
+    one kernel pass).
+    """
+
+    entry_id: str
+    table: SharedCHT
+    predictor: CHTPredictor
+    detector: CollisionDetector
+    scheduler: PoseScheduler | None
+    stats: QueryStats
+    sessions: set[str]
+
+    def hit_rate(self) -> float:
+        """Fraction of predictions that guessed "colliding"."""
+        made = self.stats.predictions_made
+        return self.stats.predicted_colliding / made if made else 0.0
+
+
+@dataclass
 class Session:
     """Per-planning-query serving state: detector, predictor, counters."""
 
@@ -144,6 +203,9 @@ class Session:
     scheduler: PoseScheduler | None
     worker: int
     stats: QueryStats
+    #: Scene-keyed shared bank this session reads, when ``shared_cht`` is
+    #: on and the session did not bring its own predictor.
+    shared: SharedTableEntry | None = None
 
     @property
     def cdqs_executed(self) -> int:
@@ -200,6 +262,12 @@ class CollisionService:
             counters=self.telemetry.resilience,
         )
         self.telemetry.set_breaker_provider(self._ladder.snapshot)
+        self.telemetry.set_cht_provider(self._cht_snapshot)
+        #: Scene-keyed shared CHT banks (``shared_cht=True`` only) and the
+        #: lifecycle manager owning their segments.
+        self._shared_tables: dict[tuple, SharedTableEntry] = {}
+        self._segments = SegmentManager()
+        self._shared_counter = itertools.count()
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -247,6 +315,13 @@ class CollisionService:
         self._workers = []
         self._queues = []
         self._batchers = {}
+        # Release every shared bank: handles degrade to private copies of
+        # their last counters (detach), then the segments are unlinked so
+        # a stopped service never leaves /dev/shm entries behind.
+        for entry in self._shared_tables.values():
+            entry.table.detach()
+        self._shared_tables = {}
+        self._segments.shutdown()
         self._started = False
 
     async def __aenter__(self) -> "CollisionService":
@@ -273,31 +348,93 @@ class CollisionService:
 
         Each session gets its own detector and (by default) a fresh COORD
         predictor — the per-planning-query CHT reset of Sec. IV, realised
-        as per-session state instead of a reset instruction.
+        as per-session state instead of a reset instruction. Under
+        ``shared_cht=True`` the default predictor instead reads the
+        scene-keyed shared bank (created on first use), and the session is
+        pinned to the bank's worker so same-scene sessions coalesce; an
+        explicit ``predictor=`` or ``use_prediction=False`` opts the
+        session out of sharing.
         """
         if session_id is None:
             session_id = f"s{next(self._session_counter)}"
         if session_id in self.sessions:
             raise ValueError(f"session {session_id!r} already open")
+        detector = CollisionDetector(scene, robot, representation=representation)
+        shared: SharedTableEntry | None = None
         if predictor is None and use_prediction:
-            predictor = default_predictor_factory()
+            if self.config.shared_cht:
+                shared = self._shared_entry(scene, robot, representation, detector, scheduler)
+                shared.sessions.add(session_id)
+                predictor = shared.predictor
+            else:
+                predictor = default_predictor_factory()
+        worker = (
+            worker_for_session(shared.entry_id, self.config.num_workers)
+            if shared is not None
+            else worker_for_session(session_id, self.config.num_workers)
+        )
         self.sessions[session_id] = Session(
             session_id=session_id,
-            detector=CollisionDetector(scene, robot, representation=representation),
+            detector=detector,
             predictor=predictor,
             scheduler=scheduler,
-            worker=worker_for_session(session_id, self.config.num_workers),
+            worker=worker,
             stats=QueryStats(),
+            shared=shared,
         )
         return session_id
+
+    def _shared_entry(
+        self,
+        scene: Scene,
+        robot: RobotModel,
+        representation: str,
+        detector: CollisionDetector,
+        scheduler: PoseScheduler | None,
+    ) -> SharedTableEntry:
+        """The shared bank for a (scene, robot, representation) triple.
+
+        The first session's detector and scheduler become the entry's
+        canonical pair, used for every coalesced cross-session kernel
+        invocation (identical scene and robot make the per-session
+        detectors interchangeable; the canonical scheduler keeps the CDQ
+        stream deterministic however sessions are mixed in a batch).
+        """
+        key = (id(scene), id(robot), representation)
+        entry = self._shared_tables.get(key)
+        if entry is None:
+            table = SharedCHT.create(
+                size=self.config.shared_table_size,
+                s=self.config.shared_s,
+                u=self.config.shared_u,
+                manager=self._segments,
+            )
+            entry = SharedTableEntry(
+                entry_id=f"shared{next(self._shared_counter)}",
+                table=table,
+                predictor=CHTPredictor(CoordHash(bits_per_axis=4), table),
+                detector=detector,
+                scheduler=scheduler,
+                stats=QueryStats(),
+                sessions=set(),
+            )
+            self._shared_tables[key] = entry
+        return entry
 
     def session(self, session_id: str) -> Session:
         """Look up an open session."""
         return self.sessions[session_id]
 
     def close_session(self, session_id: str) -> Session:
-        """Drop a session's state; returns it for final inspection."""
-        return self.sessions.pop(session_id)
+        """Drop a session's state; returns it for final inspection.
+
+        A shared bank outlives its sessions on purpose — the warm table
+        is the whole point of sharing — and is unlinked at :meth:`stop`.
+        """
+        session = self.sessions.pop(session_id)
+        if session.shared is not None:
+            session.shared.sessions.discard(session_id)
+        return session
 
     # -- request path ------------------------------------------------------
 
@@ -409,7 +546,13 @@ class CollisionService:
         return 1
 
     def _execute_batch(self, batch: list[QueryRequest], batch_index: int) -> None:
-        """Run one micro-batch: deadline fallbacks, then exact checks."""
+        """Run one micro-batch: deadline fallbacks, then exact checks.
+
+        Exact requests group by *execution context*: sessions reading the
+        same shared bank merge into one group (their motions hit the
+        predict-gated kernel in a single invocation — the cross-session
+        micro-batch), everything else groups per session as before.
+        """
         now = self.clock()
         self.telemetry.observe_batch(len(batch))
         exact: list[QueryRequest] = []
@@ -420,7 +563,13 @@ class CollisionService:
                 self._resolve_predicted(request, len(batch))
             else:
                 exact.append(request)
-        for requests in MicroBatcher.group_by_session(exact).values():
+        groups: dict[str, list[QueryRequest]] = {}
+        for request in exact:
+            session = self.sessions.get(request.session_id)
+            shared = session.shared if session is not None else None
+            group_key = shared.entry_id if shared is not None else request.session_id
+            groups.setdefault(group_key, []).append(request)
+        for requests in groups.values():
             self._execute_session_group(requests, len(batch), batch_index)
 
     def _resolve_predicted(
@@ -466,14 +615,17 @@ class CollisionService:
     def _execute_session_group(
         self, requests: list[QueryRequest], batch_size: int, batch_index: int
     ) -> None:
-        """Exact checks for one session's share of a micro-batch.
+        """Exact checks for one execution group's share of a micro-batch.
 
-        Dispatches through :func:`check_motion_batch` so the serving path
-        and the offline harness execute byte-identical CDQ streams. The
-        group walks the degradation ladder: each exact rung whose breaker
-        admits it is attempted in order (``batch`` → ``scalar``); a rung
-        failure feeds its breaker and falls through; when no exact rung
-        remains, every request degrades to the CHT-predicted verdict.
+        A group is either one session's requests or — under shared CHT —
+        every request in the batch whose session reads the same shared
+        bank (the cross-session coalesced invocation). Dispatches through
+        :func:`check_motion_batch` so the serving path and the offline
+        harness execute byte-identical CDQ streams. The group walks the
+        degradation ladder: each exact rung whose breaker admits it is
+        attempted in order (``batch`` → ``scalar``); a rung failure feeds
+        its breaker and falls through; when no exact rung remains, every
+        request degrades to the CHT-predicted verdict.
         """
         session = self.sessions.get(requests[0].session_id)
         if session is None:
@@ -482,6 +634,17 @@ class CollisionService:
                     KeyError(f"session {request.session_id!r} was closed")
                 )
             return
+        shared = session.shared
+        if shared is not None:
+            detector, scheduler = shared.detector, shared.scheduler
+            predictor: Predictor | None = shared.predictor
+            label = shared.entry_id
+            if len({request.session_id for request in requests}) > 1:
+                self.telemetry.count("cross_session_batches")
+        else:
+            detector, scheduler = session.detector, session.scheduler
+            predictor = session.predictor
+            label = session.session_id
         for rung in self._ladder.plan():
             started = self.clock()
             try:
@@ -492,11 +655,11 @@ class CollisionService:
                             f"injected kernel exception at batch {batch_index}"
                         )
                     result = check_motion_batch(
-                        session.detector,
+                        detector,
                         [request.motion for request in requests],
-                        session.scheduler,
-                        session.predictor,
-                        label=session.session_id,
+                        scheduler,
+                        predictor,
+                        label=label,
                         backend=rung,
                     )
             except Exception as error:
@@ -518,11 +681,17 @@ class CollisionService:
         started: float,
         batch_size: int,
     ) -> None:
-        """Resolve one session group's futures from an exact batch result."""
+        """Resolve one execution group's futures from an exact batch result."""
         session = self.sessions.get(requests[0].session_id)
         finished = self.clock()
         if session is not None:
-            session.stats.merge(result.stats)
+            if session.shared is not None:
+                # Coalesced groups span sessions; the kernel's statistics
+                # are attributed to the shared bank (splitting them per
+                # session would double-count or misattribute CDQ work).
+                session.shared.stats.merge(result.stats)
+            else:
+                session.stats.merge(result.stats)
         execute_ms = (finished - started) * 1e3 / len(requests)
         cdqs_each = result.stats.cdqs_executed // len(requests)
         self.telemetry.count("cdqs_executed", result.stats.cdqs_executed)
@@ -544,3 +713,38 @@ class CollisionService:
                     cdqs_executed=cdqs_each,
                 )
             )
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _cht_snapshot(self) -> dict:
+        """The ``snapshot["cht"]`` section: occupancy and hit-rates.
+
+        ``sessions`` covers every open session with a CHT-backed
+        predictor (occupancy of the table it reads, prediction hit-rate
+        of its own traffic, whether that table is shared);
+        ``shared_tables`` covers each scene-keyed bank with its reader
+        set and the bank-attributed statistics from coalesced execution.
+        """
+        per_session: dict[str, dict] = {}
+        for session_id, session in sorted(self.sessions.items()):
+            predictor = session.predictor
+            if not isinstance(predictor, CHTPredictor):
+                continue
+            made = session.stats.predictions_made
+            per_session[session_id] = {
+                "occupancy": predictor.table.occupancy(),
+                "hit_rate": session.stats.predicted_colliding / made if made else 0.0,
+                "shared": session.shared.entry_id if session.shared is not None else None,
+            }
+        shared_tables: dict[str, dict] = {}
+        for entry in self._shared_tables.values():
+            table = entry.table
+            shared_tables[entry.entry_id] = {
+                "occupancy": table.occupancy(),
+                "hit_rate": entry.hit_rate(),
+                "sessions": sorted(entry.sessions),
+                "reads": table.reads,
+                "writes": table.writes,
+                "segment": table.spec.name,
+            }
+        return {"sessions": per_session, "shared_tables": shared_tables}

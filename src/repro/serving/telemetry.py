@@ -69,6 +69,7 @@ class ServiceTelemetry:
         #: Fault-tolerance counters (retries, breaker trips, restarts, …).
         self.resilience = ResilienceCounters()
         self._breaker_provider: Callable[[], dict] | None = None
+        self._cht_provider: Callable[[], dict] | None = None
 
     def set_breaker_provider(self, provider: Callable[[], dict]) -> None:
         """Register a callable returning per-backend breaker states.
@@ -78,6 +79,16 @@ class ServiceTelemetry:
         layer depending on the ladder.
         """
         self._breaker_provider = provider
+
+    def set_cht_provider(self, provider: Callable[[], dict]) -> None:
+        """Register a callable returning CHT occupancy/hit-rate state.
+
+        Same provider pattern as the breakers: the service contributes a
+        ``snapshot["cht"]`` section (per-session tables plus any shared
+        scene-keyed banks) without telemetry importing the predictor
+        stack.
+        """
+        self._cht_provider = provider
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter (created on first use if unregistered)."""
@@ -136,6 +147,8 @@ class ServiceTelemetry:
         }
         if self._breaker_provider is not None:
             data["breakers"] = self._breaker_provider()
+        if self._cht_provider is not None:
+            data["cht"] = self._cht_provider()
         return data
 
     def to_json(self, indent: int = 2) -> str:

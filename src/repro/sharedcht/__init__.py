@@ -1,0 +1,39 @@
+"""Shared-memory Collision History Table banks (``repro.sharedcht``).
+
+The paper's COPU keeps *one* CHT read by every parallel collision-check
+lane, so history learned on any query accelerates all the others
+(Sec. III-D, IV). This package is that structure's multi-process software
+image: counter banks in a ``multiprocessing`` shared-memory segment,
+wrapped in the familiar :class:`~repro.core.cht.CollisionHistoryTable`
+API.
+
+Three pieces:
+
+* :mod:`~repro.sharedcht.segments` — :class:`SegmentManager`, the
+  mandatory lifecycle layer (create/attach/unlink; crashes never leak
+  ``/dev/shm`` entries; reprolint F002 enforces routing through it);
+* :mod:`~repro.sharedcht.table` — :class:`SharedCHT` and its picklable
+  :class:`SharedCHTSpec`, the table-over-a-segment itself;
+* :mod:`~repro.sharedcht.worker` — :class:`WorkerCHT`,
+  :class:`CHTDeltas` and :class:`SharedPredictorSpec`, the
+  sync-once/batch-deltas/merge-on-join protocol pool workers use so the
+  shared banks never sit on the hot path.
+
+Consumed by ``check_motions_sharded(shared_predictor=...)`` (offline
+sharded sweeps) and the serving layer's scene-keyed table sharing
+(``ServiceConfig(shared_cht=True)``).
+"""
+
+from .segments import SegmentManager, default_manager
+from .table import SharedCHT, SharedCHTSpec
+from .worker import CHTDeltas, SharedPredictorSpec, WorkerCHT
+
+__all__ = [
+    "SegmentManager",
+    "default_manager",
+    "SharedCHT",
+    "SharedCHTSpec",
+    "WorkerCHT",
+    "CHTDeltas",
+    "SharedPredictorSpec",
+]

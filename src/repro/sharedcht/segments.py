@@ -1,0 +1,190 @@
+"""Shared-memory segment lifecycle: create, attach, unlink — never leak.
+
+``multiprocessing.shared_memory`` segments are named kernel objects that
+outlive the process that created them; a crashed run that skipped
+``unlink()`` leaves them pinned in ``/dev/shm`` forever. Worse, on
+CPython < 3.13 *attaching* to a segment also registers it with the
+process's ``resource_tracker``, so a pool worker that merely read a
+shared table will, at exit, unlink the segment out from under its owner
+(bpo-38119). Every segment in this repo therefore goes through a
+:class:`SegmentManager` (reprolint rule F002 enforces it):
+
+* :meth:`SegmentManager.create` registers the segment as *owned* — it is
+  unlinked by :meth:`unlink`/:meth:`shutdown`, or by the module's atexit
+  hook if the run dies first;
+* :meth:`SegmentManager.attach` immediately unregisters the mapping from
+  the resource tracker, so attachers (pool workers, the serving layer's
+  telemetry readers) never trigger a premature unlink;
+* :meth:`SegmentManager.shutdown` unlinks every owned name; the
+  *mappings* are retired, not unmapped, because numpy does not register
+  a buffer export on ``SharedMemory.buf`` — ``close()`` under a live
+  counter view unmaps silently and the next table access segfaults, so
+  the manager defers every munmap to process exit (the OS reclaims it).
+
+Unlinking an owned segment only removes its *name*; existing mappings
+(numpy counter views in other processes) stay valid until closed, which
+is exactly the POSIX semantics the merge-on-join pool path relies on.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = ["SegmentManager", "default_manager"]
+
+#: Prefix of every segment name this repo allocates (greppable in /dev/shm).
+SEGMENT_PREFIX = "repro-cht-"
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Drop a mapping from this process's resource tracker, if registered.
+
+    On CPython < 3.13 ``SharedMemory(name=...)`` registers even plain
+    attachments, and the tracker unlinks everything still registered when
+    the process exits — destroying segments this process never owned.
+    """
+    try:
+        resource_tracker.unregister(getattr(segment, "_name", segment.name), "shared_memory")
+    except (KeyError, ValueError):
+        # Never registered (future CPython with track=False semantics).
+        pass
+
+
+class SegmentManager:
+    """Registry of shared-memory segments with guaranteed unlink.
+
+    Tracks two kinds of mapping: *owned* segments this manager created
+    (and must unlink) and *attached* segments it only mapped (and must
+    merely close). Usable as a context manager; :func:`default_manager`
+    provides a process-wide instance with an atexit safety net for code
+    paths that cannot scope a ``with`` block (CLI runs, pool workers).
+    """
+
+    def __init__(self) -> None:
+        self._owned: dict[str, shared_memory.SharedMemory] = {}
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+        #: Retired-but-still-mapped segments. References are kept on
+        #: purpose: ``SharedMemory.__del__`` would otherwise unmap under
+        #: live numpy views (numpy takes the raw pointer from ``buf``
+        #: without holding a buffer export, so nothing stops the munmap
+        #: and the next counter access is a segfault). The OS reclaims
+        #: these mappings at process exit.
+        self._retired: list[shared_memory.SharedMemory] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create(self, nbytes: int, name: str | None = None) -> shared_memory.SharedMemory:
+        """Create (and own) a fresh zeroed segment of ``nbytes`` bytes."""
+        if nbytes < 1:
+            raise ValueError("segment size must be positive")
+        if name is None:
+            name = SEGMENT_PREFIX + secrets.token_hex(6)
+        if name in self._owned or name in self._attached:
+            raise ValueError(f"segment {name!r} already managed")
+        segment = shared_memory.SharedMemory(  # reprolint: disable=F002 -- this IS the lifecycle manager; the segment is registered in _owned and unlinked by shutdown()/atexit
+            name=name, create=True, size=int(nbytes)
+        )
+        self._owned[name] = segment
+        return segment
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        """Map an existing segment without taking ownership of its name."""
+        cached = self._attached.get(name) or self._owned.get(name)
+        if cached is not None:
+            return cached
+        segment = shared_memory.SharedMemory(  # reprolint: disable=F002 -- manager attach path; immediately unregistered from the resource tracker so this process never unlinks a segment it does not own
+            name=name
+        )
+        _untrack(segment)
+        self._attached[name] = segment
+        return segment
+
+    def close(self, name: str) -> None:
+        """Retire an attached mapping; the name (and the pages) live on.
+
+        Deliberately does *not* call ``SharedMemory.close()``: numpy views
+        over the buffer hold no buffer export, so an eager munmap would
+        pull the pages out from under any still-live counter view and turn
+        the next access into a segfault. The mapping is parked in
+        ``_retired`` (keeping the object alive past ``__del__``) and the
+        OS unmaps it at process exit.
+
+        Ownership is sticky: retiring an *owned* name is a no-op, so a
+        handle detaching its views can never strip the manager of its
+        duty (and ability) to unlink the segment later.
+        """
+        if name in self._owned:
+            return
+        segment = self._attached.pop(name, None)
+        if segment is None:
+            return
+        self._retired.append(segment)
+
+    def unlink(self, name: str) -> None:
+        """Remove an owned segment's name (mappings stay valid) and retire it.
+
+        Idempotent: unlinking a name that is gone (already unlinked, or
+        never owned here) is a no-op, so crash-cleanup paths can call it
+        unconditionally.
+        """
+        segment = self._owned.pop(name, None)
+        if segment is None:
+            return
+        # Forked workers share this process's resource tracker, and their
+        # attach-time _untrack may have removed our registration; re-add
+        # it so the unregister inside SharedMemory.unlink() stays balanced
+        # (an unmatched unregister makes the tracker print a KeyError).
+        resource_tracker.register(getattr(segment, "_name", name), "shared_memory")
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        self._retired.append(segment)
+
+    def shutdown(self) -> None:
+        """Unlink every owned segment and close every mapping."""
+        for name in list(self._owned):
+            self.unlink(name)
+        for name in list(self._attached):
+            self.close(name)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def owned_names(self) -> tuple[str, ...]:
+        """Names of segments this manager created and still owns."""
+        return tuple(self._owned)
+
+    @property
+    def attached_names(self) -> tuple[str, ...]:
+        """Names of segments this manager only mapped."""
+        return tuple(self._attached)
+
+    def owns(self, name: str) -> bool:
+        """True while ``name`` is an owned (not-yet-unlinked) segment."""
+        return name in self._owned
+
+    def __enter__(self) -> "SegmentManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+_DEFAULT_MANAGER = SegmentManager()
+
+
+def default_manager() -> SegmentManager:
+    """The process-wide manager (atexit-guarded; one per process).
+
+    Forked pool workers inherit the parent's instance but their copies
+    diverge immediately; workers should build their own manager so their
+    attachments never alias the parent's registry.
+    """
+    return _DEFAULT_MANAGER
+
+
+atexit.register(_DEFAULT_MANAGER.shutdown)

@@ -1,0 +1,167 @@
+"""A Collision History Table over shared-memory counter banks.
+
+:class:`SharedCHT` is a drop-in :class:`~repro.core.cht.CollisionHistoryTable`
+whose COLL/NONCOLL counter columns live in a ``multiprocessing``
+shared-memory segment instead of private numpy arrays — the software
+image of the paper's COPU CHT banks, which are *one* physical structure
+read by every parallel collision-detection lane. Any process that holds
+the table's :class:`SharedCHTSpec` can attach and see (and warm) the same
+counters, which is what lets collision history learned by one planning
+query accelerate every other query against the same scene.
+
+Semantics are bit-identical to the private table: every method is
+inherited, and the only overrides keep the shared backing intact
+(:meth:`~repro.core.cht.CollisionHistoryTable.merge_counts` already
+commits in place) and serialize concurrent merges behind a lock. Traffic
+statistics (``reads``/``writes``/``skipped_updates``) are per-handle —
+each attached process accounts its own traffic, mirroring how the
+hardware charges per-lane CHT accesses.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cht import COUNTER_BITS, CollisionHistoryTable
+from .segments import SegmentManager, default_manager
+
+__all__ = ["SharedCHTSpec", "SharedCHT"]
+
+#: Counter cell dtype in the shared segment (matches the private table).
+_CELL_DTYPE = np.int32
+
+
+def _segment_nbytes(size: int) -> int:
+    """Bytes needed for the two counter columns of a ``size``-entry table."""
+    return 2 * size * np.dtype(_CELL_DTYPE).itemsize
+
+
+@dataclass(frozen=True)
+class SharedCHTSpec:
+    """Everything needed to attach a shared table from another process.
+
+    Picklable by construction (strings and numbers only), so it can ride
+    through ``ProcessPoolExecutor`` initargs and serving config dumps.
+    The segment holds raw counters; the spec carries the interpretation
+    (table geometry and prediction strategy).
+    """
+
+    name: str
+    size: int = 4096
+    s: float = 0.0
+    u: float = 1.0
+    counter_bits: int = COUNTER_BITS
+
+    def nbytes(self) -> int:
+        """Size of the backing segment in bytes."""
+        return _segment_nbytes(self.size)
+
+
+class SharedCHT(CollisionHistoryTable):
+    """A CHT whose counters are views over a shared-memory segment.
+
+    Build with :meth:`create` (allocates and owns the segment) or
+    :meth:`attach` (maps a segment some other handle created). The
+    inherited API — ``predict``/``predict_many``/``probe_many``,
+    ``update``/``update_many``, ``occupancy``, ``storage_bits``,
+    ``reset`` — operates directly on the shared counters; ``merge_counts``
+    (the saturating bincount commit) additionally takes :attr:`lock`, so
+    concurrent delta publishes from several threads/processes serialize
+    instead of losing increments.
+    """
+
+    def __init__(
+        self,
+        spec: SharedCHTSpec,
+        segment: "np.ndarray | None" = None,
+        *,
+        rng: "np.random.Generator | None" = None,
+        manager: SegmentManager | None = None,
+        owner: bool = False,
+    ) -> None:
+        super().__init__(
+            size=spec.size, s=spec.s, u=spec.u, rng=rng, counter_bits=spec.counter_bits
+        )
+        self.spec = spec
+        self.owner = owner
+        self._manager = manager if manager is not None else default_manager()
+        #: Guards merge_counts; replace with a ``multiprocessing.Lock`` when
+        #: several *processes* publish concurrently (merge-on-join runs
+        #: publish only from the parent, where a thread lock suffices).
+        self.lock: "threading.Lock | object" = threading.Lock()
+        shm = self._manager.attach(spec.name) if segment is None else segment
+        buffer = shm.buf if hasattr(shm, "buf") else shm
+        cells = np.ndarray((2, spec.size), dtype=_CELL_DTYPE, buffer=buffer)
+        if owner:
+            cells.fill(0)
+        # Rebind the private zero arrays allocated by the base constructor
+        # to the shared views; every inherited method writes in place.
+        self.coll = cells[0]
+        self.noncoll = cells[1]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        size: int = 4096,
+        s: float = 0.0,
+        u: float = 1.0,
+        *,
+        counter_bits: int = COUNTER_BITS,
+        rng: "np.random.Generator | None" = None,
+        manager: SegmentManager | None = None,
+        name: str | None = None,
+    ) -> "SharedCHT":
+        """Allocate a fresh zeroed shared table and own its segment."""
+        manager = manager if manager is not None else default_manager()
+        probe = SharedCHTSpec(name="", size=size, s=s, u=u, counter_bits=counter_bits)
+        segment = manager.create(probe.nbytes(), name=name)
+        spec = SharedCHTSpec(
+            name=segment.name, size=size, s=s, u=u, counter_bits=counter_bits
+        )
+        return cls(spec, segment, rng=rng, manager=manager, owner=True)
+
+    @classmethod
+    def attach(
+        cls,
+        spec: SharedCHTSpec,
+        *,
+        rng: "np.random.Generator | None" = None,
+        manager: SegmentManager | None = None,
+    ) -> "SharedCHT":
+        """Map a table created elsewhere (same process or another one)."""
+        return cls(spec, rng=rng, manager=manager, owner=False)
+
+    # -- shared-specific behaviour ----------------------------------------
+
+    def merge_counts(self, coll_counts: "np.ndarray", noncoll_counts: "np.ndarray") -> None:
+        """Lock-guarded saturating commit into the shared counter banks."""
+        with self.lock:  # type: ignore[union-attr]
+            super().merge_counts(coll_counts, noncoll_counts)
+
+    def counters_snapshot(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Private copies of (COLL, NONCOLL) — a worker's sync point."""
+        with self.lock:  # type: ignore[union-attr]
+            return self.coll.copy(), self.noncoll.copy()
+
+    def detach(self) -> None:
+        """Degrade to a private table: copy counters out, drop the views.
+
+        After ``detach`` the handle keeps working (reads its last-seen
+        counters) but no longer pins the segment, so the manager can close
+        the mapping; the segment itself lives until the owner unlinks it.
+        """
+        self.coll = self.coll.copy()
+        self.noncoll = self.noncoll.copy()
+        self._manager.close(self.spec.name)
+
+    def unlink(self) -> None:
+        """Unlink the backing segment (owner only; name disappears)."""
+        self.coll = self.coll.copy()
+        self.noncoll = self.noncoll.copy()
+        self._manager.unlink(self.spec.name)

@@ -1,0 +1,181 @@
+"""Worker-side shared-CHT protocol: sync once, batch deltas, merge on join.
+
+Pool workers must not chat with the shared counter banks per CDQ — that
+would serialize every lane on one lock and destroy the point of sharding.
+Instead each worker runs the *eventual-commit* protocol:
+
+1. **sync** — at worker start, snapshot the shared counters into a
+   private :class:`WorkerCHT` (one read of the whole table);
+2. **batch** — run the normal predict/update path against the private
+   copy, exactly as fast as a per-process table;
+3. **publish** — ship the *increments* since the last watermark
+   (:meth:`WorkerCHT.take_deltas`) back to the parent, which commits them
+   with the saturating
+   :meth:`~repro.core.cht.CollisionHistoryTable.merge_counts` primitive.
+
+Because the saturating bincount commit is associative and commutative up
+to saturation, delta batches from many workers can merge in any order
+and converge to the same counters. With a single writer the protocol is
+*bit-exact*: the worker synced from base ``B`` and finished at ``F``, so
+its deltas are ``F - B`` and ``min(B + (F - B), max) = F`` — the shared
+table lands exactly where a private run would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cht import CollisionHistoryTable
+from ..core.hashing import HashFunction
+from ..core.predictor import CHTPredictor
+from .segments import SegmentManager
+from .table import SharedCHT, SharedCHTSpec
+
+__all__ = ["CHTDeltas", "WorkerCHT", "SharedPredictorSpec"]
+
+
+@dataclass(frozen=True)
+class CHTDeltas:
+    """One worker's increments since its last watermark — the merge payload.
+
+    ``coll``/``noncoll`` are (size,) raw per-entry increment counts (the
+    exact shape :meth:`~repro.core.cht.CollisionHistoryTable.merge_counts`
+    consumes); the traffic fields carry the worker's CHT access statistics
+    over the same window so the parent can account total table traffic.
+    Plain ndarrays and ints, hence picklable across the pool boundary.
+    """
+
+    coll: "np.ndarray"
+    noncoll: "np.ndarray"
+    reads: int = 0
+    writes: int = 0
+    skipped_updates: int = 0
+
+    def publish(self, shared: SharedCHT) -> None:
+        """Commit this payload into a shared table (counters and traffic)."""
+        shared.merge_counts(self.coll, self.noncoll)
+        shared.reads += int(self.reads)
+        shared.writes += int(self.writes)
+        shared.skipped_updates += int(self.skipped_updates)
+
+    def is_empty(self) -> bool:
+        """True when the window saw no table traffic at all."""
+        return (
+            self.reads == 0
+            and self.writes == 0
+            and self.skipped_updates == 0
+            and not self.coll.any()
+            and not self.noncoll.any()
+        )
+
+
+class WorkerCHT(CollisionHistoryTable):
+    """A private CHT seeded from a shared table, with delta extraction.
+
+    Behaves exactly like :class:`~repro.core.cht.CollisionHistoryTable`
+    (it *is* one) so the predict-gated batch kernel and scalar Algorithm 1
+    run unchanged. The additions are the watermark — a snapshot of the
+    counters and traffic stats at the last :meth:`take_deltas` — and the
+    delta extraction itself.
+    """
+
+    def __init__(
+        self,
+        spec: SharedCHTSpec,
+        coll_base: "np.ndarray",
+        noncoll_base: "np.ndarray",
+        *,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        super().__init__(
+            size=spec.size, s=spec.s, u=spec.u, rng=rng, counter_bits=spec.counter_bits
+        )
+        self.spec = spec
+        self.coll[:] = coll_base
+        self.noncoll[:] = noncoll_base
+        self._mark_coll = self.coll.copy()
+        self._mark_noncoll = self.noncoll.copy()
+        self._mark_reads = 0
+        self._mark_writes = 0
+        self._mark_skipped = 0
+
+    @classmethod
+    def attach(
+        cls,
+        spec: SharedCHTSpec,
+        *,
+        manager: SegmentManager | None = None,
+        rng: "np.random.Generator | None" = None,
+    ) -> "WorkerCHT":
+        """Sync step: attach the segment, snapshot counters, go private.
+
+        The returned table holds no live views over the segment — workers
+        only pin the mapping long enough to copy the counters out, so the
+        owner can unlink at any time without racing worker reads.
+        """
+        shared = SharedCHT.attach(spec, manager=manager)
+        coll, noncoll = shared.counters_snapshot()
+        shared.detach()
+        return cls(spec, coll, noncoll, rng=rng)
+
+    def reset_watermark(self) -> None:
+        """Start a fresh delta window at the current counter/traffic state.
+
+        Called at shard start so a retried shard's payload contains only
+        the *successful* attempt's updates — a crashed attempt's partial
+        local writes are absorbed into the watermark, never published.
+        """
+        np.copyto(self._mark_coll, self.coll)
+        np.copyto(self._mark_noncoll, self.noncoll)
+        self._mark_reads = self.reads
+        self._mark_writes = self.writes
+        self._mark_skipped = self.skipped_updates
+
+    def take_deltas(self) -> CHTDeltas:
+        """Extract increments since the watermark and advance the watermark.
+
+        Saturated entries undercount (a counter pinned at ``counter_max``
+        reports delta 0 however many hits it absorbed) — exactly the loss
+        a sequential saturating run would also have, which is why the
+        single-writer merge stays bit-exact.
+        """
+        deltas = CHTDeltas(
+            coll=(self.coll - self._mark_coll).astype(np.int64),
+            noncoll=(self.noncoll - self._mark_noncoll).astype(np.int64),
+            reads=self.reads - self._mark_reads,
+            writes=self.writes - self._mark_writes,
+            skipped_updates=self.skipped_updates - self._mark_skipped,
+        )
+        self.reset_watermark()
+        return deltas
+
+
+@dataclass(frozen=True)
+class SharedPredictorSpec:
+    """Picklable recipe for a shared-table COORD/POSE predictor.
+
+    Carries the segment spec plus the hash function (hash functions are
+    small parameter objects and pickle cleanly), so the sharded driver can
+    pass one through pool initializer args and have every worker build an
+    identically-configured predictor over the same counter banks.
+    """
+
+    table: SharedCHTSpec
+    hash_function: HashFunction
+
+    def worker_predictor(
+        self,
+        *,
+        manager: SegmentManager | None = None,
+        rng: "np.random.Generator | None" = None,
+    ) -> CHTPredictor:
+        """Build a worker-local predictor synced from the shared banks."""
+        worker = WorkerCHT.attach(self.table, manager=manager, rng=rng)
+        return CHTPredictor(self.hash_function, worker)
+
+    @classmethod
+    def for_table(cls, shared: SharedCHT, hash_function: HashFunction) -> "SharedPredictorSpec":
+        """Describe an existing shared table + hash pairing."""
+        return cls(table=shared.spec, hash_function=hash_function)

@@ -156,6 +156,63 @@ class TestF001ForkSafety:
         assert findings == []
 
 
+class TestF002SharedMemoryLifecycle:
+    def test_fires_on_raw_create(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from multiprocessing import shared_memory\n"
+            "def make():\n"
+            "    return shared_memory.SharedMemory(create=True, size=4096)\n",
+        )
+        assert rule_ids(findings) == ["F002"]
+        assert "leaks" in findings[0].message
+
+    def test_fires_on_raw_attach_via_direct_import(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def attach(name):\n"
+            "    return SharedMemory(name=name)\n",
+        )
+        assert rule_ids(findings) == ["F002"]
+        assert "bpo-38119" in findings[0].message
+
+    def test_fires_on_module_path_call(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import multiprocessing.shared_memory\n"
+            "def make():\n"
+            "    return multiprocessing.shared_memory.SharedMemory(create=True, size=64)\n",
+        )
+        assert rule_ids(findings) == ["F002"]
+
+    def test_silent_when_routed_through_manager(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.sharedcht import SegmentManager\n"
+            "def make(manager: SegmentManager):\n"
+            "    return manager.create(4096)\n",
+        )
+        assert findings == []
+
+    def test_silent_in_test_files(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from multiprocessing import shared_memory\n"
+            "def fixture():\n"
+            "    return shared_memory.SharedMemory(create=True, size=64)\n",
+            filename="test_fixture.py",
+        )
+        assert findings == []
+
+    def test_manager_module_suppressions_carry_reasons(self):
+        source = (REPO_ROOT / "src" / "repro" / "sharedcht" / "segments.py").read_text()
+        suppressions = scan_suppressions(source)
+        f002 = [s for s in suppressions.values() if "F002" in s.rules]
+        assert len(f002) == 2
+        assert all(s.has_reason for s in f002)
+
+
 class TestC001SilentExcept:
     def test_fires_on_swallowing_handler(self, tmp_path):
         findings = lint_source(
@@ -443,7 +500,9 @@ class TestCli:
             assert rule_id in proc.stdout
 
 
-@pytest.mark.parametrize("rule_id", ["D001", "D002", "F001", "C001", "M001", "N001", "A001"])
+@pytest.mark.parametrize(
+    "rule_id", ["D001", "D002", "F001", "F002", "C001", "M001", "N001", "A001"]
+)
 def test_every_rule_is_registered_with_a_summary(rule_id):
     from tools.reprolint import RULES
 

@@ -1,0 +1,721 @@
+"""Tests for the shared-memory CHT banks (:mod:`repro.sharedcht`).
+
+Covers the three layers the subsystem spans:
+
+* the segment lifecycle (:class:`SegmentManager` never leaks ``/dev/shm``
+  entries, ownership is sticky, attach is cached);
+* the table and worker protocol (:class:`SharedCHT` parity with the
+  private table, :class:`WorkerCHT` sync/deltas/publish, order-invariant
+  saturating merges — property-tested with hypothesis);
+* the consumers: ``check_motions_sharded(shared_predictor=...)``
+  single-writer bit parity over a >1000-motion sweep, crash-retry
+  exactness with no leaked segments, and the serving layer's scene-keyed
+  sharing, coalescing, telemetry and stop-time unlink.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision import (
+    CoarseStepScheduler,
+    Motion,
+    check_motion_batch,
+    check_motions_sharded,
+)
+from repro.collision.detector import CollisionDetector
+from repro.core import ResilienceCounters
+from repro.core.cht import COUNTER_MAX, CollisionHistoryTable
+from repro.core.hashing import CoordHash
+from repro.core.predictor import CHTPredictor
+from repro.env.scene import Scene
+from repro.geometry import OBB
+from repro.kinematics import planar_2d
+from repro.resilience import FaultInjector, FaultSpec, RetryPolicy
+from repro.serving import CollisionService, ServiceConfig
+from repro.sharedcht import (
+    CHTDeltas,
+    SegmentManager,
+    SharedCHT,
+    SharedCHTSpec,
+    SharedPredictorSpec,
+    WorkerCHT,
+)
+
+
+def _random_scene(rng, count, span=1.0):
+    boxes = []
+    for _ in range(count):
+        rotation = np.linalg.qr(rng.normal(size=(3, 3)))[0]
+        if np.linalg.det(rotation) < 0:
+            rotation[:, 0] *= -1
+        boxes.append(OBB(rng.uniform(-span, span, 3), rng.uniform(0.02, 0.2, 3), rotation))
+    return Scene(boxes)
+
+
+def _make_motions(robot, rng, n, max_poses=12):
+    return [
+        Motion(
+            robot.random_configuration(rng),
+            robot.random_configuration(rng),
+            num_poses=int(rng.integers(2, max_poses + 1)),
+        )
+        for _ in range(n)
+    ]
+
+
+def _segment_exists(name):
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def run(coro):
+    """Drive one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+# -- segment lifecycle -------------------------------------------------------
+
+
+class TestSegmentManager:
+    def test_create_attach_unlink_roundtrip(self):
+        with SegmentManager() as mgr:
+            segment = mgr.create(128)
+            assert mgr.owns(segment.name)
+            assert segment.name in mgr.owned_names
+            assert _segment_exists(segment.name)
+            # attach of an owned name returns the cached handle, not a
+            # second mapping.
+            assert mgr.attach(segment.name) is segment
+            mgr.unlink(segment.name)
+            assert not _segment_exists(segment.name)
+            assert not mgr.owns(segment.name)
+
+    def test_shutdown_unlinks_owned(self):
+        mgr = SegmentManager()
+        names = [mgr.create(64).name for _ in range(3)]
+        assert all(_segment_exists(n) for n in names)
+        mgr.shutdown()
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_ownership_is_sticky_through_close(self):
+        # A handle detaching its views (SharedCHT.detach -> close) must not
+        # strip the manager's duty to unlink the segment at shutdown.
+        mgr = SegmentManager()
+        name = mgr.create(64).name
+        mgr.close(name)
+        assert mgr.owns(name)
+        assert _segment_exists(name)
+        mgr.shutdown()
+        assert not _segment_exists(name)
+
+    def test_unlink_is_idempotent(self):
+        mgr = SegmentManager()
+        name = mgr.create(64).name
+        mgr.unlink(name)
+        mgr.unlink(name)  # unknown / already-unlinked names are no-ops
+        mgr.shutdown()
+
+    def test_attacher_never_unlinks_foreign_segment(self):
+        owner = SegmentManager()
+        name = owner.create(256).name
+        try:
+            attacher = SegmentManager()
+            segment = attacher.attach(name)
+            assert segment.name == name
+            assert not attacher.owns(name)
+            assert name in attacher.attached_names
+            # Closing and shutting down the attacher must leave the
+            # owner's segment alive (bpo-38119 is the historical failure).
+            attacher.close(name)
+            attacher.shutdown()
+            assert _segment_exists(name)
+        finally:
+            owner.shutdown()
+        assert not _segment_exists(name)
+
+    def test_generated_names_are_prefixed_and_unique(self):
+        with SegmentManager() as mgr:
+            names = {mgr.create(32).name for _ in range(4)}
+            assert len(names) == 4
+            assert all(n.startswith("repro-cht-") for n in names)
+
+
+# -- the shared table --------------------------------------------------------
+
+
+class TestSharedCHT:
+    def test_create_zeroed_and_attach_sees_updates(self):
+        with SegmentManager() as mgr:
+            table = SharedCHT.create(size=256, s=0.0, manager=mgr)
+            assert table.occupancy() == 0.0
+            view = SharedCHT.attach(table.spec, manager=mgr)
+            table.update(17, True)
+            table.update(40, False)
+            assert view.coll[17 % 256] == 1
+            assert view.predict(17)
+            np.testing.assert_array_equal(view.coll, table.coll)
+
+    def test_matches_private_table_updates_and_predictions(self):
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, 1 << 16, size=400)
+        outcomes = rng.random(400) < 0.4
+        for s in (0.0, 1.0, 2.0):
+            with SegmentManager() as mgr:
+                shared = SharedCHT.create(size=128, s=s, manager=mgr)
+                private = CollisionHistoryTable(size=128, s=s)
+                shared.update_many(codes, outcomes)
+                private.update_many(codes, outcomes)
+                np.testing.assert_array_equal(shared.coll, private.coll)
+                np.testing.assert_array_equal(shared.noncoll, private.noncoll)
+                probes = rng.integers(0, 1 << 16, size=200)
+                np.testing.assert_array_equal(
+                    shared.probe_many(probes), private.probe_many(probes)
+                )
+                assert shared.reads == private.reads
+                assert shared.writes == private.writes
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = SharedCHTSpec(name="repro-cht-test", size=64, s=2.0, u=0.5)
+        again = pickle.loads(pickle.dumps(spec))
+        assert again == spec
+        assert again.nbytes() == spec.nbytes()
+
+    def test_detach_degrades_to_private(self):
+        with SegmentManager() as mgr:
+            table = SharedCHT.create(size=64, manager=mgr)
+            view = SharedCHT.attach(table.spec, manager=mgr)
+            table.update(5, True)
+            view.detach()
+            # The detached handle keeps its last-seen counters but no
+            # longer tracks the live segment.
+            assert view.coll[5] == 1
+            table.update(6, True)
+            assert view.coll[6] == 0
+            assert table.coll[6] == 1
+
+    def test_unlink_releases_the_name(self):
+        mgr = SegmentManager()
+        table = SharedCHT.create(size=64, manager=mgr)
+        name = table.spec.name
+        table.update(3, True)
+        table.unlink()
+        assert not _segment_exists(name)
+        assert table.coll[3] == 1  # still readable, now private
+        mgr.shutdown()
+
+
+# -- worker protocol ---------------------------------------------------------
+
+
+class TestWorkerCHT:
+    def test_sync_snapshots_shared_counters(self):
+        with SegmentManager() as mgr:
+            shared = SharedCHT.create(size=64, manager=mgr)
+            shared.update(9, True)
+            worker = WorkerCHT.attach(shared.spec, manager=mgr)
+            np.testing.assert_array_equal(worker.coll, shared.coll)
+            # The sync is a copy: later shared writes do not bleed in.
+            shared.update(10, True)
+            assert worker.coll[10] == 0
+
+    def test_take_deltas_window_and_publish(self):
+        with SegmentManager() as mgr:
+            shared = SharedCHT.create(size=64, manager=mgr)
+            shared.update(2, True)
+            worker = WorkerCHT.attach(shared.spec, manager=mgr)
+            worker.update(2, True)
+            worker.update(7, False)
+            deltas = worker.take_deltas()
+            assert deltas.coll[2] == 1 and deltas.coll.sum() == 1
+            assert deltas.noncoll[7] == 1 and deltas.noncoll.sum() == 1
+            assert deltas.writes == 2
+            # The watermark advanced: an immediate second window is empty.
+            assert worker.take_deltas().is_empty()
+            deltas.publish(shared)
+            np.testing.assert_array_equal(shared.coll, worker.coll)
+            np.testing.assert_array_equal(shared.noncoll, worker.noncoll)
+
+    def test_reset_watermark_absorbs_failed_attempt(self):
+        # A crashed attempt's partial writes must never be published: the
+        # retry resets the watermark first, so only the successful
+        # attempt's updates ride in the payload.
+        with SegmentManager() as mgr:
+            shared = SharedCHT.create(size=64, manager=mgr)
+            worker = WorkerCHT.attach(shared.spec, manager=mgr)
+            worker.update(1, True)  # "failed attempt" partial write
+            worker.reset_watermark()
+            worker.update(2, True)  # successful attempt
+            deltas = worker.take_deltas()
+            assert deltas.coll[1] == 0
+            assert deltas.coll[2] == 1
+
+    def test_is_empty(self):
+        zeros = np.zeros(8, dtype=np.int64)
+        assert CHTDeltas(coll=zeros, noncoll=zeros.copy()).is_empty()
+        assert not CHTDeltas(coll=zeros, noncoll=zeros.copy(), reads=1).is_empty()
+        bumped = zeros.copy()
+        bumped[3] = 1
+        assert not CHTDeltas(coll=bumped, noncoll=zeros.copy()).is_empty()
+
+
+# -- merge-primitive properties (hypothesis) ---------------------------------
+
+
+def _delta_batches(max_batches=4, size=24):
+    return st.lists(
+        st.lists(st.integers(0, 2 * COUNTER_MAX), min_size=size, max_size=size),
+        min_size=1,
+        max_size=max_batches,
+    )
+
+
+class TestMergeOrderInvariance:
+    @given(
+        base=st.lists(st.integers(0, COUNTER_MAX), min_size=24, max_size=24),
+        coll_batches=_delta_batches(),
+        noncoll_batches=_delta_batches(),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_saturating_commit_is_order_invariant(
+        self, base, coll_batches, noncoll_batches, seed
+    ):
+        # Pad the shorter list so every merge carries both columns.
+        rounds = max(len(coll_batches), len(noncoll_batches))
+        zeros = [0] * 24
+        coll_batches = (coll_batches + [zeros] * rounds)[:rounds]
+        noncoll_batches = (noncoll_batches + [zeros] * rounds)[:rounds]
+        batches = [
+            (np.array(c, dtype=np.int64), np.array(n, dtype=np.int64))
+            for c, n in zip(coll_batches, noncoll_batches)
+        ]
+        order = np.random.default_rng(seed).permutation(rounds)
+
+        def merged(sequence):
+            table = CollisionHistoryTable(size=24)
+            table.coll[:] = base
+            table.noncoll[:] = base
+            for c, n in sequence:
+                table.merge_counts(c, n)
+            return table
+
+        forward = merged(batches)
+        shuffled = merged([batches[i] for i in order])
+        np.testing.assert_array_equal(forward.coll, shuffled.coll)
+        np.testing.assert_array_equal(forward.noncoll, shuffled.noncoll)
+        # The invariant behind it: saturation commutes with addition here,
+        # so any order lands on min(base + sum(deltas), counter_max).
+        total_coll = np.minimum(
+            np.array(base) + sum(np.array(c) for c, _ in batches), COUNTER_MAX
+        )
+        np.testing.assert_array_equal(forward.coll, total_coll)
+
+    @given(
+        base=st.lists(st.integers(0, COUNTER_MAX), min_size=24, max_size=24),
+        coll_batches=_delta_batches(),
+        noncoll_batches=_delta_batches(),
+        seed=st.integers(0, 2**16),
+        s=st.sampled_from([0.0, 2.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shift_path_predictions_agree_after_any_merge_order(
+        self, base, coll_batches, noncoll_batches, seed, s
+    ):
+        # S=0 (COLL-only) and S=2 (left-shift comparator) are the two
+        # special shift paths; predictions over the merged table must not
+        # depend on the order the delta batches arrived in.
+        rounds = max(len(coll_batches), len(noncoll_batches))
+        zeros = [0] * 24
+        coll_batches = (coll_batches + [zeros] * rounds)[:rounds]
+        noncoll_batches = (noncoll_batches + [zeros] * rounds)[:rounds]
+        batches = [
+            (np.array(c, dtype=np.int64), np.array(n, dtype=np.int64))
+            for c, n in zip(coll_batches, noncoll_batches)
+        ]
+        order = np.random.default_rng(seed).permutation(rounds)
+
+        def predictions(sequence):
+            table = CollisionHistoryTable(size=24, s=s)
+            table.coll[:] = base
+            table.noncoll[:] = base
+            for c, n in sequence:
+                table.merge_counts(c, n)
+            return table.probe_many(np.arange(48))
+
+        np.testing.assert_array_equal(
+            predictions(batches), predictions([batches[i] for i in order])
+        )
+
+    @given(
+        base_coll=st.lists(st.integers(0, COUNTER_MAX), min_size=16, max_size=16),
+        base_noncoll=st.lists(st.integers(0, COUNTER_MAX), min_size=16, max_size=16),
+        codes=st.lists(st.integers(0, 2**20), min_size=0, max_size=80),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_writer_publish_lands_exactly(
+        self, base_coll, base_noncoll, codes, seed
+    ):
+        # The single-writer exactness argument: worker synced from base B,
+        # finished at F, publishes F - B; min(B + (F - B), max) == F.
+        rng = np.random.default_rng(seed)
+        outcomes = rng.random(len(codes)) < 0.5
+        with SegmentManager() as mgr:
+            shared = SharedCHT.create(size=16, manager=mgr)
+            shared.coll[:] = base_coll
+            shared.noncoll[:] = base_noncoll
+            worker = WorkerCHT.attach(shared.spec, manager=mgr)
+            if codes:
+                worker.update_many(np.array(codes), outcomes)
+            worker.take_deltas().publish(shared)
+            np.testing.assert_array_equal(shared.coll, worker.coll)
+            np.testing.assert_array_equal(shared.noncoll, worker.noncoll)
+
+
+# -- sharded driver: single-writer parity and crash recovery ----------------
+
+
+def _parity_pair(size, s, u):
+    """A shared predictor + an identically-configured private baseline."""
+    mgr = SegmentManager()
+    table = SharedCHT.create(size=size, s=s, u=u, manager=mgr)
+    shared_predictor = CHTPredictor(CoordHash(bits_per_axis=4), table)
+    baseline = CHTPredictor(
+        CoordHash(bits_per_axis=4), CollisionHistoryTable(size=size, s=s, u=u)
+    )
+    return mgr, table, shared_predictor, baseline
+
+
+def _assert_batches_match(sharded, sequential):
+    assert sharded.outcomes == sequential.outcomes
+    assert sharded.first_colliding_poses == sequential.first_colliding_poses
+    assert sharded.stats.cdqs_executed == sequential.stats.cdqs_executed
+    assert sharded.stats.cdqs_skipped == sequential.stats.cdqs_skipped
+    assert sharded.stats.narrow_phase_tests == sequential.stats.narrow_phase_tests
+
+
+class TestShardedSingleWriterParity:
+    def test_thousand_motion_parity(self):
+        # Acceptance sweep: >=1000 motions, sharded (max_workers=1,
+        # shared_predictor) vs a sequential private-table scalar run —
+        # verdicts, first poses, CDQ stats, counters and table traffic
+        # must all be bit-identical.
+        rng = np.random.default_rng(90)
+        robot = planar_2d()
+        scene = _random_scene(rng, 8)
+        detector = CollisionDetector(scene, robot)
+        motions = _make_motions(robot, rng, 1024)
+        mgr, table, shared_predictor, baseline = _parity_pair(1024, 0.0, 1.0)
+        try:
+            sharded = check_motions_sharded(
+                detector,
+                motions,
+                backend="batch",
+                max_workers=1,
+                seed=4,
+                shared_predictor=shared_predictor,
+            )
+            sequential = check_motion_batch(
+                detector, motions, predictor=baseline, backend="scalar"
+            )
+            assert len(sharded.outcomes) == 1024
+            _assert_batches_match(sharded, sequential)
+            np.testing.assert_array_equal(table.coll, baseline.table.coll)
+            np.testing.assert_array_equal(table.noncoll, baseline.table.noncoll)
+            assert table.reads == baseline.table.reads
+            assert table.writes == baseline.table.writes
+            assert table.skipped_updates == baseline.table.skipped_updates
+        finally:
+            mgr.shutdown()
+
+    @pytest.mark.parametrize("s,u", [(2.0, 1.0), (0.0, 0.5)])
+    def test_strategy_and_update_frequency_parity(self, s, u):
+        # The S=2 left-shift comparator and the U<1 RNG-sampled update
+        # stream both survive the sync/deltas/publish round trip.
+        rng = np.random.default_rng(17)
+        robot = planar_2d()
+        scene = _random_scene(rng, 6)
+        detector = CollisionDetector(scene, robot)
+        motions = _make_motions(robot, rng, 180)
+        mgr, table, shared_predictor, baseline = _parity_pair(512, s, u)
+        try:
+            sharded = check_motions_sharded(
+                detector,
+                motions,
+                CoarseStepScheduler(4),
+                backend="batch",
+                max_workers=1,
+                seed=1,
+                shared_predictor=shared_predictor,
+            )
+            sequential = check_motion_batch(
+                detector,
+                motions,
+                CoarseStepScheduler(4),
+                predictor=baseline,
+                backend="scalar",
+            )
+            _assert_batches_match(sharded, sequential)
+            np.testing.assert_array_equal(table.coll, baseline.table.coll)
+            np.testing.assert_array_equal(table.noncoll, baseline.table.noncoll)
+            assert table.skipped_updates == baseline.table.skipped_updates
+        finally:
+            mgr.shutdown()
+
+    def test_spec_entry_point_matches_predictor_entry_point(self):
+        # Passing a SharedPredictorSpec must behave exactly like passing a
+        # CHTPredictor over the same table.
+        rng = np.random.default_rng(23)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 5), robot)
+        motions = _make_motions(robot, rng, 60)
+        mgr = SegmentManager()
+        try:
+            table = SharedCHT.create(size=256, s=0.0, manager=mgr)
+            spec = SharedPredictorSpec.for_table(table, CoordHash(bits_per_axis=4))
+            via_spec = check_motions_sharded(
+                detector, motions, max_workers=1, seed=9, shared_predictor=spec
+            )
+            counters_via_spec = table.counters_snapshot()
+
+            other = SharedCHT.create(size=256, s=0.0, manager=mgr)
+            via_predictor = check_motions_sharded(
+                detector,
+                motions,
+                max_workers=1,
+                seed=9,
+                shared_predictor=CHTPredictor(CoordHash(bits_per_axis=4), other),
+            )
+            assert via_spec.outcomes == via_predictor.outcomes
+            np.testing.assert_array_equal(counters_via_spec[0], other.coll)
+            np.testing.assert_array_equal(counters_via_spec[1], other.noncoll)
+        finally:
+            mgr.shutdown()
+
+    def test_multi_worker_verdicts_exact_and_counters_converge(self):
+        # Multiple writers trade bit-exact stats for throughput, but
+        # verdicts stay exact (prediction only reorders/prunes CDQs) and
+        # every published delta lands in the shared banks.
+        rng = np.random.default_rng(5)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 7), robot)
+        motions = _make_motions(robot, rng, 96)
+        truth = check_motion_batch(detector, motions, backend="scalar")
+        mgr = SegmentManager()
+        try:
+            table = SharedCHT.create(size=512, s=0.0, manager=mgr)
+            sharded = check_motions_sharded(
+                detector,
+                motions,
+                backend="batch",
+                max_workers=3,
+                chunksize=8,
+                seed=2,
+                shared_predictor=CHTPredictor(CoordHash(bits_per_axis=4), table),
+            )
+            assert sharded.outcomes == truth.outcomes
+            assert table.occupancy() > 0.0
+            assert table.writes > 0
+        finally:
+            mgr.shutdown()
+
+    def test_rejects_private_table_predictor(self):
+        rng = np.random.default_rng(0)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 3), robot)
+        private = CHTPredictor.create(CoordHash(bits_per_axis=4), table_size=64)
+        with pytest.raises(TypeError, match="SharedCHT"):
+            check_motions_sharded(
+                detector, _make_motions(robot, rng, 4), shared_predictor=private
+            )
+
+
+class TestCrashRecovery:
+    def test_worker_crash_retries_exactly_and_leaks_nothing(self):
+        # A crashed worker loses its private WorkerCHT; the restarted
+        # worker re-syncs from the shared banks and the retried shard's
+        # payload carries only the successful attempt. The assembled run
+        # must equal a fault-free run bit for bit, and shutdown must leave
+        # no /dev/shm segment behind.
+        rng = np.random.default_rng(41)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 6), robot)
+        motions = _make_motions(robot, rng, 72)
+
+        def run_once(faults, counters=None):
+            mgr = SegmentManager()
+            table = SharedCHT.create(size=512, s=0.0, manager=mgr)
+            name = table.spec.name
+            result = check_motions_sharded(
+                detector,
+                motions,
+                backend="batch",
+                max_workers=1,
+                chunksize=12,
+                seed=6,
+                shared_predictor=CHTPredictor(CoordHash(bits_per_axis=4), table),
+                faults=faults,
+                retry=RetryPolicy(max_retries=3, base_delay_s=0.0, max_delay_s=0.0),
+                counters=counters,
+            )
+            counter_state = table.counters_snapshot()
+            mgr.shutdown()
+            return result, counter_state, name
+
+        clean, clean_counters, clean_name = run_once(None)
+        counters = ResilienceCounters()
+        faults = FaultInjector([FaultSpec(kind="crash", indices=(1, 3))], seed=8)
+        faulty, faulty_counters, faulty_name = run_once(faults, counters)
+
+        assert counters.counters["shard_retries"] >= 2
+        assert faulty.outcomes == clean.outcomes
+        assert faulty.first_colliding_poses == clean.first_colliding_poses
+        assert faulty.stats.cdqs_executed == clean.stats.cdqs_executed
+        np.testing.assert_array_equal(faulty_counters[0], clean_counters[0])
+        np.testing.assert_array_equal(faulty_counters[1], clean_counters[1])
+        assert not _segment_exists(clean_name)
+        assert not _segment_exists(faulty_name)
+
+
+# -- serving: scene-keyed sharing --------------------------------------------
+
+
+class TestServingSharedCHT:
+    def _service(self, **overrides):
+        config = dict(num_workers=2, max_batch=4, max_wait_ms=0.5, shared_cht=True)
+        config.update(overrides)
+        return CollisionService(ServiceConfig(**config))
+
+    def test_same_scene_sessions_share_one_bank(self):
+        rng = np.random.default_rng(3)
+        robot = planar_2d()
+        scene = _random_scene(rng, 4)
+        service = self._service()
+        a = service.open_session(scene, robot)
+        b = service.open_session(scene, robot)
+        other = service.open_session(_random_scene(rng, 4), robot)
+        sa, sb = service.session(a), service.session(b)
+        assert sa.shared is not None
+        assert sa.shared is sb.shared
+        assert sa.predictor is sb.predictor
+        # Same-bank sessions are pinned to the same worker so their
+        # requests can coalesce; a different scene gets its own bank.
+        assert sa.worker == sb.worker
+        assert service.session(other).shared is not sa.shared
+        run(service.stop())
+
+    def test_opt_outs_stay_private(self):
+        rng = np.random.default_rng(3)
+        robot = planar_2d()
+        scene = _random_scene(rng, 4)
+        service = self._service()
+        unpredicted = service.open_session(scene, robot, use_prediction=False)
+        explicit = service.open_session(
+            scene, robot, predictor=CHTPredictor.create(CoordHash(bits_per_axis=4))
+        )
+        assert service.session(unpredicted).shared is None
+        assert service.session(explicit).shared is None
+        run(service.stop())
+
+    def test_single_session_parity_with_private_baseline(self):
+        # Acceptance: one session under shared_cht answers bit-identically
+        # to the private-table scalar baseline — and the shared bank's
+        # final counters equal the baseline table's.
+        rng = np.random.default_rng(29)
+        robot = planar_2d()
+        scene = _random_scene(rng, 6)
+        motions = _make_motions(robot, rng, 64, max_poses=10)
+        detector = CollisionDetector(scene, robot)
+        baseline = CHTPredictor.create(
+            CoordHash(bits_per_axis=4), table_size=4096, s=0.0
+        )
+        expected = check_motion_batch(
+            detector, motions, predictor=baseline, backend="scalar"
+        )
+
+        service = self._service(num_workers=1, backend="scalar")
+
+        async def drive():
+            async with service:
+                sid = service.open_session(scene, robot)
+                table = service.session(sid).shared.table
+                results = []
+                for motion in motions:
+                    results.append(await service.submit(sid, motion))
+                counters = table.counters_snapshot()
+            return results, counters
+
+        results, (coll, noncoll) = run(drive())
+        assert [r.colliding for r in results] == expected.outcomes
+        assert all(r.status == "ok" for r in results)
+        np.testing.assert_array_equal(coll, baseline.table.coll)
+        np.testing.assert_array_equal(noncoll, baseline.table.noncoll)
+
+    def test_cross_session_coalescing_and_telemetry(self):
+        rng = np.random.default_rng(59)
+        robot = planar_2d()
+        scene = _random_scene(rng, 5)
+        motions = _make_motions(robot, rng, 24, max_poses=8)
+        service = self._service(num_workers=2, max_batch=8, max_wait_ms=20.0)
+
+        async def drive():
+            async with service:
+                a = service.open_session(scene, robot)
+                b = service.open_session(scene, robot)
+                sessions = [a, b]
+                results = await asyncio.gather(
+                    *(
+                        service.submit(sessions[i % 2], motion)
+                        for i, motion in enumerate(motions)
+                    )
+                )
+                snapshot = service.telemetry.snapshot()
+            return sessions, results, snapshot
+
+        (a, b), results, snapshot = run(drive())
+        assert all(r.status == "ok" for r in results)
+        assert snapshot["counters"].get("cross_session_batches", 0) > 0
+        cht = snapshot["cht"]
+        assert cht["sessions"][a]["shared"] == cht["sessions"][b]["shared"]
+        entry_id = cht["sessions"][a]["shared"]
+        entry = cht["shared_tables"][entry_id]
+        assert sorted(entry["sessions"]) == sorted([a, b])
+        assert entry["occupancy"] > 0.0
+        assert entry["reads"] > 0
+        assert entry["segment"].startswith("repro-cht-")
+
+    def test_stop_unlinks_shared_segments(self):
+        rng = np.random.default_rng(7)
+        robot = planar_2d()
+        service = self._service()
+        service.open_session(_random_scene(rng, 3), robot)
+        service.open_session(_random_scene(rng, 3), robot)
+        names = [
+            entry.table.spec.name for entry in service._shared_tables.values()
+        ]
+        assert len(names) == 2
+        assert all(_segment_exists(n) for n in names)
+        run(service.stop())
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_bank_outlives_sessions_until_stop(self):
+        rng = np.random.default_rng(13)
+        robot = planar_2d()
+        scene = _random_scene(rng, 3)
+        service = self._service()
+        sid = service.open_session(scene, robot)
+        entry = service.session(sid).shared
+        name = entry.table.spec.name
+        service.close_session(sid)
+        # The warm bank persists: a new same-scene session reattaches it.
+        assert _segment_exists(name)
+        again = service.open_session(scene, robot)
+        assert service.session(again).shared is entry
+        run(service.stop())
+        assert not _segment_exists(name)

@@ -343,6 +343,43 @@ class ForkSafetyRule(Rule):
         return False
 
 
+@register
+class SharedMemoryLifecycleRule(Rule):
+    """F002: shared-memory segments must go through the lifecycle manager."""
+
+    rule_id = "F002"
+    summary = (
+        "raw multiprocessing.shared_memory.SharedMemory construction; route "
+        "segments through repro.sharedcht.SegmentManager so crashes never "
+        "leak /dev/shm entries and attachers never unlink foreign segments"
+    )
+
+    _TARGET = "multiprocessing.shared_memory.SharedMemory"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.qualified_name(node.func) != self._TARGET:
+                continue
+            creates = any(
+                keyword.arg == "create"
+                and not (isinstance(keyword.value, ast.Constant) and keyword.value.value is False)
+                for keyword in node.keywords
+            )
+            role = "creates a segment" if creates else "attaches to a segment"
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"raw SharedMemory construction {role} outside the lifecycle "
+                "manager: a crash leaks the /dev/shm entry (create) or the "
+                "resource tracker unlinks a segment this process does not own "
+                "(attach, bpo-38119); use SegmentManager.create()/attach()",
+            )
+
+
 def _nested_function_names(tree: ast.Module) -> set[str]:
     """Names of functions defined inside other functions (closures)."""
     nested: set[str] = set()
