@@ -1,0 +1,109 @@
+"""Wavefront vs. scalar continuous checking: speedup + parity bench.
+
+Conservative advancement is a serial t-walk per motion, so the scalar
+checker pays full Python dispatch for every pose it evaluates. The
+wavefront kernel keeps one frontier pose per in-flight motion and batches
+FK + link packing + clearance bounds across the whole frontier each
+iteration. This bench runs both over the same randomized motion set,
+asserts bit-parity first (verdicts, ``poses_evaluated``, every
+:class:`QueryStats` field — and, on a second predicted pass, the CHT
+counter banks and RNG stream), then requires the throughput ratio to
+clear ``MIN_SPEEDUP``. Results land in
+``benchmarks/results/BENCH_continuous_batch.json`` for the CI regression
+gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.collision import BatchContinuousKernel, ContinuousMotionChecker
+from repro.core import CHTPredictor, CollisionHistoryTable, CoordHash
+from repro.env.generators import random_2d_scene
+from repro.kinematics import planar_2d
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_MOTIONS = 512
+NUM_OBSTACLES = 10
+MIN_SPEEDUP = 5.0
+
+
+def _predictor(seed: int) -> CHTPredictor:
+    return CHTPredictor(
+        CoordHash(bits_per_axis=4),
+        CollisionHistoryTable(size=1024, s=1.0, u=0.5, rng=np.random.default_rng(seed)),
+    )
+
+
+def _workload(seed: int):
+    robot = planar_2d()
+    scene = random_2d_scene(np.random.default_rng(seed), num_obstacles=NUM_OBSTACLES)
+    rng = np.random.default_rng(seed + 1)
+    starts = [robot.random_configuration(rng) for _ in range(NUM_MOTIONS)]
+    ends = [robot.random_configuration(rng) for _ in range(NUM_MOTIONS)]
+    return robot, scene, starts, ends
+
+
+def test_bench_continuous_batch(benchmark, bench_seed):
+    robot, scene, starts, ends = _workload(bench_seed)
+    checker = ContinuousMotionChecker(scene, robot)
+    kernel = BatchContinuousKernel(ContinuousMotionChecker(scene, robot))
+
+    # -- parity oracle: the scalar walk, motion by motion.
+    start_t = time.perf_counter()
+    scalar = [checker.check_motion(a, b) for a, b in zip(starts, ends)]
+    scalar_s = time.perf_counter() - start_t
+
+    def batch_run():
+        return kernel.check_motions(starts, ends)
+
+    batch = benchmark.pedantic(batch_run, rounds=5, iterations=1, warmup_rounds=1)
+    start_t = time.perf_counter()
+    batch_run()
+    batch_s = time.perf_counter() - start_t
+
+    for a, b in zip(scalar, batch):
+        assert a.collided == b.collided
+        assert a.poses_evaluated == b.poses_evaluated
+        assert asdict(a.stats) == asdict(b.stats)
+
+    # -- predicted pass: same parity bar, plus table counters + RNG stream
+    # (not part of the timed metric; the gate replay is inherently serial).
+    ps, pb = _predictor(bench_seed), _predictor(bench_seed)
+    scalar_p = [checker.check_motion(a, b, ps) for a, b in zip(starts, ends)]
+    batch_p = kernel.check_motions(starts, ends, pb)
+    for a, b in zip(scalar_p, batch_p):
+        assert a.collided == b.collided
+        assert asdict(a.stats) == asdict(b.stats)
+    assert np.array_equal(ps.table.coll, pb.table.coll)
+    assert np.array_equal(ps.table.noncoll, pb.table.noncoll)
+    assert ps.table.writes == pb.table.writes
+    assert ps.table.rng.random() == pb.table.rng.random()
+
+    poses = sum(r.poses_evaluated for r in scalar)
+    speedup = scalar_s / batch_s
+    payload = {
+        "workload": {
+            "motions": NUM_MOTIONS,
+            "obstacles": NUM_OBSTACLES,
+            "poses_evaluated": poses,
+            "colliding_fraction": float(np.mean([r.collided for r in scalar])),
+        },
+        "scalar_us_per_pose": 1e6 * scalar_s / poses,
+        "batch_us_per_pose": 1e6 * batch_s / poses,
+        "speedup": speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_continuous_batch.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+    assert speedup >= MIN_SPEEDUP

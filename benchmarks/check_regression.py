@@ -26,7 +26,10 @@ Tracked metrics:
 * ``BENCH_shared_cht.json`` — ``warm_cdq_reduction``, the fraction of
   executed CDQs a scene-keyed shared table saves over per-session private
   tables (higher is better; deterministic, so it transfers across
-  machines).
+  machines);
+* ``BENCH_continuous_batch.json`` — ``speedup`` of the wavefront
+  conservative-advancement kernel over the scalar checker (higher is
+  better; a ratio).
 
 A metric missing from the baseline (first run of a new bench) is reported
 and skipped rather than failed, so adding a bench and its baseline can
@@ -50,6 +53,7 @@ METRICS = [
     ("BENCH_predictor_batch.json", "speedup", "up"),
     ("BENCH_resilience.json", "qps_retention", "up"),
     ("BENCH_shared_cht.json", "warm_cdq_reduction", "up"),
+    ("BENCH_continuous_batch.json", "speedup", "up"),
 ]
 
 

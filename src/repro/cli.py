@@ -13,10 +13,11 @@ Commands
 ``simulate --workloads FILE [--cdus N] [--no-copu]``
     Replay a saved workload suite through the accelerator simulator and
     print the report.
-``serve --selftest [--shared-cht]``
+``serve --selftest [--shared-cht] [--query-type T]``
     Start the async collision service in-process, drive it with a small
     generated workload, and print the telemetry snapshot. ``--shared-cht``
-    shares one CHT bank per scene across sessions.
+    shares one CHT bank per scene across sessions; ``--query-type``
+    submits the selftest as motion, pose, or continuous queries.
 ``loadtest --workloads FILE [--qps Q] [--queue-bound N] [--policy P]``
     Replay a saved workload suite through the async service at a target
     QPS (open-loop arrivals) and print the load report plus telemetry.
@@ -40,6 +41,7 @@ from . import __version__
 from .analysis.report import Table
 from .collision.detector import CollisionDetector
 from .collision.pipeline import BACKENDS
+from .serving.admission import QUERY_TYPES
 from .hardware.accelerator import AcceleratorSimulator
 from .hardware.config import baseline_config, copu_config
 from .workloads.benchmarks import BENCHMARK_NAMES, make_benchmark
@@ -155,11 +157,13 @@ def _cmd_serve(args) -> int:
             ]
             results = await asyncio.gather(
                 *(
-                    service.submit(sessions[i % 2], motion)
+                    service.submit(sessions[i % 2], motion, query_type=args.query_type)
                     for i, motion in enumerate(motions)
                 )
             )
-            fallback = await service.submit(sessions[0], motions[0], deadline_ms=0.0)
+            fallback = await service.submit(
+                sessions[0], motions[0], deadline_ms=0.0, query_type=args.query_type
+            )
             # Snapshot before the context exit: service.stop() releases the
             # shared CHT banks, which would blank the "cht" section.
             snapshot_json = service.telemetry.to_json()
@@ -225,6 +229,7 @@ def _cmd_loadtest(args) -> int:
         max_requests=args.max_requests,
         deadline_ms=args.deadline_ms,
         sessions_per_scene=args.sessions_per_scene,
+        query_type=args.query_type,
     )
 
     async def run():
@@ -292,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--backend", choices=BACKENDS, default="scalar")
     serve.add_argument(
+        "--query-type",
+        choices=QUERY_TYPES,
+        default="motion",
+        help="query semantics the selftest submits (motion, pose, or continuous)",
+    )
+    serve.add_argument(
         "--shared-cht",
         action="store_true",
         help="share one CHT bank per scene across sessions (repro.sharedcht)",
@@ -311,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--queue-bound", type=int, default=64)
     loadtest.add_argument("--policy", choices=("reject", "block"), default="reject")
     loadtest.add_argument("--backend", choices=BACKENDS, default="scalar")
+    loadtest.add_argument(
+        "--query-type",
+        choices=QUERY_TYPES,
+        default="motion",
+        help="query semantics every replayed request carries",
+    )
     loadtest.add_argument(
         "--shared-cht",
         action="store_true",

@@ -1,18 +1,23 @@
 """Collision detection: CDQs, schedulers, Algorithm 1, parallel models."""
 
 from .batch_pipeline import BatchMotionKernel, check_motion_batched, check_motions_sharded
-from .continuous import ContinuousCheckResult, ContinuousMotionChecker
+from .continuous import ContinuousCheckResult, ContinuousMotionChecker, link_clearance_gaps
+from .continuous_batch import BatchContinuousKernel
 from .detector import CollisionDetector, coord_key, pose_key
 from .parallel import ParallelCostModel, ParallelRunResult, run_parallel_batch
 from .pipeline import (
     BACKENDS,
     BatchResult,
     Motion,
+    check_continuous_batch,
     check_motion,
     check_motion_batch,
+    check_pose_batch,
+    check_pose_many,
     compare_schedulers,
     get_default_backend,
     predict_motion,
+    predict_pose,
     set_default_backend,
 )
 from .queries import CDQ, MotionCheckResult, QueryStats
@@ -25,8 +30,10 @@ __all__ = [
     "check_motions_sharded",
     "get_default_backend",
     "set_default_backend",
+    "BatchContinuousKernel",
     "ContinuousCheckResult",
     "ContinuousMotionChecker",
+    "link_clearance_gaps",
     "CollisionDetector",
     "coord_key",
     "pose_key",
@@ -37,8 +44,12 @@ __all__ = [
     "Motion",
     "check_motion",
     "check_motion_batch",
+    "check_pose_batch",
+    "check_pose_many",
+    "check_continuous_batch",
     "compare_schedulers",
     "predict_motion",
+    "predict_pose",
     "CDQ",
     "MotionCheckResult",
     "QueryStats",

@@ -63,6 +63,7 @@ from .queries import MotionCheckResult, QueryStats
 from .scheduling import NaiveScheduler, PoseScheduler
 
 if TYPE_CHECKING:
+    from ..core.cht import CollisionHistoryTable
     from ..core.metrics import ResilienceCounters
     from .pipeline import BatchResult, Motion
 
@@ -259,12 +260,39 @@ class BatchMotionKernel:
         if keys is None:
             return None
         row_order = self._row_order(pose_ids, order)
-        total = len(row_order)
         stats = QueryStats(motions_checked=1, poses_checked=num_poses)
         outcomes, tests = self._row_outcomes(pack, kind, row_order)
-
-        table = predictor.table
         codes = np.asarray(predictor.hash_function.hash_many(keys[row_order]), dtype=np.int64)
+        hit_row = self._gated_scan(outcomes, tests, codes, predictor.table, stats)
+        if hit_row < 0:
+            return MotionCheckResult(collided=False, stats=stats)
+        stats.motions_colliding = 1
+        return MotionCheckResult(
+            collided=True,
+            stats=stats,
+            first_colliding_pose=int(pose_ids[row_order[hit_row]]),
+        )
+
+    def _gated_scan(
+        self,
+        outcomes: np.ndarray,
+        tests: np.ndarray,
+        codes: np.ndarray,
+        table: "CollisionHistoryTable",
+        stats: QueryStats,
+    ) -> int:
+        """Algorithm 1's gate over one query's precomputed row arrays.
+
+        The sequential heart shared by :meth:`check_motion_predicted`
+        (whole-motion row stream) and :meth:`check_poses` (per-pose row
+        slices): replays the scalar predict/execute/observe ordering over
+        batched outcome, test-count and hash-code vectors, leaving the
+        table's counters, statistics and RNG stream exactly as the scalar
+        loop would. Accumulates executed/skipped/test/prediction counts
+        into ``stats`` and returns the row index of the early exit (-1
+        when the scan completes collision-free).
+        """
+        total = len(codes)
         indices = codes % table.size
         preds = table.probe_many(codes)
 
@@ -313,18 +341,81 @@ class BatchMotionKernel:
                     hit_row = int(run[-1])
 
         table.reads += predictions_made
-        stats.predictions_made = predictions_made
-        stats.cdqs_executed = executed
-        stats.narrow_phase_tests = tests_total
-        if hit_row < 0:
-            return MotionCheckResult(collided=False, stats=stats)
-        stats.cdqs_skipped = total - executed
-        stats.motions_colliding = 1
-        return MotionCheckResult(
-            collided=True,
-            stats=stats,
-            first_colliding_pose=int(pose_ids[row_order[hit_row]]),
-        )
+        stats.predictions_made += predictions_made
+        stats.cdqs_executed += executed
+        stats.narrow_phase_tests += tests_total
+        if hit_row >= 0:
+            stats.cdqs_skipped += total - executed
+        return hit_row
+
+    def check_poses(
+        self,
+        qs: ArrayLike,
+        predictor: Predictor | None = None,
+    ) -> "list[MotionCheckResult] | None":
+        """Batched pose-environment checks over a (P, dof) pose array.
+
+        One FK + volume-packing + outcome-matrix pass covers every pose;
+        per-pose results are then derived slice by slice (poses are
+        independent queries, so rows never cross pose boundaries). Without
+        a predictor the slice derivation replicates the scalar in-order
+        early-exit scan of :meth:`CollisionDetector.check_pose`; with a
+        CHT predictor one :meth:`~repro.core.hashing.HashFunction.hash_many`
+        pass covers all rows and :meth:`_gated_scan` replays Algorithm 1's
+        gate per pose slice — in submission order, so a shared table
+        evolves exactly as the scalar per-pose loop would. Returns None
+        when the configuration needs the scalar engine (non-CHT predictor,
+        custom key function, or a hash too wide to vectorize).
+        """
+        robot = self.detector.robot
+        poses = np.stack([robot.validate_configuration(q) for q in np.asarray(qs, dtype=float)])
+        num_poses = poses.shape[0]
+        cht: CHTPredictor | None = None
+        if predictor is not None:
+            if not isinstance(predictor, CHTPredictor) or not predictor.hash_function.vectorizable:
+                return None
+            cht = predictor
+        pack, pose_ids, kind = self._pack_motion(poses)
+        codes: np.ndarray | None = None
+        table = None
+        if cht is not None:
+            keys = self._row_keys(pack, pose_ids, poses)
+            if keys is None:
+                return None
+            codes = np.asarray(cht.hash_function.hash_many(keys), dtype=np.int64)
+            table = cht.table
+        total = len(pose_ids)
+        outcomes, tests = self._row_outcomes(pack, kind, np.arange(total))
+        row_starts = np.searchsorted(pose_ids, np.arange(num_poses + 1))
+
+        results: list[MotionCheckResult] = []
+        for p in range(num_poses):
+            lo, hi = int(row_starts[p]), int(row_starts[p + 1])
+            stats = QueryStats(poses_checked=1)
+            pose_outcomes = outcomes[lo:hi]
+            if codes is not None and table is not None:
+                hit_row = self._gated_scan(
+                    pose_outcomes, tests[lo:hi], codes[lo:hi], table, stats
+                )
+                collided = hit_row >= 0
+            elif pose_outcomes.any():
+                first = int(np.argmax(pose_outcomes))
+                stats.cdqs_executed = first + 1
+                stats.cdqs_skipped = (hi - lo) - (first + 1)
+                stats.narrow_phase_tests = int(tests[lo : lo + first + 1].sum())
+                collided = True
+            else:
+                stats.cdqs_executed = hi - lo
+                stats.narrow_phase_tests = int(tests[lo:hi].sum())
+                collided = False
+            results.append(
+                MotionCheckResult(
+                    collided=collided,
+                    stats=stats,
+                    first_colliding_pose=0 if collided else None,
+                )
+            )
+        return results
 
     def predict_motion(
         self,

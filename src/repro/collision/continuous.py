@@ -11,32 +11,118 @@ This module implements that algorithm — conservative advancement with
 per-pose clearance bounds — both as a substrate in its own right and as
 the demonstration of the paper's scope claim: prediction may reorder the
 CDQs of a single pose, but cannot skip ahead along the motion.
+
+The scalar checker's geometry is computed through the same vectorized
+primitives as the wavefront kernel
+(:class:`repro.collision.continuous_batch.BatchContinuousKernel`):
+one-pose batch FK (:meth:`~repro.kinematics.robots.RobotModel.batch_pose_obbs`)
+and the (points x obstacles) distance kernel
+(:func:`repro.geometry.batch.point_obstacle_distances`). That makes
+scalar <-> batch bit-identity *structural* — both paths evaluate the same
+floating-point expressions on the same arrays — instead of something a
+parity test has to hope for.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
 import numpy as np
 
 from numpy.typing import ArrayLike
 
 from ..core.predictor import Predictor
 from ..env.scene import Scene
-from ..geometry.distance import point_obb_distance
+from ..geometry.batch import ObstacleSet, point_obstacle_distances
 from ..kinematics.robots import RobotModel
 from .queries import QueryStats
 
-__all__ = ["ContinuousCheckResult", "ContinuousMotionChecker"]
+__all__ = [
+    "ContinuousCheckResult",
+    "ContinuousMotionChecker",
+    "link_clearance_gaps",
+]
 
 
-@dataclass
+@dataclass(frozen=True)
 class ContinuousCheckResult:
-    """Outcome of a conservative-advancement motion check."""
+    """Outcome of a conservative-advancement motion check.
+
+    Frozen with ``__slots__`` like the other result records: a finished
+    check is immutable evidence, and the advancement loop allocates one
+    per motion, so the per-instance dict is pure overhead.
+    """
+
+    __slots__ = ("collided", "poses_evaluated", "stats")
 
     collided: bool
     poses_evaluated: int
     stats: QueryStats
+
+
+def link_clearance_gaps(
+    centers: np.ndarray,
+    half_extents: np.ndarray,
+    obstacles: ObstacleSet | None,
+) -> np.ndarray:
+    """Conservative per-volume obstacle clearance -> (M,) gaps.
+
+    For packed link volume ``m`` with center ``c_m`` and circumscribed
+    radius ``r_m = |half_extents_m|``, the gap is
+    ``min_n max(0, d(c_m, obstacle_n) - r_m)`` — the bounding-sphere
+    lower bound on the true link-obstacle separation (``inf`` with no
+    obstacles). Never over-estimates, which is the property conservative
+    advancement requires; shared verbatim by the scalar checker and the
+    wavefront kernel so their clearances agree bit-for-bit.
+    """
+    if obstacles is None:
+        return np.full(len(centers), np.inf)
+    radii = np.linalg.norm(half_extents, axis=1)
+    dists = point_obstacle_distances(centers, obstacles)
+    return np.maximum(0.0, dists - radii[:, None]).min(axis=1)
+
+
+def advance_gate(
+    gaps: np.ndarray,
+    centers: np.ndarray,
+    predictor: Predictor | None,
+    stats: QueryStats,
+    tolerance: float,
+) -> float:
+    """One pose's CDQ gate over precomputed clearance bounds.
+
+    With a predictor, links predicted to collide are evaluated first —
+    the only freedom the paper notes continuous checking leaves for
+    prediction (all predictions are made before any execution, then the
+    flagged + rest order executes with ``observe`` feedback). Early exit
+    on a touching link returns clearance ``0.0`` and records the
+    remaining links as skipped CDQs — identically in the predicted and
+    unpredicted paths, so parity tests can assert on stats.
+    """
+    num_links = len(gaps)
+    order: "range | list[int]" = range(num_links)
+    if predictor is not None:
+        flagged: list[int] = []
+        rest: list[int] = []
+        for i in range(num_links):
+            stats.predictions_made += 1
+            if predictor.predict(centers[i]):
+                stats.predicted_colliding += 1
+                flagged.append(i)
+            else:
+                rest.append(i)
+        order = flagged + rest
+    clearance = float("inf")
+    for rank, i in enumerate(order):
+        stats.cdqs_executed += 1
+        gap = float(gaps[i])
+        hit = gap <= tolerance
+        if predictor is not None:
+            predictor.observe(centers[i], hit)
+        if hit:
+            stats.cdqs_skipped += num_links - (rank + 1)
+            return 0.0
+        clearance = min(clearance, gap)
+    return clearance
 
 
 class ContinuousMotionChecker:
@@ -64,47 +150,39 @@ class ContinuousMotionChecker:
         self.robot = robot
         self.min_step = float(min_step)
         self.collision_tolerance = float(collision_tolerance)
+        self._obstacle_list: "list | None" = None
+        self._obstacle_count = -1
+        self._obstacles: ObstacleSet | None = None
+
+    def obstacle_set(self) -> ObstacleSet | None:
+        """Packed obstacles (None for an empty scene), cached per scene state.
+
+        Rebuilt whenever the scene's obstacle list changes, mirroring
+        :meth:`~repro.collision.batch_pipeline.BatchMotionKernel.matches_scene`.
+        """
+        scene = self.scene
+        stale = scene.obstacles is not self._obstacle_list
+        if stale or scene.num_obstacles != self._obstacle_count:
+            self._obstacle_list = scene.obstacles
+            self._obstacle_count = scene.num_obstacles
+            self._obstacles = ObstacleSet(scene.obstacles) if scene.num_obstacles else None
+        return self._obstacles
+
+    def pose_link_gaps(self, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(L,) conservative link clearances and (L, 3) centers for one pose."""
+        pack = self.robot.batch_pose_obbs(np.asarray(q, dtype=float)[None, :])
+        centers = np.asarray(pack.centers, dtype=float)
+        gaps = link_clearance_gaps(
+            centers, np.asarray(pack.half_extents, dtype=float), self.obstacle_set()
+        )
+        return gaps, centers
 
     def _pose_clearance(
         self, q: np.ndarray, predictor: Predictor | None, stats: QueryStats
     ) -> float:
-        """Minimum obstacle clearance over the pose's link volumes.
-
-        With a predictor, links predicted to collide are evaluated first —
-        the only freedom the paper notes continuous checking leaves for
-        prediction. Early exit on a touching link.
-        """
-        boxes = self.robot.pose_obbs(q)
-        order = range(len(boxes))
-        if predictor is not None:
-            flagged = []
-            rest = []
-            for i, box in enumerate(boxes):
-                stats.predictions_made += 1
-                if predictor.predict(box.center):
-                    stats.predicted_colliding += 1
-                    flagged.append(i)
-                else:
-                    rest.append(i)
-            order = flagged + rest
-        clearance = float("inf")
-        for i in order:
-            box = boxes[i]
-            stats.cdqs_executed += 1
-            gap = min(
-                (
-                    max(0.0, point_obb_distance(box.center, obstacle) - float(np.linalg.norm(box.half_extents)))
-                    for obstacle in self.scene.obstacles
-                ),
-                default=float("inf"),
-            )
-            hit = gap <= self.collision_tolerance
-            if predictor is not None:
-                predictor.observe(box.center, hit)
-            if hit:
-                return 0.0
-            clearance = min(clearance, gap)
-        return clearance
+        """Minimum obstacle clearance over the pose's link volumes."""
+        gaps, centers = self.pose_link_gaps(q)
+        return advance_gate(gaps, centers, predictor, stats, self.collision_tolerance)
 
     def check_motion(
         self, start: ArrayLike, end: ArrayLike, predictor: Predictor | None = None
@@ -115,8 +193,12 @@ class ContinuousMotionChecker:
         stats = QueryStats(motions_checked=1)
         length = float(np.linalg.norm(end - start))
         if length < 1e-12:
+            stats.poses_checked = 1
             clearance = self._pose_clearance(start, predictor, stats)
-            return ContinuousCheckResult(clearance <= 0.0, 1, stats)
+            collided = clearance <= 0.0
+            if collided:
+                stats.motions_colliding = 1
+            return ContinuousCheckResult(collided, 1, stats)
 
         # Conservative workspace-speed bound for a unit joint-space step.
         reach = getattr(self.robot, "reach", lambda: 1.0)()

@@ -1,0 +1,269 @@
+"""Wavefront-vectorized conservative advancement.
+
+The discrete kernels (:mod:`repro.collision.batch_pipeline`) batch a
+motion's poses because they are all known up front. Conservative
+advancement is the opposite shape — Sec. VII's serial dependence: pose
+``k+1``'s parameter depends on pose ``k``'s clearance, so one motion's
+poses cannot be batched. What *can* be batched is a **wavefront across
+motions**: at each advancement round, every still-active motion
+contributes its current pose, and one batched FK + volume-packing +
+clearance pass (:func:`repro.collision.continuous.link_clearance_gaps`)
+serves the whole front.
+
+The key observation that keeps this bit-identical to
+:class:`~repro.collision.continuous.ContinuousMotionChecker` even with a
+*shared* predictor: the advancement trajectory is predictor-independent.
+A pose's clearance is ``0.0`` when any link touches, else the
+order-independent minimum over all link gaps — prediction only reorders
+which link is inspected first within the pose (the paper's scope claim).
+So the kernel runs in two phases, the PR-5 masked-gate discipline applied
+to continuous checking:
+
+1. **geometry wavefront** — advance all motions together, recording each
+   evaluated pose's per-link gaps and centers; every floating-point
+   expression (pose interpolation, FK, gap kernel, step rule) is the one
+   the scalar checker evaluates, and the batched primitives are
+   batch-size independent, so the ``t`` sequences and ``poses_evaluated``
+   match the scalar loop bit-for-bit;
+2. **gate replay** — one :meth:`~repro.core.hashing.HashFunction.hash_many`
+   pass over every evaluated link center, then the per-pose CDQ gate
+   replays sequentially in motion-major order over the precomputed gap
+   rows: batched table probes (:meth:`~repro.core.cht.CollisionHistoryTable.predict_many`)
+   stand in for the scalar per-link ``predict`` calls (no write happens
+   between one pose's predictions, so one probe is exact) and the
+   executed run drains through the sequential-equivalent
+   :meth:`~repro.core.cht.CollisionHistoryTable.update_many` — preserving
+   the table's counters, statistics and RNG draw order exactly as if the
+   motions had been checked one at a time.
+
+Configurations the replay cannot vectorize (non-CHT predictors, hashes
+too wide for ``hash_many``) fall back to the scalar checker per motion —
+the same routing contract as the discrete predict-gated kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from numpy.typing import ArrayLike
+
+from ..core.predictor import CHTPredictor, Predictor
+from .continuous import (
+    ContinuousCheckResult,
+    ContinuousMotionChecker,
+    link_clearance_gaps,
+)
+from .queries import QueryStats
+
+__all__ = ["BatchContinuousKernel"]
+
+
+class _MotionTrace:
+    """Geometry trace of one motion's conservative advancement.
+
+    Phase 1 fills it with the verdict, pose count and one (gaps, centers)
+    row per evaluated pose; phase 2 derives statistics and replays the
+    prediction gate against it.
+    """
+
+    __slots__ = ("collided", "poses", "gap_rows", "center_rows")
+
+    def __init__(self) -> None:
+        self.collided = False
+        self.poses = 0
+        self.gap_rows: list[np.ndarray] = []
+        self.center_rows: list[np.ndarray] = []
+
+
+class BatchContinuousKernel:
+    """Vectorized conservative advancement bound to one scalar checker.
+
+    Shares the checker's scene, robot, ``min_step`` and
+    ``collision_tolerance``; every :meth:`check_motions` call is a
+    geometry wavefront across the motions plus a sequential gate replay,
+    bit-identical to looping ``checker.check_motion`` over the same
+    motions (verdicts, ``poses_evaluated``, :class:`QueryStats`, CHT
+    counters and the RNG stream).
+    """
+
+    def __init__(self, checker: ContinuousMotionChecker) -> None:
+        self.checker = checker
+
+    # -- phase 1: geometry wavefront ----------------------------------------
+
+    def _trace_motions(
+        self, starts: list[np.ndarray], ends: list[np.ndarray]
+    ) -> list[_MotionTrace]:
+        """Advance all motions together, recording per-pose gap rows.
+
+        Replays the scalar advancement loop per motion — same pose
+        expression, same hit/clearance rule, same step rule, same
+        zero-length special case — but evaluates the whole wavefront's
+        link gaps in one batched FK + distance pass per round.
+        """
+        checker = self.checker
+        robot = checker.robot
+        obstacles = checker.obstacle_set()
+        tol = checker.collision_tolerance
+        num_links = robot.num_links
+        reach = getattr(robot, "reach", lambda: 1.0)()
+        speed_bound = max(reach, 1e-6)
+
+        count = len(starts)
+        starts_arr = np.stack(starts).astype(float, copy=False)
+        deltas_arr = np.stack(ends).astype(float, copy=False) - starts_arr
+        # Per-motion norms exactly as the scalar loop computes them (a 2D
+        # axis reduction may sum in a different order).
+        lengths = np.array([float(np.linalg.norm(d)) for d in deltas_arr])
+        zero_len = lengths < 1e-12
+        traces = [_MotionTrace() for _ in range(count)]
+        collided = np.zeros(count, dtype=bool)
+        t = np.zeros(count)
+        active = np.arange(count)
+        rounds: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        while active.size:
+            qs = starts_arr[active] + t[active, None] * deltas_arr[active]
+            pack = robot.batch_pose_obbs(qs)
+            centers = np.asarray(pack.centers, dtype=float)
+            gaps = link_clearance_gaps(
+                centers, np.asarray(pack.half_extents, dtype=float), obstacles
+            )
+            gap_rows = gaps.reshape(active.size, num_links)
+            center_rows = centers.reshape(active.size, num_links, 3)
+            rounds.append((active, gap_rows, center_rows))
+            # The gate's pose clearance: 0.0 on a touching link, else the
+            # (order-independent) minimum link gap. Elementwise across the
+            # front these are the scalar expressions verbatim.
+            hit = (gap_rows <= tol).any(axis=1)
+            clearance = np.where(hit, 0.0, gap_rows.min(axis=1))
+            coll_now = clearance <= 0.0
+            collided[active] |= coll_now
+            # Zero-length motions: a single pose evaluation, then done.
+            keep = ~zero_len[active] & ~coll_now & (t[active] < 1.0)
+            nxt = active[keep]
+            step = np.maximum(
+                clearance[keep] / (speed_bound * lengths[nxt]),
+                checker.min_step / np.maximum(lengths[nxt], 1e-9),
+            )
+            t[nxt] = np.minimum(1.0, t[nxt] + step)
+            active = nxt
+        for act, gap_rows, center_rows in rounds:
+            for row, i in enumerate(act):
+                traces[i].gap_rows.append(gap_rows[row])
+                traces[i].center_rows.append(center_rows[row])
+        for i, trace in enumerate(traces):
+            trace.poses = len(trace.gap_rows)
+            trace.collided = bool(collided[i])
+        return traces
+
+    # -- phase 2: statistics / gate replay -----------------------------------
+
+    def _finish_unpredicted(self, trace: _MotionTrace) -> ContinuousCheckResult:
+        """Derive the scalar in-order gate's statistics from a trace.
+
+        Non-final poses are hit-free by construction (every link
+        executes); only the final row can carry the early exit, whose
+        executed/skipped split falls out of the first touching link.
+        """
+        tol = self.checker.collision_tolerance
+        stats = QueryStats(motions_checked=1, poses_checked=trace.poses)
+        last = trace.gap_rows[-1]
+        stats.cdqs_executed = (trace.poses - 1) * len(last)
+        hits = last <= tol
+        if hits.any():
+            first = int(np.argmax(hits))
+            stats.cdqs_executed += first + 1
+            stats.cdqs_skipped = len(last) - (first + 1)
+        else:
+            stats.cdqs_executed += len(last)
+        if trace.collided:
+            stats.motions_colliding = 1
+        return ContinuousCheckResult(trace.collided, trace.poses, stats)
+
+    def _finish_predicted(
+        self, traces: list[_MotionTrace], predictor: CHTPredictor
+    ) -> list[ContinuousCheckResult]:
+        """Replay the per-pose CDQ gate against the CHT, motion-major.
+
+        One ``hash_many`` pass covers every link center the wavefront
+        evaluated; the gate then walks motions in submission order and
+        poses in advancement order — exactly the sequence the scalar
+        checker would feed a (possibly shared) predictor — so every
+        probe, write and RNG draw lands in the scalar order.
+        """
+        tol = self.checker.collision_tolerance
+        table = predictor.table
+        flat_centers = np.concatenate(
+            [centers for trace in traces for centers in trace.center_rows]
+        )
+        codes = np.asarray(predictor.hash_function.hash_many(flat_centers), dtype=np.int64)
+        results: list[ContinuousCheckResult] = []
+        offset = 0
+        for trace in traces:
+            stats = QueryStats(motions_checked=1, poses_checked=trace.poses)
+            for row_gaps in trace.gap_rows:
+                num_links = len(row_gaps)
+                row_codes = codes[offset : offset + num_links]
+                offset += num_links
+                # All of a pose's predictions precede any of its
+                # executions (no intra-pose aliasing hazard), so one
+                # batched probe equals the scalar per-link predict calls.
+                verdicts = table.predict_many(row_codes)
+                stats.predictions_made += num_links
+                flagged = np.flatnonzero(verdicts)
+                stats.predicted_colliding += int(flagged.size)
+                order = np.concatenate([flagged, np.flatnonzero(~verdicts)])
+                ordered_hits = row_gaps[order] <= tol
+                run = int(np.argmax(ordered_hits)) + 1 if ordered_hits.any() else num_links
+                # The executed prefix updates the table in gate order —
+                # update_many is sequential-equivalent (counters and RNG
+                # draws land exactly as the scalar observe loop's).
+                table.update_many(row_codes[order[:run]], ordered_hits[:run])
+                stats.cdqs_executed += run
+                if ordered_hits.any():
+                    stats.cdqs_skipped += num_links - run
+            if trace.collided:
+                stats.motions_colliding = 1
+            results.append(ContinuousCheckResult(trace.collided, trace.poses, stats))
+        return results
+
+    # -- entry points --------------------------------------------------------
+
+    def check_motions(
+        self,
+        starts: "list[ArrayLike]",
+        ends: "list[ArrayLike]",
+        predictor: Predictor | None = None,
+    ) -> list[ContinuousCheckResult]:
+        """Check many motions through the wavefront; results in order.
+
+        Predictors the gate replay cannot vectorize (non-CHT, or a hash
+        without :attr:`~repro.core.hashing.HashFunction.vectorizable`)
+        route through the scalar checker motion by motion — same results,
+        no wavefront.
+        """
+        if len(starts) != len(ends):
+            raise ValueError("starts and ends must have equal length")
+        checker = self.checker
+        if not starts:
+            return []
+        valid_starts = [checker.robot.validate_configuration(s) for s in starts]
+        valid_ends = [checker.robot.validate_configuration(e) for e in ends]
+        if predictor is not None and not (
+            isinstance(predictor, CHTPredictor) and predictor.hash_function.vectorizable
+        ):
+            return [
+                checker.check_motion(s, e, predictor)
+                for s, e in zip(valid_starts, valid_ends)
+            ]
+        traces = self._trace_motions(valid_starts, valid_ends)
+        if predictor is None:
+            return [self._finish_unpredicted(trace) for trace in traces]
+        assert isinstance(predictor, CHTPredictor)
+        return self._finish_predicted(traces, predictor)
+
+    def check_motion(
+        self, start: ArrayLike, end: ArrayLike, predictor: Predictor | None = None
+    ) -> ContinuousCheckResult:
+        """Single-motion convenience wrapper over :meth:`check_motions`."""
+        return self.check_motions([start], [end], predictor)[0]

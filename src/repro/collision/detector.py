@@ -34,6 +34,8 @@ from .scheduling import NaiveScheduler, PoseScheduler
 
 if TYPE_CHECKING:
     from .batch_pipeline import BatchMotionKernel
+    from .continuous import ContinuousMotionChecker
+    from .continuous_batch import BatchContinuousKernel
 
 __all__ = ["CollisionDetector", "coord_key", "pose_key"]
 
@@ -79,6 +81,8 @@ class CollisionDetector:
         self.representation = representation
         self.key_fn = key_fn
         self._batch_kernel: "BatchMotionKernel | None" = None
+        self._continuous_checker: "ContinuousMotionChecker | None" = None
+        self._continuous_kernel: "BatchContinuousKernel | None" = None
 
     def batch_kernel(self) -> "BatchMotionKernel":
         """The cached vectorized whole-motion kernel over this detector.
@@ -94,6 +98,31 @@ class CollisionDetector:
         if kernel is None or not kernel.matches_scene():
             kernel = BatchMotionKernel(self)
             self._batch_kernel = kernel
+        return kernel
+
+    def continuous_checker(self) -> "ContinuousMotionChecker":
+        """The cached conservative-advancement checker over this detector.
+
+        Scene staleness is handled inside the checker (its packed obstacle
+        set rebuilds whenever the scene's obstacle list changes), so the
+        instance itself can be cached unconditionally.
+        """
+        from .continuous import ContinuousMotionChecker
+
+        checker = self._continuous_checker
+        if checker is None:
+            checker = ContinuousMotionChecker(self.scene, self.robot)
+            self._continuous_checker = checker
+        return checker
+
+    def continuous_kernel(self) -> "BatchContinuousKernel":
+        """The cached wavefront kernel over :meth:`continuous_checker`."""
+        from .continuous_batch import BatchContinuousKernel
+
+        kernel = self._continuous_kernel
+        if kernel is None:
+            kernel = BatchContinuousKernel(self.continuous_checker())
+            self._continuous_kernel = kernel
         return kernel
 
     def _pose_geometry(self, q: np.ndarray) -> list[LinkGeometry]:
@@ -184,6 +213,22 @@ class CollisionDetector:
         stats = QueryStats(poses_checked=1)
         collided, hit_pose = self.run_cdqs_traced(self.pose_cdqs(q), predictor, stats)
         return MotionCheckResult(collided=collided, stats=stats, first_colliding_pose=hit_pose)
+
+    def check_pose_many(
+        self, qs: ArrayLike, predictor: Predictor | None = None
+    ) -> list[MotionCheckResult]:
+        """Batched pose-environment checks (one result per pose, in order).
+
+        Planner-facing fast path: routes through the cached
+        :meth:`batch_kernel`'s :meth:`~BatchMotionKernel.check_poses`
+        (one FK/geometry/outcome pass for the whole batch, bit-identical
+        to looping :meth:`check_pose`), falling back to the scalar loop
+        for configurations the kernel cannot vectorize.
+        """
+        results = self.batch_kernel().check_poses(qs, predictor)
+        if results is None:
+            results = [self.check_pose(q, predictor) for q in np.asarray(qs, dtype=float)]
+        return results
 
     def check_motion(
         self,

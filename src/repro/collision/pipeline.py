@@ -24,6 +24,10 @@ __all__ = [
     "check_motion",
     "predict_motion",
     "check_motion_batch",
+    "check_pose_many",
+    "check_pose_batch",
+    "predict_pose",
+    "check_continuous_batch",
     "compare_schedulers",
     "get_default_backend",
     "set_default_backend",
@@ -217,6 +221,96 @@ def check_motion_batch(
         result.stats.merge(check.stats)
         result.outcomes.append(check.collided)
         result.first_colliding_poses.append(check.first_colliding_pose)
+    return result
+
+
+def check_pose_many(
+    detector: CollisionDetector,
+    qs: list[np.ndarray],
+    predictor: Predictor | None = None,
+    backend: str | None = None,
+) -> list[MotionCheckResult]:
+    """Check many poses; the planner-facing batched pose path.
+
+    The batch backend routes through the detector's cached
+    :meth:`~repro.collision.batch_pipeline.BatchMotionKernel.check_poses`
+    (one FK/geometry/outcome pass for the whole batch, scalar fallback for
+    configurations it cannot vectorize); the scalar backend loops
+    :meth:`CollisionDetector.check_pose`. Results are bit-identical either
+    way — same verdicts, statistics, table counters and RNG stream.
+    """
+    if _resolve_backend(backend) == "batch":
+        return detector.check_pose_many(qs, predictor)
+    return [detector.check_pose(q, predictor) for q in qs]
+
+
+def check_pose_batch(
+    detector: CollisionDetector,
+    qs: list[np.ndarray],
+    predictor: Predictor | None = None,
+    label: str = "pose",
+    backend: str | None = None,
+) -> BatchResult:
+    """Aggregate :func:`check_pose_many` into a :class:`BatchResult`.
+
+    The serving layer's pose-query micro-batches drain through this: one
+    outcome per pose, merged traffic statistics, ``first_colliding_poses``
+    entries 0 (the pose itself) or None.
+    """
+    result = BatchResult(label=label)
+    for check in check_pose_many(detector, qs, predictor, backend):
+        result.stats.merge(check.stats)
+        result.outcomes.append(check.collided)
+        result.first_colliding_poses.append(check.first_colliding_pose)
+    return result
+
+
+def predict_pose(
+    detector: CollisionDetector,
+    q: np.ndarray,
+    predictor: Predictor | None = None,
+) -> bool:
+    """Predicted-only verdict: OR of the predictor over one pose's CDQs.
+
+    The pose-query analogue of :func:`predict_motion`, used by the serving
+    layer's deadline fallback: no CDQ executes and the table is not
+    written. With no predictor the verdict is False.
+    """
+    if predictor is None:
+        return False
+    return any(predictor.predict(detector.key_fn(cdq)) for cdq in detector.pose_cdqs(q))
+
+
+def check_continuous_batch(
+    detector: CollisionDetector,
+    motions: list[Motion],
+    predictor: Predictor | None = None,
+    label: str = "continuous",
+    backend: str | None = None,
+) -> BatchResult:
+    """Conservative-advancement checks over a motion batch.
+
+    The batch backend runs the wavefront
+    :class:`~repro.collision.continuous_batch.BatchContinuousKernel`
+    (bit-identical to the scalar checker, including a shared predictor's
+    table evolution); the scalar backend loops
+    :meth:`~repro.collision.continuous.ContinuousMotionChecker.check_motion`.
+    ``Motion.num_poses`` is ignored — advancement discretizes adaptively
+    from clearance. ``first_colliding_poses`` entries are None: a
+    continuous check has no discretized pose index to report.
+    """
+    result = BatchResult(label=label)
+    if _resolve_backend(backend) == "batch":
+        checks = detector.continuous_kernel().check_motions(
+            [m.start for m in motions], [m.end for m in motions], predictor
+        )
+    else:
+        checker = detector.continuous_checker()
+        checks = [checker.check_motion(m.start, m.end, predictor) for m in motions]
+    for check in checks:
+        result.stats.merge(check.stats)
+        result.outcomes.append(check.collided)
+        result.first_colliding_poses.append(None)
     return result
 
 

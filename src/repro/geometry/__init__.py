@@ -9,6 +9,7 @@ from .batch import (
     obb_pairs_overlap,
     obb_overlap_batch,
     pack_aabb_overlap,
+    point_obstacle_distances,
     sphere_pack_overlap,
     sphere_pairs_overlap,
     sphere_overlap_batch,
@@ -17,6 +18,7 @@ from .distance import (
     aabb_distance,
     obb_obb_distance_lower_bound,
     point_obb_distance,
+    points_obb_distance,
     sphere_obb_distance,
     sphere_sphere_distance,
 )
@@ -38,9 +40,11 @@ __all__ = [
     "sphere_pack_overlap",
     "sphere_pairs_overlap",
     "pack_aabb_overlap",
+    "point_obstacle_distances",
     "aabb_distance",
     "obb_obb_distance_lower_bound",
     "point_obb_distance",
+    "points_obb_distance",
     "sphere_obb_distance",
     "sphere_sphere_distance",
     "DEFAULT_WORKSPACE_FORMAT",

@@ -31,6 +31,7 @@ __all__ = [
     "obb_pairs_overlap",
     "sphere_pairs_overlap",
     "pack_aabb_overlap",
+    "point_obstacle_distances",
 ]
 
 _EPS = 1e-9
@@ -340,6 +341,24 @@ def sphere_pack_overlap(pack: SpherePack, obstacles: ObstacleSet) -> np.ndarray:
     clamped = np.clip(local, -obstacles.half_extents[None], obstacles.half_extents[None])
     gaps = np.linalg.norm(local - clamped, axis=2)
     return gaps <= pack.radii[:, None] + 1e-12
+
+
+def point_obstacle_distances(points: ArrayLike, obstacles: ObstacleSet) -> np.ndarray:
+    """Point-to-OBB distances for every (point, obstacle) pair -> (M, N).
+
+    The vectorized counterpart of
+    :func:`repro.geometry.distance.point_obb_distance`: each point is
+    expressed in every obstacle's local frame, clamped to the box, and the
+    residual norm is the Euclidean distance (0 inside). Entries are
+    independent of the batch size — row ``m`` of an (M, N) call equals the
+    single-point call on ``points[m]`` bit-for-bit, which is what lets the
+    continuous checker's scalar and wavefront paths share this kernel.
+    """
+    pts = np.asarray(points, dtype=float).reshape(-1, 3)
+    diff = pts[:, None, :] - obstacles.centers[None, :, :]  # (M, N, 3)
+    local = np.einsum("nji,mnj->mni", obstacles.rotations, diff)
+    clamped = np.clip(local, -obstacles.half_extents[None], obstacles.half_extents[None])
+    return np.linalg.norm(local - clamped, axis=2)
 
 
 def pack_aabb_overlap(lo: np.ndarray, hi: np.ndarray, obstacles: ObstacleSet) -> np.ndarray:

@@ -19,6 +19,7 @@ from .sphere import Sphere
 
 __all__ = [
     "point_obb_distance",
+    "points_obb_distance",
     "sphere_obb_distance",
     "sphere_sphere_distance",
     "obb_obb_distance_lower_bound",
@@ -31,6 +32,21 @@ def point_obb_distance(point: ArrayLike, box: OBB) -> float:
     local = box.rotation.T @ (np.asarray(point, dtype=float) - box.center)
     clamped = np.clip(local, -box.half_extents, box.half_extents)
     return float(np.linalg.norm(local - clamped))
+
+
+def points_obb_distance(points: ArrayLike, box: OBB) -> np.ndarray:
+    """Euclidean distances from many points to one OBB -> (M,) (0 inside).
+
+    Vectorized companion of :func:`point_obb_distance`: same local-frame
+    clamp formulation evaluated for all M points in one pass. For the
+    (M points x N obstacles) cross product used by the continuous
+    checker's clearance bound, see
+    :func:`repro.geometry.batch.point_obstacle_distances`.
+    """
+    pts = np.asarray(points, dtype=float).reshape(-1, 3)
+    local = np.einsum("ji,mj->mi", box.rotation, pts - box.center)
+    clamped = np.clip(local, -box.half_extents, box.half_extents)
+    return np.linalg.norm(local - clamped, axis=1)
 
 
 def sphere_obb_distance(sphere: Sphere, box: OBB) -> float:

@@ -20,6 +20,7 @@ provides:
 
 from .admission import (
     ADMISSION_POLICIES,
+    QUERY_TYPES,
     STATUS_OK,
     STATUS_PREDICTED,
     STATUS_REJECTED,
@@ -35,6 +36,7 @@ from .telemetry import ServiceTelemetry
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "QUERY_TYPES",
     "STATUS_OK",
     "STATUS_PREDICTED",
     "STATUS_REJECTED",

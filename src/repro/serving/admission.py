@@ -29,12 +29,19 @@ from .telemetry import ServiceTelemetry
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "QUERY_TYPES",
     "QueryRequest",
     "QueryResult",
     "AdmissionController",
 ]
 
 ADMISSION_POLICIES = ("block", "reject")
+
+#: The query kinds the service executes. ``motion`` is the discrete
+#: motion-environment check; ``pose`` checks only the motion's start pose
+#: (batched through ``check_pose_batch``); ``continuous`` runs
+#: conservative advancement over the segment (the wavefront kernel).
+QUERY_TYPES = ("motion", "pose", "continuous")
 
 #: Result statuses.
 STATUS_OK = "ok"
@@ -53,6 +60,8 @@ class QueryRequest:
     enqueued_at: float
     deadline_ms: float | None = None
     seq: int = 0
+    #: One of :data:`QUERY_TYPES`; micro-batches never mix types.
+    query_type: str = "motion"
 
     def deadline_expired(self, now: float) -> bool:
         """True when the request can no longer meet its deadline."""

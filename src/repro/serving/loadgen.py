@@ -48,6 +48,8 @@ class ScheduledRequest:
     #: Which of the workload's ``sessions_per_scene`` concurrent sessions
     #: this arrival targets (0 when each workload has a single session).
     session_slot: int = 0
+    #: Execution semantics (see :data:`repro.serving.admission.QUERY_TYPES`).
+    query_type: str = "motion"
 
 
 @dataclass
@@ -108,6 +110,7 @@ class LoadGenerator:
         deadline_ms: float | None = None,
         time_scale: float = 1.0,
         sessions_per_scene: int = 1,
+        query_type: str = "motion",
     ) -> None:
         if qps <= 0.0:
             raise ValueError("qps must be positive")
@@ -129,6 +132,8 @@ class LoadGenerator:
         #: many-clients-one-scene shape that shared CHT banks
         #: (``ServiceConfig(shared_cht=True)``) amortize across.
         self.sessions_per_scene = int(sessions_per_scene)
+        #: Query semantics every scheduled arrival carries.
+        self.query_type = str(query_type)
 
     def schedule(self) -> list[ScheduledRequest]:
         """The deterministic arrival plan implied by (trace, qps, seed).
@@ -158,6 +163,7 @@ class LoadGenerator:
                     motion=recorded.as_motion(),
                     deadline_ms=self.deadline_ms,
                     session_slot=(index // len(self.workloads)) % self.sessions_per_scene,
+                    query_type=self.query_type,
                 )
             )
         return plan
@@ -192,6 +198,7 @@ class LoadGenerator:
                             session_ids[request.workload_index][request.session_slot],
                             request.motion,
                             deadline_ms=request.deadline_ms,
+                            query_type=request.query_type,
                         )
                     )
                 )

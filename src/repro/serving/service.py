@@ -47,8 +47,11 @@ from ..collision.pipeline import (
     BACKENDS,
     BatchResult,
     Motion,
+    check_continuous_batch,
     check_motion_batch,
+    check_pose_batch,
     predict_motion,
+    predict_pose,
 )
 from ..collision.queries import QueryStats
 from ..collision.scheduling import PoseScheduler
@@ -64,6 +67,7 @@ from ..resilience import (
 )
 from ..sharedcht import SegmentManager, SharedCHT
 from .admission import (
+    QUERY_TYPES,
     STATUS_OK,
     STATUS_PREDICTED,
     STATUS_SHUTDOWN,
@@ -443,11 +447,23 @@ class CollisionService:
         session_id: str,
         motion: Motion,
         deadline_ms: float | None = None,
+        query_type: str = "motion",
     ) -> QueryResult:
-        """Submit one motion check and await its verdict."""
+        """Submit one check and await its verdict.
+
+        ``query_type`` selects the execution semantics (see
+        :data:`~repro.serving.admission.QUERY_TYPES`): ``motion`` is the
+        discrete motion check, ``pose`` checks only ``motion.start``
+        (batched pose-environment queries), ``continuous`` runs
+        conservative advancement over the segment. Requests of different
+        types never share a micro-batch kernel invocation.
+        """
         if not self._started:
             raise RuntimeError("service not started (use 'async with service:')")
+        if query_type not in QUERY_TYPES:
+            raise ValueError(f"query_type must be one of {QUERY_TYPES}, got {query_type!r}")
         session = self.sessions[session_id]
+        self.telemetry.count(f"requests_{query_type}")
         request = QueryRequest(
             session_id=session_id,
             motion=motion,
@@ -455,6 +471,7 @@ class CollisionService:
             enqueued_at=self.clock(),
             deadline_ms=deadline_ms,
             seq=next(self._seq_counter),
+            query_type=query_type,
         )
         queue = self._queues[session.worker]
         admitted = await self._admission.admit(queue, request)
@@ -551,7 +568,10 @@ class CollisionService:
         Exact requests group by *execution context*: sessions reading the
         same shared bank merge into one group (their motions hit the
         predict-gated kernel in a single invocation — the cross-session
-        micro-batch), everything else groups per session as before.
+        micro-batch), everything else groups per session as before. The
+        group key also carries the request's query type, so each group
+        drains through a single kernel (motion, pose, or continuous) —
+        micro-batching per type, never mixing semantics in one invocation.
         """
         now = self.clock()
         self.telemetry.observe_batch(len(batch))
@@ -563,12 +583,12 @@ class CollisionService:
                 self._resolve_predicted(request, len(batch))
             else:
                 exact.append(request)
-        groups: dict[str, list[QueryRequest]] = {}
+        groups: dict[tuple[str, str], list[QueryRequest]] = {}
         for request in exact:
             session = self.sessions.get(request.session_id)
             shared = session.shared if session is not None else None
-            group_key = shared.entry_id if shared is not None else request.session_id
-            groups.setdefault(group_key, []).append(request)
+            context = shared.entry_id if shared is not None else request.session_id
+            groups.setdefault((context, request.query_type), []).append(request)
         for requests in groups.values():
             self._execute_session_group(requests, len(batch), batch_index)
 
@@ -588,13 +608,21 @@ class CollisionService:
         verdict = None
         if session is not None:
             with self.telemetry.span("predict_fallback"):
-                verdict = predict_motion(
-                    session.detector,
-                    request.motion,
-                    session.scheduler,
-                    session.predictor,
-                    backend=self.config.backend,
-                )
+                if request.query_type == "pose":
+                    verdict = predict_pose(
+                        session.detector, request.motion.start, session.predictor
+                    )
+                else:
+                    # Continuous requests speculate over the discretized
+                    # motion: the CHT is keyed by link coordinates either
+                    # way, so the same probe answers both semantics.
+                    verdict = predict_motion(
+                        session.detector,
+                        request.motion,
+                        session.scheduler,
+                        session.predictor,
+                        backend=self.config.backend,
+                    )
         if degraded:
             self.telemetry.resilience.count("degraded_verdicts")
         else:
@@ -619,9 +647,11 @@ class CollisionService:
 
         A group is either one session's requests or — under shared CHT —
         every request in the batch whose session reads the same shared
-        bank (the cross-session coalesced invocation). Dispatches through
-        :func:`check_motion_batch` so the serving path and the offline
-        harness execute byte-identical CDQ streams. The group walks the
+        bank (the cross-session coalesced invocation); all of a group's
+        requests carry the same query type. Dispatches through
+        :func:`check_motion_batch`, :func:`check_pose_batch` or
+        :func:`check_continuous_batch` so the serving path and the offline
+        harnesses execute byte-identical CDQ streams. The group walks the
         degradation ladder: each exact rung whose breaker admits it is
         attempted in order (``batch`` → ``scalar``); a rung failure feeds
         its breaker and falls through; when no exact rung remains, every
@@ -654,14 +684,32 @@ class CollisionService:
                         raise FaultInjected(
                             f"injected kernel exception at batch {batch_index}"
                         )
-                    result = check_motion_batch(
-                        detector,
-                        [request.motion for request in requests],
-                        scheduler,
-                        predictor,
-                        label=label,
-                        backend=rung,
-                    )
+                    query_type = requests[0].query_type
+                    if query_type == "pose":
+                        result = check_pose_batch(
+                            detector,
+                            [request.motion.start for request in requests],
+                            predictor,
+                            label=label,
+                            backend=rung,
+                        )
+                    elif query_type == "continuous":
+                        result = check_continuous_batch(
+                            detector,
+                            [request.motion for request in requests],
+                            predictor,
+                            label=label,
+                            backend=rung,
+                        )
+                    else:
+                        result = check_motion_batch(
+                            detector,
+                            [request.motion for request in requests],
+                            scheduler,
+                            predictor,
+                            label=label,
+                            backend=rung,
+                        )
             except Exception as error:
                 self._ladder.record(rung, False)
                 self.telemetry.resilience.record_error(f"backend_{rung}", error)

@@ -61,6 +61,29 @@ class TestServingCommands:
         out = capsys.readouterr().out
         assert '"requests_completed"' in out and "OK" in out
 
+    @pytest.mark.parametrize("query_type", ["pose", "continuous"])
+    def test_serve_selftest_query_types(self, capsys, query_type):
+        assert main(["serve", "--selftest", "--query-type", query_type]) == 0
+        out = capsys.readouterr().out
+        assert f'"requests_{query_type}"' in out and "OK" in out
+
+    def test_serve_rejects_unknown_query_type(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--selftest", "--query-type", "sweep"])
+
+    def test_loadtest_accepts_query_type(self, tmp_path, capsys):
+        trace = tmp_path / "wl.jsonl"
+        main(["generate", "--benchmark", "bit*-2d", "--out", str(trace), "--queries", "1", "--seed", "3"])
+        assert main([
+            "loadtest",
+            "--workloads", str(trace),
+            "--qps", "2000",
+            "--max-requests", "20",
+            "--query-type", "pose",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and '"requests_pose"' in out
+
     def test_loadtest_replays_trace(self, tmp_path, capsys):
         trace = tmp_path / "wl.jsonl"
         main(["generate", "--benchmark", "bit*-2d", "--out", str(trace), "--queries", "1", "--seed", "3"])

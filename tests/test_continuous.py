@@ -1,9 +1,15 @@
 """Tests for continuous (conservative-advancement) motion checking."""
 
+import dataclasses
+import math
+
 import numpy as np
 import pytest
 
-from repro.collision import ContinuousMotionChecker
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision import ContinuousCheckResult, ContinuousMotionChecker, QueryStats
 from repro.core import CHTPredictor, CoordHash
 from repro.env import Scene
 from repro.geometry import OBB
@@ -78,3 +84,89 @@ class TestConservativeAdvancement:
         result = checker.check_motion([-0.8, 0.0], [0.9, 0.0])
         assert result.stats.cdqs_executed > 0
         assert result.stats.motions_checked == 1
+
+    def test_zero_length_colliding_motion_stats(self, setup):
+        """A degenerate motion still books its one pose and the verdict."""
+        checker, _ = setup
+        result = checker.check_motion([0.5, 0.0], [0.5, 0.0])
+        assert result.collided
+        assert result.stats.poses_checked == 1
+        assert result.stats.motions_colliding == 1
+
+    def test_prediction_preserves_cdq_conservation(self, setup):
+        """Gating reorders CDQs within a pose; it never creates or drops any.
+
+        Executed + skipped must equal poses_evaluated * num_links in both
+        the predicted and unpredicted paths (the paper's Sec. VII point:
+        serial dependence means prediction cannot shrink the pose count).
+        """
+        checker, robot = setup
+        predictor = CHTPredictor.create(CoordHash(5), 1024, s=0.0)
+        plain = checker.check_motion([-0.8, 0.0], [0.9, 0.0])
+        gated = checker.check_motion([-0.8, 0.0], [0.9, 0.0], predictor)
+        for result in (plain, gated):
+            expected = result.poses_evaluated * robot.num_links
+            assert result.stats.total_cdqs == expected
+
+
+class TestResultContract:
+    def test_result_is_frozen(self, setup):
+        checker, _ = setup
+        result = checker.check_motion([-0.8, -0.5], [-0.8, 0.5])
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.collided = True  # type: ignore[misc]
+
+    def test_result_uses_slots(self):
+        result = ContinuousCheckResult(collided=False, poses_evaluated=1, stats=QueryStats())
+        assert not hasattr(result, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            result.extra = 1  # type: ignore[attr-defined]
+
+
+class TestAdvancementInvariants:
+    """Property tests for the conservative-advancement contract."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_termination_bound(self, seed):
+        """The min-step floor bounds the pose count by ceil(len/min_step)."""
+        scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.08, 1.0, 0.5])])
+        robot = planar_2d()
+        checker = ContinuousMotionChecker(scene, robot, min_step=0.05)
+        rng = np.random.default_rng(seed)
+        a = robot.random_configuration(rng)
+        b = robot.random_configuration(rng)
+        result = checker.check_motion(a, b)
+        length = float(np.linalg.norm(np.asarray(b) - np.asarray(a)))
+        bound = math.ceil(length / checker.min_step) + 1
+        assert 1 <= result.poses_evaluated <= bound
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_accepted_motion_endpoints_have_clearance(self, seed):
+        """A motion accepted as free must end at a pose with real clearance."""
+        scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.08, 1.0, 0.5])])
+        robot = planar_2d()
+        checker = ContinuousMotionChecker(scene, robot)
+        rng = np.random.default_rng(seed)
+        a = robot.random_configuration(rng)
+        b = robot.random_configuration(rng)
+        result = checker.check_motion(a, b)
+        if not result.collided:
+            for q in (a, b):
+                gaps, _ = checker.pose_link_gaps(q)
+                assert float(gaps.min()) > checker.collision_tolerance
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_cdq_conservation_randomized(self, seed):
+        """total_cdqs == poses_evaluated * num_links for every motion."""
+        scene = Scene(obstacles=[OBB.axis_aligned([0.5, 0.0, 0.0], [0.08, 1.0, 0.5])])
+        robot = planar_2d()
+        checker = ContinuousMotionChecker(scene, robot)
+        rng = np.random.default_rng(seed)
+        a = robot.random_configuration(rng)
+        b = robot.random_configuration(rng)
+        for predictor in (None, CHTPredictor.create(CoordHash(5), 1024, s=0.0)):
+            result = checker.check_motion(a, b, predictor)
+            assert result.stats.total_cdqs == result.poses_evaluated * robot.num_links

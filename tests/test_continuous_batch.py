@@ -1,0 +1,264 @@
+"""Scalar <-> wavefront parity for batched continuous checking.
+
+The contract under test: :class:`BatchContinuousKernel` is *bit-identical*
+to looping :meth:`ContinuousMotionChecker.check_motion` — verdicts,
+``poses_evaluated``, every :class:`QueryStats` field, the CHT's counter
+banks and traffic statistics, and the table RNG stream. The sweep below
+exercises that claim over randomized robots x scenes x predictor states
+(well past 500 motions), plus the batched pose path and the fallback
+routing for predictors the replay cannot vectorize.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.collision import (
+    BatchContinuousKernel,
+    CollisionDetector,
+    ContinuousMotionChecker,
+    Motion,
+    check_continuous_batch,
+    check_pose_many,
+)
+from repro.core import CHTPredictor, CollisionHistoryTable, CoordHash
+from repro.env.generators import random_2d_scene, random_clutter_scene
+from repro.kinematics import jaco2, planar_2d
+
+
+def _predictor(seed: int, size: int = 512) -> CHTPredictor:
+    return CHTPredictor(
+        CoordHash(bits_per_axis=4),
+        CollisionHistoryTable(size=size, s=1.0, u=0.7, rng=np.random.default_rng(seed)),
+    )
+
+
+def _assert_result_parity(scalar, batch) -> None:
+    assert scalar.collided == batch.collided
+    assert scalar.poses_evaluated == batch.poses_evaluated
+    assert asdict(scalar.stats) == asdict(batch.stats)
+
+
+def _assert_table_parity(ta: CollisionHistoryTable, tb: CollisionHistoryTable) -> None:
+    assert np.array_equal(ta.coll, tb.coll)
+    assert np.array_equal(ta.noncoll, tb.noncoll)
+    assert ta.reads == tb.reads
+    assert ta.writes == tb.writes
+    assert ta.skipped_updates == tb.skipped_updates
+    # The strongest stream check: both generators sit at the same state.
+    assert ta.rng.random() == tb.rng.random()
+
+
+def _environments():
+    """Randomized (robot, scene) pairs spanning 2D and 6-DoF arms."""
+    return [
+        (planar_2d(), random_2d_scene(np.random.default_rng(11), num_obstacles=10)),
+        (planar_2d(), random_2d_scene(np.random.default_rng(12), num_obstacles=4)),
+        (jaco2(), random_clutter_scene(np.random.default_rng(13))),
+    ]
+
+
+def _motions(robot, rng, count):
+    return [
+        (robot.random_configuration(rng), robot.random_configuration(rng))
+        for _ in range(count)
+    ]
+
+
+class TestWavefrontParity:
+    def test_randomized_parity_sweep(self):
+        """>=500 motions across robots x scenes, with and without a CHT.
+
+        The predictor runs *shared across the whole batch* — the hardest
+        case, because every motion's observations shift the table state
+        (and RNG stream) the next motion sees.
+        """
+        motions_checked = 0
+        colliding = 0
+        for index, (robot, scene) in enumerate(_environments()):
+            rng = np.random.default_rng(100 + index)
+            pairs = _motions(robot, rng, 100)
+            starts = [a for a, _ in pairs]
+            ends = [b for _, b in pairs]
+
+            scalar_checker = ContinuousMotionChecker(scene, robot)
+            kernel = BatchContinuousKernel(ContinuousMotionChecker(scene, robot))
+
+            scalar = [scalar_checker.check_motion(a, b) for a, b in pairs]
+            batch = kernel.check_motions(starts, ends)
+            for a, b in zip(scalar, batch):
+                _assert_result_parity(a, b)
+            motions_checked += len(pairs)
+            colliding += sum(r.collided for r in scalar)
+
+            ps, pb = _predictor(index), _predictor(index)
+            scalar_p = [scalar_checker.check_motion(a, b, ps) for a, b in pairs]
+            batch_p = kernel.check_motions(starts, ends, pb)
+            for a, b in zip(scalar_p, batch_p):
+                _assert_result_parity(a, b)
+            _assert_table_parity(ps.table, pb.table)
+            motions_checked += len(pairs)
+        assert motions_checked >= 500
+        # The sweep must exercise both verdicts to mean anything.
+        assert 0 < colliding < motions_checked // 2 * 2
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_parity_on_warm_tables(self, seed):
+        """Parity must also hold starting from a non-empty CHT state."""
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(seed), num_obstacles=8)
+        rng = np.random.default_rng(seed + 1)
+        warm = _motions(robot, rng, 20)
+        pairs = _motions(robot, rng, 30)
+
+        ps, pb = _predictor(seed), _predictor(seed)
+        checker = ContinuousMotionChecker(scene, robot)
+        kernel = BatchContinuousKernel(ContinuousMotionChecker(scene, robot))
+        # Warm both tables identically through the scalar path.
+        for a, b in warm:
+            checker.check_motion(a, b, ps)
+            ContinuousMotionChecker(scene, robot).check_motion(a, b, pb)
+
+        scalar = [checker.check_motion(a, b, ps) for a, b in pairs]
+        batch = kernel.check_motions([a for a, _ in pairs], [b for _, b in pairs], pb)
+        for a, b in zip(scalar, batch):
+            _assert_result_parity(a, b)
+        _assert_table_parity(ps.table, pb.table)
+
+    def test_single_motion_wrapper(self):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(3), num_obstacles=8)
+        kernel = BatchContinuousKernel(ContinuousMotionChecker(scene, robot))
+        rng = np.random.default_rng(4)
+        a, b = robot.random_configuration(rng), robot.random_configuration(rng)
+        _assert_result_parity(
+            ContinuousMotionChecker(scene, robot).check_motion(a, b),
+            kernel.check_motion(a, b),
+        )
+
+    def test_zero_length_motions_in_wavefront(self):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(5), num_obstacles=8)
+        checker = ContinuousMotionChecker(scene, robot)
+        kernel = BatchContinuousKernel(ContinuousMotionChecker(scene, robot))
+        rng = np.random.default_rng(6)
+        qs = [robot.random_configuration(rng) for _ in range(20)]
+        scalar = [checker.check_motion(q, q) for q in qs]
+        batch = kernel.check_motions(qs, qs)
+        for a, b in zip(scalar, batch):
+            _assert_result_parity(a, b)
+            assert a.poses_evaluated == 1
+
+    def test_empty_batch_and_length_mismatch(self):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(7), num_obstacles=4)
+        kernel = BatchContinuousKernel(ContinuousMotionChecker(scene, robot))
+        assert kernel.check_motions([], []) == []
+        with pytest.raises(ValueError):
+            kernel.check_motions([np.zeros(2)], [])
+
+    def test_non_vectorizable_predictor_falls_back_to_scalar(self):
+        """Non-CHT predictors route through the scalar checker, exactly."""
+
+        class EveryOther:
+            def __init__(self):
+                self.calls = 0
+                self.observed = []
+
+            def predict(self, key):
+                self.calls += 1
+                return self.calls % 2 == 0
+
+            def observe(self, key, collided):
+                self.observed.append(bool(collided))
+
+            def reset(self):
+                self.calls = 0
+
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(8), num_obstacles=8)
+        rng = np.random.default_rng(9)
+        pairs = _motions(robot, rng, 15)
+        ps, pb = EveryOther(), EveryOther()
+        checker = ContinuousMotionChecker(scene, robot)
+        kernel = BatchContinuousKernel(ContinuousMotionChecker(scene, robot))
+        scalar = [checker.check_motion(a, b, ps) for a, b in pairs]
+        batch = kernel.check_motions([a for a, _ in pairs], [b for _, b in pairs], pb)
+        for a, b in zip(scalar, batch):
+            _assert_result_parity(a, b)
+        assert ps.calls == pb.calls
+        assert ps.observed == pb.observed
+
+
+class TestPipelineWiring:
+    def test_check_continuous_batch_backends_agree(self):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(21), num_obstacles=8)
+        rng = np.random.default_rng(22)
+        motions = [Motion(a, b) for a, b in _motions(robot, rng, 25)]
+        ps, pb = _predictor(21), _predictor(21)
+        scalar = check_continuous_batch(
+            CollisionDetector(scene, robot), motions, ps, backend="scalar"
+        )
+        batch = check_continuous_batch(
+            CollisionDetector(scene, robot), motions, pb, backend="batch"
+        )
+        assert scalar.outcomes == batch.outcomes
+        assert asdict(scalar.stats) == asdict(batch.stats)
+        assert scalar.first_colliding_poses == batch.first_colliding_poses
+        _assert_table_parity(ps.table, pb.table)
+
+    def test_detector_kernel_and_checker_are_cached(self):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(23), num_obstacles=4)
+        detector = CollisionDetector(scene, robot)
+        assert detector.continuous_checker() is detector.continuous_checker()
+        assert detector.continuous_kernel() is detector.continuous_kernel()
+        assert detector.continuous_kernel().checker is detector.continuous_checker()
+
+
+class TestPoseManyParity:
+    def test_pose_many_matches_scalar_loop(self):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(31), num_obstacles=10)
+        detector = CollisionDetector(scene, robot)
+        rng = np.random.default_rng(32)
+        qs = [robot.random_configuration(rng) for _ in range(120)]
+
+        scalar = [detector.check_pose(q) for q in qs]
+        batch = detector.check_pose_many(qs)
+        for a, b in zip(scalar, batch):
+            assert a.collided == b.collided
+            assert a.first_colliding_pose == b.first_colliding_pose
+            assert asdict(a.stats) == asdict(b.stats)
+        assert any(r.collided for r in batch)
+        assert not all(r.collided for r in batch)
+
+    def test_pose_many_predicted_matches_scalar_loop(self):
+        robot = jaco2()
+        scene = random_clutter_scene(np.random.default_rng(33))
+        detector = CollisionDetector(scene, robot)
+        rng = np.random.default_rng(34)
+        qs = [robot.random_configuration(rng) for _ in range(80)]
+        ps, pb = _predictor(33), _predictor(33)
+        scalar = [detector.check_pose(q, ps) for q in qs]
+        batch = detector.check_pose_many(qs, pb)
+        for a, b in zip(scalar, batch):
+            assert a.collided == b.collided
+            assert a.first_colliding_pose == b.first_colliding_pose
+            assert asdict(a.stats) == asdict(b.stats)
+        _assert_table_parity(ps.table, pb.table)
+
+    def test_pipeline_check_pose_many_backends_agree(self):
+        robot = planar_2d()
+        scene = random_2d_scene(np.random.default_rng(35), num_obstacles=8)
+        rng = np.random.default_rng(36)
+        qs = [robot.random_configuration(rng) for _ in range(40)]
+        ps, pb = _predictor(35), _predictor(35)
+        scalar = check_pose_many(CollisionDetector(scene, robot), qs, ps, backend="scalar")
+        batch = check_pose_many(CollisionDetector(scene, robot), qs, pb, backend="batch")
+        for a, b in zip(scalar, batch):
+            assert a.collided == b.collided
+            assert asdict(a.stats) == asdict(b.stats)
+        _assert_table_parity(ps.table, pb.table)

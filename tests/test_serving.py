@@ -143,6 +143,69 @@ class TestBatching:
             assert result.colliding == direct.collided
 
 
+class TestQueryTypes:
+    def test_pose_queries_match_direct_pose_checks(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                sid = service.open_session(scene_2d, planar, use_prediction=False)
+                motions = make_motions(planar, 12)
+                results = await asyncio.gather(
+                    *(service.submit(sid, m, query_type="pose") for m in motions)
+                )
+                return motions, results, service.session(sid).detector
+
+        motions, results, detector = run(scenario())
+        # A pose query checks only the start configuration.
+        for motion, result in zip(motions, results):
+            assert result.status == "ok"
+            assert result.colliding == detector.check_pose(motion.start).collided
+
+    def test_continuous_queries_match_direct_continuous_checks(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=1.0))
+            async with service:
+                sid = service.open_session(scene_2d, planar, use_prediction=False)
+                motions = make_motions(planar, 12)
+                results = await asyncio.gather(
+                    *(service.submit(sid, m, query_type="continuous") for m in motions)
+                )
+                return motions, results, service.session(sid).detector
+
+        motions, results, detector = run(scenario())
+        checker = detector.continuous_checker()
+        for motion, result in zip(motions, results):
+            assert result.status == "ok"
+            assert result.colliding == checker.check_motion(motion.start, motion.end).collided
+
+    def test_mixed_types_are_answered_and_counted(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=1, max_batch=8, max_wait_ms=5.0))
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                motions = make_motions(planar, 9)
+                kinds = ["motion", "pose", "continuous"] * 3
+                results = await asyncio.gather(
+                    *(service.submit(sid, m, query_type=kind) for m, kind in zip(motions, kinds))
+                )
+            return service, results
+
+        service, results = run(scenario())
+        assert all(r.status == "ok" for r in results)
+        for kind in ("motion", "pose", "continuous"):
+            assert service.telemetry.counters.get(f"requests_{kind}") == 3
+
+    def test_unknown_query_type_rejected(self, planar, scene_2d):
+        async def scenario():
+            service = CollisionService(ServiceConfig(num_workers=1))
+            async with service:
+                sid = service.open_session(scene_2d, planar)
+                with pytest.raises(ValueError):
+                    await service.submit(sid, make_motions(planar, 1)[0], query_type="sweep")
+
+        run(scenario())
+
+
 class TestBackpressure:
     def test_reject_policy_sheds_load(self, planar, scene_2d):
         async def scenario():
