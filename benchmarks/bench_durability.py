@@ -1,0 +1,101 @@
+"""Durability bench: what a warm restart is worth.
+
+The snapshot/restore path exists so a redeployed serving process does not
+re-learn its collision history from scratch. This bench measures that
+directly: the same deterministic multi-session motion stream is answered
+by a **cold** service (fresh shared banks) and then by a **warm** one
+restored from the snapshots the cold run wrote on drain. The warm run
+starts with the cold run's full history, so it skips the learning ramp
+and executes strictly fewer CDQs.
+
+``warm_restart_cdq_reduction`` is the fraction of executed CDQs the warm
+restart saves over the cold start. Requests are awaited sequentially, so
+the interleaving — and the ratio — is deterministic and portable across
+machines, which is what lets ``check_regression.py`` gate on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.collision import Motion
+from repro.env import random_2d_scene
+from repro.kinematics import planar_2d
+from repro.serving import CollisionService, ServiceConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+NUM_SESSIONS = 3
+MOTIONS_PER_SESSION = 60
+NUM_POSES = 10
+
+
+def _motion_stream(robot, seed: int) -> list[Motion]:
+    rng = np.random.default_rng(seed)
+    return [
+        Motion(
+            robot.random_configuration(rng),
+            robot.random_configuration(rng),
+            num_poses=NUM_POSES,
+        )
+        for _ in range(NUM_SESSIONS * MOTIONS_PER_SESSION)
+    ]
+
+
+def _drive(cht_dir: str, seed: int) -> dict:
+    """One service lifetime against the stream; drains into ``cht_dir``."""
+    robot = planar_2d()
+    scene = random_2d_scene(np.random.default_rng(seed + 17), num_obstacles=6)
+    motions = _motion_stream(robot, seed)
+    service = CollisionService(
+        ServiceConfig(
+            num_workers=1,
+            max_batch=4,
+            max_wait_ms=0.5,
+            shared_cht=True,
+            cht_dir=cht_dir,
+        )
+    )
+
+    async def go():
+        async with service:
+            sessions = [service.open_session(scene, robot) for _ in range(NUM_SESSIONS)]
+            cdqs = 0
+            colliding = 0
+            for index, motion in enumerate(motions):
+                result = await service.submit(sessions[index % NUM_SESSIONS], motion)
+                assert result.status == "ok"
+                cdqs += result.cdqs_executed
+                colliding += bool(result.colliding)
+            restored = service.telemetry.resilience["banks_restored"]
+        return {"cdqs_executed": cdqs, "colliding": colliding, "banks_restored": restored}
+
+    return asyncio.run(go())
+
+
+def test_bench_durability(benchmark, bench_seed, tmp_path):
+    cht_dir = str(tmp_path / "banks")
+    cold = _drive(cht_dir, bench_seed)  # writes snapshots on drain
+    assert cold["banks_restored"] == 0
+    warm = benchmark.pedantic(_drive, args=(cht_dir, bench_seed), rounds=1, iterations=1)
+    assert warm["banks_restored"] >= 1  # the restore actually happened
+    reduction = 1.0 - warm["cdqs_executed"] / cold["cdqs_executed"]
+    payload = {
+        "sessions": NUM_SESSIONS,
+        "motions": NUM_SESSIONS * MOTIONS_PER_SESSION,
+        "cold_cdqs": cold["cdqs_executed"],
+        "warm_cdqs": warm["cdqs_executed"],
+        "warm_restart_cdq_reduction": reduction,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_durability.json").write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+    # Restored history only prunes work — verdicts stay exact.
+    assert warm["colliding"] == cold["colliding"]
+    assert 0.0 < reduction < 1.0

@@ -29,7 +29,11 @@ Tracked metrics:
   machines);
 * ``BENCH_continuous_batch.json`` — ``speedup`` of the wavefront
   conservative-advancement kernel over the scalar checker (higher is
-  better; a ratio).
+  better; a ratio);
+* ``BENCH_durability.json`` — ``warm_restart_cdq_reduction``, the
+  fraction of executed CDQs a snapshot-restored warm restart saves over
+  a cold start (higher is better; deterministic, so it transfers across
+  machines).
 
 A metric missing from the baseline (first run of a new bench) is reported
 and skipped rather than failed, so adding a bench and its baseline can
@@ -54,6 +58,7 @@ METRICS = [
     ("BENCH_resilience.json", "qps_retention", "up"),
     ("BENCH_shared_cht.json", "warm_cdq_reduction", "up"),
     ("BENCH_continuous_batch.json", "speedup", "up"),
+    ("BENCH_durability.json", "warm_restart_cdq_reduction", "up"),
 ]
 
 

@@ -13,11 +13,15 @@ Commands
 ``simulate --workloads FILE [--cdus N] [--no-copu]``
     Replay a saved workload suite through the accelerator simulator and
     print the report.
-``serve --selftest [--shared-cht] [--query-type T]``
+``serve --selftest [--shared-cht] [--query-type T] [--restore-cht DIR]``
     Start the async collision service in-process, drive it with a small
     generated workload, and print the telemetry snapshot. ``--shared-cht``
     shares one CHT bank per scene across sessions; ``--query-type``
     submits the selftest as motion, pose, or continuous queries.
+    ``--restore-cht DIR`` warm-restores shared banks from DIR at startup
+    and snapshots them back on drain (crash-consistent durability);
+    ``--linger S`` keeps the service up for S seconds after the selftest
+    so SIGTERM/SIGINT can exercise the graceful drain.
 ``loadtest --workloads FILE [--qps Q] [--queue-bound N] [--policy P]``
     Replay a saved workload suite through the async service at a target
     QPS (open-loop arrivals) and print the load report plus telemetry.
@@ -128,6 +132,7 @@ def _cmd_serve(args) -> int:
         return 2
 
     import asyncio
+    import signal
 
     from .collision.pipeline import Motion
     from .env.generators import random_2d_scene
@@ -140,43 +145,82 @@ def _cmd_serve(args) -> int:
     service = CollisionService(
         ServiceConfig(
             num_workers=2, max_batch=4, max_wait_ms=1.0, queue_bound=32,
-            backend=args.backend, shared_cht=args.shared_cht,
+            backend=args.backend,
+            shared_cht=args.shared_cht or args.restore_cht is not None,
+            cht_dir=args.restore_cht,
         )
     )
 
     async def selftest():
-        async with service:
-            sessions = [service.open_session(scene, robot) for _ in range(2)]
-            motions = [
-                Motion(
-                    robot.random_configuration(rng),
-                    robot.random_configuration(rng),
-                    num_poses=8,
+        # Graceful drain on SIGTERM/SIGINT: the handler only sets an
+        # event — the service context exit below runs the actual drain
+        # (every queued request resolves as "shutdown", shared banks are
+        # snapshotted to --restore-cht) on the normal code path, so a
+        # signalled run and a natural exit shut down identically.
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled: list[signal.Signals] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal support
+        signalled = False
+        try:
+            async with service:
+                sessions = [service.open_session(scene, robot) for _ in range(2)]
+                motions = [
+                    Motion(
+                        robot.random_configuration(rng),
+                        robot.random_configuration(rng),
+                        num_poses=8,
+                    )
+                    for _ in range(24)
+                ]
+                results = await asyncio.gather(
+                    *(
+                        service.submit(sessions[i % 2], motion, query_type=args.query_type)
+                        for i, motion in enumerate(motions)
+                    )
                 )
-                for _ in range(24)
-            ]
-            results = await asyncio.gather(
-                *(
-                    service.submit(sessions[i % 2], motion, query_type=args.query_type)
-                    for i, motion in enumerate(motions)
+                fallback = await service.submit(
+                    sessions[0], motions[0], deadline_ms=0.0, query_type=args.query_type
                 )
-            )
-            fallback = await service.submit(
-                sessions[0], motions[0], deadline_ms=0.0, query_type=args.query_type
-            )
-            # Snapshot before the context exit: service.stop() releases the
-            # shared CHT banks, which would blank the "cht" section.
-            snapshot_json = service.telemetry.to_json()
-            for session_id in sessions:
-                service.close_session(session_id)
-        return results, fallback, snapshot_json
+                if args.linger > 0.0 and not stop_requested.is_set():
+                    # Stay up so an operator (or the drain test) can
+                    # deliver a signal; a quiet run exits at the timeout.
+                    print(f"selftest lingering {args.linger:.0f}s "
+                          "(SIGTERM/SIGINT drains and snapshots)", flush=True)
+                    try:
+                        await asyncio.wait_for(stop_requested.wait(), timeout=args.linger)
+                    except asyncio.TimeoutError:
+                        pass
+                signalled = stop_requested.is_set()
+                # Snapshot before the context exit: service.stop() releases
+                # the shared CHT banks, which would blank the "cht" section.
+                snapshot_json = service.telemetry.to_json()
+                for session_id in sessions:
+                    service.close_session(session_id)
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+        return results, fallback, snapshot_json, signalled
 
-    results, fallback, snapshot_json = asyncio.run(selftest())
+    results, fallback, snapshot_json, signalled = asyncio.run(selftest())
     print(snapshot_json)
     exact = sum(r.status == "ok" for r in results)
-    healthy = exact == len(results) and fallback.status == "predicted"
-    print(f"selftest: {exact}/{len(results)} exact verdicts, "
-          f"deadline fallback {fallback.status!r} -> {'OK' if healthy else 'FAILED'}")
+    if signalled:
+        # A signalled run is healthy iff the drain left nothing hanging:
+        # every result reached a terminal status.
+        terminal = ("ok", "predicted", "rejected", "shutdown")
+        healthy = all(r.status in terminal for r in results) and fallback.status in terminal
+        print(f"selftest: drained on signal, {exact}/{len(results)} exact verdicts "
+              f"-> {'OK' if healthy else 'FAILED'}")
+    else:
+        healthy = exact == len(results) and fallback.status == "predicted"
+        print(f"selftest: {exact}/{len(results)} exact verdicts, "
+              f"deadline fallback {fallback.status!r} -> {'OK' if healthy else 'FAILED'}")
     return 0 if healthy else 1
 
 
@@ -307,6 +351,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="share one CHT bank per scene across sessions (repro.sharedcht)",
     )
+    serve.add_argument(
+        "--restore-cht",
+        metavar="DIR",
+        default=None,
+        help="snapshot directory for shared-bank durability: banks are "
+        "warm-restored from DIR at startup and written back on drain "
+        "(implies --shared-cht)",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help="seconds to stay up after the selftest waiting for "
+        "SIGTERM/SIGINT (graceful-drain exercise)",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     loadtest = sub.add_parser("loadtest", help="replay workloads through the async service")
@@ -343,9 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--inject",
         action="append",
-        choices=("crash", "exception", "stall"),
+        choices=(
+            "crash", "exception", "stall",
+            "torn_write", "corrupt_segment", "kill_mid_publish",
+        ),
         default=None,
-        help="arm a seeded fault injector for this kind (repeatable)",
+        help="arm a seeded fault injector for this kind (repeatable); the "
+        "shared-CHT kinds need --shared-cht to have a bank to corrupt",
     )
     loadtest.add_argument(
         "--inject-rate",

@@ -38,6 +38,7 @@ is its exact, property-tested software counterpart.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import os
 
@@ -57,7 +58,8 @@ from ..geometry.batch import (
 from ..core.predictor import CHTPredictor, Predictor
 from ..resilience import FaultInjector, RetryPolicy, SupervisedPool
 from ..sharedcht import SegmentManager, SharedCHT, SharedPredictorSpec
-from ..sharedcht.worker import CHTDeltas
+from ..sharedcht.durability import inject_torn_commit
+from ..sharedcht.worker import CHTDeltas, WorkerCHT
 from .detector import CollisionDetector, coord_key, pose_key
 from .queries import MotionCheckResult, QueryStats
 from .scheduling import NaiveScheduler, PoseScheduler
@@ -483,6 +485,7 @@ def _init_worker(
     seed: int,
     faults: FaultInjector | None = None,
     shared_predictor: SharedPredictorSpec | None = None,
+    publish_every: int | None = None,
 ) -> None:
     """Process-pool initializer: detector, kernel and a fork-safe RNG.
 
@@ -500,6 +503,14 @@ def _init_worker(
     (the table evolves continuously across shards exactly like a private
     table would). Restarted workers re-run this initializer and re-sync,
     picking up every delta already merged by the parent.
+
+    ``publish_every`` additionally arms *worker-direct publishing*: the
+    worker keeps a live handle on the shared banks and commits its delta
+    window straight into them every N motions (plus the shard-end
+    residual) under the segment's cross-process publish lock, instead of
+    shipping counters back through the parent. Requires a
+    ``lock_mode="process"`` table; restarted workers re-attach and their
+    first fenced commit rolls back any torn write the dead worker left.
     """
     _WORKER_STATE["detector"] = detector
     _WORKER_STATE["scheduler"] = scheduler
@@ -511,13 +522,29 @@ def _init_worker(
     _WORKER_STATE["rng"] = np.random.default_rng(
         np.random.SeedSequence([int(seed), os.getpid()])
     )
+    _WORKER_STATE["publish_every"] = publish_every
+    _WORKER_STATE["shared_handle"] = None
     if shared_predictor is None:
         _WORKER_STATE["predictor"] = None
-    else:
+    elif publish_every is None:
         _WORKER_STATE["segments"] = SegmentManager()
         _WORKER_STATE["predictor"] = shared_predictor.worker_predictor(
             manager=_WORKER_STATE["segments"]
         )
+    else:
+        # Worker-direct mode keeps a live handle, and the private sync
+        # copy is taken through *that* handle: if the previous worker
+        # died mid-publish, the snapshot's lock acquisition rolls the
+        # torn commit back here, so the handle's ``rollbacks`` counter
+        # carries the recovery event home in the next shard payload.
+        _WORKER_STATE["segments"] = SegmentManager()
+        handle = SharedCHT.attach(
+            shared_predictor.table, manager=_WORKER_STATE["segments"]
+        )
+        _WORKER_STATE["shared_handle"] = handle
+        coll, noncoll = handle.counters_snapshot()
+        worker = WorkerCHT(shared_predictor.table, coll, noncoll)
+        _WORKER_STATE["predictor"] = CHTPredictor(shared_predictor.hash_function, worker)
 
 
 def _check_one(motion: "Motion") -> tuple[bool, int | None, QueryStats]:
@@ -547,6 +574,24 @@ def _check_one(motion: "Motion") -> tuple[bool, int | None, QueryStats]:
     return result.collided, result.first_colliding_pose, result.stats
 
 
+def _publish_window(shard_index: int, attempt: int) -> CHTDeltas:
+    """Commit the worker's current delta window straight into shared banks.
+
+    The ``publish_every`` hot half: an epoch-fenced, process-locked
+    :meth:`~repro.sharedcht.WorkerCHT.publish_to` commit. The armed
+    ``kill_mid_publish`` fault fires here — the worker opens a fence,
+    scribbles half the counters and SIGKILLs itself *while holding the
+    publish lock*, which is exactly the crash the flock + backup-bank
+    rollback design exists to survive.
+    """
+    faults = _WORKER_STATE.get("faults")
+    handle = _WORKER_STATE["shared_handle"]
+    predictor = _WORKER_STATE["predictor"]
+    if faults is not None and faults.poll("kill_mid_publish", shard_index, attempt) is not None:
+        inject_torn_commit(handle, kill=True)  # never returns
+    return predictor.table.publish_to(handle)
+
+
 def _check_shard(
     shard_index: int, attempt: int, motions: "list[Motion]"
 ) -> tuple[list[tuple[bool, int | None, QueryStats]], CHTDeltas | None]:
@@ -555,25 +600,56 @@ def _check_shard(
     Armed faults fire first (deterministically, keyed by shard index and
     attempt number), so a crash/slow/exception fault hits the shard before
     any motion result is produced — a retried shard re-checks every motion
-    and the assembled workload stays bit-identical to a clean run.
+    and the assembled workload stays bit-identical to a clean run. A
+    ``torn_write`` fault opens an epoch fence on the shared banks and
+    abandons it (partial counters, odd epoch); the next fenced commit —
+    here or in any other process — must roll it back exactly.
 
     In shared-predictor mode the worker's delta watermark resets *before*
     the shard runs, so the returned :class:`~repro.sharedcht.CHTDeltas`
     payload carries exactly this attempt's table updates — a previous
     failed attempt's partial writes are absorbed into the watermark and
-    never published.
+    never published. With ``publish_every`` set the worker instead commits
+    its window directly every N motions plus the shard-end residual, and
+    the payload degrades to traffic-only accounting
+    (:meth:`CHTDeltas.combine_traffic`).
     """
     faults = _WORKER_STATE.get("faults")
     predictor = _WORKER_STATE.get("predictor")
+    handle = _WORKER_STATE.get("shared_handle")
+    publish_every = _WORKER_STATE.get("publish_every")
     if predictor is not None:
         predictor.table.reset_watermark()
     if faults is not None:
         faults.fire("crash", shard_index, attempt)
         faults.fire("slow", shard_index, attempt)
         faults.fire("exception", shard_index, attempt)
-    triples = [_check_one(motion) for motion in motions]
-    deltas = predictor.table.take_deltas() if predictor is not None else None
-    return triples, deltas
+        if handle is not None and faults.poll("torn_write", shard_index, attempt) is not None:
+            inject_torn_commit(handle)
+    if predictor is None:
+        return [_check_one(motion) for motion in motions], None
+    if handle is None:
+        triples = [_check_one(motion) for motion in motions]
+        return triples, predictor.table.take_deltas()
+    # Worker-direct publishing: commit a window every ``publish_every``
+    # motions, then the residual at shard end. One publish minimum per
+    # shard, so the parent still observes per-shard traffic accounting.
+    triples = []
+    windows: list[CHTDeltas] = []
+    since = 0
+    for motion in motions:
+        triples.append(_check_one(motion))
+        since += 1
+        if since >= publish_every:
+            windows.append(_publish_window(shard_index, attempt))
+            since = 0
+    windows.append(_publish_window(shard_index, attempt))
+    payload = CHTDeltas.combine_traffic(windows)
+    # Report the handle's *cumulative* recoveries (drained per shard):
+    # this also covers a torn commit rolled back during this worker's
+    # init-time sync, which no publish window observed.
+    drained, handle.rollbacks = handle.rollbacks, 0
+    return triples, dataclasses.replace(payload, rollbacks=drained)
 
 
 def check_motions_sharded(
@@ -591,6 +667,7 @@ def check_motions_sharded(
     faults: FaultInjector | None = None,
     counters: "ResilienceCounters | None" = None,
     shared_predictor: "SharedPredictorSpec | CHTPredictor | None" = None,
+    publish_every: int | None = None,
 ) -> "BatchResult":
     """Shard a motion workload over a supervised ``ProcessPoolExecutor``.
 
@@ -627,6 +704,16 @@ def check_motions_sharded(
     a private table. Multi-worker runs trade that for throughput:
     counters converge through the order-invariant saturating merge, while
     per-motion CDQ statistics become schedule-dependent.
+
+    ``publish_every`` (shared-predictor mode only, table created with
+    ``lock_mode="process"``) switches to *worker-direct publishing*: each
+    worker commits its delta window straight into the shared banks every
+    N motions plus a shard-end residual, under the segment's epoch-fenced
+    cross-process publish lock. Long shards stop hoarding observations —
+    other workers' next sync sees them mid-run — and the parent merge
+    loop degrades to traffic accounting. Single-writer runs stay
+    bit-exact: the publishes telescope (``min(B + (F - B), max) = F``),
+    landing the banks exactly where merge-on-join would.
     """
     from .pipeline import BatchResult
 
@@ -647,6 +734,17 @@ def check_motions_sharded(
         else:
             spec = shared_predictor
             shared_table = SharedCHT.attach(spec.table)
+    if publish_every is not None:
+        if publish_every < 1:
+            raise ValueError(f"publish_every must be >= 1, got {publish_every!r}")
+        if spec is None:
+            raise ValueError("publish_every requires a shared_predictor")
+        if spec.table.lock_mode != "process":
+            raise ValueError(
+                "publish_every commits from worker processes, which needs the "
+                "cross-process publish lock: create the shared table with "
+                f"lock_mode='process' (got {spec.table.lock_mode!r})"
+            )
     result = BatchResult(label=label)
     if not motions:
         return result
@@ -663,7 +761,7 @@ def check_motions_sharded(
         return ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(detector, scheduler, backend, seed, faults, spec),
+            initargs=(detector, scheduler, backend, seed, faults, spec, publish_every),
         )
 
     supervisor = SupervisedPool(
@@ -682,5 +780,8 @@ def check_motions_sharded(
         if deltas is not None and shared_table is not None:
             # Merge-on-join: commit each shard's increments in shard-index
             # order (deterministic, and bit-exact for a single writer).
+            # Worker-published shards carry traffic/recovery only.
             deltas.publish(shared_table)
+            if counters is not None and deltas.rollbacks:
+                counters.count("torn_commits_rolled_back", deltas.rollbacks)
     return result

@@ -49,6 +49,15 @@ RESILIENCE_COUNTER_NAMES = (
     "faults_injected",
     "shutdown_drained",
     "errors_recorded",
+    # Shared-CHT durability (repro.sharedcht.durability): epoch-fence
+    # recoveries, checksum failures, and the quarantine/rebuild/restore
+    # lifecycle of serving banks.
+    "torn_commits_rolled_back",
+    "segment_corruptions",
+    "banks_quarantined",
+    "banks_rebuilt",
+    "banks_restored",
+    "snapshot_failures",
 )
 
 

@@ -15,7 +15,19 @@ Fault kinds (``FAULT_KINDS``):
 * ``slow``      — a shard sleeps past its supervision timeout;
 * ``exception`` — the kernel raises mid-batch (:class:`FaultInjected`);
 * ``stall``     — an asyncio worker loop stops draining its queue for
-  ``delay_s`` seconds.
+  ``delay_s`` seconds;
+* ``torn_write``       — a shared-CHT commit opens its epoch fence,
+  scribbles partial counters and never closes it (the next fenced
+  commit must roll it back exactly);
+* ``corrupt_segment``  — shared-CHT counters are scribbled *outside*
+  the fence (checksum mismatch; the bank must be quarantined);
+* ``kill_mid_publish`` — the publisher SIGKILLs itself mid-commit while
+  holding the cross-process publish lock.
+
+The three shared-CHT kinds are decision-only here (like the asyncio
+kinds): their side effects live in :mod:`repro.sharedcht.durability`
+(``inject_torn_commit`` / ``inject_counter_corruption``), wired into the
+sharded driver's publish path and the serving layer's bank checks.
 
 The injector is picklable, so one instance configures both the parent
 process and every ``ProcessPoolExecutor`` worker (each worker holds its
@@ -41,7 +53,15 @@ __all__ = [
 ]
 
 #: The injectable failure modes.
-FAULT_KINDS = ("crash", "slow", "exception", "stall")
+FAULT_KINDS = (
+    "crash",
+    "slow",
+    "exception",
+    "stall",
+    "torn_write",
+    "corrupt_segment",
+    "kill_mid_publish",
+)
 
 
 class FaultInjected(RuntimeError):

@@ -31,7 +31,13 @@ from .admission import (
 )
 from .batching import BatchingConfig, MicroBatcher, worker_for_session
 from .loadgen import LoadGenerator, LoadTestReport, ScheduledRequest
-from .service import WORKER_ERROR_POLICIES, CollisionService, ServiceConfig, Session
+from .service import (
+    WORKER_ERROR_POLICIES,
+    CollisionService,
+    ServiceConfig,
+    Session,
+    scene_bank_key,
+)
 from .telemetry import ServiceTelemetry
 
 __all__ = [
@@ -55,4 +61,5 @@ __all__ = [
     "ServiceConfig",
     "Session",
     "ServiceTelemetry",
+    "scene_bank_key",
 ]

@@ -36,11 +36,15 @@ awaiter is never left hung — not by a crash, not by ``stop()``.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 import time
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
+
+import numpy as np
 
 from ..collision.detector import CollisionDetector
 from ..collision.pipeline import (
@@ -65,7 +69,8 @@ from ..resilience import (
     FaultInjector,
     WorkerCrashFault,
 )
-from ..sharedcht import SegmentManager, SharedCHT
+from ..sharedcht import SegmentCorruptionError, SegmentManager, SharedCHT
+from ..sharedcht.durability import inject_counter_corruption, inject_torn_commit
 from .admission import (
     QUERY_TYPES,
     STATUS_OK,
@@ -84,6 +89,7 @@ __all__ = [
     "Session",
     "SharedTableEntry",
     "CollisionService",
+    "scene_bank_key",
 ]
 
 #: What happens to a batch whose worker loop dies mid-execution:
@@ -95,6 +101,27 @@ WORKER_ERROR_POLICIES = ("predict", "error")
 def default_predictor_factory() -> Predictor:
     """A fresh COORD predictor with the paper's arm-planning defaults."""
     return CHTPredictor.create(CoordHash(bits_per_axis=4), table_size=4096, s=0.0)
+
+
+def scene_bank_key(scene: Scene, robot: RobotModel, representation: str) -> str:
+    """Stable content key for a (scene, robot, representation) triple.
+
+    Hashes the obstacle geometry (centers, half-extents, rotations as
+    float64 bytes) plus the robot name and volume representation, so the
+    same physical environment maps to the same shared bank across service
+    *restarts* — the anchor for snapshot/restore: a warm-restarted service
+    re-derives the same key and re-attaches the same collision history. A
+    16-hex-digit prefix keeps snapshot filenames short; collisions are
+    astronomically unlikely at fleet scale (64 bits over scene content).
+    """
+    digest = hashlib.sha1()
+    digest.update(representation.encode("utf-8"))
+    digest.update(robot.name.encode("utf-8"))
+    for box in scene.obstacles:
+        digest.update(np.asarray(box.center, dtype=np.float64).tobytes())
+        digest.update(np.asarray(box.half_extents, dtype=np.float64).tobytes())
+        digest.update(np.asarray(box.rotation, dtype=np.float64).tobytes())
+    return digest.hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -134,6 +161,12 @@ class ServiceConfig:
     shared_s: float = 0.0
     #: Update frequency ``U`` of shared banks.
     shared_u: float = 1.0
+    #: Snapshot directory for shared-bank durability (``shared_cht=True``
+    #: only). When set, :meth:`CollisionService.stop` writes every shared
+    #: bank to ``<cht_dir>/cht-<scene_key>.npz`` (atomic write-rename,
+    #: checksum-stamped) and bank creation first tries to *restore* from
+    #: that file — the warm-restart path of ``repro serve --restore-cht``.
+    cht_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -190,6 +223,18 @@ class SharedTableEntry:
     scheduler: PoseScheduler | None
     stats: QueryStats
     sessions: set[str]
+    #: Content key of the (scene, robot, representation) triple — the
+    #: stable identity snapshots are filed under (:func:`scene_bank_key`).
+    scene_key: str = ""
+    #: True while the bank's counters failed checksum verification and a
+    #: background rebuild is pending; quarantined banks serve *exact*
+    #: predictor-free checks (never predictions from corrupt history).
+    quarantined: bool = False
+    #: Times this bank was rebuilt after corruption.
+    rebuilds: int = 0
+    #: Restore provenance when the bank was warm-started from a snapshot
+    #: (path, restored occupancy, verified checksum), else None.
+    restored: dict | None = None
 
     def hit_rate(self) -> float:
         """Fraction of predictions that guessed "colliding"."""
@@ -268,10 +313,14 @@ class CollisionService:
         self.telemetry.set_breaker_provider(self._ladder.snapshot)
         self.telemetry.set_cht_provider(self._cht_snapshot)
         #: Scene-keyed shared CHT banks (``shared_cht=True`` only) and the
-        #: lifecycle manager owning their segments.
-        self._shared_tables: dict[tuple, SharedTableEntry] = {}
+        #: lifecycle manager owning their segments. Keys are stable
+        #: content digests (:func:`scene_bank_key`), so the same physical
+        #: scene resolves to the same bank across restarts.
+        self._shared_tables: dict[str, SharedTableEntry] = {}
         self._segments = SegmentManager()
         self._shared_counter = itertools.count()
+        #: In-flight background bank rebuilds (corruption recovery).
+        self._rebuild_tasks: set[asyncio.Task] = set()
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -319,6 +368,32 @@ class CollisionService:
         self._workers = []
         self._queues = []
         self._batchers = {}
+        # Let in-flight corruption rebuilds finish (they re-point entries
+        # at fresh banks) so the snapshot pass below sees final state.
+        for task in list(self._rebuild_tasks):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception as error:
+                self.telemetry.resilience.record_error("cht_rebuild", error)
+        self._rebuild_tasks = set()
+        # Durability: snapshot every healthy shared bank before releasing
+        # it, so the collision history survives the restart
+        # (``repro serve --restore-cht``). Quarantined banks are skipped —
+        # persisting counters that failed their checksum would launder
+        # corruption into the next process.
+        if self.config.cht_dir is not None:
+            for entry in self._shared_tables.values():
+                if entry.quarantined:
+                    continue
+                path = self._snapshot_path(entry.scene_key)
+                assert path is not None
+                try:
+                    entry.table.save(path)
+                except (OSError, SegmentCorruptionError, ValueError) as error:
+                    self.telemetry.resilience.record_error("cht_snapshot", error)
+                    self.telemetry.resilience.count("snapshot_failures")
         # Release every shared bank: handles degrade to private copies of
         # their last counters (detach), then the segments are unlinked so
         # a stopped service never leaves /dev/shm entries behind.
@@ -404,15 +479,10 @@ class CollisionService:
         detectors interchangeable; the canonical scheduler keeps the CDQ
         stream deterministic however sessions are mixed in a batch).
         """
-        key = (id(scene), id(robot), representation)
+        key = scene_bank_key(scene, robot, representation)
         entry = self._shared_tables.get(key)
         if entry is None:
-            table = SharedCHT.create(
-                size=self.config.shared_table_size,
-                s=self.config.shared_s,
-                u=self.config.shared_u,
-                manager=self._segments,
-            )
+            table, restored = self._build_bank(key)
             entry = SharedTableEntry(
                 entry_id=f"shared{next(self._shared_counter)}",
                 table=table,
@@ -421,9 +491,64 @@ class CollisionService:
                 scheduler=scheduler,
                 stats=QueryStats(),
                 sessions=set(),
+                scene_key=key,
+                restored=restored,
             )
             self._shared_tables[key] = entry
         return entry
+
+    def _snapshot_path(self, scene_key: str) -> "Path | None":
+        """Where this scene's bank snapshot lives (None without a cht_dir)."""
+        if self.config.cht_dir is None:
+            return None
+        return Path(self.config.cht_dir) / f"cht-{scene_key}.npz"
+
+    def _fresh_bank(self) -> SharedCHT:
+        """A zeroed shared bank with this service's configured geometry."""
+        return SharedCHT.create(
+            size=self.config.shared_table_size,
+            s=self.config.shared_s,
+            u=self.config.shared_u,
+            manager=self._segments,
+        )
+
+    def _build_bank(self, scene_key: str) -> "tuple[SharedCHT, dict | None]":
+        """Create a scene's shared bank, warm-restoring it when possible.
+
+        With ``cht_dir`` set and a snapshot on disk for this scene key,
+        the bank is loaded through the checksum-validated restore path
+        (:meth:`~repro.sharedcht.SharedCHT.load`); a missing snapshot,
+        a corrupt/unreadable one, or one whose geometry no longer matches
+        the service config falls back to a zeroed bank — a failed restore
+        must never block serving, it only costs warmth.
+        """
+        path = self._snapshot_path(scene_key)
+        if path is not None:
+            try:
+                table = SharedCHT.load(path, manager=self._segments)
+            except FileNotFoundError:
+                pass  # cold start: no snapshot for this scene yet
+            except (SegmentCorruptionError, OSError, ValueError, KeyError) as error:
+                self.telemetry.resilience.record_error("cht_restore", error)
+                self.telemetry.resilience.count("snapshot_failures")
+            else:
+                spec = table.spec
+                if (
+                    spec.size == self.config.shared_table_size
+                    and spec.s == self.config.shared_s
+                    and spec.u == self.config.shared_u
+                ):
+                    self.telemetry.resilience.count("banks_restored")
+                    restored = {
+                        "path": str(path),
+                        "occupancy": table.occupancy(),
+                        "checksum": table.stored_checksum,
+                    }
+                    return table, restored
+                # The snapshot predates a reconfiguration; its counters
+                # are meaningless under the new geometry. Discard it.
+                table.unlink()
+        return self._fresh_bank(), None
 
     def session(self, session_id: str) -> Session:
         """Look up an open session."""
@@ -640,6 +765,61 @@ class CollisionService:
             )
         )
 
+    def _check_bank(self, entry: SharedTableEntry, batch_index: int) -> bool:
+        """Verify a shared bank's integrity before predicting from it.
+
+        Runs the epoch-fence + checksum check (:meth:`SharedCHT.verify`)
+        once per group execution: a torn commit left by a dead writer is
+        rolled back exactly (counted), while a checksum mismatch — counters
+        scribbled outside the fence — quarantines the bank and schedules a
+        background rebuild. Returns True when the bank is safe to predict
+        from. Armed ``torn_write`` / ``corrupt_segment`` faults fire here,
+        so the chaos harness exercises both detection paths on the live
+        serving loop.
+        """
+        if self.faults is not None:
+            if self.faults.poll("torn_write", batch_index) is not None:
+                self.telemetry.resilience.count("faults_injected")
+                inject_torn_commit(entry.table)
+            if self.faults.poll("corrupt_segment", batch_index) is not None:
+                self.telemetry.resilience.count("faults_injected")
+                inject_counter_corruption(entry.table)
+        if entry.quarantined:
+            return False
+        try:
+            rolled = entry.table.verify()
+        except SegmentCorruptionError as error:
+            self.telemetry.resilience.record_error("shared_cht", error)
+            self.telemetry.resilience.count("segment_corruptions")
+            self.telemetry.resilience.count("banks_quarantined")
+            entry.quarantined = True
+            task = asyncio.ensure_future(self._rebuild_bank(entry))
+            self._rebuild_tasks.add(task)
+            task.add_done_callback(self._rebuild_tasks.discard)
+            return False
+        if rolled:
+            self.telemetry.resilience.count("torn_commits_rolled_back")
+        return True
+
+    async def _rebuild_bank(self, entry: SharedTableEntry) -> None:
+        """Replace a quarantined bank with a fresh zeroed one.
+
+        The corrupt segment is unlinked and the entry (and its predictor)
+        re-pointed at a new bank: collision history restarts cold for this
+        scene — the paper's CHT-reset semantics, triggered by integrity
+        loss instead of re-measurement — and sessions resume predicting
+        on the next batch.
+        """
+        old = entry.table
+        table = self._fresh_bank()
+        entry.table = table
+        entry.predictor.table = table
+        entry.quarantined = False
+        entry.rebuilds += 1
+        entry.restored = None
+        old.unlink()
+        self.telemetry.resilience.count("banks_rebuilt")
+
     def _execute_session_group(
         self, requests: list[QueryRequest], batch_size: int, batch_index: int
     ) -> None:
@@ -665,10 +845,24 @@ class CollisionService:
                 )
             return
         shared = session.shared
+        predictor: Predictor | None
         if shared is not None:
+            if self.faults is not None and self.faults.poll("kill_mid_publish", batch_index):
+                # The serving analogue of a publisher dying mid-commit:
+                # tear the bank's fence open and kill this worker loop.
+                # The next group execution's verify() rolls the commit
+                # back; the supervisor restarts the loop.
+                self.telemetry.resilience.count("faults_injected")
+                inject_torn_commit(shared.table)
+                raise WorkerCrashFault(
+                    f"injected mid-publish death at batch {batch_index}"
+                )
             detector, scheduler = shared.detector, shared.scheduler
-            predictor: Predictor | None = shared.predictor
             label = shared.entry_id
+            # Quarantined (or just-corrupted) banks answer *exact* but
+            # predictor-free: correct verdicts always beat fast guesses
+            # from counters that failed their checksum.
+            predictor = shared.predictor if self._check_bank(shared, batch_index) else None
             if len({request.session_id for request in requests}) > 1:
                 self.telemetry.count("cross_session_batches")
         else:
@@ -794,5 +988,10 @@ class CollisionService:
                 "reads": table.reads,
                 "writes": table.writes,
                 "segment": table.spec.name,
+                "scene_key": entry.scene_key,
+                "quarantined": entry.quarantined,
+                "rebuilds": entry.rebuilds,
+                "rollbacks": table.rollbacks,
+                "restored": entry.restored,
             }
         return {"sessions": per_session, "shared_tables": shared_tables}

@@ -7,11 +7,16 @@ image: counter banks in a ``multiprocessing`` shared-memory segment,
 wrapped in the familiar :class:`~repro.core.cht.CollisionHistoryTable`
 API.
 
-Three pieces:
+Four pieces:
 
 * :mod:`~repro.sharedcht.segments` — :class:`SegmentManager`, the
   mandatory lifecycle layer (create/attach/unlink; crashes never leak
   ``/dev/shm`` entries; reprolint F002 enforces routing through it);
+* :mod:`~repro.sharedcht.durability` — the crash-consistency layer:
+  versioned segment headers with a seqlock epoch fence + counter
+  checksum, a backup-bank rollback journal, the crash-robust
+  cross-process publish lock, and atomic checksum-stamped snapshots
+  (reprolint F003 keeps raw buffer writes inside the fence);
 * :mod:`~repro.sharedcht.table` — :class:`SharedCHT` and its picklable
   :class:`SharedCHTSpec`, the table-over-a-segment itself;
 * :mod:`~repro.sharedcht.worker` — :class:`WorkerCHT`,
@@ -24,11 +29,21 @@ sharded sweeps) and the serving layer's scene-keyed table sharing
 (``ServiceConfig(shared_cht=True)``).
 """
 
+from .durability import (
+    LOCK_MODES,
+    ProcessSegmentLock,
+    SegmentCorruptionError,
+    SegmentMissingError,
+)
 from .segments import SegmentManager, default_manager
 from .table import SharedCHT, SharedCHTSpec
 from .worker import CHTDeltas, SharedPredictorSpec, WorkerCHT
 
 __all__ = [
+    "LOCK_MODES",
+    "ProcessSegmentLock",
+    "SegmentCorruptionError",
+    "SegmentMissingError",
     "SegmentManager",
     "default_manager",
     "SharedCHT",

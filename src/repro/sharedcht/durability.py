@@ -1,0 +1,422 @@
+"""Crash-consistent durability for shared CHT segments.
+
+A shared counter bank is only as trustworthy as its worst crash: a
+publisher SIGKILLed halfway through a saturating merge leaves the bank
+*torn* — some entries carry the new increments, some the old — and every
+later reader silently predicts from a state no sequential run could ever
+have produced. This module gives each segment the machinery to make that
+impossible:
+
+* **Versioned header** (:class:`SegmentHeader`, the first
+  :data:`HEADER_NBYTES` bytes of every segment): magic, layout version
+  and a spec fingerprint reject foreign or mis-specified segments at
+  attach time; a seqlock-style **epoch counter** is bumped to odd when a
+  commit starts and back to even when it ends, so an odd epoch observed
+  under the publish lock *proves* the previous writer died mid-commit; a
+  CRC-32 **counter-bank checksum**, refreshed at every commit, catches
+  scribbled or bit-rotted banks that a clean epoch would otherwise hide.
+* **Rollback journal**: the segment carries a backup copy of both
+  counter columns, written *before* the epoch goes odd. Recovery from a
+  torn commit is therefore exact — restore the backup, bump the epoch
+  even — and a retried publisher re-merges its full delta window against
+  precisely the state the dead attempt started from, which is what keeps
+  crash-recovery runs bit-identical to fault-free ones.
+* **Cross-process publish lock** (:class:`ProcessSegmentLock`): an
+  ``flock`` over the segment's ``/dev/shm`` entry. A plain
+  ``multiprocessing.Lock`` would deadlock the whole fleet the moment a
+  lock-holding publisher is SIGKILLed (nothing ever releases it); the
+  kernel releases an ``flock`` when its holder dies, which is exactly
+  the crash the epoch fence is built to survive. The lock is
+  reconstructible from the segment name alone, so it needs no shared
+  state of its own and pickles across pool boundaries for free.
+* **Snapshots** (:func:`write_snapshot` / :func:`read_snapshot`):
+  checksum-stamped ``.npz`` files written via temp-file + ``os.replace``
+  so a crash mid-save can never leave a half-written snapshot under the
+  final name — the warm-restart path (``repro serve --restore-cht``)
+  either reads a bank that validates or falls back to a cold one.
+
+Layout of a segment (all little-endian, cells are ``int32``)::
+
+    [ header 64B | coll | noncoll | backup_coll | backup_noncoll ]
+
+The chaos helpers at the bottom (:func:`inject_torn_commit`,
+:func:`inject_counter_corruption`) are the deterministic fault-injection
+side of the same coin: they manufacture exactly the torn/corrupt states
+the fence must detect, for the ``torn_write`` / ``corrupt_segment`` /
+``kill_mid_publish`` fault kinds.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import signal
+import threading
+import zlib
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from .table import SharedCHT, SharedCHTSpec
+
+__all__ = [
+    "LAYOUT_VERSION",
+    "HEADER_NBYTES",
+    "LOCK_MODES",
+    "SegmentCorruptionError",
+    "SegmentMissingError",
+    "SegmentHeader",
+    "ProcessSegmentLock",
+    "publish_lock",
+    "spec_fingerprint",
+    "counters_checksum",
+    "write_snapshot",
+    "read_snapshot",
+    "inject_torn_commit",
+    "inject_counter_corruption",
+]
+
+#: First 8 bytes of every repro CHT segment.
+MAGIC = int.from_bytes(b"REPROCHT", "little")
+
+#: Bump on any change to the header or bank layout; attachers refuse
+#: segments written by a different layout.
+LAYOUT_VERSION = 1
+
+#: Reserved size of the segment header (fixed so the layout can grow
+#: fields without moving the counter banks).
+HEADER_NBYTES = 64
+
+#: Supported publish-lock modes: ``thread`` (single-process publishers,
+#: the serving layer) and ``process`` (concurrent multi-parent/worker
+#: publishes through the crash-robust flock).
+LOCK_MODES = ("thread", "process")
+
+#: Where the kernel materializes POSIX shared memory on Linux.
+_SHM_DIR = Path("/dev/shm")
+
+HEADER_DTYPE = np.dtype(
+    [
+        ("magic", "<u8"),
+        ("version", "<u4"),
+        ("flags", "<u4"),
+        ("spec_hash", "<u8"),
+        ("epoch", "<u8"),
+        ("checksum", "<u8"),
+        ("reserved", "V24"),
+    ]
+)
+
+#: Snapshot file format version (independent of the segment layout).
+SNAPSHOT_VERSION = 1
+
+_SNAPSHOT_FORMAT = "repro-cht-snapshot"
+
+
+class SegmentCorruptionError(RuntimeError):
+    """A shared segment (or snapshot) failed fence/checksum validation.
+
+    Raised by attach-time structure checks, :meth:`SharedCHT.verify` and
+    the snapshot reader. Carries the segment name (or snapshot path) so
+    quarantine paths can name what they are quarantining.
+    """
+
+    def __init__(self, segment: str, message: str) -> None:
+        super().__init__(f"segment {segment!r}: {message}")
+        self.segment = segment
+
+
+class SegmentMissingError(FileNotFoundError):
+    """A named segment does not exist (unlinked, or never created).
+
+    Subclasses :class:`FileNotFoundError` so callers catching the raw
+    OS error keep working; adds the segment name for typed handling.
+    """
+
+    def __init__(self, segment: str) -> None:
+        super().__init__(f"shared segment {segment!r} does not exist")
+        self.segment = segment
+
+
+def spec_fingerprint(spec: "SharedCHTSpec") -> int:
+    """Stable hash of a spec's layout-relevant fields (not its name).
+
+    Two handles may only share a segment if they agree on the table
+    geometry and behaviour; the fingerprint lives in the header so a
+    mismatched attach fails loudly instead of reading garbage.
+    """
+    token = f"{spec.size}:{spec.counter_bits}:{spec.s!r}:{spec.u!r}:{spec.lock_mode}"
+    return zlib.crc32(token.encode("utf-8"))
+
+
+def counters_checksum(coll: "np.ndarray", noncoll: "np.ndarray") -> int:
+    """CRC-32 over both counter columns (the header's ``checksum`` field)."""
+    return zlib.crc32(np.ascontiguousarray(noncoll).tobytes(),
+                      zlib.crc32(np.ascontiguousarray(coll).tobytes()))
+
+
+class SegmentHeader:
+    """View over the first :data:`HEADER_NBYTES` bytes of a segment.
+
+    All mutation happens with the segment's publish lock held; the epoch
+    field is the seqlock (even = stable, odd = commit in flight) and the
+    checksum covers the *live* counter columns only (the backup columns
+    are journal state, validated implicitly by the rollback protocol).
+    """
+
+    def __init__(self, buffer: Any) -> None:
+        self._fields = np.ndarray((), dtype=HEADER_DTYPE, buffer=buffer)
+
+    # -- field views -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return int(self._fields["epoch"])
+
+    @property
+    def checksum(self) -> int:
+        return int(self._fields["checksum"])
+
+    @property
+    def spec_hash(self) -> int:
+        return int(self._fields["spec_hash"])
+
+    @property
+    def torn(self) -> bool:
+        """True when a commit started and never finished (odd epoch)."""
+        return self.epoch % 2 == 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, spec_hash: int, checksum: int) -> None:
+        """Stamp a fresh (owner-created, zeroed) segment."""
+        self._fields["magic"] = MAGIC
+        self._fields["version"] = LAYOUT_VERSION
+        self._fields["flags"] = 0
+        self._fields["spec_hash"] = spec_hash
+        self._fields["epoch"] = 0
+        self._fields["checksum"] = checksum
+
+    def validate_structure(self, expected_hash: int, name: str) -> None:
+        """Attach-time checks that need no lock: magic, version, spec.
+
+        Deliberately does *not* look at the epoch or checksum — a
+        concurrent writer may legitimately be mid-commit; torn/corrupt
+        detection happens under the lock in :meth:`SharedCHT.verify`.
+        """
+        magic = int(self._fields["magic"])
+        if magic != MAGIC:
+            raise SegmentCorruptionError(
+                name, f"bad magic {magic:#018x} (expected {MAGIC:#018x}) — "
+                "not a repro CHT segment, or its header was overwritten"
+            )
+        version = int(self._fields["version"])
+        if version != LAYOUT_VERSION:
+            raise SegmentCorruptionError(
+                name, f"layout version {version} (this build reads {LAYOUT_VERSION})"
+            )
+        if self.spec_hash != expected_hash:
+            raise SegmentCorruptionError(
+                name, "spec fingerprint mismatch — the segment was created with "
+                "different table geometry (size/counter_bits/s/u/lock_mode)"
+            )
+
+    # -- commit fence ------------------------------------------------------
+
+    def begin_commit(self) -> None:
+        """Open the fence: epoch goes odd (backup must already be written)."""
+        self._fields["epoch"] = self.epoch + 1
+
+    def end_commit(self, checksum: int) -> None:
+        """Close the fence: stamp the new checksum, epoch back to even."""
+        self._fields["checksum"] = checksum
+        self._fields["epoch"] = self.epoch + 1
+
+    def finish_recovery(self, checksum: int) -> None:
+        """Close a fence left open by a dead writer (after rollback)."""
+        self._fields["checksum"] = checksum
+        self._fields["epoch"] = self.epoch + 1
+
+
+class ProcessSegmentLock:
+    """Cross-process publish lock over a segment's ``/dev/shm`` entry.
+
+    The ``multiprocessing.Lock`` variant of ``SharedCHT.lock`` is
+    implemented as an ``flock``, for one load-bearing reason: an
+    ``flock`` is released by the kernel when its holder dies, while a
+    SIGKILLed holder of a ``multiprocessing.Lock`` (a POSIX semaphore)
+    leaves it locked forever and deadlocks every other publisher. Under
+    this lock, "I acquired the lock and the epoch is odd" is a *proof*
+    that the previous holder died mid-commit, which is what makes
+    rollback-on-acquire sound.
+
+    A per-object thread gate serializes same-process threads (two
+    ``open()`` calls create distinct open file descriptions, so flock
+    alone would also exclude them — but the gate gives FIFO fairness and
+    keeps the fd bookkeeping single-threaded). Pickles by name, so specs
+    can carry it through pool initializers.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._thread_gate = threading.Lock()
+        self._fd: "int | None" = None
+
+    def acquire(self) -> None:
+        self._thread_gate.acquire()
+        try:
+            fd = os.open(str(_SHM_DIR / self.name), os.O_RDWR)
+        except FileNotFoundError as error:
+            self._thread_gate.release()
+            raise SegmentMissingError(self.name) from error
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except BaseException:
+            os.close(fd)
+            self._thread_gate.release()
+            raise
+        self._fd = fd
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        self._thread_gate.release()
+
+    def __enter__(self) -> "ProcessSegmentLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._thread_gate = threading.Lock()
+        self._fd = None
+
+
+def publish_lock(mode: str, name: str) -> "threading.Lock | ProcessSegmentLock":
+    """The publish lock for a segment, per its spec's ``lock_mode``."""
+    if mode == "process":
+        return ProcessSegmentLock(name)
+    if mode == "thread":
+        return threading.Lock()
+    raise ValueError(f"lock_mode must be one of {LOCK_MODES}, got {mode!r}")
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+def write_snapshot(
+    path: "str | os.PathLike", spec: "SharedCHTSpec", coll: "np.ndarray", noncoll: "np.ndarray"
+) -> dict:
+    """Atomically write a checksum-stamped bank snapshot; returns its meta.
+
+    Write-rename protocol: the payload lands in a same-directory temp
+    file (fsynced), then ``os.replace`` publishes it under the final
+    name. A crash at any point leaves either the previous snapshot or a
+    stray temp file — never a torn file that a restart would trust.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format": _SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "size": spec.size,
+        "s": spec.s,
+        "u": spec.u,
+        "counter_bits": spec.counter_bits,
+        "lock_mode": spec.lock_mode,
+        "checksum": counters_checksum(coll, noncoll),
+    }
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, meta=np.array(json.dumps(meta)), coll=coll, noncoll=noncoll)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return meta
+
+
+def read_snapshot(path: "str | os.PathLike") -> "tuple[dict, np.ndarray, np.ndarray]":
+    """Read and validate a snapshot; returns ``(meta, coll, noncoll)``.
+
+    Raises :class:`SegmentMissingError` when the file does not exist and
+    :class:`SegmentCorruptionError` when it exists but fails any check
+    (unreadable archive, wrong format/version, shape/meta mismatch, or a
+    counter checksum that does not match the stamped one).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SegmentMissingError(str(path))
+    try:
+        with np.load(path, allow_pickle=False) as payload:
+            meta = json.loads(str(payload["meta"][()]))
+            coll = np.array(payload["coll"])
+            noncoll = np.array(payload["noncoll"])
+    except Exception as error:  # np.load raises a zoo of types on damage
+        raise SegmentCorruptionError(str(path), f"unreadable snapshot: {error}") from error
+    if not isinstance(meta, dict) or meta.get("format") != _SNAPSHOT_FORMAT:
+        raise SegmentCorruptionError(str(path), "not a repro CHT snapshot")
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise SegmentCorruptionError(
+            str(path), f"snapshot version {meta.get('version')} (this build reads {SNAPSHOT_VERSION})"
+        )
+    if coll.shape != (meta.get("size"),) or noncoll.shape != coll.shape:
+        raise SegmentCorruptionError(str(path), "counter shapes disagree with snapshot meta")
+    actual = counters_checksum(coll, noncoll)
+    if actual != meta.get("checksum"):
+        raise SegmentCorruptionError(
+            str(path),
+            f"snapshot checksum mismatch (stored {meta.get('checksum')}, computed {actual})",
+        )
+    return meta, coll, noncoll
+
+
+# -- chaos helpers -----------------------------------------------------------
+
+
+def inject_torn_commit(table: "SharedCHT", *, kill: bool = False) -> None:
+    """Manufacture a torn commit: open the fence, scribble, never close it.
+
+    With ``kill=True`` the process SIGKILLs itself *while holding the
+    publish lock* mid-commit — the exact crash the flock + epoch fence
+    protocol exists to survive (the ``kill_mid_publish`` fault kind).
+    With ``kill=False`` the fence is simply left open (``torn_write``):
+    the next fenced commit or :meth:`SharedCHT.verify` must roll the
+    partial writes back to the pre-commit counters, bit-exactly.
+    """
+    with table.lock:
+        table._recover_locked()
+        table._begin_commit_locked()
+        half = max(1, table.size // 2)
+        table.coll[:half] += 1  # partial write behind the open fence
+        if kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+    # Lock released with the epoch still odd: a torn commit, on purpose.
+
+
+def inject_counter_corruption(table: "SharedCHT") -> None:
+    """Scribble the live counters *without* touching the fence.
+
+    Models bit-rot / a wild write from a buggy attacher: the epoch stays
+    even (so rollback does not apply) but the stored checksum no longer
+    matches — :meth:`SharedCHT.verify` must raise
+    :class:`SegmentCorruptionError` and the serving layer must
+    quarantine the bank (the ``corrupt_segment`` fault kind).
+    """
+    stride = max(1, table.size // 16)
+    table.coll[::stride] += 7  # bypasses the fenced helpers on purpose

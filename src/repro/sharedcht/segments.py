@@ -30,10 +30,24 @@ from __future__ import annotations
 
 import atexit
 import secrets
+import time
 
 from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING
+
+from .durability import SegmentMissingError
+
+if TYPE_CHECKING:
+    from ..resilience.supervisor import RetryPolicy
 
 __all__ = ["SegmentManager", "default_manager"]
+
+#: Default attach retry: two short seeded-jitter backoffs. Attach races
+#: are sub-millisecond (a sibling just created the segment, the parent is
+#: between create and publish), so the budget is tiny — a genuinely
+#: missing segment still fails in ~15 ms, now as a typed
+#: :class:`~repro.sharedcht.durability.SegmentMissingError`.
+_ATTACH_RETRY_DEFAULTS = {"max_retries": 2, "base_delay_s": 0.005, "max_delay_s": 0.05}
 
 #: Prefix of every segment name this repo allocates (greppable in /dev/shm).
 SEGMENT_PREFIX = "repro-cht-"
@@ -90,14 +104,40 @@ class SegmentManager:
         self._owned[name] = segment
         return segment
 
-    def attach(self, name: str) -> shared_memory.SharedMemory:
-        """Map an existing segment without taking ownership of its name."""
+    def attach(
+        self, name: str, *, retry: "RetryPolicy | None" = None
+    ) -> shared_memory.SharedMemory:
+        """Map an existing segment without taking ownership of its name.
+
+        Attaching races with creation and unlink: a worker can hold a
+        spec whose segment the parent is still a few instructions away
+        from publishing. Transient misses are absorbed by a bounded
+        seeded-jitter retry (``retry`` defaults to a tiny two-attempt
+        :class:`~repro.resilience.RetryPolicy` budget); a segment that
+        stays missing raises a typed
+        :class:`~repro.sharedcht.durability.SegmentMissingError` carrying
+        the segment name (a :class:`FileNotFoundError` subclass, so
+        legacy handlers keep working).
+        """
         cached = self._attached.get(name) or self._owned.get(name)
         if cached is not None:
             return cached
-        segment = shared_memory.SharedMemory(  # reprolint: disable=F002 -- manager attach path; immediately unregistered from the resource tracker so this process never unlinks a segment it does not own
-            name=name
-        )
+        if retry is None:
+            from ..resilience.supervisor import RetryPolicy
+
+            retry = RetryPolicy(**_ATTACH_RETRY_DEFAULTS)
+        attempt = 0
+        while True:
+            try:
+                segment = shared_memory.SharedMemory(  # reprolint: disable=F002 -- manager attach path; immediately unregistered from the resource tracker so this process never unlinks a segment it does not own
+                    name=name
+                )
+                break
+            except FileNotFoundError as error:
+                if attempt >= retry.max_retries:
+                    raise SegmentMissingError(name) from error
+                time.sleep(retry.delay_s(attempt))
+                attempt += 1
         _untrack(segment)
         self._attached[name] = segment
         return segment

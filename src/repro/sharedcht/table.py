@@ -10,12 +10,22 @@ counters, which is what lets collision history learned by one planning
 query accelerate every other query against the same scene.
 
 Semantics are bit-identical to the private table: every method is
-inherited, and the only overrides keep the shared backing intact
-(:meth:`~repro.core.cht.CollisionHistoryTable.merge_counts` already
-commits in place) and serialize concurrent merges behind a lock. Traffic
-statistics (``reads``/``writes``/``skipped_updates``) are per-handle —
-each attached process accounts its own traffic, mirroring how the
-hardware charges per-lane CHT accesses.
+inherited, and the overrides keep the shared backing intact and
+crash-consistent. Each segment opens with a versioned header and a
+rollback journal (:mod:`~repro.sharedcht.durability`), and every
+mutating path — ``merge_counts``, ``update``, ``reset`` — runs as an
+*epoch-fenced commit*: back the live counters up, bump the epoch odd,
+mutate, stamp the new checksum, bump the epoch even. A publisher killed
+at any instant leaves a state the next lock holder repairs exactly
+(rollback to the backup), so shared banks never expose torn counters.
+
+The publish lock comes in two modes (``SharedCHTSpec.lock_mode``):
+``thread`` for single-process publishers (the serving layer) and
+``process`` — a crash-robust flock — for concurrent multi-parent and
+in-worker publishes. Traffic statistics (``reads``/``writes``/
+``skipped_updates``) remain per-handle: each attached process accounts
+its own traffic, mirroring how the hardware charges per-lane CHT
+accesses.
 """
 
 from __future__ import annotations
@@ -23,16 +33,31 @@ from __future__ import annotations
 import threading
 
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
 import numpy as np
 
 from ..core.cht import COUNTER_BITS, CollisionHistoryTable
+from .durability import (
+    HEADER_NBYTES,
+    LOCK_MODES,
+    ProcessSegmentLock,
+    SegmentCorruptionError,
+    SegmentHeader,
+    counters_checksum,
+    publish_lock,
+    read_snapshot,
+    spec_fingerprint,
+    write_snapshot,
+)
 from .segments import SegmentManager, default_manager
 
 __all__ = ["SharedCHTSpec", "SharedCHT"]
 
 #: Counter cell dtype in the shared segment (matches the private table).
 _CELL_DTYPE = np.int32
+
+_T = TypeVar("_T")
 
 
 def _segment_nbytes(size: int) -> int:
@@ -47,7 +72,8 @@ class SharedCHTSpec:
     Picklable by construction (strings and numbers only), so it can ride
     through ``ProcessPoolExecutor`` initargs and serving config dumps.
     The segment holds raw counters; the spec carries the interpretation
-    (table geometry and prediction strategy).
+    (table geometry, prediction strategy, and which publish lock guards
+    commits — see :data:`~repro.sharedcht.durability.LOCK_MODES`).
     """
 
     name: str
@@ -55,23 +81,30 @@ class SharedCHTSpec:
     s: float = 0.0
     u: float = 1.0
     counter_bits: int = COUNTER_BITS
+    lock_mode: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.lock_mode not in LOCK_MODES:
+            raise ValueError(f"lock_mode must be one of {LOCK_MODES}, got {self.lock_mode!r}")
 
     def nbytes(self) -> int:
-        """Size of the backing segment in bytes."""
-        return _segment_nbytes(self.size)
+        """Size of the backing segment: header + live banks + backup banks."""
+        return HEADER_NBYTES + 2 * _segment_nbytes(self.size)
 
 
 class SharedCHT(CollisionHistoryTable):
     """A CHT whose counters are views over a shared-memory segment.
 
-    Build with :meth:`create` (allocates and owns the segment) or
-    :meth:`attach` (maps a segment some other handle created). The
+    Build with :meth:`create` (allocates and owns the segment),
+    :meth:`attach` (maps a segment some other handle created) or
+    :meth:`load` (rehydrates a saved snapshot into a fresh segment). The
     inherited API — ``predict``/``predict_many``/``probe_many``,
     ``update``/``update_many``, ``occupancy``, ``storage_bits``,
-    ``reset`` — operates directly on the shared counters; ``merge_counts``
-    (the saturating bincount commit) additionally takes :attr:`lock`, so
-    concurrent delta publishes from several threads/processes serialize
-    instead of losing increments.
+    ``reset`` — operates directly on the shared counters; every mutating
+    override additionally takes :attr:`lock` and runs as an epoch-fenced
+    commit (backup → odd epoch → mutate → checksum → even epoch), so
+    concurrent publishers serialize and a publisher crash at any instant
+    is recoverable bit-exactly by the next lock holder.
     """
 
     def __init__(
@@ -89,19 +122,33 @@ class SharedCHT(CollisionHistoryTable):
         self.spec = spec
         self.owner = owner
         self._manager = manager if manager is not None else default_manager()
-        #: Guards merge_counts; replace with a ``multiprocessing.Lock`` when
-        #: several *processes* publish concurrently (merge-on-join runs
-        #: publish only from the parent, where a thread lock suffices).
-        self.lock: "threading.Lock | object" = threading.Lock()
+        #: Publish lock per ``spec.lock_mode``: a ``threading.Lock`` when
+        #: all publishers share one process, or the crash-robust
+        #: cross-process flock (:class:`ProcessSegmentLock`) when several
+        #: parents/workers commit concurrently.
+        self.lock: "threading.Lock | ProcessSegmentLock" = publish_lock(
+            spec.lock_mode, spec.name
+        )
+        #: Torn commits this handle rolled back (crash-recovery events).
+        self.rollbacks = 0
         shm = self._manager.attach(spec.name) if segment is None else segment
         buffer = shm.buf if hasattr(shm, "buf") else shm
-        cells = np.ndarray((2, spec.size), dtype=_CELL_DTYPE, buffer=buffer)
+        banks = np.ndarray(
+            (4, spec.size), dtype=_CELL_DTYPE, buffer=buffer, offset=HEADER_NBYTES
+        )
+        header = SegmentHeader(buffer)
         if owner:
-            cells.fill(0)
+            banks.fill(0)
+            header.initialize(spec_fingerprint(spec), counters_checksum(banks[0], banks[1]))
+        else:
+            header.validate_structure(spec_fingerprint(spec), spec.name)
         # Rebind the private zero arrays allocated by the base constructor
         # to the shared views; every inherited method writes in place.
-        self.coll = cells[0]
-        self.noncoll = cells[1]
+        self.coll = banks[0]
+        self.noncoll = banks[1]
+        self._backup_coll: "np.ndarray | None" = banks[2]
+        self._backup_noncoll: "np.ndarray | None" = banks[3]
+        self._header: "SegmentHeader | None" = header
 
     # -- construction ------------------------------------------------------
 
@@ -113,16 +160,24 @@ class SharedCHT(CollisionHistoryTable):
         u: float = 1.0,
         *,
         counter_bits: int = COUNTER_BITS,
+        lock_mode: str = "thread",
         rng: "np.random.Generator | None" = None,
         manager: SegmentManager | None = None,
         name: str | None = None,
     ) -> "SharedCHT":
         """Allocate a fresh zeroed shared table and own its segment."""
         manager = manager if manager is not None else default_manager()
-        probe = SharedCHTSpec(name="", size=size, s=s, u=u, counter_bits=counter_bits)
+        probe = SharedCHTSpec(
+            name="", size=size, s=s, u=u, counter_bits=counter_bits, lock_mode=lock_mode
+        )
         segment = manager.create(probe.nbytes(), name=name)
         spec = SharedCHTSpec(
-            name=segment.name, size=size, s=s, u=u, counter_bits=counter_bits
+            name=segment.name,
+            size=size,
+            s=s,
+            u=u,
+            counter_bits=counter_bits,
+            lock_mode=lock_mode,
         )
         return cls(spec, segment, rng=rng, manager=manager, owner=True)
 
@@ -137,17 +192,198 @@ class SharedCHT(CollisionHistoryTable):
         """Map a table created elsewhere (same process or another one)."""
         return cls(spec, rng=rng, manager=manager, owner=False)
 
+    @classmethod
+    def load(
+        cls,
+        path: "str | object",
+        *,
+        lock_mode: str | None = None,
+        rng: "np.random.Generator | None" = None,
+        manager: SegmentManager | None = None,
+        name: str | None = None,
+    ) -> "SharedCHT":
+        """Rehydrate a :meth:`save` snapshot into a fresh owned segment.
+
+        The snapshot's checksum is validated before a byte lands in the
+        segment (a tampered or torn file raises
+        :class:`~repro.sharedcht.durability.SegmentCorruptionError`), and
+        the restore itself runs as a fenced commit, so the new bank is
+        immediately verifiable. ``lock_mode`` overrides the saved mode
+        (the snapshot records geometry; the lock is a deployment choice).
+        """
+        meta, coll, noncoll = read_snapshot(path)  # type: ignore[arg-type]
+        table = cls.create(
+            size=int(meta["size"]),
+            s=float(meta["s"]),
+            u=float(meta["u"]),
+            counter_bits=int(meta["counter_bits"]),
+            lock_mode=lock_mode if lock_mode is not None else str(meta["lock_mode"]),
+            rng=rng,
+            manager=manager,
+            name=name,
+        )
+
+        def restore() -> None:
+            table.coll[:] = coll
+            table.noncoll[:] = noncoll
+
+        table._fenced(restore)
+        return table
+
+    # -- the commit fence --------------------------------------------------
+
+    def _recover_locked(self) -> bool:
+        """Roll a torn commit back to its pre-commit counters (lock held).
+
+        Sound because the backup columns are fully written *before* the
+        epoch goes odd: whatever instant the dead writer was killed at,
+        either the live counters are still untouched (epoch even — no
+        recovery needed) or the backup holds the exact pre-commit state.
+        """
+        header = self._header
+        if header is None or not header.torn:
+            return False
+        assert self._backup_coll is not None and self._backup_noncoll is not None
+        np.copyto(self.coll, self._backup_coll)
+        np.copyto(self.noncoll, self._backup_noncoll)
+        header.finish_recovery(counters_checksum(self.coll, self.noncoll))
+        self.rollbacks += 1
+        return True
+
+    def _begin_commit_locked(self) -> None:
+        """Journal the live counters, then open the fence (lock held)."""
+        assert self._header is not None
+        assert self._backup_coll is not None and self._backup_noncoll is not None
+        np.copyto(self._backup_coll, self.coll)
+        np.copyto(self._backup_noncoll, self.noncoll)
+        self._header.begin_commit()
+
+    def _end_commit_locked(self) -> None:
+        """Stamp the fresh checksum and close the fence (lock held)."""
+        assert self._header is not None
+        self._header.end_commit(counters_checksum(self.coll, self.noncoll))
+
+    def _fenced(self, mutate: "Callable[[], _T]") -> _T:
+        """Run one mutation as a crash-consistent commit under the lock.
+
+        Rolls back any torn commit left by a dead publisher first, so
+        ``mutate`` always starts from a consistent state. If ``mutate``
+        itself dies (or raises) mid-write, the fence stays open and the
+        *next* lock holder rolls its partial writes back — exactly the
+        semantics a crashed publisher needs for bit-exact retries.
+        """
+        with self.lock:
+            if self._header is None:  # detached: a plain private table again
+                return mutate()
+            self._recover_locked()
+            self._begin_commit_locked()
+            result = mutate()
+            self._end_commit_locked()
+            return result
+
     # -- shared-specific behaviour ----------------------------------------
 
     def merge_counts(self, coll_counts: "np.ndarray", noncoll_counts: "np.ndarray") -> None:
-        """Lock-guarded saturating commit into the shared counter banks."""
-        with self.lock:  # type: ignore[union-attr]
-            super().merge_counts(coll_counts, noncoll_counts)
+        """Epoch-fenced saturating commit into the shared counter banks."""
+
+        def commit() -> None:
+            CollisionHistoryTable.merge_counts(self, coll_counts, noncoll_counts)
+
+        self._fenced(commit)
+
+    def update(self, code: int, collided: bool) -> bool:
+        """Epoch-fenced scalar update (the serving layer's direct path)."""
+
+        def commit() -> bool:
+            return CollisionHistoryTable.update(self, code, collided)
+
+        return self._fenced(commit)
+
+    def reset(self) -> None:
+        """Epoch-fenced zeroing of both counter columns."""
+
+        def commit() -> None:
+            CollisionHistoryTable.reset(self)
+
+        self._fenced(commit)
+
+    def verify(self) -> bool:
+        """Validate the bank under the lock; True if a torn commit was repaired.
+
+        Order matters: first roll back any torn commit (that is recovery,
+        not corruption), then check the structure and the counter
+        checksum. A mismatch *after* recovery means the counters were
+        mutated outside the fence (bit-rot, a wild write) and raises
+        :class:`~repro.sharedcht.durability.SegmentCorruptionError` — the
+        caller's cue to quarantine and rebuild the bank.
+        """
+        if self._header is None:
+            return False
+        with self.lock:
+            rolled = self._recover_locked()
+            self._header.validate_structure(spec_fingerprint(self.spec), self.spec.name)
+            stored = self._header.checksum
+            actual = counters_checksum(self.coll, self.noncoll)
+            if stored != actual:
+                raise SegmentCorruptionError(
+                    self.spec.name,
+                    f"counter-bank checksum mismatch (stored {stored:#010x}, "
+                    f"computed {actual:#010x}) — counters were written outside "
+                    "the epoch fence",
+                )
+            return rolled
 
     def counters_snapshot(self) -> "tuple[np.ndarray, np.ndarray]":
-        """Private copies of (COLL, NONCOLL) — a worker's sync point."""
-        with self.lock:  # type: ignore[union-attr]
+        """Private copies of (COLL, NONCOLL) — a worker's sync point.
+
+        Taken under the lock *after* torn-commit recovery, so a worker
+        restarted over the corpse of a mid-publish crash syncs from
+        exactly the state the dead attempt started from.
+        """
+        with self.lock:
+            if self._header is not None:
+                self._recover_locked()
             return self.coll.copy(), self.noncoll.copy()
+
+    def save(self, path: "str | object") -> dict:
+        """Write an atomic, checksum-stamped snapshot; returns its meta.
+
+        See :func:`~repro.sharedcht.durability.write_snapshot` for the
+        write-rename protocol. Counters are copied under the lock (after
+        recovery), so the snapshot is always a committed state.
+        """
+        with self.lock:
+            if self._header is not None:
+                self._recover_locked()
+            coll = self.coll.copy()
+            noncoll = self.noncoll.copy()
+        return write_snapshot(path, self.spec, coll, noncoll)  # type: ignore[arg-type]
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def epoch(self) -> "int | None":
+        """The segment's commit epoch (None once detached)."""
+        return self._header.epoch if self._header is not None else None
+
+    @property
+    def stored_checksum(self) -> "int | None":
+        """The checksum stamped at the last commit (None once detached)."""
+        return self._header.checksum if self._header is not None else None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _go_private(self) -> None:
+        """Copy counters out and drop every view/lock tied to the segment."""
+        self.coll = self.coll.copy()
+        self.noncoll = self.noncoll.copy()
+        self._backup_coll = None
+        self._backup_noncoll = None
+        self._header = None
+        # The flock variant opens the (possibly now-unlinked) /dev/shm
+        # entry on every acquire; a detached handle must not, so it
+        # degrades to a plain thread lock alongside its private counters.
+        self.lock = threading.Lock()
 
     def detach(self) -> None:
         """Degrade to a private table: copy counters out, drop the views.
@@ -156,12 +392,10 @@ class SharedCHT(CollisionHistoryTable):
         counters) but no longer pins the segment, so the manager can close
         the mapping; the segment itself lives until the owner unlinks it.
         """
-        self.coll = self.coll.copy()
-        self.noncoll = self.noncoll.copy()
+        self._go_private()
         self._manager.close(self.spec.name)
 
     def unlink(self) -> None:
         """Unlink the backing segment (owner only; name disappears)."""
-        self.coll = self.coll.copy()
-        self.noncoll = self.noncoll.copy()
+        self._go_private()
         self._manager.unlink(self.spec.name)

@@ -52,13 +52,23 @@ class CHTDeltas:
     reads: int = 0
     writes: int = 0
     skipped_updates: int = 0
+    #: Torn commits rolled back while publishing this window (crash
+    #: recovery events observed worker-side; folded into the parent
+    #: handle's ``rollbacks`` so run-level accounting survives the pool).
+    rollbacks: int = 0
+    #: True when the counters were already committed by the worker (the
+    #: ``publish_every`` mid-run path): :meth:`publish` then carries only
+    #: traffic statistics back to the parent handle.
+    published: bool = False
 
     def publish(self, shared: SharedCHT) -> None:
         """Commit this payload into a shared table (counters and traffic)."""
-        shared.merge_counts(self.coll, self.noncoll)
+        if not self.published:
+            shared.merge_counts(self.coll, self.noncoll)
         shared.reads += int(self.reads)
         shared.writes += int(self.writes)
         shared.skipped_updates += int(self.skipped_updates)
+        shared.rollbacks += int(self.rollbacks)
 
     def is_empty(self) -> bool:
         """True when the window saw no table traffic at all."""
@@ -66,8 +76,29 @@ class CHTDeltas:
             self.reads == 0
             and self.writes == 0
             and self.skipped_updates == 0
+            and self.rollbacks == 0
             and not self.coll.any()
             and not self.noncoll.any()
+        )
+
+    @classmethod
+    def combine_traffic(cls, windows: "list[CHTDeltas]") -> "CHTDeltas":
+        """Fold already-published windows into one traffic-only payload.
+
+        Used by the ``publish_every`` worker path: each window's counters
+        went straight into the shared banks under the process lock, so
+        the shard's return payload carries only the summed traffic (and
+        recovery) statistics for the parent to account.
+        """
+        empty = np.zeros(0, dtype=np.int64)
+        return cls(
+            coll=empty,
+            noncoll=empty,
+            reads=sum(window.reads for window in windows),
+            writes=sum(window.writes for window in windows),
+            skipped_updates=sum(window.skipped_updates for window in windows),
+            rollbacks=sum(window.rollbacks for window in windows),
+            published=True,
         )
 
 
@@ -150,6 +181,33 @@ class WorkerCHT(CollisionHistoryTable):
         )
         self.reset_watermark()
         return deltas
+
+    def publish_to(self, shared: SharedCHT) -> CHTDeltas:
+        """Mid-run delta publish: commit the current window directly.
+
+        The ``publish_every`` path (periodic publishes every N motions,
+        so long shards stop hoarding observations): counters merge into
+        the shared banks *here*, under the table's publish lock — an
+        epoch-fenced commit, so a crash mid-merge is rolled back exactly
+        by the next lock holder — while the window's traffic statistics
+        ride back in the returned ``published=True`` payload for the
+        parent handle to account (per-handle accounting stays with the
+        driver, same as the merge-on-join protocol).
+        """
+        deltas = self.take_deltas()
+        rollbacks_before = shared.rollbacks
+        if deltas.coll.any() or deltas.noncoll.any():
+            shared.merge_counts(deltas.coll, deltas.noncoll)
+        empty = np.zeros(0, dtype=np.int64)
+        return CHTDeltas(
+            coll=empty,
+            noncoll=empty,
+            reads=deltas.reads,
+            writes=deltas.writes,
+            skipped_updates=deltas.skipped_updates,
+            rollbacks=shared.rollbacks - rollbacks_before,
+            published=True,
+        )
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -98,6 +106,65 @@ class TestServingCommands:
         out = capsys.readouterr().out
         assert "p99" in out and "offered:   30" in out
         assert report_json.exists()
+
+    def test_serve_restore_cht_roundtrip(self, tmp_path, capsys):
+        # Cold selftest snapshots its scene banks on drain; a second run
+        # pointed at the same directory must restore them and say so.
+        cht_dir = tmp_path / "banks"
+        assert main(["serve", "--selftest", "--restore-cht", str(cht_dir)]) == 0
+        cold = capsys.readouterr().out
+        snapshots = list(cht_dir.glob("cht-*.npz"))
+        assert snapshots, "drain must have written scene-bank snapshots"
+
+        assert main(["serve", "--selftest", "--restore-cht", str(cht_dir)]) == 0
+        warm_out = capsys.readouterr().out
+        warm = json.loads(warm_out[: warm_out.rfind("}") + 1])
+        assert warm["resilience"]["banks_restored"] >= 1
+        restored = [
+            entry["restored"]
+            for entry in warm["cht"]["shared_tables"].values()
+            if entry.get("restored")
+        ]
+        assert restored and all(r["occupancy"] > 0 for r in restored)
+        assert "banks_restored" in cold  # counter always reported
+
+    def test_serve_sigterm_drains_and_snapshots(self, tmp_path):
+        # A real SIGTERM against a lingering serve process: it must
+        # drain gracefully (exit 0) and leave verified snapshots behind.
+        cht_dir = tmp_path / "banks"
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parents[1]
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--selftest",
+                "--shared-cht", "--restore-cht", str(cht_dir), "--linger", "30",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=str(root),
+        )
+        try:
+            # Wait for the linger marker so the signal handler is live.
+            deadline = time.monotonic() + 60
+            for line in proc.stdout:
+                if "lingering" in line:
+                    break
+                assert time.monotonic() < deadline, "selftest never reached linger"
+            proc.send_signal(signal.SIGTERM)
+            out = proc.stdout.read()
+            code = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert code == 0, out
+        assert "drained on signal" in out
+        assert list(cht_dir.glob("cht-*.npz")), "SIGTERM drain must snapshot banks"
 
     def test_loadtest_counts_backpressure(self, tmp_path, capsys):
         trace = tmp_path / "wl.jsonl"

@@ -213,6 +213,73 @@ class TestF002SharedMemoryLifecycle:
         assert all(s.has_reason for s in f002)
 
 
+class TestF003SharedBufferWrites:
+    def test_fires_on_subscript_assignment_into_buf(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def scribble(segment):\n"
+            "    segment.buf[0] = 1\n",
+        )
+        assert rule_ids(findings) == ["F003"]
+        assert "epoch fence" in findings[0].message
+
+    def test_fires_on_augmented_slice_write(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def bump(segment):\n"
+            "    segment.buf[4:8] += 1\n",
+        )
+        assert rule_ids(findings) == ["F003"]
+
+    def test_fires_on_ndarray_view_over_buf(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def view(segment, size):\n"
+            "    return np.ndarray((size,), dtype=np.int32, buffer=segment.buf)\n",
+        )
+        assert rule_ids(findings) == ["F003"]
+        assert "fenced" in findings[0].message
+
+    def test_fires_on_frombuffer_positional(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def view(segment):\n"
+            "    return np.frombuffer(segment.buf, dtype=np.int32)\n",
+        )
+        assert rule_ids(findings) == ["F003"]
+
+    def test_silent_in_fenced_modules(self, tmp_path):
+        source = (
+            "import numpy as np\n"
+            "def bind(segment, size):\n"
+            "    return np.ndarray((size,), dtype=np.int32, buffer=segment.buf)\n"
+        )
+        for relname in ("sharedcht/table.py", "sharedcht/durability.py"):
+            findings = lint_source(tmp_path, source, filename=relname)
+            assert findings == []
+
+    def test_silent_on_unrelated_attributes_and_views(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def fine(pack):\n"
+            "    pack.rows[0] = 1\n"
+            "    return np.ndarray((4,), buffer=pack.storage)\n",
+        )
+        assert findings == []
+
+    def test_silent_in_test_files(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def fixture(segment):\n"
+            "    segment.buf[0] = 255\n",
+            filename="test_fixture.py",
+        )
+        assert findings == []
+
+
 class TestC001SilentExcept:
     def test_fires_on_swallowing_handler(self, tmp_path):
         findings = lint_source(
@@ -501,7 +568,7 @@ class TestCli:
 
 
 @pytest.mark.parametrize(
-    "rule_id", ["D001", "D002", "F001", "F002", "C001", "M001", "N001", "A001"]
+    "rule_id", ["D001", "D002", "F001", "F002", "F003", "C001", "M001", "N001", "A001"]
 )
 def test_every_rule_is_registered_with_a_summary(rule_id):
     from tools.reprolint import RULES

@@ -381,10 +381,10 @@ class TestMergeOrderInvariance:
 # -- sharded driver: single-writer parity and crash recovery ----------------
 
 
-def _parity_pair(size, s, u):
+def _parity_pair(size, s, u, lock_mode="thread"):
     """A shared predictor + an identically-configured private baseline."""
     mgr = SegmentManager()
-    table = SharedCHT.create(size=size, s=s, u=u, manager=mgr)
+    table = SharedCHT.create(size=size, s=s, u=u, manager=mgr, lock_mode=lock_mode)
     shared_predictor = CHTPredictor(CoordHash(bits_per_axis=4), table)
     baseline = CHTPredictor(
         CoordHash(bits_per_axis=4), CollisionHistoryTable(size=size, s=s, u=u)
@@ -431,6 +431,62 @@ class TestShardedSingleWriterParity:
             assert table.reads == baseline.table.reads
             assert table.writes == baseline.table.writes
             assert table.skipped_updates == baseline.table.skipped_updates
+        finally:
+            mgr.shutdown()
+
+    def test_thousand_motion_parity_with_worker_direct_publishes(self):
+        # Same acceptance sweep, but workers commit delta windows
+        # straight into the shared banks every 100 motions through the
+        # cross-process publish lock (publish_every mode). Mid-run
+        # publishes telescope — min(B + (F - B), max) == min(F, max) —
+        # so everything must stay bit-identical to the sequential run.
+        rng = np.random.default_rng(90)
+        robot = planar_2d()
+        scene = _random_scene(rng, 8)
+        detector = CollisionDetector(scene, robot)
+        motions = _make_motions(robot, rng, 1024)
+        mgr, table, shared_predictor, baseline = _parity_pair(
+            1024, 0.0, 1.0, lock_mode="process"
+        )
+        try:
+            sharded = check_motions_sharded(
+                detector,
+                motions,
+                backend="batch",
+                max_workers=1,
+                seed=4,
+                shared_predictor=shared_predictor,
+                publish_every=100,
+            )
+            sequential = check_motion_batch(
+                detector, motions, predictor=baseline, backend="scalar"
+            )
+            assert len(sharded.outcomes) == 1024
+            _assert_batches_match(sharded, sequential)
+            np.testing.assert_array_equal(table.coll, baseline.table.coll)
+            np.testing.assert_array_equal(table.noncoll, baseline.table.noncoll)
+            assert table.reads == baseline.table.reads
+            assert table.writes == baseline.table.writes
+            assert table.skipped_updates == baseline.table.skipped_updates
+        finally:
+            mgr.shutdown()
+
+    def test_publish_every_requires_process_lock(self):
+        rng = np.random.default_rng(2)
+        robot = planar_2d()
+        detector = CollisionDetector(_random_scene(rng, 4), robot)
+        motions = _make_motions(robot, rng, 8)
+        mgr, _table, shared_predictor, _baseline = _parity_pair(64, 0.0, 1.0)
+        try:
+            with pytest.raises(ValueError, match="lock_mode='process'"):
+                check_motions_sharded(
+                    detector,
+                    motions,
+                    backend="batch",
+                    max_workers=1,
+                    shared_predictor=shared_predictor,
+                    publish_every=4,
+                )
         finally:
             mgr.shutdown()
 

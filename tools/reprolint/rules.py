@@ -7,6 +7,10 @@ Every rule exists because a layer of this codebase depends on it:
   every duration comes from a monotonic clock.
 - **F001** — ``check_motions_sharded`` and ``SupervisedPool`` fork
   workers; state captured across the fork boundary silently diverges.
+- **F002/F003** — shared-memory segments leak (or get unlinked from
+  under their owner) unless routed through ``SegmentManager``, and raw
+  writes to segment buffers bypass the epoch fence that makes commits
+  crash-recoverable.
 - **C001** — the resilience layer's contract is that swallowed errors
   are *counted*; a silent ``except Exception`` voids the accounting.
 - **M001/N001** — classic python/numpy traps that have bitten batch
@@ -378,6 +382,62 @@ class SharedMemoryLifecycleRule(Rule):
                 "resource tracker unlinks a segment this process does not own "
                 "(attach, bpo-38119); use SegmentManager.create()/attach()",
             )
+
+
+@register
+class SharedBufferWriteRule(Rule):
+    """F003: raw shared-buffer writes belong inside the epoch-fenced layer."""
+
+    rule_id = "F003"
+    summary = (
+        "raw write to a shared_memory buffer (.buf) outside "
+        "repro.sharedcht's epoch-fenced commit layer; a crash mid-write "
+        "leaves torn counters no recovery path can detect"
+    )
+
+    #: The two modules allowed to touch segment buffers directly: the
+    #: fence implementation itself and the table that wraps every mutation
+    #: in it. Everything else must go through SharedCHT's fenced methods.
+    _FENCED_MODULES = ("sharedcht/table.py", "sharedcht/durability.py")
+
+    #: Constructors that wrap a raw buffer in a writable ndarray view.
+    _VIEW_BUILDERS = {"numpy.ndarray", "numpy.frombuffer"}
+
+    def _is_buf(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "buf"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        if ctx.relpath.replace("\\", "/").endswith(self._FENCED_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and self._is_buf(target.value):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            "direct write into a shared-memory buffer bypasses "
+                            "the epoch fence: a crash here is undetectable and "
+                            "unrecoverable; mutate through SharedCHT's fenced "
+                            "methods (merge_counts/update/reset) instead",
+                        )
+                        break
+            elif isinstance(node, ast.Call):
+                if ctx.qualified_name(node.func) not in self._VIEW_BUILDERS:
+                    continue
+                operands = list(node.args) + [kw.value for kw in node.keywords]
+                if any(self._is_buf(arg) for arg in operands):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "ndarray view over a raw shared-memory buffer escapes "
+                        "the epoch-fenced commit layer; attach a SharedCHT (or "
+                        "extend repro.sharedcht.durability) instead of viewing "
+                        ".buf directly",
+                    )
 
 
 def _nested_function_names(tree: ast.Module) -> set[str]:
