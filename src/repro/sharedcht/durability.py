@@ -403,7 +403,7 @@ def inject_torn_commit(table: "SharedCHT", *, kill: bool = False) -> None:
         table._recover_locked()
         table._begin_commit_locked()
         half = max(1, table.size // 2)
-        table.coll[:half] += 1  # partial write behind the open fence
+        table.coll[:half] += 1  # reprolint: disable=L001 -- chaos injector: the torn write IS the fault under test
         if kill:
             os.kill(os.getpid(), signal.SIGKILL)
     # Lock released with the epoch still odd: a torn commit, on purpose.
@@ -419,4 +419,4 @@ def inject_counter_corruption(table: "SharedCHT") -> None:
     quarantine the bank (the ``corrupt_segment`` fault kind).
     """
     stride = max(1, table.size // 16)
-    table.coll[::stride] += 7  # bypasses the fenced helpers on purpose
+    table.coll[::stride] += 7  # reprolint: disable=L001 -- chaos injector: models a wild unfenced write

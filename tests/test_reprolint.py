@@ -563,7 +563,10 @@ class TestCli:
     def test_list_rules_names_every_rule(self):
         proc = self.run_cli("--list-rules")
         assert proc.returncode == 0
-        for rule_id in ("D001", "D002", "F001", "C001", "M001", "N001", "A001", "S001"):
+        for rule_id in (
+            "D001", "D002", "F001", "C001", "M001", "N001", "A001", "S001",
+            "L001", "L002", "R001", "R002", "P001",
+        ):
             assert rule_id in proc.stdout
 
 
@@ -575,3 +578,11 @@ def test_every_rule_is_registered_with_a_summary(rule_id):
 
     assert rule_id in RULES
     assert RULES[rule_id].summary
+
+
+@pytest.mark.parametrize("rule_id", ["L001", "L002", "R001", "R002", "P001"])
+def test_every_project_rule_is_registered_with_a_summary(rule_id):
+    from tools.reprolint import PROJECT_RULES
+
+    assert rule_id in PROJECT_RULES
+    assert PROJECT_RULES[rule_id].summary

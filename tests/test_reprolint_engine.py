@@ -1,0 +1,729 @@
+"""reprolint v2 whole-program engine: the symbol table resolves aliases
+and re-exports, the call graph dispatches methods and propagates effects,
+each interprocedural rule (L001/L002/R001/R002/P001) fires on a deep call
+chain and stays silent on its near-miss twin, the summary cache hits on
+every unchanged file, SARIF output is structurally valid, and ``--fix``
+round-trips idempotently."""
+
+import ast
+import json
+import subprocess
+import sys
+
+from pathlib import Path
+
+from tools.reprolint import (
+    SummaryCache,
+    analyze_paths,
+    fix_source,
+    lint_project,
+    module_name_for,
+    to_sarif,
+)
+from tools.reprolint.engine import build_aliases
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Minimal SharedCHT stand-in used by the L001 fixtures: the class name
+#: is what the rule types receivers against, the ``_fenced`` method is
+#: the commit layer it expects writes to route through.
+TABLE_MODULE = (
+    "class SharedCHT:\n"
+    "    def __init__(self, size):\n"
+    "        self.size = size\n"
+    "        self.coll = [0] * size\n"
+    "\n"
+    "    def _fenced(self, mutate):\n"
+    "        mutate()\n"
+)
+
+
+def write_tree(tmp_path, files):
+    """Materialize {relpath: source} under tmp_path; returns the root."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+def lint_tree(tmp_path, files, cache=None):
+    root = write_tree(tmp_path, files)
+    return lint_project([root], root=root, cache=cache)
+
+
+def by_rule(findings, rule_id):
+    return [finding for finding in findings if finding.rule == rule_id]
+
+
+class TestModuleNames:
+    def test_src_prefix_is_a_layout_directory(self):
+        assert module_name_for("src/repro/core/cht.py") == "repro.core.cht"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/sharedcht/__init__.py") == "repro.sharedcht"
+
+    def test_paths_outside_src_keep_their_prefix(self):
+        assert module_name_for("tools/reprolint/engine.py") == "tools.reprolint.engine"
+        assert module_name_for("tests/helpers.py") == "tests.helpers"
+
+
+class TestAliases:
+    def test_relative_import_resolves_against_the_module(self):
+        tree = ast.parse("from .table import SharedCHT\n")
+        aliases = build_aliases(tree, "pkg.ops")
+        assert aliases["SharedCHT"] == "pkg.table.SharedCHT"
+
+    def test_two_dot_relative_import_climbs_a_package(self):
+        tree = ast.parse("from ..core import metrics\n")
+        aliases = build_aliases(tree, "pkg.sub.mod")
+        assert aliases["metrics"] == "pkg.core.metrics"
+
+    def test_package_init_is_its_own_package(self):
+        tree = ast.parse("from .table import SharedCHT\n")
+        aliases = build_aliases(tree, "pkg", is_package=True)
+        assert aliases["SharedCHT"] == "pkg.table.SharedCHT"
+
+    def test_without_module_context_relative_imports_are_skipped(self):
+        tree = ast.parse("from .table import SharedCHT\nimport numpy as np\n")
+        aliases = build_aliases(tree)
+        assert "SharedCHT" not in aliases
+        assert aliases["np"] == "numpy"
+
+
+class TestSymbolTable:
+    def test_reexport_through_package_init(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from .table import SharedCHT\n",
+                "pkg/table.py": TABLE_MODULE,
+            },
+        )
+        project = analyze_paths([root], root=root)
+        assert project.symtab.resolve("pkg.SharedCHT") == "pkg.table.SharedCHT"
+
+    def test_method_dispatch_through_a_base_class(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "pkg/base.py": ("class Base:\n    def flush(self):\n        pass\n"),
+                "pkg/child.py": (
+                    "from .base import Base\n\n\n"
+                    "class Child(Base):\n"
+                    "    def run(self):\n"
+                    "        self.flush()\n"
+                ),
+            },
+        )
+        project = analyze_paths([root], root=root)
+        assert (
+            project.symtab.method_on("pkg.child.Child", "flush")
+            == "pkg.base.Base.flush"
+        )
+        edges = project.graph.edges["pkg.child.Child.run"]
+        assert ("pkg.base.Base.flush", 6) in edges
+
+    def test_typed_receiver_call_resolves_cross_module(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "pkg/table.py": TABLE_MODULE,
+                "pkg/ops.py": (
+                    "from .table import SharedCHT\n\n\n"
+                    "def commit(table: SharedCHT) -> None:\n"
+                    "    table._fenced(lambda: None)\n"
+                ),
+            },
+        )
+        project = analyze_paths([root], root=root)
+        edges = dict(project.graph.edges["pkg.ops.commit"])
+        assert "pkg.table.SharedCHT._fenced" in edges
+
+
+class TestL001FenceEscape:
+    def test_fires_on_unfenced_bank_write_two_calls_deep(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "pkg/table.py": TABLE_MODULE,
+                "pkg/ops.py": (
+                    "from .table import SharedCHT\n\n\n"
+                    "def entry(table: SharedCHT) -> None:\n"
+                    "    rebalance(table)\n\n\n"
+                    "def rebalance(table: SharedCHT) -> None:\n"
+                    "    scribble(table)\n\n\n"
+                    "def scribble(table: SharedCHT) -> None:\n"
+                    "    table.coll[0] += 1\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "L001")
+        assert len(hits) == 1
+        assert hits[0].path == "pkg/ops.py"
+        assert hits[0].line == 13
+        assert "entry -> rebalance -> scribble" in hits[0].message
+
+    def test_silent_when_the_write_is_a_fenced_callback(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "pkg/table.py": TABLE_MODULE,
+                "pkg/ops.py": (
+                    "from .table import SharedCHT\n\n\n"
+                    "def entry(table: SharedCHT) -> None:\n"
+                    "    def commit() -> None:\n"
+                    "        table.coll[0] += 1\n\n"
+                    "    table._fenced(commit)\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "L001") == []
+
+    def test_silent_when_the_receiver_is_not_a_shared_table(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "pkg/local.py": (
+                    "class Tally:\n"
+                    "    def __init__(self):\n"
+                    "        self.coll = [0]\n\n\n"
+                    "def bump(tally: Tally) -> None:\n"
+                    "    tally.coll[0] += 1\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "L001") == []
+
+    def test_fires_on_raw_buf_write_in_a_fenced_module(self, tmp_path):
+        # F003 is deliberately blind inside sharedcht/{table,durability}.py;
+        # L001 owns .buf writes there instead.
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "sharedcht/durability.py": (
+                    "def snapshot(segment) -> None:\n"
+                    "    segment.buf[0:4] = b'\\x00' * 4\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "L001")
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert by_rule(findings, "F003") == []
+
+
+class TestL002LockRelease:
+    def test_fires_when_cleanup_never_releases(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "locks/user.py": (
+                    "def publish(bank) -> None:\n"
+                    "    bank.lock.acquire()\n"
+                    "    try:\n"
+                    "        bank.write()\n"
+                    "    finally:\n"
+                    "        teardown(bank)\n\n\n"
+                    "def teardown(bank) -> None:\n"
+                    "    bank.flush()\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "L002")
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "never releases" in hits[0].message
+
+    def test_fires_on_bare_acquire_without_protection(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "locks/bare.py": (
+                    "def grab(bank) -> None:\n"
+                    "    bank.lock.acquire()\n"
+                    "    bank.write()\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "L002")
+        assert len(hits) == 1
+        assert "no enclosing with-block" in hits[0].message
+
+    def test_silent_when_cleanup_releases_transitively(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "locks/ok.py": (
+                    "def publish(bank) -> None:\n"
+                    "    bank.lock.acquire()\n"
+                    "    try:\n"
+                    "        bank.write()\n"
+                    "    finally:\n"
+                    "        teardown(bank)\n\n\n"
+                    "def teardown(bank) -> None:\n"
+                    "    unlock(bank)\n\n\n"
+                    "def unlock(bank) -> None:\n"
+                    "    bank.lock.release()\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "L002") == []
+
+    def test_silent_on_with_block_and_on_lock_adapters(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "locks/adapter.py": (
+                    "def scoped(bank) -> None:\n"
+                    "    with bank.lock:\n"
+                    "        bank.write()\n\n\n"
+                    "class LeaseLock:\n"
+                    "    def acquire(self):\n"
+                    "        self.file_lock.acquire()\n\n"
+                    "    def release(self):\n"
+                    "        self.file_lock.release()\n\n"
+                    "    def renew(self):\n"
+                    "        self.file_lock.acquire()\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "L002") == []
+
+
+class TestR001UnorderedIteration:
+    def test_fires_when_the_loop_body_accumulates_two_calls_down(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "det/stats.py": (
+                    "def total(weights: set) -> float:\n"
+                    "    acc = 0.0\n"
+                    "    for w in weights:\n"
+                    "        acc = merge(acc, w)\n"
+                    "    return acc\n\n\n"
+                    "def merge(acc: float, w: float) -> float:\n"
+                    "    return bump(acc, w)\n\n\n"
+                    "def bump(acc: float, w: float) -> float:\n"
+                    "    acc += w\n"
+                    "    return acc\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "R001")
+        assert len(hits) == 1
+        assert hits[0].line == 3
+        assert "merge -> bump" in hits[0].message
+
+    def test_fires_on_direct_hash_sink_in_the_body(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "det/digest.py": (
+                    "import hashlib\n\n\n"
+                    "def checksum(names: frozenset) -> str:\n"
+                    "    hasher = hashlib.sha256()\n"
+                    "    for name in names:\n"
+                    "        hasher.update(name.encode())\n"
+                    "    return hasher.hexdigest()\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "R001")
+        assert len(hits) == 1
+        assert hits[0].line == 6
+
+    def test_silent_on_the_sorted_twin(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "det/ok.py": (
+                    "def total(weights: set) -> float:\n"
+                    "    acc = 0.0\n"
+                    "    for w in sorted(weights):\n"
+                    "        acc = merge(acc, w)\n"
+                    "    return acc\n\n\n"
+                    "def merge(acc: float, w: float) -> float:\n"
+                    "    acc += w\n"
+                    "    return acc\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "R001") == []
+
+    def test_silent_when_the_body_has_no_order_sensitive_sink(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "det/collect.py": (
+                    "def gather(names: set) -> list:\n"
+                    "    out = []\n"
+                    "    for name in names:\n"
+                    "        out.append(name)\n"
+                    "    return out\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "R001") == []
+
+
+class TestR002NondetBranchDraw:
+    def test_fires_on_a_guarded_draw_two_calls_from_the_kernel(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "kern/batch.py": (
+                    "import time\n\n\n"
+                    "class BatchPoseKernel:\n"
+                    "    def run(self, rng) -> float:\n"
+                    "        return step(rng)\n\n\n"
+                    "def step(rng) -> float:\n"
+                    "    return jitter(rng)\n\n\n"
+                    "def jitter(rng) -> float:\n"
+                    "    if time.monotonic() > 1.0:\n"
+                    "        return rng.normal()\n"
+                    "    return 0.0\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "R002")
+        assert len(hits) == 1
+        assert hits[0].line == 15
+        assert "time.monotonic" in hits[0].message
+        assert "BatchPoseKernel.run -> step -> jitter" in hits[0].message
+
+    def test_silent_when_no_kernel_reaches_the_draw(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "kern/offline.py": (
+                    "import time\n\n\n"
+                    "class PoseScorer:\n"
+                    "    def run(self, rng) -> float:\n"
+                    "        return jitter(rng)\n\n\n"
+                    "def jitter(rng) -> float:\n"
+                    "    if time.monotonic() > 1.0:\n"
+                    "        return rng.normal()\n"
+                    "    return 0.0\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "R002") == []
+
+    def test_silent_on_a_deterministic_guard(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "kern/det.py": (
+                    "class BatchPoseKernel:\n"
+                    "    def run(self, rng, budget: int) -> float:\n"
+                    "        if budget > 0:\n"
+                    "            return rng.normal()\n"
+                    "        return 0.0\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "R002") == []
+
+
+class TestP001PoolSubmissionState:
+    def test_fires_on_cross_module_transitive_mutation(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "pool/tasks.py": (
+                    "CACHE = {}\n\n\n"
+                    "def work(i):\n"
+                    "    return record(i)\n\n\n"
+                    "def record(i):\n"
+                    "    CACHE[i] = i\n"
+                    "    return i\n"
+                ),
+                "pool/driver.py": (
+                    "from .tasks import work\n\n\n"
+                    "def run(pool):\n"
+                    "    return pool.submit(work, 1)\n"
+                ),
+            },
+        )
+        hits = by_rule(findings, "P001")
+        assert len(hits) == 1
+        assert hits[0].path == "pool/driver.py"
+        assert hits[0].line == 5
+        assert "work -> record" in hits[0].message
+        assert "pool/tasks.py:" in hits[0].message
+        # The per-file rule cannot see across the import; that is the point.
+        assert by_rule(findings, "F001") == []
+
+    def test_silent_when_the_mutation_is_a_sanctioned_initializer(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "pool/warm.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n\n"
+                    "STATE = {}\n\n\n"
+                    "def _init_worker():\n"
+                    "    STATE['ready'] = True\n\n\n"
+                    "def warm():\n"
+                    "    return _init_worker()\n\n\n"
+                    "def run():\n"
+                    "    pool = ProcessPoolExecutor(initializer=_init_worker)\n"
+                    "    return pool.submit(warm)\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "P001") == []
+
+    def test_silent_on_same_module_direct_hazard_which_is_f001s(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "pool/direct.py": (
+                    "CACHE = {}\n\n\n"
+                    "def work(i):\n"
+                    "    CACHE[i] = i\n"
+                    "    return i\n\n\n"
+                    "def run(pool):\n"
+                    "    return pool.submit(work, 1)\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "P001") == []
+        assert len(by_rule(findings, "F001")) == 1
+
+    def test_silent_on_a_pure_submitted_function(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {
+                "pool/pure_tasks.py": ("def work(i):\n    return i * 2\n"),
+                "pool/pure_driver.py": (
+                    "from .pure_tasks import work\n\n\n"
+                    "def run(pool):\n"
+                    "    return pool.submit(work, 1)\n"
+                ),
+            },
+        )
+        assert by_rule(findings, "P001") == []
+
+
+FIXTURE_TREE = {
+    "proj/clean.py": "def double(x: int) -> int:\n    return x * 2\n",
+    "proj/other.py": "def triple(x: int) -> int:\n    return x * 3\n",
+    "proj/clock.py": "import time\n\n\ndef stamp() -> float:\n    return time.time()\n",
+}
+
+
+class TestSummaryCache:
+    def test_second_run_hits_on_every_unchanged_file(self, tmp_path):
+        write_tree(tmp_path, FIXTURE_TREE)
+        cache_path = tmp_path / "cache.json"
+        first, project1 = lint_project(
+            [tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path)
+        )
+        assert (project1.stats.hits, project1.stats.misses) == (0, 3)
+        second, project2 = lint_project(
+            [tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path)
+        )
+        assert (project2.stats.hits, project2.stats.misses) == (3, 0)
+        assert [f.to_dict() for f in first] == [f.to_dict() for f in second]
+        assert [f.rule for f in second] == ["D002"]
+
+    def test_editing_one_file_invalidates_only_that_file(self, tmp_path):
+        write_tree(tmp_path, FIXTURE_TREE)
+        cache_path = tmp_path / "cache.json"
+        lint_project([tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path))
+        (tmp_path / "proj" / "clean.py").write_text(
+            "import time\n\n\ndef double(x: int) -> float:\n    return time.time()\n"
+        )
+        findings, project = lint_project(
+            [tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path)
+        )
+        assert (project.stats.hits, project.stats.misses) == (2, 1)
+        assert sorted(f.path for f in by_rule(findings, "D002")) == [
+            "proj/clean.py",
+            "proj/clock.py",
+        ]
+
+    def test_engine_fingerprint_change_invalidates_everything(self, tmp_path):
+        write_tree(tmp_path, FIXTURE_TREE)
+        cache_path = tmp_path / "cache.json"
+        lint_project([tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path))
+        _, project = lint_project(
+            [tmp_path / "proj"],
+            root=tmp_path,
+            cache=SummaryCache(cache_path, fingerprint="0" * 64),
+        )
+        assert (project.stats.hits, project.stats.misses) == (0, 3)
+
+    def test_deleted_files_are_pruned_from_the_store(self, tmp_path):
+        write_tree(tmp_path, FIXTURE_TREE)
+        cache_path = tmp_path / "cache.json"
+        lint_project([tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path))
+        (tmp_path / "proj" / "other.py").unlink()
+        lint_project([tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path))
+        stored = json.loads(cache_path.read_text())
+        assert "proj/other.py" not in stored["records"]
+        assert "proj/clean.py" in stored["records"]
+
+    def test_unreadable_store_degrades_to_a_cold_cache(self, tmp_path):
+        write_tree(tmp_path, FIXTURE_TREE)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        _, project = lint_project(
+            [tmp_path / "proj"], root=tmp_path, cache=SummaryCache(cache_path)
+        )
+        assert (project.stats.hits, project.stats.misses) == (0, 3)
+
+    def test_project_rule_suppressions_survive_the_cache(self, tmp_path):
+        files = {
+            "pkg/table.py": TABLE_MODULE,
+            "pkg/ops.py": (
+                "from .table import SharedCHT\n\n\n"
+                "def scribble(table: SharedCHT) -> None:\n"
+                "    table.coll[0] += 1  "
+                "# reprolint: disable=L001 -- fixture exercises the cache\n"
+            ),
+        }
+        write_tree(tmp_path, files)
+        cache_path = tmp_path / "cache.json"
+        first, _ = lint_project(
+            [tmp_path / "pkg"], root=tmp_path, cache=SummaryCache(cache_path)
+        )
+        second, project = lint_project(
+            [tmp_path / "pkg"], root=tmp_path, cache=SummaryCache(cache_path)
+        )
+        assert project.stats.hits == 2
+        assert by_rule(first, "L001") == [] and by_rule(second, "L001") == []
+
+
+class TestSarif:
+    def _findings(self, tmp_path):
+        findings, _ = lint_tree(
+            tmp_path,
+            {"bad.py": "import time\n\n\ndef stamp() -> float:\n    return time.time()\n"},
+        )
+        return findings
+
+    def test_log_structure_and_rule_catalog(self, tmp_path):
+        findings = self._findings(tmp_path)
+        log = to_sarif(findings, rule_summaries={"D002": "wall clock", "L001": "fence"})
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        declared = {rule["id"] for rule in driver["rules"]}
+        assert declared == {"D002", "L001"}  # unfired rules stay declared
+
+    def test_results_carry_fingerprints_and_locations(self, tmp_path):
+        findings = self._findings(tmp_path)
+        log = to_sarif(findings, rule_summaries={"D002": "wall clock"})
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "D002"
+        assert result["level"] == "error"
+        assert result["partialFingerprints"]["reprolintFingerprint/v1"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "bad.py"
+        assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert location["region"]["startLine"] == 5
+        assert "time.time()" in location["region"]["snippet"]["text"]
+
+    def test_rule_index_is_consistent_with_the_catalog(self, tmp_path):
+        findings = self._findings(tmp_path)
+        log = to_sarif(findings, rule_summaries={"A001": "a", "D002": "d"})
+        driver = log["runs"][0]["tool"]["driver"]
+        (result,) = log["runs"][0]["results"]
+        assert driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+class TestFix:
+    def test_mutable_default_round_trip(self):
+        source = (
+            "def collect(item, into: list = []):\n"
+            "    into.append(item)\n"
+            "    return into\n"
+        )
+        fixed, count = fix_source(source)
+        assert count == 1
+        assert "into: list | None = None" in fixed
+        assert "if into is None:" in fixed
+        assert "into = []" in fixed
+        again, count2 = fix_source(fixed)
+        assert count2 == 0 and again == fixed
+
+    def test_fixed_module_still_parses_and_lints_clean(self, tmp_path):
+        source = "def collect(item, into=[]):\n    into.append(item)\n    return into\n"
+        fixed, _ = fix_source(source)
+        findings, _ = lint_tree(tmp_path, {"fixed.py": fixed})
+        assert by_rule(findings, "M001") == []
+
+    def test_docstring_only_body_keeps_its_docstring_first(self):
+        source = 'def noop(xs=[]):\n    """Doc."""\n'
+        fixed, count = fix_source(source)
+        assert count == 1
+        tree = ast.parse(fixed)
+        assert ast.get_docstring(tree.body[0]) == "Doc."
+
+    def test_reasonless_suppression_gains_a_scaffold(self):
+        source = "import time\n\nt = time.time()  # reprolint: disable=D002\n"
+        fixed, count = fix_source(source)
+        assert count == 1
+        assert "-- TODO(reprolint): explain why this is safe" in fixed
+        _, count2 = fix_source(fixed)
+        assert count2 == 0
+
+
+class TestCliV2:
+    def run_cli(self, *argv, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", *argv],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_stats_shows_all_hits_on_the_second_run(self, tmp_path):
+        write_tree(tmp_path, FIXTURE_TREE)
+        cache = tmp_path / "cache.json"
+        argv = ("--no-baseline", "--stats", "--cache", str(cache), str(tmp_path / "proj"))
+        first = self.run_cli(*argv)
+        assert "0 hit(s), 3 miss(es) over 3 file(s)" in first.stdout
+        second = self.run_cli(*argv)
+        assert "3 hit(s), 0 miss(es) over 3 file(s)" in second.stdout
+
+    def test_sarif_file_is_written_even_when_findings_fail_the_run(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        sarif_path = tmp_path / "out.sarif"
+        proc = self.run_cli(
+            "--no-baseline", "--no-cache", "--sarif-file", str(sarif_path), str(bad)
+        )
+        assert proc.returncode == 1
+        log = json.loads(sarif_path.read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "D002"
+        # Every registered rule is declared even though only D002 fired.
+        declared = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"L001", "L002", "R001", "R002", "P001", "S001"} <= declared
+
+    def test_fix_rewrites_in_place_and_is_idempotent(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("def collect(item, into=[]):\n    into.append(item)\n    return into\n")
+        proc = self.run_cli("--fix", "--no-baseline", "--no-cache", str(target))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "fixed 1 finding(s)" in proc.stdout
+        assert "into=None" in target.read_text()
+        proc = self.run_cli("--fix", "--no-baseline", "--no-cache", str(target))
+        assert "nothing to fix" in proc.stdout
+
+    def test_jobs_must_be_positive(self, tmp_path):
+        proc = self.run_cli("--jobs", "0", str(tmp_path))
+        assert proc.returncode == 2
+
+    def test_forced_parallel_jobs_match_serial_results(self, tmp_path):
+        write_tree(tmp_path, FIXTURE_TREE)
+        serial = self.run_cli(
+            "--format=json", "--no-baseline", "--no-cache", "--jobs", "1", str(tmp_path / "proj")
+        )
+        parallel = self.run_cli(
+            "--format=json", "--no-baseline", "--no-cache", "--jobs", "2", str(tmp_path / "proj")
+        )
+        assert json.loads(serial.stdout)["findings"] == json.loads(parallel.stdout)["findings"]

@@ -11,20 +11,54 @@ baseline. See README "Static analysis" for the workflow.
 
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
 from .baseline import apply_baseline, load_baseline, write_baseline
-from .engine import RULES, FileContext, Rule, lint_file, lint_paths
+from .cache import CacheStats, FileRecord, SummaryCache
+from .callgraph import CallGraph
+from .engine import (
+    PROJECT_RULES,
+    RULES,
+    FileContext,
+    Project,
+    ProjectRule,
+    Rule,
+    analyze_paths,
+    lint_file,
+    lint_paths,
+    lint_project,
+)
 from .findings import Finding
+from .fix import fix_source
+from .sarif import render_sarif, to_sarif
+from .summaries import FunctionSummary, build_summaries
 from .suppress import Suppression, scan_suppressions
+from .symbols import ModuleRecord, SymbolTable, module_name_for
 
 __all__ = [
+    "PROJECT_RULES",
     "RULES",
-    "Finding",
+    "CacheStats",
+    "CallGraph",
     "FileContext",
+    "FileRecord",
+    "Finding",
+    "FunctionSummary",
+    "ModuleRecord",
+    "Project",
+    "ProjectRule",
     "Rule",
+    "SummaryCache",
     "Suppression",
+    "SymbolTable",
+    "analyze_paths",
     "apply_baseline",
+    "build_summaries",
+    "fix_source",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "load_baseline",
+    "module_name_for",
+    "render_sarif",
     "scan_suppressions",
+    "to_sarif",
     "write_baseline",
 ]

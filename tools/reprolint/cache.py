@@ -1,0 +1,191 @@
+"""On-disk per-file analysis cache keyed by content hash.
+
+Parsing + summarizing a file is the expensive part of a lint run; the
+result depends only on the file's bytes and the analyzer's own code. So
+each file's record (module symbols, function summaries, suppression
+directives, per-file findings) is stored under its sha256, and the whole
+store is invalidated when the *engine fingerprint* — a hash of every
+``tools/reprolint/*.py`` source — changes. A second consecutive run over
+an unchanged tree therefore parses nothing; CI caches the store file
+across runs keyed the same way.
+
+Interprocedural findings are NOT cached: they depend on the whole
+program, and recomputing the fixpoint from cached summaries is cheap.
+
+Writes are atomic (tmp + ``os.replace``) so a Ctrl-C mid-save never
+leaves a torn store, and any unreadable/mismatched store is silently
+treated as empty — the cache is an accelerator, never a correctness
+input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+from .summaries import FunctionSummary
+from .symbols import ModuleRecord
+
+#: Default store location, relative to the lint root (gitignored).
+CACHE_FILENAME = ".reprolint-cache.json"
+
+#: Bumped on any change to the cached record layout.
+CACHE_VERSION = 2
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def engine_fingerprint() -> str:
+    """Hash of the analyzer's own sources: new rules invalidate old records."""
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode())
+        try:
+            digest.update(source.read_bytes())
+        except OSError:
+            digest.update(b"?")
+    return digest.hexdigest()
+
+
+@dataclass
+class FileRecord:
+    """Everything the engine learned about one file, cache-round-trippable."""
+
+    sha: str
+    module: ModuleRecord
+    summaries: list[FunctionSummary]
+    #: Per-file (intraprocedural) findings, suppressions already applied.
+    findings: list[Finding]
+    #: line -> (sorted rule ids, has_reason) for project-rule suppression.
+    suppressions: dict[int, tuple[list[str], bool]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "sha": self.sha,
+            "module": self.module.to_dict(),
+            "summaries": [s.to_dict() for s in self.summaries],
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressions": {
+                str(line): [rules, has_reason]
+                for line, (rules, has_reason) in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FileRecord":
+        return cls(
+            sha=data["sha"],
+            module=ModuleRecord.from_dict(data["module"]),
+            summaries=[FunctionSummary.from_dict(s) for s in data["summaries"]],
+            findings=[
+                Finding(
+                    rule=f["rule"],
+                    path=f["path"],
+                    line=f["line"],
+                    col=f["col"],
+                    message=f["message"],
+                    snippet=f.get("snippet", ""),
+                )
+                for f in data["findings"]
+            ],
+            suppressions={
+                int(line): (list(rules), bool(has_reason))
+                for line, (rules, has_reason) in data["suppressions"].items()
+            },
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one lint run (surfaced by ``--stats``)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "total": self.total}
+
+
+class SummaryCache:
+    """Load/lookup/store of :class:`FileRecord` entries keyed by content sha."""
+
+    def __init__(self, path: "Path | None", *, fingerprint: "str | None" = None) -> None:
+        self.path = path
+        self.fingerprint = fingerprint if fingerprint is not None else engine_fingerprint()
+        self.stats = CacheStats()
+        self._records: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != CACHE_VERSION:
+            return
+        if payload.get("fingerprint") != self.fingerprint:
+            return
+        records = payload.get("records")
+        if isinstance(records, dict):
+            self._records = records
+
+    def lookup(self, relpath: str, sha: str) -> "FileRecord | None":
+        """Record for a file if its content hash matches; counts hit/miss."""
+        raw = self._records.get(relpath)
+        if raw is not None and raw.get("sha") == sha:
+            try:
+                record = FileRecord.from_dict(raw)
+            except (KeyError, TypeError, ValueError):
+                record = None
+            if record is not None:
+                self.stats.hits += 1
+                return record
+        self.stats.misses += 1
+        return None
+
+    def store(self, relpath: str, record: FileRecord) -> None:
+        self._records[relpath] = record.to_dict()
+        self._dirty = True
+
+    def prune(self, live_relpaths: "set[str]") -> None:
+        """Drop records for files no longer part of the linted tree."""
+        stale = set(self._records) - live_relpaths
+        for relpath in stale:
+            del self._records[relpath]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "records": self._records,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout just runs uncached.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

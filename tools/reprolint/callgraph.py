@@ -1,0 +1,299 @@
+"""Project call graph + interprocedural effect fixpoint.
+
+Stitches the per-file :class:`~tools.reprolint.summaries.FunctionSummary`
+records into a directed call graph using the
+:class:`~tools.reprolint.symbols.SymbolTable` for cross-module name
+resolution, then runs a monotone fixpoint that propagates *transitive*
+effects (RNG draws, numeric accumulation, hashing, lock releases,
+module-state mutation) from callees to callers. Every propagated effect
+keeps a witness — the callee chain down to the line that originates it —
+so rule messages can show the actual path instead of just "somewhere
+below here".
+
+Call-site resolution, in priority order:
+
+1. nested sibling functions (a callback defined next to its caller);
+2. ``self.method`` / ``cls.method`` through the enclosing class's MRO;
+3. typed receivers (``table.merge_counts`` where ``table: SharedCHT``),
+   including closure lookups through enclosing function scopes;
+4. module-level functions, then import aliases / package re-exports;
+5. class constructors resolve to ``Class.__init__`` when it exists.
+
+Unresolvable calls (higher-order values, foreign libraries) simply have
+no edge: the analysis is deliberately under-approximate, because lint
+findings must be actionable, not merely possible.
+"""
+
+from __future__ import annotations
+
+from .summaries import FunctionSummary
+from .symbols import SymbolTable
+
+#: Effect kinds propagated by the fixpoint, with human-readable labels.
+EFFECT_LABELS = {
+    "draws": "draws from an RNG stream",
+    "accumulates": "accumulates numerically",
+    "hashes": "feeds a hash/checksum",
+    "releases_lock": "releases a lock",
+    "mutates_module": "mutates module-level state",
+}
+
+
+class CallGraph:
+    """Resolved call edges + transitive effects over a set of summaries."""
+
+    def __init__(self, symtab: SymbolTable, summaries: "list[FunctionSummary]") -> None:
+        self.symtab = symtab
+        self.nodes: dict[str, FunctionSummary] = {s.id: s for s in summaries}
+        #: caller id -> list of (callee id, call line).
+        self.edges: dict[str, list[tuple[str, int]]] = {}
+        #: callee id -> set of caller ids.
+        self.callers: dict[str, set[str]] = {}
+        #: Functions passed as callbacks into a ``_fenced(...)`` call.
+        self.fence_callbacks: set[str] = set()
+        #: Resolved pool submissions: {"caller", "line", "callee"}.
+        self.submissions: list[dict] = []
+        #: Functions passed as ``initializer=`` kwargs (sanctioned mutators).
+        self.initializers: set[str] = set()
+        #: node id -> {effect kind -> witness dict}.
+        self.effects: dict[str, dict[str, dict]] = {}
+        self._build_edges()
+        self._run_fixpoint()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_edges(self) -> None:
+        for node in self.nodes.values():
+            edges: list[tuple[str, int]] = []
+            for call in node.calls:
+                callee = self.resolve_call(node, call["func"])
+                if callee is not None:
+                    edges.append((callee, call["line"]))
+                    self.callers.setdefault(callee, set()).add(node.id)
+                if call["func"].rsplit(".", 1)[-1] == "_fenced":
+                    for arg in call["args"]:
+                        target = self.resolve_callable_ref(node, arg)
+                        if target is not None:
+                            self.fence_callbacks.add(target)
+                for kw, value in call["kwargs"].items():
+                    if kw == "initializer" and value:
+                        target = self.resolve_callable_ref(node, value)
+                        if target is not None:
+                            self.initializers.add(target)
+            for name in node.initializer_args:
+                target = self.resolve_callable_ref(node, name)
+                if target is not None:
+                    self.initializers.add(target)
+            for submission in node.submissions:
+                callee = submission["callee"]
+                resolved = (
+                    None if callee == "<lambda>" else self.resolve_call(node, callee)
+                )
+                self.submissions.append(
+                    {
+                        "caller": node.id,
+                        "line": submission["line"],
+                        "callee": resolved,
+                        "callee_text": callee,
+                    }
+                )
+            self.edges[node.id] = edges
+
+    def resolve_call(self, node: FunctionSummary, chain: str) -> "str | None":
+        """Callee id for a qualified call chain seen inside ``node``."""
+        head, _, rest = chain.partition(".")
+        # 1. self/cls dispatch through the enclosing class.
+        if head in ("self", "cls") and rest and "." not in rest:
+            cls = self.enclosing_class(node)
+            if cls is not None:
+                return self.symtab.method_on(cls, rest)
+            return None
+        # 2. plain local name: nested sibling, then module scope.
+        if not rest:
+            target = self._resolve_local_callable(node, head)
+            if target is not None:
+                return target
+            return self._resolve_project_name(node.module, head)
+        # 3. typed receiver (``table.merge_counts``).
+        if "." not in rest:
+            receiver_cls = self.receiver_class(node, head)
+            if receiver_cls is not None and receiver_cls != "set":
+                return self.symtab.method_on(receiver_cls, rest)
+        # 4. dotted module path / alias.
+        return self._resolve_project_name(node.module, chain)
+
+    def resolve_callable_ref(self, node: FunctionSummary, name: str) -> "str | None":
+        """Resolve a bare name used as a *value* (callback arg) to a node id."""
+        target = self._resolve_local_callable(node, name)
+        if target is not None:
+            return target
+        return self._resolve_project_name(node.module, name)
+
+    def _resolve_local_callable(self, node: FunctionSummary, name: str) -> "str | None":
+        scope: "FunctionSummary | None" = node
+        while scope is not None:
+            if name in scope.nested:
+                candidate = f"{scope.id}.{name}"
+                if candidate in self.nodes:
+                    return candidate
+            scope = self.nodes.get(scope.parent) if scope.parent else None
+        return None
+
+    def _resolve_project_name(self, module: str, dotted: str) -> "str | None":
+        resolved = self.symtab.resolve(f"{module}.{dotted}") or self.symtab.resolve(dotted)
+        if resolved is None:
+            return None
+        if resolved in self.nodes:
+            return resolved
+        if resolved in self.symtab.classes:
+            init = f"{resolved}.__init__"
+            return init if init in self.nodes else None
+        return None
+
+    # -- typing helpers ----------------------------------------------------
+
+    def enclosing_class(self, node: FunctionSummary) -> "str | None":
+        """Class id whose ``self`` a (possibly nested) function sees."""
+        scope: "FunctionSummary | None" = node
+        while scope is not None:
+            if scope.class_name is not None:
+                return f"{scope.module}.{scope.class_name}"
+            scope = self.nodes.get(scope.parent) if scope.parent else None
+        return None
+
+    def receiver_class(self, node: FunctionSummary, receiver: str) -> "str | None":
+        """Type of a receiver token: a class id, ``"set"``, or None.
+
+        ``self`` resolves to the enclosing class; ``self.X`` through the
+        class's annotated attribute types; plain names through parameter
+        and local annotations, walking out through enclosing (closure)
+        scopes.
+        """
+        if receiver == "self":
+            return self.enclosing_class(node)
+        if receiver.startswith("self."):
+            cls = self.enclosing_class(node)
+            if cls is None:
+                return None
+            attr = receiver.split(".", 1)[1]
+            for lineage_id in self.symtab.class_lineage(cls):
+                record = self.symtab.class_record(lineage_id)
+                if record is not None and attr in record.attr_types:
+                    return self.symtab.resolve_type(
+                        record.attr_types[attr], lineage_id.rsplit(".", 1)[0]
+                    )
+            return None
+        scope: "FunctionSummary | None" = node
+        while scope is not None:
+            token = scope.param_types.get(receiver) or scope.local_types.get(receiver)
+            if token is not None:
+                return self.symtab.resolve_type(token, scope.module)
+            scope = self.nodes.get(scope.parent) if scope.parent else None
+        return None
+
+    # -- transitive effects ------------------------------------------------
+
+    def _direct_effects(self, node: FunctionSummary) -> dict[str, dict]:
+        effects: dict[str, dict] = {}
+        if node.draws:
+            effects["draws"] = {"origin": node.id, "line": min(node.draws), "path": []}
+        if node.accumulates is not None:
+            effects["accumulates"] = {
+                "origin": node.id,
+                "line": node.accumulates,
+                "path": [],
+            }
+        if node.hashes is not None:
+            effects["hashes"] = {"origin": node.id, "line": node.hashes, "path": []}
+        if node.releases:
+            first = min(node.releases, key=lambda r: r["line"])
+            effects["releases_lock"] = {
+                "origin": node.id,
+                "line": first["line"],
+                "detail": first["chain"],
+                "path": [],
+            }
+        if node.mutates_module:
+            first = node.mutates_module[0]
+            effects["mutates_module"] = {
+                "origin": node.id,
+                "line": first["line"],
+                "detail": f"{first['how']} ('{first['name']}')",
+                "path": [],
+            }
+        return effects
+
+    def _run_fixpoint(self) -> None:
+        for node in self.nodes.values():
+            self.effects[node.id] = self._direct_effects(node)
+        # Monotone: witnesses are only ever added, so this terminates in at
+        # most |effect kinds| x |nodes| rounds; in practice 2-3.
+        changed = True
+        while changed:
+            changed = False
+            for node_id, edges in self.edges.items():
+                own = self.effects[node_id]
+                for callee, line in edges:
+                    for kind, witness in self.effects.get(callee, {}).items():
+                        if kind in own:
+                            continue
+                        own[kind] = {
+                            "origin": witness["origin"],
+                            "line": witness["line"],
+                            "detail": witness.get("detail"),
+                            "path": [callee] + witness["path"],
+                            "call_line": line,
+                        }
+                        changed = True
+
+    def has_effect(self, node_id: str, kind: str) -> bool:
+        return kind in self.effects.get(node_id, {})
+
+    def effect_witness(self, node_id: str, kind: str) -> "dict | None":
+        return self.effects.get(node_id, {}).get(kind)
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable_from(self, entries: "set[str]") -> dict[str, list[str]]:
+        """Forward reachability: node id -> path of ids from an entry."""
+        paths: dict[str, list[str]] = {entry: [entry] for entry in entries if entry in self.nodes}
+        frontier = list(paths)
+        while frontier:
+            current = frontier.pop()
+            for callee, _line in self.edges.get(current, []):
+                if callee not in paths:
+                    paths[callee] = paths[current] + [callee]
+                    frontier.append(callee)
+        return paths
+
+    def uncovered_root_path(
+        self, target: str, covered: "set[str]"
+    ) -> "list[str] | None":
+        """A caller chain root -> ... -> target avoiding covered nodes.
+
+        Walks the *reverse* graph from ``target``. A path is returned only
+        if it reaches a root (a function nobody in the project calls)
+        without passing through any covered node — i.e. there exists an
+        entry point from which the target's effect escapes the fence.
+        Returns the ids root-first, or None when every path is covered.
+        """
+        if target in covered:
+            return None
+        best: "list[str] | None" = None
+        seen = {target}
+        stack: list[list[str]] = [[target]]
+        while stack:
+            path = stack.pop()
+            head = path[0]
+            callers = self.callers.get(head, set())
+            live = [c for c in sorted(callers) if c not in covered and c not in seen]
+            if not callers:
+                candidate = path
+                if best is None or len(candidate) < len(best) or (
+                    len(candidate) == len(best) and candidate < best
+                ):
+                    best = candidate
+            for caller in live:
+                seen.add(caller)
+                stack.append([caller] + path)
+        return best

@@ -3,6 +3,13 @@
 Exit codes: 0 clean, 1 findings (or a non-empty baseline under
 ``--require-empty-baseline``, or stale baseline entries), 2 usage or
 baseline-format errors.
+
+The v2 engine runs whole-program analysis (symbol table, call graph,
+interprocedural L/R/P rules) on every invocation; per-file work is
+cached in ``.reprolint-cache.json`` keyed by content hash, so repeat
+runs only re-analyze files that changed. ``--sarif-file`` writes a SARIF
+log for GitHub code scanning regardless of exit code; ``--fix`` applies
+the mechanical autofixes (M001, reason-less S001) before linting.
 """
 
 from __future__ import annotations
@@ -22,7 +29,21 @@ from .baseline import (
     load_baseline,
     write_baseline,
 )
-from .engine import RULES, lint_paths
+from .cache import CACHE_FILENAME, SummaryCache
+from .engine import PROJECT_RULES, RULES, SUPPRESSION_RULE, lint_project
+from .fix import fix_paths
+from .sarif import render_sarif
+
+_S001_SUMMARY = "suppression directives must carry a reason and name known rules"
+
+
+def _rule_summaries() -> dict[str, str]:
+    summaries = {rule_id: rule.summary for rule_id, rule in RULES.items()}
+    summaries.update(
+        {rule_id: rule.summary for rule_id, rule in PROJECT_RULES.items()}
+    )
+    summaries[SUPPRESSION_RULE] = _S001_SUMMARY
+    return summaries
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,14 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         type=Path,
-        default=[Path("src"), Path("tests"), Path("benchmarks")],
-        help="files or directories to lint (default: src tests benchmarks)",
+        default=[Path("src"), Path("tests"), Path("benchmarks"), Path("tools")],
+        help="files or directories to lint (default: src tests benchmarks tools)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif-file",
+        type=Path,
+        default=None,
+        help="also write a SARIF 2.1.0 log to this path (written even when "
+        "findings fail the run, so CI can upload it unconditionally)",
     )
     parser.add_argument(
         "--baseline",
@@ -69,6 +97,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every rule id and summary, then exit",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical autofixes (M001 mutable defaults, reason-less "
+        "S001 suppressions) in place before linting",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"summary-cache location (default: ./{CACHE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk summary cache for this run",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss statistics after linting",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parse files with N worker processes (default: auto above "
+        "a miss threshold; 1 forces serial)",
+    )
     return parser
 
 
@@ -77,12 +136,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            print(f"{rule_id}  {RULES[rule_id].summary}")
-        print("S001  suppression directives must carry a reason and name known rules")
+        for rule_id, summary in sorted(_rule_summaries().items()):
+            print(f"{rule_id}  {summary}")
         return 0
 
-    findings = lint_paths(args.paths, root=Path.cwd())
+    if args.jobs is not None and args.jobs < 1:
+        print("reprolint: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    root = Path.cwd()
+
+    if args.fix:
+        from .engine import iter_python_files
+
+        changed = fix_paths(list(iter_python_files(args.paths)))
+        for path, count in sorted(changed.items()):
+            print(f"reprolint: fixed {count} finding(s) in {path}")
+        if not changed:
+            print("reprolint: nothing to fix")
+
+    cache = None
+    if not args.no_cache:
+        cache_path = args.cache if args.cache is not None else root / CACHE_FILENAME
+        cache = SummaryCache(cache_path)
+
+    findings, project = lint_project(
+        args.paths, root=root, cache=cache, jobs=args.jobs
+    )
 
     if args.write_baseline:
         write_baseline(findings, args.baseline)
@@ -104,11 +184,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     baseline_size = sum(baseline.values()) if baseline is not None else 0
     failed = bool(new) or stale > 0 or (args.require_empty_baseline and baseline_size > 0)
 
-    if args.format == "json":
+    if args.sarif_file is not None:
+        args.sarif_file.write_text(
+            render_sarif(new, rule_summaries=_rule_summaries()), encoding="utf-8"
+        )
+
+    if args.format == "sarif":
+        print(render_sarif(new, rule_summaries=_rule_summaries()))
+    elif args.format == "json":
         payload = {
             "findings": [finding.to_dict() for finding in new],
             "count": len(new),
             "baseline": {"entries": baseline_size, "matched": matched, "stale": stale},
+            "cache": project.stats.to_dict(),
             "ok": not failed,
         }
         print(json.dumps(payload, indent=2))
@@ -131,6 +219,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"reprolint: baseline must be empty but holds {baseline_size} "
                 "finding(s); fix them or justify with inline suppressions"
             )
+    if args.stats and args.format != "sarif":
+        stats = project.stats
+        print(
+            f"reprolint: cache {stats.hits} hit(s), {stats.misses} miss(es) "
+            f"over {stats.total} file(s)"
+        )
     return 1 if failed else 0
 
 

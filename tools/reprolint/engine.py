@@ -1,23 +1,36 @@
-"""File walking, per-file context, rule dispatch, suppression filtering.
+"""File walking, analysis orchestration, rule dispatch, suppression filtering.
 
-The engine parses each file once, builds a :class:`FileContext` (AST,
-source lines, import-alias map, test-file flag), runs every registered
-rule over it, then filters findings through the file's suppression
-directives. Suppressions lacking a reason are inert and reported as
-S001 — that check lives here rather than in a rule so it can never be
-suppressed away.
+Two layers share this module:
+
+* the **per-file** layer (v1): parse a file into a :class:`FileContext`,
+  run the registered :class:`Rule` instances over it, filter findings
+  through the file's suppression directives. Suppressions lacking a
+  reason are inert and reported as S001 — that check lives here rather
+  than in a rule so it can never be suppressed away.
+* the **whole-program** layer (v2): :func:`analyze_paths` hashes every
+  file, pulls unchanged ones from the on-disk summary cache, parses the
+  rest (in parallel above a threshold), then stitches the per-file
+  symbol records and function summaries into a :class:`Project` — symbol
+  table + call graph + interprocedural effects — that
+  :class:`ProjectRule` subclasses (the L/R/P families) check globally.
+  Project-rule findings honour the same per-line suppressions.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
+from .cache import CacheStats, FileRecord, SummaryCache, content_hash
+from .callgraph import CallGraph
 from .findings import Finding
+from .summaries import FunctionSummary, build_summaries, module_level_mutables
 from .suppress import Suppression, scan_suppressions
+from .symbols import ModuleRecord, SymbolTable, build_module_record, module_name_for
 
 #: Directory names never descended into.
 SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist", ".venv"}
@@ -106,7 +119,7 @@ def register(rule_cls: type) -> type:
 
 def known_rule_ids() -> frozenset[str]:
     """Every valid id a suppression may name (rules + engine checks)."""
-    return frozenset(RULES) | {SUPPRESSION_RULE}
+    return frozenset(RULES) | frozenset(PROJECT_RULES) | {SUPPRESSION_RULE}
 
 
 def is_test_path(path: Path) -> bool:
@@ -116,19 +129,48 @@ def is_test_path(path: Path) -> bool:
     return path.name.startswith("test_") or path.name == "conftest.py"
 
 
-def build_aliases(tree: ast.Module) -> dict[str, str]:
-    """Map local import names to fully qualified dotted paths."""
+def build_aliases(
+    tree: ast.Module,
+    module_name: "str | None" = None,
+    *,
+    is_package: bool = False,
+) -> dict[str, str]:
+    """Map local import names to fully qualified dotted paths.
+
+    When ``module_name`` is given, relative imports (``from .table import
+    SharedCHT``) are resolved against it, so intra-package references get
+    the same fully-qualified treatment as absolute ones. Without it (the
+    v1 signature) relative imports are skipped.
+    """
     aliases: dict[str, str] = {}
+    parts = module_name.split(".") if module_name else []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for item in node.names:
                 local = item.asname or item.name.split(".")[0]
                 aliases[local] = item.name if item.asname else item.name.split(".")[0]
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if not node.module:
+                    continue
+                base = node.module
+            else:
+                if not parts:
+                    continue
+                # level=1 is the current package: for a plain module that
+                # means dropping its own leaf name; a package (__init__)
+                # IS its package, so one fewer segment comes off.
+                drop = node.level - 1 if is_package else node.level
+                if drop > len(parts):
+                    continue
+                prefix = parts[: len(parts) - drop] if drop else list(parts)
+                if not prefix and not node.module:
+                    continue
+                base = ".".join(prefix + ([node.module] if node.module else []))
             for item in node.names:
                 if item.name == "*":
                     continue
-                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+                aliases[item.asname or item.name] = f"{base}.{item.name}"
     return aliases
 
 
@@ -168,14 +210,19 @@ def parse_file(path: Path, root: Path) -> FileContext | None:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError:
         return None
+    relpath = _relpath(path, root)
     return FileContext(
         path=path,
-        relpath=_relpath(path, root),
+        relpath=relpath,
         source=source,
         lines=source.splitlines(),
         tree=tree,
         is_test=is_test_path(path),
-        aliases=build_aliases(tree),
+        aliases=build_aliases(
+            tree,
+            module_name_for(relpath),
+            is_package=path.name == "__init__.py",
+        ),
     )
 
 
@@ -210,16 +257,12 @@ def _suppression_findings(
     return findings
 
 
-def lint_file(
-    path: Path,
-    root: Path,
+def lint_context(
+    ctx: FileContext,
+    suppressions: dict[int, Suppression],
     rules: Iterable[Rule] | None = None,
 ) -> list[Finding]:
-    """Run all (or the given) rules over one file, honouring suppressions."""
-    ctx = parse_file(path, root)
-    if ctx is None:
-        return []
-    suppressions = scan_suppressions(ctx.source)
+    """Run per-file rules over a parsed context, honouring suppressions."""
     active = list(rules) if rules is not None else list(RULES.values())
     findings: list[Finding] = []
     for rule in active:
@@ -237,6 +280,18 @@ def lint_file(
     return findings
 
 
+def lint_file(
+    path: Path,
+    root: Path,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Run all (or the given) rules over one file, honouring suppressions."""
+    ctx = parse_file(path, root)
+    if ctx is None:
+        return []
+    return lint_context(ctx, scan_suppressions(ctx.source), rules=rules)
+
+
 def lint_paths(
     paths: Iterable[Path],
     root: Path | None = None,
@@ -252,3 +307,261 @@ def lint_paths(
         findings.extend(lint_file(path, root, rules=rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Whole-program layer.
+# ---------------------------------------------------------------------------
+
+
+class Project:
+    """One analyzed tree: file records + symbol table + call graph."""
+
+    def __init__(
+        self,
+        root: Path,
+        records: dict[str, FileRecord],
+        symtab: SymbolTable,
+        graph: CallGraph,
+        stats: CacheStats,
+    ) -> None:
+        self.root = root
+        #: relpath -> per-file analysis record.
+        self.records = records
+        self.symtab = symtab
+        self.graph = graph
+        #: Summary-cache hit/miss accounting for this run.
+        self.stats = stats
+        self._line_cache: dict[str, list[str]] = {}
+
+    @property
+    def summaries(self) -> "list[FunctionSummary]":
+        return [s for record in self.records.values() for s in record.summaries]
+
+    def snippet(self, relpath: str, line: int) -> str:
+        """Stripped source text of a line, reading the file lazily.
+
+        Cached records carry no source, and project findings are rare, so
+        the occasional re-read beats storing every file's text on disk.
+        """
+        lines = self._line_cache.get(relpath)
+        if lines is None:
+            try:
+                lines = (self.root / relpath).read_text(encoding="utf-8").splitlines()
+            except (OSError, UnicodeDecodeError):
+                lines = []
+            self._line_cache[relpath] = lines
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, relpath: str, line: int, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=relpath,
+            line=line,
+            col=1,
+            message=message,
+            snippet=self.snippet(relpath, line),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        record = self.records.get(finding.path)
+        if record is None:
+            return False
+        directive = record.suppressions.get(finding.line)
+        if directive is None:
+            return False
+        rules, has_reason = directive
+        return has_reason and finding.rule in rules
+
+    def module_record(self, module: str) -> "ModuleRecord | None":
+        return self.symtab.modules.get(module)
+
+    def run_project_rules(
+        self, rules: "Iterable[ProjectRule] | None" = None
+    ) -> list[Finding]:
+        active = list(rules) if rules is not None else list(PROJECT_RULES.values())
+        findings: list[Finding] = []
+        for rule in active:
+            for finding in rule.check_project(self):
+                if not self.is_suppressed(finding):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def all_findings(self) -> list[Finding]:
+        """Per-file + project findings, location-sorted."""
+        findings = [f for record in self.records.values() for f in record.findings]
+        findings.extend(self.run_project_rules())
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+
+class ProjectRule:
+    """Base class for whole-program rules (checked once per tree)."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: Registry of project-rule id -> instance, populated by :func:`register_project`.
+PROJECT_RULES: dict[str, ProjectRule] = {}
+
+
+def register_project(rule_cls: type) -> type:
+    """Class decorator adding a whole-program rule to the registry."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule.rule_id in PROJECT_RULES or rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    PROJECT_RULES[rule.rule_id] = rule
+    return rule_cls
+
+
+def analyze_file(path: Path, root: Path, sha: "str | None" = None) -> "FileRecord | None":
+    """Full per-file analysis: parse, lint, symbols, summaries.
+
+    Returns None for files that cannot be read or parsed — they carry no
+    analyzable code and are simply absent from the project.
+    """
+    ctx = parse_file(path, root)
+    if ctx is None:
+        return None
+    if sha is None:
+        sha = content_hash(ctx.source.encode("utf-8"))
+    suppressions = scan_suppressions(ctx.source)
+    module = build_module_record(
+        ctx.tree,
+        name=module_name_for(ctx.relpath),
+        relpath=ctx.relpath,
+        is_test=ctx.is_test,
+        aliases=ctx.aliases,
+        mutables=module_level_mutables(ctx.tree),
+    )
+    summaries = build_summaries(
+        ctx.tree,
+        module=module.name,
+        relpath=ctx.relpath,
+        is_test=ctx.is_test,
+        aliases=ctx.aliases,
+    )
+    return FileRecord(
+        sha=sha,
+        module=module,
+        summaries=summaries,
+        findings=lint_context(ctx, suppressions),
+        suppressions={
+            line: (sorted(s.rules), s.has_reason) for line, s in suppressions.items()
+        },
+    )
+
+
+def _analyze_file_worker(task: "tuple[str, str, str]") -> "tuple[str, dict | None]":
+    """Process-pool worker: analyze one file, return its record as a dict.
+
+    Module-level and stateless on purpose — reprolint's own fork-safety
+    rules apply to reprolint. Workers re-import the rule registry on
+    first use via the package import below.
+    """
+    path_str, relpath, root_str = task
+    from . import rules as _rules  # noqa: F401  (registers rules in the worker)
+
+    record = analyze_file(Path(path_str), Path(root_str))
+    return relpath, None if record is None else record.to_dict()
+
+
+#: Below this many cache misses, forking a pool costs more than it saves.
+PARALLEL_THRESHOLD = 24
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    root: "Path | None" = None,
+    *,
+    cache: "SummaryCache | None" = None,
+    jobs: "int | None" = None,
+) -> Project:
+    """Analyze a tree into a :class:`Project`, using the cache when given."""
+    root = root if root is not None else Path.cwd()
+    records: dict[str, FileRecord] = {}
+    stats = cache.stats if cache is not None else CacheStats()
+    misses: list[tuple[Path, str, str]] = []
+
+    for path in iter_python_files(paths):
+        try:
+            data = path.read_bytes()
+        except OSError:
+            continue
+        sha = content_hash(data)
+        relpath = _relpath(path, root)
+        cached = cache.lookup(relpath, sha) if cache is not None else None
+        if cache is None:
+            stats.misses += 1
+        if cached is not None:
+            records[relpath] = cached
+        else:
+            misses.append((path, relpath, sha))
+
+    fresh = _analyze_misses(misses, root, jobs)
+    records.update(fresh)
+
+    if cache is not None:
+        for relpath, record in fresh.items():
+            cache.store(relpath, record)
+        cache.prune(set(records))
+        cache.save()
+
+    symtab = SymbolTable([record.module for record in records.values()])
+    graph = CallGraph(
+        symtab, [s for record in records.values() for s in record.summaries]
+    )
+    return Project(root=root, records=records, symtab=symtab, graph=graph, stats=stats)
+
+
+def _analyze_misses(
+    misses: "list[tuple[Path, str, str]]", root: Path, jobs: "int | None"
+) -> dict[str, FileRecord]:
+    records: dict[str, FileRecord] = {}
+    workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    parallel = workers > 1 and (
+        jobs is not None or len(misses) >= PARALLEL_THRESHOLD
+    )
+    if parallel and len(misses) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(str(path), relpath, str(root)) for path, relpath, _sha in misses]
+        shas = {relpath: sha for _path, relpath, sha in misses}
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, 8)) as pool:
+                for relpath, payload in pool.map(
+                    _analyze_file_worker, tasks, chunksize=8
+                ):
+                    if payload is not None:
+                        record = FileRecord.from_dict(payload)
+                        record.sha = shas[relpath]
+                        records[relpath] = record
+            return records
+        except (OSError, ValueError):
+            records.clear()  # fall back to the serial path below
+    for path, relpath, sha in misses:
+        record = analyze_file(path, root, sha=sha)
+        if record is not None:
+            records[relpath] = record
+    return records
+
+
+def lint_project(
+    paths: Iterable[Path],
+    root: "Path | None" = None,
+    *,
+    cache: "SummaryCache | None" = None,
+    jobs: "int | None" = None,
+) -> "tuple[list[Finding], Project]":
+    """Whole-program lint: per-file rules + L/R/P project rules."""
+    project = analyze_paths(paths, root, cache=cache, jobs=jobs)
+    return project.all_findings(), project

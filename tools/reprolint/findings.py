@@ -48,6 +48,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "snippet": self.snippet,
             "fingerprint": self.fingerprint,
         }
 

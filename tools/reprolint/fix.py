@@ -1,0 +1,195 @@
+"""Mechanical autofixes for the rules with one canonical remediation.
+
+``--fix`` rewrites exactly two finding shapes, both of which have a
+single obviously-correct fix:
+
+* **M001** — a mutable default argument becomes a ``None`` sentinel, the
+  original allocation moves into a guard at the top of the body, and an
+  existing annotation is widened with ``| None``::
+
+      def f(xs: list = []):          def f(xs: list | None = None):
+          xs.append(1)        ->         if xs is None:
+                                             xs = []
+                                         xs.append(1)
+
+* **S001 (reason-less)** — a suppression missing its mandatory reason
+  gets a scaffolded one so the directive becomes *active* and the TODO
+  is greppable::
+
+      # reprolint: disable=D002
+      # reprolint: disable=D002 -- TODO(reprolint): explain why this is safe
+
+Both fixes are idempotent: a fixed file produces no further findings of
+that shape, so a second ``--fix`` run is a no-op (the round-trip tests
+assert exactly this). Edits are computed from AST node spans and applied
+bottom-up so earlier rewrites never invalidate later coordinates.
+Lambdas are skipped — there is no body to move the allocation into.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+
+from pathlib import Path
+
+from .suppress import _DIRECTIVE
+
+#: Scaffold appended to reason-less suppressions.
+REASON_TEMPLATE = "TODO(reprolint): explain why this is safe"
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _replace_span(
+    lines: list[str], start: tuple[int, int], end: tuple[int, int], text: str
+) -> None:
+    """Replace the half-open span (1-based line, 0-based col) with ``text``."""
+    start_line, start_col = start
+    end_line, end_col = end
+    prefix = lines[start_line - 1][:start_col]
+    suffix = lines[end_line - 1][end_col:]
+    replacement = prefix + text + suffix
+    lines[start_line - 1 : end_line] = [replacement]
+
+
+def _annotation_needs_widening(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    return "None" not in text and "Optional" not in text and "Any" not in text
+
+
+def fix_mutable_defaults(source: str) -> tuple[str, int]:
+    """Apply the M001 rewrite to every fixable function; returns (src, n)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    fixed = 0
+
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    # Bottom-up: a fix in a later function never moves an earlier span.
+    functions.sort(key=lambda fn: (fn.lineno, fn.col_offset), reverse=True)
+
+    for fn in functions:
+        args = fn.args
+        pairs: list[tuple[ast.arg, ast.expr]] = []
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults) :], args.defaults):
+            if _is_mutable_default(default):
+                pairs.append((arg, default))
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                pairs.append((arg, default))
+        if not pairs:
+            continue
+
+        # Guard statements go before the first body statement (after a
+        # docstring), re-allocating in signature order.
+        body_anchor = fn.body[0]
+        is_docstring = (
+            isinstance(body_anchor, ast.Expr)
+            and isinstance(body_anchor.value, ast.Constant)
+            and isinstance(body_anchor.value.value, str)
+        )
+        if is_docstring and len(fn.body) > 1:
+            body_anchor = fn.body[1]
+            is_docstring = False
+        indent = " " * body_anchor.col_offset
+        newline = "\r\n" if lines and lines[0].endswith("\r\n") else "\n"
+        guards = "".join(
+            f"{indent}if {arg.arg} is None:{newline}"
+            f"{indent}    {arg.arg} = {ast.unparse(default)}{newline}"
+            for arg, default in pairs
+        )
+        if is_docstring:
+            # Docstring-only body: the guard goes after it, not before.
+            lines.insert(body_anchor.end_lineno or body_anchor.lineno, guards)
+        else:
+            lines.insert(body_anchor.lineno - 1, guards)
+
+        # Rewrite defaults (and widen annotations) bottom-up within the
+        # signature; these spans all precede the inserted guard lines.
+        edits: list[tuple[tuple[int, int], tuple[int, int], str]] = []
+        for arg, default in pairs:
+            edits.append(
+                (
+                    (default.lineno, default.col_offset),
+                    (default.end_lineno or default.lineno, default.end_col_offset or 0),
+                    "None",
+                )
+            )
+            annotation = arg.annotation
+            if annotation is not None and _annotation_needs_widening(annotation):
+                end = (annotation.end_lineno or annotation.lineno, annotation.end_col_offset or 0)
+                edits.append((end, end, " | None"))
+        edits.sort(reverse=True)
+        for start, end, text in edits:
+            _replace_span(lines, start, end, text)
+        fixed += len(pairs)
+
+    return "".join(lines), fixed
+
+
+def fix_reasonless_suppressions(source: str) -> tuple[str, int]:
+    """Append the reason scaffold to reason-less directives; returns (src, n)."""
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    fixed = 0
+    for token in reversed(tokens):
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None or match.group("reason"):
+            continue
+        line_index = token.start[0] - 1
+        line = lines[line_index]
+        stripped = line.rstrip("\r\n")
+        ending = line[len(stripped) :]
+        lines[line_index] = f"{stripped.rstrip()} -- {REASON_TEMPLATE}{ending}"
+        fixed += 1
+    return "".join(lines), fixed
+
+
+def fix_source(source: str) -> tuple[str, int]:
+    """All autofixes over one file's source; returns (new source, edit count)."""
+    source, defaults_fixed = fix_mutable_defaults(source)
+    source, reasons_fixed = fix_reasonless_suppressions(source)
+    return source, defaults_fixed + reasons_fixed
+
+
+def fix_paths(paths: "list[Path]") -> dict[str, int]:
+    """Fix files in place; returns {path: edits} for files that changed."""
+    changed: dict[str, int] = {}
+    for path in paths:
+        try:
+            original = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        updated, count = fix_source(original)
+        if count and updated != original:
+            path.write_text(updated, encoding="utf-8")
+            changed[str(path)] = count
+    return changed

@@ -23,11 +23,29 @@ Every rule exists because a layer of this codebase depends on it:
 from __future__ import annotations
 
 import ast
+import re
 
 from typing import Iterator
 
-from .engine import FileContext, Rule, register
+from .engine import (
+    FileContext,
+    Project,
+    ProjectRule,
+    Rule,
+    register,
+    register_project,
+)
 from .findings import Finding
+from .summaries import (
+    HANDLE_FACTORIES as _HANDLE_FACTORIES,  # noqa: F401  (re-export for compat)
+    MUTABLE_LITERALS as _MUTABLE_LITERALS,
+    MUTATING_METHODS as _MUTATING_METHODS,  # noqa: F401
+    function_fork_hazard as _function_fork_hazard,
+    module_level_mutables as _module_level_mutables,
+    mutating_use as _mutating_use,  # noqa: F401
+    nested_function_names as _nested_function_names,
+)
+from .symbols import SET_TYPE_TOKENS
 
 #: numpy.random constructors that are fine *when given a seed argument*.
 _SEEDABLE_CONSTRUCTORS = {
@@ -76,30 +94,6 @@ _WALL_CLOCKS = {
 
 #: Identifiers whose presence in an except body counts as "recorded".
 _RECORDING_NAMES = {"resilience", "counters", "ResilienceCounters", "record_error"}
-
-#: Mutating method names that entangle forked workers with parent state.
-_MUTATING_METHODS = {
-    "append",
-    "extend",
-    "insert",
-    "remove",
-    "pop",
-    "popitem",
-    "clear",
-    "update",
-    "setdefault",
-    "add",
-    "discard",
-    "write",
-    "writelines",
-}
-
-#: Module-level constructors whose results must not cross a fork boundary.
-_HANDLE_FACTORIES = {"open", "socket", "Lock", "RLock", "Condition", "Semaphore", "Queue"}
-
-#: AST literal nodes that allocate a fresh mutable container.
-_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
-
 
 def _call_has_seed(node: ast.Call) -> bool:
     """True if a seedable RNG constructor call passes any seed material."""
@@ -189,83 +183,6 @@ class WallClockRule(Rule):
                     f"{qualified}() is wall-clock (not monotonic, jumps under NTP); "
                     f"use {_WALL_CLOCKS[qualified]} for timing/telemetry",
                 )
-
-
-def _module_level_mutables(tree: ast.Module) -> dict[str, str]:
-    """Module-level names bound to mutable containers or live handles."""
-    mutables: dict[str, str] = {}
-    for node in tree.body:
-        targets: list[ast.expr] = []
-        value: ast.expr | None = None
-        if isinstance(node, ast.Assign):
-            targets, value = node.targets, node.value
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets, value = [node.target], node.value
-        if value is None:
-            continue
-        kind: str | None = None
-        if isinstance(value, _MUTABLE_LITERALS):
-            kind = "mutable container"
-        elif isinstance(value, ast.Call):
-            callee = value.func
-            name = callee.attr if isinstance(callee, ast.Attribute) else None
-            if isinstance(callee, ast.Name):
-                name = callee.id
-            if name in ("list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"):
-                kind = "mutable container"
-            elif name in _HANDLE_FACTORIES:
-                kind = "open handle"
-        if kind is None:
-            continue
-        for target in targets:
-            if isinstance(target, ast.Name):
-                mutables[target.id] = kind
-    return mutables
-
-
-def _function_fork_hazard(fn: ast.AST, mutables: dict[str, str]) -> tuple[str, str] | None:
-    """Why a function is unsafe to submit across a fork, if it is."""
-    local_bindings: set[str] = set()
-    args = getattr(fn, "args", None)
-    if args is not None:
-        for arg in args.posonlyargs + args.args + args.kwonlyargs:
-            local_bindings.add(arg.arg)
-        if args.vararg:
-            local_bindings.add(args.vararg.arg)
-        if args.kwarg:
-            local_bindings.add(args.kwarg.arg)
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Global):
-            return node.names[0], "rebinds it via 'global'"
-        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-            local_bindings.add(node.id)
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Name) and node.id in mutables and node.id not in local_bindings:
-            kind = mutables[node.id]
-            if kind == "open handle":
-                return node.id, "captures a module-level open handle"
-            parent_attr = _mutating_use(fn, node.id)
-            if parent_attr is not None:
-                return node.id, f"mutates module-level state via .{parent_attr}()"
-    return None
-
-
-def _mutating_use(fn: ast.AST, name: str) -> str | None:
-    """First mutating method/statement applied to ``name`` inside ``fn``."""
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            target = node.func.value
-            if isinstance(target, ast.Name) and target.id == name:
-                if node.func.attr in _MUTATING_METHODS:
-                    return node.func.attr
-        if isinstance(node, (ast.Assign, ast.AugAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-            for target in targets:
-                if isinstance(target, ast.Subscript):
-                    base = target.value
-                    if isinstance(base, ast.Name) and base.id == name:
-                        return "__setitem__"
-    return None
 
 
 @register
@@ -438,20 +355,6 @@ class SharedBufferWriteRule(Rule):
                         "extend repro.sharedcht.durability) instead of viewing "
                         ".buf directly",
                     )
-
-
-def _nested_function_names(tree: ast.Module) -> set[str]:
-    """Names of functions defined inside other functions (closures)."""
-    nested: set[str] = set()
-    for outer in ast.walk(tree):
-        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        for inner in ast.walk(outer):
-            if inner is outer:
-                continue
-            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                nested.add(inner.name)
-    return nested
 
 
 @register
@@ -684,3 +587,331 @@ class AllDriftRule(Rule):
                 return None
             names.add(element.value)
         return names
+
+
+# ---------------------------------------------------------------------------
+# Whole-program rule families (L = lock discipline, R = determinism,
+# P = fork safety). These run once per tree over the project call graph;
+# see tools/reprolint/callgraph.py for how effects propagate.
+# ---------------------------------------------------------------------------
+
+
+def _route(project: Project, ids: "list[str]") -> str:
+    """Human-readable call route: module-stripped qualnames joined by ' -> '."""
+    names = []
+    for node_id in ids:
+        node = project.graph.nodes.get(node_id)
+        names.append(node.qualname if node is not None else node_id)
+    return " -> ".join(names)
+
+
+@register_project
+class FenceEscapeRule(ProjectRule):
+    """L001: every path to a raw shared-bank write must cross the fence."""
+
+    rule_id = "L001"
+    summary = (
+        "call path reaches a raw SharedCHT bank / segment-buffer write "
+        "without passing the epoch-fenced commit layer (interprocedural F003)"
+    )
+
+    #: Functions that ARE the fence: writes inside them are the protocol.
+    _COVERED_BASENAMES = {
+        "_fenced",
+        "_begin_commit_locked",
+        "_end_commit_locked",
+        "_recover_locked",
+    }
+    #: Constructors that initialize freshly-created, not-yet-published banks.
+    _COVERED_SUFFIXES = ("SharedCHT.__init__", "SegmentHeader.__init__")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        covered = set(graph.fence_callbacks)
+        for node_id, node in graph.nodes.items():
+            if node.name in self._COVERED_BASENAMES or any(
+                node_id.endswith(suffix) for suffix in self._COVERED_SUFFIXES
+            ):
+                covered.add(node_id)
+        for node in graph.nodes.values():
+            if node.is_test:
+                continue
+            for line, what in self._raw_writes(project, node):
+                path = graph.uncovered_root_path(node.id, covered)
+                if path is None:
+                    continue
+                if len(path) > 1:
+                    how = f"reachable unfenced from '{_route(project, path)}'"
+                else:
+                    how = "and nothing fenced sits above it on any call path"
+                yield project.finding(
+                    self.rule_id,
+                    node.relpath,
+                    line,
+                    f"{what} outside the epoch-fenced commit layer ({how}); a "
+                    "crash here tears counters undetectably — route the "
+                    "mutation through SharedCHT's fenced methods "
+                    "(merge_counts/update/reset) or a _fenced callback",
+                )
+
+    def _raw_writes(
+        self, project: Project, node: "object"
+    ) -> "list[tuple[int, str]]":
+        writes: list[tuple[int, str]] = []
+        # .buf writes inside the fenced modules are F003's blind spot and
+        # exactly where L001 must look; outside them F003 already fires
+        # per-file, so L001 stays silent to avoid double-reporting.
+        relpath = node.relpath.replace("\\", "/")
+        if relpath.endswith(SharedBufferWriteRule._FENCED_MODULES):
+            for write in node.buf_writes:
+                writes.append(
+                    (write["line"], "raw write into a shared-memory buffer")
+                )
+        for write in node.bank_writes:
+            receiver_cls = project.graph.receiver_class(node, write["receiver"])
+            if receiver_cls is None or receiver_cls == "set":
+                continue
+            if project.symtab.lineage_has_basename(receiver_cls, "SharedCHT"):
+                writes.append(
+                    (
+                        write["line"],
+                        f"write to SharedCHT bank '.{write['attr']}'",
+                    )
+                )
+        writes.sort()
+        return writes
+
+
+@register_project
+class LockReleaseRule(ProjectRule):
+    """L002: a publish-lock acquire must release on every exception path."""
+
+    rule_id = "L002"
+    summary = (
+        "lock .acquire() without a release on the exception path: no "
+        "with-block, no try/finally, and no cleanup call that transitively "
+        "releases"
+    )
+
+    #: Methods that legitimately acquire without releasing (their pair
+    #: lives elsewhere in the same adapter object).
+    _EXEMPT_NAMES = {"acquire", "release", "__enter__", "__exit__", "close", "shutdown"}
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        for node in graph.nodes.values():
+            if node.is_test or not node.acquires:
+                continue
+            if node.name in self._EXEMPT_NAMES:
+                continue
+            cls = graph.enclosing_class(node)
+            if cls is not None:
+                record = project.symtab.class_record(cls)
+                if (
+                    record is not None
+                    and "acquire" in record.methods
+                    and "release" in record.methods
+                ):
+                    # A lock adapter pairs acquire/release across methods
+                    # by design; L002 checks its *users*, not the adapter.
+                    continue
+            for acquire in node.acquires:
+                if acquire["direct_release"]:
+                    continue
+                if acquire["protected"]:
+                    released_by = self._cleanup_release(
+                        project, node, acquire["cleanup_calls"]
+                    )
+                    if released_by is not None:
+                        continue
+                    why = (
+                        "its try/finally cleanup never releases "
+                        f"'{acquire['chain']}', directly or via any function "
+                        "it calls"
+                    )
+                else:
+                    why = (
+                        "there is no enclosing with-block or try/finally, so "
+                        "an exception leaves the lock held forever"
+                    )
+                yield project.finding(
+                    self.rule_id,
+                    node.relpath,
+                    acquire["line"],
+                    f"'{acquire['chain']}.acquire()' has no release on the "
+                    f"exception path: {why}; prefer 'with {acquire['chain']}:' "
+                    "or release in a finally block",
+                )
+
+    def _cleanup_release(
+        self, project: Project, node: "object", cleanup_calls: "list[str]"
+    ) -> "str | None":
+        for chain in cleanup_calls:
+            resolved = project.graph.resolve_call(node, chain)
+            if resolved is not None and project.graph.has_effect(
+                resolved, "releases_lock"
+            ):
+                return resolved
+        return None
+
+
+@register_project
+class UnorderedIterationRule(ProjectRule):
+    """R001: unordered iteration must not feed order-sensitive sinks."""
+
+    rule_id = "R001"
+    summary = (
+        "iteration over an unordered set feeds numeric accumulation, "
+        "hashing, or RNG draws; the visit order — and therefore the result "
+        "— varies between runs and processes"
+    )
+
+    _EFFECT_KINDS = (
+        ("accumulates", "numeric accumulation"),
+        ("hashes", "hashing"),
+        ("draws", "an RNG draw"),
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        for node in graph.nodes.values():
+            if node.is_test:
+                continue
+            for loop in node.unordered_loops:
+                if not self._is_unordered(project, node, loop):
+                    continue
+                sink = self._sink(project, node, loop)
+                if sink is None:
+                    continue
+                yield project.finding(
+                    self.rule_id,
+                    node.relpath,
+                    loop["line"],
+                    f"loop iterates an unordered set and feeds {sink}; "
+                    "float accumulation and hash/RNG consumption are "
+                    "order-sensitive, so results differ run to run — iterate "
+                    "'sorted(...)' or an ordered container",
+                )
+
+    def _is_unordered(self, project: Project, node: "object", loop: dict) -> bool:
+        if loop["state"] == "unordered":
+            return True
+        if loop["state"] != "self_attr":
+            return False
+        cls = project.graph.enclosing_class(node)
+        if cls is None:
+            return False
+        for lineage_id in project.symtab.class_lineage(cls):
+            record = project.symtab.class_record(lineage_id)
+            if record is None or loop["attr"] not in record.attr_types:
+                continue
+            token = record.attr_types[loop["attr"]]
+            return (
+                token in SET_TYPE_TOKENS
+                or token.rsplit(".", 1)[-1] in SET_TYPE_TOKENS
+            )
+        return False
+
+    def _sink(self, project: Project, node: "object", loop: dict) -> "str | None":
+        if loop["sink_line"] is not None:
+            return f"{loop['sink_kind']} (line {loop['sink_line']})"
+        for chain in loop["calls"]:
+            resolved = project.graph.resolve_call(node, chain)
+            if resolved is None:
+                continue
+            for kind, label in self._EFFECT_KINDS:
+                witness = project.graph.effect_witness(resolved, kind)
+                if witness is not None:
+                    route = _route(project, [resolved] + witness["path"])
+                    return f"{label} via '{route}'"
+        return None
+
+
+@register_project
+class NondetBranchDrawRule(ProjectRule):
+    """R002: parity kernels must not draw RNG under nondeterministic guards."""
+
+    rule_id = "R002"
+    summary = (
+        "RNG draw guarded by a nondeterministic branch (wall-clock, pid, "
+        "uuid) in code reachable from a bit-exact parity kernel; the draw "
+        "count diverges between backends"
+    )
+
+    _KERNEL_PATTERN = re.compile(r"Batch\w*Kernel$")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        entries = {
+            node.id
+            for node in graph.nodes.values()
+            if node.class_name is not None
+            and self._KERNEL_PATTERN.search(node.class_name)
+        }
+        reach = graph.reachable_from(entries)
+        for node_id, path in sorted(reach.items()):
+            node = graph.nodes[node_id]
+            if node.is_test:
+                continue
+            for draw in node.guarded_draws:
+                if len(path) > 1:
+                    via = f"reachable from the parity kernel via '{_route(project, path)}'"
+                else:
+                    via = "inside a bit-exact parity kernel"
+                yield project.finding(
+                    self.rule_id,
+                    node.relpath,
+                    draw["line"],
+                    f"RNG draw guarded by '{draw['guard']}()' ({via}); the "
+                    "branch outcome varies run to run, so the RNG stream — "
+                    "and every backend-parity guarantee downstream — "
+                    "diverges; gate draws on deterministic state only",
+                )
+
+
+@register_project
+class PoolSubmissionStateRule(ProjectRule):
+    """P001: pool submissions checked through the call graph (deep F001)."""
+
+    rule_id = "P001"
+    summary = (
+        "pool-submitted callable transitively mutates module-level mutable "
+        "state or handles; forked workers silently diverge from the parent "
+        "(interprocedural F001)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph
+        for submission in graph.submissions:
+            caller = graph.nodes.get(submission["caller"])
+            if caller is None or caller.is_test:
+                continue
+            callee_id = submission["callee"]
+            if callee_id is None:
+                continue
+            callee = graph.nodes.get(callee_id)
+            if callee is None:
+                continue
+            witness = graph.effect_witness(callee_id, "mutates_module")
+            if witness is None:
+                continue
+            if witness["origin"] in graph.initializers:
+                # Pool initializers exist to set up per-worker module state;
+                # mutation there is the sanctioned pattern.
+                continue
+            if witness["origin"] == callee_id and callee.module == caller.module:
+                continue  # direct hazard in a same-module function: F001 fires
+            origin = graph.nodes.get(witness["origin"])
+            detail = witness.get("detail") or "mutates module-level state"
+            route = _route(project, [callee_id] + witness["path"])
+            yield project.finding(
+                self.rule_id,
+                caller.relpath,
+                submission["line"],
+                f"pool submission of '{callee.name}' reaches a function that "
+                f"{detail} at "
+                f"{origin.relpath if origin is not None else '?'}:"
+                f"{witness['line']} via '{route}'; forked workers mutate a "
+                "divergent copy — pass state explicitly or move the mutation "
+                "into a pool initializer",
+            )

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 emission so findings render as GitHub code-scanning alerts.
+
+One run, one driver ("reprolint"), one result per finding. The finding's
+location-independent fingerprint is exported as a ``partialFingerprints``
+entry so code scanning tracks an alert across unrelated line motion the
+same way the JSON baseline does. Only the subset of the SARIF schema
+GitHub's ``upload-sarif`` action consumes is produced — rules with
+descriptions, results with one physical location each.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Code scanning severity for every reprolint finding: the baseline is
+#: empty by policy, so anything reported is a build-blocking error.
+RESULT_LEVEL = "error"
+
+
+def to_sarif(
+    findings: "list[Finding]",
+    *,
+    rule_summaries: "dict[str, str]",
+    tool_version: str = "2.0",
+) -> dict:
+    """Build the SARIF log object for one lint run.
+
+    ``rule_summaries`` maps every known rule id (including engine checks
+    like S001) to its one-line summary; rules never fired are still
+    declared so the code-scanning UI can list them.
+    """
+    rule_ids = sorted(set(rule_summaries) | {f.rule for f in findings})
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {
+                "text": rule_summaries.get(rule_id, "reprolint finding")
+            },
+            "defaultConfiguration": {"level": RESULT_LEVEL},
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": RESULT_LEVEL,
+            "message": {"text": finding.message},
+            "partialFingerprints": {"reprolintFingerprint/v1": finding.fingerprint},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                            **(
+                                {"snippet": {"text": finding.snippet}}
+                                if finding.snippet
+                                else {}
+                            ),
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/reprolint",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: "list[Finding]",
+    *,
+    rule_summaries: "dict[str, str]",
+    tool_version: str = "2.0",
+) -> str:
+    return json.dumps(
+        to_sarif(findings, rule_summaries=rule_summaries, tool_version=tool_version),
+        indent=2,
+        sort_keys=True,
+    )

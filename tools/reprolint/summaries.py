@@ -1,0 +1,887 @@
+"""Per-function dataflow summaries: what each function reads/writes/draws.
+
+This is the single AST pass the whole-program rules build on. For every
+function (methods and nested functions get their own summary — a nested
+callback is a distinct call-graph node, not part of its parent), it
+records the *direct* effects the L/R/P rule families care about:
+
+* shared-segment writes: raw ``.buf`` subscript writes and ndarray views
+  over ``.buf``, plus counter-bank writes (``X.coll[...] = / +=``,
+  ``np.copyto(X.coll, ...)``) with the receiver token kept symbolic so
+  the project pass can type it (L001);
+* publish-lock ``.acquire()`` / ``.release()`` calls with their
+  try/finally protection context (L002);
+* loops over unordered iterables and the numeric/hash/RNG sinks in
+  their bodies (R001);
+* RNG draws, including draws guarded by a nondeterministic branch
+  condition such as ``if time.monotonic() > deadline`` (R001/R002);
+* module-level mutable-state mutation and pool submissions (P001);
+* every call site, as an alias-qualified dotted chain, so the call
+  graph can be stitched per project.
+
+Summaries are symbol-table-independent on purpose: they are computed
+per file (in parallel) and cached by content hash; all cross-file
+resolution happens later in :mod:`tools.reprolint.callgraph`.
+
+The fork-safety helpers shared with the per-file F001 rule
+(:func:`module_level_mutables`, :func:`function_fork_hazard`, ...) live
+here so ``rules.py`` can import them without a cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from dataclasses import dataclass, field
+
+from .symbols import SET_TYPE_TOKENS, annotation_tokens
+
+#: Mutating method names that entangle forked workers with parent state.
+MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "write",
+    "writelines",
+}
+
+#: Module-level constructors whose results must not cross a fork boundary.
+HANDLE_FACTORIES = {"open", "socket", "Lock", "RLock", "Condition", "Semaphore", "Queue"}
+
+#: AST literal nodes that allocate a fresh mutable container.
+MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+#: Attributes that name shared-CHT counter banks (L001 write targets).
+BANK_ATTRS = {"coll", "noncoll", "banks"}
+
+#: ``Generator`` methods that consume entropy from the stream.
+RNG_DRAW_METHODS = {
+    "random",
+    "integers",
+    "normal",
+    "uniform",
+    "standard_normal",
+    "standard_exponential",
+    "exponential",
+    "poisson",
+    "binomial",
+    "choice",
+    "shuffle",
+    "permutation",
+    "permuted",
+    "bytes",
+}
+
+#: Receiver-name fragments that mark a value as an RNG instance.
+RNG_RECEIVER_HINTS = ("rng", "generator")
+
+#: Receiver-name fragments that mark a value as a hasher/checksum object.
+HASH_RECEIVER_HINTS = ("hash", "hasher", "digest", "crc", "md5", "sha")
+
+#: Qualified calls whose result varies run-to-run (R002 branch guards).
+NONDET_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "os.getpid",
+    "os.urandom",
+    "uuid.uuid4",
+    "uuid.uuid1",
+    "threading.get_ident",
+    "id",
+}
+
+#: Callable attrs that dispatch work onto a process pool (shared with F001).
+SUBMIT_ATTRS = {"submit", "run_shards"}
+
+#: Numeric accumulation operators for the R001 sink heuristic.
+_ACCUM_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+# ---------------------------------------------------------------------------
+# Fork-safety helpers (shared by the per-file F001 rule and the P001 pass).
+# ---------------------------------------------------------------------------
+
+
+def module_level_mutables(tree: ast.Module) -> dict[str, str]:
+    """Module-level names bound to mutable containers or live handles."""
+    mutables: dict[str, str] = {}
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        kind: str | None = None
+        if isinstance(value, MUTABLE_LITERALS):
+            kind = "mutable container"
+        elif isinstance(value, ast.Call):
+            callee = value.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else None
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            if name in ("list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"):
+                kind = "mutable container"
+            elif name in HANDLE_FACTORIES:
+                kind = "open handle"
+        if kind is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables[target.id] = kind
+    return mutables
+
+
+def mutating_use(fn: ast.AST, name: str) -> str | None:
+    """First mutating method/statement applied to ``name`` inside ``fn``."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            target = node.func.value
+            if isinstance(target, ast.Name) and target.id == name:
+                if node.func.attr in MUTATING_METHODS:
+                    return node.func.attr
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    base = target.value
+                    if isinstance(base, ast.Name) and base.id == name:
+                        return "__setitem__"
+    return None
+
+
+def function_fork_hazard(fn: ast.AST, mutables: dict[str, str]) -> tuple[str, str] | None:
+    """Why a function is unsafe to submit across a fork, if it is."""
+    local_bindings: set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            local_bindings.add(arg.arg)
+        if args.vararg:
+            local_bindings.add(args.vararg.arg)
+        if args.kwarg:
+            local_bindings.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            return node.names[0], "rebinds it via 'global'"
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local_bindings.add(node.id)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in mutables and node.id not in local_bindings:
+            kind = mutables[node.id]
+            if kind == "open handle":
+                return node.id, "captures a module-level open handle"
+            parent_attr = mutating_use(fn, node.id)
+            if parent_attr is not None:
+                return node.id, f"mutates module-level state via .{parent_attr}()"
+    return None
+
+
+def nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions (closures)."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, _FUNCTION_NODES):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, _FUNCTION_NODES):
+                nested.add(inner.name)
+    return nested
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers.
+# ---------------------------------------------------------------------------
+
+
+def call_chain(func: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Dotted callee chain with the head import-alias resolved.
+
+    ``np.copyto`` -> ``numpy.copyto``; ``self.lock.acquire`` stays rooted
+    at ``self`` so receiver typing can handle it later. Non Name/Attribute
+    callees (calls-of-calls, subscripts) return None.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    if parts[0] != "self":
+        parts[0] = aliases.get(parts[0], parts[0])
+    return ".".join(parts)
+
+
+def is_rng_draw(chain: str) -> bool:
+    """True when a qualified call chain reads from an RNG stream."""
+    head, _, tail = chain.rpartition(".")
+    if not head:
+        return False
+    if tail not in RNG_DRAW_METHODS:
+        return False
+    receiver = head.rsplit(".", 1)[-1].lower()
+    return any(hint in receiver for hint in RNG_RECEIVER_HINTS)
+
+
+def is_hash_sink(chain: str) -> bool:
+    """True when a qualified call chain feeds a hash/checksum."""
+    if chain == "hash" or chain.startswith("hashlib."):
+        return True
+    if chain in ("zlib.crc32", "binascii.crc32"):
+        return True
+    head, _, tail = chain.rpartition(".")
+    if tail in ("update", "digest", "hexdigest") and head:
+        receiver = head.rsplit(".", 1)[-1].lower()
+        return any(hint in receiver for hint in HASH_RECEIVER_HINTS)
+    return False
+
+
+def is_lock_chain(chain: str) -> bool:
+    """True when a receiver chain names a lock (``self.lock``, ``_publish_lock``)."""
+    return "lock" in chain.rsplit(".", 1)[-1].lower()
+
+
+def _plain_name(node: ast.expr) -> str | None:
+    return node.id if isinstance(node, ast.Name) else None
+
+
+# ---------------------------------------------------------------------------
+# The summary itself.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionSummary:
+    """Direct (non-transitive) effects of one function definition."""
+
+    module: str
+    relpath: str
+    #: Dotted scope path inside the module (``SharedCHT.load.restore``).
+    qualname: str
+    name: str
+    lineno: int
+    is_test: bool = False
+    #: Enclosing class name when this is a method, else None.
+    class_name: "str | None" = None
+    #: Enclosing function's summary id when nested, else None.
+    parent: "str | None" = None
+    #: Names of functions defined directly inside this one.
+    nested: list[str] = field(default_factory=list)
+    #: Parameter name -> first annotation token.
+    param_types: dict[str, str] = field(default_factory=dict)
+    #: Local name -> inferred/annotated type token.
+    local_types: dict[str, str] = field(default_factory=dict)
+    #: Every resolvable call: {"line", "func", "args", "kwargs"}.
+    calls: list[dict] = field(default_factory=list)
+    #: Counter-bank writes: {"line", "receiver", "attr"}.
+    bank_writes: list[dict] = field(default_factory=list)
+    #: Raw segment-buffer writes/views: {"line", "kind"}.
+    buf_writes: list[dict] = field(default_factory=list)
+    #: Lock acquires: {"line", "chain", "protected", "direct_release",
+    #: "cleanup_calls"}.
+    acquires: list[dict] = field(default_factory=list)
+    #: Lock chains released anywhere in the body (with lines).
+    releases: list[dict] = field(default_factory=list)
+    #: RNG-draw call lines.
+    draws: list[int] = field(default_factory=list)
+    #: Draws under a nondeterministic branch: {"line", "guard"}.
+    guarded_draws: list[dict] = field(default_factory=list)
+    #: Loops over (possibly) unordered iterables: {"line", "state",
+    #: "attr", "sink_line", "sink_kind", "calls"}.
+    unordered_loops: list[dict] = field(default_factory=list)
+    #: First numeric-accumulation line (``x += ...``), else None.
+    accumulates: "int | None" = None
+    #: First hash-feeding call line, else None.
+    hashes: "int | None" = None
+    #: Module-state mutations: {"name", "how", "line"}.
+    mutates_module: list[dict] = field(default_factory=list)
+    #: Pool submissions: {"line", "callee"} (callee chain or "<lambda>").
+    submissions: list[dict] = field(default_factory=list)
+    #: Plain names passed as ``initializer=`` kwargs (sanctioned mutators).
+    initializer_args: list[str] = field(default_factory=list)
+
+    @property
+    def id(self) -> str:
+        return f"{self.module}.{self.qualname}" if self.module else self.qualname
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "relpath": self.relpath,
+            "qualname": self.qualname,
+            "name": self.name,
+            "lineno": self.lineno,
+            "is_test": self.is_test,
+            "class_name": self.class_name,
+            "parent": self.parent,
+            "nested": list(self.nested),
+            "param_types": dict(self.param_types),
+            "local_types": dict(self.local_types),
+            "calls": list(self.calls),
+            "bank_writes": list(self.bank_writes),
+            "buf_writes": list(self.buf_writes),
+            "acquires": list(self.acquires),
+            "releases": list(self.releases),
+            "draws": list(self.draws),
+            "guarded_draws": list(self.guarded_draws),
+            "unordered_loops": list(self.unordered_loops),
+            "accumulates": self.accumulates,
+            "hashes": self.hashes,
+            "mutates_module": list(self.mutates_module),
+            "submissions": list(self.submissions),
+            "initializer_args": list(self.initializer_args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionSummary":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Building summaries for a module.
+# ---------------------------------------------------------------------------
+
+
+def build_summaries(
+    tree: ast.Module,
+    *,
+    module: str,
+    relpath: str,
+    is_test: bool,
+    aliases: dict[str, str],
+) -> list[FunctionSummary]:
+    """Summaries for every function in the module, nested ones included."""
+    mutables = module_level_mutables(tree)
+    out: list[FunctionSummary] = []
+
+    def visit_function(
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        scope: list[str],
+        class_name: "str | None",
+        parent_id: "str | None",
+    ) -> None:
+        summary = _summarize_function(
+            node,
+            module=module,
+            relpath=relpath,
+            is_test=is_test,
+            aliases=aliases,
+            mutables=mutables,
+            scope=scope,
+            class_name=class_name,
+            parent_id=parent_id,
+        )
+        out.append(summary)
+        _, nested_defs = _own_nodes_and_nested(node)
+        for nested in nested_defs:
+            visit_function(nested, scope + [node.name], None, summary.id)
+
+    def visit_scope(
+        body: list[ast.stmt], scope: list[str], class_name: "str | None"
+    ) -> None:
+        for node in body:
+            if isinstance(node, _FUNCTION_NODES):
+                visit_function(node, scope, class_name, None)
+            elif isinstance(node, ast.ClassDef):
+                visit_scope(node.body, scope + [node.name], node.name)
+
+    visit_scope(tree.body, [], None)
+    return out
+
+
+def _own_nodes_and_nested(
+    fn: ast.AST,
+) -> "tuple[list[ast.AST], list[ast.FunctionDef | ast.AsyncFunctionDef]]":
+    """Nodes of ``fn`` excluding nested function bodies, plus those functions.
+
+    Nested definitions become their own summaries; folding their effects
+    into the parent would, e.g., charge a fenced callback's bank writes to
+    the function that merely *defines* it.
+    """
+    collected: list[ast.AST] = []
+    nested: "list[ast.FunctionDef | ast.AsyncFunctionDef]" = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTION_NODES):
+            nested.append(node)
+            continue
+        collected.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return collected, nested
+
+
+def _own_nodes(fn: ast.AST) -> "list[ast.AST]":
+    """All nodes of ``fn`` excluding nested function definitions' bodies."""
+    return _own_nodes_and_nested(fn)[0]
+
+
+def _summarize_function(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    *,
+    module: str,
+    relpath: str,
+    is_test: bool,
+    aliases: dict[str, str],
+    mutables: dict[str, str],
+    scope: list[str],
+    class_name: "str | None",
+    parent_id: "str | None",
+) -> FunctionSummary:
+    summary = FunctionSummary(
+        module=module,
+        relpath=relpath,
+        qualname=".".join(scope + [fn.name]),
+        name=fn.name,
+        lineno=fn.lineno,
+        is_test=is_test,
+        class_name=class_name,
+        parent=parent_id,
+    )
+
+    args = fn.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        tokens = annotation_tokens(arg.annotation)
+        if tokens:
+            summary.param_types[arg.arg] = tokens[0]
+    if class_name is not None and (args.posonlyargs + args.args):
+        first = (args.posonlyargs + args.args)[0].arg
+        if first == "cls":
+            # In a classmethod, ``cls(...)`` constructs the enclosing class.
+            summary.param_types.setdefault("cls", class_name)
+
+    nodes, nested_defs = _own_nodes_and_nested(fn)
+    summary.nested = [nested.name for nested in nested_defs]
+
+    _collect_local_types(summary, nodes, class_name)
+    _collect_calls_and_effects(summary, fn, nodes, aliases, mutables)
+    _collect_lock_use(summary, fn, aliases)
+    _collect_loops(summary, nodes, aliases)
+    _collect_guarded_draws(summary, fn, aliases)
+    return summary
+
+
+def _collect_local_types(
+    summary: FunctionSummary, nodes: "list[ast.AST]", class_name: "str | None"
+) -> None:
+    for node in nodes:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            tokens = annotation_tokens(node.annotation)
+            if tokens:
+                summary.local_types.setdefault(node.target.id, tokens[0])
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            token = _value_token(node.value, summary.param_types, class_name)
+            if token is not None:
+                summary.local_types.setdefault(target.id, token)
+
+
+def _value_token(
+    value: ast.expr, param_types: dict[str, str], class_name: "str | None"
+) -> "str | None":
+    """Type token for an assigned value, for the simple shapes we care about."""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call):
+        callee = value.func
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute):
+            name = callee.attr
+        if name in ("set", "frozenset"):
+            return "set"
+        if name == "sorted":
+            return "list"
+        if name == "cls" and class_name is not None:
+            return class_name
+        return name
+    return None
+
+
+def _collect_calls_and_effects(
+    summary: FunctionSummary,
+    fn: ast.AST,
+    nodes: "list[ast.AST]",
+    aliases: dict[str, str],
+    mutables: dict[str, str],
+) -> None:
+    hazard = function_fork_hazard(fn, mutables)
+    if hazard is not None:
+        name, how = hazard
+        summary.mutates_module.append(
+            {"name": name, "how": how, "line": getattr(fn, "lineno", 1)}
+        )
+
+    for node in nodes:
+        if isinstance(node, ast.Call):
+            chain = call_chain(node.func, aliases)
+            if chain is not None:
+                summary.calls.append(
+                    {
+                        "line": node.lineno,
+                        "func": chain,
+                        "args": [n for n in (_plain_name(a) for a in node.args) if n],
+                        "kwargs": {
+                            kw.arg: _plain_name(kw.value)
+                            for kw in node.keywords
+                            if kw.arg and _plain_name(kw.value)
+                        },
+                    }
+                )
+                if is_rng_draw(chain):
+                    summary.draws.append(node.lineno)
+                if summary.hashes is None and is_hash_sink(chain):
+                    summary.hashes = node.lineno
+                if chain == "numpy.copyto" and node.args:
+                    dest = node.args[0]
+                    if isinstance(dest, ast.Attribute) and dest.attr in BANK_ATTRS:
+                        receiver = _receiver_root(dest.value)
+                        if receiver is not None:
+                            summary.bank_writes.append(
+                                {"line": node.lineno, "receiver": receiver, "attr": dest.attr}
+                            )
+                tail = chain.rsplit(".", 1)[-1]
+                if tail == "fill" and isinstance(node.func, ast.Attribute):
+                    inner = node.func.value
+                    if isinstance(inner, ast.Attribute) and inner.attr in BANK_ATTRS:
+                        receiver = _receiver_root(inner.value)
+                        if receiver is not None:
+                            summary.bank_writes.append(
+                                {"line": node.lineno, "receiver": receiver, "attr": inner.attr}
+                            )
+                for kw in node.keywords:
+                    if kw.arg == "initializer":
+                        name = _plain_name(kw.value)
+                        if name:
+                            summary.initializer_args.append(name)
+                if _is_pool_dispatch(node):
+                    callee = node.args[0] if node.args else None
+                    if isinstance(callee, ast.Lambda):
+                        summary.submissions.append({"line": node.lineno, "callee": "<lambda>"})
+                    elif callee is not None:
+                        callee_chain = call_chain(callee, aliases) if isinstance(
+                            callee, (ast.Name, ast.Attribute)
+                        ) else None
+                        if callee_chain is not None:
+                            summary.submissions.append(
+                                {"line": node.lineno, "callee": callee_chain}
+                            )
+            # ndarray views over a raw segment buffer.
+            if chain in ("numpy.ndarray", "numpy.frombuffer"):
+                operands = list(node.args) + [kw.value for kw in node.keywords]
+                if any(isinstance(a, ast.Attribute) and a.attr == "buf" for a in operands):
+                    summary.buf_writes.append({"line": node.lineno, "kind": "view"})
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, _ACCUM_OPS):
+                if summary.accumulates is None:
+                    summary.accumulates = node.lineno
+            for target in targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                base = target.value
+                if isinstance(base, ast.Attribute):
+                    if base.attr == "buf":
+                        summary.buf_writes.append({"line": node.lineno, "kind": "write"})
+                    elif base.attr in BANK_ATTRS:
+                        receiver = _receiver_root(base.value)
+                        if receiver is not None:
+                            summary.bank_writes.append(
+                                {"line": node.lineno, "receiver": receiver, "attr": base.attr}
+                            )
+
+
+def _receiver_root(node: ast.expr) -> "str | None":
+    """``self`` / plain-name root of a receiver expression, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "self":
+            return f"self.{node.attr}"
+    return None
+
+
+def _is_pool_dispatch(node: ast.Call) -> bool:
+    """Shared F001/P001 notion of "this call hands work to a pool"."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in SUBMIT_ATTRS
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in SUBMIT_ATTRS:
+        return True
+    if func.attr in ("map", "run"):
+        receiver = func.value
+        text = ""
+        if isinstance(receiver, ast.Name):
+            text = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            text = receiver.attr
+        lowered = text.lower()
+        return any(token in lowered for token in ("pool", "executor", "supervisor"))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Lock-discipline scan (L002 inputs).
+# ---------------------------------------------------------------------------
+
+
+def _collect_lock_use(summary: FunctionSummary, fn: ast.AST, aliases: dict[str, str]) -> None:
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.Call):
+            chain = call_chain(node.func, aliases)
+            if chain is None or "." not in chain:
+                continue
+            receiver, _, method = chain.rpartition(".")
+            if method == "release" and is_lock_chain(receiver):
+                summary.releases.append({"line": node.lineno, "chain": receiver})
+
+    body = getattr(fn, "body", [])
+    _scan_acquires(summary, body, [], aliases)
+
+
+def _scan_acquires(
+    summary: FunctionSummary,
+    stmts: "list[ast.stmt]",
+    enclosing_finallies: "list[list[ast.stmt]]",
+    aliases: dict[str, str],
+) -> None:
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, _FUNCTION_NODES):
+            continue
+        if isinstance(stmt, ast.Try):
+            inner = enclosing_finallies + ([stmt.finalbody] if stmt.finalbody else [])
+            _scan_acquires(summary, stmt.body, inner, aliases)
+            for handler in stmt.handlers:
+                _scan_acquires(summary, handler.body, inner, aliases)
+            _scan_acquires(summary, stmt.orelse, inner, aliases)
+            _scan_acquires(summary, stmt.finalbody, enclosing_finallies, aliases)
+            continue
+        nested_bodies: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, attr, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                nested_bodies.append(value)
+        if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            # ``with lock:`` releases on every exit path by construction.
+            for body in nested_bodies:
+                _scan_acquires(summary, body, enclosing_finallies, aliases)
+            continue
+        if nested_bodies:
+            for body in nested_bodies:
+                _scan_acquires(summary, body, enclosing_finallies, aliases)
+            # fall through: the statement head (test/iter) may still acquire.
+        for call in _statement_head_calls(stmt):
+            chain = call_chain(call.func, aliases)
+            if chain is None or "." not in chain:
+                continue
+            receiver, _, method = chain.rpartition(".")
+            if method != "acquire" or not is_lock_chain(receiver):
+                continue
+            # Protection comes from enclosing try/finally blocks or a
+            # try/finally later in the same suite (the classic
+            # ``lock.acquire(); try: ... finally: lock.release()`` idiom).
+            finallies = list(enclosing_finallies)
+            for later in stmts[index + 1 :]:
+                if isinstance(later, ast.Try) and later.finalbody:
+                    finallies.append(later.finalbody)
+            direct_release = False
+            cleanup_calls: list[str] = []
+            for fin in finallies:
+                for fin_stmt in fin:
+                    for fin_call in ast.walk(fin_stmt):
+                        if not isinstance(fin_call, ast.Call):
+                            continue
+                        fin_chain = call_chain(fin_call.func, aliases)
+                        if fin_chain is None:
+                            continue
+                        fin_recv, _, fin_method = fin_chain.rpartition(".")
+                        if fin_method == "release" and fin_recv == receiver:
+                            direct_release = True
+                        else:
+                            cleanup_calls.append(fin_chain)
+            summary.acquires.append(
+                {
+                    "line": call.lineno,
+                    "chain": receiver,
+                    "protected": bool(finallies),
+                    "direct_release": direct_release,
+                    "cleanup_calls": cleanup_calls,
+                }
+            )
+
+
+def _statement_head_calls(stmt: ast.stmt) -> "list[ast.Call]":
+    """Calls in a statement excluding its nested statement suites."""
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = []
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt) or isinstance(child, _FUNCTION_NODES):
+            continue
+        stack.append(child)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.stmt) or isinstance(node, _FUNCTION_NODES):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+# ---------------------------------------------------------------------------
+# Unordered-iteration scan (R001 inputs).
+# ---------------------------------------------------------------------------
+
+
+def _collect_loops(
+    summary: FunctionSummary, nodes: "list[ast.AST]", aliases: dict[str, str]
+) -> None:
+    for node in nodes:
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        state, attr = _classify_iter(node.iter, summary)
+        if state is None:
+            continue
+        sink_line: "int | None" = None
+        sink_kind: "str | None" = None
+        body_calls: list[str] = []
+        for inner in node.body:
+            for sub in ast.walk(inner):
+                if isinstance(sub, _FUNCTION_NODES):
+                    continue
+                if isinstance(sub, ast.AugAssign) and isinstance(sub.op, _ACCUM_OPS):
+                    if sink_line is None:
+                        sink_line, sink_kind = sub.lineno, "numeric accumulation"
+                elif isinstance(sub, ast.Call):
+                    chain = call_chain(sub.func, aliases)
+                    if chain is None:
+                        continue
+                    body_calls.append(chain)
+                    if sink_line is None and is_hash_sink(chain):
+                        sink_line, sink_kind = sub.lineno, "hashing"
+                    elif sink_line is None and is_rng_draw(chain):
+                        sink_line, sink_kind = sub.lineno, "an RNG draw"
+        summary.unordered_loops.append(
+            {
+                "line": node.lineno,
+                "state": state,
+                "attr": attr,
+                "sink_line": sink_line,
+                "sink_kind": sink_kind,
+                "calls": body_calls,
+            }
+        )
+
+
+def _classify_iter(
+    expr: ast.expr, summary: FunctionSummary
+) -> "tuple[str | None, str | None]":
+    """("unordered"|"self_attr"|None, attr) classification of a loop iterable."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "unordered", None
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        for side in (expr.left, expr.right):
+            state, attr = _classify_iter(side, summary)
+            if state is not None:
+                return state, attr
+        return None, None
+    if isinstance(expr, ast.Call):
+        callee = expr.func
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute):
+            name = callee.attr
+        if name in ("set", "frozenset"):
+            return "unordered", None
+        if name == "sorted":
+            return None, None
+        if name in ("list", "tuple", "iter", "reversed", "enumerate") and expr.args:
+            # Wrapping an unordered iterable does not order it.
+            return _classify_iter(expr.args[0], summary)
+        return None, None
+    if isinstance(expr, ast.Name):
+        token = summary.local_types.get(expr.id) or summary.param_types.get(expr.id)
+        if token is None:
+            return None, None
+        if token in SET_TYPE_TOKENS or token.rsplit(".", 1)[-1] in SET_TYPE_TOKENS:
+            return "unordered", None
+        return None, None
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.value.id == "self":
+            return "self_attr", expr.attr
+    return None, None
+
+
+# ---------------------------------------------------------------------------
+# Nondeterministically-guarded draws (R002 inputs).
+# ---------------------------------------------------------------------------
+
+
+def _collect_guarded_draws(
+    summary: FunctionSummary, fn: ast.AST, aliases: dict[str, str]
+) -> None:
+    def guard_source(test: ast.expr) -> "str | None":
+        for node in ast.walk(test):
+            if isinstance(node, ast.Call):
+                chain = call_chain(node.func, aliases)
+                if chain in NONDET_SOURCES:
+                    return chain
+        return None
+
+    def scan(stmts: "list[ast.stmt]", guard: "str | None") -> None:
+        for stmt in stmts:
+            if isinstance(stmt, _FUNCTION_NODES):
+                continue
+            local_guard = guard
+            if isinstance(stmt, (ast.If, ast.While)):
+                local_guard = guard_source(stmt.test) or guard
+            if local_guard is not None:
+                for node in ast.walk(stmt):
+                    if isinstance(node, _FUNCTION_NODES):
+                        continue
+                    if isinstance(node, ast.Call):
+                        chain = call_chain(node.func, aliases)
+                        if chain is not None and is_rng_draw(chain):
+                            summary.guarded_draws.append(
+                                {"line": node.lineno, "guard": local_guard}
+                            )
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                value = getattr(stmt, attr, None)
+                if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                    scan(value, guard)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    scan(handler.body, guard)
+
+    scan(getattr(fn, "body", []), None)

@@ -1,0 +1,370 @@
+"""Project-wide symbol table: modules, classes, functions, import aliases.
+
+The whole-program rules (L/R/P series) need to answer questions a single
+file cannot: *which function does this call land in*, *what class is this
+receiver*, *what does this re-export actually point at*. This module
+builds the lookup structures those answers come from:
+
+* :func:`module_name_for` — the dotted module name a file defines, derived
+  from its root-relative path (``src/`` is a layout prefix, not a package).
+* :class:`ModuleRecord` / :class:`ClassRecord` — the per-file symbol facts
+  extracted once per parse (and cached by content hash, see
+  :mod:`tools.reprolint.cache`): local alias map, top-level defs, class
+  bases and methods, annotated ``self.*`` attribute types, module-level
+  mutable bindings.
+* :class:`SymbolTable` — the cross-file index: resolves dotted names
+  through import aliases **and** package re-exports (``repro.sharedcht.
+  SharedCHT`` → ``repro.sharedcht.table.SharedCHT``), and does method
+  resolution along a class's base-class chain.
+
+Everything here is a plain dict/dataclass serializable to JSON so records
+round-trip through the on-disk summary cache.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+#: Annotation tokens that denote an *unordered* collection for rule R001.
+SET_TYPE_TOKENS = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+    "typing.Set",
+    "typing.FrozenSet",
+    "typing.AbstractSet",
+    "typing.MutableSet",
+}
+
+#: How many alias/re-export hops :meth:`SymbolTable.resolve` will follow
+#: before declaring a cycle.
+_MAX_RESOLVE_HOPS = 16
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a root-relative posix path.
+
+    ``src`` is treated as a layout directory (the repo's packages live
+    under it without being importable *as* ``src.*``), ``__init__.py``
+    names the package itself.
+    """
+    parts = list(PurePosixPath(relpath).parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    leaf = parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[: -len(".py")]
+    if leaf == "__init__":
+        parts = parts[:-1]
+    else:
+        parts[-1] = leaf
+    return ".".join(parts)
+
+
+@dataclass
+class ClassRecord:
+    """One class definition: bases, methods, annotated self-attribute types."""
+
+    name: str
+    lineno: int
+    #: Base-class references, alias-resolved to dotted paths where possible.
+    bases: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+    #: ``self.X`` annotation tokens seen anywhere in the class body
+    #: (``_rebuild_tasks`` -> ``set``), feeding receiver typing.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "attr_types": dict(self.attr_types),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClassRecord":
+        return cls(
+            name=data["name"],
+            lineno=data["lineno"],
+            bases=list(data["bases"]),
+            methods=list(data["methods"]),
+            attr_types=dict(data["attr_types"]),
+        )
+
+
+@dataclass
+class ModuleRecord:
+    """Symbol-level facts about one module (JSON-serializable)."""
+
+    name: str
+    relpath: str
+    is_test: bool = False
+    #: Local binding -> fully qualified dotted path (imports only).
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: Top-level function names defined in the module.
+    functions: list[str] = field(default_factory=list)
+    #: Class name -> record, top-level classes only.
+    classes: dict[str, ClassRecord] = field(default_factory=dict)
+    #: Module-level mutable bindings (name -> kind), for fork-safety rules.
+    mutables: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "relpath": self.relpath,
+            "is_test": self.is_test,
+            "aliases": dict(self.aliases),
+            "functions": list(self.functions),
+            "classes": {name: rec.to_dict() for name, rec in self.classes.items()},
+            "mutables": dict(self.mutables),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleRecord":
+        return cls(
+            name=data["name"],
+            relpath=data["relpath"],
+            is_test=data["is_test"],
+            aliases=dict(data["aliases"]),
+            functions=list(data["functions"]),
+            classes={
+                name: ClassRecord.from_dict(rec) for name, rec in data["classes"].items()
+            },
+            mutables=dict(data["mutables"]),
+        )
+
+
+def annotation_tokens(node: "ast.expr | None") -> list[str]:
+    """Candidate type names mentioned by an annotation expression.
+
+    Unwraps string annotations, ``Optional``/``Union``/``X | None`` and
+    subscripts; returns dotted names outermost-first so callers can take
+    the first one that resolves. ``"SharedCHT | None"`` ->
+    ``["SharedCHT", "None"]``; ``set[int]`` -> ``["set", "int"]``.
+    """
+    tokens: list[str] = []
+
+    def walk(expr: "ast.expr | None") -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            try:
+                walk(ast.parse(expr.value, mode="eval").body)
+            except SyntaxError:
+                pass
+            return
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(expr)
+            if dotted:
+                tokens.append(dotted)
+            return
+        if isinstance(expr, ast.Subscript):
+            walk(expr.value)
+            walk(expr.slice)
+            return
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+            walk(expr.left)
+            walk(expr.right)
+            return
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                walk(element)
+
+    walk(node)
+    return tokens
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def build_module_record(
+    tree: ast.Module,
+    *,
+    name: str,
+    relpath: str,
+    is_test: bool,
+    aliases: dict[str, str],
+    mutables: dict[str, str],
+) -> ModuleRecord:
+    """Extract the symbol facts of one parsed module."""
+    record = ModuleRecord(
+        name=name, relpath=relpath, is_test=is_test, aliases=dict(aliases), mutables=mutables
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            record.functions.append(node.name)
+        elif isinstance(node, ast.ClassDef):
+            cls_record = ClassRecord(name=node.name, lineno=node.lineno)
+            for base in node.bases:
+                dotted = _dotted_name(base)
+                if dotted is None:
+                    continue
+                head, _, rest = dotted.partition(".")
+                head = aliases.get(head, head)
+                cls_record.bases.append(f"{head}.{rest}" if rest else head)
+            for item in ast.walk(node):
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if item.name not in cls_record.methods:
+                        cls_record.methods.append(item.name)
+                elif isinstance(item, ast.AnnAssign):
+                    target = item.target
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        tokens = annotation_tokens(item.annotation)
+                        if tokens:
+                            cls_record.attr_types.setdefault(target.attr, tokens[0])
+                    elif isinstance(target, ast.Name):
+                        tokens = annotation_tokens(item.annotation)
+                        if tokens:
+                            cls_record.attr_types.setdefault(target.id, tokens[0])
+            record.classes[node.name] = cls_record
+    return record
+
+
+class SymbolTable:
+    """Cross-module name resolution over a set of :class:`ModuleRecord`."""
+
+    def __init__(self, records: "list[ModuleRecord]") -> None:
+        self.modules: dict[str, ModuleRecord] = {rec.name: rec for rec in records}
+        #: Fully qualified class id -> record.
+        self.classes: dict[str, ClassRecord] = {}
+        for rec in records:
+            for cls_name, cls_rec in rec.classes.items():
+                self.classes[f"{rec.name}.{cls_name}"] = cls_rec
+
+    # -- dotted-name resolution -------------------------------------------
+
+    def resolve(self, dotted: str, *, _hops: int = 0) -> str | None:
+        """Canonical definition id for a dotted reference, or None.
+
+        Follows import aliases and package re-exports: the longest module
+        prefix of ``dotted`` is located, the remainder looked up in that
+        module (a local def wins over a same-named import), and alias
+        targets are resolved recursively until they land on a definition.
+        """
+        if _hops > _MAX_RESOLVE_HOPS or not dotted:
+            return None
+        module, remainder = self._split_module(dotted)
+        if module is None:
+            return None
+        if not remainder:
+            return module.name
+        head, _, tail = remainder.partition(".")
+        if head in module.classes:
+            base = f"{module.name}.{head}"
+            return f"{base}.{tail}" if tail else base
+        if head in module.functions:
+            return f"{module.name}.{head}" if not tail else None
+        target = module.aliases.get(head)
+        if target is not None:
+            chased = self.resolve(f"{target}.{tail}" if tail else target, _hops=_hops + 1)
+            if chased is not None:
+                return chased
+            return f"{target}.{tail}" if tail else target
+        return None
+
+    def _split_module(self, dotted: str) -> "tuple[ModuleRecord | None, str]":
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            name = ".".join(parts[:cut])
+            module = self.modules.get(name)
+            if module is not None:
+                return module, ".".join(parts[cut:])
+        return None, dotted
+
+    # -- classes and methods ----------------------------------------------
+
+    def class_record(self, class_id: str) -> "ClassRecord | None":
+        return self.classes.get(class_id)
+
+    def resolve_type(self, token: str, module: str) -> str | None:
+        """Resolve an annotation token seen in ``module`` to a class id.
+
+        Returns the builtin tag ``"set"`` for unordered-collection tokens,
+        a fully qualified class id when the token names a known class, and
+        None otherwise.
+        """
+        if token in SET_TYPE_TOKENS or token.rsplit(".", 1)[-1] in SET_TYPE_TOKENS:
+            return "set"
+        resolved = self.resolve(f"{module}.{token}")
+        if resolved is not None and resolved in self.classes:
+            return resolved
+        resolved = self.resolve(token)
+        if resolved is not None and resolved in self.classes:
+            return resolved
+        return None
+
+    def method_on(self, class_id: str, method: str) -> str | None:
+        """Resolve ``method`` on a class, walking its base chain (DFS)."""
+        seen: set[str] = set()
+        stack = [class_id]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            record = self.classes.get(current)
+            if record is None:
+                continue
+            if method in record.methods:
+                return f"{current}.{method}"
+            module = current.rsplit(".", 1)[0]
+            for base in record.bases:
+                base_id = self.resolve(f"{module}.{base}") or self.resolve(base)
+                if base_id is not None:
+                    stack.append(base_id)
+        return None
+
+    def class_lineage(self, class_id: str) -> list[str]:
+        """The class and its resolvable ancestors (ids), nearest first."""
+        lineage: list[str] = []
+        seen: set[str] = set()
+        stack = [class_id]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            record = self.classes.get(current)
+            if record is None:
+                continue
+            lineage.append(current)
+            module = current.rsplit(".", 1)[0]
+            for base in record.bases:
+                base_id = self.resolve(f"{module}.{base}") or self.resolve(base)
+                if base_id is not None:
+                    stack.append(base_id)
+        return lineage
+
+    def lineage_has_basename(self, class_id: str, basename: str) -> bool:
+        """True when the class or any ancestor is *named* ``basename``.
+
+        Name-based on purpose: fixtures and forks define their own
+        ``SharedCHT`` stand-ins, and the invariant travels with the role,
+        not with one module's identity.
+        """
+        return any(
+            entry.rsplit(".", 1)[-1] == basename for entry in self.class_lineage(class_id)
+        )
