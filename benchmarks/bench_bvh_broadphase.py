@@ -1,0 +1,135 @@
+"""BVH vs. dense broad phase on the batched motion datapath.
+
+The dense broad phase tests every (link volume, obstacle) AABB pair, so
+batched motion checking scales as O(M * N) in obstacle count N. The LBVH
+obstacle index (:class:`repro.geometry.bvh.ObstacleBVH`) prunes that to
+the pairs whose AABBs can actually overlap, which is sublinear in N for
+scenes whose obstacles are spread through the workspace. This bench
+sweeps obstacle count over the same randomized motion sets, asserts that
+both broad phases produce identical verdicts, early-exit poses and
+narrow-phase work (the survivor set is exact, not approximate), then
+requires the 10k-obstacle speedup to clear ``MIN_SPEEDUP_10K``. Results
+land in ``benchmarks/results/BENCH_bvh_broadphase.json`` for the CI
+regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.collision.detector import CollisionDetector
+from repro.env.generators import crowded_2d_scene
+from repro.env.scene import Scene
+from repro.kinematics import planar_2d
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Obstacle counts swept; the regression metric is the largest one.
+SWEEP = (100, 1000, 10000)
+#: Motions per sweep point (smaller at scale: the dense oracle is O(N)).
+NUM_MOTIONS = {100: 96, 1000: 48, 10000: 16}
+NUM_POSES = 8
+TIMING_ROUNDS = 3
+MIN_SPEEDUP_10K = 5.0
+
+#: Stats fields that legitimately differ between broad phases.
+_BROAD_FIELDS = ("broad_phase_tests", "broad_phase_pruned")
+
+
+def _scene_pair(seed: int, num_obstacles: int) -> tuple[Scene, Scene]:
+    """The same obstacle list packed under each broad phase."""
+    boxes = crowded_2d_scene(np.random.default_rng(seed), num_obstacles).obstacles
+    dense = Scene(obstacles=list(boxes), name=f"dense-{num_obstacles}", broad_phase="dense")
+    bvh = Scene(obstacles=list(boxes), name=f"bvh-{num_obstacles}", broad_phase="bvh")
+    return dense, bvh
+
+
+def _motions(robot, seed: int, count: int) -> list:
+    rng = np.random.default_rng(seed)
+    return [
+        (robot.random_configuration(rng), robot.random_configuration(rng))
+        for _ in range(count)
+    ]
+
+
+def _run(detector: CollisionDetector, motions: list) -> list:
+    kernel = detector.batch_kernel()
+    return [kernel.check_motion(a, b, num_poses=NUM_POSES) for a, b in motions]
+
+
+def _best_time(detector: CollisionDetector, motions: list) -> float:
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        _run(detector, motions)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _assert_parity(dense_results: list, bvh_results: list) -> None:
+    """Identical verdicts and narrow-phase work; only broad counts differ."""
+    for a, b in zip(dense_results, bvh_results):
+        assert a.collided == b.collided
+        assert a.first_colliding_pose == b.first_colliding_pose
+        sa, sb = asdict(a.stats), asdict(b.stats)
+        for field in _BROAD_FIELDS:
+            sa.pop(field)
+            sb.pop(field)
+        assert sa == sb
+
+
+def test_bench_bvh_broadphase(benchmark, bench_seed):
+    robot = planar_2d()
+    rows = []
+    speedup_10k = 0.0
+    for num_obstacles in SWEEP:
+        dense_scene, bvh_scene = _scene_pair(bench_seed + num_obstacles, num_obstacles)
+        motions = _motions(robot, bench_seed + 1, NUM_MOTIONS[num_obstacles])
+        dense = CollisionDetector(dense_scene, robot)
+        bvh = CollisionDetector(bvh_scene, robot)
+
+        _assert_parity(_run(dense, motions), _run(bvh, motions))
+
+        dense_s = _best_time(dense, motions)
+        if num_obstacles == SWEEP[-1]:
+            # The regression metric's timing goes through pytest-benchmark
+            # so its distribution shows up next to the other benches.
+            benchmark.pedantic(
+                lambda: _run(bvh, motions), rounds=TIMING_ROUNDS, iterations=1,
+                warmup_rounds=1,
+            )
+        bvh_s = _best_time(bvh, motions)
+
+        snapshot = bvh_scene.obstacle_set().broad_phase_snapshot()
+        speedup = dense_s / bvh_s
+        if num_obstacles == SWEEP[-1]:
+            speedup_10k = speedup
+        rows.append(
+            {
+                "obstacles": num_obstacles,
+                "motions": NUM_MOTIONS[num_obstacles],
+                "dense_ms": 1e3 * dense_s,
+                "bvh_ms": 1e3 * bvh_s,
+                "speedup": speedup,
+                "candidate_reduction": snapshot["candidate_reduction"],
+            }
+        )
+
+    payload = {
+        "workload": {"num_poses": NUM_POSES, "sweep": list(SWEEP)},
+        "points": rows,
+        "speedup_10k": speedup_10k,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_bvh_broadphase.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+    assert speedup_10k >= MIN_SPEEDUP_10K

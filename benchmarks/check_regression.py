@@ -33,7 +33,10 @@ Tracked metrics:
 * ``BENCH_durability.json`` — ``warm_restart_cdq_reduction``, the
   fraction of executed CDQs a snapshot-restored warm restart saves over
   a cold start (higher is better; deterministic, so it transfers across
-  machines).
+  machines);
+* ``BENCH_bvh_broadphase.json`` — ``speedup_10k``, the batched-datapath
+  throughput of the LBVH broad phase over the dense all-pairs broad
+  phase at 10k obstacles (higher is better; a ratio).
 
 A metric missing from the baseline (first run of a new bench) is reported
 and skipped rather than failed, so adding a bench and its baseline can
@@ -59,6 +62,7 @@ METRICS = [
     ("BENCH_shared_cht.json", "warm_cdq_reduction", "up"),
     ("BENCH_continuous_batch.json", "speedup", "up"),
     ("BENCH_durability.json", "warm_restart_cdq_reduction", "up"),
+    ("BENCH_bvh_broadphase.json", "speedup_10k", "up"),
 ]
 
 

@@ -15,9 +15,11 @@ Commands
     print the report.
 ``serve --selftest [--shared-cht] [--query-type T] [--restore-cht DIR]``
     Start the async collision service in-process, drive it with a small
-    generated workload, and print the telemetry snapshot. ``--shared-cht``
-    shares one CHT bank per scene across sessions; ``--query-type``
-    submits the selftest as motion, pose, or continuous queries.
+    generated workload (including one scene-mutation query), and print
+    the telemetry snapshot. ``--shared-cht`` shares one CHT bank per
+    scene across sessions; ``--query-type`` submits the selftest as
+    motion, pose, or continuous queries; ``--obstacles N`` sizes the
+    selftest scene (large N exercises the BVH broad phase).
     ``--restore-cht DIR`` warm-restores shared banks from DIR at startup
     and snapshots them back on drain (crash-consistent durability);
     ``--linger S`` keeps the service up for S seconds after the selftest
@@ -27,7 +29,9 @@ Commands
     QPS (open-loop arrivals) and print the load report plus telemetry.
     ``--shared-cht`` turns on scene-keyed table sharing and
     ``--sessions-per-scene N`` opens N concurrent sessions per workload
-    scene (the many-clients-one-scene shape shared banks amortize).
+    scene (the many-clients-one-scene shape shared banks amortize);
+    ``--obstacles N`` swaps every workload scene for an N-obstacle
+    crowded scene (broad-phase load shaping).
     ``--inject crash|exception|stall`` (repeatable) arms the seeded chaos
     harness: worker-loop deaths, kernel exceptions, and queue stalls are
     injected at ``--inject-rate`` while the run must still answer every
@@ -55,6 +59,10 @@ from .workloads.traces import trace_motion
 __all__ = ["main"]
 
 _ROBOT_NAMES = ("jaco2", "kuka_iiwa", "baxter", "ur5", "panda", "planar2d")
+
+#: Query types a motion payload can be replayed as; ``mutate`` carries a
+#: scene edit instead of a motion, so it is not a load-replay semantics.
+_CHECK_QUERY_TYPES = tuple(t for t in QUERY_TYPES if t != "mutate")
 
 
 def _cmd_info(_args) -> int:
@@ -135,13 +143,15 @@ def _cmd_serve(args) -> int:
     import signal
 
     from .collision.pipeline import Motion
-    from .env.generators import random_2d_scene
+    from .env.generators import crowded_2d_scene
+    from .env.scene import SceneMutation
+    from .geometry.obb import OBB
     from .kinematics.robots import planar_2d
     from .serving import CollisionService, ServiceConfig
 
     rng = np.random.default_rng(args.seed)
     robot = planar_2d()
-    scene = random_2d_scene(rng, num_obstacles=6)
+    scene = crowded_2d_scene(rng, num_obstacles=args.obstacles)
     service = CollisionService(
         ServiceConfig(
             num_workers=2, max_batch=4, max_wait_ms=1.0, queue_bound=32,
@@ -187,6 +197,17 @@ def _cmd_serve(args) -> int:
                 fallback = await service.submit(
                     sessions[0], motions[0], deadline_ms=0.0, query_type=args.query_type
                 )
+                # Dynamic-scene smoke: one obstacle edit must apply (the
+                # spatial index refits, CHT history invalidates) without
+                # disturbing the serving loop.
+                mutated = await service.submit(
+                    sessions[0],
+                    SceneMutation(
+                        op="add",
+                        box=OBB.axis_aligned([0.5, 0.5, 0.0], [0.05, 0.05, 0.5]),
+                    ),
+                    query_type="mutate",
+                )
                 if args.linger > 0.0 and not stop_requested.is_set():
                     # Stay up so an operator (or the drain test) can
                     # deliver a signal; a quiet run exits at the timeout.
@@ -205,22 +226,31 @@ def _cmd_serve(args) -> int:
         finally:
             for signum in handled:
                 loop.remove_signal_handler(signum)
-        return results, fallback, snapshot_json, signalled
+        return results, fallback, mutated, snapshot_json, signalled
 
-    results, fallback, snapshot_json, signalled = asyncio.run(selftest())
+    results, fallback, mutated, snapshot_json, signalled = asyncio.run(selftest())
     print(snapshot_json)
     exact = sum(r.status == "ok" for r in results)
     if signalled:
         # A signalled run is healthy iff the drain left nothing hanging:
         # every result reached a terminal status.
         terminal = ("ok", "predicted", "rejected", "shutdown")
-        healthy = all(r.status in terminal for r in results) and fallback.status in terminal
+        healthy = (
+            all(r.status in terminal for r in results)
+            and fallback.status in terminal
+            and mutated.status in terminal
+        )
         print(f"selftest: drained on signal, {exact}/{len(results)} exact verdicts "
               f"-> {'OK' if healthy else 'FAILED'}")
     else:
-        healthy = exact == len(results) and fallback.status == "predicted"
+        healthy = (
+            exact == len(results)
+            and fallback.status == "predicted"
+            and mutated.status == "ok"
+        )
         print(f"selftest: {exact}/{len(results)} exact verdicts, "
-              f"deadline fallback {fallback.status!r} -> {'OK' if healthy else 'FAILED'}")
+              f"deadline fallback {fallback.status!r}, "
+              f"scene mutation {mutated.status!r} -> {'OK' if healthy else 'FAILED'}")
     return 0 if healthy else 1
 
 
@@ -243,6 +273,24 @@ def _cmd_loadtest(args) -> int:
     if not workloads:
         print(f"no workloads found in {args.workloads}", file=sys.stderr)
         return 2
+    if args.obstacles is not None:
+        # Broad-phase load shaping: keep every workload's motions but
+        # re-seat them in N-obstacle crowded scenes, so the same request
+        # stream can be replayed against dense- and BVH-sized scenes.
+        import dataclasses
+
+        from .env.generators import crowded_2d_scene
+
+        scene_rng = np.random.default_rng(args.seed)
+        workloads = [
+            dataclasses.replace(
+                workload,
+                scene=crowded_2d_scene(
+                    scene_rng, args.obstacles, name=f"{workload.scene.name}-x{args.obstacles}"
+                ),
+            )
+            for workload in workloads
+        ]
     faults = None
     if args.inject:
         faults = FaultInjector(
@@ -342,9 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=BACKENDS, default="scalar")
     serve.add_argument(
         "--query-type",
-        choices=QUERY_TYPES,
+        choices=_CHECK_QUERY_TYPES,
         default="motion",
         help="query semantics the selftest submits (motion, pose, or continuous)",
+    )
+    serve.add_argument(
+        "--obstacles",
+        type=int,
+        default=6,
+        help="obstacle count of the selftest scene (>= 64 engages the BVH "
+        "broad phase; 10000 is the CI index-at-scale smoke)",
     )
     serve.add_argument(
         "--shared-cht",
@@ -383,9 +438,16 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--backend", choices=BACKENDS, default="scalar")
     loadtest.add_argument(
         "--query-type",
-        choices=QUERY_TYPES,
+        choices=_CHECK_QUERY_TYPES,
         default="motion",
         help="query semantics every replayed request carries",
+    )
+    loadtest.add_argument(
+        "--obstacles",
+        type=int,
+        default=None,
+        help="replace every workload scene with an N-obstacle crowded "
+        "scene (>= 64 engages the BVH broad phase)",
     )
     loadtest.add_argument(
         "--shared-cht",

@@ -49,12 +49,7 @@ import numpy as np
 
 from numpy.typing import ArrayLike
 
-from ..geometry.batch import (
-    ObstacleSet,
-    obb_pairs_overlap,
-    pack_aabb_overlap,
-    sphere_pairs_overlap,
-)
+from ..geometry.batch import obb_pairs_overlap, sphere_pairs_overlap
 from ..core.predictor import CHTPredictor, Predictor
 from ..resilience import FaultInjector, RetryPolicy, SupervisedPool
 from ..sharedcht import SegmentManager, SharedCHT, SharedPredictorSpec
@@ -67,6 +62,7 @@ from .scheduling import NaiveScheduler, PoseScheduler
 if TYPE_CHECKING:
     from ..core.cht import CollisionHistoryTable
     from ..core.metrics import ResilienceCounters
+    from ..geometry.batch import ObstacleSet
     from .pipeline import BatchResult, Motion
 
 __all__ = ["BatchMotionKernel", "check_motion_batched", "check_motions_sharded"]
@@ -87,19 +83,27 @@ class BatchMotionKernel:
 
     def __init__(self, detector: CollisionDetector) -> None:
         self.detector = detector
-        self._obstacle_list = detector.scene.obstacles
-        self._obstacle_count = detector.scene.num_obstacles
-        self.obstacles = (
-            ObstacleSet(detector.scene.obstacles) if self._obstacle_count else None
-        )
+        self._scene = detector.scene
+
+    @property
+    def obstacles(self) -> "ObstacleSet | None":
+        """The scene's packed obstacle view (cached on the scene itself).
+
+        Resolved per query through :meth:`Scene.obstacle_set`, so the
+        kernel shares one packed set — and one spatial index — with every
+        other checker on the same scene, and in-place scene mutations are
+        picked up without rebuilding the kernel.
+        """
+        return self.detector.scene.obstacle_set()
 
     def matches_scene(self) -> bool:
-        """True while the packed obstacle arrays still mirror the scene."""
-        scene = self.detector.scene
-        return (
-            scene.obstacles is self._obstacle_list
-            and scene.num_obstacles == self._obstacle_count
-        )
+        """True while the kernel is still bound to the detector's scene.
+
+        In-place mutations of the bound scene are tracked through the
+        scene's own obstacle-set cache; only swapping the detector to a
+        different :class:`Scene` object invalidates the kernel.
+        """
+        return self.detector.scene is self._scene
 
     def _pack_motion(self, poses: np.ndarray) -> tuple[Any, np.ndarray, str]:
         """Packed volumes of every (pose, link) pair plus per-row pose ids."""
@@ -121,41 +125,72 @@ class BatchMotionKernel:
 
     def _row_outcomes(
         self, pack: Any, kind: str, row_order: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-CDQ (outcome, narrow-phase test count) in scheduler order.
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-CDQ (outcome, narrow tests, broad tests, broad pruned).
 
-        The test counts replicate :meth:`Scene.volume_collision_work`
-        exactly: each row charges one test per AABB-passing obstacle up to
-        and including its first narrow-phase hit (all of them when the row
-        is collision-free). Narrow phase runs only on broad-phase
-        survivors: the K AABB-passing (row, obstacle) pairs are gathered
-        and SAT-tested flat — identical outcomes to masking the dense
-        kernel, at cost proportional to K instead of M*N.
+        All four vectors come back in scheduler order. The narrow-phase
+        counts replicate :meth:`Scene.volume_collision_work` exactly: each
+        row charges one test per broad-phase candidate up to and including
+        its first narrow-phase hit (all of them when the row is
+        collision-free). The broad phase never materializes the (M, N)
+        matrix: :meth:`ObstacleSet.candidate_pairs` yields the K surviving
+        (row, obstacle) pairs — by dense mask or BVH traversal, identical
+        either way — which are gathered and SAT-tested flat, so narrow
+        cost is proportional to K instead of M*N. Broad-phase counts
+        mirror the scalar profile: dense rows charge the early-exiting
+        obstacle scan (hit obstacle index + 1, or N when free); indexed
+        rows charge the traversal's leaf tests, with the remainder
+        reported as pruned.
         """
         total = len(row_order)
-        if self.obstacles is None:
+        obstacles = self.obstacles
+        zeros = np.zeros(total, dtype=np.int64)
+        if obstacles is None:
             # Empty scene: every CDQ is collision-free with zero tests.
-            return np.zeros(total, dtype=bool), np.zeros(total, dtype=np.int64)
+            return np.zeros(total, dtype=bool), zeros, zeros.copy(), zeros.copy()
         lo, hi = pack.aabb_bounds()
-        aabb = pack_aabb_overlap(lo, hi, self.obstacles)  # (M, N)
-        rows, cols = np.nonzero(aabb)
-        narrow = np.zeros_like(aabb)
-        if len(rows):
+        num_obstacles = len(obstacles)
+        rows, cols, examined = obstacles.candidate_pairs(lo, hi)
+        pairs = len(rows)
+        if pairs:
             if kind == "obb":
-                narrow[rows, cols] = obb_pairs_overlap(pack, self.obstacles, rows, cols)
+                hits = obb_pairs_overlap(pack, obstacles, rows, cols)
             else:
-                narrow[rows, cols] = sphere_pairs_overlap(pack, self.obstacles, rows, cols)
-        ordered_hits = narrow[row_order]
-        ordered_aabb = aabb[row_order]
-        outcomes = ordered_hits.any(axis=1)
-        survivors = np.cumsum(ordered_aabb, axis=1)
-        first_obstacle = np.argmax(ordered_hits, axis=1)
-        tests = np.where(
-            outcomes,
-            survivors[np.arange(total), first_obstacle],
-            ordered_aabb.sum(axis=1),
+                hits = sphere_pairs_overlap(pack, obstacles, rows, cols)
+        else:
+            hits = np.zeros(0, dtype=bool)
+        # Sparse per-row reduction: candidate pairs arrive row-major, so
+        # row m owns the contiguous segment [starts[m], starts[m] + counts[m]).
+        counts = np.bincount(rows, minlength=total).astype(np.int64)
+        starts = np.zeros(total, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        first = np.full(total, pairs, dtype=np.int64)
+        populated = counts > 0
+        if pairs and populated.any():
+            # Position of each row's first narrow hit: misses map to the
+            # out-of-range sentinel so the segment min stays the sentinel
+            # for collision-free rows.
+            hit_pos = np.where(hits, np.arange(pairs, dtype=np.int64), pairs)
+            first[populated] = np.minimum.reduceat(hit_pos, starts[populated])
+        outcomes = first < pairs
+        tests = np.where(outcomes, first - starts + 1, counts)
+        if obstacles.mode() == "dense":
+            broad = np.full(total, num_obstacles, dtype=np.int64)
+            if pairs:
+                # The scalar dense scan stops testing AABBs at the first
+                # narrow hit: that row's count is the hit obstacle's
+                # 1-based index.
+                broad[outcomes] = cols[first[outcomes]] + 1
+            pruned = np.zeros(total, dtype=np.int64)
+        else:
+            broad = examined.astype(np.int64)
+            pruned = num_obstacles - broad
+        return (
+            outcomes[row_order],
+            tests[row_order],
+            broad[row_order],
+            pruned[row_order],
         )
-        return outcomes, tests.astype(np.int64)
 
     def _row_keys(
         self, pack: Any, pose_ids: np.ndarray, poses: np.ndarray
@@ -196,11 +231,13 @@ class BatchMotionKernel:
         pack, pose_ids, kind = self._pack_motion(poses)
         row_order = self._row_order(pose_ids, order)
         total = len(row_order)
-        outcomes, tests = self._row_outcomes(pack, kind, row_order)
+        outcomes, tests, broad, pruned = self._row_outcomes(pack, kind, row_order)
 
         if not outcomes.any():
             stats.cdqs_executed = total
             stats.narrow_phase_tests = int(tests.sum())
+            stats.broad_phase_tests = int(broad.sum())
+            stats.broad_phase_pruned = int(pruned.sum())
             return MotionCheckResult(collided=False, stats=stats)
 
         first = int(np.argmax(outcomes))
@@ -208,6 +245,8 @@ class BatchMotionKernel:
         stats.cdqs_skipped = total - (first + 1)
         stats.motions_colliding = 1
         stats.narrow_phase_tests = int(tests[: first + 1].sum())
+        stats.broad_phase_tests = int(broad[: first + 1].sum())
+        stats.broad_phase_pruned = int(pruned[: first + 1].sum())
         return MotionCheckResult(
             collided=True,
             stats=stats,
@@ -263,9 +302,11 @@ class BatchMotionKernel:
             return None
         row_order = self._row_order(pose_ids, order)
         stats = QueryStats(motions_checked=1, poses_checked=num_poses)
-        outcomes, tests = self._row_outcomes(pack, kind, row_order)
+        outcomes, tests, broad, pruned = self._row_outcomes(pack, kind, row_order)
         codes = np.asarray(predictor.hash_function.hash_many(keys[row_order]), dtype=np.int64)
-        hit_row = self._gated_scan(outcomes, tests, codes, predictor.table, stats)
+        hit_row = self._gated_scan(
+            outcomes, tests, broad, pruned, codes, predictor.table, stats
+        )
         if hit_row < 0:
             return MotionCheckResult(collided=False, stats=stats)
         stats.motions_colliding = 1
@@ -279,6 +320,8 @@ class BatchMotionKernel:
         self,
         outcomes: np.ndarray,
         tests: np.ndarray,
+        broad: np.ndarray,
+        pruned: np.ndarray,
         codes: np.ndarray,
         table: "CollisionHistoryTable",
         stats: QueryStats,
@@ -300,6 +343,8 @@ class BatchMotionKernel:
 
         executed = 0
         tests_total = 0
+        broad_total = 0
+        pruned_total = 0
         predictions_made = total
         hit_row = -1
 
@@ -316,6 +361,8 @@ class BatchMotionKernel:
             executed += 1
             collided = bool(outcomes[j])
             tests_total += int(tests[j])
+            broad_total += int(broad[j])
+            pruned_total += int(pruned[j])
             written = table.update(int(codes[j]), collided)
             if collided:
                 predictions_made = j + 1
@@ -339,6 +386,8 @@ class BatchMotionKernel:
                 table.update_many(codes[run], outcomes[run])
                 executed += count
                 tests_total += int(tests[run].sum())
+                broad_total += int(broad[run].sum())
+                pruned_total += int(pruned[run].sum())
                 if queue_hits.any():
                     hit_row = int(run[-1])
 
@@ -346,6 +395,8 @@ class BatchMotionKernel:
         stats.predictions_made += predictions_made
         stats.cdqs_executed += executed
         stats.narrow_phase_tests += tests_total
+        stats.broad_phase_tests += broad_total
+        stats.broad_phase_pruned += pruned_total
         if hit_row >= 0:
             stats.cdqs_skipped += total - executed
         return hit_row
@@ -387,7 +438,7 @@ class BatchMotionKernel:
             codes = np.asarray(cht.hash_function.hash_many(keys), dtype=np.int64)
             table = cht.table
         total = len(pose_ids)
-        outcomes, tests = self._row_outcomes(pack, kind, np.arange(total))
+        outcomes, tests, broad, pruned = self._row_outcomes(pack, kind, np.arange(total))
         row_starts = np.searchsorted(pose_ids, np.arange(num_poses + 1))
 
         results: list[MotionCheckResult] = []
@@ -397,7 +448,13 @@ class BatchMotionKernel:
             pose_outcomes = outcomes[lo:hi]
             if codes is not None and table is not None:
                 hit_row = self._gated_scan(
-                    pose_outcomes, tests[lo:hi], codes[lo:hi], table, stats
+                    pose_outcomes,
+                    tests[lo:hi],
+                    broad[lo:hi],
+                    pruned[lo:hi],
+                    codes[lo:hi],
+                    table,
+                    stats,
                 )
                 collided = hit_row >= 0
             elif pose_outcomes.any():
@@ -405,10 +462,14 @@ class BatchMotionKernel:
                 stats.cdqs_executed = first + 1
                 stats.cdqs_skipped = (hi - lo) - (first + 1)
                 stats.narrow_phase_tests = int(tests[lo : lo + first + 1].sum())
+                stats.broad_phase_tests = int(broad[lo : lo + first + 1].sum())
+                stats.broad_phase_pruned = int(pruned[lo : lo + first + 1].sum())
                 collided = True
             else:
                 stats.cdqs_executed = hi - lo
                 stats.narrow_phase_tests = int(tests[lo:hi].sum())
+                stats.broad_phase_tests = int(broad[lo:hi].sum())
+                stats.broad_phase_pruned = int(pruned[lo:hi].sum())
                 collided = False
             results.append(
                 MotionCheckResult(

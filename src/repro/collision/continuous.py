@@ -16,8 +16,8 @@ The scalar checker's geometry is computed through the same vectorized
 primitives as the wavefront kernel
 (:class:`repro.collision.continuous_batch.BatchContinuousKernel`):
 one-pose batch FK (:meth:`~repro.kinematics.robots.RobotModel.batch_pose_obbs`)
-and the (points x obstacles) distance kernel
-(:func:`repro.geometry.batch.point_obstacle_distances`). That makes
+and the shared clearance kernel
+(:meth:`repro.geometry.batch.ObstacleSet.clearance_gaps`). That makes
 scalar <-> batch bit-identity *structural* — both paths evaluate the same
 floating-point expressions on the same arrays — instead of something a
 parity test has to hope for.
@@ -32,7 +32,7 @@ from numpy.typing import ArrayLike
 
 from ..core.predictor import Predictor
 from ..env.scene import Scene
-from ..geometry.batch import ObstacleSet, point_obstacle_distances
+from ..geometry.batch import ObstacleSet
 from ..kinematics.robots import RobotModel
 from .queries import QueryStats
 
@@ -77,8 +77,7 @@ def link_clearance_gaps(
     if obstacles is None:
         return np.full(len(centers), np.inf)
     radii = np.linalg.norm(half_extents, axis=1)
-    dists = point_obstacle_distances(centers, obstacles)
-    return np.maximum(0.0, dists - radii[:, None]).min(axis=1)
+    return obstacles.clearance_gaps(centers, radii)
 
 
 def advance_gate(
@@ -150,23 +149,15 @@ class ContinuousMotionChecker:
         self.robot = robot
         self.min_step = float(min_step)
         self.collision_tolerance = float(collision_tolerance)
-        self._obstacle_list: "list | None" = None
-        self._obstacle_count = -1
-        self._obstacles: ObstacleSet | None = None
 
     def obstacle_set(self) -> ObstacleSet | None:
-        """Packed obstacles (None for an empty scene), cached per scene state.
+        """Packed obstacles (None for an empty scene), cached on the scene.
 
-        Rebuilt whenever the scene's obstacle list changes, mirroring
-        :meth:`~repro.collision.batch_pipeline.BatchMotionKernel.matches_scene`.
+        Delegates to :meth:`~repro.env.scene.Scene.obstacle_set`, so the
+        continuous checker, the batch kernels and the scalar detector all
+        share one packed set — and one spatial index — per scene.
         """
-        scene = self.scene
-        stale = scene.obstacles is not self._obstacle_list
-        if stale or scene.num_obstacles != self._obstacle_count:
-            self._obstacle_list = scene.obstacles
-            self._obstacle_count = scene.num_obstacles
-            self._obstacles = ObstacleSet(scene.obstacles) if scene.num_obstacles else None
-        return self._obstacles
+        return self.scene.obstacle_set()
 
     def pose_link_gaps(self, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(L,) conservative link clearances and (L, 3) centers for one pose."""

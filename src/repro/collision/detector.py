@@ -152,9 +152,13 @@ class CollisionDetector:
 
     def _execute(self, cdq: CDQ, stats: QueryStats) -> bool:
         """Run one CDQ against the scene; account for its work."""
-        collided, tests = self.scene.volume_collision_work(cdq.geometry.volume)
+        collided, tests, broad, pruned = self.scene.volume_collision_profile(
+            cdq.geometry.volume
+        )
         stats.cdqs_executed += 1
         stats.narrow_phase_tests += tests
+        stats.broad_phase_tests += broad
+        stats.broad_phase_pruned += pruned
         return collided
 
     def run_cdqs(self, cdqs: list[CDQ], predictor: Predictor | None, stats: QueryStats) -> bool:

@@ -47,6 +47,15 @@ class QueryStats:
     cdqs_executed: int = 0
     cdqs_skipped: int = 0
     narrow_phase_tests: int = 0
+    #: Obstacle AABB tests the broad phase performed for executed CDQs —
+    #: candidate pairs *examined*. The dense path examines every
+    #: (CDQ, obstacle) pair it reaches; the BVH path examines only the
+    #: leaves its traversal touches.
+    broad_phase_tests: int = 0
+    #: Obstacle AABB tests the spatial index skipped outright (always 0 on
+    #: the dense path; under the BVH, ``tests + pruned`` per executed CDQ
+    #: sums to the obstacle count).
+    broad_phase_pruned: int = 0
     predictions_made: int = 0
     predicted_colliding: int = 0
     motions_checked: int = 0
@@ -58,6 +67,8 @@ class QueryStats:
         self.cdqs_executed += other.cdqs_executed
         self.cdqs_skipped += other.cdqs_skipped
         self.narrow_phase_tests += other.narrow_phase_tests
+        self.broad_phase_tests += other.broad_phase_tests
+        self.broad_phase_pruned += other.broad_phase_pruned
         self.predictions_made += other.predictions_made
         self.predicted_colliding += other.predicted_colliding
         self.motions_checked += other.motions_checked

@@ -4,6 +4,7 @@ from .generators import (
     DENSITY_TARGETS,
     ClutterSpec,
     calibrated_clutter_scene,
+    crowded_2d_scene,
     measure_collision_rate,
     narrow_gap_arm_scene,
     narrow_passage_2d_scene,
@@ -13,13 +14,14 @@ from .generators import (
 )
 from .dynamic import DynamicScene, ObstacleTrack, history_carryover_validity
 from .octree import MotionOctree, OctreeNode, build_motion_octree
-from .scene import Scene
+from .scene import Scene, SceneMutation
 from .voxels import VoxelGrid, voxelize_scene
 
 __all__ = [
     "DENSITY_TARGETS",
     "ClutterSpec",
     "calibrated_clutter_scene",
+    "crowded_2d_scene",
     "measure_collision_rate",
     "narrow_gap_arm_scene",
     "narrow_passage_2d_scene",
@@ -33,6 +35,7 @@ __all__ = [
     "OctreeNode",
     "build_motion_octree",
     "Scene",
+    "SceneMutation",
     "VoxelGrid",
     "voxelize_scene",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "measure_collision_rate",
     "tabletop_scene",
     "random_2d_scene",
+    "crowded_2d_scene",
     "narrow_passage_2d_scene",
     "narrow_gap_arm_scene",
 ]
@@ -192,6 +193,24 @@ def random_2d_scene(
         half = np.array([rng.uniform(*half_size_range), rng.uniform(*half_size_range), 0.5])
         obstacles.append(OBB.axis_aligned(center, half))
     return Scene(obstacles=obstacles, name=name)
+
+
+def crowded_2d_scene(
+    rng: np.random.Generator,
+    num_obstacles: int = 12,
+    name: str = "crowded2d",
+) -> Scene:
+    """A :func:`random_2d_scene` that scales its workspace with obstacle count.
+
+    The workspace half-width grows as ``sqrt(N / 12)`` (floored at the
+    default 1.0), so obstacle *density* stays roughly constant however
+    many obstacles are requested — the knob the broad-phase benchmarks
+    and ``--obstacles`` CLI flags turn. At the default count this is
+    exactly :func:`random_2d_scene` with default arguments (same RNG
+    stream, same scene).
+    """
+    extent = max(1.0, float(np.sqrt(num_obstacles / 12.0)))
+    return random_2d_scene(rng, num_obstacles, workspace=(-extent, extent), name=name)
 
 
 def narrow_passage_2d_scene(

@@ -9,42 +9,131 @@ with early exit).
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..geometry.aabb import AABB, aabb_overlap
+from ..geometry.batch import BVH_AUTO_THRESHOLD, ObstacleSet
 from ..geometry.obb import OBB, obb_overlap
 from ..geometry.sphere import Sphere, sphere_obb_overlap
 
-__all__ = ["Scene"]
+__all__ = ["Scene", "SceneMutation"]
 
 
 @dataclass
 class Scene:
-    """A static obstacle set valid for one environment measurement.
+    """An obstacle set valid for one environment measurement.
 
     Collision predictions are only valid within one scene lifetime: the CHT
     is reset whenever the environment is re-measured (Sec. IV, last
     paragraph), which callers model by constructing a fresh scene (or
-    calling the predictor's ``reset``).
+    calling the predictor's ``reset``). Dynamic workloads mutate a scene
+    in place instead (:meth:`add_obstacle` / :meth:`move_obstacle` /
+    :meth:`remove_obstacle`); every mutation bumps :attr:`version`,
+    changes :meth:`content_digest`, and incrementally updates the cached
+    :meth:`obstacle_set` (and its spatial index) rather than repacking
+    the world.
     """
 
     obstacles: list[OBB] = field(default_factory=list)
     name: str = "scene"
+    #: Broad-phase selection for this scene's packed queries:
+    #: "dense" | "bvh" | "auto" (by obstacle count).
+    broad_phase: str = "auto"
 
     def __post_init__(self) -> None:
         self._obstacle_aabbs: list[AABB] = [AABB.of_obb(box) for box in self.obstacles]
+        #: Bumped by every mutation; consumers cache against it.
+        self.version = 0
+        self._packed: ObstacleSet | None = None
+        self._packed_obstacles: list[OBB] | None = None
+        self._packed_version = -1
+
+    def _cache_live(self) -> bool:
+        return (
+            self._packed is not None
+            and self._packed_obstacles is self.obstacles
+            and self._packed_version == self.version
+            and len(self._packed) == len(self.obstacles)
+        )
+
+    def obstacle_set(self) -> ObstacleSet | None:
+        """The packed (vector-query) view of this scene, cached; None if empty.
+
+        Built once and reused across motion/pose/continuous checkers;
+        in-place scene mutations keep the cached set (and its BVH) alive
+        by updating it incrementally. Replacing :attr:`obstacles` with a
+        different list, or appending to it directly, still invalidates
+        the cache through the identity/length checks.
+        """
+        if not self.obstacles:
+            self._packed = None
+            return None
+        if not self._cache_live():
+            self._packed = ObstacleSet(self.obstacles, broad_phase=self.broad_phase)
+            self._packed_obstacles = self.obstacles
+            self._packed_version = self.version
+        return self._packed
+
+    def content_digest(self) -> str:
+        """Digest of the obstacle geometry (order-sensitive, 16 hex chars).
+
+        Changes on any add/move/remove — the serving layer keys shared
+        CHT banks by it, so mutating a scene naturally invalidates bank
+        sharing for the stale geometry.
+        """
+        digest = hashlib.sha1()
+        for box in self.obstacles:
+            digest.update(np.asarray(box.center, dtype=np.float64).tobytes())
+            digest.update(np.asarray(box.half_extents, dtype=np.float64).tobytes())
+            digest.update(np.asarray(box.rotation, dtype=np.float64).tobytes())
+        return digest.hexdigest()[:16]
 
     def add_obstacle(self, box: OBB) -> None:
         """Append an obstacle volume to the scene."""
+        live = self._cache_live()
         self.obstacles.append(box)
         self._obstacle_aabbs.append(AABB.of_obb(box))
+        self.version += 1
+        if live and self._packed is not None:
+            self._packed.add_obstacle(box)
+            self._packed_version = self.version
+
+    def move_obstacle(self, index: int, box: OBB) -> None:
+        """Replace the obstacle at ``index`` (a tracked object moved)."""
+        live = self._cache_live()
+        self.obstacles[index] = box
+        self._obstacle_aabbs[index] = AABB.of_obb(box)
+        self.version += 1
+        if live and self._packed is not None:
+            self._packed.move_obstacle(index, box)
+            self._packed_version = self.version
+
+    def remove_obstacle(self, index: int) -> None:
+        """Delete the obstacle at ``index`` from the scene."""
+        live = self._cache_live()
+        del self.obstacles[index]
+        del self._obstacle_aabbs[index]
+        self.version += 1
+        if not self.obstacles:
+            self._packed = None
+        elif live and self._packed is not None:
+            self._packed.remove_obstacle(index)
+            self._packed_version = self.version
 
     @property
     def num_obstacles(self) -> int:
         """Number of obstacle volumes."""
         return len(self.obstacles)
+
+    def _broad_phase_mode(self) -> str:
+        """Resolve "auto" against the current obstacle count."""
+        if self.broad_phase == "auto":
+            return "bvh" if len(self.obstacles) >= BVH_AUTO_THRESHOLD else "dense"
+        return self.broad_phase
 
     def bounds(self) -> AABB:
         """Axis-aligned bounds of all obstacles (identity box if empty)."""
@@ -81,7 +170,21 @@ class Scene:
         The test count is the per-CDQ work metric the hardware CDU model
         charges cycles for (obstacles are streamed until a hit).
         """
-        tests = 0
+        collided, tests, _, _ = self.volume_collision_profile(volume)
+        return collided, tests
+
+    def volume_collision_profile(self, volume) -> tuple[bool, int, int, int]:
+        """One CDQ with full work accounting, through the active broad phase.
+
+        Returns ``(collides, narrow_tests, broad_tests, broad_pruned)``.
+        ``broad_tests`` counts obstacle AABB comparisons actually
+        performed — the full early-exiting scan in dense mode, the
+        traversal's leaf tests under the BVH — and ``broad_pruned`` the
+        obstacles the index skipped without testing. Candidate obstacles
+        are narrow-tested in ascending index order with early exit in
+        both modes, so the verdict and ``narrow_tests`` are broad-phase
+        independent.
+        """
         if isinstance(volume, OBB):
             query_aabb = AABB.of_obb(volume)
             check = obb_overlap
@@ -90,13 +193,32 @@ class Scene:
             check = sphere_obb_overlap
         else:
             raise TypeError(f"unsupported volume type: {type(volume).__name__}")
+        count = len(self.obstacles)
+        if not count:
+            return False, 0, 0, 0
+        tests = 0
+        if self._broad_phase_mode() == "bvh":
+            packed = self.obstacle_set()
+            assert packed is not None  # count > 0 above
+            _, cols, examined = packed.candidate_pairs(
+                query_aabb.lo[None, :], query_aabb.hi[None, :]
+            )
+            broad = int(examined[0])
+            pruned = count - broad
+            for col in cols:
+                tests += 1
+                if check(volume, self.obstacles[int(col)]):
+                    return True, tests, broad, pruned
+            return False, tests, broad, pruned
+        broad = 0
         for box, box_aabb in zip(self.obstacles, self._obstacle_aabbs):
+            broad += 1
             if not aabb_overlap(query_aabb, box_aabb):
                 continue
             tests += 1
             if check(volume, box):
-                return True, tests
-        return False, tests
+                return True, tests, broad, 0
+        return False, tests, broad, 0
 
     def volume_stream_work(self, volume) -> tuple[bool, int]:
         """CDQ outcome plus obstacle-stream position (hardware CDU work).
@@ -158,3 +280,40 @@ class Scene:
             if box_aabb.contains_point(p) and box.contains_point(p):
                 return True
         return False
+
+
+_MUTATION_OPS = ("add", "move", "remove")
+
+
+@dataclass(frozen=True)
+class SceneMutation:
+    """One dynamic-scene edit: add, move, or remove an obstacle.
+
+    The serving layer accepts these as ``query_type="mutate"`` payloads;
+    :meth:`apply` routes to the matching :class:`Scene` mutator. ``index``
+    addresses the obstacle for move/remove; ``box`` carries the new
+    geometry for add/move.
+    """
+
+    op: str
+    index: int = -1
+    box: OBB | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _MUTATION_OPS:
+            raise ValueError(f"op must be one of {_MUTATION_OPS}")
+        if self.op in ("move", "remove") and self.index < 0:
+            raise ValueError(f"{self.op} needs a non-negative obstacle index")
+        if self.op in ("add", "move") and self.box is None:
+            raise ValueError(f"{self.op} needs an obstacle box")
+
+    def apply(self, scene: Scene) -> None:
+        """Execute this edit against a scene (raises on a stale index)."""
+        if self.op == "add":
+            assert self.box is not None  # enforced in __post_init__
+            scene.add_obstacle(self.box)
+        elif self.op == "move":
+            assert self.box is not None
+            scene.move_obstacle(self.index, self.box)
+        else:
+            scene.remove_obstacle(self.index)

@@ -2,6 +2,7 @@
 
 from .aabb import AABB, aabb_overlap
 from .batch import (
+    BVH_AUTO_THRESHOLD,
     OBBPack,
     ObstacleSet,
     SpherePack,
@@ -14,6 +15,7 @@ from .batch import (
     sphere_pairs_overlap,
     sphere_overlap_batch,
 )
+from .bvh import ObstacleBVH, morton_codes
 from .distance import (
     aabb_distance,
     obb_obb_distance_lower_bound,
@@ -30,6 +32,9 @@ from . import transforms
 __all__ = [
     "AABB",
     "aabb_overlap",
+    "BVH_AUTO_THRESHOLD",
+    "ObstacleBVH",
+    "morton_codes",
     "ObstacleSet",
     "obb_overlap_batch",
     "sphere_overlap_batch",

@@ -17,10 +17,12 @@ import numpy as np
 
 from numpy.typing import ArrayLike
 
+from .bvh import ObstacleBVH
 from .obb import OBB
 from .sphere import Sphere
 
 __all__ = [
+    "BVH_AUTO_THRESHOLD",
     "ObstacleSet",
     "OBBPack",
     "SpherePack",
@@ -36,17 +38,35 @@ __all__ = [
 
 _EPS = 1e-9
 
+#: ``broad_phase="auto"`` switches from the dense cross product to the
+#: LBVH at this obstacle count. Below it the (M, N) mask is a handful of
+#: cache-resident vector ops and the tree adds overhead; above it the
+#: traversal's output-sensitive cost wins.
+BVH_AUTO_THRESHOLD = 64
+
+_BROAD_PHASES = ("dense", "bvh", "auto")
+
 
 class ObstacleSet:
     """An obstacle collection pre-packed for vectorized queries.
 
     Stacks centers, half-extents and rotations of ``boxes`` once; every
     subsequent query is a handful of einsums over the whole set.
+
+    The broad phase behind :meth:`candidate_pairs` is selectable:
+    ``"dense"`` evaluates the full (M, N) AABB mask, ``"bvh"`` traverses
+    a :class:`~repro.geometry.bvh.ObstacleBVH`, and ``"auto"`` (default)
+    picks by obstacle count against :data:`BVH_AUTO_THRESHOLD`. Both
+    modes yield the identical candidate pair list, so everything
+    downstream of the broad phase is mode-independent bit for bit.
     """
 
-    def __init__(self, boxes: list[OBB]) -> None:
+    def __init__(self, boxes: list[OBB], *, broad_phase: str = "auto") -> None:
         if not boxes:
             raise ValueError("an ObstacleSet needs at least one box")
+        if broad_phase not in _BROAD_PHASES:
+            raise ValueError(f"broad_phase must be one of {_BROAD_PHASES}")
+        self.broad_phase = broad_phase
         self.boxes = list(boxes)
         self.centers = np.stack([b.center for b in boxes])  # (N, 3)
         self.half_extents = np.stack([b.half_extents for b in boxes])  # (N, 3)
@@ -55,9 +75,167 @@ class ObstacleSet:
         reach = np.einsum("nij,nj->ni", np.abs(self.rotations), self.half_extents)
         self.aabb_lo = self.centers - reach  # (N, 3)
         self.aabb_hi = self.centers + reach  # (N, 3)
+        self._bvh: ObstacleBVH | None = None
+        # Broad-phase telemetry, cumulative over this set's lifetime
+        # (rebuilds of the lazy index do not clear them).
+        self.bp_pairs_examined = 0
+        self.bp_pairs_possible = 0
+        self.refits = 0
+        self.rebuilds = 0
 
     def __len__(self) -> int:
         return len(self.boxes)
+
+    def mode(self) -> str:
+        """The broad phase queries will actually use ("dense" or "bvh")."""
+        if self.broad_phase == "auto":
+            return "bvh" if len(self.boxes) >= BVH_AUTO_THRESHOLD else "dense"
+        return self.broad_phase
+
+    def index(self) -> ObstacleBVH:
+        """The obstacle LBVH, built lazily on first indexed query."""
+        if self._bvh is None:
+            self._bvh = ObstacleBVH(self.aabb_lo, self.aabb_hi)
+        return self._bvh
+
+    def candidate_pairs(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Broad-phase survivors for M query AABBs -> (rows, cols, examined).
+
+        The (rows, cols) pair list is exactly ``np.nonzero`` of the dense
+        :func:`pack_aabb_overlap` mask in either mode; ``examined[q]``
+        counts the obstacle AABB tests actually performed for query ``q``
+        (N in dense mode, the traversal's leaf-test count under the BVH).
+        """
+        count = len(self.boxes)
+        if self.mode() == "dense":
+            rows, cols = np.nonzero(pack_aabb_overlap(lo, hi, self))
+            examined = np.full(len(lo), count, dtype=np.int64)
+        else:
+            rows, cols, examined = self.index().query_pairs(lo, hi)
+        self.bp_pairs_examined += int(examined.sum())
+        self.bp_pairs_possible += len(lo) * count
+        return rows, cols, examined
+
+    def clearance_gaps(self, centers: np.ndarray, radii: np.ndarray) -> np.ndarray:
+        """Min obstacle clearance of M bounding spheres -> (M,) gaps.
+
+        ``max(0, distance - radius)`` minimized over obstacles — the
+        conservative-advancement bound. In BVH mode a greedy descent
+        seeds an incumbent distance per query and branch-and-bound prunes
+        obstacles whose boxes cannot beat it; the surviving pairs are
+        evaluated with the same gather-style clamp arithmetic as
+        :func:`sphere_pairs_overlap`, so the result is bit-identical to
+        the dense (M, N) reduction (``max(0, .)`` and the subtraction are
+        monotone, so min-then-subtract equals subtract-then-min).
+        """
+        centers = np.asarray(centers, dtype=float).reshape(-1, 3)
+        radii = np.asarray(radii, dtype=float).reshape(-1)
+        if self.mode() == "dense":
+            dists = point_obstacle_distances(centers, self)
+            return np.maximum(0.0, dists - radii[:, None]).min(axis=1)
+        num = len(centers)
+        if num == 0:
+            return np.zeros(0)
+        bvh = self.index()
+        seeds = bvh.nearest_seed(centers)
+        incumbent = self._point_pair_distances(centers, np.arange(num), seeds)
+        rows, cols = bvh.nearest_candidates(centers, incumbent)
+        values = self._point_pair_distances(centers, rows, cols)
+        order = np.argsort(rows, kind="stable")
+        # Every query retains at least its seed leaf, so each of the M
+        # segments below is non-empty and reduceat is well-defined.
+        starts = np.searchsorted(rows[order], np.arange(num))
+        dmin = np.minimum.reduceat(values[order], starts)
+        return np.maximum(0.0, dmin - radii)
+
+    def _point_pair_distances(
+        self, points: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Point-to-OBB distance over an explicit pair list -> (K,).
+
+        Gathered form of :func:`point_obstacle_distances` (same clamp
+        arithmetic and the same einsum contraction spec — matmul's BLAS
+        kernels can differ from einsum in the last ulp, which would break
+        the dense/BVH bit-parity contract), so entries equal the dense
+        matrix's bit for bit.
+        """
+        diff = points[rows] - self.centers[cols]
+        local = np.einsum("kji,kj->ki", self.rotations[cols], diff)
+        half = self.half_extents[cols]
+        clamped = np.clip(local, -half, half)
+        return np.linalg.norm(local - clamped, axis=1)
+
+    # -- incremental mutation (dynamic scenes) ---------------------------
+
+    def add_obstacle(self, box: OBB) -> None:
+        """Append an obstacle, refitting (or rebuilding) the live index."""
+        index = len(self.boxes)
+        self.boxes.append(box)
+        reach = np.abs(box.rotation) @ box.half_extents
+        self.centers = np.concatenate([self.centers, box.center[None]])
+        self.half_extents = np.concatenate([self.half_extents, box.half_extents[None]])
+        self.rotations = np.concatenate([self.rotations, box.rotation[None]])
+        self.aabb_lo = np.concatenate([self.aabb_lo, (box.center - reach)[None]])
+        self.aabb_hi = np.concatenate([self.aabb_hi, (box.center + reach)[None]])
+        if self._bvh is not None:
+            if self._bvh.insert(index, self.aabb_lo[index], self.aabb_hi[index]):
+                self.refits += 1
+                self._maybe_rebuild()
+            else:
+                self._rebuild()
+
+    def move_obstacle(self, index: int, box: OBB) -> None:
+        """Replace one obstacle in place, refitting its leaf's ancestors."""
+        self.boxes[index] = box
+        reach = np.abs(box.rotation) @ box.half_extents
+        self.centers[index] = box.center
+        self.half_extents[index] = box.half_extents
+        self.rotations[index] = box.rotation
+        self.aabb_lo[index] = box.center - reach
+        self.aabb_hi[index] = box.center + reach
+        if self._bvh is not None:
+            self._bvh.move(index, self.aabb_lo[index], self.aabb_hi[index])
+            self.refits += 1
+            self._maybe_rebuild()
+
+    def remove_obstacle(self, index: int) -> None:
+        """Delete one obstacle, emptying its leaf and renumbering the rest."""
+        if len(self.boxes) == 1:
+            raise ValueError("cannot remove the last obstacle from an ObstacleSet")
+        del self.boxes[index]
+        self.centers = np.delete(self.centers, index, axis=0)
+        self.half_extents = np.delete(self.half_extents, index, axis=0)
+        self.rotations = np.delete(self.rotations, index, axis=0)
+        self.aabb_lo = np.delete(self.aabb_lo, index, axis=0)
+        self.aabb_hi = np.delete(self.aabb_hi, index, axis=0)
+        if self._bvh is not None:
+            self._bvh.remove(index)
+            self.refits += 1
+            self._maybe_rebuild()
+
+    def _maybe_rebuild(self) -> None:
+        if self._bvh is not None and self._bvh.degraded():
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._bvh = ObstacleBVH(self.aabb_lo, self.aabb_hi)
+        self.rebuilds += 1
+
+    def broad_phase_snapshot(self) -> dict:
+        """Telemetry view: pair-reduction ratio plus refit/rebuild counts."""
+        possible = self.bp_pairs_possible
+        reduction = 1.0 - self.bp_pairs_examined / possible if possible else 0.0
+        return {
+            "mode": self.mode(),
+            "obstacles": len(self.boxes),
+            "pairs_examined": self.bp_pairs_examined,
+            "pairs_possible": possible,
+            "candidate_reduction": reduction,
+            "refits": self.refits,
+            "rebuilds": self.rebuilds,
+        }
 
     def overlaps_obb(self, query: OBB) -> np.ndarray:
         """Boolean mask: which obstacles intersect the query OBB."""
@@ -323,11 +501,12 @@ def sphere_pairs_overlap(
 ) -> np.ndarray:
     """Sphere-vs-OBB clamp test over an explicit pair list -> (K,) mask.
 
-    Sparse companion of :func:`sphere_pack_overlap`; identical arithmetic,
-    so gathering AABB survivors yields exactly the dense mask's entries.
+    Sparse companion of :func:`sphere_pack_overlap`; identical arithmetic
+    (einsum, not matmul — BLAS contraction can differ in the last ulp), so
+    gathering AABB survivors yields exactly the dense mask's entries.
     """
     diff = pack.centers[rows] - obstacles.centers[cols]  # (K, 3)
-    local = np.matmul(diff[:, None, :], obstacles.rotations[cols])[:, 0, :]
+    local = np.einsum("kji,kj->ki", obstacles.rotations[cols], diff)
     half = obstacles.half_extents[cols]
     clamped = np.clip(local, -half, half)
     gaps = np.linalg.norm(local - clamped, axis=1)

@@ -1,0 +1,352 @@
+"""Flat LBVH over obstacle AABBs: the sublinear broad phase.
+
+The dense broad phase tests every (query row, obstacle) pair — an (M, N)
+cross product that is fine at the paper's ~100-obstacle scenes and
+cache-hostile at 10k. This module packs the obstacle AABBs into a linear
+BVH (RoboGPU-style hierarchical culling feeding the batched narrow
+phase): obstacle centroids are Morton-coded and sorted, leaves land in a
+padded power-of-two implicit heap, and internal boxes are computed
+bottom-up with one vectorized min/max per level. Queries traverse the
+tree *stacklessly* as a frontier of (query, node) pairs, testing whole
+levels with the same vectorized AABB comparison the dense path uses.
+
+Exactness contract — the property every consumer relies on:
+:meth:`ObstacleBVH.query_pairs` returns **exactly** the candidate pairs
+the dense ``pack_aabb_overlap`` mask would mark, in the same row-major
+order. Leaf boxes are verbatim copies of the obstacle AABB rows and the
+leaf test is the identical comparison with the identical ``1e-12``
+slack; internal boxes contain their children exactly (floating-point
+min/max is exact), and the overlap test is monotone in the box bounds,
+so pruning an internal node can never drop a passing leaf. Narrow-phase
+inputs, verdicts, CHT counters, and the RNG stream therefore stay
+bit-identical to the dense path.
+
+Dynamic scenes mutate the index instead of repacking the world: a moved
+obstacle rewrites its leaf and refits the O(log N) ancestor path, and
+insert/remove recycle empty leaf slots through a free list. Refits
+degrade tree quality, so the index tracks its total internal surface
+area and reports :meth:`ObstacleBVH.degraded` once it exceeds twice the
+as-built value — the caller's signal to rebuild from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ObstacleBVH", "morton_codes"]
+
+#: Broad-phase slack — must match ``aabb_overlap`` / ``pack_aabb_overlap``.
+_TOL = 1e-12
+
+#: Pruning slack for the nearest-obstacle walk. Point-to-box lower bounds
+#: are computed with different roundings than the exact pair distances, so
+#: the branch-and-bound keeps any leaf within this margin of the incumbent.
+_NEAREST_SLACK = 1e-9
+
+
+def _expand_bits(v: np.ndarray) -> np.ndarray:
+    """Spread each 10-bit value so its bits occupy every third position."""
+    v = (v | (v << 32)) & 0x1F00000000FFFF
+    v = (v | (v << 16)) & 0x1F0000FF0000FF
+    v = (v | (v << 8)) & 0x100F00F00F00F00F
+    v = (v | (v << 4)) & 0x10C30C30C30C30C3
+    v = (v | (v << 2)) & 0x1249249249249249
+    return v
+
+
+def morton_codes(points: np.ndarray) -> np.ndarray:
+    """30-bit Morton codes of (N, 3) points, scaled to their bounding box.
+
+    Degenerate extents (all points sharing a coordinate) quantize to cell
+    zero on that axis instead of dividing by zero.
+    """
+    points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    lo = points.min(axis=0)
+    extent = points.max(axis=0) - lo
+    extent = np.where(extent <= 0.0, 1.0, extent)
+    cells = np.clip((points - lo) / extent * 1023.0, 0.0, 1023.0).astype(np.uint64)
+    return (
+        (_expand_bits(cells[:, 0]) << 2)
+        | (_expand_bits(cells[:, 1]) << 1)
+        | _expand_bits(cells[:, 2])
+    )
+
+
+class ObstacleBVH:
+    """Implicit-heap LBVH over N obstacle AABBs with incremental refit.
+
+    Layout: with ``cap`` the next power of two >= N, the tree is a
+    perfect binary heap of ``2 * cap - 1`` nodes in two contiguous
+    ``(2 * cap - 1, 3)`` arrays. Internal nodes occupy indices
+    ``[0, cap - 2]``; leaf slot ``j`` is node ``cap - 1 + j`` and maps to
+    an obstacle through ``leaf_obstacle[j]`` (-1 for the padding slots).
+    Empty boxes are ``(+inf, -inf)``, which fails every overlap test and
+    is the identity of min/max, so padding never perturbs traversal or
+    bottom-up refits.
+    """
+
+    def __init__(self, aabb_lo: np.ndarray, aabb_hi: np.ndarray) -> None:
+        aabb_lo = np.asarray(aabb_lo, dtype=np.float64).reshape(-1, 3)
+        aabb_hi = np.asarray(aabb_hi, dtype=np.float64).reshape(-1, 3)
+        if len(aabb_lo) == 0:
+            raise ValueError("ObstacleBVH needs at least one obstacle box")
+        if aabb_lo.shape != aabb_hi.shape:
+            raise ValueError("aabb_lo and aabb_hi must have matching shapes")
+        n = len(aabb_lo)
+        cap = 1 << max(0, (n - 1).bit_length())
+        self.cap = cap
+        self.lo = np.full((2 * cap - 1, 3), np.inf)
+        self.hi = np.full((2 * cap - 1, 3), -np.inf)
+        #: Leaf slot -> obstacle index (-1 for empty padding slots).
+        self.leaf_obstacle = np.full(cap, -1, dtype=np.int64)
+        order = np.argsort(morton_codes(0.5 * (aabb_lo + aabb_hi)), kind="stable")
+        first = cap - 1
+        self.lo[first : first + n] = aabb_lo[order]
+        self.hi[first : first + n] = aabb_hi[order]
+        self.leaf_obstacle[:n] = order
+        #: Recyclable empty leaf slots (LIFO).
+        self._free = list(range(n, cap))
+        self._refit_all_internal()
+        self._sa_now = self._internal_surface_area()
+        self._sa_built = max(self._sa_now, 1e-12)
+
+    @property
+    def num_obstacles(self) -> int:
+        """Live (non-padding) leaves."""
+        return self.cap - len(self._free)
+
+    # -- construction ----------------------------------------------------
+
+    def _refit_all_internal(self) -> None:
+        """Bottom-up box computation, one vectorized min/max per level."""
+        size = self.cap
+        while size > 1:
+            size //= 2
+            parents = slice(size - 1, 2 * size - 1)
+            child0 = 2 * size - 1
+            left = slice(child0, child0 + 2 * size, 2)
+            right = slice(child0 + 1, child0 + 2 * size, 2)
+            self.lo[parents] = np.minimum(self.lo[left], self.lo[right])
+            self.hi[parents] = np.maximum(self.hi[left], self.hi[right])
+
+    def _internal_surface_area(self) -> float:
+        """Sum of internal-node half surface areas (empty nodes count 0)."""
+        if self.cap == 1:
+            return 0.0
+        extent = self.hi[: self.cap - 1] - self.lo[: self.cap - 1]
+        area = (
+            extent[:, 0] * extent[:, 1]
+            + extent[:, 1] * extent[:, 2]
+            + extent[:, 2] * extent[:, 0]
+        )
+        return float(np.sum(np.where(np.isfinite(extent).all(axis=1), area, 0.0)))
+
+    def _node_area(self, node: int) -> float:
+        extent = self.hi[node] - self.lo[node]
+        if not np.isfinite(extent).all():
+            return 0.0
+        return float(
+            extent[0] * extent[1] + extent[1] * extent[2] + extent[2] * extent[0]
+        )
+
+    # -- incremental mutation --------------------------------------------
+
+    def _refit_slot(self, slot: int, box_lo: np.ndarray, box_hi: np.ndarray) -> None:
+        """Write one leaf box and refit its ancestor path (O(log N) scalar)."""
+        node = self.cap - 1 + slot
+        self.lo[node] = box_lo
+        self.hi[node] = box_hi
+        while node > 0:
+            node = (node - 1) // 2
+            before = self._node_area(node)
+            left, right = 2 * node + 1, 2 * node + 2
+            self.lo[node] = np.minimum(self.lo[left], self.lo[right])
+            self.hi[node] = np.maximum(self.hi[left], self.hi[right])
+            self._sa_now += self._node_area(node) - before
+
+    def _slot_of(self, obstacle: int) -> int:
+        hits = np.flatnonzero(self.leaf_obstacle == obstacle)
+        if not hits.size:
+            raise KeyError(f"obstacle {obstacle} is not in the index")
+        return int(hits[0])
+
+    def move(self, obstacle: int, box_lo: np.ndarray, box_hi: np.ndarray) -> None:
+        """Rewrite a moved obstacle's leaf box and refit its ancestors."""
+        self._refit_slot(self._slot_of(obstacle), box_lo, box_hi)
+
+    def insert(self, obstacle: int, box_lo: np.ndarray, box_hi: np.ndarray) -> bool:
+        """Claim a free leaf slot for a new obstacle; False when full.
+
+        A False return means the padded capacity is exhausted and the
+        caller must rebuild (the index cannot grow in place).
+        """
+        if not self._free:
+            return False
+        slot = self._free.pop()
+        self.leaf_obstacle[slot] = obstacle
+        self._refit_slot(slot, box_lo, box_hi)
+        return True
+
+    def remove(self, obstacle: int) -> None:
+        """Empty a removed obstacle's leaf and renumber the survivors.
+
+        Obstacle indices above the removed one shift down by one, keeping
+        leaf bookkeeping aligned with the caller's compacted arrays.
+        """
+        slot = self._slot_of(obstacle)
+        self.leaf_obstacle[slot] = -1
+        self._free.append(slot)
+        self._refit_slot(slot, np.full(3, np.inf), np.full(3, -np.inf))
+        self.leaf_obstacle[self.leaf_obstacle > obstacle] -= 1
+
+    def degraded(self) -> bool:
+        """True once refits have inflated internal area past 2x as-built."""
+        return self._sa_now > 2.0 * self._sa_built
+
+    # -- batched overlap traversal ---------------------------------------
+
+    def _overlaps(self, qlo: np.ndarray, qhi: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        """The dense broad-phase comparison, applied per (query, node) pair."""
+        return (
+            (qlo <= self.hi[nodes] + _TOL) & (self.lo[nodes] <= qhi + _TOL)
+        ).all(axis=-1)
+
+    def query_pairs(
+        self, qlo: np.ndarray, qhi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate (row, col) pairs for M query boxes, plus tests counted.
+
+        Returns ``(rows, cols, examined)``: the pairs are exactly the
+        dense ``pack_aabb_overlap`` survivors in row-major order, and
+        ``examined[q]`` counts the leaf AABB tests traversal actually
+        performed for query ``q`` — the indexed path's
+        ``broad_phase_tests`` currency.
+        """
+        qlo = np.asarray(qlo, dtype=np.float64).reshape(-1, 3)
+        qhi = np.asarray(qhi, dtype=np.float64).reshape(-1, 3)
+        m = len(qlo)
+        examined = np.zeros(m, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        if m == 0:
+            return empty, empty.copy(), examined
+        first_leaf = self.cap - 1
+        if first_leaf == 0:
+            # Single-slot tree: the root IS the leaf; test it directly.
+            if self.leaf_obstacle[0] < 0:
+                return empty, empty.copy(), examined
+            examined[:] = 1
+            rows = np.flatnonzero(self._overlaps(qlo, qhi, np.zeros(m, dtype=np.int64)))
+            cols = np.full(rows.size, self.leaf_obstacle[0], dtype=np.int64)
+            return rows, cols, examined
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        # Frontier of surviving (query, node) pairs, starting at the root.
+        fq = np.flatnonzero(self._overlaps(qlo, qhi, np.zeros(m, dtype=np.int64)))
+        fn = np.zeros(fq.size, dtype=np.int64)
+        while fq.size:
+            at_leaf = fn >= first_leaf
+            if at_leaf.any():
+                # A leaf that passed the overlap test is never a padding
+                # slot: empty boxes are (+inf, -inf) and fail every test.
+                row_parts.append(fq[at_leaf])
+                col_parts.append(self.leaf_obstacle[fn[at_leaf] - first_leaf])
+                fq, fn = fq[~at_leaf], fn[~at_leaf]
+                if not fq.size:
+                    break
+            cq = np.repeat(fq, 2)
+            cn = np.empty(2 * fn.size, dtype=np.int64)
+            cn[0::2] = 2 * fn + 1
+            cn[1::2] = 2 * fn + 2
+            passed = self._overlaps(qlo[cq], qhi[cq], cn)
+            tested_leaf = (cn >= first_leaf) & (self.leaf_obstacle[
+                np.maximum(cn - first_leaf, 0)
+            ] >= 0)
+            if tested_leaf.any():
+                examined += np.bincount(cq[tested_leaf], minlength=m)
+            fq, fn = cq[passed], cn[passed]
+        if not row_parts:
+            return empty, empty.copy(), examined
+        rows = np.concatenate(row_parts)
+        cols = np.concatenate(col_parts)
+        order = np.lexsort((cols, rows))
+        return rows[order], cols[order], examined
+
+    # -- nearest-obstacle support (continuous clearance) ------------------
+
+    def _point_lower_bounds(self, points: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        """Per-pair point-to-box distance lower bounds (inf for empty boxes)."""
+        gap = np.maximum(
+            np.maximum(self.lo[nodes] - points, points - self.hi[nodes]), 0.0
+        )
+        return np.sqrt(np.sum(gap * gap, axis=-1))
+
+    def nearest_seed(self, points: np.ndarray) -> np.ndarray:
+        """Greedy-descent obstacle index per query point (incumbent seed).
+
+        Descends from the root one level at a time, always taking the
+        child with the smaller point-to-box lower bound (ties go left;
+        empty children bound at +inf, and a non-empty parent always has a
+        non-empty child, so descent never dead-ends). The reached leaf is
+        a valid — usually excellent — incumbent for branch-and-bound.
+        """
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        m = len(points)
+        node = np.zeros(m, dtype=np.int64)
+        first_leaf = self.cap - 1
+        if m == 0:
+            return node
+        while first_leaf > 0 and node[0] < first_leaf:
+            left = 2 * node + 1
+            go_left = self._point_lower_bounds(points, left) <= self._point_lower_bounds(
+                points, left + 1
+            )
+            node = np.where(go_left, left, left + 1)
+        return self.leaf_obstacle[node - first_leaf]
+
+    def nearest_candidates(
+        self, points: np.ndarray, bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All (query, obstacle) pairs whose box could beat each bound.
+
+        Frontier traversal pruned by ``lower_bound <= bounds[q] + slack``;
+        every leaf whose exact distance could equal or beat the incumbent
+        survives, so an exact min over the returned pairs equals the exact
+        min over all obstacles.
+        """
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        bounds = np.asarray(bounds, dtype=np.float64).reshape(-1)
+        m = len(points)
+        empty = np.empty(0, dtype=np.int64)
+        if m == 0:
+            return empty, empty.copy()
+        first_leaf = self.cap - 1
+        limit = bounds + _NEAREST_SLACK
+        if first_leaf == 0:
+            if self.leaf_obstacle[0] < 0:
+                return empty, empty.copy()
+            rows = np.arange(m, dtype=np.int64)
+            cols = np.full(m, self.leaf_obstacle[0], dtype=np.int64)
+            return rows, cols
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        root = np.zeros(m, dtype=np.int64)
+        keep = self._point_lower_bounds(points, root) <= limit
+        fq = np.flatnonzero(keep)
+        fn = np.zeros(fq.size, dtype=np.int64)
+        while fq.size:
+            at_leaf = fn >= first_leaf
+            if at_leaf.any():
+                row_parts.append(fq[at_leaf])
+                col_parts.append(self.leaf_obstacle[fn[at_leaf] - first_leaf])
+                fq, fn = fq[~at_leaf], fn[~at_leaf]
+                if not fq.size:
+                    break
+            cq = np.repeat(fq, 2)
+            cn = np.empty(2 * fn.size, dtype=np.int64)
+            cn[0::2] = 2 * fn + 1
+            cn[1::2] = 2 * fn + 2
+            passed = self._point_lower_bounds(points[cq], cn) <= limit[cq]
+            fq, fn = cq[passed], cn[passed]
+        if not row_parts:
+            return empty, empty.copy()
+        return np.concatenate(row_parts), np.concatenate(col_parts)

@@ -25,6 +25,7 @@ import asyncio
 from dataclasses import dataclass
 
 from ..collision.pipeline import Motion
+from ..env.scene import SceneMutation
 from .telemetry import ServiceTelemetry
 
 __all__ = [
@@ -40,8 +41,11 @@ ADMISSION_POLICIES = ("block", "reject")
 #: The query kinds the service executes. ``motion`` is the discrete
 #: motion-environment check; ``pose`` checks only the motion's start pose
 #: (batched through ``check_pose_batch``); ``continuous`` runs
-#: conservative advancement over the segment (the wavefront kernel).
-QUERY_TYPES = ("motion", "pose", "continuous")
+#: conservative advancement over the segment (the wavefront kernel);
+#: ``mutate`` carries a :class:`~repro.env.scene.SceneMutation` instead of
+#: a motion — it edits the session's scene (refitting the spatial index)
+#: and invalidates the collision history keyed to the old geometry.
+QUERY_TYPES = ("motion", "pose", "continuous", "mutate")
 
 #: Result statuses.
 STATUS_OK = "ok"
@@ -55,7 +59,9 @@ class QueryRequest:
     """One in-flight motion check travelling through the service."""
 
     session_id: str
-    motion: Motion
+    #: The payload: a motion for checking queries, a scene edit for
+    #: ``mutate`` queries (the field name predates dynamic scenes).
+    motion: Motion | SceneMutation
     future: asyncio.Future
     enqueued_at: float
     deadline_ms: float | None = None

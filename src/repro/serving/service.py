@@ -44,8 +44,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-import numpy as np
-
 from ..collision.detector import CollisionDetector
 from ..collision.pipeline import (
     BACKENDS,
@@ -61,7 +59,7 @@ from ..collision.queries import QueryStats
 from ..collision.scheduling import PoseScheduler
 from ..core.hashing import CoordHash
 from ..core.predictor import CHTPredictor, Predictor
-from ..env.scene import Scene
+from ..env.scene import Scene, SceneMutation
 from ..kinematics.robots import RobotModel
 from ..resilience import (
     DegradationLadder,
@@ -106,21 +104,23 @@ def default_predictor_factory() -> Predictor:
 def scene_bank_key(scene: Scene, robot: RobotModel, representation: str) -> str:
     """Stable content key for a (scene, robot, representation) triple.
 
-    Hashes the obstacle geometry (centers, half-extents, rotations as
-    float64 bytes) plus the robot name and volume representation, so the
-    same physical environment maps to the same shared bank across service
-    *restarts* — the anchor for snapshot/restore: a warm-restarted service
-    re-derives the same key and re-attaches the same collision history. A
-    16-hex-digit prefix keeps snapshot filenames short; collisions are
-    astronomically unlikely at fleet scale (64 bits over scene content).
+    Hashes the scene's obstacle-content digest
+    (:meth:`~repro.env.scene.Scene.content_digest`) plus the robot name
+    and volume representation, so the same physical environment maps to
+    the same shared bank across service *restarts* — the anchor for
+    snapshot/restore: a warm-restarted service re-derives the same key
+    and re-attaches the same collision history. Because the digest is
+    pure geometry content, a scene *mutation* changes the key, which is
+    exactly how dynamic scenes invalidate their shared banks: the edited
+    scene resolves to a fresh (cold) bank, and history learned against
+    the old geometry is never consulted again. A 16-hex-digit prefix
+    keeps snapshot filenames short; collisions are astronomically
+    unlikely at fleet scale (64 bits over scene content).
     """
     digest = hashlib.sha1()
     digest.update(representation.encode("utf-8"))
     digest.update(robot.name.encode("utf-8"))
-    for box in scene.obstacles:
-        digest.update(np.asarray(box.center, dtype=np.float64).tobytes())
-        digest.update(np.asarray(box.half_extents, dtype=np.float64).tobytes())
-        digest.update(np.asarray(box.rotation, dtype=np.float64).tobytes())
+    digest.update(scene.content_digest().encode("ascii"))
     return digest.hexdigest()[:16]
 
 
@@ -312,6 +312,7 @@ class CollisionService:
         )
         self.telemetry.set_breaker_provider(self._ladder.snapshot)
         self.telemetry.set_cht_provider(self._cht_snapshot)
+        self.telemetry.set_broad_phase_provider(self._broad_phase_snapshot)
         #: Scene-keyed shared CHT banks (``shared_cht=True`` only) and the
         #: lifecycle manager owning their segments. Keys are stable
         #: content digests (:func:`scene_bank_key`), so the same physical
@@ -386,6 +387,12 @@ class CollisionService:
         if self.config.cht_dir is not None:
             for entry in self._shared_tables.values():
                 if entry.quarantined:
+                    continue
+                if entry.table.occupancy() == 0.0:
+                    # An untouched bank (e.g. the fresh one a scene
+                    # mutation re-keyed to) has no history to persist;
+                    # snapshotting it would only make the next restart
+                    # report a "restored" bank with zero warmth.
                     continue
                 path = self._snapshot_path(entry.scene_key)
                 assert path is not None
@@ -570,7 +577,7 @@ class CollisionService:
     async def submit(
         self,
         session_id: str,
-        motion: Motion,
+        motion: "Motion | SceneMutation",
         deadline_ms: float | None = None,
         query_type: str = "motion",
     ) -> QueryResult:
@@ -580,8 +587,12 @@ class CollisionService:
         :data:`~repro.serving.admission.QUERY_TYPES`): ``motion`` is the
         discrete motion check, ``pose`` checks only ``motion.start``
         (batched pose-environment queries), ``continuous`` runs
-        conservative advancement over the segment. Requests of different
-        types never share a micro-batch kernel invocation.
+        conservative advancement over the segment, and ``mutate`` applies
+        a :class:`~repro.env.scene.SceneMutation` (passed in place of a
+        motion) to the session's scene — refitting its spatial index and
+        invalidating collision history keyed to the old geometry.
+        Requests of different types never share a micro-batch kernel
+        invocation.
         """
         if not self._started:
             raise RuntimeError("service not started (use 'async with service:')")
@@ -704,7 +715,13 @@ class CollisionService:
         for request in batch:
             if request.future.done():
                 continue  # caller vanished (e.g. cancelled while queued)
-            if request.deadline_expired(now):
+            if request.query_type == "mutate":
+                # Scene edits never fall back to prediction (there is no
+                # verdict to speculate) and never batch with checks: they
+                # apply immediately, before this batch's exact work reads
+                # the scene.
+                self._execute_mutation(request, len(batch))
+            elif request.deadline_expired(now):
                 self._resolve_predicted(request, len(batch))
             else:
                 exact.append(request)
@@ -731,7 +748,10 @@ class CollisionService:
         now = self.clock()
         queue_ms = (now - request.enqueued_at) * 1e3
         verdict = None
-        if session is not None:
+        # A ``mutate`` request has no verdict to speculate: when one lands
+        # here (a worker died before applying it), it resolves as
+        # predicted-with-no-verdict and the caller retries the edit.
+        if session is not None and request.query_type != "mutate":
             with self.telemetry.span("predict_fallback"):
                 if request.query_type == "pose":
                     verdict = predict_pose(
@@ -764,6 +784,100 @@ class CollisionService:
                 batch_size=batch_size,
             )
         )
+
+    def _execute_mutation(self, request: QueryRequest, batch_size: int) -> None:
+        """Apply one scene edit and invalidate history keyed to the old scene.
+
+        The mutation runs through :meth:`~repro.env.scene.SceneMutation.apply`
+        — the scene's packed obstacle set and spatial index refit in place
+        (telemetry span ``scene_mutate``). Afterwards, every open session
+        reading the mutated scene has its collision history invalidated:
+        the old geometry's verdicts are stale the instant an obstacle
+        moves. Private CHT predictors reset their table; shared sessions
+        re-key to the bank of the *new* content digest (created cold on
+        first use), leaving the old bank to age out at :meth:`stop`.
+        Re-keyed sessions keep their original worker pinning, so only
+        cross-session coalescing — not correctness — is lost until the
+        sessions reopen.
+        """
+        session = self.sessions.get(request.session_id)
+        if session is None:
+            request.future.set_exception(
+                KeyError(f"session {request.session_id!r} was closed")
+            )
+            return
+        mutation = request.motion
+        started = self.clock()
+        if not isinstance(mutation, SceneMutation):
+            request.future.set_exception(
+                TypeError(
+                    "mutate requests carry a SceneMutation, "
+                    f"got {type(mutation).__name__}"
+                )
+            )
+            return
+        try:
+            with self.telemetry.span("scene_mutate"):
+                mutation.apply(session.detector.scene)
+        except (IndexError, ValueError) as error:
+            # A bad index or an empty-scene removal is the caller's error,
+            # not a service fault: propagate it without failing the batch.
+            request.future.set_exception(error)
+            return
+        self.telemetry.count("scene_mutations")
+        invalidated = self._invalidate_scene_history(session.detector.scene)
+        if invalidated:
+            self.telemetry.count("cht_invalidations", invalidated)
+        finished = self.clock()
+        queue_ms = (started - request.enqueued_at) * 1e3
+        execute_ms = (finished - started) * 1e3
+        total_ms = (finished - request.enqueued_at) * 1e3
+        self.telemetry.count("requests_completed")
+        self.telemetry.observe_request(queue_ms, execute_ms, total_ms)
+        request.future.set_result(
+            QueryResult(
+                session_id=request.session_id,
+                status=STATUS_OK,
+                colliding=None,
+                queue_ms=queue_ms,
+                execute_ms=execute_ms,
+                total_ms=total_ms,
+                batch_size=batch_size,
+            )
+        )
+
+    def _invalidate_scene_history(self, scene: Scene) -> int:
+        """Drop collision history learned against a scene's old geometry.
+
+        Returns the number of sessions whose predictor state was
+        invalidated. Shared sessions migrate to the bank keyed by the
+        scene's new content digest (cold unless a snapshot for that exact
+        geometry exists); private CHT predictors reset in place — the
+        serving realisation of the paper's CHT-reset-on-re-measurement
+        semantics (Sec. IV), triggered by a scene edit instead.
+        """
+        invalidated = 0
+        for session in self.sessions.values():
+            if session.detector.scene is not scene:
+                continue
+            if session.shared is not None:
+                old = session.shared
+                old.sessions.discard(session.session_id)
+                entry = self._shared_entry(
+                    scene,
+                    session.detector.robot,
+                    session.detector.representation,
+                    session.detector,
+                    session.scheduler,
+                )
+                entry.sessions.add(session.session_id)
+                session.shared = entry
+                session.predictor = entry.predictor
+                invalidated += 1
+            elif isinstance(session.predictor, CHTPredictor):
+                session.predictor.reset()
+                invalidated += 1
+        return invalidated
 
     def _check_bank(self, entry: SharedTableEntry, batch_index: int) -> bool:
         """Verify a shared bank's integrity before predicting from it.
@@ -995,3 +1109,27 @@ class CollisionService:
                 "restored": entry.restored,
             }
         return {"sessions": per_session, "shared_tables": shared_tables}
+
+    def _broad_phase_snapshot(self) -> dict:
+        """The ``snapshot["broad_phase"]`` section: per-scene index state.
+
+        One record per distinct scene object across open sessions
+        (same-scene sessions share one packed obstacle set, so they share
+        one record): index mode, obstacle count, candidate-pair
+        examination/reduction totals, and refit/rebuild counts. Scenes
+        with no obstacles (nothing packed) are omitted.
+        """
+        scenes: list[dict] = []
+        seen: set[int] = set()
+        for _, session in sorted(self.sessions.items()):
+            scene = session.detector.scene
+            if id(scene) in seen:
+                continue
+            seen.add(id(scene))
+            packed = scene.obstacle_set()
+            if packed is None:
+                continue
+            record = packed.broad_phase_snapshot()
+            record["scene"] = scene.name
+            scenes.append(record)
+        return {"scenes": scenes}

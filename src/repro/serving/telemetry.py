@@ -70,6 +70,7 @@ class ServiceTelemetry:
         self.resilience = ResilienceCounters()
         self._breaker_provider: Callable[[], dict] | None = None
         self._cht_provider: Callable[[], dict] | None = None
+        self._broad_phase_provider: Callable[[], dict] | None = None
 
     def set_breaker_provider(self, provider: Callable[[], dict]) -> None:
         """Register a callable returning per-backend breaker states.
@@ -89,6 +90,16 @@ class ServiceTelemetry:
         stack.
         """
         self._cht_provider = provider
+
+    def set_broad_phase_provider(self, provider: Callable[[], dict]) -> None:
+        """Register a callable returning per-scene broad-phase statistics.
+
+        The service contributes a ``snapshot["broad_phase"]`` section —
+        spatial-index mode, candidate-pair reduction, refit/rebuild
+        counts for every open scene — without telemetry importing the
+        geometry stack.
+        """
+        self._broad_phase_provider = provider
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter (created on first use if unregistered)."""
@@ -149,6 +160,8 @@ class ServiceTelemetry:
             data["breakers"] = self._breaker_provider()
         if self._cht_provider is not None:
             data["cht"] = self._cht_provider()
+        if self._broad_phase_provider is not None:
+            data["broad_phase"] = self._broad_phase_provider()
         return data
 
     def to_json(self, indent: int = 2) -> str:

@@ -1,0 +1,402 @@
+"""LBVH broad-phase tests: exactness properties and dense/BVH bit-parity.
+
+The spatial index is only allowed to change *how much work* the broad
+phase does, never *what the datapath computes*: its candidate set must be
+exactly the dense AABB mask's survivor set, so verdicts, early-exit
+poses, narrow-phase counts, CHT counters and the predictor RNG stream
+are bit-identical between broad phases on every execution path (scalar
+detector, batched motion kernel, continuous wavefront).
+"""
+
+import math
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision import (
+    BatchContinuousKernel,
+    CollisionDetector,
+    ContinuousMotionChecker,
+)
+from repro.core import CHTPredictor, CollisionHistoryTable, CoordHash
+from repro.env.generators import crowded_2d_scene, random_2d_scene
+from repro.env.scene import Scene
+from repro.geometry import OBB
+from repro.geometry import transforms as tf
+from repro.geometry.batch import BVH_AUTO_THRESHOLD, ObstacleSet, pack_aabb_overlap
+from repro.geometry.bvh import ObstacleBVH, morton_codes
+from repro.kinematics import planar_2d
+
+coords = st.floats(-1.5, 1.5, allow_nan=False)
+points = st.tuples(coords, coords, coords)
+halves = st.tuples(
+    st.floats(0.02, 0.4, allow_nan=False),
+    st.floats(0.02, 0.4, allow_nan=False),
+    st.floats(0.02, 0.4, allow_nan=False),
+)
+angles = st.floats(-math.pi, math.pi, allow_nan=False)
+
+
+def _box(center, half, angle=0.0):
+    rot = tf.rotation_about_axis((0, 0, 1), angle)[:3, :3]
+    return OBB(np.asarray(center, dtype=float), np.asarray(half, dtype=float), rot)
+
+
+@st.composite
+def box_lists(draw, min_boxes=1, max_boxes=24):
+    count = draw(st.integers(min_boxes, max_boxes))
+    return [
+        _box(draw(points), draw(halves), draw(angles)) for _ in range(count)
+    ]
+
+
+@st.composite
+def query_aabbs(draw, max_queries=8):
+    count = draw(st.integers(0, max_queries))
+    lo = np.empty((count, 3))
+    hi = np.empty((count, 3))
+    for i in range(count):
+        center = np.asarray(draw(points))
+        half = np.asarray(draw(halves))
+        lo[i] = center - half
+        hi[i] = center + half
+    return lo, hi
+
+
+def _dense_pairs(boxes, lo, hi):
+    """The oracle: row-major survivor pairs of the dense AABB mask."""
+    dense = ObstacleSet(boxes, broad_phase="dense")
+    return np.nonzero(pack_aabb_overlap(lo, hi, dense))
+
+
+def _assert_same_pairs(boxes, bvh_set, lo, hi):
+    rows, cols = _dense_pairs(boxes, lo, hi)
+    brows, bcols, examined = bvh_set.candidate_pairs(lo, hi)
+    assert np.array_equal(rows, brows)
+    assert np.array_equal(cols, bcols)
+    # The traversal may not examine more pairs than exist, nor fewer than
+    # it emits.
+    assert examined.shape == (len(lo),)
+    assert (examined <= len(boxes)).all()
+    assert (np.bincount(brows, minlength=len(lo)) <= examined).all()
+
+
+class TestMortonCodes:
+    def test_orders_along_a_diagonal(self):
+        pts = np.linspace(0.0, 1.0, 17)[:, None] * np.ones(3)[None, :]
+        codes = morton_codes(pts)
+        assert (np.diff(codes) > 0).all()
+
+    def test_degenerate_axis_is_harmless(self):
+        pts = np.zeros((5, 3))
+        pts[:, 0] = np.arange(5.0)
+        codes = morton_codes(pts)  # y/z extents are zero
+        assert len(codes) == 5
+        assert (np.diff(codes[np.argsort(codes, kind="stable")]) >= 0).all()
+
+
+class TestCandidateSetExactness:
+    @given(boxes=box_lists(), queries=query_aabbs())
+    @settings(max_examples=120, deadline=None)
+    def test_pairs_match_dense_mask(self, boxes, queries):
+        lo, hi = queries
+        bvh = ObstacleSet(boxes, broad_phase="bvh")
+        _assert_same_pairs(boxes, bvh, lo, hi)
+
+    @given(boxes=box_lists(), queries=query_aabbs(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_pairs_match_after_moves(self, boxes, queries, data):
+        lo, hi = queries
+        bvh = ObstacleSet(boxes, broad_phase="bvh")
+        bvh.index()  # force the build so mutations exercise refit
+        moves = data.draw(st.integers(1, 4))
+        for _ in range(moves):
+            index = data.draw(st.integers(0, len(boxes) - 1))
+            replacement = _box(data.draw(points), data.draw(halves), data.draw(angles))
+            boxes[index] = replacement
+            bvh.move_obstacle(index, replacement)
+        _assert_same_pairs(boxes, bvh, lo, hi)
+        assert bvh.refits == moves
+
+    @given(boxes=box_lists(min_boxes=2), queries=query_aabbs(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_pairs_match_after_insert_remove_round_trip(self, boxes, queries, data):
+        lo, hi = queries
+        bvh = ObstacleSet(boxes, broad_phase="bvh")
+        bvh.index()
+        added = _box(data.draw(points), data.draw(halves), data.draw(angles))
+        boxes.append(added)
+        bvh.add_obstacle(added)
+        _assert_same_pairs(boxes, bvh, lo, hi)
+        victim = data.draw(st.integers(0, len(boxes) - 1))
+        del boxes[victim]
+        bvh.remove_obstacle(victim)
+        _assert_same_pairs(boxes, bvh, lo, hi)
+
+    @given(queries=query_aabbs())
+    @settings(max_examples=40, deadline=None)
+    def test_single_obstacle(self, queries):
+        lo, hi = queries
+        boxes = [_box((0.0, 0.0, 0.0), (0.3, 0.3, 0.3))]
+        bvh = ObstacleSet(boxes, broad_phase="bvh")
+        _assert_same_pairs(boxes, bvh, lo, hi)
+
+    @given(count=st.integers(2, 12), queries=query_aabbs())
+    @settings(max_examples=40, deadline=None)
+    def test_all_overlapping_duplicates(self, count, queries):
+        # Identical boxes defeat any spatial partitioning: every traversal
+        # must still report every duplicate, in row-major order.
+        lo, hi = queries
+        boxes = [_box((0.1, -0.2, 0.0), (0.5, 0.5, 0.5)) for _ in range(count)]
+        bvh = ObstacleSet(boxes, broad_phase="bvh")
+        _assert_same_pairs(boxes, bvh, lo, hi)
+
+    def test_empty_index_is_rejected(self):
+        # An empty obstacle list never reaches the index: Scene.obstacle_set()
+        # returns None and ObstacleSet refuses to pack zero boxes, so the BVH
+        # itself insists on at least one leaf.
+        with pytest.raises(ValueError):
+            ObstacleBVH(np.zeros((0, 3)), np.zeros((0, 3)))
+
+
+class TestClearanceParity:
+    @given(boxes=box_lists(), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_gaps_bitwise_equal_to_dense(self, boxes, data):
+        count = data.draw(st.integers(1, 6))
+        centers = np.array([data.draw(points) for _ in range(count)])
+        radii = np.array(
+            [data.draw(st.floats(0.01, 0.5, allow_nan=False)) for _ in range(count)]
+        )
+        dense = ObstacleSet(boxes, broad_phase="dense")
+        bvh = ObstacleSet(boxes, broad_phase="bvh")
+        assert np.array_equal(
+            dense.clearance_gaps(centers, radii), bvh.clearance_gaps(centers, radii)
+        )
+
+
+class TestAutoMode:
+    def test_threshold_selects_index(self):
+        small = ObstacleSet([_box((0, 0, 0), (0.1, 0.1, 0.1))])
+        assert small.mode() == "dense"
+        rng = np.random.default_rng(3)
+        boxes = crowded_2d_scene(rng, BVH_AUTO_THRESHOLD).obstacles
+        big = ObstacleSet(boxes)
+        assert big.mode() == "bvh"
+
+    def test_snapshot_reports_reduction(self):
+        rng = np.random.default_rng(4)
+        packed = ObstacleSet(crowded_2d_scene(rng, 256).obstacles, broad_phase="bvh")
+        lo = np.array([[-0.2, -0.2, -0.5]])
+        hi = np.array([[0.2, 0.2, 0.5]])
+        packed.candidate_pairs(lo, hi)
+        snap = packed.broad_phase_snapshot()
+        assert snap["mode"] == "bvh"
+        assert snap["obstacles"] == 256
+        assert snap["pairs_possible"] == 256
+        assert 0.0 < snap["candidate_reduction"] <= 1.0
+
+
+class TestDenseAccountingPinned:
+    """The dense path's broad-phase counters are exact, pinned values."""
+
+    def _scene(self):
+        return Scene(
+            obstacles=[
+                _box((2.0, 0.0, 0.0), (0.2, 0.2, 0.2)),
+                _box((4.0, 0.0, 0.0), (0.2, 0.2, 0.2)),
+                _box((6.0, 0.0, 0.0), (0.2, 0.2, 0.2)),
+            ],
+            broad_phase="dense",
+        )
+
+    def test_free_volume_scans_every_obstacle(self):
+        scene = self._scene()
+        collided, tests, broad, pruned = scene.volume_collision_profile(
+            _box((0.0, 0.0, 0.0), (0.1, 0.1, 0.1))
+        )
+        assert not collided
+        assert tests == 0  # no AABB overlap -> no narrow test
+        assert broad == 3  # every obstacle's AABB was examined
+        assert pruned == 0  # the dense path never skips
+
+    def test_colliding_volume_stops_at_the_hit(self):
+        scene = self._scene()
+        collided, tests, broad, pruned = scene.volume_collision_profile(
+            _box((4.0, 0.0, 0.0), (0.1, 0.1, 0.1))
+        )
+        assert collided
+        assert tests == 1  # only the hit obstacle reached the narrow phase
+        assert broad == 2  # early exit after the second obstacle's AABB
+        assert pruned == 0
+
+    def test_detector_stats_accumulate_broad_counts(self, planar):
+        scene = self._scene()
+        detector = CollisionDetector(scene, planar)
+        result = detector.check_pose(np.zeros(planar.dof))
+        assert not result.collided
+        # Every CDQ of the free pose examined all 3 obstacle AABBs.
+        assert result.stats.broad_phase_tests == 3 * result.stats.cdqs_executed
+        assert result.stats.broad_phase_pruned == 0
+
+
+def _paired_scenes(num_obstacles, seed):
+    boxes = random_2d_scene(np.random.default_rng(seed), num_obstacles).obstacles
+    dense = Scene(obstacles=list(boxes), name="dense", broad_phase="dense")
+    bvh = Scene(obstacles=list(boxes), name="bvh", broad_phase="bvh")
+    return dense, bvh
+
+
+def _motions(robot, count, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        (robot.random_configuration(rng), robot.random_configuration(rng))
+        for _ in range(count)
+    ]
+
+
+def _predictor(seed):
+    return CHTPredictor(
+        CoordHash(bits_per_axis=4),
+        CollisionHistoryTable(size=1024, s=1.0, u=0.5, rng=np.random.default_rng(seed)),
+    )
+
+
+def _strip_broad(stats):
+    data = asdict(stats)
+    data.pop("broad_phase_tests")
+    data.pop("broad_phase_pruned")
+    return data
+
+
+def _assert_tables_identical(pa, pb):
+    assert np.array_equal(pa.table.coll, pb.table.coll)
+    assert np.array_equal(pa.table.noncoll, pb.table.noncoll)
+    assert pa.table.writes == pb.table.writes
+    assert pa.table.reads == pb.table.reads
+    assert pa.table.rng.random() == pb.table.rng.random()
+
+
+class TestEndToEndParitySweep:
+    """500+ motions, dense vs BVH, across every execution path.
+
+    Verdicts, early-exit pose indices, narrow-phase work, CHT counter
+    banks and the predictor RNG stream must be bit-identical: the index
+    prunes work the dense scan proves irrelevant, nothing else.
+    """
+
+    NUM_MOTIONS = 256
+    NUM_POSES = 6
+
+    @pytest.fixture(scope="class")
+    def robot(self):
+        return planar_2d()
+
+    def test_scalar_detector_parity(self, robot):
+        dense_scene, bvh_scene = _paired_scenes(48, seed=11)
+        dense = CollisionDetector(dense_scene, robot)
+        bvh = CollisionDetector(bvh_scene, robot)
+        pd, pb = _predictor(11), _predictor(11)
+        for start, end in _motions(robot, self.NUM_MOTIONS, seed=12):
+            a = dense.check_motion(start, end, num_poses=self.NUM_POSES)
+            b = bvh.check_motion(start, end, num_poses=self.NUM_POSES)
+            assert a.collided == b.collided
+            assert a.first_colliding_pose == b.first_colliding_pose
+            assert _strip_broad(a.stats) == _strip_broad(b.stats)
+            ap = dense.check_motion(start, end, num_poses=self.NUM_POSES, predictor=pd)
+            bp = bvh.check_motion(start, end, num_poses=self.NUM_POSES, predictor=pb)
+            assert ap.collided == bp.collided
+            assert _strip_broad(ap.stats) == _strip_broad(bp.stats)
+        _assert_tables_identical(pd, pb)
+
+    def test_batch_kernel_parity(self, robot):
+        dense_scene, bvh_scene = _paired_scenes(48, seed=21)
+        dense = CollisionDetector(dense_scene, robot).batch_kernel()
+        bvh = CollisionDetector(bvh_scene, robot).batch_kernel()
+        pd, pb = _predictor(21), _predictor(21)
+        for start, end in _motions(robot, self.NUM_MOTIONS, seed=22):
+            a = dense.check_motion(start, end, num_poses=self.NUM_POSES)
+            b = bvh.check_motion(start, end, num_poses=self.NUM_POSES)
+            assert a.collided == b.collided
+            assert a.first_colliding_pose == b.first_colliding_pose
+            assert _strip_broad(a.stats) == _strip_broad(b.stats)
+            ap = dense.check_motion_predicted(
+                start, end, num_poses=self.NUM_POSES, predictor=pd
+            )
+            bp = bvh.check_motion_predicted(
+                start, end, num_poses=self.NUM_POSES, predictor=pb
+            )
+            assert ap.collided == bp.collided
+            assert _strip_broad(ap.stats) == _strip_broad(bp.stats)
+        _assert_tables_identical(pd, pb)
+
+    def test_continuous_parity(self, robot):
+        dense_scene, bvh_scene = _paired_scenes(48, seed=31)
+        dense = ContinuousMotionChecker(dense_scene, robot)
+        bvh_kernel = BatchContinuousKernel(ContinuousMotionChecker(bvh_scene, robot))
+        motions = _motions(robot, 64, seed=32)
+        scalar = [dense.check_motion(a, b) for a, b in motions]
+        starts = [m[0] for m in motions]
+        ends = [m[1] for m in motions]
+        batch = bvh_kernel.check_motions(starts, ends)
+        for a, b in zip(scalar, batch):
+            assert a.collided == b.collided
+            assert a.poses_evaluated == b.poses_evaluated
+            assert asdict(a.stats) == asdict(b.stats)
+
+    def test_batch_broad_counts_match_scalar_per_mode(self, robot):
+        # Within one mode the batch kernel's broad-phase accounting must
+        # equal the scalar loop's, including the new counters.
+        for seed in (41, 42):
+            for phase in ("dense", "bvh"):
+                boxes = random_2d_scene(np.random.default_rng(seed), 48).obstacles
+                scene = Scene(obstacles=boxes, broad_phase=phase)
+                detector = CollisionDetector(scene, robot)
+                kernel = detector.batch_kernel()
+                for start, end in _motions(robot, 24, seed=seed + 1):
+                    a = detector.check_motion(start, end, num_poses=self.NUM_POSES)
+                    b = kernel.check_motion(start, end, num_poses=self.NUM_POSES)
+                    assert asdict(a.stats) == asdict(b.stats)
+
+
+class TestSceneMutationCache:
+    def test_mutations_keep_one_packed_set_alive(self):
+        scene = Scene(
+            obstacles=[_box((1.0, 0.0, 0.0), (0.2, 0.2, 0.2)) for _ in range(4)],
+            broad_phase="bvh",
+        )
+        packed = scene.obstacle_set()
+        packed.index()  # force the lazy build so mutations go the refit path
+        digest = scene.content_digest()
+        scene.add_obstacle(_box((0.0, 1.0, 0.0), (0.2, 0.2, 0.2)))
+        assert scene.obstacle_set() is packed
+        assert len(packed) == 5
+        assert scene.content_digest() != digest
+        scene.move_obstacle(0, _box((0.0, -1.0, 0.0), (0.2, 0.2, 0.2)))
+        scene.remove_obstacle(2)
+        assert scene.obstacle_set() is packed
+        assert len(packed) == 4
+        assert packed.refits >= 2
+
+    def test_mutated_scene_matches_fresh_scene(self, planar):
+        rng = np.random.default_rng(5)
+        scene = Scene(
+            obstacles=random_2d_scene(rng, 24).obstacles, broad_phase="bvh"
+        )
+        detector = CollisionDetector(scene, planar)
+        detector.check_pose(np.zeros(planar.dof))  # warm the packed cache
+        moved = _box((0.3, 0.3, 0.0), (0.1, 0.1, 0.5))
+        scene.move_obstacle(3, moved)
+        scene.remove_obstacle(7)
+        scene.add_obstacle(_box((-0.4, 0.2, 0.0), (0.15, 0.1, 0.5)))
+        fresh = Scene(obstacles=list(scene.obstacles), broad_phase="bvh")
+        fresh_detector = CollisionDetector(fresh, planar)
+        for q in [planar.random_configuration(np.random.default_rng(s)) for s in range(40)]:
+            a = detector.check_pose(q)
+            b = fresh_detector.check_pose(q)
+            assert a.collided == b.collided
+            assert a.stats.narrow_phase_tests == b.stats.narrow_phase_tests

@@ -7,6 +7,9 @@ import pytest
 
 from repro.collision import Motion, predict_motion
 from repro.core import CHTPredictor, CoordHash
+from repro.env.generators import random_2d_scene
+from repro.env.scene import SceneMutation
+from repro.geometry import OBB
 from repro.serving import (
     CollisionService,
     LoadGenerator,
@@ -455,3 +458,110 @@ class TestServiceLifecycle:
         session = service.close_session(sid)
         assert session.session_id == sid
         assert sid not in service.sessions
+
+
+class TestSceneMutationQueries:
+    """Dynamic scenes through the serving layer: ``query_type="mutate"``."""
+
+    def _fresh_scene(self, seed=5):
+        return random_2d_scene(np.random.default_rng(seed), num_obstacles=6)
+
+    def _added_box(self):
+        return OBB.axis_aligned([0.5, 0.5, 0.0], [0.05, 0.05, 0.5])
+
+    def test_mutation_rekeys_shared_bank(self, planar):
+        scene = self._fresh_scene()
+        service = CollisionService(
+            ServiceConfig(num_workers=2, max_batch=4, max_wait_ms=1.0, shared_cht=True)
+        )
+
+        async def scenario():
+            async with service:
+                a = service.open_session(scene, planar)
+                b = service.open_session(scene, planar)
+                for motion in make_motions(planar, 12):
+                    result = await service.submit(a, motion)
+                    assert result.status == "ok"
+                before = service.telemetry.snapshot()
+                mutated = await service.submit(
+                    a,
+                    SceneMutation(op="add", box=self._added_box()),
+                    query_type="mutate",
+                )
+                after = service.telemetry.snapshot()
+                # The scene served queries again after the mutation.
+                post = await service.submit(b, make_motions(planar, 1, seed=99)[0])
+            return a, b, before, mutated, after, post
+
+        a, b, before, mutated, after, post = run(scenario())
+        assert mutated.status == "ok"
+        assert mutated.colliding is None
+        assert post.status == "ok"
+        # Both sessions moved to a fresh bank keyed by the new scene digest.
+        old_id = before["cht"]["sessions"][a]["shared"]
+        new_id = after["cht"]["sessions"][a]["shared"]
+        assert new_id != old_id
+        assert after["cht"]["sessions"][b]["shared"] == new_id
+        assert sorted(after["cht"]["shared_tables"][new_id]["sessions"]) == sorted([a, b])
+        assert after["cht"]["shared_tables"][old_id]["sessions"] == []
+        # The replacement bank starts cold: stale history cannot leak.
+        assert after["cht"]["shared_tables"][new_id]["occupancy"] == 0.0
+        assert after["counters"]["scene_mutations"] == 1
+        assert after["counters"]["cht_invalidations"] == 2
+        # The scene's packed set shows up in broad-phase telemetry.
+        scenes = [entry["scene"] for entry in after["broad_phase"]["scenes"]]
+        assert scene.name in scenes
+
+    def test_mutation_resets_private_predictor(self, planar):
+        scene = self._fresh_scene(seed=6)
+        service = CollisionService(ServiceConfig(num_workers=1, max_batch=4, max_wait_ms=1.0))
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene, planar)
+                for motion in make_motions(planar, 12):
+                    await service.submit(sid, motion)
+                table = service.session(sid).predictor.table
+                assert table.coll.sum() + table.noncoll.sum() > 0
+                result = await service.submit(
+                    sid,
+                    SceneMutation(op="remove", index=0),
+                    query_type="mutate",
+                )
+                return result, table
+
+        result, table = run(scenario())
+        assert result.status == "ok"
+        assert table.coll.sum() + table.noncoll.sum() == 0
+        assert len(scene.obstacles) == 5
+
+    def test_stale_mutation_index_raises_to_caller(self, planar):
+        scene = self._fresh_scene(seed=7)
+        service = CollisionService(ServiceConfig(num_workers=1))
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene, planar)
+                with pytest.raises(IndexError):
+                    await service.submit(
+                        sid,
+                        SceneMutation(op="remove", index=len(scene.obstacles)),
+                        query_type="mutate",
+                    )
+
+        run(scenario())
+        assert len(scene.obstacles) == 6
+
+    def test_motion_payload_on_mutate_raises(self, planar):
+        scene = self._fresh_scene(seed=8)
+        service = CollisionService(ServiceConfig(num_workers=1))
+
+        async def scenario():
+            async with service:
+                sid = service.open_session(scene, planar)
+                with pytest.raises(TypeError):
+                    await service.submit(
+                        sid, make_motions(planar, 1)[0], query_type="mutate"
+                    )
+
+        run(scenario())
